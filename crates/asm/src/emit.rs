@@ -1,0 +1,312 @@
+//! Object emission: statements → relocatable object.
+
+use crate::error::{AsmError, AsmErrorKind};
+use crate::parser::{Expr, Item, Statement};
+use rr_isa::{encode, Instr, Reg};
+use rr_obj::{ObjectFile, RelocKind, Relocation, SectionKind, Symbol, SymbolKind};
+use std::collections::HashSet;
+
+/// Assembles parsed items into an [`ObjectFile`].
+///
+/// Symbol visibility: names marked `.global` anywhere in the unit are
+/// emitted as global symbols. Labels beginning with `.` are local *labels*
+/// (`SymbolKind::Label`); other labels are functions in `.text` and objects
+/// elsewhere.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] for duplicate labels, content invalid for the
+/// current section (code outside `.text`, initialized data in `.bss`), or
+/// out-of-range values.
+pub fn assemble_object(items: &[Item], name: &str) -> Result<ObjectFile, AsmError> {
+    let globals: HashSet<&str> = items
+        .iter()
+        .filter_map(|i| match &i.stmt {
+            Statement::Global(n) => Some(n.as_str()),
+            _ => None,
+        })
+        .collect();
+
+    let mut obj = ObjectFile::new(name);
+    let mut section = SectionKind::Text;
+    let mut seen_labels: HashSet<String> = HashSet::new();
+
+    for item in items {
+        let line = item.line;
+        let err = |kind| AsmError::new(line, kind);
+        match &item.stmt {
+            Statement::Global(_) => {}
+            Statement::Section(kind) => section = *kind,
+            Statement::Label(label) => {
+                if !seen_labels.insert(label.clone()) {
+                    return Err(err(AsmErrorKind::DuplicateLabel(label.clone())));
+                }
+                let offset = obj.section(section).size();
+                let kind = if label.starts_with('.') {
+                    SymbolKind::Label
+                } else if section == SectionKind::Text {
+                    SymbolKind::Func
+                } else {
+                    SymbolKind::Object
+                };
+                let symbol = Symbol {
+                    name: label.clone(),
+                    section,
+                    offset,
+                    kind,
+                    global: globals.contains(label.as_str()),
+                };
+                obj.symbols.push(symbol);
+            }
+            Statement::Bytes(bytes) => {
+                if section == SectionKind::Bss {
+                    return Err(err(AsmErrorKind::WrongSection(
+                        "initialized data in .bss".into(),
+                    )));
+                }
+                obj.section_mut(section).data.extend_from_slice(bytes);
+            }
+            Statement::Quads(quads) => {
+                if section == SectionKind::Bss {
+                    return Err(err(AsmErrorKind::WrongSection(
+                        "initialized data in .bss".into(),
+                    )));
+                }
+                for expr in quads {
+                    let offset = obj.section(section).data.len() as u64;
+                    match expr {
+                        Expr::Int(v) => {
+                            obj.section_mut(section).data.extend_from_slice(&v.to_le_bytes());
+                        }
+                        Expr::Sym { name, addend } => {
+                            obj.section_mut(section).data.extend_from_slice(&[0; 8]);
+                            obj.relocs.push(Relocation {
+                                section,
+                                offset,
+                                kind: RelocKind::Abs64,
+                                symbol: name.clone(),
+                                addend: *addend,
+                            });
+                        }
+                    }
+                }
+            }
+            Statement::Space(n) => {
+                if section == SectionKind::Bss {
+                    obj.section_mut(section).zero_size += n;
+                } else {
+                    let n = usize::try_from(*n)
+                        .map_err(|_| err(AsmErrorKind::ImmediateOverflow(*n as i64)))?;
+                    obj.section_mut(section).data.extend(std::iter::repeat(0).take(n));
+                }
+            }
+            Statement::Align(n) => {
+                let size = obj.section(section).size();
+                let pad = size.next_multiple_of(*n) - size;
+                if section == SectionKind::Bss {
+                    obj.section_mut(section).zero_size += pad;
+                } else {
+                    obj.section_mut(section)
+                        .data
+                        .extend(std::iter::repeat(0).take(pad as usize));
+                }
+            }
+            Statement::Instr(insn) => {
+                require_text(section, line)?;
+                encode(insn, &mut obj.section_mut(SectionKind::Text).data);
+            }
+            Statement::Branch { cond, is_call, target } => {
+                require_text(section, line)?;
+                let data = &mut obj.section_mut(SectionKind::Text).data;
+                let offset = data.len() as u64;
+                let (insn, field_offset) = match (cond, is_call) {
+                    (Some(cc), _) => (Instr::Jcc { cc: *cc, rel: 0 }, 2),
+                    (None, true) => (Instr::Call { rel: 0 }, 1),
+                    (None, false) => (Instr::Jmp { rel: 0 }, 1),
+                };
+                match target {
+                    Expr::Int(rel) => {
+                        let rel = i32::try_from(*rel)
+                            .map_err(|_| err(AsmErrorKind::ImmediateOverflow(*rel)))?;
+                        encode(&insn.with_rel_target(rel), data);
+                    }
+                    Expr::Sym { name, addend } => {
+                        encode(&insn, data);
+                        obj.relocs.push(Relocation {
+                            section: SectionKind::Text,
+                            offset: offset + field_offset,
+                            kind: RelocKind::Rel32,
+                            symbol: name.clone(),
+                            addend: *addend,
+                        });
+                    }
+                }
+            }
+            Statement::MovSym { rd, name, addend } => {
+                require_text(section, line)?;
+                let data = &mut obj.section_mut(SectionKind::Text).data;
+                let offset = data.len() as u64;
+                encode(&Instr::MovRI { rd: *rd, imm: 0 }, data);
+                obj.relocs.push(Relocation {
+                    section: SectionKind::Text,
+                    offset: offset + 2,
+                    kind: RelocKind::Abs64,
+                    symbol: name.clone(),
+                    addend: *addend,
+                });
+            }
+        }
+    }
+    let _ = Reg::R0; // anchor the import used only in doc positions
+    Ok(obj)
+}
+
+fn require_text(section: SectionKind, line: usize) -> Result<(), AsmError> {
+    if section == SectionKind::Text {
+        Ok(())
+    } else {
+        Err(AsmError::new(
+            line,
+            AsmErrorKind::WrongSection(format!("instruction outside .text (in {section})")),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{assemble, assemble_and_link};
+    use rr_isa::{decode, TEXT_BASE};
+
+    #[test]
+    fn emits_code_and_relocations() {
+        let obj = assemble(
+            "    .text\n\
+             main:\n\
+                 jmp end\n\
+                 call main\n\
+             end:\n\
+                 halt\n",
+        )
+        .unwrap();
+        assert_eq!(obj.relocs.len(), 2);
+        assert_eq!(obj.relocs[0].offset, 1);
+        assert_eq!(obj.relocs[1].offset, 6);
+        assert_eq!(obj.symbol("end").unwrap().offset, 10);
+    }
+
+    #[test]
+    fn link_resolves_forward_and_backward() {
+        let exe = assemble_and_link(
+            "    .global _start\n\
+             _start:\n\
+                 jmp fwd\n\
+             back:\n\
+                 halt\n\
+             fwd:\n\
+                 jmp back\n",
+        )
+        .unwrap();
+        // First insn: jmp fwd (target TEXT_BASE+6): rel = 6+0x1000 - (0x1000+5) = 1
+        let (insn, _) = decode(exe.text_bytes()).unwrap();
+        assert_eq!(insn, Instr::Jmp { rel: 1 });
+        // insn at +6: jmp back: rel = 0x1005 - (0x1006+5) = -6
+        let (insn, _) = decode(&exe.text_bytes()[6..]).unwrap();
+        assert_eq!(insn, Instr::Jmp { rel: -6 });
+        assert_eq!(exe.entry, TEXT_BASE);
+    }
+
+    #[test]
+    fn mov_symbol_is_abs64() {
+        let exe = assemble_and_link(
+            "    .global _start\n\
+             _start:\n\
+                 mov r1, value\n\
+                 halt\n\
+                 .data\n\
+             value:\n\
+                 .quad 99\n",
+        )
+        .unwrap();
+        let (insn, _) = decode(exe.text_bytes()).unwrap();
+        let value_addr = exe.symbol("value").unwrap().addr;
+        assert_eq!(insn, Instr::MovRI { rd: Reg::R1, imm: value_addr });
+    }
+
+    #[test]
+    fn data_directives_layout() {
+        let obj = assemble(
+            "    .data\n\
+             a:  .byte 1, 2\n\
+             b:  .align 8\n\
+             c:  .quad 7\n\
+                 .space 4\n\
+             d:\n",
+        )
+        .unwrap();
+        assert_eq!(obj.symbol("a").unwrap().offset, 0);
+        assert_eq!(obj.symbol("b").unwrap().offset, 2);
+        assert_eq!(obj.symbol("c").unwrap().offset, 8);
+        assert_eq!(obj.symbol("d").unwrap().offset, 20);
+        assert_eq!(obj.section(SectionKind::Data).data.len(), 20);
+    }
+
+    #[test]
+    fn bss_only_takes_space() {
+        let obj = assemble("    .bss\nbuf: .space 32\n").unwrap();
+        assert_eq!(obj.section(SectionKind::Bss).zero_size, 32);
+        assert!(assemble("    .bss\n.byte 1\n").is_err());
+        assert!(assemble("    .bss\nnop\n").is_err());
+    }
+
+    #[test]
+    fn code_outside_text_rejected() {
+        let err = assemble("    .data\n    nop\n").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::WrongSection(_)));
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let err = assemble("x:\nx:\n").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::DuplicateLabel(_)));
+    }
+
+    #[test]
+    fn global_marks_visibility() {
+        let obj = assemble("    .global main\nmain:\nhelper:\n    ret\n").unwrap();
+        assert!(obj.symbol("main").unwrap().global);
+        assert!(!obj.symbol("helper").unwrap().global);
+        assert_eq!(obj.symbol("main").unwrap().kind, SymbolKind::Func);
+    }
+
+    #[test]
+    fn local_dot_labels_are_label_kind() {
+        let obj = assemble(".L1:\n    jmp .L1\n").unwrap();
+        assert_eq!(obj.symbol(".L1").unwrap().kind, SymbolKind::Label);
+    }
+
+    #[test]
+    fn numeric_branch_targets_are_concrete() {
+        let obj = assemble("    jmp 0\n").unwrap();
+        assert!(obj.relocs.is_empty());
+        let (insn, _) = decode(&obj.section(SectionKind::Text).data).unwrap();
+        assert_eq!(insn, Instr::Jmp { rel: 0 });
+    }
+
+    #[test]
+    fn quad_with_symbol_addend() {
+        let exe = assemble_and_link(
+            "    .global _start\n\
+             _start:\n\
+                 halt\n\
+                 .data\n\
+             table:\n\
+                 .quad _start+1\n",
+        )
+        .unwrap();
+        let table = exe.symbol("table").unwrap().addr;
+        let bytes = exe.read_bytes(table, 8).unwrap();
+        assert_eq!(u64::from_le_bytes(bytes.try_into().unwrap()), TEXT_BASE + 1);
+    }
+}

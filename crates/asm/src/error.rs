@@ -1,0 +1,120 @@
+//! Assembler error types.
+
+use std::fmt;
+
+/// The category of an assembly problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmErrorKind {
+    /// A mnemonic that names no instruction.
+    UnknownMnemonic(String),
+    /// A directive that the assembler does not support.
+    UnknownDirective(String),
+    /// Operands that do not fit the instruction's addressing modes.
+    BadOperands(String),
+    /// A malformed token (number, string, register, …).
+    BadToken(String),
+    /// The same label defined twice.
+    DuplicateLabel(String),
+    /// An immediate that does not fit its field.
+    ImmediateOverflow(i64),
+    /// Content not allowed in the current section (e.g. code in `.data`).
+    WrongSection(String),
+}
+
+impl fmt::Display for AsmErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "unknown mnemonic `{m}`"),
+            AsmErrorKind::UnknownDirective(d) => write!(f, "unknown directive `{d}`"),
+            AsmErrorKind::BadOperands(msg) => write!(f, "bad operands: {msg}"),
+            AsmErrorKind::BadToken(msg) => write!(f, "bad token: {msg}"),
+            AsmErrorKind::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmErrorKind::ImmediateOverflow(v) => write!(f, "immediate {v} does not fit field"),
+            AsmErrorKind::WrongSection(msg) => write!(f, "wrong section: {msg}"),
+        }
+    }
+}
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: AsmErrorKind,
+}
+
+impl AsmError {
+    /// Creates an error at the given line.
+    pub fn new(line: usize, kind: AsmErrorKind) -> AsmError {
+        AsmError { line, kind }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.kind)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Error from [`crate::assemble_and_link`]: either phase can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The assembler rejected the source.
+    Asm(AsmError),
+    /// The linker rejected the object.
+    Link(rr_obj::LinkError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Asm(e) => write!(f, "assembly failed: {e}"),
+            BuildError::Link(e) => write!(f, "link failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Asm(e) => Some(e),
+            BuildError::Link(e) => Some(e),
+        }
+    }
+}
+
+impl From<AsmError> for BuildError {
+    fn from(e: AsmError) -> Self {
+        BuildError::Asm(e)
+    }
+}
+
+impl From<rr_obj::LinkError> for BuildError {
+    fn from(e: rr_obj::LinkError) -> Self {
+        BuildError::Link(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = AsmError::new(7, AsmErrorKind::UnknownMnemonic("frob".into()));
+        let text = e.to_string();
+        assert!(text.contains("line 7") && text.contains("frob"), "{text}");
+    }
+
+    #[test]
+    fn build_error_wraps_both_phases() {
+        let asm: BuildError = AsmError::new(1, AsmErrorKind::BadToken("x".into())).into();
+        assert!(matches!(asm, BuildError::Asm(_)));
+        let link: BuildError = rr_obj::LinkError::NoCode.into();
+        assert!(matches!(link, BuildError::Link(_)));
+        assert!(std::error::Error::source(&link).is_some());
+    }
+}

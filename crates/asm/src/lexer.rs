@@ -1,0 +1,252 @@
+//! Line-oriented tokenizer for RRVM assembly.
+
+use crate::error::{AsmError, AsmErrorKind};
+
+/// One token within a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier: mnemonic, label, symbol, register name, or directive
+    /// (directives keep their leading dot; local labels too).
+    Ident(String),
+    /// Integer literal (decimal, `0x…` hex, or `'c'` character).
+    Int(i64),
+    /// String literal with escapes resolved.
+    Str(Vec<u8>),
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+}
+
+/// Splits a source line into tokens, stripping comments (`;` or `#`).
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] for malformed numbers, unterminated strings, or
+/// unexpected characters.
+pub fn tokenize_line(line: &str, line_no: usize) -> Result<Vec<Token>, AsmError> {
+    let bad = |msg: String| AsmError::new(line_no, AsmErrorKind::BadToken(msg));
+    let mut tokens = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ';' | '#' => break,
+            ' ' | '\t' | '\r' => i += 1,
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            ':' => {
+                tokens.push(Token::Colon);
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token::RBracket);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '"' => {
+                let (s, consumed) = scan_string(&line[i..], line_no)?;
+                tokens.push(Token::Str(s));
+                i += consumed;
+            }
+            '\'' => {
+                let (value, consumed) = scan_char(&line[i..], line_no)?;
+                tokens.push(Token::Int(value));
+                i += consumed;
+            }
+            '0'..='9' => {
+                let start = i;
+                let is_hex = line[i..].starts_with("0x") || line[i..].starts_with("0X");
+                if is_hex {
+                    i += 2;
+                }
+                while i < bytes.len() && (bytes[i] as char).is_ascii_alphanumeric() {
+                    i += 1;
+                }
+                let text = &line[start..i];
+                let value = if is_hex {
+                    i64::from_str_radix(&text[2..], 16)
+                        .or_else(|_| u64::from_str_radix(&text[2..], 16).map(|v| v as i64))
+                } else {
+                    text.parse::<i64>()
+                }
+                .map_err(|_| bad(format!("invalid number `{text}`")))?;
+                tokens.push(Token::Int(value));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '.' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(line[start..i].to_owned()));
+            }
+            other => return Err(bad(format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(tokens)
+}
+
+fn unescape(c: char, line_no: usize) -> Result<u8, AsmError> {
+    Ok(match c {
+        'n' => b'\n',
+        't' => b'\t',
+        'r' => b'\r',
+        '0' => 0,
+        '\\' => b'\\',
+        '"' => b'"',
+        '\'' => b'\'',
+        other => {
+            return Err(AsmError::new(
+                line_no,
+                AsmErrorKind::BadToken(format!("unknown escape `\\{other}`")),
+            ))
+        }
+    })
+}
+
+fn scan_string(text: &str, line_no: usize) -> Result<(Vec<u8>, usize), AsmError> {
+    debug_assert!(text.starts_with('"'));
+    let mut out = Vec::new();
+    let mut chars = text.char_indices().skip(1);
+    while let Some((pos, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, pos + 1)),
+            '\\' => {
+                let (_, esc) = chars.next().ok_or_else(|| {
+                    AsmError::new(line_no, AsmErrorKind::BadToken("dangling escape".into()))
+                })?;
+                out.push(unescape(esc, line_no)?);
+            }
+            c if c.is_ascii() => out.push(c as u8),
+            other => {
+                return Err(AsmError::new(
+                    line_no,
+                    AsmErrorKind::BadToken(format!("non-ASCII character `{other}` in string")),
+                ))
+            }
+        }
+    }
+    Err(AsmError::new(line_no, AsmErrorKind::BadToken("unterminated string".into())))
+}
+
+fn scan_char(text: &str, line_no: usize) -> Result<(i64, usize), AsmError> {
+    debug_assert!(text.starts_with('\''));
+    let bad = |msg: &str| AsmError::new(line_no, AsmErrorKind::BadToken(msg.into()));
+    let rest: Vec<char> = text.chars().skip(1).take(3).collect();
+    match rest.as_slice() {
+        ['\\', esc, '\''] => Ok((i64::from(unescape(*esc, line_no)?), 4)),
+        [c, '\'', ..] if c.is_ascii() && *c != '\\' => Ok((*c as i64, 3)),
+        _ => Err(bad("malformed character literal")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_instruction_line() {
+        let tokens = tokenize_line("    load r3, [r2+8]  ; comment", 1).unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Ident("load".into()),
+                Token::Ident("r3".into()),
+                Token::Comma,
+                Token::LBracket,
+                Token::Ident("r2".into()),
+                Token::Plus,
+                Token::Int(8),
+                Token::RBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_dec_hex_char() {
+        assert_eq!(tokenize_line("42", 1).unwrap(), vec![Token::Int(42)]);
+        assert_eq!(tokenize_line("0xff", 1).unwrap(), vec![Token::Int(255)]);
+        assert_eq!(tokenize_line("'A'", 1).unwrap(), vec![Token::Int(65)]);
+        assert_eq!(tokenize_line("'\\n'", 1).unwrap(), vec![Token::Int(10)]);
+        // Negative numbers are Minus + Int at the token level.
+        assert_eq!(tokenize_line("-5", 1).unwrap(), vec![Token::Minus, Token::Int(5)]);
+        // 64-bit hex constants wrap into i64 without error.
+        assert_eq!(
+            tokenize_line("0xffffffffffffffff", 1).unwrap(),
+            vec![Token::Int(-1)]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let tokens = tokenize_line(r#".asciiz "hi\n\0""#, 1).unwrap();
+        assert_eq!(
+            tokens,
+            vec![Token::Ident(".asciiz".into()), Token::Str(b"hi\n\0".to_vec())]
+        );
+    }
+
+    #[test]
+    fn comments_both_styles() {
+        assert_eq!(tokenize_line("; whole line", 3).unwrap(), vec![]);
+        assert_eq!(tokenize_line("nop # trailing", 3).unwrap(), vec![Token::Ident("nop".into())]);
+        // A ';' inside a string is not a comment.
+        let tokens = tokenize_line(r#".ascii "a;b""#, 1).unwrap();
+        assert_eq!(tokens[1], Token::Str(b"a;b".to_vec()));
+    }
+
+    #[test]
+    fn labels_and_directives() {
+        let tokens = tokenize_line(".L1: jmp .L1", 1).unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Ident(".L1".into()),
+                Token::Colon,
+                Token::Ident("jmp".into()),
+                Token::Ident(".L1".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        for bad in ["\"unterminated", "'x", "12zz3", "@", "\"bad\\q\""] {
+            let err = tokenize_line(bad, 9).unwrap_err();
+            assert_eq!(err.line, 9, "{bad}");
+        }
+        // `12zz3` parses as an invalid number rather than splitting.
+        assert!(matches!(
+            tokenize_line("12zz3", 1).unwrap_err().kind,
+            AsmErrorKind::BadToken(_)
+        ));
+    }
+}

@@ -1,0 +1,101 @@
+//! # rr-asm — the RRVM assembler
+//!
+//! Translates RRVM assembly text into relocatable [`rr_obj::ObjectFile`]s,
+//! and — via [`assemble_and_link`] — directly into runnable
+//! [`rr_obj::Executable`]s. The *reassembleable disassembly* rewriting
+//! scheme of the paper depends on this crate twice: once to build the
+//! original binary and once to reassemble the patched assembly emitted by
+//! `rr-disasm`/`rr-patch`.
+//!
+//! ## Syntax overview
+//!
+//! ```text
+//! ; comment (also #)
+//!     .text
+//!     .global _start
+//! _start:
+//!     mov r1, 0x2a        ; 64-bit immediate
+//!     mov r2, message     ; symbol address (Abs64 relocation)
+//!     load r3, [r2+8]
+//!     cmp r1, r3
+//!     je .ok              ; labels starting with '.' are local
+//!     call fail
+//! .ok:
+//!     svc 0
+//!     .rodata
+//! message:
+//!     .asciiz "hello"
+//!     .quad 1, 2, _start  ; words may reference symbols
+//!     .data
+//! counter:
+//!     .space 8
+//! ```
+//!
+//! Directives: `.text`, `.rodata`, `.data`, `.bss`, `.global NAME`,
+//! `.byte`, `.quad`, `.ascii`, `.asciiz`, `.space N`, `.align N`.
+//!
+//! ## Example
+//!
+//! ```
+//! use rr_asm::assemble_and_link;
+//!
+//! let exe = assemble_and_link(
+//!     "    .text\n    .global _start\n_start:\n    mov r1, 7\n    svc 0\n",
+//! )?;
+//! assert_eq!(exe.entry, rr_isa::TEXT_BASE);
+//! # Ok::<(), rr_asm::BuildError>(())
+//! ```
+
+mod emit;
+mod error;
+mod lexer;
+mod parser;
+
+pub use emit::assemble_object;
+pub use error::{AsmError, AsmErrorKind, BuildError};
+pub use parser::{parse, Expr, Item, MemOperand, Statement};
+
+use rr_obj::{Executable, ObjectFile};
+
+/// Assembles one translation unit into a relocatable object.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] carrying the 1-based source line of the first
+/// problem encountered.
+///
+/// # Example
+///
+/// ```
+/// use rr_asm::assemble;
+///
+/// let obj = assemble("    .text\nf:\n    ret\n")?;
+/// assert!(obj.symbol("f").is_some());
+/// # Ok::<(), rr_asm::AsmError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<ObjectFile, AsmError> {
+    assemble_named(source, "<asm>")
+}
+
+/// Like [`assemble`], with an explicit unit name for diagnostics.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] on the first syntax or semantic problem.
+pub fn assemble_named(source: &str, name: &str) -> Result<ObjectFile, AsmError> {
+    let items = parse(source)?;
+    assemble_object(&items, name)
+}
+
+/// Assembles and links a single source into an executable whose entry point
+/// is the `_start` symbol.
+///
+/// # Errors
+///
+/// Returns [`BuildError::Asm`] for assembly problems and
+/// [`BuildError::Link`] for link-time problems (undefined symbols, missing
+/// `_start`, …).
+pub fn assemble_and_link(source: &str) -> Result<Executable, BuildError> {
+    let obj = assemble(source)?;
+    Ok(rr_obj::link(&[obj])?)
+}

@@ -1,0 +1,631 @@
+//! Parser: token lines → assembly statements.
+
+use crate::error::{AsmError, AsmErrorKind};
+use crate::lexer::{tokenize_line, Token};
+use rr_isa::{AluOp, Cond, Instr, Reg, ShiftOp};
+use rr_obj::SectionKind;
+
+/// A constant or symbolic value (`42`, `label`, `label+8`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A plain integer.
+    Int(i64),
+    /// A symbol reference plus constant addend.
+    Sym {
+        /// Referenced symbol name.
+        name: String,
+        /// Constant offset added to the symbol's address.
+        addend: i64,
+    },
+}
+
+/// A `[base+disp]` memory operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemOperand {
+    /// Base register.
+    pub base: Reg,
+    /// Signed displacement.
+    pub disp: i32,
+}
+
+/// One parsed statement with pending symbol references still symbolic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Statement {
+    /// `name:` — define a label at the current position.
+    Label(String),
+    /// `.global name` — mark a symbol globally visible.
+    Global(String),
+    /// `.text` / `.rodata` / `.data` / `.bss`.
+    Section(SectionKind),
+    /// Raw bytes from `.byte`, `.ascii`, `.asciiz`.
+    Bytes(Vec<u8>),
+    /// 64-bit words from `.quad`; entries may be symbolic.
+    Quads(Vec<Expr>),
+    /// `.space n` — n zero bytes.
+    Space(u64),
+    /// `.align n` — pad to an n-byte boundary.
+    Align(u64),
+    /// A fully concrete instruction.
+    Instr(Instr),
+    /// `jmp`/`call`/`j<cc>` to a symbol (resolved by a Rel32 relocation).
+    Branch {
+        /// `None` for `jmp`/`call`; `Some(cc)` for conditional jumps.
+        cond: Option<Cond>,
+        /// Whether this is a `call` (pushes a return address).
+        is_call: bool,
+        /// Branch target.
+        target: Expr,
+    },
+    /// `mov rd, symbol` — address materialization (Abs64 relocation).
+    MovSym {
+        /// Destination register.
+        rd: Reg,
+        /// Referenced symbol.
+        name: String,
+        /// Constant offset.
+        addend: i64,
+    },
+}
+
+/// A [`Statement`] tagged with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Item {
+    /// 1-based source line.
+    pub line: usize,
+    /// The parsed statement.
+    pub stmt: Statement,
+}
+
+/// Parses a full source text into items.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered, with its source line.
+pub fn parse(source: &str) -> Result<Vec<Item>, AsmError> {
+    let mut items = Vec::new();
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let tokens = tokenize_line(raw_line, line_no)?;
+        let mut cursor = Cursor { tokens: &tokens, pos: 0, line: line_no };
+        // Leading labels (possibly several).
+        while cursor.peek_label() {
+            let name = cursor.ident()?;
+            cursor.expect(&Token::Colon)?;
+            items.push(Item { line: line_no, stmt: Statement::Label(name) });
+        }
+        if cursor.at_end() {
+            continue;
+        }
+        let head = cursor.ident()?;
+        let stmt = if let Some(directive) = head.strip_prefix('.') {
+            parse_directive(directive, &mut cursor)?
+        } else {
+            parse_instruction(&head, &mut cursor)?
+        };
+        cursor.expect_end()?;
+        items.push(Item { line: line_no, stmt });
+    }
+    Ok(items)
+}
+
+struct Cursor<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn error(&self, kind: AsmErrorKind) -> AsmError {
+        AsmError::new(self.line, kind)
+    }
+
+    fn bad_operands(&self, msg: impl Into<String>) -> AsmError {
+        self.error(AsmErrorKind::BadOperands(msg.into()))
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&'a Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&'a Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn peek_label(&self) -> bool {
+        matches!(
+            (self.tokens.get(self.pos), self.tokens.get(self.pos + 1)),
+            (Some(Token::Ident(_)), Some(Token::Colon))
+        )
+    }
+
+    fn ident(&mut self) -> Result<String, AsmError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s.clone()),
+            other => Err(self.bad_operands(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect(&mut self, token: &Token) -> Result<(), AsmError> {
+        match self.next() {
+            Some(t) if t == token => Ok(()),
+            other => Err(self.bad_operands(format!("expected {token:?}, found {other:?}"))),
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<(), AsmError> {
+        if self.at_end() {
+            Ok(())
+        } else {
+            Err(self.bad_operands(format!("trailing tokens starting at {:?}", self.peek())))
+        }
+    }
+
+    fn comma(&mut self) -> Result<(), AsmError> {
+        self.expect(&Token::Comma)
+    }
+
+    /// A possibly negated integer literal.
+    fn int(&mut self) -> Result<i64, AsmError> {
+        let negative = matches!(self.peek(), Some(Token::Minus));
+        if negative {
+            self.pos += 1;
+        }
+        match self.next() {
+            Some(Token::Int(v)) => Ok(if negative { v.wrapping_neg() } else { *v }),
+            other => Err(self.bad_operands(format!("expected integer, found {other:?}"))),
+        }
+    }
+
+    fn reg(&mut self) -> Result<Reg, AsmError> {
+        let name = self.ident()?;
+        name.parse::<Reg>()
+            .map_err(|_| self.bad_operands(format!("expected register, found `{name}`")))
+    }
+
+    /// `[reg]`, `[reg+disp]`, or `[reg-disp]`.
+    fn mem(&mut self) -> Result<MemOperand, AsmError> {
+        self.expect(&Token::LBracket)?;
+        let base = self.reg()?;
+        let disp = match self.peek() {
+            Some(Token::RBracket) => 0i64,
+            Some(Token::Plus) => {
+                self.pos += 1;
+                self.int()?
+            }
+            Some(Token::Minus) => {
+                self.pos += 1;
+                -self.int()?
+            }
+            other => return Err(self.bad_operands(format!("expected ] or ±disp, found {other:?}"))),
+        };
+        self.expect(&Token::RBracket)?;
+        let disp = i32::try_from(disp)
+            .map_err(|_| self.error(AsmErrorKind::ImmediateOverflow(disp)))?;
+        Ok(MemOperand { base, disp })
+    }
+
+    /// Integer or `symbol(+addend)` expression.
+    fn expr(&mut self) -> Result<Expr, AsmError> {
+        match self.peek() {
+            Some(Token::Ident(name)) if name.parse::<Reg>().is_err() => {
+                let name = name.clone();
+                self.pos += 1;
+                let addend = match self.peek() {
+                    Some(Token::Plus) => {
+                        self.pos += 1;
+                        self.int()?
+                    }
+                    Some(Token::Minus) => {
+                        self.pos += 1;
+                        -self.int()?
+                    }
+                    _ => 0,
+                };
+                Ok(Expr::Sym { name, addend })
+            }
+            _ => Ok(Expr::Int(self.int()?)),
+        }
+    }
+}
+
+fn parse_directive(directive: &str, cursor: &mut Cursor<'_>) -> Result<Statement, AsmError> {
+    match directive {
+        "text" => Ok(Statement::Section(SectionKind::Text)),
+        "rodata" => Ok(Statement::Section(SectionKind::Rodata)),
+        "data" => Ok(Statement::Section(SectionKind::Data)),
+        "bss" => Ok(Statement::Section(SectionKind::Bss)),
+        "global" => Ok(Statement::Global(cursor.ident()?)),
+        "byte" => {
+            let mut bytes = Vec::new();
+            loop {
+                let v = cursor.int()?;
+                let b = u8::try_from(v)
+                    .or_else(|_| i8::try_from(v).map(|s| s as u8))
+                    .map_err(|_| cursor.error(AsmErrorKind::ImmediateOverflow(v)))?;
+                bytes.push(b);
+                if cursor.at_end() {
+                    break;
+                }
+                cursor.comma()?;
+            }
+            Ok(Statement::Bytes(bytes))
+        }
+        "quad" => {
+            let mut quads = Vec::new();
+            loop {
+                quads.push(cursor.expr()?);
+                if cursor.at_end() {
+                    break;
+                }
+                cursor.comma()?;
+            }
+            Ok(Statement::Quads(quads))
+        }
+        "ascii" | "asciiz" => {
+            let mut bytes = match cursor.next() {
+                Some(Token::Str(s)) => s.clone(),
+                other => {
+                    return Err(cursor.bad_operands(format!("expected string, found {other:?}")))
+                }
+            };
+            if directive == "asciiz" {
+                bytes.push(0);
+            }
+            Ok(Statement::Bytes(bytes))
+        }
+        "space" => {
+            let n = cursor.int()?;
+            u64::try_from(n)
+                .map(Statement::Space)
+                .map_err(|_| cursor.error(AsmErrorKind::ImmediateOverflow(n)))
+        }
+        "align" => {
+            let n = cursor.int()?;
+            if n <= 0 || n & (n - 1) != 0 {
+                return Err(cursor.error(AsmErrorKind::ImmediateOverflow(n)));
+            }
+            Ok(Statement::Align(n as u64))
+        }
+        other => Err(cursor.error(AsmErrorKind::UnknownDirective(format!(".{other}")))),
+    }
+}
+
+/// Resolves condition mnemonics including the x86-flavoured aliases used in
+/// the paper's listings (`je`, `jz`, `jl`, …).
+fn cond_from_suffix(suffix: &str) -> Option<Cond> {
+    Some(match suffix {
+        "eq" | "e" | "z" => Cond::Eq,
+        "ne" | "nz" => Cond::Ne,
+        "lt" | "l" => Cond::Lt,
+        "le" => Cond::Le,
+        "gt" | "g" => Cond::Gt,
+        "ge" => Cond::Ge,
+        "b" => Cond::B,
+        "be" => Cond::Be,
+        "a" => Cond::A,
+        "ae" => Cond::Ae,
+        _ => return None,
+    })
+}
+
+fn alu_from_mnemonic(m: &str) -> Option<AluOp> {
+    Some(match m {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "mul" => AluOp::Mul,
+        "udiv" => AluOp::Udiv,
+        _ => return None,
+    })
+}
+
+fn shift_from_mnemonic(m: &str) -> Option<ShiftOp> {
+    Some(match m {
+        "shl" => ShiftOp::Shl,
+        "shr" => ShiftOp::Shr,
+        "sar" => ShiftOp::Sar,
+        _ => return None,
+    })
+}
+
+fn fit_i32(cursor: &Cursor<'_>, v: i64) -> Result<i32, AsmError> {
+    i32::try_from(v).map_err(|_| cursor.error(AsmErrorKind::ImmediateOverflow(v)))
+}
+
+fn parse_instruction(mnemonic: &str, cursor: &mut Cursor<'_>) -> Result<Statement, AsmError> {
+    // Fixed mnemonics first.
+    match mnemonic {
+        "nop" => return Ok(Statement::Instr(Instr::Nop)),
+        "halt" => return Ok(Statement::Instr(Instr::Halt)),
+        "ret" => return Ok(Statement::Instr(Instr::Ret)),
+        "pushf" => return Ok(Statement::Instr(Instr::PushF)),
+        "popf" => return Ok(Statement::Instr(Instr::PopF)),
+        "mov" => {
+            let rd = cursor.reg()?;
+            cursor.comma()?;
+            return match cursor.peek() {
+                Some(Token::Ident(name)) if name.parse::<Reg>().is_ok() => {
+                    let rs = cursor.reg()?;
+                    Ok(Statement::Instr(Instr::MovRR { rd, rs }))
+                }
+                Some(Token::Ident(_)) => match cursor.expr()? {
+                    Expr::Sym { name, addend } => Ok(Statement::MovSym { rd, name, addend }),
+                    Expr::Int(_) => unreachable!("ident peeked"),
+                },
+                _ => {
+                    let imm = cursor.int()? as u64;
+                    Ok(Statement::Instr(Instr::MovRI { rd, imm }))
+                }
+            };
+        }
+        "not" => {
+            let rd = cursor.reg()?;
+            return Ok(Statement::Instr(Instr::Not { rd }));
+        }
+        "neg" => {
+            let rd = cursor.reg()?;
+            return Ok(Statement::Instr(Instr::Neg { rd }));
+        }
+        "cmp" => {
+            let rs1 = cursor.reg()?;
+            cursor.comma()?;
+            return match cursor.peek() {
+                Some(Token::LBracket) => {
+                    let m = cursor.mem()?;
+                    Ok(Statement::Instr(Instr::CmpRM { rs1, base: m.base, disp: m.disp }))
+                }
+                Some(Token::Ident(_)) => {
+                    let rs2 = cursor.reg()?;
+                    Ok(Statement::Instr(Instr::CmpRR { rs1, rs2 }))
+                }
+                _ => {
+                    let v = cursor.int()?;
+                    let imm = fit_i32(cursor, v)?;
+                    Ok(Statement::Instr(Instr::CmpRI { rs1, imm }))
+                }
+            };
+        }
+        "test" => {
+            let rs1 = cursor.reg()?;
+            cursor.comma()?;
+            let rs2 = cursor.reg()?;
+            return Ok(Statement::Instr(Instr::TestRR { rs1, rs2 }));
+        }
+        "load" | "loadb" | "lea" => {
+            let rd = cursor.reg()?;
+            cursor.comma()?;
+            let m = cursor.mem()?;
+            let insn = match mnemonic {
+                "load" => Instr::Load { rd, base: m.base, disp: m.disp },
+                "loadb" => Instr::LoadB { rd, base: m.base, disp: m.disp },
+                _ => Instr::Lea { rd, base: m.base, disp: m.disp },
+            };
+            return Ok(Statement::Instr(insn));
+        }
+        "store" | "storeb" => {
+            let m = cursor.mem()?;
+            cursor.comma()?;
+            let rs = cursor.reg()?;
+            let insn = if mnemonic == "store" {
+                Instr::Store { base: m.base, disp: m.disp, rs }
+            } else {
+                Instr::StoreB { base: m.base, disp: m.disp, rs }
+            };
+            return Ok(Statement::Instr(insn));
+        }
+        "push" => {
+            let rs = cursor.reg()?;
+            return Ok(Statement::Instr(Instr::Push { rs }));
+        }
+        "pop" => {
+            let rd = cursor.reg()?;
+            return Ok(Statement::Instr(Instr::Pop { rd }));
+        }
+        "jmp" | "call" => {
+            let target = cursor.expr()?;
+            return Ok(Statement::Branch { cond: None, is_call: mnemonic == "call", target });
+        }
+        "callr" => {
+            let rs = cursor.reg()?;
+            return Ok(Statement::Instr(Instr::CallR { rs }));
+        }
+        "jmpr" => {
+            let rs = cursor.reg()?;
+            return Ok(Statement::Instr(Instr::JmpR { rs }));
+        }
+        "svc" => {
+            let v = cursor.int()?;
+            let num = u8::try_from(v).map_err(|_| cursor.error(AsmErrorKind::ImmediateOverflow(v)))?;
+            return Ok(Statement::Instr(Instr::Svc { num }));
+        }
+        _ => {}
+    }
+
+    if let Some(op) = alu_from_mnemonic(mnemonic) {
+        let rd = cursor.reg()?;
+        cursor.comma()?;
+        return match cursor.peek() {
+            Some(Token::Ident(_)) => {
+                let rs = cursor.reg()?;
+                Ok(Statement::Instr(Instr::AluRR { op, rd, rs }))
+            }
+            _ => {
+                let v = cursor.int()?;
+                    let imm = fit_i32(cursor, v)?;
+                Ok(Statement::Instr(Instr::AluRI { op, rd, imm }))
+            }
+        };
+    }
+
+    if let Some(op) = shift_from_mnemonic(mnemonic) {
+        let rd = cursor.reg()?;
+        cursor.comma()?;
+        let v = cursor.int()?;
+        let amt = u8::try_from(v).map_err(|_| cursor.error(AsmErrorKind::ImmediateOverflow(v)))?;
+        return Ok(Statement::Instr(Instr::ShiftRI { op, rd, amt }));
+    }
+
+    if let Some(suffix) = mnemonic.strip_prefix('j') {
+        if let Some(cc) = cond_from_suffix(suffix) {
+            let target = cursor.expr()?;
+            return Ok(Statement::Branch { cond: Some(cc), is_call: false, target });
+        }
+    }
+
+    if let Some(suffix) = mnemonic.strip_prefix("set") {
+        if let Some(cc) = cond_from_suffix(suffix) {
+            let rd = cursor.reg()?;
+            return Ok(Statement::Instr(Instr::SetCc { rd, cc }));
+        }
+    }
+
+    Err(cursor.error(AsmErrorKind::UnknownMnemonic(mnemonic.to_owned())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(src: &str) -> Statement {
+        let items = parse(src).unwrap();
+        assert_eq!(items.len(), 1, "{items:?}");
+        items[0].stmt.clone()
+    }
+
+    #[test]
+    fn parses_moves() {
+        assert_eq!(
+            one("mov r1, r2"),
+            Statement::Instr(Instr::MovRR { rd: Reg::R1, rs: Reg::R2 })
+        );
+        assert_eq!(
+            one("mov r1, -1"),
+            Statement::Instr(Instr::MovRI { rd: Reg::R1, imm: u64::MAX })
+        );
+        assert_eq!(
+            one("mov r1, buffer+8"),
+            Statement::MovSym { rd: Reg::R1, name: "buffer".into(), addend: 8 }
+        );
+    }
+
+    #[test]
+    fn parses_memory_forms() {
+        assert_eq!(
+            one("load r1, [sp+16]"),
+            Statement::Instr(Instr::Load { rd: Reg::R1, base: Reg::SP, disp: 16 })
+        );
+        assert_eq!(
+            one("store [r2-8], r3"),
+            Statement::Instr(Instr::Store { base: Reg::R2, disp: -8, rs: Reg::R3 })
+        );
+        assert_eq!(
+            one("cmp r1, [r2+4]"),
+            Statement::Instr(Instr::CmpRM { rs1: Reg::R1, base: Reg::R2, disp: 4 })
+        );
+    }
+
+    #[test]
+    fn parses_branches_with_aliases() {
+        assert_eq!(
+            one("je happy"),
+            Statement::Branch {
+                cond: Some(Cond::Eq),
+                is_call: false,
+                target: Expr::Sym { name: "happy".into(), addend: 0 }
+            }
+        );
+        assert_eq!(
+            one("jnz .loop"),
+            Statement::Branch {
+                cond: Some(Cond::Ne),
+                is_call: false,
+                target: Expr::Sym { name: ".loop".into(), addend: 0 }
+            }
+        );
+        assert_eq!(
+            one("call fault_handler"),
+            Statement::Branch {
+                cond: None,
+                is_call: true,
+                target: Expr::Sym { name: "fault_handler".into(), addend: 0 }
+            }
+        );
+    }
+
+    #[test]
+    fn parses_labels_and_sections() {
+        let items = parse("main:\n    .data\nx: y: .quad 1, main\n").unwrap();
+        let stmts: Vec<_> = items.into_iter().map(|i| i.stmt).collect();
+        assert_eq!(
+            stmts,
+            vec![
+                Statement::Label("main".into()),
+                Statement::Section(SectionKind::Data),
+                Statement::Label("x".into()),
+                Statement::Label("y".into()),
+                Statement::Quads(vec![
+                    Expr::Int(1),
+                    Expr::Sym { name: "main".into(), addend: 0 }
+                ]),
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_setcc() {
+        assert_eq!(
+            one("setl r6"),
+            Statement::Instr(Instr::SetCc { rd: Reg::R6, cc: Cond::Lt })
+        );
+    }
+
+    #[test]
+    fn rejects_unknowns_with_line_numbers() {
+        let err = parse("nop\nfrobnicate r1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.kind, AsmErrorKind::UnknownMnemonic(_)));
+
+        let err = parse("    .sektion\n").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::UnknownDirective(_)));
+    }
+
+    #[test]
+    fn rejects_bad_operands() {
+        for bad in [
+            "mov r1",
+            "mov 5, r1",
+            "load r1, r2",
+            "store r1, [r2]",
+            "cmp r1, 0x1_0000_0000_0",
+            "svc 300",
+            "shl r1, 256",
+            "jmp",
+            "add r1, r2, r3",
+        ] {
+            assert!(parse(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn align_must_be_power_of_two() {
+        assert!(parse(".align 8").is_ok());
+        assert!(parse(".align 3").is_err());
+        assert!(parse(".align 0").is_err());
+    }
+
+    #[test]
+    fn byte_accepts_signed_and_unsigned() {
+        assert_eq!(one(".byte 255, -1, 0"), Statement::Bytes(vec![255, 255, 0]));
+        assert!(parse(".byte 256").is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! Fault-campaign throughput: serial vs parallel evaluation, and per
+//! fault model (the faulter is the inner loop of the whole methodology).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rr_fault::{Campaign, CampaignConfig, FaultModel, FlagFlip, InstructionSkip, SingleBitFlip};
+
+fn bench_campaigns(c: &mut Criterion) {
+    let w = rr_workloads::pincheck();
+    let exe = w.build().expect("pincheck builds");
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(20);
+
+    let models: [(&str, &dyn FaultModel); 3] =
+        [("skip", &InstructionSkip), ("bitflip", &SingleBitFlip), ("flagflip", &FlagFlip)];
+
+    for (name, model) in models {
+        let campaign = Campaign::new(&exe, &w.good_input, &w.bad_input).expect("campaign");
+        let total = campaign.run(model).results.len() as u64;
+        group.throughput(Throughput::Elements(total));
+        group.bench_with_input(BenchmarkId::new("serial", name), &(), |b, ()| {
+            b.iter(|| campaign.run(model).results.len())
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", name), &(), |b, ()| {
+            b.iter(|| campaign.run_parallel(model).results.len())
+        });
+    }
+
+    // Campaign setup (golden runs + trace + site decoding).
+    group.bench_function("setup", |b| {
+        b.iter(|| {
+            Campaign::with_config(&exe, &w.good_input, &w.bad_input, CampaignConfig::default())
+                .expect("setup")
+                .sites()
+                .len()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaigns);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Emulator throughput: instructions per second on compute- and
+//! I/O-heavy programs (the substrate cost every campaign pays).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rr_emu::{execute, Machine};
+
+fn bench_emulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emulator");
+
+    // Tight arithmetic loop: 10k iterations × 5 instructions.
+    let loop_exe = rr_asm::assemble_and_link(
+        "    .global _start\n\
+         _start:\n\
+             mov r1, 10000\n\
+             mov r2, 0\n\
+         .loop:\n\
+             add r2, 3\n\
+             xor r2, r1\n\
+             sub r1, 1\n\
+             cmp r1, 0\n\
+             jne .loop\n\
+             mov r1, 0\n\
+             svc 0\n",
+    )
+    .expect("loop program builds");
+    let steps = execute(&loop_exe, &[], 10_000_000).steps;
+    group.throughput(Throughput::Elements(steps));
+    group.bench_function("arith_loop_50k_steps", |b| {
+        b.iter(|| {
+            let run = execute(&loop_exe, &[], 10_000_000);
+            assert!(run.outcome.is_exit());
+            run.steps
+        })
+    });
+
+    // The bootloader hash (fnv-1a over 32 bytes) with I/O.
+    let w = rr_workloads::bootloader();
+    let exe = w.build().expect("bootloader builds");
+    let steps = execute(&exe, &w.good_input, 1_000_000).steps;
+    group.throughput(Throughput::Elements(steps));
+    group.bench_function("bootloader_hash", |b| {
+        b.iter(|| execute(&exe, &w.good_input, 1_000_000).steps)
+    });
+
+    // Machine construction cost (memory image build).
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("machine_setup", |b| b.iter(|| Machine::new(&exe, &w.good_input)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_emulator);
+criterion_main!(benches);

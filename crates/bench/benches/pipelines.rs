@@ -1,0 +1,65 @@
+//! End-to-end pipeline costs: lift, optimize, harden, lower, and the two
+//! complete hardening approaches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rr_core::{harden_hybrid, FaulterPatcher, HardenConfig, HybridConfig};
+use rr_fault::InstructionSkip;
+use rr_harden::BranchHardening;
+use rr_ir::passes::{DeadCodeElimination, PromoteCells};
+use rr_ir::{Pass, PassManager};
+
+fn bench_pipelines(c: &mut Criterion) {
+    let w = rr_workloads::pincheck();
+    let exe = w.build().expect("pincheck builds");
+    let mut group = c.benchmark_group("pipelines");
+    group.sample_size(10);
+
+    group.bench_function("lift", |b| {
+        b.iter(|| rr_lift::lift(&exe).expect("lifts").module.placed_op_count())
+    });
+
+    let lifted = rr_lift::lift(&exe).expect("lifts");
+    group.bench_function("optimize_passes", |b| {
+        b.iter(|| {
+            let mut module = lifted.module.clone();
+            let mut pm = PassManager::new().without_verification();
+            pm.add(PromoteCells);
+            pm.add(DeadCodeElimination);
+            pm.run(&mut module).expect("passes run");
+            module.placed_op_count()
+        })
+    });
+
+    group.bench_function("branch_hardening_pass", |b| {
+        b.iter(|| {
+            let mut module = lifted.module.clone();
+            BranchHardening::default().run(&mut module);
+            module.placed_op_count()
+        })
+    });
+
+    group.bench_function("lower", |b| {
+        b.iter(|| rr_lower::compile(&lifted).expect("lowers").code_size())
+    });
+
+    group.bench_function("hybrid_pipeline_full", |b| {
+        b.iter(|| {
+            harden_hybrid(&exe, &HybridConfig::default()).expect("pipeline").hardened.code_size()
+        })
+    });
+
+    group.bench_function("faulter_patcher_loop", |b| {
+        b.iter(|| {
+            FaulterPatcher::new(HardenConfig::default())
+                .harden(&exe, &w.good_input, &w.bad_input, &InstructionSkip)
+                .expect("loop runs")
+                .hardened
+                .code_size()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipelines);
+criterion_main!(benches);

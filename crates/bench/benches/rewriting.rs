@@ -1,0 +1,58 @@
+//! Rewriting-toolchain costs: assembly, disassembly (both symbolization
+//! policies), the reassembleable round trip, and patching.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rr_disasm::{disassemble_with, SymbolizationPolicy};
+use rr_patch::apply_patterns;
+use std::collections::BTreeSet;
+
+fn bench_rewriting(c: &mut Criterion) {
+    let w = rr_workloads::bootloader();
+    let source = w.source.clone();
+    let exe = w.build().expect("bootloader builds");
+    let mut group = c.benchmark_group("rewriting");
+
+    group.bench_function("assemble_and_link", |b| {
+        b.iter(|| rr_asm::assemble_and_link(&source).expect("builds").code_size())
+    });
+
+    group.bench_function("disassemble_naive", |b| {
+        b.iter(|| {
+            disassemble_with(&exe, SymbolizationPolicy::Naive)
+                .expect("disassembles")
+                .listing
+                .instr_count()
+        })
+    });
+
+    group.bench_function("disassemble_refined", |b| {
+        b.iter(|| {
+            disassemble_with(&exe, SymbolizationPolicy::DataAccessRefined)
+                .expect("disassembles")
+                .listing
+                .instr_count()
+        })
+    });
+
+    group.bench_function("roundtrip", |b| {
+        b.iter(|| {
+            let listing = rr_disasm::disassemble(&exe).expect("disassembles").listing;
+            rr_asm::assemble_and_link(&listing.to_source()).expect("reassembles").code_size()
+        })
+    });
+
+    // Patch every instruction (upper bound on patcher work).
+    group.bench_function("patch_holistic", |b| {
+        b.iter(|| {
+            let mut listing = rr_disasm::disassemble(&exe).expect("disassembles").listing;
+            let all: BTreeSet<u64> = listing.original_code().map(|(_, a, _)| a).collect();
+            let stats = apply_patterns(&mut listing, &all);
+            stats.patched.len()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_rewriting);
+criterion_main!(benches);

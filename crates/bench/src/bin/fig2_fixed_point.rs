@@ -1,0 +1,42 @@
+//! Demonstrates the paper's Fig. 2 loop: faulter → patcher → reassemble,
+//! iterated to a fixed point, on every workload.
+
+use rr_bench::rule;
+use rr_core::experiments::fig2_loop;
+use rr_fault::InstructionSkip;
+
+fn main() {
+    println!("Fig. 2 — Faulter+Patcher loop convergence (instruction-skip model)");
+    for w in rr_workloads::all_workloads() {
+        let outcome = match fig2_loop(&w, &InstructionSkip) {
+            Ok(o) => o,
+            Err(e) => {
+                println!("{}: failed: {e}", w.name);
+                continue;
+            }
+        };
+        rule(72);
+        println!(
+            "{}: fixed point = {}, residual vulnerabilities = {}",
+            w.name, outcome.fixed_point, outcome.residual_vulnerabilities
+        );
+        println!("    original code size: {} bytes", outcome.original_code_size);
+        for it in &outcome.iterations {
+            println!(
+                "    iteration {}: {} successful faults at {} sites, {} patched, {} skipped → {} bytes",
+                it.iteration,
+                it.vulnerabilities,
+                it.vulnerable_sites,
+                it.stats.patched.len(),
+                it.stats.skipped.len(),
+                it.code_size,
+            );
+        }
+        println!(
+            "    final: {} bytes ({:+.2}%)",
+            outcome.hardened.code_size(),
+            outcome.overhead_percent()
+        );
+    }
+    rule(72);
+}

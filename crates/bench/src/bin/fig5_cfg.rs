@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figs. 4 and 5: the CFG of a conditional branch
+//! before and after the conditional-branch-hardening pass, as RRIR text.
+
+fn main() {
+    let (before, after) = rr_core::experiments::fig5_cfg();
+    println!("=== Fig. 4 — original conditional branch ===");
+    println!("{before}");
+    println!("=== Fig. 5 — hardened (dual checksum, nested validation, fault response) ===");
+    println!("{after}");
+}

@@ -1,0 +1,30 @@
+//! Regenerates the paper's Table IV: qualitative instruction-count
+//! overhead of hardening one conditional branch, at the IR and machine
+//! level.
+
+use rr_bench::rule;
+use rr_core::experiments::{table4, MnemonicCounts, Table4};
+
+fn print_counts(title: &str, counts: &MnemonicCounts) {
+    println!("{title} (total {}):", Table4::total(counts));
+    for (mnemonic, count) in counts {
+        println!("    {count:>3} {mnemonic}");
+    }
+}
+
+fn main() {
+    let t4 = table4().expect("table 4 computes");
+    println!("Table IV — qualitative overhead of conditional branch hardening");
+    rule(64);
+    print_counts("RRIR, before protection", &t4.ir_before);
+    print_counts("RRIR, after protection", &t4.ir_after);
+    rule(64);
+    print_counts("RRVM machine code, before protection", &t4.machine_before);
+    print_counts("RRVM machine code, after protection", &t4.machine_after);
+    rule(64);
+    println!(
+        "IR growth: {}x    machine growth: {}x",
+        Table4::total(&t4.ir_after) / Table4::total(&t4.ir_before).max(1),
+        Table4::total(&t4.machine_after) / Table4::total(&t4.machine_before).max(1),
+    );
+}

@@ -1,0 +1,14 @@
+//! Regenerates the paper's Tables I–III: the local protection patterns
+//! for `mov`, `cmp`, and `j<cond>`, translated to RRVM.
+
+fn main() {
+    let examples = rr_core::experiments::local_pattern_examples().expect("patterns generate");
+    for e in &examples {
+        println!("=== {} — local protection pattern ===", e.table);
+        println!("Original:");
+        println!("    {}", e.original);
+        println!("Protected:");
+        println!("{}", e.protected);
+        println!();
+    }
+}

@@ -1,0 +1,1 @@
+fn main() { std::process::exit(rr_cli::run(std::env::args().skip(1).collect())); }

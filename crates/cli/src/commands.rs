@@ -1,0 +1,274 @@
+//! Implementations of the `rr` subcommands. Each returns the text to
+//! print on success.
+
+use crate::Args;
+use rr_fault::{Campaign, FaultModel, FlagFlip, InstructionSkip, SingleBitFlip};
+use rr_obj::Executable;
+use std::fmt::Write as _;
+use std::fs;
+
+fn load_exe(path: &str) -> Result<Executable, String> {
+    let bytes = fs::read(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    Executable::from_bytes(&bytes).map_err(|e| format!("`{path}` is not a valid executable: {e}"))
+}
+
+fn save_exe(exe: &Executable, path: &str) -> Result<(), String> {
+    fs::write(path, exe.to_bytes()).map_err(|e| format!("cannot write `{path}`: {e}"))
+}
+
+fn model_by_name(name: &str) -> Result<Box<dyn FaultModel>, String> {
+    match name {
+        "skip" => Ok(Box::new(InstructionSkip)),
+        "bitflip" => Ok(Box::new(SingleBitFlip)),
+        "flagflip" => Ok(Box::new(FlagFlip)),
+        other => Err(format!("unknown fault model `{other}` (skip|bitflip|flagflip)")),
+    }
+}
+
+/// `rr asm <input.s> [-o out.rfx]`
+pub fn asm(raw: &[String]) -> Result<String, String> {
+    let args = Args::parse(raw, &["o"])?;
+    let input = args.positional(0, "input assembly file")?;
+    let source =
+        fs::read_to_string(input).map_err(|e| format!("cannot read `{input}`: {e}"))?;
+    let exe = rr_asm::assemble_and_link(&source).map_err(|e| e.to_string())?;
+    let out_path = args.value("o").map(str::to_owned).unwrap_or_else(|| {
+        format!("{}.rfx", input.trim_end_matches(".s"))
+    });
+    save_exe(&exe, &out_path)?;
+    Ok(format!(
+        "assembled `{input}` → `{out_path}` ({} bytes of code, entry {:#x})\n",
+        exe.code_size(),
+        exe.entry
+    ))
+}
+
+/// `rr run <prog.rfx> [--input BYTES] [--max-steps N]`
+pub fn run(raw: &[String]) -> Result<String, String> {
+    let args = Args::parse(raw, &["input", "max-steps"])?;
+    let exe = load_exe(args.positional(0, "program")?)?;
+    let input = args.value("input").unwrap_or("").as_bytes().to_vec();
+    let max_steps: u64 = match args.value("max-steps") {
+        Some(n) => n.parse().map_err(|_| format!("invalid --max-steps `{n}`"))?,
+        None => 10_000_000,
+    };
+    let result = rr_emu::execute(&exe, &input, max_steps);
+    let mut out = String::new();
+    if !result.output.is_empty() {
+        let _ = writeln!(out, "{}", String::from_utf8_lossy(&result.output).trim_end());
+    }
+    let _ = writeln!(out, "[{} after {} steps]", result.outcome, result.steps);
+    Ok(out)
+}
+
+/// `rr disasm <prog.rfx> [--policy naive|refined]`
+pub fn disasm(raw: &[String]) -> Result<String, String> {
+    let args = Args::parse(raw, &["policy"])?;
+    let exe = load_exe(args.positional(0, "program")?)?;
+    let policy = match args.value("policy").unwrap_or("refined") {
+        "naive" => rr_disasm::SymbolizationPolicy::Naive,
+        "refined" => rr_disasm::SymbolizationPolicy::DataAccessRefined,
+        other => return Err(format!("unknown policy `{other}` (naive|refined)")),
+    };
+    let disasm = rr_disasm::disassemble_with(&exe, policy).map_err(|e| e.to_string())?;
+    Ok(disasm.listing.to_source())
+}
+
+/// `rr fault <prog.rfx> --good BYTES --bad BYTES [--model ...]`
+pub fn fault(raw: &[String]) -> Result<String, String> {
+    let args = Args::parse(raw, &["good", "bad", "model"])?;
+    let exe = load_exe(args.positional(0, "program")?)?;
+    let good = args.required("good")?.as_bytes().to_vec();
+    let bad = args.required("bad")?.as_bytes().to_vec();
+    let model = model_by_name(args.value("model").unwrap_or("skip"))?;
+    let campaign = Campaign::new(&exe, &good, &bad).map_err(|e| e.to_string())?;
+    let report = campaign.run_parallel(model.as_ref());
+    let mut out = String::new();
+    let _ = writeln!(out, "model `{}`: {}", report.model, report.summary());
+    let pcs = report.vulnerable_pcs();
+    if pcs.is_empty() {
+        let _ = writeln!(out, "no vulnerable program points.");
+    } else {
+        let _ = writeln!(out, "vulnerable program points:");
+        for pc in pcs {
+            let site = campaign
+                .sites()
+                .iter()
+                .find(|s| s.pc == pc)
+                .expect("vulnerable pc has a site");
+            let _ = writeln!(out, "    {pc:#06x}: {}", site.insn);
+        }
+    }
+    Ok(out)
+}
+
+/// `rr harden <prog.rfx> --good BYTES --bad BYTES [--model ...] [-o out]`
+pub fn harden(raw: &[String]) -> Result<String, String> {
+    let args = Args::parse(raw, &["good", "bad", "model", "o", "max-iterations"])?;
+    let path = args.positional(0, "program")?;
+    let exe = load_exe(path)?;
+    let good = args.required("good")?.as_bytes().to_vec();
+    let bad = args.required("bad")?.as_bytes().to_vec();
+    let model = model_by_name(args.value("model").unwrap_or("skip"))?;
+    let mut config = rr_patch::HardenConfig::default();
+    if let Some(n) = args.value("max-iterations") {
+        config.max_iterations =
+            n.parse().map_err(|_| format!("invalid --max-iterations `{n}`"))?;
+    }
+    let outcome = rr_patch::FaulterPatcher::new(config)
+        .harden(&exe, &good, &bad, model.as_ref())
+        .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    for it in &outcome.iterations {
+        let _ = writeln!(
+            out,
+            "iteration {}: {} vulnerable site(s), {} patched, {} skipped",
+            it.iteration,
+            it.vulnerable_sites,
+            it.stats.patched.len(),
+            it.stats.skipped.len()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "fixed point: {}; residual successful faults: {}; overhead {:+.2}%",
+        outcome.fixed_point,
+        outcome.residual_vulnerabilities,
+        outcome.overhead_percent()
+    );
+    let out_path = args.value("o").map(str::to_owned).unwrap_or_else(|| format!("{path}.hardened"));
+    save_exe(&outcome.hardened, &out_path)?;
+    let _ = writeln!(out, "wrote `{out_path}`");
+    Ok(out)
+}
+
+/// `rr hybrid <prog.rfx> [-o out]`
+pub fn hybrid(raw: &[String]) -> Result<String, String> {
+    let args = Args::parse(raw, &["o", "copies"])?;
+    let path = args.positional(0, "program")?;
+    let exe = load_exe(path)?;
+    let mut config = rr_core::HybridConfig::default();
+    if let Some(n) = args.value("copies") {
+        config.checksum_copies = n.parse().map_err(|_| format!("invalid --copies `{n}`"))?;
+    }
+    let outcome = rr_core::harden_hybrid(&exe, &config).map_err(|e| e.to_string())?;
+    let out_path = args.value("o").map(str::to_owned).unwrap_or_else(|| format!("{path}.hybrid"));
+    save_exe(&outcome.hardened, &out_path)?;
+    Ok(format!(
+        "hybrid: {} branch(es) protected, IR ops {} → {}, overhead {:+.2}%\nwrote `{out_path}`\n",
+        outcome.report.protected_branches,
+        outcome.ir_ops_before,
+        outcome.ir_ops_after,
+        outcome.overhead_percent()
+    ))
+}
+
+/// `rr workload <name> [-o out.rfx] [--emit-asm]`
+pub fn workload(raw: &[String]) -> Result<String, String> {
+    let args = Args::parse(raw, &["o"])?;
+    let name = args.positional(0, "workload name")?;
+    let w = rr_workloads::all_workloads()
+        .into_iter()
+        .find(|w| w.name == name)
+        .ok_or_else(|| format!("unknown workload `{name}` (pincheck|bootloader|otp|access)"))?;
+    if args.flag("emit-asm") {
+        return Ok(w.source.clone());
+    }
+    let exe = w.build().map_err(|e| e.to_string())?;
+    let out_path = args.value("o").map(str::to_owned).unwrap_or_else(|| format!("{name}.rfx"));
+    save_exe(&exe, &out_path)?;
+    Ok(format!(
+        "wrote `{out_path}` — {}\ngood input: {:?}  bad input: {:?}\n",
+        w.description,
+        String::from_utf8_lossy(&w.good_input),
+        String::from_utf8_lossy(&w.bad_input)
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("rr-cli-tests");
+        let _ = fs::create_dir_all(&dir);
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn full_cli_workflow() {
+        // workload → run → fault → harden → fault (clean) → disasm.
+        let exe_path = tmp("pincheck.rfx");
+        let out = workload(&sv(&["pincheck", "-o", &exe_path])).unwrap();
+        assert!(out.contains("pincheck.rfx"));
+
+        let out = run(&sv(&[&exe_path, "--input", "7391"])).unwrap();
+        assert!(out.contains("ACCESS GRANTED"), "{out}");
+        let out = run(&sv(&[&exe_path, "--input", "0000"])).unwrap();
+        assert!(out.contains("ACCESS DENIED"), "{out}");
+
+        let out = fault(&sv(&[&exe_path, "--good", "7391", "--bad", "7291"])).unwrap();
+        assert!(out.contains("vulnerable program points:"), "{out}");
+
+        let hardened_path = tmp("pincheck.hardened.rfx");
+        let out = harden(&sv(&[
+            &exe_path, "--good", "7391", "--bad", "7291", "-o", &hardened_path,
+        ]))
+        .unwrap();
+        assert!(out.contains("fixed point: true"), "{out}");
+
+        let out = fault(&sv(&[&hardened_path, "--good", "7391", "--bad", "7291"])).unwrap();
+        assert!(out.contains("no vulnerable program points"), "{out}");
+
+        let out = disasm(&sv(&[&hardened_path])).unwrap();
+        assert!(out.contains("__rr_faulthandler"), "{out}");
+    }
+
+    #[test]
+    fn asm_and_run_round_trip() {
+        let src_path = tmp("hello.s");
+        fs::write(
+            &src_path,
+            "    .global _start\n_start:\n    mov r1, 'H'\n    svc 1\n    mov r1, 0\n    svc 0\n",
+        )
+        .unwrap();
+        let exe_path = tmp("hello.rfx");
+        asm(&sv(&[&src_path, "-o", &exe_path])).unwrap();
+        let out = run(&sv(&[&exe_path])).unwrap();
+        assert!(out.starts_with('H'), "{out}");
+        assert!(out.contains("exited with code 0"), "{out}");
+    }
+
+    #[test]
+    fn workload_emit_asm() {
+        let out = workload(&sv(&["otp", "--emit-asm"])).unwrap();
+        assert!(out.contains("_start"));
+        assert!(out.contains("otp_secret"));
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(load_exe("/nonexistent/x.rfx").is_err());
+        assert!(model_by_name("laser").is_err());
+        assert!(workload(&sv(&["nope"])).is_err());
+        assert!(fault(&sv(&["/nonexistent"])).is_err());
+        let exe_path = tmp("w.rfx");
+        workload(&sv(&["otp", "-o", &exe_path])).unwrap();
+        // Missing --bad.
+        assert!(fault(&sv(&[&exe_path, "--good", "492816"])).is_err());
+    }
+
+    #[test]
+    fn disasm_policy_flag() {
+        let exe_path = tmp("b.rfx");
+        workload(&sv(&["bootloader", "-o", &exe_path])).unwrap();
+        let refined = disasm(&sv(&[&exe_path, "--policy", "refined"])).unwrap();
+        let naive = disasm(&sv(&[&exe_path, "--policy", "naive"])).unwrap();
+        assert!(refined.contains(".text") && naive.contains(".text"));
+        assert!(disasm(&sv(&[&exe_path, "--policy", "psychic"])).is_err());
+    }
+}

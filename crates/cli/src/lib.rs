@@ -1,0 +1,168 @@
+//! # rr-cli — the `rr` command-line tool
+//!
+//! A thin, dependency-free front end over the workspace, shaped like the
+//! toolchain a downstream user would actually drive:
+//!
+//! ```text
+//! rr asm program.s -o program.rfx          # assemble + link
+//! rr run program.rfx --input 7391          # execute on the emulator
+//! rr disasm program.rfx                    # reassembleable disassembly
+//! rr fault program.rfx --good 7391 --bad 0000 [--model bitflip]
+//! rr harden program.rfx --good 7391 --bad 0000 -o hardened.rfx
+//! rr hybrid program.rfx -o hardened.rfx    # lift → harden pass → lower
+//! rr workload pincheck -o pincheck.rfx     # emit a bundled case study
+//! ```
+//!
+//! The library exposes [`run`] so tests can drive the CLI in-process.
+
+mod commands;
+
+use std::fmt::Write as _;
+
+/// Executes the CLI with pre-split arguments, returning the process exit
+/// code (0 = success). Output goes to stdout/stderr.
+pub fn run(args: Vec<String>) -> i32 {
+    match dispatch(&args) {
+        Ok(output) => {
+            print!("{output}");
+            0
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            1
+        }
+    }
+}
+
+/// Executes the CLI and captures stdout text (test entry point).
+///
+/// # Errors
+///
+/// Returns the human-readable error message the binary would print.
+pub fn dispatch(args: &[String]) -> Result<String, String> {
+    let mut out = String::new();
+    let Some(command) = args.first() else {
+        let _ = write!(out, "{}", usage());
+        return Ok(out);
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "asm" => commands::asm(rest),
+        "run" => commands::run(rest),
+        "disasm" => commands::disasm(rest),
+        "fault" => commands::fault(rest),
+        "harden" => commands::harden(rest),
+        "hybrid" => commands::hybrid(rest),
+        "workload" => commands::workload(rest),
+        "help" | "--help" | "-h" => Ok(usage().to_owned()),
+        other => Err(format!("unknown command `{other}`; try `rr help`")),
+    }
+}
+
+/// The top-level usage text.
+pub fn usage() -> &'static str {
+    "rr — rewrite binaries to reinforce them against fault injection\n\
+     \n\
+     USAGE:\n\
+     \x20   rr asm <input.s> [-o out.rfx]\n\
+     \x20   rr run <prog.rfx> [--input BYTES] [--max-steps N]\n\
+     \x20   rr disasm <prog.rfx> [--policy naive|refined]\n\
+     \x20   rr fault <prog.rfx> --good BYTES --bad BYTES [--model skip|bitflip|flagflip]\n\
+     \x20   rr harden <prog.rfx> --good BYTES --bad BYTES [--model ...] [-o out.rfx]\n\
+     \x20   rr hybrid <prog.rfx> [-o out.rfx]\n\
+     \x20   rr workload <pincheck|bootloader|otp|access> [-o out.rfx] [--emit-asm]\n\
+     \n\
+     BYTES arguments are literal ASCII (e.g. --good 7391).\n"
+}
+
+/// Minimal option parser: positional arguments plus `--key value` /
+/// `-o value` pairs and boolean `--flag`s.
+pub(crate) struct Args {
+    positional: Vec<String>,
+    options: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    pub(crate) fn parse(args: &[String], value_flags: &[&str]) -> Result<Args, String> {
+        let mut positional = Vec::new();
+        let mut options = Vec::new();
+        let mut iter = args.iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix('-').map(|a| a.trim_start_matches('-')) {
+                if value_flags.contains(&name) {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| format!("option `{arg}` needs a value"))?
+                        .clone();
+                    options.push((name.to_owned(), Some(value)));
+                } else {
+                    options.push((name.to_owned(), None));
+                }
+            } else {
+                positional.push(arg.clone());
+            }
+        }
+        Ok(Args { positional, options })
+    }
+
+    pub(crate) fn positional(&self, index: usize, what: &str) -> Result<&str, String> {
+        self.positional
+            .get(index)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing {what}"))
+    }
+
+    pub(crate) fn value(&self, name: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    pub(crate) fn required(&self, name: &str) -> Result<&str, String> {
+        self.value(name).ok_or_else(|| format!("missing required option --{name}"))
+    }
+
+    pub(crate) fn flag(&self, name: &str) -> bool {
+        self.options.iter().any(|(n, v)| n == name && v.is_none())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        let out = dispatch(&[]).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let err = dispatch(&sv(&["frobnicate"])).unwrap_err();
+        assert!(err.contains("frobnicate"));
+    }
+
+    #[test]
+    fn arg_parser_splits_options() {
+        let args = Args::parse(&sv(&["prog.rfx", "--good", "7391", "--emit-asm", "-o", "x"]), &["good", "o"]).unwrap();
+        assert_eq!(args.positional(0, "program").unwrap(), "prog.rfx");
+        assert_eq!(args.value("good"), Some("7391"));
+        assert_eq!(args.value("o"), Some("x"));
+        assert!(args.flag("emit-asm"));
+        assert!(!args.flag("good"));
+        assert!(args.positional(1, "x").is_err());
+        assert!(args.required("bad").is_err());
+    }
+
+    #[test]
+    fn option_missing_value_errors() {
+        assert!(Args::parse(&sv(&["--good"]), &["good"]).is_err());
+    }
+}

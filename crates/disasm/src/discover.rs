@@ -1,0 +1,305 @@
+//! Code discovery: recursive-descent instruction recovery.
+
+use rr_isa::{decode, DecodeError, Instr, MAX_INSTR_LEN};
+use rr_obj::{Executable, SymbolKind};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Why disassembly failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DisasmError {
+    /// Reachable bytes that do not decode.
+    Undecodable {
+        /// Address of the bad bytes.
+        addr: u64,
+        /// The decoder's complaint.
+        cause: DecodeError,
+    },
+    /// A control-flow edge targets the middle of an already-decoded
+    /// instruction (overlapping code).
+    MisalignedTarget {
+        /// The offending target address.
+        addr: u64,
+    },
+    /// A direct branch/call leaves the text section.
+    TargetOutsideText {
+        /// The offending target address.
+        addr: u64,
+    },
+}
+
+impl fmt::Display for DisasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DisasmError::Undecodable { addr, cause } => {
+                write!(f, "undecodable code at {addr:#x}: {cause}")
+            }
+            DisasmError::MisalignedTarget { addr } => {
+                write!(f, "branch target {addr:#x} is inside another instruction")
+            }
+            DisasmError::TargetOutsideText { addr } => {
+                write!(f, "branch target {addr:#x} is outside .text")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DisasmError {}
+
+/// The recovered instruction map of an executable's text section.
+#[derive(Debug, Clone, Default)]
+pub struct CodeMap {
+    /// Every recovered instruction: address → (instruction, length).
+    pub instrs: BTreeMap<u64, (Instr, usize)>,
+    /// Addresses that are targets of direct branches (`jmp`/`j<cc>`).
+    pub branch_targets: BTreeSet<u64>,
+    /// Addresses that are function entries (program entry, call targets,
+    /// retained `Func` symbols).
+    pub function_entries: BTreeSet<u64>,
+    /// Byte ranges inside `.text` never reached by discovery (padding or
+    /// data-in-code); preserved verbatim on re-emission.
+    pub gaps: Vec<(u64, u64)>,
+}
+
+impl CodeMap {
+    /// Whether `addr` is the start of a recovered instruction.
+    pub fn is_instr_start(&self, addr: u64) -> bool {
+        self.instrs.contains_key(&addr)
+    }
+
+    /// The recovered instruction at exactly `addr`.
+    pub fn instr_at(&self, addr: u64) -> Option<&(Instr, usize)> {
+        self.instrs.get(&addr)
+    }
+
+    /// The resolved absolute target of a direct branch/call at `addr`.
+    pub fn direct_target(&self, addr: u64) -> Option<u64> {
+        let (insn, len) = self.instrs.get(&addr)?;
+        let rel = insn.rel_target()?;
+        Some((addr + *len as u64).wrapping_add(rel as i64 as u64))
+    }
+}
+
+/// Recovers the instruction map of `exe` by recursive descent from the
+/// entry point and all retained `Func` symbols.
+///
+/// # Errors
+///
+/// See [`DisasmError`]. Discovery is *sound but conservative*: it refuses
+/// binaries with overlapping instructions rather than guessing.
+pub fn discover(exe: &Executable) -> Result<CodeMap, DisasmError> {
+    let text = exe.text_range();
+    let mut map = CodeMap::default();
+    let mut worklist: Vec<u64> = Vec::new();
+    let mut covered: BTreeMap<u64, u64> = BTreeMap::new(); // start -> end, for overlap checks
+
+    map.function_entries.insert(exe.entry);
+    worklist.push(exe.entry);
+    for sym in &exe.symbols {
+        if sym.kind == SymbolKind::Func && text.contains(&sym.addr) {
+            map.function_entries.insert(sym.addr);
+            worklist.push(sym.addr);
+        }
+    }
+
+    while let Some(start) = worklist.pop() {
+        if !text.contains(&start) {
+            return Err(DisasmError::TargetOutsideText { addr: start });
+        }
+        let mut pc = start;
+        loop {
+            if let Some((_, len)) = map.instrs.get(&pc) {
+                let _ = len;
+                break; // already decoded from here on
+            }
+            // Overlap check: pc must not fall strictly inside a decoded range.
+            if let Some((&prev_start, &prev_end)) = covered.range(..=pc).next_back() {
+                if pc > prev_start && pc < prev_end {
+                    return Err(DisasmError::MisalignedTarget { addr: pc });
+                }
+            }
+            let available = (text.end - pc).min(MAX_INSTR_LEN as u64) as usize;
+            let bytes = exe
+                .read_bytes(pc, available)
+                .ok_or(DisasmError::Undecodable { addr: pc, cause: DecodeError::Empty })?;
+            let (insn, len) = decode(bytes)
+                .map_err(|cause| DisasmError::Undecodable { addr: pc, cause })?;
+            map.instrs.insert(pc, (insn, len));
+            covered.insert(pc, pc + len as u64);
+            let next = pc + len as u64;
+
+            if let Some(rel) = insn.rel_target() {
+                let target = next.wrapping_add(rel as i64 as u64);
+                if !text.contains(&target) {
+                    return Err(DisasmError::TargetOutsideText { addr: target });
+                }
+                if matches!(insn, Instr::Call { .. }) {
+                    map.function_entries.insert(target);
+                } else {
+                    map.branch_targets.insert(target);
+                }
+                worklist.push(target);
+            }
+
+            // Conditional jumps fall through, so linear scanning continues;
+            // only unconditional control transfers end the scan.
+            if insn.is_block_terminator() && !matches!(insn, Instr::Jcc { .. }) {
+                break;
+            }
+            if next >= text.end {
+                break;
+            }
+            pc = next;
+        }
+    }
+
+    // Validate that every branch target / entry is an instruction start.
+    for &target in map.branch_targets.iter().chain(map.function_entries.iter()) {
+        if !map.is_instr_start(target) {
+            return Err(DisasmError::MisalignedTarget { addr: target });
+        }
+    }
+
+    // Compute gaps (unreached byte ranges) for verbatim preservation.
+    let mut cursor = text.start;
+    for (&addr, &(_, len)) in &map.instrs {
+        if addr > cursor {
+            map.gaps.push((cursor, addr));
+        }
+        cursor = cursor.max(addr + len as u64);
+    }
+    if cursor < text.end {
+        map.gaps.push((cursor, text.end));
+    }
+
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_asm::assemble_and_link;
+
+    #[test]
+    fn discovers_straight_line_code() {
+        let exe = assemble_and_link(
+            "    .global _start\n_start:\n    mov r1, 1\n    add r1, 2\n    svc 0\n",
+        )
+        .unwrap();
+        let map = discover(&exe).unwrap();
+        assert_eq!(map.instrs.len(), 3);
+        assert!(map.gaps.is_empty());
+        assert!(map.function_entries.contains(&exe.entry));
+    }
+
+    #[test]
+    fn follows_branches_and_calls() {
+        let exe = assemble_and_link(
+            "    .global _start\n\
+             _start:\n\
+                 call f\n\
+                 cmp r0, 0\n\
+                 je .end\n\
+                 nop\n\
+             .end:\n\
+                 mov r1, 0\n\
+                 svc 0\n\
+             f:\n\
+                 mov r0, 0\n\
+                 ret\n",
+        )
+        .unwrap();
+        let map = discover(&exe).unwrap();
+        assert_eq!(map.instrs.len(), 8);
+        assert_eq!(map.function_entries.len(), 2); // _start and f
+        assert_eq!(map.branch_targets.len(), 1); // .end
+    }
+
+    #[test]
+    fn code_after_unconditional_jump_is_reached_via_label() {
+        // The unlabelled nop after the jmp is unreachable. (A label would
+        // create a retained Func symbol and seed discovery.)
+        let exe = assemble_and_link(
+            "    .global _start\n\
+             _start:\n\
+                 jmp over\n\
+                 nop\n\
+             over:\n\
+                 mov r1, 0\n\
+                 svc 0\n",
+        )
+        .unwrap();
+        let map = discover(&exe).unwrap();
+        // The unreachable nop is a gap, preserved verbatim.
+        assert_eq!(map.gaps.len(), 1);
+        let (gap_start, gap_end) = map.gaps[0];
+        assert_eq!(gap_end - gap_start, 1); // one nop byte
+    }
+
+    #[test]
+    fn direct_target_resolution() {
+        let exe = assemble_and_link(
+            "    .global _start\n_start:\n    jmp next\nnext:\n    mov r1, 0\n    svc 0\n",
+        )
+        .unwrap();
+        let map = discover(&exe).unwrap();
+        let target = map.direct_target(exe.entry).unwrap();
+        assert_eq!(target, exe.entry + 5);
+        assert!(map.is_instr_start(target));
+    }
+
+    #[test]
+    fn rejects_branch_into_immediate() {
+        // Hand-build: jmp .+(-3) jumps into the middle of itself.
+        // jmp rel32: opcode 0x50, rel = -3 → target = pc+5-3 = pc+2 (mid-instruction).
+        let mut obj = rr_obj::ObjectFile::new("bad");
+        obj.section_mut(rr_obj::SectionKind::Text).data =
+            vec![0x50, 0xFD, 0xFF, 0xFF, 0xFF, 0x01];
+        obj.symbols.push(rr_obj::Symbol::global(
+            "_start",
+            rr_obj::SectionKind::Text,
+            0,
+            rr_obj::SymbolKind::Func,
+        ));
+        let exe = rr_obj::link(&[obj]).unwrap();
+        assert!(matches!(
+            discover(&exe),
+            Err(DisasmError::MisalignedTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_undecodable_reachable_bytes() {
+        let mut obj = rr_obj::ObjectFile::new("bad");
+        obj.section_mut(rr_obj::SectionKind::Text).data = vec![0xEE];
+        obj.symbols.push(rr_obj::Symbol::global(
+            "_start",
+            rr_obj::SectionKind::Text,
+            0,
+            rr_obj::SymbolKind::Func,
+        ));
+        let exe = rr_obj::link(&[obj]).unwrap();
+        assert!(matches!(discover(&exe), Err(DisasmError::Undecodable { .. })));
+    }
+
+    #[test]
+    fn func_symbols_seed_unreachable_functions() {
+        // `helper` is only reachable via callr (indirect), but its Func
+        // symbol seeds discovery.
+        let exe = assemble_and_link(
+            "    .global _start\n\
+             _start:\n\
+                 mov r6, helper\n\
+                 callr r6\n\
+                 svc 0\n\
+             helper:\n\
+                 mov r1, 0\n\
+                 ret\n",
+        )
+        .unwrap();
+        let map = discover(&exe).unwrap();
+        let helper_addr = exe.symbol("helper").unwrap().addr;
+        assert!(map.is_instr_start(helper_addr));
+        assert!(map.function_entries.contains(&helper_addr));
+    }
+}

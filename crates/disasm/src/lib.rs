@@ -1,0 +1,91 @@
+//! # rr-disasm — reassembleable disassembly for RRVM
+//!
+//! The Ddisasm/GTIRB stand-in of this workspace and the foundation of the
+//! paper's first rewriting scheme: recover, from a *linked* executable, a
+//! relocatable assembly [`Listing`] that can be edited (by `rr-patch`) and
+//! fed back through `rr-asm` into a working binary.
+//!
+//! The pipeline mirrors Fig. 1 of the paper:
+//!
+//! 1. **Disassembly** ([`discover`]) — recursive-descent instruction
+//!    recovery seeded from the entry point and any retained function
+//!    symbols.
+//! 2. **Structural recovery** ([`build_functions`]) — basic blocks, CFG
+//!    edges, and function partitioning.
+//! 3. **Symbolization** ([`symbolize`]) — the hard part: deciding which
+//!    immediates are *addresses* (must become labels so patched code can
+//!    move) and which are plain constants (must stay fixed). Two policies
+//!    are provided: a naïve UROBOROS-style range check, and a Ddisasm-style
+//!    refinement that also requires a *data access* through the loaded
+//!    register ([`SymbolizationPolicy`]), for the false-positive
+//!    comparison discussed in §III-C of the paper.
+//! 4. **Listing emission** ([`Listing`]) — symbolic assembly text that
+//!    `rr_asm::assemble_and_link` turns back into an executable.
+//!
+//! The round trip `disassemble → to_source → assemble_and_link` is
+//! byte-identical for binaries produced by this workspace's assembler —
+//! property-tested in `tests/roundtrip.rs`.
+//!
+//! ## Example
+//!
+//! ```
+//! use rr_disasm::disassemble;
+//! use rr_asm::assemble_and_link;
+//!
+//! let exe = assemble_and_link(
+//!     "    .global _start\n_start:\n    mov r1, 0\n    svc 0\n",
+//! )?;
+//! let disasm = disassemble(&exe)?;
+//! let rebuilt = assemble_and_link(&disasm.listing.to_source())?;
+//! assert_eq!(rebuilt.text_bytes(), exe.text_bytes());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod cfg;
+mod discover;
+mod listing;
+mod symbolize;
+
+pub use cfg::{build_functions, BasicBlock, Function};
+pub use discover::{discover, CodeMap, DisasmError};
+pub use listing::{DataLine, DataSection, Line, Listing, SymInstr};
+pub use symbolize::{symbolize, SymbolizationPolicy};
+
+use rr_obj::Executable;
+
+/// The complete result of disassembling an executable.
+#[derive(Debug, Clone)]
+pub struct Disassembly {
+    /// The reassembleable listing (code + data, fully symbolic).
+    pub listing: Listing,
+    /// Recovered functions with basic blocks and CFG edges.
+    pub functions: Vec<Function>,
+    /// The raw instruction map.
+    pub code: CodeMap,
+}
+
+/// Disassembles `exe` with the default (data-access–refined)
+/// symbolization policy.
+///
+/// # Errors
+///
+/// Returns a [`DisasmError`] if code discovery fails (undecodable reachable
+/// bytes, branch into the middle of an instruction, …).
+pub fn disassemble(exe: &Executable) -> Result<Disassembly, DisasmError> {
+    disassemble_with(exe, SymbolizationPolicy::DataAccessRefined)
+}
+
+/// Disassembles `exe` with an explicit [`SymbolizationPolicy`].
+///
+/// # Errors
+///
+/// Same as [`disassemble`].
+pub fn disassemble_with(
+    exe: &Executable,
+    policy: SymbolizationPolicy,
+) -> Result<Disassembly, DisasmError> {
+    let code = discover(exe)?;
+    let functions = build_functions(exe, &code);
+    let listing = symbolize(exe, &code, policy)?;
+    Ok(Disassembly { listing, functions, code })
+}

@@ -1,0 +1,385 @@
+//! The reassembleable listing: symbolic assembly that can be edited and
+//! rebuilt.
+
+use rr_isa::{Cond, Instr, Reg};
+use rr_obj::SectionKind;
+use std::fmt::Write as _;
+
+/// An instruction with symbolic (relocatable) operands.
+///
+/// This is the unit the patcher edits: branch targets and materialized
+/// addresses are *names*, so inserted code can move everything downstream
+/// without breaking references.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymInstr {
+    /// An instruction with no relocatable operand.
+    ///
+    /// Invariant: never a direct `jmp`/`j<cc>`/`call` — those are
+    /// [`SymInstr::Branch`] so their targets survive code motion.
+    Plain(Instr),
+    /// A direct branch or call to a labelled target.
+    Branch {
+        /// `None` for `jmp`/`call`, `Some(cc)` for `j<cc>`.
+        cond: Option<Cond>,
+        /// Whether this is a `call`.
+        is_call: bool,
+        /// Target label.
+        target: String,
+    },
+    /// `mov rd, label(+addend)` — address materialization.
+    MovSym {
+        /// Destination register.
+        rd: Reg,
+        /// Referenced label.
+        sym: String,
+        /// Constant offset.
+        addend: i64,
+    },
+}
+
+impl SymInstr {
+    /// Renders the instruction in assembler-accepted syntax.
+    pub fn render(&self) -> String {
+        match self {
+            SymInstr::Plain(insn) => {
+                debug_assert!(
+                    insn.rel_target().is_none(),
+                    "direct branches must be SymInstr::Branch, got {insn}"
+                );
+                insn.to_string()
+            }
+            SymInstr::Branch { cond, is_call, target } => match (cond, is_call) {
+                (Some(cc), _) => format!("j{cc} {target}"),
+                (None, true) => format!("call {target}"),
+                (None, false) => format!("jmp {target}"),
+            },
+            SymInstr::MovSym { rd, sym, addend } => {
+                if *addend == 0 {
+                    format!("mov {rd}, {sym}")
+                } else if *addend > 0 {
+                    format!("mov {rd}, {sym}+{addend}")
+                } else {
+                    format!("mov {rd}, {sym}-{}", -addend)
+                }
+            }
+        }
+    }
+
+    /// The underlying instruction kind where recoverable (plain and mov
+    /// forms); branches report their shape through the variant itself.
+    pub fn plain(&self) -> Option<&Instr> {
+        match self {
+            SymInstr::Plain(i) => Some(i),
+            _ => None,
+        }
+    }
+}
+
+/// One line of the recovered text section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Line {
+    /// A label definition. `global` labels get a `.global` directive.
+    Label {
+        /// Label name.
+        name: String,
+        /// Whether the label is globally visible.
+        global: bool,
+    },
+    /// An instruction.
+    Code {
+        /// Address in the *original* binary (`None` for patcher-inserted
+        /// code).
+        orig_addr: Option<u64>,
+        /// The symbolic instruction.
+        insn: SymInstr,
+    },
+    /// Verbatim bytes for discovery gaps (alignment padding,
+    /// data-in-code).
+    RawBytes {
+        /// Address in the original binary.
+        orig_addr: u64,
+        /// The bytes.
+        bytes: Vec<u8>,
+    },
+}
+
+/// One line of a recovered data section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataLine {
+    /// A label definition.
+    Label {
+        /// Label name.
+        name: String,
+        /// Whether the label is globally visible.
+        global: bool,
+    },
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+    /// A symbolized pointer-sized word.
+    QuadSym {
+        /// Referenced label.
+        sym: String,
+        /// Constant offset.
+        addend: i64,
+    },
+    /// Zero-initialized space (`.bss`, or zero runs elsewhere).
+    Space(u64),
+}
+
+/// A recovered data section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataSection {
+    /// Which section.
+    pub kind: SectionKind,
+    /// Its content in layout order.
+    pub lines: Vec<DataLine>,
+}
+
+/// A complete reassembleable program listing.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Listing {
+    /// The text section.
+    pub text: Vec<Line>,
+    /// Data sections in layout order.
+    pub data: Vec<DataSection>,
+    fresh: u64,
+}
+
+impl Listing {
+    /// Creates an empty listing.
+    pub fn new() -> Listing {
+        Listing::default()
+    }
+
+    /// Index into [`Listing::text`] of the instruction that originated at
+    /// `addr` in the original binary.
+    pub fn find_code(&self, addr: u64) -> Option<usize> {
+        self.text.iter().position(
+            |line| matches!(line, Line::Code { orig_addr: Some(a), .. } if *a == addr),
+        )
+    }
+
+    /// Replaces the line at `index` with `replacement` lines (in place,
+    /// preserving order). Used by the patcher to swap one vulnerable
+    /// instruction for a hardened sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn replace_code(&mut self, index: usize, replacement: Vec<Line>) {
+        self.text.splice(index..=index, replacement);
+    }
+
+    /// Replaces `count` consecutive lines starting at `index` with
+    /// `replacement` (used for fused multi-instruction patterns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn replace_code_range(&mut self, index: usize, count: usize, replacement: Vec<Line>) {
+        self.text.splice(index..index + count, replacement);
+    }
+
+    /// Generates a label name guaranteed not to collide with any label
+    /// currently in the listing.
+    pub fn fresh_label(&mut self, prefix: &str) -> String {
+        loop {
+            let name = format!(".{}_{}", prefix, self.fresh);
+            self.fresh += 1;
+            if !self.has_label(&name) {
+                return name;
+            }
+        }
+    }
+
+    /// Whether any text or data line defines `name`.
+    pub fn has_label(&self, name: &str) -> bool {
+        self.text
+            .iter()
+            .any(|l| matches!(l, Line::Label { name: n, .. } if n == name))
+            || self.data.iter().any(|s| {
+                s.lines
+                    .iter()
+                    .any(|l| matches!(l, DataLine::Label { name: n, .. } if n == name))
+            })
+    }
+
+    /// Appends lines at the end of the text section (e.g. an injected
+    /// fault-handler function).
+    pub fn append_text(&mut self, lines: impl IntoIterator<Item = Line>) {
+        self.text.extend(lines);
+    }
+
+    /// Iterates over `(text_index, original_address, instruction)` for all
+    /// original (non-inserted) instructions.
+    pub fn original_code(&self) -> impl Iterator<Item = (usize, u64, &SymInstr)> {
+        self.text.iter().enumerate().filter_map(|(i, line)| match line {
+            Line::Code { orig_addr: Some(addr), insn } => Some((i, *addr, insn)),
+            _ => None,
+        })
+    }
+
+    /// Renders the listing as assembly source accepted by `rr-asm`.
+    pub fn to_source(&self) -> String {
+        let mut out = String::new();
+        // Global declarations first.
+        for line in &self.text {
+            if let Line::Label { name, global: true } = line {
+                let _ = writeln!(out, "    .global {name}");
+            }
+        }
+        for section in &self.data {
+            for line in &section.lines {
+                if let DataLine::Label { name, global: true } = line {
+                    let _ = writeln!(out, "    .global {name}");
+                }
+            }
+        }
+        let _ = writeln!(out, "    .text");
+        for line in &self.text {
+            match line {
+                Line::Label { name, .. } => {
+                    let _ = writeln!(out, "{name}:");
+                }
+                Line::Code { insn, .. } => {
+                    let _ = writeln!(out, "    {}", insn.render());
+                }
+                Line::RawBytes { bytes, .. } => render_bytes(&mut out, bytes),
+            }
+        }
+        for section in &self.data {
+            let _ = writeln!(out, "    {}", section.kind.name());
+            for line in &section.lines {
+                match line {
+                    DataLine::Label { name, .. } => {
+                        let _ = writeln!(out, "{name}:");
+                    }
+                    DataLine::Bytes(bytes) => render_bytes(&mut out, bytes),
+                    DataLine::QuadSym { sym, addend } => {
+                        if *addend == 0 {
+                            let _ = writeln!(out, "    .quad {sym}");
+                        } else if *addend > 0 {
+                            let _ = writeln!(out, "    .quad {sym}+{addend}");
+                        } else {
+                            let _ = writeln!(out, "    .quad {sym}-{}", -addend);
+                        }
+                    }
+                    DataLine::Space(n) => {
+                        let _ = writeln!(out, "    .space {n}");
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Counts the instructions in the text section (labels and raw bytes
+    /// excluded) — the "instruction count" metric of Table IV.
+    pub fn instr_count(&self) -> usize {
+        self.text.iter().filter(|l| matches!(l, Line::Code { .. })).count()
+    }
+}
+
+fn render_bytes(out: &mut String, bytes: &[u8]) {
+    for chunk in bytes.chunks(16) {
+        let list: Vec<String> = chunk.iter().map(|b| format!("{b:#04x}")).collect();
+        let _ = writeln!(out, "    .byte {}", list.join(", "));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sym_instr_rendering() {
+        assert_eq!(
+            SymInstr::Plain(Instr::MovRR { rd: Reg::R1, rs: Reg::R2 }).render(),
+            "mov r1, r2"
+        );
+        assert_eq!(
+            SymInstr::Branch { cond: Some(Cond::Ne), is_call: false, target: "deny".into() }
+                .render(),
+            "jne deny"
+        );
+        assert_eq!(
+            SymInstr::Branch { cond: None, is_call: true, target: "f".into() }.render(),
+            "call f"
+        );
+        assert_eq!(
+            SymInstr::MovSym { rd: Reg::R6, sym: "msg".into(), addend: 4 }.render(),
+            "mov r6, msg+4"
+        );
+        assert_eq!(
+            SymInstr::MovSym { rd: Reg::R6, sym: "msg".into(), addend: -2 }.render(),
+            "mov r6, msg-2"
+        );
+    }
+
+    #[test]
+    fn rendered_listing_reassembles() {
+        let mut listing = Listing::new();
+        listing.text = vec![
+            Line::Label { name: "_start".into(), global: true },
+            Line::Code {
+                orig_addr: Some(0x1000),
+                insn: SymInstr::MovSym { rd: Reg::R1, sym: "value".into(), addend: 0 },
+            },
+            Line::Code {
+                orig_addr: Some(0x100A),
+                insn: SymInstr::Plain(Instr::Svc { num: 0 }),
+            },
+        ];
+        listing.data = vec![DataSection {
+            kind: SectionKind::Data,
+            lines: vec![
+                DataLine::Label { name: "value".into(), global: false },
+                DataLine::Bytes(vec![1, 2, 3]),
+                DataLine::Space(5),
+            ],
+        }];
+        let source = listing.to_source();
+        let exe = rr_asm::assemble_and_link(&source).expect("listing must reassemble");
+        assert!(exe.symbol("value").is_some());
+    }
+
+    #[test]
+    fn fresh_labels_do_not_collide() {
+        let mut listing = Listing::new();
+        listing.text.push(Line::Label { name: ".h_0".into(), global: false });
+        let l1 = listing.fresh_label("h");
+        let l2 = listing.fresh_label("h");
+        assert_ne!(l1, ".h_0");
+        assert_ne!(l1, l2);
+    }
+
+    #[test]
+    fn replace_code_splices() {
+        let mut listing = Listing::new();
+        listing.text = vec![
+            Line::Code { orig_addr: Some(0x1000), insn: SymInstr::Plain(Instr::Nop) },
+            Line::Code { orig_addr: Some(0x1001), insn: SymInstr::Plain(Instr::Ret) },
+        ];
+        let idx = listing.find_code(0x1001).unwrap();
+        listing.replace_code(
+            idx,
+            vec![
+                Line::Code { orig_addr: None, insn: SymInstr::Plain(Instr::Nop) },
+                Line::Code { orig_addr: Some(0x1001), insn: SymInstr::Plain(Instr::Ret) },
+            ],
+        );
+        assert_eq!(listing.text.len(), 3);
+        assert_eq!(listing.instr_count(), 3);
+    }
+
+    #[test]
+    fn find_code_ignores_inserted_lines() {
+        let mut listing = Listing::new();
+        listing.text = vec![
+            Line::Code { orig_addr: None, insn: SymInstr::Plain(Instr::Nop) },
+            Line::Code { orig_addr: Some(0x1000), insn: SymInstr::Plain(Instr::Ret) },
+        ];
+        assert_eq!(listing.find_code(0x1000), Some(1));
+        assert_eq!(listing.find_code(0x9999), None);
+    }
+}

@@ -1,0 +1,141 @@
+//! Round-trip tests: `exe → disassemble → to_source → assemble → exe'`
+//! must preserve bytes and behaviour.
+
+use proptest::prelude::*;
+use rr_asm::assemble_and_link;
+use rr_disasm::{disassemble, disassemble_with, SymbolizationPolicy};
+use rr_emu::execute;
+
+/// Asserts the byte-identical round trip for a source program.
+fn assert_roundtrip(src: &str) {
+    let exe = assemble_and_link(src).expect("original must build");
+    let disasm = disassemble(&exe).expect("must disassemble");
+    let source = disasm.listing.to_source();
+    let rebuilt = assemble_and_link(&source)
+        .unwrap_or_else(|e| panic!("listing must reassemble: {e}\n{source}"));
+    assert_eq!(rebuilt.text_bytes(), exe.text_bytes(), "text must be byte-identical\n{source}");
+    assert_eq!(rebuilt.entry, exe.entry);
+    for kind in [rr_obj::SectionKind::Rodata, rr_obj::SectionKind::Data, rr_obj::SectionKind::Bss] {
+        let orig = exe.section_range(kind);
+        let new = rebuilt.section_range(kind);
+        assert_eq!(orig, new, "{kind} layout must match\n{source}");
+    }
+}
+
+#[test]
+fn roundtrip_minimal() {
+    assert_roundtrip("    .global _start\n_start:\n    mov r1, 0\n    svc 0\n");
+}
+
+#[test]
+fn roundtrip_branches_and_calls() {
+    assert_roundtrip(
+        "    .global _start\n\
+         _start:\n\
+             mov r1, 3\n\
+         .loop:\n\
+             sub r1, 1\n\
+             cmp r1, 0\n\
+             jne .loop\n\
+             call f\n\
+             svc 0\n\
+         f:\n\
+             add r1, 1\n\
+             ret\n",
+    );
+}
+
+#[test]
+fn roundtrip_all_workloads() {
+    for w in rr_workloads::all_workloads() {
+        let exe = w.build().unwrap();
+        let disasm = disassemble(&exe).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let source = disasm.listing.to_source();
+        let rebuilt = assemble_and_link(&source)
+            .unwrap_or_else(|e| panic!("{}: reassembly failed: {e}", w.name));
+        assert_eq!(
+            rebuilt.text_bytes(),
+            exe.text_bytes(),
+            "{}: text must be byte-identical",
+            w.name
+        );
+        // Behavioural equivalence on both inputs.
+        for input in [&w.good_input, &w.bad_input] {
+            let original = execute(&exe, input, 500_000);
+            let roundtripped = execute(&rebuilt, input, 500_000);
+            assert!(
+                original.same_behavior(&roundtripped),
+                "{}: behaviour changed by round trip",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn roundtrip_under_both_policies() {
+    for w in rr_workloads::all_workloads() {
+        let exe = w.build().unwrap();
+        for policy in [SymbolizationPolicy::Naive, SymbolizationPolicy::DataAccessRefined] {
+            let disasm = disassemble_with(&exe, policy).unwrap();
+            let rebuilt = assemble_and_link(&disasm.listing.to_source())
+                .unwrap_or_else(|e| panic!("{} under {policy:?}: {e}", w.name));
+            let original = execute(&exe, &w.good_input, 500_000);
+            let result = execute(&rebuilt, &w.good_input, 500_000);
+            assert!(
+                original.same_behavior(&result),
+                "{} under {policy:?}: behaviour changed",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn roundtrip_stripped_binary() {
+    // Without symbols the disassembler must still recover everything
+    // reachable from the entry point.
+    let w = rr_workloads::pincheck();
+    let exe = w.build().unwrap().stripped();
+    let disasm = disassemble(&exe).unwrap();
+    let rebuilt = assemble_and_link(&disasm.listing.to_source()).unwrap();
+    for input in [&w.good_input, &w.bad_input] {
+        let original = execute(&exe, input, 500_000);
+        let result = execute(&rebuilt, input, 500_000);
+        assert!(original.same_behavior(&result), "stripped round trip changed behaviour");
+    }
+}
+
+/// Random straight-line programs: generate a list of safe instructions,
+/// wrap them with an exit, and round-trip.
+fn safe_instr() -> impl Strategy<Value = String> {
+    let reg = (0u8..14).prop_map(|i| format!("r{i}"));
+    prop_oneof![
+        Just("nop".to_owned()),
+        (reg.clone(), any::<u32>()).prop_map(|(r, v)| format!("mov {r}, {v}")),
+        (reg.clone(), reg.clone()).prop_map(|(a, b)| format!("mov {a}, {b}")),
+        (reg.clone(), any::<i32>()).prop_map(|(r, v)| format!("add {r}, {v}")),
+        (reg.clone(), reg.clone()).prop_map(|(a, b)| format!("xor {a}, {b}")),
+        (reg.clone(), any::<i32>()).prop_map(|(r, v)| format!("cmp {r}, {v}")),
+        (reg.clone(), 0u8..64).prop_map(|(r, v)| format!("shl {r}, {v}")),
+        (reg.clone(), reg).prop_map(|(a, b)| format!("test {a}, {b}")),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn roundtrip_random_straightline(instrs in proptest::collection::vec(safe_instr(), 1..40)) {
+        let mut src = String::from("    .global _start\n_start:\n");
+        for i in &instrs {
+            src.push_str("    ");
+            src.push_str(i);
+            src.push('\n');
+        }
+        src.push_str("    mov r1, 0\n    svc 0\n");
+        let exe = assemble_and_link(&src).expect("generated source must build");
+        let disasm = disassemble(&exe).expect("must disassemble");
+        let rebuilt = assemble_and_link(&disasm.listing.to_source()).expect("must reassemble");
+        prop_assert_eq!(rebuilt.text_bytes(), exe.text_bytes());
+    }
+}

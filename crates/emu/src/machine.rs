@@ -1,0 +1,663 @@
+//! The CPU interpreter.
+
+use crate::memory::{AccessKind, Memory};
+use crate::outcome::{CpuFault, RunOutcome};
+use rr_isa::{decode, AluOp, Flags, Instr, Reg, ShiftOp, MAX_INSTR_LEN, STACK_TOP};
+use rr_obj::Executable;
+
+/// Default step budget for [`Machine::run`]-style helpers.
+pub const DEFAULT_MAX_STEPS: u64 = 1_000_000;
+
+/// Result of running the machine for a bounded number of steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunResult {
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Instructions actually executed.
+    pub steps: u64,
+}
+
+/// An RRVM machine instance: registers, flags, memory, and I/O streams.
+///
+/// See the crate docs for the service (`svc`) table. The machine is
+/// deterministic: identical executables and inputs produce identical runs,
+/// which fault campaigns rely on to compare faulted runs against golden
+/// ones.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    regs: [u64; 16],
+    flags: Flags,
+    pc: u64,
+    memory: Memory,
+    input: Vec<u8>,
+    input_pos: usize,
+    output: Vec<u8>,
+    /// Set once the machine has stopped (exit or fault); further stepping
+    /// is a no-op returning the same outcome.
+    stopped: Option<RunOutcome>,
+}
+
+impl Machine {
+    /// Creates a machine loaded with `exe`, its PC at the entry point, `sp`
+    /// at the stack top, and `input` as the program's input stream.
+    pub fn new(exe: &Executable, input: &[u8]) -> Machine {
+        let mut regs = [0u64; 16];
+        regs[Reg::SP.index() as usize] = STACK_TOP;
+        Machine {
+            regs,
+            flags: Flags::CLEAR,
+            pc: exe.entry,
+            memory: Memory::for_executable(exe),
+            input: input.to_vec(),
+            input_pos: 0,
+            output: Vec::new(),
+            stopped: None,
+        }
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Overrides the program counter (used by fault models that corrupt
+    /// control flow).
+    pub fn set_pc(&mut self, pc: u64) {
+        self.pc = pc;
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index() as usize]
+    }
+
+    /// Writes a register (used by register-corruption fault models).
+    pub fn set_reg(&mut self, r: Reg, value: u64) {
+        self.regs[r.index() as usize] = value;
+    }
+
+    /// Current flags.
+    pub fn flags(&self) -> Flags {
+        self.flags
+    }
+
+    /// Overrides the flags (flag-corruption fault models).
+    pub fn set_flags(&mut self, flags: Flags) {
+        self.flags = flags;
+    }
+
+    /// The output written so far.
+    pub fn output(&self) -> &[u8] {
+        &self.output
+    }
+
+    /// Takes ownership of the output buffer.
+    pub fn take_output(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.output)
+    }
+
+    /// Whether the machine has stopped, and how.
+    pub fn stopped(&self) -> Option<RunOutcome> {
+        self.stopped
+    }
+
+    /// Physical memory write ignoring permissions (bit-flip injection into
+    /// code). Returns `false` if the target range is unmapped.
+    pub fn poke_bytes(&mut self, addr: u64, data: &[u8]) -> bool {
+        self.memory.poke(addr, data)
+    }
+
+    /// Physical memory read ignoring permissions.
+    pub fn peek_bytes(&self, addr: u64, len: usize) -> Option<&[u8]> {
+        self.memory.peek(addr, len)
+    }
+
+    /// Checked memory view (respects permissions), for oracles inspecting
+    /// program state.
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// Decodes the instruction at the current PC without executing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`CpuFault`] the machine would raise on this fetch.
+    pub fn fetch_decode(&self) -> Result<(Instr, usize), CpuFault> {
+        let bytes = self
+            .memory
+            .fetch(self.pc, MAX_INSTR_LEN)
+            .map_err(|(addr, _)| CpuFault::ExecFault { addr })?;
+        decode(bytes).map_err(CpuFault::IllegalInstruction)
+    }
+
+    /// Implements the "instruction skip" fault: advances PC over the
+    /// current instruction without executing it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the decode fault if the current bytes are not a valid
+    /// instruction (a skip cannot be applied to an undecodable site).
+    pub fn skip_instruction(&mut self) -> Result<(), CpuFault> {
+        let (_, len) = self.fetch_decode()?;
+        self.pc += len as u64;
+        Ok(())
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`CpuFault`] that stopped the machine. After any error
+    /// (or normal exit) the machine is stopped and further calls return the
+    /// recorded outcome's fault or do nothing for exits.
+    pub fn step(&mut self) -> Result<(), CpuFault> {
+        if let Some(RunOutcome::Crashed { fault, .. }) = self.stopped {
+            return Err(fault);
+        }
+        if self.stopped.is_some() {
+            return Ok(());
+        }
+        match self.step_inner() {
+            Ok(()) => Ok(()),
+            Err(fault) => {
+                self.stopped = Some(RunOutcome::Crashed { fault, pc: self.pc });
+                Err(fault)
+            }
+        }
+    }
+
+    fn mem_fault((addr, access): (u64, AccessKind)) -> CpuFault {
+        CpuFault::MemoryFault { addr, access }
+    }
+
+    fn step_inner(&mut self) -> Result<(), CpuFault> {
+        let (insn, len) = self.fetch_decode()?;
+        let next_pc = self.pc + len as u64;
+        self.pc = next_pc;
+        match insn {
+            Instr::Nop => {}
+            Instr::Halt => {
+                // Record the faulting pc as the halt site, not the successor.
+                self.pc = next_pc - len as u64;
+                return Err(CpuFault::Halted);
+            }
+            Instr::MovRR { rd, rs } => self.set_reg(rd, self.reg(rs)),
+            Instr::MovRI { rd, imm } => self.set_reg(rd, imm),
+            Instr::AluRR { op, rd, rs } => self.alu(op, rd, self.reg(rs))?,
+            Instr::AluRI { op, rd, imm } => self.alu(op, rd, imm as i64 as u64)?,
+            Instr::ShiftRI { op, rd, amt } => self.shift(op, rd, amt),
+            Instr::Not { rd } => {
+                let res = !self.reg(rd);
+                self.set_reg(rd, res);
+                self.flags = Flags::from_logic(res);
+            }
+            Instr::Neg { rd } => {
+                let value = self.reg(rd);
+                let res = value.wrapping_neg();
+                self.set_reg(rd, res);
+                self.flags = Flags::from_sub(0, value);
+            }
+            Instr::CmpRR { rs1, rs2 } => self.flags = Flags::from_sub(self.reg(rs1), self.reg(rs2)),
+            Instr::CmpRI { rs1, imm } => {
+                self.flags = Flags::from_sub(self.reg(rs1), imm as i64 as u64)
+            }
+            Instr::CmpRM { rs1, base, disp } => {
+                let addr = self.reg(base).wrapping_add(disp as i64 as u64);
+                let value = self.memory.read_u64(addr).map_err(Self::mem_fault)?;
+                self.flags = Flags::from_sub(self.reg(rs1), value);
+            }
+            Instr::TestRR { rs1, rs2 } => {
+                self.flags = Flags::from_logic(self.reg(rs1) & self.reg(rs2))
+            }
+            Instr::Load { rd, base, disp } => {
+                let addr = self.reg(base).wrapping_add(disp as i64 as u64);
+                let value = self.memory.read_u64(addr).map_err(Self::mem_fault)?;
+                self.set_reg(rd, value);
+            }
+            Instr::Store { base, disp, rs } => {
+                let addr = self.reg(base).wrapping_add(disp as i64 as u64);
+                self.memory.write_u64(addr, self.reg(rs)).map_err(Self::mem_fault)?;
+            }
+            Instr::LoadB { rd, base, disp } => {
+                let addr = self.reg(base).wrapping_add(disp as i64 as u64);
+                let value = self.memory.read_u8(addr).map_err(Self::mem_fault)?;
+                self.set_reg(rd, u64::from(value));
+            }
+            Instr::StoreB { base, disp, rs } => {
+                let addr = self.reg(base).wrapping_add(disp as i64 as u64);
+                self.memory.write_u8(addr, self.reg(rs) as u8).map_err(Self::mem_fault)?;
+            }
+            Instr::Lea { rd, base, disp } => {
+                self.set_reg(rd, self.reg(base).wrapping_add(disp as i64 as u64))
+            }
+            Instr::Push { rs } => self.push(self.reg(rs))?,
+            Instr::Pop { rd } => {
+                let value = self.pop()?;
+                self.set_reg(rd, value);
+            }
+            Instr::PushF => self.push(self.flags.to_bits())?,
+            Instr::PopF => {
+                let bits = self.pop()?;
+                self.flags = Flags::from_bits(bits);
+            }
+            Instr::Jmp { rel } => self.pc = next_pc.wrapping_add(rel as i64 as u64),
+            Instr::Jcc { cc, rel } => {
+                if cc.eval(self.flags) {
+                    self.pc = next_pc.wrapping_add(rel as i64 as u64);
+                }
+            }
+            Instr::Call { rel } => {
+                self.push(next_pc)?;
+                self.pc = next_pc.wrapping_add(rel as i64 as u64);
+            }
+            Instr::CallR { rs } => {
+                let target = self.reg(rs);
+                self.push(next_pc)?;
+                self.pc = target;
+            }
+            Instr::JmpR { rs } => self.pc = self.reg(rs),
+            Instr::Ret => self.pc = self.pop()?,
+            Instr::SetCc { rd, cc } => self.set_reg(rd, u64::from(cc.eval(self.flags))),
+            Instr::Svc { num } => self.service(num)?,
+        }
+        Ok(())
+    }
+
+    fn alu(&mut self, op: AluOp, rd: Reg, rhs: u64) -> Result<(), CpuFault> {
+        let lhs = self.reg(rd);
+        let (res, flags) = match op {
+            AluOp::Add => (lhs.wrapping_add(rhs), Flags::from_add(lhs, rhs)),
+            AluOp::Sub => (lhs.wrapping_sub(rhs), Flags::from_sub(lhs, rhs)),
+            AluOp::And => {
+                let r = lhs & rhs;
+                (r, Flags::from_logic(r))
+            }
+            AluOp::Or => {
+                let r = lhs | rhs;
+                (r, Flags::from_logic(r))
+            }
+            AluOp::Xor => {
+                let r = lhs ^ rhs;
+                (r, Flags::from_logic(r))
+            }
+            AluOp::Mul => {
+                let (r, overflow) = lhs.overflowing_mul(rhs);
+                let mut f = Flags::from_logic(r);
+                f.c = overflow;
+                f.v = overflow;
+                (r, f)
+            }
+            AluOp::Udiv => {
+                if rhs == 0 {
+                    return Err(CpuFault::DivideByZero);
+                }
+                let r = lhs / rhs;
+                (r, Flags::from_logic(r))
+            }
+        };
+        self.set_reg(rd, res);
+        self.flags = flags;
+        Ok(())
+    }
+
+    fn shift(&mut self, op: ShiftOp, rd: Reg, amt: u8) {
+        let amt = u32::from(amt & 63);
+        if amt == 0 {
+            return; // zero-count shifts leave flags and value unchanged
+        }
+        let value = self.reg(rd);
+        let (res, carry) = match op {
+            ShiftOp::Shl => (value << amt, value >> (64 - amt) & 1 == 1),
+            ShiftOp::Shr => (value >> amt, value >> (amt - 1) & 1 == 1),
+            ShiftOp::Sar => (((value as i64) >> amt) as u64, (value as i64) >> (amt - 1) & 1 == 1),
+        };
+        self.set_reg(rd, res);
+        let mut flags = Flags::from_logic(res);
+        flags.c = carry;
+        self.flags = flags;
+    }
+
+    fn push(&mut self, value: u64) -> Result<(), CpuFault> {
+        let sp = self.reg(Reg::SP).wrapping_sub(8);
+        self.memory.write_u64(sp, value).map_err(Self::mem_fault)?;
+        self.set_reg(Reg::SP, sp);
+        Ok(())
+    }
+
+    fn pop(&mut self) -> Result<u64, CpuFault> {
+        let sp = self.reg(Reg::SP);
+        let value = self.memory.read_u64(sp).map_err(Self::mem_fault)?;
+        self.set_reg(Reg::SP, sp.wrapping_add(8));
+        Ok(value)
+    }
+
+    fn service(&mut self, num: u8) -> Result<(), CpuFault> {
+        match num {
+            0 => {
+                self.stopped = Some(RunOutcome::Exited { code: self.reg(Reg::R1) });
+                Ok(())
+            }
+            1 => {
+                self.output.push(self.reg(Reg::R1) as u8);
+                Ok(())
+            }
+            2 => {
+                let value = match self.input.get(self.input_pos) {
+                    Some(&b) => {
+                        self.input_pos += 1;
+                        u64::from(b)
+                    }
+                    None => u64::MAX,
+                };
+                self.set_reg(Reg::R0, value);
+                Ok(())
+            }
+            3 => {
+                let text = self.reg(Reg::R1).to_string();
+                self.output.extend_from_slice(text.as_bytes());
+                Ok(())
+            }
+            other => Err(CpuFault::BadService(other)),
+        }
+    }
+
+    /// Runs until exit, fault, or `max_steps` instructions.
+    pub fn run(&mut self, max_steps: u64) -> RunResult {
+        self.run_with(max_steps, |_| {})
+    }
+
+    /// Like [`Machine::run`], invoking `before_step` before each
+    /// instruction executes (used for tracing).
+    pub fn run_with(&mut self, max_steps: u64, mut before_step: impl FnMut(&Machine)) -> RunResult {
+        let mut steps = 0u64;
+        while steps < max_steps {
+            if let Some(outcome) = self.stopped {
+                return RunResult { outcome, steps };
+            }
+            before_step(self);
+            let _ = self.step();
+            steps += 1;
+        }
+        match self.stopped {
+            Some(outcome) => RunResult { outcome, steps },
+            None => RunResult { outcome: RunOutcome::TimedOut, steps },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_asm::assemble_and_link;
+
+    fn run_src(src: &str) -> (RunOutcome, Vec<u8>) {
+        run_src_with_input(src, &[])
+    }
+
+    fn run_src_with_input(src: &str, input: &[u8]) -> (RunOutcome, Vec<u8>) {
+        let exe = assemble_and_link(src).expect("assembly should succeed");
+        let mut m = Machine::new(&exe, input);
+        let result = m.run(100_000);
+        (result.outcome, m.take_output())
+    }
+
+    const PRELUDE: &str = "    .global _start\n_start:\n";
+
+    #[test]
+    fn arithmetic_and_exit_code() {
+        let (outcome, _) = run_src(&format!(
+            "{PRELUDE}    mov r1, 6\n    mov r2, 7\n    mul r1, r2\n    svc 0\n"
+        ));
+        assert_eq!(outcome, RunOutcome::Exited { code: 42 });
+    }
+
+    #[test]
+    fn flags_drive_conditional_jumps() {
+        let (outcome, out) = run_src(&format!(
+            "{PRELUDE}\
+                 mov r1, 5\n\
+                 cmp r1, 5\n\
+                 je .eq\n\
+                 mov r1, 'N'\n\
+                 jmp .print\n\
+             .eq:\n\
+                 mov r1, 'Y'\n\
+             .print:\n\
+                 svc 1\n\
+                 mov r1, 0\n\
+                 svc 0\n"
+        ));
+        assert_eq!(outcome, RunOutcome::Exited { code: 0 });
+        assert_eq!(out, b"Y");
+    }
+
+    #[test]
+    fn call_ret_and_stack() {
+        let (outcome, _) = run_src(
+            "    .global _start\n\
+             _start:\n\
+                 mov r1, 20\n\
+                 call double\n\
+                 svc 0\n\
+             double:\n\
+                 add r1, r1\n\
+                 ret\n",
+        );
+        assert_eq!(outcome, RunOutcome::Exited { code: 40 });
+    }
+
+    #[test]
+    fn push_pop_round_trip() {
+        let (outcome, _) = run_src(&format!(
+            "{PRELUDE}    mov r1, 99\n    push r1\n    mov r1, 0\n    pop r1\n    svc 0\n"
+        ));
+        assert_eq!(outcome, RunOutcome::Exited { code: 99 });
+    }
+
+    #[test]
+    fn pushf_popf_preserve_flags() {
+        // Set Z via cmp, clobber flags, restore, then jump on Z.
+        let (outcome, _) = run_src(&format!(
+            "{PRELUDE}\
+                 mov r1, 1\n\
+                 cmp r1, 1\n\
+                 pushf\n\
+                 cmp r1, 0\n\
+                 popf\n\
+                 je .good\n\
+                 mov r1, 1\n\
+                 svc 0\n\
+             .good:\n\
+                 mov r1, 0\n\
+                 svc 0\n"
+        ));
+        assert_eq!(outcome, RunOutcome::Exited { code: 0 });
+    }
+
+    #[test]
+    fn memory_round_trip_and_byte_ops() {
+        let (outcome, out) = run_src(&format!(
+            "{PRELUDE}\
+                 mov r2, buffer\n\
+                 mov r1, 0x4142\n\
+                 store [r2], r1\n\
+                 loadb r1, [r2+1]\n\
+                 svc 1\n\
+                 loadb r1, [r2]\n\
+                 svc 1\n\
+                 mov r1, 0\n\
+                 svc 0\n\
+                 .data\n\
+             buffer:\n\
+                 .space 8\n"
+        ));
+        assert_eq!(outcome, RunOutcome::Exited { code: 0 });
+        // 0x4142 little-endian: byte 0 is 0x42 ('B'), byte 1 is 0x41 ('A').
+        assert_eq!(out, b"AB");
+    }
+
+    #[test]
+    fn input_stream_and_eof() {
+        let src = format!(
+            "{PRELUDE}\
+                 svc 2\n\
+                 mov r1, r0\n\
+                 svc 1\n\
+                 svc 2\n\
+                 cmp r0, -1\n\
+                 jne .more\n\
+                 mov r1, 0\n\
+                 svc 0\n\
+             .more:\n\
+                 mov r1, 1\n\
+                 svc 0\n"
+        );
+        let (outcome, out) = run_src_with_input(&src, b"Q");
+        assert_eq!(outcome, RunOutcome::Exited { code: 0 });
+        assert_eq!(out, b"Q");
+    }
+
+    #[test]
+    fn decimal_output_service() {
+        let (_, out) = run_src(&format!(
+            "{PRELUDE}    mov r1, 12345\n    svc 3\n    mov r1, 0\n    svc 0\n"
+        ));
+        assert_eq!(out, b"12345");
+    }
+
+    #[test]
+    fn crash_taxonomy() {
+        // Unmapped read.
+        let (outcome, _) = run_src(&format!("{PRELUDE}    mov r2, 0x99999000\n    load r1, [r2]\n    svc 0\n"));
+        assert!(matches!(
+            outcome,
+            RunOutcome::Crashed { fault: CpuFault::MemoryFault { access: AccessKind::Read, .. }, .. }
+        ));
+
+        // Write to .text (W^X).
+        let (outcome, _) = run_src(&format!("{PRELUDE}    mov r2, 0x1000\n    store [r2], r1\n    svc 0\n"));
+        assert!(matches!(
+            outcome,
+            RunOutcome::Crashed { fault: CpuFault::MemoryFault { access: AccessKind::Write, .. }, .. }
+        ));
+
+        // Divide by zero.
+        let (outcome, _) = run_src(&format!("{PRELUDE}    mov r1, 4\n    mov r2, 0\n    udiv r1, r2\n    svc 0\n"));
+        assert!(matches!(outcome, RunOutcome::Crashed { fault: CpuFault::DivideByZero, .. }));
+
+        // Halt is an abnormal stop.
+        let (outcome, _) = run_src(&format!("{PRELUDE}    halt\n"));
+        assert!(matches!(outcome, RunOutcome::Crashed { fault: CpuFault::Halted, .. }));
+
+        // Unknown service.
+        let (outcome, _) = run_src(&format!("{PRELUDE}    svc 200\n"));
+        assert!(matches!(outcome, RunOutcome::Crashed { fault: CpuFault::BadService(200), .. }));
+
+        // Indirect jump into data → exec fault.
+        let (outcome, _) = run_src(&format!(
+            "{PRELUDE}    mov r1, target\n    jmpr r1\n    .data\ntarget:\n    .quad 0\n"
+        ));
+        assert!(matches!(outcome, RunOutcome::Crashed { fault: CpuFault::ExecFault { .. }, .. }));
+    }
+
+    #[test]
+    fn timeout_on_infinite_loop() {
+        let exe = assemble_and_link(&format!("{PRELUDE}.loop:\n    jmp .loop\n")).unwrap();
+        let mut m = Machine::new(&exe, &[]);
+        let result = m.run(1000);
+        assert_eq!(result.outcome, RunOutcome::TimedOut);
+        assert_eq!(result.steps, 1000);
+    }
+
+    #[test]
+    fn illegal_instruction_after_bit_flip() {
+        // Flip a bit in the opcode of the first instruction so it decodes
+        // to an unassigned opcode, then observe the crash.
+        let exe = assemble_and_link(&format!("{PRELUDE}    mov r1, 0\n    svc 0\n")).unwrap();
+        let mut m = Machine::new(&exe, &[]);
+        // mov r1, imm64 has opcode 0x06 at entry; flip bit 7 → 0x86 (invalid).
+        let entry = exe.entry;
+        let byte = m.peek_bytes(entry, 1).unwrap()[0];
+        assert!(m.poke_bytes(entry, &[byte ^ 0x80]));
+        let result = m.run(10);
+        assert!(matches!(
+            result.outcome,
+            RunOutcome::Crashed { fault: CpuFault::IllegalInstruction(_), .. }
+        ));
+    }
+
+    #[test]
+    fn skip_instruction_advances_pc() {
+        let exe = assemble_and_link(&format!("{PRELUDE}    mov r1, 7\n    svc 0\n")).unwrap();
+        let mut m = Machine::new(&exe, &[]);
+        // Skip the mov: r1 stays 0, so exit code is 0 instead of 7.
+        m.skip_instruction().unwrap();
+        let result = m.run(10);
+        assert_eq!(result.outcome, RunOutcome::Exited { code: 0 });
+    }
+
+    #[test]
+    fn traces_record_every_pc() {
+        let exe = assemble_and_link(&format!("{PRELUDE}    nop\n    nop\n    mov r1, 0\n    svc 0\n")).unwrap();
+        let (exec, trace) = crate::execute_traced(&exe, &[], 100);
+        assert_eq!(exec.outcome, RunOutcome::Exited { code: 0 });
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace[0], exe.entry);
+        assert_eq!(trace[1], exe.entry + 1);
+        assert_eq!(trace[2], exe.entry + 2);
+    }
+
+    #[test]
+    fn stopped_machine_is_sticky() {
+        let exe = assemble_and_link(&format!("{PRELUDE}    mov r1, 3\n    svc 0\n    svc 1\n")).unwrap();
+        let mut m = Machine::new(&exe, &[]);
+        let r1 = m.run(100);
+        assert_eq!(r1.outcome, RunOutcome::Exited { code: 3 });
+        // Running again does not execute the trailing svc 1.
+        let r2 = m.run(100);
+        assert_eq!(r2.outcome, RunOutcome::Exited { code: 3 });
+        assert!(m.output().is_empty());
+    }
+
+    #[test]
+    fn shift_semantics() {
+        let (outcome, _) = run_src(&format!(
+            "{PRELUDE}    mov r1, 1\n    shl r1, 4\n    shr r1, 1\n    svc 0\n"
+        ));
+        assert_eq!(outcome, RunOutcome::Exited { code: 8 });
+        // Arithmetic shift preserves sign.
+        let (outcome, _) = run_src(&format!(
+            "{PRELUDE}    mov r1, -16\n    sar r1, 2\n    neg r1\n    svc 0\n"
+        ));
+        assert_eq!(outcome, RunOutcome::Exited { code: 4 });
+    }
+
+    #[test]
+    fn setcc_materializes_conditions() {
+        let (outcome, _) = run_src(&format!(
+            "{PRELUDE}\
+                 mov r1, 3\n\
+                 cmp r1, 5\n\
+                 setlt r1\n\
+                 svc 0\n"
+        ));
+        assert_eq!(outcome, RunOutcome::Exited { code: 1 });
+    }
+
+    #[test]
+    fn callr_through_register() {
+        let (outcome, _) = run_src(
+            "    .global _start\n\
+             _start:\n\
+                 mov r6, target\n\
+                 mov r1, 5\n\
+                 callr r6\n\
+                 svc 0\n\
+             target:\n\
+                 add r1, 10\n\
+                 ret\n",
+        );
+        assert_eq!(outcome, RunOutcome::Exited { code: 15 });
+    }
+}

@@ -1,0 +1,258 @@
+//! The emulated flat memory: permissioned regions.
+
+use rr_obj::{Executable, SegmentPerms};
+use rr_isa::{STACK_SIZE, STACK_TOP};
+
+/// The kind of memory access that failed (or is being checked).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Instruction fetch.
+    Execute,
+}
+
+impl std::fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+            AccessKind::Execute => "execute",
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Region {
+    start: u64,
+    perms: SegmentPerms,
+    bytes: Vec<u8>,
+}
+
+impl Region {
+    fn end(&self) -> u64 {
+        self.start + self.bytes.len() as u64
+    }
+
+    fn contains(&self, addr: u64) -> bool {
+        addr >= self.start && addr < self.end()
+    }
+}
+
+/// The emulated address space: a small set of non-overlapping permissioned
+/// regions (program segments plus the stack).
+#[derive(Debug, Clone)]
+pub struct Memory {
+    regions: Vec<Region>,
+}
+
+/// Result of a memory access: the value, or the failed access description.
+pub type MemResult<T> = Result<T, (u64, AccessKind)>;
+
+impl Memory {
+    /// Builds the address space for `exe`: every segment, zero-extended to
+    /// its `mem_size`, plus a zeroed read-write stack of [`STACK_SIZE`]
+    /// bytes ending at [`STACK_TOP`].
+    pub fn for_executable(exe: &Executable) -> Memory {
+        let mut regions: Vec<Region> = exe
+            .segments
+            .iter()
+            .map(|seg| {
+                let mut bytes = seg.data.clone();
+                bytes.resize(seg.mem_size as usize, 0);
+                Region { start: seg.addr, perms: seg.perms, bytes }
+            })
+            .collect();
+        regions.push(Region {
+            start: STACK_TOP - STACK_SIZE,
+            perms: SegmentPerms::RW,
+            bytes: vec![0; STACK_SIZE as usize],
+        });
+        regions.sort_by_key(|r| r.start);
+        Memory { regions }
+    }
+
+    fn region(&self, addr: u64) -> Option<&Region> {
+        self.regions.iter().find(|r| r.contains(addr))
+    }
+
+    fn region_mut(&mut self, addr: u64) -> Option<&mut Region> {
+        self.regions.iter_mut().find(|r| r.contains(addr))
+    }
+
+    /// Checked slice access: `len` bytes at `addr`, all within one region
+    /// that satisfies `access` permissions.
+    pub fn slice(&self, addr: u64, len: usize, access: AccessKind) -> MemResult<&[u8]> {
+        let region = self.region(addr).ok_or((addr, access))?;
+        let allowed = match access {
+            AccessKind::Read => region.perms.read,
+            AccessKind::Write => region.perms.write,
+            AccessKind::Execute => region.perms.exec,
+        };
+        if !allowed {
+            return Err((addr, access));
+        }
+        let offset = (addr - region.start) as usize;
+        region.bytes.get(offset..offset + len).ok_or((addr, access))
+    }
+
+    /// Reads an unsigned 64-bit little-endian word.
+    pub fn read_u64(&self, addr: u64) -> MemResult<u64> {
+        let bytes = self.slice(addr, 8, AccessKind::Read)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("length checked")))
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> MemResult<u8> {
+        Ok(self.slice(addr, 1, AccessKind::Read)?[0])
+    }
+
+    /// Writes a 64-bit little-endian word (permission-checked).
+    pub fn write_u64(&mut self, addr: u64, value: u64) -> MemResult<()> {
+        self.write_checked(addr, &value.to_le_bytes())
+    }
+
+    /// Writes one byte (permission-checked).
+    pub fn write_u8(&mut self, addr: u64, value: u8) -> MemResult<()> {
+        self.write_checked(addr, &[value])
+    }
+
+    fn write_checked(&mut self, addr: u64, data: &[u8]) -> MemResult<()> {
+        let region = self.region_mut(addr).ok_or((addr, AccessKind::Write))?;
+        if !region.perms.write {
+            return Err((addr, AccessKind::Write));
+        }
+        let offset = (addr - region.start) as usize;
+        let dst = region
+            .bytes
+            .get_mut(offset..offset + data.len())
+            .ok_or((addr, AccessKind::Write))?;
+        dst.copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Fetches up to `max_len` executable bytes starting at `addr` (fewer if
+    /// the region ends sooner). Errors if `addr` is not executable.
+    pub fn fetch(&self, addr: u64, max_len: usize) -> MemResult<&[u8]> {
+        let region = self.region(addr).ok_or((addr, AccessKind::Execute))?;
+        if !region.perms.exec {
+            return Err((addr, AccessKind::Execute));
+        }
+        let offset = (addr - region.start) as usize;
+        let end = (offset + max_len).min(region.bytes.len());
+        Ok(&region.bytes[offset..end])
+    }
+
+    /// Writes bytes ignoring permissions — the *physical* access a fault
+    /// injector has (a laser does not consult the MMU).
+    ///
+    /// Returns `false` if the range is not fully inside one mapped region.
+    pub fn poke(&mut self, addr: u64, data: &[u8]) -> bool {
+        if let Some(region) = self.region_mut(addr) {
+            let offset = (addr - region.start) as usize;
+            if let Some(dst) = region.bytes.get_mut(offset..offset + data.len()) {
+                dst.copy_from_slice(data);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Reads bytes ignoring permissions (inspection/forensics counterpart
+    /// of [`Memory::poke`]).
+    pub fn peek(&self, addr: u64, len: usize) -> Option<&[u8]> {
+        let region = self.region(addr)?;
+        let offset = (addr - region.start) as usize;
+        region.bytes.get(offset..offset + len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_obj::{Segment, SectionKind};
+
+    fn demo_memory() -> Memory {
+        let exe = Executable {
+            segments: vec![
+                Segment {
+                    addr: 0x1000,
+                    data: vec![0x01, 0x02],
+                    mem_size: 2,
+                    perms: SegmentPerms::RX,
+                    section: SectionKind::Text,
+                },
+                Segment {
+                    addr: 0x2000,
+                    data: vec![0xAA; 4],
+                    mem_size: 16,
+                    perms: SegmentPerms::RW,
+                    section: SectionKind::Data,
+                },
+            ],
+            entry: 0x1000,
+            symbols: vec![],
+        };
+        Memory::for_executable(&exe)
+    }
+
+    #[test]
+    fn zero_extension_of_segments() {
+        let mem = demo_memory();
+        assert_eq!(mem.read_u8(0x2003).unwrap(), 0xAA);
+        assert_eq!(mem.read_u8(0x2004).unwrap(), 0); // zero tail
+        assert_eq!(mem.read_u8(0x200F).unwrap(), 0);
+        assert!(mem.read_u8(0x2010).is_err());
+    }
+
+    #[test]
+    fn permissions_enforced() {
+        let mut mem = demo_memory();
+        // Writing code faults (W^X).
+        assert_eq!(mem.write_u8(0x1000, 0), Err((0x1000, AccessKind::Write)));
+        // Executing data faults.
+        assert_eq!(mem.fetch(0x2000, 4).unwrap_err(), (0x2000, AccessKind::Execute));
+        // Reading code is allowed.
+        assert_eq!(mem.read_u8(0x1000).unwrap(), 0x01);
+        // Writing data is allowed.
+        mem.write_u64(0x2000, 7).unwrap();
+        assert_eq!(mem.read_u64(0x2000).unwrap(), 7);
+    }
+
+    #[test]
+    fn word_access_must_fit_one_region() {
+        let mem = demo_memory();
+        // 8-byte read straddling the end of the data region fails.
+        assert!(mem.read_u64(0x2008).is_ok());
+        assert!(mem.read_u64(0x2009).is_err());
+    }
+
+    #[test]
+    fn stack_is_mapped_rw() {
+        let mut mem = demo_memory();
+        let sp = STACK_TOP - 8;
+        mem.write_u64(sp, 0xFEED).unwrap();
+        assert_eq!(mem.read_u64(sp).unwrap(), 0xFEED);
+        // Just below the stack is unmapped (stack overflow detection).
+        assert!(mem.write_u64(STACK_TOP - STACK_SIZE - 8, 1).is_err());
+    }
+
+    #[test]
+    fn fetch_truncates_at_region_end() {
+        let mem = demo_memory();
+        assert_eq!(mem.fetch(0x1001, 10).unwrap(), &[0x02]);
+        assert!(mem.fetch(0x0, 1).is_err());
+    }
+
+    #[test]
+    fn poke_ignores_permissions() {
+        let mut mem = demo_memory();
+        assert!(mem.poke(0x1000, &[0xFF]));
+        assert_eq!(mem.peek(0x1000, 1).unwrap(), &[0xFF]);
+        // Out-of-bounds poke reports failure.
+        assert!(!mem.poke(0x1001, &[0, 0]));
+        assert!(!mem.poke(0x9999_0000, &[1]));
+    }
+}

@@ -1,0 +1,478 @@
+//! The campaign runner: golden runs, fault enumeration, classification.
+
+use crate::model::FaultModel;
+use crate::site::{Fault, FaultClass, FaultEffect, FaultSite};
+use rr_emu::{execute, execute_traced, Execution, Machine, RunOutcome};
+use rr_isa::{decode, Flags, MAX_INSTR_LEN};
+use rr_obj::Executable;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Tunables for a fault-injection campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Step budget for the golden (unfaulted) runs.
+    pub golden_max_steps: u64,
+    /// Faulted runs get `golden_bad_steps × this` extra steps…
+    pub faulted_step_multiplier: u64,
+    /// …but never less than this floor (faults can lengthen runs a lot).
+    pub faulted_min_steps: u64,
+    /// Worker threads for [`Campaign::run_parallel`]; `0` means "all
+    /// available cores".
+    pub threads: usize,
+    /// Evaluate only every `site_stride`-th trace site (≥ 1). Statistical
+    /// fault injection (Leveugle et al., cited by the paper) for long
+    /// traces; `1` = exhaustive.
+    pub site_stride: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            golden_max_steps: 1_000_000,
+            faulted_step_multiplier: 4,
+            faulted_min_steps: 10_000,
+            threads: 0,
+            site_stride: 1,
+        }
+    }
+}
+
+/// Why a campaign could not be set up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignError {
+    /// The good input did not exit normally.
+    GoldenGoodFailed(RunOutcome),
+    /// The bad input did not exit normally.
+    GoldenBadFailed(RunOutcome),
+    /// Good and bad inputs behave identically — there is no attacker goal
+    /// to reach and no vulnerability to measure.
+    IndistinguishableBehaviors,
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::GoldenGoodFailed(o) => write!(f, "golden good-input run failed: {o}"),
+            CampaignError::GoldenBadFailed(o) => write!(f, "golden bad-input run failed: {o}"),
+            CampaignError::IndistinguishableBehaviors => {
+                write!(f, "good and bad inputs produce identical behaviour")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// One evaluated fault and its classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultResult {
+    /// The injected fault.
+    pub fault: Fault,
+    /// How the faulted run compared against the golden runs.
+    pub class: FaultClass,
+}
+
+/// Per-class counts of a campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Summary {
+    /// Total faults evaluated.
+    pub total: usize,
+    /// Successful faults (vulnerabilities).
+    pub success: usize,
+    /// Faults with no attacker-relevant effect.
+    pub benign: usize,
+    /// Faulted runs that crashed.
+    pub crashed: usize,
+    /// Faulted runs that hung.
+    pub timed_out: usize,
+    /// Normal exits matching neither golden behaviour.
+    pub corrupted: usize,
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} faults: {} success, {} benign, {} crashed, {} timed-out, {} corrupted",
+            self.total, self.success, self.benign, self.crashed, self.timed_out, self.corrupted
+        )
+    }
+}
+
+/// The outcome of running one fault model against one binary.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Name of the fault model that was simulated.
+    pub model: &'static str,
+    /// Every evaluated fault, in site order.
+    pub results: Vec<FaultResult>,
+}
+
+impl CampaignReport {
+    /// Number of results in the given class.
+    pub fn count(&self, class: FaultClass) -> usize {
+        self.results.iter().filter(|r| r.class == class).count()
+    }
+
+    /// The successful faults — the vulnerability list handed to the
+    /// patcher.
+    pub fn vulnerabilities(&self) -> Vec<FaultResult> {
+        self.results.iter().copied().filter(|r| r.class == FaultClass::Success).collect()
+    }
+
+    /// Distinct instruction addresses with at least one successful fault —
+    /// the set of *program points* the patcher must protect.
+    pub fn vulnerable_pcs(&self) -> BTreeSet<u64> {
+        self.results
+            .iter()
+            .filter(|r| r.class == FaultClass::Success)
+            .map(|r| r.fault.pc)
+            .collect()
+    }
+
+    /// Aggregated per-class counts.
+    pub fn summary(&self) -> Summary {
+        let mut s = Summary { total: self.results.len(), ..Summary::default() };
+        for r in &self.results {
+            match r.class {
+                FaultClass::Success => s.success += 1,
+                FaultClass::Benign => s.benign += 1,
+                FaultClass::Crashed => s.crashed += 1,
+                FaultClass::TimedOut => s.timed_out += 1,
+                FaultClass::Corrupted => s.corrupted += 1,
+            }
+        }
+        s
+    }
+}
+
+/// A configured fault-injection campaign against one executable.
+///
+/// Construction performs the golden runs and records the bad-input trace;
+/// [`Campaign::run`] then evaluates a [`FaultModel`] against every trace
+/// site. See the crate docs for the full procedure and an example.
+#[derive(Debug)]
+pub struct Campaign<'a> {
+    exe: &'a Executable,
+    bad_input: &'a [u8],
+    golden_good: Execution,
+    golden_bad: Execution,
+    sites: Vec<FaultSite>,
+    config: CampaignConfig,
+}
+
+impl<'a> Campaign<'a> {
+    /// Sets up a campaign with default configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CampaignError`] if either golden run fails or the two
+    /// behaviours are indistinguishable.
+    pub fn new(
+        exe: &'a Executable,
+        good_input: &'a [u8],
+        bad_input: &'a [u8],
+    ) -> Result<Campaign<'a>, CampaignError> {
+        Campaign::with_config(exe, good_input, bad_input, CampaignConfig::default())
+    }
+
+    /// Sets up a campaign with an explicit [`CampaignConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Campaign::new`].
+    pub fn with_config(
+        exe: &'a Executable,
+        good_input: &'a [u8],
+        bad_input: &'a [u8],
+        config: CampaignConfig,
+    ) -> Result<Campaign<'a>, CampaignError> {
+        let golden_good = execute(exe, good_input, config.golden_max_steps);
+        if !golden_good.outcome.is_exit() {
+            return Err(CampaignError::GoldenGoodFailed(golden_good.outcome));
+        }
+        let (golden_bad, trace) = execute_traced(exe, bad_input, config.golden_max_steps);
+        if !golden_bad.outcome.is_exit() {
+            return Err(CampaignError::GoldenBadFailed(golden_bad.outcome));
+        }
+        if golden_good.same_behavior(&golden_bad) {
+            return Err(CampaignError::IndistinguishableBehaviors);
+        }
+        let sites = trace
+            .iter()
+            .enumerate()
+            .filter_map(|(step, &pc)| {
+                let bytes = peek_code(exe, pc)?;
+                let (insn, len) = decode(bytes).ok()?;
+                Some(FaultSite { step: step as u64, pc, insn, len })
+            })
+            .collect();
+        Ok(Campaign { exe, bad_input, golden_good, golden_bad, sites, config })
+    }
+
+    /// The golden good-input behaviour.
+    pub fn golden_good(&self) -> &Execution {
+        &self.golden_good
+    }
+
+    /// The golden bad-input behaviour.
+    pub fn golden_bad(&self) -> &Execution {
+        &self.golden_bad
+    }
+
+    /// The fault sites (one per executed instruction of the bad-input run).
+    pub fn sites(&self) -> &[FaultSite] {
+        &self.sites
+    }
+
+    /// Evaluates `model` over every site, serially.
+    pub fn run(&self, model: &dyn FaultModel) -> CampaignReport {
+        let faults = self.enumerate(model);
+        let results =
+            faults.iter().map(|&fault| FaultResult { fault, class: self.evaluate(&fault) }).collect();
+        CampaignReport { model: model.name(), results }
+    }
+
+    /// Evaluates `model` over every site using `config.threads` workers
+    /// (all cores when 0). Result order matches [`Campaign::run`].
+    pub fn run_parallel(&self, model: &dyn FaultModel) -> CampaignReport {
+        let faults = self.enumerate(model);
+        let threads = if self.config.threads == 0 {
+            std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+        } else {
+            self.config.threads
+        };
+        if threads <= 1 || faults.len() < 2 * threads {
+            return CampaignReport {
+                model: model.name(),
+                results: faults
+                    .iter()
+                    .map(|&fault| FaultResult { fault, class: self.evaluate(&fault) })
+                    .collect(),
+            };
+        }
+        let chunk_size = faults.len().div_ceil(threads);
+        let mut results: Vec<Vec<FaultResult>> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = faults
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        chunk
+                            .iter()
+                            .map(|&fault| FaultResult { fault, class: self.evaluate(&fault) })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                results.push(handle.join().expect("campaign worker panicked"));
+            }
+        })
+        .expect("campaign thread scope failed");
+        CampaignReport { model: model.name(), results: results.concat() }
+    }
+
+    fn enumerate(&self, model: &dyn FaultModel) -> Vec<Fault> {
+        let stride = self.config.site_stride.max(1);
+        self.sites.iter().step_by(stride).flat_map(|site| model.faults_at(site)).collect()
+    }
+
+    /// Replays the bad-input run to the fault's step, injects it, resumes,
+    /// and classifies the resulting behaviour.
+    fn evaluate(&self, fault: &Fault) -> FaultClass {
+        let mut machine = Machine::new(self.exe, self.bad_input);
+        for _ in 0..fault.step {
+            if machine.step().is_err() {
+                // Cannot happen on a golden trace; treat defensively.
+                return FaultClass::Crashed;
+            }
+        }
+        debug_assert_eq!(machine.pc(), fault.pc, "trace replay diverged");
+        match fault.effect {
+            FaultEffect::SkipInstruction => {
+                if machine.skip_instruction().is_err() {
+                    return FaultClass::Crashed;
+                }
+            }
+            FaultEffect::FlipInstructionBit { byte, bit } => {
+                let addr = fault.pc + byte as u64;
+                let Some(&current) = machine.peek_bytes(addr, 1).and_then(|b| b.first()) else {
+                    return FaultClass::Crashed;
+                };
+                machine.poke_bytes(addr, &[current ^ (1 << bit)]);
+            }
+            FaultEffect::FlipRegisterBit { reg, bit } => {
+                machine.set_reg(reg, machine.reg(reg) ^ (1u64 << bit));
+            }
+            FaultEffect::FlipFlags { mask } => {
+                machine.set_flags(Flags::from_bits(machine.flags().to_bits() ^ u64::from(mask)));
+            }
+        }
+        let budget = (self.golden_bad.steps * self.config.faulted_step_multiplier)
+            .max(self.config.faulted_min_steps);
+        let result = machine.run(budget);
+        let execution = Execution {
+            outcome: result.outcome,
+            output: machine.take_output(),
+            steps: result.steps,
+        };
+        self.classify(&execution)
+    }
+
+    fn classify(&self, execution: &Execution) -> FaultClass {
+        if execution.same_behavior(&self.golden_good) {
+            FaultClass::Success
+        } else if execution.same_behavior(&self.golden_bad) {
+            FaultClass::Benign
+        } else {
+            match execution.outcome {
+                RunOutcome::Crashed { .. } => FaultClass::Crashed,
+                RunOutcome::TimedOut => FaultClass::TimedOut,
+                RunOutcome::Exited { .. } => FaultClass::Corrupted,
+            }
+        }
+    }
+}
+
+/// Reads up to [`MAX_INSTR_LEN`] code bytes at `pc` from the executable
+/// image (shorter at the end of `.text`).
+fn peek_code(exe: &Executable, pc: u64) -> Option<&[u8]> {
+    let text = exe.text_range();
+    if !text.contains(&pc) {
+        return None;
+    }
+    let available = (text.end - pc).min(MAX_INSTR_LEN as u64) as usize;
+    exe.read_bytes(pc, available)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{FlagFlip, InstructionSkip, SingleBitFlip};
+    use rr_asm::assemble_and_link;
+    use rr_isa::InstrKind;
+    use rr_workloads::pincheck;
+
+    fn pincheck_campaign_parts() -> (Executable, Vec<u8>, Vec<u8>) {
+        let w = pincheck();
+        (w.build().unwrap(), w.good_input, w.bad_input)
+    }
+
+    #[test]
+    fn golden_validation_rejects_broken_setups() {
+        let (exe, good, _) = pincheck_campaign_parts();
+        // Same input for good and bad → indistinguishable.
+        assert_eq!(
+            Campaign::new(&exe, &good, &good).unwrap_err(),
+            CampaignError::IndistinguishableBehaviors
+        );
+        // A crashing program cannot be campaigned.
+        let crasher = assemble_and_link("    .global _start\n_start:\n    halt\n").unwrap();
+        assert!(matches!(
+            Campaign::new(&crasher, b"a", b"b").unwrap_err(),
+            CampaignError::GoldenGoodFailed(_)
+        ));
+    }
+
+    #[test]
+    fn sites_cover_the_bad_trace() {
+        let (exe, good, bad) = pincheck_campaign_parts();
+        let campaign = Campaign::new(&exe, &good, &bad).unwrap();
+        assert_eq!(campaign.sites().len() as u64, campaign.golden_bad().steps);
+        // Sites are in trace order with increasing steps.
+        for (i, site) in campaign.sites().iter().enumerate() {
+            assert_eq!(site.step, i as u64);
+        }
+    }
+
+    #[test]
+    fn unprotected_pincheck_is_skip_vulnerable_at_branches() {
+        let (exe, good, bad) = pincheck_campaign_parts();
+        let campaign = Campaign::new(&exe, &good, &bad).unwrap();
+        let report = campaign.run(&InstructionSkip);
+        let summary = report.summary();
+        assert!(summary.success > 0, "expected skip vulnerabilities: {summary}");
+        assert!(summary.benign > 0, "skips off the critical path are benign");
+
+        // The classic vulnerability: skipping a `jne deny`. The paper
+        // reports all vulnerabilities stem from the conditional jumps and
+        // the mov/cmp instructions feeding them; at minimum a conditional
+        // jump must be among ours.
+        let vulnerable_kinds: Vec<InstrKind> = report
+            .vulnerabilities()
+            .iter()
+            .map(|result| {
+                campaign
+                    .sites()
+                    .iter()
+                    .find(|s| s.step == result.fault.step)
+                    .expect("vulnerability at a known site")
+                    .insn
+                    .kind()
+            })
+            .collect();
+        assert!(
+            vulnerable_kinds.contains(&InstrKind::CondJump),
+            "expected a conditional-jump vulnerability, got {vulnerable_kinds:?}"
+        );
+    }
+
+    #[test]
+    fn bit_flips_produce_crashes_and_successes() {
+        let (exe, good, bad) = pincheck_campaign_parts();
+        let campaign = Campaign::new(&exe, &good, &bad).unwrap();
+        let report = campaign.run_parallel(&SingleBitFlip);
+        let summary = report.summary();
+        assert!(summary.success > 0, "{summary}");
+        assert!(summary.crashed > 0, "sparse opcodes must yield crashes: {summary}");
+        assert!(summary.benign > 0, "{summary}");
+        assert_eq!(
+            summary.total,
+            campaign.sites().iter().map(|s| s.len * 8).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn parallel_and_serial_reports_agree() {
+        let (exe, good, bad) = pincheck_campaign_parts();
+        let config = CampaignConfig { threads: 4, ..CampaignConfig::default() };
+        let campaign = Campaign::with_config(&exe, &good, &bad, config).unwrap();
+        let serial = campaign.run(&InstructionSkip);
+        let parallel = campaign.run_parallel(&InstructionSkip);
+        assert_eq!(serial.results, parallel.results);
+    }
+
+    #[test]
+    fn flag_flips_can_invert_decisions() {
+        let (exe, good, bad) = pincheck_campaign_parts();
+        let campaign = Campaign::new(&exe, &good, &bad).unwrap();
+        let report = campaign.run(&FlagFlip);
+        // Flipping Z right before `jne deny` takes the grant path.
+        assert!(report.summary().success > 0);
+    }
+
+    #[test]
+    fn vulnerable_pcs_deduplicate_loop_sites() {
+        let (exe, good, bad) = pincheck_campaign_parts();
+        let campaign = Campaign::new(&exe, &good, &bad).unwrap();
+        let report = campaign.run(&InstructionSkip);
+        let pcs = report.vulnerable_pcs();
+        assert!(!pcs.is_empty());
+        assert!(pcs.len() <= report.vulnerabilities().len());
+        for pc in &pcs {
+            assert!(exe.text_range().contains(pc));
+        }
+    }
+
+    #[test]
+    fn summary_counts_add_up() {
+        let (exe, good, bad) = pincheck_campaign_parts();
+        let campaign = Campaign::new(&exe, &good, &bad).unwrap();
+        let report = campaign.run(&InstructionSkip);
+        let s = report.summary();
+        assert_eq!(s.total, s.success + s.benign + s.crashed + s.timed_out + s.corrupted);
+        assert_eq!(s.total, report.results.len());
+    }
+}

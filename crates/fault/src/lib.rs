@@ -1,0 +1,53 @@
+//! # rr-fault — fault models and the fault-injection campaign engine
+//!
+//! This crate is the **faulter** of the paper's Faulter+Patcher loop
+//! (§IV-B): it simulates hardware fault injection against an
+//! [`rr_obj::Executable`] and reports which faults are *successful* — i.e.
+//! make a run on a **bad** input behave exactly like a run on a **good**
+//! input (the attacker's goal).
+//!
+//! The procedure follows the paper:
+//!
+//! 1. Run the binary on the good and the bad input; both must exit
+//!    normally and behave differently (the *golden* runs).
+//! 2. Trace the bad-input run: every executed program counter is a
+//!    potential fault site.
+//! 3. For every site and every concrete fault the chosen [`FaultModel`]
+//!    enumerates there, replay the run up to that step, apply the fault,
+//!    resume, and classify the behaviour.
+//!
+//! Classification ([`FaultClass`]): `Success` (matches the good run —
+//! a vulnerability), `Benign` (still matches the bad run), `Crashed`,
+//! `TimedOut`, or `Corrupted` (some third behaviour).
+//!
+//! Fault models provided:
+//!
+//! * [`InstructionSkip`] — the paper's "instruction skip" model,
+//! * [`SingleBitFlip`] — the paper's "single bit flip" model (a persistent
+//!   flip in the instruction's encoded bytes, as a voltage/laser glitch on
+//!   the fetch path would produce),
+//! * [`RegisterBitFlip`] and [`FlagFlip`] — additional transient models
+//!   for wider coverage.
+//!
+//! ## Example
+//!
+//! ```
+//! use rr_fault::{Campaign, FaultClass, InstructionSkip};
+//! use rr_workloads::pincheck;
+//!
+//! let w = pincheck();
+//! let exe = w.build()?;
+//! let campaign = Campaign::new(&exe, &w.good_input, &w.bad_input)?;
+//! let report = campaign.run(&InstructionSkip);
+//! // The unprotected pincheck is skip-vulnerable:
+//! assert!(report.count(FaultClass::Success) > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod campaign;
+mod model;
+mod site;
+
+pub use campaign::{Campaign, CampaignConfig, CampaignError, CampaignReport, FaultResult, Summary};
+pub use model::{FaultModel, FlagFlip, InstructionSkip, RegisterBitFlip, SingleBitFlip};
+pub use site::{Fault, FaultClass, FaultEffect, FaultSite};

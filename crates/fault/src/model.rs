@@ -1,0 +1,157 @@
+//! Fault models: enumerating concrete faults at a trace site.
+
+use crate::site::{Fault, FaultEffect, FaultSite};
+use rr_isa::Reg;
+
+/// A fault model enumerates the concrete faults an attacker with a given
+/// physical capability could inject at one execution-trace site.
+///
+/// Implementations must be [`Sync`]: campaigns evaluate faults from
+/// multiple threads.
+pub trait FaultModel: Sync {
+    /// The model's name, used in reports (e.g. `"instruction-skip"`).
+    fn name(&self) -> &'static str;
+
+    /// All faults this model can inject at `site`.
+    fn faults_at(&self, site: &FaultSite) -> Vec<Fault>;
+}
+
+/// The paper's **instruction skip** model: each executed instruction can be
+/// skipped exactly once.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InstructionSkip;
+
+impl FaultModel for InstructionSkip {
+    fn name(&self) -> &'static str {
+        "instruction-skip"
+    }
+
+    fn faults_at(&self, site: &FaultSite) -> Vec<Fault> {
+        vec![Fault { step: site.step, pc: site.pc, effect: FaultEffect::SkipInstruction }]
+    }
+}
+
+/// The paper's **single bit flip** model: one bit anywhere in the encoded
+/// bytes of the instruction about to execute is flipped (persistently, as a
+/// glitched instruction fetch latched into the pipeline/cache would be).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SingleBitFlip;
+
+impl FaultModel for SingleBitFlip {
+    fn name(&self) -> &'static str {
+        "single-bit-flip"
+    }
+
+    fn faults_at(&self, site: &FaultSite) -> Vec<Fault> {
+        let mut faults = Vec::with_capacity(site.len * 8);
+        for byte in 0..site.len {
+            for bit in 0..8u8 {
+                faults.push(Fault {
+                    step: site.step,
+                    pc: site.pc,
+                    effect: FaultEffect::FlipInstructionBit { byte, bit },
+                });
+            }
+        }
+        faults
+    }
+}
+
+/// Transient single-bit corruption of architectural registers just before
+/// an instruction executes. An *extension* model (not in the paper's
+/// evaluation); restrict `regs`/`bits` to keep campaigns tractable.
+#[derive(Debug, Clone)]
+pub struct RegisterBitFlip {
+    /// Registers to target.
+    pub regs: Vec<Reg>,
+    /// Bit positions to flip (0–63).
+    pub bits: Vec<u8>,
+}
+
+impl RegisterBitFlip {
+    /// Targets the low `n_bits` bits of every register.
+    pub fn low_bits(n_bits: u8) -> RegisterBitFlip {
+        RegisterBitFlip { regs: Reg::ALL.to_vec(), bits: (0..n_bits).collect() }
+    }
+}
+
+impl FaultModel for RegisterBitFlip {
+    fn name(&self) -> &'static str {
+        "register-bit-flip"
+    }
+
+    fn faults_at(&self, site: &FaultSite) -> Vec<Fault> {
+        let mut faults = Vec::with_capacity(self.regs.len() * self.bits.len());
+        for &reg in &self.regs {
+            for &bit in &self.bits {
+                faults.push(Fault {
+                    step: site.step,
+                    pc: site.pc,
+                    effect: FaultEffect::FlipRegisterBit { reg, bit },
+                });
+            }
+        }
+        faults
+    }
+}
+
+/// Transient corruption of the condition flags just before an instruction
+/// executes — the minimal model for "the glitch changed the jump
+/// condition". An extension model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlagFlip;
+
+impl FaultModel for FlagFlip {
+    fn name(&self) -> &'static str {
+        "flag-flip"
+    }
+
+    fn faults_at(&self, site: &FaultSite) -> Vec<Fault> {
+        (0..4)
+            .map(|bit| Fault {
+                step: site.step,
+                pc: site.pc,
+                effect: FaultEffect::FlipFlags { mask: 1 << bit },
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_isa::Instr;
+
+    fn site(len: usize) -> FaultSite {
+        FaultSite { step: 3, pc: 0x1010, insn: Instr::Nop, len }
+    }
+
+    #[test]
+    fn skip_yields_one_fault_per_site() {
+        let faults = InstructionSkip.faults_at(&site(6));
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].effect, FaultEffect::SkipInstruction);
+        assert_eq!(faults[0].step, 3);
+    }
+
+    #[test]
+    fn bit_flip_enumerates_every_bit() {
+        let faults = SingleBitFlip.faults_at(&site(6));
+        assert_eq!(faults.len(), 48);
+        // All distinct.
+        let unique: std::collections::HashSet<_> = faults.iter().map(|f| f.effect).collect();
+        assert_eq!(unique.len(), 48);
+    }
+
+    #[test]
+    fn register_model_respects_configuration() {
+        let model = RegisterBitFlip { regs: vec![Reg::R1, Reg::R2], bits: vec![0, 63] };
+        assert_eq!(model.faults_at(&site(1)).len(), 4);
+        assert_eq!(RegisterBitFlip::low_bits(2).faults_at(&site(1)).len(), 32);
+    }
+
+    #[test]
+    fn flag_model_targets_four_bits() {
+        assert_eq!(FlagFlip.faults_at(&site(1)).len(), 4);
+    }
+}

@@ -1,0 +1,139 @@
+//! Fault sites, concrete faults, and outcome classes.
+
+use rr_isa::{Instr, Reg};
+use std::fmt;
+
+/// A point in the golden bad-input trace where faults can be injected:
+/// instruction `insn` (of encoded length `len`) was about to execute at
+/// trace step `step` with the program counter at `pc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSite {
+    /// 0-based index into the execution trace.
+    pub step: u64,
+    /// Address of the instruction.
+    pub pc: u64,
+    /// The decoded instruction.
+    pub insn: Instr,
+    /// Its encoded length in bytes.
+    pub len: usize,
+}
+
+/// The physical effect a fault model injects at a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultEffect {
+    /// Do not execute the instruction; continue at the next one.
+    SkipInstruction,
+    /// Flip one bit of the instruction's encoding in memory. Persistent
+    /// for the remainder of the run (the paper's single-bit-flip model).
+    FlipInstructionBit {
+        /// Byte index within the instruction (0-based).
+        byte: usize,
+        /// Bit index within that byte (0–7).
+        bit: u8,
+    },
+    /// Flip one bit of a register, transiently, just before execution.
+    FlipRegisterBit {
+        /// The register.
+        reg: Reg,
+        /// Bit index (0–63).
+        bit: u8,
+    },
+    /// XOR the packed condition flags with a mask just before execution.
+    FlipFlags {
+        /// Mask over the packed NZCV bits (see [`rr_isa::Flags::to_bits`]).
+        mask: u8,
+    },
+}
+
+impl fmt::Display for FaultEffect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultEffect::SkipInstruction => write!(f, "skip"),
+            FaultEffect::FlipInstructionBit { byte, bit } => {
+                write!(f, "flip insn byte {byte} bit {bit}")
+            }
+            FaultEffect::FlipRegisterBit { reg, bit } => write!(f, "flip {reg} bit {bit}"),
+            FaultEffect::FlipFlags { mask } => write!(f, "flip flags mask {mask:#x}"),
+        }
+    }
+}
+
+/// One concrete injectable fault: an effect at a trace site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// Trace step at which the effect is applied.
+    pub step: u64,
+    /// Program counter of the targeted instruction.
+    pub pc: u64,
+    /// What the fault does.
+    pub effect: FaultEffect,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "step {} @ {:#x}: {}", self.step, self.pc, self.effect)
+    }
+}
+
+/// How a faulted run compared against the golden runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// Behaved like the **good** run — a successful fault, i.e. a
+    /// vulnerability the patcher must fix.
+    Success,
+    /// Behaved like the (unfaulted) **bad** run — the fault had no
+    /// attacker-relevant effect.
+    Benign,
+    /// The machine crashed (any [`rr_emu::CpuFault`]); detectable.
+    Crashed,
+    /// The run exceeded its step budget; detectable.
+    TimedOut,
+    /// Exited normally but matched neither golden behaviour.
+    Corrupted,
+}
+
+impl FaultClass {
+    /// All classes, in reporting order.
+    pub const ALL: [FaultClass; 5] = [
+        FaultClass::Success,
+        FaultClass::Benign,
+        FaultClass::Crashed,
+        FaultClass::TimedOut,
+        FaultClass::Corrupted,
+    ];
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultClass::Success => "success",
+            FaultClass::Benign => "benign",
+            FaultClass::Crashed => "crashed",
+            FaultClass::TimedOut => "timed-out",
+            FaultClass::Corrupted => "corrupted",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let fault = Fault {
+            step: 12,
+            pc: 0x1040,
+            effect: FaultEffect::FlipInstructionBit { byte: 1, bit: 7 },
+        };
+        let text = fault.to_string();
+        assert!(text.contains("12") && text.contains("0x1040") && text.contains("bit 7"), "{text}");
+    }
+
+    #[test]
+    fn class_display_covers_all() {
+        for class in FaultClass::ALL {
+            assert!(!class.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! The full-duplication baseline (paper §V-C's "duplicating every
+//! instruction … implies at least 300% overhead in code size").
+
+use rr_ir::{BinOp, BlockId, Function, Module, Op, Pass, Pred, Terminator, ValueId};
+
+/// Duplicates every pure computation, accumulates the XOR of each
+/// original/duplicate pair, and verifies the accumulator is zero before
+/// every block transfer (mismatch → fault-response abort).
+///
+/// This is the "go-to protection scheme" the paper's targeted approaches
+/// are compared against; the benches measure its code-size factor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullDuplication;
+
+impl Pass for FullDuplication {
+    fn name(&self) -> &'static str {
+        "full-duplication"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        for f in module.functions_mut() {
+            changed |= duplicate_function(f);
+        }
+        changed
+    }
+}
+
+fn duplicate_function(f: &mut Function) -> bool {
+    // Snapshot blocks first: the pass adds tail and fault-response blocks.
+    let original_blocks: Vec<BlockId> = f.block_ids().collect();
+    let has_duplicable = original_blocks.iter().any(|&b| {
+        f.block(b).ops.iter().any(|&v| f.op(v).is_pure() && !f.op(v).operands().is_empty())
+    });
+    if !has_duplicable {
+        return false;
+    }
+
+    let fault_response = f.new_block();
+    f.set_terminator(fault_response, Terminator::Abort);
+
+    for b in original_blocks {
+        let ops = f.block(b).ops.clone();
+        let mut rebuilt: Vec<ValueId> = Vec::with_capacity(ops.len() * 2);
+        let mut diffs: Vec<ValueId> = Vec::new();
+        for v in ops {
+            rebuilt.push(v);
+            let op = f.op(v).clone();
+            // Duplicate pure computations with at least one operand
+            // (duplicating constants catches nothing: both copies come
+            // from the same immune immediate).
+            if op.is_pure() && !op.operands().is_empty() {
+                let clone = f.alloc(op);
+                rebuilt.push(clone);
+                let diff = f.alloc(Op::BinOp { op: BinOp::Xor, lhs: v, rhs: clone });
+                rebuilt.push(diff);
+                diffs.push(diff);
+            }
+        }
+        if diffs.is_empty() {
+            continue;
+        }
+        // Accumulate differences and verify before the transfer.
+        let mut acc = diffs[0];
+        for &d in &diffs[1..] {
+            let or = f.alloc(Op::BinOp { op: BinOp::Or, lhs: acc, rhs: d });
+            rebuilt.push(or);
+            acc = or;
+        }
+        let zero = f.alloc(Op::Const(0));
+        rebuilt.push(zero);
+        let ok = f.alloc(Op::ICmp { pred: Pred::Eq, lhs: acc, rhs: zero });
+        rebuilt.push(ok);
+        f.block_mut(b).ops = rebuilt;
+
+        // Split: move the original terminator to a fresh tail block and
+        // branch to it only if the accumulator checks out.
+        let tail = f.new_block();
+        let term = std::mem::replace(&mut f.block_mut(b).term, Terminator::Unset);
+        f.set_terminator(tail, term.clone());
+        f.set_terminator(b, Terminator::CondBr { cond: ok, if_true: tail, if_false: fault_response });
+
+        // Phis in original successors now receive the edge from `tail`.
+        for succ in term.successors() {
+            rewrite_phi_pred(f, succ, b, tail);
+        }
+    }
+    true
+}
+
+fn rewrite_phi_pred(f: &mut Function, block: BlockId, old_pred: BlockId, new_pred: BlockId) {
+    let ops = f.block(block).ops.clone();
+    for v in ops {
+        if let Op::Phi { incomings } = f.op_mut(v) {
+            for (pred, _) in incomings.iter_mut() {
+                if *pred == old_pred {
+                    *pred = new_pred;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_ir::{verify, Cell};
+
+    fn arithmetic_module() -> Module {
+        let mut f = Function::new("__rr_entry");
+        let e = f.entry();
+        let a = f.append(e, Op::ReadCell(Cell::reg(1)));
+        let b = f.append(e, Op::ReadCell(Cell::reg(2)));
+        let s = f.append(e, Op::BinOp { op: BinOp::Add, lhs: a, rhs: b });
+        let t = f.append(e, Op::BinOp { op: BinOp::Mul, lhs: s, rhs: a });
+        f.append(e, Op::WriteCell { cell: Cell::reg(0), value: t });
+        f.set_terminator(e, Terminator::Ret);
+        let mut m = Module::new();
+        m.entry = "__rr_entry".into();
+        m.push_function(f);
+        m
+    }
+
+    #[test]
+    fn duplicated_module_verifies_and_doubles_compute() {
+        let mut m = arithmetic_module();
+        let before = m.placed_op_count();
+        assert!(FullDuplication.run(&mut m));
+        verify(&m).unwrap();
+        let after = m.placed_op_count();
+        // Each of the two pure binops gains a clone + xor; plus or/const/
+        // icmp — comfortably > 2× the pure compute.
+        assert!(after >= before + 7, "{before} → {after}");
+        // A fault-response and a tail block were added.
+        assert_eq!(m.functions()[0].block_count(), 3);
+    }
+
+    #[test]
+    fn blocks_without_pure_ops_are_untouched() {
+        let mut f = Function::new("io");
+        let e = f.entry();
+        f.append(e, Op::Svc { num: 0 });
+        f.set_terminator(e, Terminator::Abort);
+        let mut m = Module::new();
+        m.push_function(f);
+        let before = m.clone();
+        assert!(!FullDuplication.run(&mut m));
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn phi_successors_are_rewired() {
+        let mut f = Function::new("f");
+        let e = f.entry();
+        let j = f.new_block();
+        let a = f.append(e, Op::ReadCell(Cell::reg(1)));
+        let n = f.append(e, Op::Not(a));
+        f.set_terminator(e, Terminator::Br(j));
+        let phi = f.append(j, Op::Phi { incomings: vec![(e, n)] });
+        f.append(j, Op::WriteCell { cell: Cell::reg(0), value: phi });
+        f.set_terminator(j, Terminator::Ret);
+        let mut m = Module::new();
+        m.push_function(f);
+        FullDuplication.run(&mut m);
+        verify(&m).unwrap();
+    }
+}

@@ -1,0 +1,181 @@
+//! Dominator analysis and CFG utilities.
+
+use crate::func::Function;
+use crate::types::BlockId;
+
+/// Reverse post-order of the blocks reachable from the entry.
+pub fn reverse_post_order(f: &Function) -> Vec<BlockId> {
+    let mut visited = vec![false; f.block_count()];
+    let mut order = Vec::new();
+    fn dfs(f: &Function, b: BlockId, visited: &mut [bool], order: &mut Vec<BlockId>) {
+        if std::mem::replace(&mut visited[b.index()], true) {
+            return;
+        }
+        for succ in f.block(b).term.successors() {
+            dfs(f, succ, visited, order);
+        }
+        order.push(b);
+    }
+    dfs(f, f.entry(), &mut visited, &mut order);
+    order.reverse();
+    order
+}
+
+/// The immediate-dominator tree of a function, computed with the classic
+/// Cooper–Harvey–Kennedy iterative algorithm.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// `idom[b]` — immediate dominator of block `b` (`None` for the entry
+    /// and for unreachable blocks).
+    idom: Vec<Option<BlockId>>,
+    /// Reverse post-order used during computation.
+    rpo: Vec<BlockId>,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of `f`.
+    pub fn compute(f: &Function) -> DomTree {
+        let rpo = reverse_post_order(f);
+        let mut rpo_index = vec![usize::MAX; f.block_count()];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        let preds = f.predecessors();
+        let mut idom: Vec<Option<BlockId>> = vec![None; f.block_count()];
+        let entry = f.entry();
+        idom[entry.index()] = Some(entry);
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b.index()] {
+                    if idom[p.index()].is_none() {
+                        continue; // unreachable or not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, cur, p),
+                    });
+                }
+                if let Some(n) = new_idom {
+                    if idom[b.index()] != Some(n) {
+                        idom[b.index()] = Some(n);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        // Normalize: entry's idom is conventionally None for callers.
+        idom[entry.index()] = None;
+        DomTree { idom, rpo }
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry or
+    /// unreachable blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.index()]
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(next) => cur = next,
+                None => return false,
+            }
+        }
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo.contains(&b)
+    }
+
+    /// The reverse post-order computed alongside the tree.
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[a.index()] > rpo_index[b.index()] {
+            a = idom[a.index()].expect("processed blocks have idoms");
+        }
+        while rpo_index[b.index()] > rpo_index[a.index()] {
+            b = idom[b.index()].expect("processed blocks have idoms");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{Op, Terminator};
+
+    /// entry → {then, else} → join → exit, plus a loop join → then.
+    fn diamond_with_loop() -> (Function, [BlockId; 5]) {
+        let mut f = Function::new("t");
+        let entry = f.entry();
+        let then_bb = f.new_block();
+        let else_bb = f.new_block();
+        let join = f.new_block();
+        let exit = f.new_block();
+        let cond = f.append(entry, Op::Const(1));
+        f.set_terminator(entry, Terminator::CondBr { cond, if_true: then_bb, if_false: else_bb });
+        f.set_terminator(then_bb, Terminator::Br(join));
+        f.set_terminator(else_bb, Terminator::Br(join));
+        let cond2 = f.append(join, Op::Const(0));
+        f.set_terminator(join, Terminator::CondBr { cond: cond2, if_true: then_bb, if_false: exit });
+        f.set_terminator(exit, Terminator::Ret);
+        (f, [entry, then_bb, else_bb, join, exit])
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let (f, blocks) = diamond_with_loop();
+        let rpo = reverse_post_order(&f);
+        assert_eq!(rpo[0], blocks[0]);
+        assert_eq!(rpo.len(), 5);
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        let (f, [entry, then_bb, else_bb, join, exit]) = diamond_with_loop();
+        let dom = DomTree::compute(&f);
+        assert_eq!(dom.idom(entry), None);
+        assert_eq!(dom.idom(then_bb), Some(entry)); // two preds: entry, join
+        assert_eq!(dom.idom(else_bb), Some(entry));
+        assert_eq!(dom.idom(join), Some(entry));
+        assert_eq!(dom.idom(exit), Some(join));
+        assert!(dom.dominates(entry, exit));
+        assert!(dom.dominates(join, exit));
+        assert!(!dom.dominates(then_bb, exit));
+        assert!(dom.dominates(exit, exit));
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_idom() {
+        let mut f = Function::new("t");
+        let entry = f.entry();
+        f.set_terminator(entry, Terminator::Ret);
+        let dead = f.new_block();
+        f.set_terminator(dead, Terminator::Ret);
+        let dom = DomTree::compute(&f);
+        assert_eq!(dom.idom(dead), None);
+        assert!(!dom.is_reachable(dead));
+        assert!(!dom.dominates(entry, dead));
+    }
+}

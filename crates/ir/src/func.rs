@@ -1,0 +1,201 @@
+//! Functions and blocks.
+
+use crate::ops::{Op, Terminator};
+use crate::types::{BlockId, ValueId};
+
+/// One basic block: an ordered list of ops and a terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Ops in execution order (value ids into the function's arena).
+    pub ops: Vec<ValueId>,
+    /// How the block ends.
+    pub term: Terminator,
+}
+
+impl Block {
+    fn new() -> Block {
+        Block { ops: Vec::new(), term: Terminator::Unset }
+    }
+}
+
+/// An RRIR function: a CFG of blocks over an arena of ops.
+///
+/// Every op lives in the arena (`ops`) and is referenced from exactly one
+/// block; its index is its [`ValueId`]. Use [`Function::append`] to build
+/// blocks and [`Function::new_block`] to extend the CFG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// The function's (symbol) name.
+    pub name: String,
+    blocks: Vec<Block>,
+    arena: Vec<Op>,
+}
+
+impl Function {
+    /// Creates a function with a single empty entry block.
+    pub fn new(name: impl Into<String>) -> Function {
+        Function { name: name.into(), blocks: vec![Block::new()], arena: Vec::new() }
+    }
+
+    /// The entry block (always block 0).
+    pub fn entry(&self) -> BlockId {
+        BlockId::from_index(0)
+    }
+
+    /// Adds an empty block and returns its id.
+    pub fn new_block(&mut self) -> BlockId {
+        self.blocks.push(Block::new());
+        BlockId::from_index(self.blocks.len() - 1)
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of ops in the arena (including ones removed from blocks).
+    pub fn value_count(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// All block ids in index order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> {
+        (0..self.blocks.len()).map(BlockId::from_index)
+    }
+
+    /// Immutable block access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is not in this function.
+    pub fn block(&self, block: BlockId) -> &Block {
+        &self.blocks[block.index()]
+    }
+
+    /// Mutable block access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is not in this function.
+    pub fn block_mut(&mut self, block: BlockId) -> &mut Block {
+        &mut self.blocks[block.index()]
+    }
+
+    /// The op defining `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not in this function.
+    pub fn op(&self, value: ValueId) -> &Op {
+        &self.arena[value.index()]
+    }
+
+    /// Mutable access to the op defining `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not in this function.
+    pub fn op_mut(&mut self, value: ValueId) -> &mut Op {
+        &mut self.arena[value.index()]
+    }
+
+    /// Appends `op` at the end of `block`, returning its value.
+    pub fn append(&mut self, block: BlockId, op: Op) -> ValueId {
+        let value = self.alloc(op);
+        self.blocks[block.index()].ops.push(value);
+        value
+    }
+
+    /// Inserts `op` at position `at` within `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > block.ops.len()`.
+    pub fn insert(&mut self, block: BlockId, at: usize, op: Op) -> ValueId {
+        let value = self.alloc(op);
+        self.blocks[block.index()].ops.insert(at, value);
+        value
+    }
+
+    /// Allocates an op in the arena without placing it in a block (the
+    /// caller must attach it to exactly one block).
+    pub fn alloc(&mut self, op: Op) -> ValueId {
+        self.arena.push(op);
+        ValueId::from_index(self.arena.len() - 1)
+    }
+
+    /// Sets `block`'s terminator.
+    pub fn set_terminator(&mut self, block: BlockId, term: Terminator) {
+        self.blocks[block.index()].term = term;
+    }
+
+    /// Iterates `(block, value, op)` over every placed op in block order.
+    pub fn iter_ops(&self) -> impl Iterator<Item = (BlockId, ValueId, &Op)> {
+        self.blocks.iter().enumerate().flat_map(move |(b, block)| {
+            block.ops.iter().map(move |&v| (BlockId::from_index(b), v, &self.arena[v.index()]))
+        })
+    }
+
+    /// Total number of ops currently placed in blocks — the "LLVM-IR
+    /// instruction count" metric of the paper's Table IV.
+    pub fn placed_op_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.ops.len()).sum()
+    }
+
+    /// Predecessor blocks of every block.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (i, block) in self.blocks.iter().enumerate() {
+            for succ in block.term.successors() {
+                preds[succ.index()].push(BlockId::from_index(i));
+            }
+        }
+        preds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::BinOp;
+
+    #[test]
+    fn build_simple_function() {
+        let mut f = Function::new("f");
+        let entry = f.entry();
+        let a = f.append(entry, Op::Const(1));
+        let b = f.append(entry, Op::Const(2));
+        let c = f.append(entry, Op::BinOp { op: BinOp::Add, lhs: a, rhs: b });
+        f.set_terminator(entry, Terminator::Ret);
+        assert_eq!(f.placed_op_count(), 3);
+        assert_eq!(f.op(c).operands(), vec![a, b]);
+        assert_eq!(f.block(entry).term, Terminator::Ret);
+    }
+
+    #[test]
+    fn blocks_and_predecessors() {
+        let mut f = Function::new("f");
+        let entry = f.entry();
+        let then_bb = f.new_block();
+        let else_bb = f.new_block();
+        let join = f.new_block();
+        let cond = f.append(entry, Op::Const(1));
+        f.set_terminator(entry, Terminator::CondBr { cond, if_true: then_bb, if_false: else_bb });
+        f.set_terminator(then_bb, Terminator::Br(join));
+        f.set_terminator(else_bb, Terminator::Br(join));
+        f.set_terminator(join, Terminator::Ret);
+        let preds = f.predecessors();
+        assert_eq!(preds[join.index()], vec![then_bb, else_bb]);
+        assert_eq!(preds[entry.index()], Vec::<BlockId>::new());
+    }
+
+    #[test]
+    fn insert_places_op_mid_block() {
+        let mut f = Function::new("f");
+        let entry = f.entry();
+        let a = f.append(entry, Op::Const(1));
+        let b = f.append(entry, Op::Const(2));
+        let mid = f.insert(entry, 1, Op::Const(99));
+        assert_eq!(f.block(entry).ops, vec![a, mid, b]);
+    }
+}

@@ -1,0 +1,66 @@
+//! # rr-ir — RRIR, the compiler intermediate representation
+//!
+//! RRIR is this workspace's LLVM-IR stand-in: the high-level form the
+//! Hybrid rewriting approach of *Rewrite to Reinforce* lifts binaries into,
+//! transforms (conditional-branch hardening, duplication baselines —
+//! implemented in `rr-harden`), and lowers back to RRVM machine code
+//! (`rr-lower`).
+//!
+//! ## Design
+//!
+//! Following Rev.ng's actual architecture, RRIR separates two kinds of
+//! state:
+//!
+//! * **SSA values** — every [`Op`] produces one immutable value
+//!   ([`ValueId`]); dataflow between operations is pure SSA, which is what
+//!   the hardening pass manipulates.
+//! * **Cells** ([`Cell`]) — the architectural machine state (16 registers
+//!   + 4 condition flags), modelled as module-level mutable slots accessed
+//!   with [`Op::ReadCell`]/[`Op::WriteCell`]. Lifted code moves machine
+//!   state through cells; optimization passes such as
+//!   [`passes::PromoteCells`] forward values through them and delete dead
+//!   writes, and the backend materializes them in memory.
+//!
+//! A [`Module`] holds [`Function`]s; each function is a CFG of
+//! [`Block`]s whose bodies are ops and whose exits are [`Terminator`]s.
+//! The [`verify`] checker enforces SSA dominance, phi coherence, and
+//! reference validity; [`dom`] provides dominator trees and CFG utilities;
+//! [`PassManager`] sequences transformations with optional verification
+//! between them.
+//!
+//! ## Example
+//!
+//! ```
+//! use rr_ir::{BinOp, Function, Module, Op, Pred, Terminator};
+//!
+//! let mut f = Function::new("max_plus_one");
+//! let entry = f.entry();
+//! let a = f.append(entry, Op::Const(3));
+//! let b = f.append(entry, Op::Const(5));
+//! let cmp = f.append(entry, Op::ICmp { pred: Pred::Slt, lhs: a, rhs: b });
+//! let bigger = f.append(entry, Op::Select { cond: cmp, if_true: b, if_false: a });
+//! let one = f.append(entry, Op::Const(1));
+//! let _sum = f.append(entry, Op::BinOp { op: BinOp::Add, lhs: bigger, rhs: one });
+//! f.set_terminator(entry, Terminator::Ret);
+//!
+//! let mut module = Module::new();
+//! module.push_function(f);
+//! rr_ir::verify(&module).expect("valid module");
+//! ```
+
+pub mod dom;
+mod func;
+pub mod interp;
+mod module;
+mod ops;
+pub mod passes;
+pub mod print;
+mod types;
+mod verify;
+
+pub use func::{Block, Function};
+pub use module::Module;
+pub use ops::{BinOp, Op, Pred, Terminator, Width};
+pub use passes::{Pass, PassManager};
+pub use types::{BlockId, Cell, ValueId};
+pub use verify::{verify, verify_function, VerifyError};

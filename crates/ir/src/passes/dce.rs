@@ -1,0 +1,145 @@
+//! Dead-code elimination: removes placed ops whose values are never used
+//! and that have no side effects.
+
+use super::Pass;
+use crate::func::Function;
+use crate::module::Module;
+use crate::ops::Terminator;
+use crate::types::ValueId;
+use std::collections::HashSet;
+
+/// Classic mark-and-sweep DCE over a function's placed ops.
+///
+/// Roots: side-effecting ops and terminator conditions. Everything not
+/// transitively reachable from a root is removed. `ReadCell` is removable
+/// when unused (reading architectural state is observation-free).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeadCodeElimination;
+
+impl Pass for DeadCodeElimination {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        for f in module.functions_mut() {
+            changed |= dce_function(f);
+        }
+        changed
+    }
+}
+
+fn dce_function(f: &mut Function) -> bool {
+    let mut live: HashSet<ValueId> = HashSet::new();
+    let mut worklist: Vec<ValueId> = Vec::new();
+
+    for b in f.block_ids() {
+        let block = f.block(b);
+        for &v in &block.ops {
+            if f.op(v).has_side_effects() {
+                worklist.push(v);
+            }
+        }
+        if let Terminator::CondBr { cond, .. } = block.term {
+            worklist.push(cond);
+        }
+    }
+
+    while let Some(v) = worklist.pop() {
+        if !live.insert(v) {
+            continue;
+        }
+        let op = f.op(v);
+        worklist.extend(op.operands());
+        if let Some(incomings) = op.phi_incomings() {
+            worklist.extend(incomings.iter().map(|&(_, value)| value));
+        }
+    }
+
+    let mut changed = false;
+    for b in f.block_ids() {
+        let before = f.block(b).ops.len();
+        f.block_mut(b).ops.retain(|v| live.contains(v));
+        changed |= f.block(b).ops.len() != before;
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{BinOp, Op, Width};
+    use crate::types::Cell;
+    use crate::verify::verify_function;
+
+    fn module_of(f: Function) -> Module {
+        let mut m = Module::new();
+        m.push_function(f);
+        m
+    }
+
+    #[test]
+    fn removes_unused_pure_chain() {
+        let mut f = Function::new("f");
+        let e = f.entry();
+        let a = f.append(e, Op::Const(1));
+        let b = f.append(e, Op::Const(2));
+        f.append(e, Op::BinOp { op: BinOp::Add, lhs: a, rhs: b }); // unused
+        f.set_terminator(e, Terminator::Ret);
+        let mut m = module_of(f);
+        assert!(DeadCodeElimination.run(&mut m));
+        assert_eq!(m.functions()[0].placed_op_count(), 0);
+        verify_function(&m.functions()[0], None).unwrap();
+    }
+
+    #[test]
+    fn keeps_side_effects_and_their_inputs() {
+        let mut f = Function::new("f");
+        let e = f.entry();
+        let addr = f.append(e, Op::Const(0x2000));
+        let value = f.append(e, Op::Const(7));
+        f.append(e, Op::Store { addr, value, width: Width::Q });
+        f.append(e, Op::ReadCell(Cell::reg(0))); // unused read → removable
+        f.set_terminator(e, Terminator::Ret);
+        let mut m = module_of(f);
+        DeadCodeElimination.run(&mut m);
+        assert_eq!(m.functions()[0].placed_op_count(), 3);
+    }
+
+    #[test]
+    fn keeps_condbr_condition() {
+        let mut f = Function::new("f");
+        let e = f.entry();
+        let t = f.new_block();
+        let cond = f.append(e, Op::Const(1));
+        f.set_terminator(e, Terminator::CondBr { cond, if_true: t, if_false: t });
+        f.set_terminator(t, Terminator::Ret);
+        let mut m = module_of(f);
+        DeadCodeElimination.run(&mut m);
+        assert_eq!(m.functions()[0].placed_op_count(), 1);
+    }
+
+    #[test]
+    fn phi_operands_stay_live() {
+        let mut f = Function::new("f");
+        let e = f.entry();
+        let t = f.new_block();
+        let u = f.new_block();
+        let j = f.new_block();
+        let cond = f.append(e, Op::Const(0));
+        f.set_terminator(e, Terminator::CondBr { cond, if_true: t, if_false: u });
+        let a = f.append(t, Op::Const(1));
+        f.set_terminator(t, Terminator::Br(j));
+        let b = f.append(u, Op::Const(2));
+        f.set_terminator(u, Terminator::Br(j));
+        let phi = f.append(j, Op::Phi { incomings: vec![(t, a), (u, b)] });
+        f.append(j, Op::WriteCell { cell: Cell::reg(0), value: phi });
+        f.set_terminator(j, Terminator::Ret);
+        let mut m = module_of(f);
+        DeadCodeElimination.run(&mut m);
+        // Nothing removable: everything feeds the write.
+        assert_eq!(m.functions()[0].placed_op_count(), 5);
+        verify_function(&m.functions()[0], None).unwrap();
+    }
+}

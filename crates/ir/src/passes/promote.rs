@@ -1,0 +1,275 @@
+//! Cell promotion: store-to-load forwarding and dead-write elimination for
+//! architectural cells, within basic blocks.
+//!
+//! Lifted code threads every piece of machine state through
+//! [`crate::Op::ReadCell`]/[`crate::Op::WriteCell`], which is faithful but
+//! redundant: `mov r1, 5; add r1, 1` lifts to a write of `r1` immediately
+//! reloaded. This pass is the (deliberately local) analogue of LLVM's
+//! `mem2reg` for Rev.ng-style CPU-state variables:
+//!
+//! * a `ReadCell` preceded in the same block by a write to the same cell
+//!   is replaced by the written value (forwarding);
+//! * a `WriteCell` overwritten later in the same block — with no
+//!   intervening read of that cell and no intervening *barrier* — is
+//!   deleted (dead write).
+//!
+//! Calls (direct, indirect) and `svc` are barriers: callees and the
+//! runtime observe and mutate cells. Block boundaries are barriers too
+//! (successors may read any cell), which keeps the pass trivially sound at
+//! the cost of cross-block redundancy — measured against the naive lift in
+//! the benchmark suite.
+
+use super::Pass;
+use crate::func::Function;
+use crate::module::Module;
+use crate::ops::Op;
+use crate::types::{Cell, ValueId};
+use std::collections::HashMap;
+
+/// The cell-promotion pass. See the module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PromoteCells;
+
+impl Pass for PromoteCells {
+    fn name(&self) -> &'static str {
+        "promote-cells"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        for f in module.functions_mut() {
+            changed |= promote_function(f);
+        }
+        changed
+    }
+}
+
+fn is_barrier(op: &Op) -> bool {
+    matches!(op, Op::Call { .. } | Op::CallIndirect { .. } | Op::Svc { .. })
+}
+
+fn promote_function(f: &mut Function) -> bool {
+    let mut changed = false;
+    let mut replacements: HashMap<ValueId, ValueId> = HashMap::new();
+
+    for b in f.block_ids() {
+        // Pass 1 (forwarding): track last written value per cell.
+        let mut known: HashMap<Cell, ValueId> = HashMap::new();
+        let ops = f.block(b).ops.clone();
+        for &v in &ops {
+            match f.op(v).clone() {
+                Op::ReadCell(cell) => {
+                    if let Some(&value) = known.get(&cell) {
+                        replacements.insert(v, value);
+                        changed = true;
+                    } else {
+                        // Later reads of this cell can reuse this one.
+                        known.insert(cell, v);
+                    }
+                }
+                Op::WriteCell { cell, value } => {
+                    let value = *replacements.get(&value).unwrap_or(&value);
+                    known.insert(cell, value);
+                }
+                op if is_barrier(&op) => known.clear(),
+                _ => {}
+            }
+        }
+
+        // Pass 2 (dead writes): walk backwards; a write is dead if the
+        // same cell is written again before any barrier/read/block-end.
+        let mut will_be_overwritten: HashMap<Cell, bool> = HashMap::new();
+        let mut dead: Vec<ValueId> = Vec::new();
+        for &v in ops.iter().rev() {
+            match f.op(v) {
+                Op::WriteCell { cell, .. } => {
+                    if will_be_overwritten.get(cell).copied().unwrap_or(false) {
+                        dead.push(v);
+                        changed = true;
+                    }
+                    will_be_overwritten.insert(*cell, true);
+                }
+                Op::ReadCell(cell) => {
+                    // Only *surviving* reads block dead-store elimination.
+                    if !replacements.contains_key(&v) {
+                        will_be_overwritten.insert(*cell, false);
+                    }
+                }
+                op if is_barrier(op) => will_be_overwritten.clear(),
+                _ => {}
+            }
+        }
+        if !dead.is_empty() {
+            f.block_mut(b).ops.retain(|v| !dead.contains(v));
+        }
+    }
+
+    // Apply value replacements everywhere (operands and condbr conditions).
+    if !replacements.is_empty() {
+        // Resolve chains (read → read → value).
+        let resolve = |mut v: ValueId| {
+            while let Some(&next) = replacements.get(&v) {
+                if next == v {
+                    break;
+                }
+                v = next;
+            }
+            v
+        };
+        for b in f.block_ids() {
+            let ops = f.block(b).ops.clone();
+            for v in ops {
+                f.op_mut(v).map_operands(resolve);
+            }
+            let mut term = f.block(b).term.clone();
+            if let crate::ops::Terminator::CondBr { cond, .. } = &mut term {
+                *cond = resolve(*cond);
+            }
+            f.set_terminator(b, term);
+        }
+        // Drop the now-unused reads.
+        for b in f.block_ids() {
+            let replaced: Vec<ValueId> = replacements.keys().copied().collect();
+            f.block_mut(b).ops.retain(|v| !replaced.contains(v));
+        }
+    }
+
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{BinOp, Terminator};
+    use crate::verify::verify_function;
+
+    #[test]
+    fn forwards_write_to_read() {
+        let mut f = Function::new("f");
+        let e = f.entry();
+        let c = f.append(e, Op::Const(5));
+        f.append(e, Op::WriteCell { cell: Cell::reg(1), value: c });
+        let r = f.append(e, Op::ReadCell(Cell::reg(1)));
+        let n = f.append(e, Op::Not(r));
+        f.set_terminator(e, Terminator::Ret);
+
+        assert!(PromoteCells.run(&mut module_of(f.clone())));
+        let mut m = module_of(f);
+        PromoteCells.run(&mut m);
+        let f = &m.functions()[0];
+        // The Not must now use the constant directly.
+        assert_eq!(f.op(n).operands(), vec![c]);
+        // The read is gone.
+        assert!(f
+            .block(f.entry())
+            .ops
+            .iter()
+            .all(|&v| !matches!(f.op(v), Op::ReadCell(_))));
+        verify_function(f, None).unwrap();
+    }
+
+    #[test]
+    fn eliminates_dead_write() {
+        let mut f = Function::new("f");
+        let e = f.entry();
+        let a = f.append(e, Op::Const(1));
+        let b = f.append(e, Op::Const(2));
+        f.append(e, Op::WriteCell { cell: Cell::reg(2), value: a }); // dead
+        f.append(e, Op::WriteCell { cell: Cell::reg(2), value: b });
+        f.set_terminator(e, Terminator::Ret);
+
+        let mut m = module_of(f);
+        assert!(PromoteCells.run(&mut m));
+        let f = &m.functions()[0];
+        let writes = f
+            .block(f.entry())
+            .ops
+            .iter()
+            .filter(|&&v| matches!(f.op(v), Op::WriteCell { .. }))
+            .count();
+        assert_eq!(writes, 1);
+        verify_function(f, None).unwrap();
+    }
+
+    #[test]
+    fn calls_are_barriers() {
+        let mut m = Module::new();
+        m.push_function({
+            let mut g = Function::new("g");
+            let e = g.entry();
+            g.set_terminator(e, Terminator::Ret);
+            g
+        });
+        let mut f = Function::new("f");
+        let e = f.entry();
+        let a = f.append(e, Op::Const(1));
+        f.append(e, Op::WriteCell { cell: Cell::reg(1), value: a });
+        f.append(e, Op::Call { callee: "g".into() });
+        let r = f.append(e, Op::ReadCell(Cell::reg(1)));
+        f.append(e, Op::Not(r));
+        f.set_terminator(e, Terminator::Ret);
+        m.push_function(f);
+
+        PromoteCells.run(&mut m);
+        let f = m.function("f").unwrap();
+        // The read after the call must survive (g may have changed r1),
+        // and the write before the call must survive (g may read it).
+        let reads = f
+            .block(f.entry())
+            .ops
+            .iter()
+            .filter(|&&v| matches!(f.op(v), Op::ReadCell(_)))
+            .count();
+        let writes = f
+            .block(f.entry())
+            .ops
+            .iter()
+            .filter(|&&v| matches!(f.op(v), Op::WriteCell { .. }))
+            .count();
+        assert_eq!((reads, writes), (1, 1));
+    }
+
+    #[test]
+    fn read_read_reuses_first_read() {
+        let mut f = Function::new("f");
+        let e = f.entry();
+        let r1 = f.append(e, Op::ReadCell(Cell::reg(3)));
+        let r2 = f.append(e, Op::ReadCell(Cell::reg(3)));
+        let s = f.append(e, Op::BinOp { op: BinOp::Add, lhs: r1, rhs: r2 });
+        f.set_terminator(e, Terminator::Ret);
+        let mut m = module_of(f);
+        PromoteCells.run(&mut m);
+        let f = &m.functions()[0];
+        assert_eq!(f.op(s).operands(), vec![r1, r1]);
+        verify_function(f, None).unwrap();
+    }
+
+    #[test]
+    fn writes_at_block_end_survive() {
+        // Successors may read the cell: the last write must stay.
+        let mut f = Function::new("f");
+        let e = f.entry();
+        let next = f.new_block();
+        let a = f.append(e, Op::Const(1));
+        f.append(e, Op::WriteCell { cell: Cell::reg(1), value: a });
+        f.set_terminator(e, Terminator::Br(next));
+        let r = f.append(next, Op::ReadCell(Cell::reg(1)));
+        f.append(next, Op::Not(r));
+        f.set_terminator(next, Terminator::Ret);
+        let mut m = module_of(f);
+        PromoteCells.run(&mut m);
+        let f = &m.functions()[0];
+        assert!(f
+            .block(f.entry())
+            .ops
+            .iter()
+            .any(|&v| matches!(f.op(v), Op::WriteCell { .. })));
+        verify_function(f, None).unwrap();
+    }
+
+    fn module_of(f: Function) -> Module {
+        let mut m = Module::new();
+        m.push_function(f);
+        m
+    }
+}

@@ -1,0 +1,431 @@
+//! The RRIR verifier: structural and SSA invariants.
+
+use crate::dom::DomTree;
+use crate::func::Function;
+use crate::module::Module;
+use crate::ops::{Op, Terminator};
+use crate::types::{BlockId, ValueId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A verifier finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A block has no terminator.
+    MissingTerminator {
+        /// Function name.
+        function: String,
+        /// The offending block.
+        block: BlockId,
+    },
+    /// A terminator targets a block id outside the function.
+    BadBlockRef {
+        /// Function name.
+        function: String,
+        /// The out-of-range target.
+        target: BlockId,
+    },
+    /// An op references a value id outside the arena.
+    BadValueRef {
+        /// Function name.
+        function: String,
+        /// The out-of-range value.
+        value: ValueId,
+    },
+    /// A value is placed in more than one block (or twice in one).
+    MultiplePlacement {
+        /// Function name.
+        function: String,
+        /// The doubly-placed value.
+        value: ValueId,
+    },
+    /// A use is not dominated by its definition.
+    UseBeforeDef {
+        /// Function name.
+        function: String,
+        /// The using value.
+        user: ValueId,
+        /// The used (not-yet-defined) value.
+        used: ValueId,
+    },
+    /// A phi's incoming list does not match the block's predecessors.
+    PhiPredMismatch {
+        /// Function name.
+        function: String,
+        /// The phi value.
+        phi: ValueId,
+    },
+    /// A phi appears after a non-phi op in its block.
+    PhiNotAtHead {
+        /// Function name.
+        function: String,
+        /// The misplaced phi.
+        phi: ValueId,
+    },
+    /// A direct call references an unknown function.
+    UnknownCallee {
+        /// Calling function.
+        function: String,
+        /// The missing callee.
+        callee: String,
+    },
+    /// An invalid cell index.
+    BadCell {
+        /// Function name.
+        function: String,
+        /// The offending value.
+        value: ValueId,
+    },
+    /// The module entry function does not exist.
+    MissingEntry {
+        /// The configured entry name.
+        entry: String,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::MissingTerminator { function, block } => {
+                write!(f, "{function}: block {block} has no terminator")
+            }
+            VerifyError::BadBlockRef { function, target } => {
+                write!(f, "{function}: branch to non-existent block {target}")
+            }
+            VerifyError::BadValueRef { function, value } => {
+                write!(f, "{function}: reference to non-existent value {value}")
+            }
+            VerifyError::MultiplePlacement { function, value } => {
+                write!(f, "{function}: value {value} placed more than once")
+            }
+            VerifyError::UseBeforeDef { function, user, used } => {
+                write!(f, "{function}: {user} uses {used} which does not dominate it")
+            }
+            VerifyError::PhiPredMismatch { function, phi } => {
+                write!(f, "{function}: phi {phi} incomings do not match predecessors")
+            }
+            VerifyError::PhiNotAtHead { function, phi } => {
+                write!(f, "{function}: phi {phi} not at block head")
+            }
+            VerifyError::UnknownCallee { function, callee } => {
+                write!(f, "{function}: call to unknown function `{callee}`")
+            }
+            VerifyError::BadCell { function, value } => {
+                write!(f, "{function}: invalid cell in {value}")
+            }
+            VerifyError::MissingEntry { entry } => {
+                write!(f, "module entry `{entry}` does not exist")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies a whole module.
+///
+/// # Errors
+///
+/// Returns the first violated invariant; see [`VerifyError`].
+pub fn verify(module: &Module) -> Result<(), VerifyError> {
+    if !module.entry.is_empty() && module.function(&module.entry).is_none() {
+        return Err(VerifyError::MissingEntry { entry: module.entry.clone() });
+    }
+    for f in module.functions() {
+        verify_function(f, Some(module))?;
+    }
+    Ok(())
+}
+
+/// Verifies one function; pass the module to also check call targets.
+///
+/// # Errors
+///
+/// Returns the first violated invariant; see [`VerifyError`].
+pub fn verify_function(f: &Function, module: Option<&Module>) -> Result<(), VerifyError> {
+    let fname = || f.name.clone();
+
+    // Structural checks.
+    let mut placement: HashMap<ValueId, (BlockId, usize)> = HashMap::new();
+    for b in f.block_ids() {
+        let block = f.block(b);
+        if block.term == Terminator::Unset {
+            return Err(VerifyError::MissingTerminator { function: fname(), block: b });
+        }
+        for target in block.term.successors() {
+            if target.index() >= f.block_count() {
+                return Err(VerifyError::BadBlockRef { function: fname(), target });
+            }
+        }
+        if let Terminator::CondBr { cond, .. } = block.term {
+            if cond.index() >= f.value_count() {
+                return Err(VerifyError::BadValueRef { function: fname(), value: cond });
+            }
+        }
+        let mut seen_non_phi = false;
+        for (pos, &v) in block.ops.iter().enumerate() {
+            if v.index() >= f.value_count() {
+                return Err(VerifyError::BadValueRef { function: fname(), value: v });
+            }
+            if placement.insert(v, (b, pos)).is_some() {
+                return Err(VerifyError::MultiplePlacement { function: fname(), value: v });
+            }
+            let op = f.op(v);
+            if matches!(op, Op::Phi { .. }) {
+                if seen_non_phi {
+                    return Err(VerifyError::PhiNotAtHead { function: fname(), phi: v });
+                }
+            } else {
+                seen_non_phi = true;
+            }
+            for used in op.operands() {
+                if used.index() >= f.value_count() {
+                    return Err(VerifyError::BadValueRef { function: fname(), value: used });
+                }
+            }
+            match op {
+                Op::ReadCell(c) if !c.is_valid() => {
+                    return Err(VerifyError::BadCell { function: fname(), value: v })
+                }
+                Op::WriteCell { cell, .. } if !cell.is_valid() => {
+                    return Err(VerifyError::BadCell { function: fname(), value: v })
+                }
+                Op::Call { callee } => {
+                    if let Some(m) = module {
+                        if m.function(callee).is_none() {
+                            return Err(VerifyError::UnknownCallee {
+                                function: fname(),
+                                callee: callee.clone(),
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // SSA dominance.
+    let dom = DomTree::compute(f);
+    let preds = f.predecessors();
+    let dominated_use = |user_block: BlockId,
+                         user_pos: usize,
+                         used: ValueId|
+     -> bool {
+        match placement.get(&used) {
+            None => false, // operand never placed
+            Some(&(def_block, def_pos)) => {
+                if def_block == user_block {
+                    def_pos < user_pos
+                } else {
+                    dom.dominates(def_block, user_block)
+                }
+            }
+        }
+    };
+
+    for b in f.block_ids() {
+        if !dom.is_reachable(b) {
+            continue; // dominance is only meaningful on reachable code
+        }
+        let block = f.block(b);
+        for (pos, &v) in block.ops.iter().enumerate() {
+            let op = f.op(v);
+            if let Some(incomings) = op.phi_incomings() {
+                // Each incoming must come from a distinct predecessor and
+                // be defined at (dominate the end of) that predecessor.
+                let mut remaining: Vec<BlockId> =
+                    preds[b.index()].iter().copied().filter(|p| dom.is_reachable(*p)).collect();
+                for &(pred, value) in incomings {
+                    if let Some(at) = remaining.iter().position(|&p| p == pred) {
+                        remaining.swap_remove(at);
+                    } else if dom.is_reachable(pred) {
+                        return Err(VerifyError::PhiPredMismatch { function: fname(), phi: v });
+                    } else {
+                        continue;
+                    }
+                    let pred_len = f.block(pred).ops.len();
+                    if !dominated_use(pred, pred_len, value) {
+                        return Err(VerifyError::UseBeforeDef {
+                            function: fname(),
+                            user: v,
+                            used: value,
+                        });
+                    }
+                }
+                if !remaining.is_empty() {
+                    return Err(VerifyError::PhiPredMismatch { function: fname(), phi: v });
+                }
+            } else {
+                for used in op.operands() {
+                    if !dominated_use(b, pos, used) {
+                        return Err(VerifyError::UseBeforeDef {
+                            function: fname(),
+                            user: v,
+                            used,
+                        });
+                    }
+                }
+            }
+        }
+        if let Terminator::CondBr { cond, .. } = block.term {
+            if !dominated_use(b, block.ops.len(), cond) {
+                return Err(VerifyError::UseBeforeDef {
+                    function: fname(),
+                    user: cond,
+                    used: cond,
+                });
+            }
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::BinOp;
+    use crate::types::Cell;
+
+    fn ret_fn(name: &str) -> Function {
+        let mut f = Function::new(name);
+        let e = f.entry();
+        f.set_terminator(e, Terminator::Ret);
+        f
+    }
+
+    #[test]
+    fn accepts_valid_function() {
+        let mut f = Function::new("ok");
+        let e = f.entry();
+        let a = f.append(e, Op::Const(1));
+        let b = f.append(e, Op::Const(2));
+        f.append(e, Op::BinOp { op: BinOp::Add, lhs: a, rhs: b });
+        f.set_terminator(e, Terminator::Ret);
+        verify_function(&f, None).unwrap();
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let f = Function::new("bad");
+        assert!(matches!(
+            verify_function(&f, None),
+            Err(VerifyError::MissingTerminator { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_use_before_def() {
+        let mut f = Function::new("bad");
+        let e = f.entry();
+        // Allocate without placing, then use.
+        let ghost = f.alloc(Op::Const(1));
+        f.append(e, Op::Not(ghost));
+        f.set_terminator(e, Terminator::Ret);
+        assert!(matches!(
+            verify_function(&f, None),
+            Err(VerifyError::UseBeforeDef { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_cross_branch_use() {
+        // then-block defines a value; join uses it without a phi.
+        let mut f = Function::new("bad");
+        let e = f.entry();
+        let t = f.new_block();
+        let j = f.new_block();
+        let cond = f.append(e, Op::Const(1));
+        f.set_terminator(e, Terminator::CondBr { cond, if_true: t, if_false: j });
+        let inner = f.append(t, Op::Const(7));
+        f.set_terminator(t, Terminator::Br(j));
+        f.append(j, Op::Not(inner));
+        f.set_terminator(j, Terminator::Ret);
+        assert!(matches!(
+            verify_function(&f, None),
+            Err(VerifyError::UseBeforeDef { .. })
+        ));
+    }
+
+    #[test]
+    fn accepts_phi_and_rejects_mismatched_phi() {
+        let mut f = Function::new("phi");
+        let e = f.entry();
+        let t = f.new_block();
+        let u = f.new_block();
+        let j = f.new_block();
+        let cond = f.append(e, Op::Const(1));
+        f.set_terminator(e, Terminator::CondBr { cond, if_true: t, if_false: u });
+        let a = f.append(t, Op::Const(10));
+        f.set_terminator(t, Terminator::Br(j));
+        let b = f.append(u, Op::Const(20));
+        f.set_terminator(u, Terminator::Br(j));
+        let phi = f.append(j, Op::Phi { incomings: vec![(t, a), (u, b)] });
+        f.append(j, Op::Not(phi));
+        f.set_terminator(j, Terminator::Ret);
+        verify_function(&f, None).unwrap();
+
+        // Remove one incoming → mismatch.
+        *f.op_mut(phi) = Op::Phi { incomings: vec![(t, a)] };
+        assert!(matches!(
+            verify_function(&f, None),
+            Err(VerifyError::PhiPredMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_phi_after_non_phi() {
+        let mut f = Function::new("bad");
+        let e = f.entry();
+        let c = f.append(e, Op::Const(0));
+        f.append(e, Op::Phi { incomings: vec![] });
+        let _ = c;
+        f.set_terminator(e, Terminator::Ret);
+        // entry has no preds, so empty incomings are fine — but the phi is
+        // not at the head.
+        assert!(matches!(
+            verify_function(&f, None),
+            Err(VerifyError::PhiNotAtHead { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_callee_and_bad_cell() {
+        let mut m = Module::new();
+        let mut f = ret_fn("caller");
+        let e = f.entry();
+        f.insert(e, 0, Op::Call { callee: "missing".into() });
+        m.push_function(f);
+        assert!(matches!(verify(&m), Err(VerifyError::UnknownCallee { .. })));
+
+        let mut f = ret_fn("cells");
+        let e = f.entry();
+        f.insert(e, 0, Op::ReadCell(Cell(42)));
+        assert!(matches!(
+            verify_function(&f, None),
+            Err(VerifyError::BadCell { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_entry() {
+        let mut m = Module::new();
+        m.entry = "nope".into();
+        m.push_function(ret_fn("f"));
+        assert!(matches!(verify(&m), Err(VerifyError::MissingEntry { .. })));
+    }
+
+    #[test]
+    fn rejects_double_placement() {
+        let mut f = Function::new("bad");
+        let e = f.entry();
+        let v = f.append(e, Op::Const(1));
+        f.block_mut(e).ops.push(v);
+        f.set_terminator(e, Terminator::Ret);
+        assert!(matches!(
+            verify_function(&f, None),
+            Err(VerifyError::MultiplePlacement { .. })
+        ));
+    }
+}

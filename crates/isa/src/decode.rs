@@ -1,0 +1,374 @@
+//! Binary decoding of RRVM instructions.
+
+use crate::insn::{AluOp, Instr, ShiftOp};
+use crate::opcode as op;
+use crate::{Cond, Reg};
+use std::fmt;
+
+/// Error returned by [`decode`] when the byte stream is not a valid
+/// instruction.
+///
+/// Fault-injection campaigns treat any decode error as a machine fault
+/// (crash), so the taxonomy distinguishes the causes a forensic report
+/// would care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecodeError {
+    /// The first byte is not an assigned opcode.
+    InvalidOpcode(u8),
+    /// The instruction extends past the end of the available bytes.
+    Truncated {
+        /// The offending opcode byte.
+        opcode: u8,
+        /// Total bytes the instruction needs.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// A condition-code field holds an unassigned value.
+    InvalidCond(u8),
+    /// The input slice is empty.
+    Empty,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DecodeError::InvalidOpcode(b) => write!(f, "invalid opcode byte {b:#04x}"),
+            DecodeError::Truncated { opcode, needed, have } => write!(
+                f,
+                "truncated instruction: opcode {opcode:#04x} needs {needed} bytes, have {have}"
+            ),
+            DecodeError::InvalidCond(c) => write!(f, "invalid condition code {c:#x}"),
+            DecodeError::Empty => write!(f, "empty instruction stream"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn need(bytes: &[u8], needed: usize) -> Result<(), DecodeError> {
+    if bytes.len() < needed {
+        Err(DecodeError::Truncated { opcode: bytes[0], needed, have: bytes.len() })
+    } else {
+        Ok(())
+    }
+}
+
+#[inline]
+fn reg_hi(b: u8) -> Reg {
+    Reg::from_index(b >> 4)
+}
+
+#[inline]
+fn reg_lo(b: u8) -> Reg {
+    Reg::from_index(b & 0xF)
+}
+
+#[inline]
+fn imm32(bytes: &[u8]) -> i32 {
+    i32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]])
+}
+
+/// Decodes one instruction from the front of `bytes`.
+///
+/// Returns the instruction and the number of bytes it occupies. Register
+/// fields accept any 4-bit value; only the low nibble of single-register
+/// bytes is significant (redundant encodings decode like their canonical
+/// form, as on x86).
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the opcode byte is unassigned, a condition
+/// code is out of range, or the stream ends mid-instruction. These are the
+/// events an emulated CPU reports as an *illegal instruction* fault.
+///
+/// # Example
+///
+/// ```
+/// use rr_isa::{decode, Instr, Reg};
+///
+/// let (insn, len) = decode(&[0x05, 0x12, 0xFF])?; // mov r1, r2 + trailing byte
+/// assert_eq!(insn, Instr::MovRR { rd: Reg::R1, rs: Reg::R2 });
+/// assert_eq!(len, 2);
+/// # Ok::<(), rr_isa::DecodeError>(())
+/// ```
+pub fn decode(bytes: &[u8]) -> Result<(Instr, usize), DecodeError> {
+    let &opcode = bytes.first().ok_or(DecodeError::Empty)?;
+    let insn = match opcode {
+        op::NOP => return Ok((Instr::Nop, 1)),
+        op::HALT => return Ok((Instr::Halt, 1)),
+        op::RET => return Ok((Instr::Ret, 1)),
+        op::PUSHF => return Ok((Instr::PushF, 1)),
+        op::POPF => return Ok((Instr::PopF, 1)),
+        op::MOV_RR => {
+            need(bytes, 2)?;
+            (Instr::MovRR { rd: reg_hi(bytes[1]), rs: reg_lo(bytes[1]) }, 2)
+        }
+        op::MOV_RI => {
+            need(bytes, 10)?;
+            let imm = u64::from_le_bytes(bytes[2..10].try_into().expect("length checked"));
+            (Instr::MovRI { rd: reg_lo(bytes[1]), imm }, 10)
+        }
+        _ if (op::ALU_RR_BASE..op::ALU_RR_BASE + 7).contains(&opcode) => {
+            need(bytes, 2)?;
+            let alu = AluOp::from_code(opcode - op::ALU_RR_BASE).expect("range checked");
+            (Instr::AluRR { op: alu, rd: reg_hi(bytes[1]), rs: reg_lo(bytes[1]) }, 2)
+        }
+        _ if (op::ALU_RI_BASE..op::ALU_RI_BASE + 7).contains(&opcode) => {
+            need(bytes, 6)?;
+            let alu = AluOp::from_code(opcode - op::ALU_RI_BASE).expect("range checked");
+            (Instr::AluRI { op: alu, rd: reg_lo(bytes[1]), imm: imm32(&bytes[2..]) }, 6)
+        }
+        _ if (op::SHIFT_RI_BASE..op::SHIFT_RI_BASE + 3).contains(&opcode) => {
+            need(bytes, 3)?;
+            let sh = ShiftOp::from_code(opcode - op::SHIFT_RI_BASE).expect("range checked");
+            (Instr::ShiftRI { op: sh, rd: reg_lo(bytes[1]), amt: bytes[2] }, 3)
+        }
+        op::NOT => {
+            need(bytes, 2)?;
+            (Instr::Not { rd: reg_lo(bytes[1]) }, 2)
+        }
+        op::NEG => {
+            need(bytes, 2)?;
+            (Instr::Neg { rd: reg_lo(bytes[1]) }, 2)
+        }
+        op::CMP_RR => {
+            need(bytes, 2)?;
+            (Instr::CmpRR { rs1: reg_hi(bytes[1]), rs2: reg_lo(bytes[1]) }, 2)
+        }
+        op::CMP_RI => {
+            need(bytes, 6)?;
+            (Instr::CmpRI { rs1: reg_lo(bytes[1]), imm: imm32(&bytes[2..]) }, 6)
+        }
+        op::CMP_RM => {
+            need(bytes, 6)?;
+            (
+                Instr::CmpRM {
+                    rs1: reg_hi(bytes[1]),
+                    base: reg_lo(bytes[1]),
+                    disp: imm32(&bytes[2..]),
+                },
+                6,
+            )
+        }
+        op::TEST_RR => {
+            need(bytes, 2)?;
+            (Instr::TestRR { rs1: reg_hi(bytes[1]), rs2: reg_lo(bytes[1]) }, 2)
+        }
+        op::LOAD => {
+            need(bytes, 6)?;
+            (
+                Instr::Load { rd: reg_hi(bytes[1]), base: reg_lo(bytes[1]), disp: imm32(&bytes[2..]) },
+                6,
+            )
+        }
+        op::STORE => {
+            need(bytes, 6)?;
+            (
+                Instr::Store { base: reg_lo(bytes[1]), disp: imm32(&bytes[2..]), rs: reg_hi(bytes[1]) },
+                6,
+            )
+        }
+        op::LOADB => {
+            need(bytes, 6)?;
+            (
+                Instr::LoadB { rd: reg_hi(bytes[1]), base: reg_lo(bytes[1]), disp: imm32(&bytes[2..]) },
+                6,
+            )
+        }
+        op::STOREB => {
+            need(bytes, 6)?;
+            (
+                Instr::StoreB { base: reg_lo(bytes[1]), disp: imm32(&bytes[2..]), rs: reg_hi(bytes[1]) },
+                6,
+            )
+        }
+        op::LEA => {
+            need(bytes, 6)?;
+            (
+                Instr::Lea { rd: reg_hi(bytes[1]), base: reg_lo(bytes[1]), disp: imm32(&bytes[2..]) },
+                6,
+            )
+        }
+        op::PUSH => {
+            need(bytes, 2)?;
+            (Instr::Push { rs: reg_lo(bytes[1]) }, 2)
+        }
+        op::POP => {
+            need(bytes, 2)?;
+            (Instr::Pop { rd: reg_lo(bytes[1]) }, 2)
+        }
+        op::JMP => {
+            need(bytes, 5)?;
+            (Instr::Jmp { rel: imm32(&bytes[1..]) }, 5)
+        }
+        op::JCC => {
+            need(bytes, 6)?;
+            let cc = Cond::from_code(bytes[1]).ok_or(DecodeError::InvalidCond(bytes[1]))?;
+            (Instr::Jcc { cc, rel: imm32(&bytes[2..]) }, 6)
+        }
+        op::CALL => {
+            need(bytes, 5)?;
+            (Instr::Call { rel: imm32(&bytes[1..]) }, 5)
+        }
+        op::CALLR => {
+            need(bytes, 2)?;
+            (Instr::CallR { rs: reg_lo(bytes[1]) }, 2)
+        }
+        op::JMPR => {
+            need(bytes, 2)?;
+            (Instr::JmpR { rs: reg_lo(bytes[1]) }, 2)
+        }
+        op::SETCC => {
+            need(bytes, 2)?;
+            let cc =
+                Cond::from_code(bytes[1] & 0xF).ok_or(DecodeError::InvalidCond(bytes[1] & 0xF))?;
+            (Instr::SetCc { rd: reg_hi(bytes[1]), cc }, 2)
+        }
+        op::SVC => {
+            need(bytes, 2)?;
+            (Instr::Svc { num: bytes[1] }, 2)
+        }
+        other => return Err(DecodeError::InvalidOpcode(other)),
+    };
+    Ok(insn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode_to_vec;
+
+    fn samples() -> Vec<Instr> {
+        // Build the same representative set as encode::tests without
+        // depending on a private function across modules.
+        use crate::insn::{AluOp, ShiftOp};
+        let r = Reg::from_index;
+        let mut v = vec![
+            Instr::Nop,
+            Instr::Halt,
+            Instr::Ret,
+            Instr::PushF,
+            Instr::PopF,
+            Instr::MovRR { rd: r(1), rs: r(2) },
+            Instr::MovRI { rd: r(3), imm: u64::MAX },
+            Instr::Not { rd: r(4) },
+            Instr::Neg { rd: r(5) },
+            Instr::CmpRR { rs1: r(6), rs2: r(7) },
+            Instr::CmpRI { rs1: r(8), imm: i32::MIN },
+            Instr::CmpRM { rs1: r(9), base: r(10), disp: i32::MAX },
+            Instr::TestRR { rs1: r(11), rs2: r(12) },
+            Instr::Load { rd: r(13), base: r(14), disp: -8 },
+            Instr::Store { base: r(15), disp: 8, rs: r(0) },
+            Instr::LoadB { rd: r(1), base: r(2), disp: 0 },
+            Instr::StoreB { base: r(3), disp: 1, rs: r(4) },
+            Instr::Lea { rd: r(5), base: r(6), disp: 1024 },
+            Instr::Push { rs: r(7) },
+            Instr::Pop { rd: r(8) },
+            Instr::Jmp { rel: -1 },
+            Instr::Call { rel: 0 },
+            Instr::CallR { rs: r(9) },
+            Instr::JmpR { rs: r(10) },
+            Instr::Svc { num: 255 },
+        ];
+        for alu in AluOp::ALL {
+            v.push(Instr::AluRR { op: alu, rd: r(1), rs: r(2) });
+            v.push(Instr::AluRI { op: alu, rd: r(3), imm: -77 });
+        }
+        for sh in ShiftOp::ALL {
+            v.push(Instr::ShiftRI { op: sh, rd: r(4), amt: 63 });
+        }
+        for cc in Cond::ALL {
+            v.push(Instr::Jcc { cc, rel: 64 });
+            v.push(Instr::SetCc { rd: r(5), cc });
+        }
+        v
+    }
+
+    #[test]
+    fn decode_inverts_encode() {
+        for insn in samples() {
+            let bytes = encode_to_vec(&insn);
+            let (decoded, len) = decode(&bytes).unwrap_or_else(|e| panic!("{insn}: {e}"));
+            assert_eq!(decoded, insn);
+            assert_eq!(len, bytes.len());
+        }
+    }
+
+    #[test]
+    fn decode_ignores_trailing_bytes() {
+        let mut bytes = encode_to_vec(&Instr::Ret);
+        bytes.extend_from_slice(&[0xAA; 9]);
+        let (insn, len) = decode(&bytes).unwrap();
+        assert_eq!((insn, len), (Instr::Ret, 1));
+    }
+
+    #[test]
+    fn empty_stream() {
+        assert_eq!(decode(&[]), Err(DecodeError::Empty));
+    }
+
+    #[test]
+    fn invalid_opcodes_are_rejected() {
+        let assigned: Vec<u8> = samples().iter().map(|i| encode_to_vec(i)[0]).collect();
+        let mut invalid_count = 0;
+        for opcode in 0..=255u8 {
+            if assigned.contains(&opcode) {
+                continue;
+            }
+            invalid_count += 1;
+            let buf = [opcode, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+            assert_eq!(decode(&buf), Err(DecodeError::InvalidOpcode(opcode)), "{opcode:#x}");
+        }
+        // The opcode map is deliberately sparse.
+        assert!(invalid_count > 180, "only {invalid_count} invalid opcodes");
+    }
+
+    #[test]
+    fn truncated_instructions_are_reported() {
+        for insn in samples() {
+            let bytes = encode_to_vec(&insn);
+            if bytes.len() < 2 {
+                continue;
+            }
+            for cut in 1..bytes.len() {
+                match decode(&bytes[..cut]) {
+                    Err(DecodeError::Truncated { needed, have, .. }) => {
+                        assert_eq!(needed, bytes.len());
+                        assert_eq!(have, cut);
+                    }
+                    other => panic!("{insn} cut at {cut}: expected truncation, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_condition_codes_are_rejected() {
+        // jcc with cc = 10 (first unassigned value)
+        assert_eq!(
+            decode(&[crate::opcode::JCC, 10, 0, 0, 0, 0]),
+            Err(DecodeError::InvalidCond(10))
+        );
+        // setcc with cc nibble = 0xF
+        assert_eq!(
+            decode(&[crate::opcode::SETCC, 0x1F]),
+            Err(DecodeError::InvalidCond(0xF))
+        );
+    }
+
+    #[test]
+    fn redundant_single_register_encodings_decode_canonically() {
+        // `push r3` with a nonzero high nibble decodes the same as canonical.
+        let canonical = decode(&[crate::opcode::PUSH, 0x03]).unwrap();
+        let redundant = decode(&[crate::opcode::PUSH, 0xF3]).unwrap();
+        assert_eq!(canonical.0, redundant.0);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = DecodeError::Truncated { opcode: 0x06, needed: 10, have: 3 };
+        let text = e.to_string();
+        assert!(text.contains("0x06") && text.contains("10") && text.contains('3'), "{text}");
+    }
+}

@@ -1,0 +1,123 @@
+//! Textual (assembly) rendering of instructions.
+
+use crate::insn::Instr;
+use std::fmt;
+
+fn mem(f: &mut fmt::Formatter<'_>, base: crate::Reg, disp: i32) -> fmt::Result {
+    if disp == 0 {
+        write!(f, "[{base}]")
+    } else {
+        write!(f, "[{base}{disp:+}]")
+    }
+}
+
+/// Renders the instruction in RRVM assembly syntax.
+///
+/// Control-flow displacements print as `.%+d` (relative to the next
+/// instruction); the assembler and disassembler use symbolic labels
+/// instead, so this numeric form is primarily for debugging and traces.
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Nop => write!(f, "nop"),
+            Instr::Halt => write!(f, "halt"),
+            Instr::Ret => write!(f, "ret"),
+            Instr::PushF => write!(f, "pushf"),
+            Instr::PopF => write!(f, "popf"),
+            Instr::MovRR { rd, rs } => write!(f, "mov {rd}, {rs}"),
+            Instr::MovRI { rd, imm } => {
+                if imm > 9 {
+                    write!(f, "mov {rd}, {imm:#x}")
+                } else {
+                    write!(f, "mov {rd}, {imm}")
+                }
+            }
+            Instr::AluRR { op, rd, rs } => write!(f, "{op} {rd}, {rs}"),
+            Instr::AluRI { op, rd, imm } => write!(f, "{op} {rd}, {imm}"),
+            Instr::ShiftRI { op, rd, amt } => write!(f, "{op} {rd}, {amt}"),
+            Instr::Not { rd } => write!(f, "not {rd}"),
+            Instr::Neg { rd } => write!(f, "neg {rd}"),
+            Instr::CmpRR { rs1, rs2 } => write!(f, "cmp {rs1}, {rs2}"),
+            Instr::CmpRI { rs1, imm } => write!(f, "cmp {rs1}, {imm}"),
+            Instr::CmpRM { rs1, base, disp } => {
+                write!(f, "cmp {rs1}, ")?;
+                mem(f, base, disp)
+            }
+            Instr::TestRR { rs1, rs2 } => write!(f, "test {rs1}, {rs2}"),
+            Instr::Load { rd, base, disp } => {
+                write!(f, "load {rd}, ")?;
+                mem(f, base, disp)
+            }
+            Instr::Store { base, disp, rs } => {
+                write!(f, "store ")?;
+                mem(f, base, disp)?;
+                write!(f, ", {rs}")
+            }
+            Instr::LoadB { rd, base, disp } => {
+                write!(f, "loadb {rd}, ")?;
+                mem(f, base, disp)
+            }
+            Instr::StoreB { base, disp, rs } => {
+                write!(f, "storeb ")?;
+                mem(f, base, disp)?;
+                write!(f, ", {rs}")
+            }
+            Instr::Lea { rd, base, disp } => {
+                write!(f, "lea {rd}, ")?;
+                mem(f, base, disp)
+            }
+            Instr::Push { rs } => write!(f, "push {rs}"),
+            Instr::Pop { rd } => write!(f, "pop {rd}"),
+            Instr::Jmp { rel } => write!(f, "jmp .{rel:+}"),
+            Instr::Jcc { cc, rel } => write!(f, "j{cc} .{rel:+}"),
+            Instr::Call { rel } => write!(f, "call .{rel:+}"),
+            Instr::CallR { rs } => write!(f, "callr {rs}"),
+            Instr::JmpR { rs } => write!(f, "jmpr {rs}"),
+            Instr::SetCc { rd, cc } => write!(f, "set{cc} {rd}"),
+            Instr::Svc { num } => write!(f, "svc {num}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::AluOp;
+    use crate::{Cond, Reg};
+
+    #[test]
+    fn renders_core_syntax() {
+        let cases: [(Instr, &str); 10] = [
+            (Instr::MovRR { rd: Reg::R1, rs: Reg::R2 }, "mov r1, r2"),
+            (Instr::MovRI { rd: Reg::R0, imm: 7 }, "mov r0, 7"),
+            (Instr::MovRI { rd: Reg::R0, imm: 255 }, "mov r0, 0xff"),
+            (Instr::Load { rd: Reg::R3, base: Reg::SP, disp: 8 }, "load r3, [sp+8]"),
+            (Instr::Store { base: Reg::R2, disp: -4, rs: Reg::R1 }, "store [r2-4], r1"),
+            (Instr::Load { rd: Reg::R3, base: Reg::R4, disp: 0 }, "load r3, [r4]"),
+            (Instr::AluRI { op: AluOp::Add, rd: Reg::SP, imm: -16 }, "add sp, -16"),
+            (Instr::Jcc { cc: Cond::Ne, rel: 12 }, "jne .+12"),
+            (Instr::SetCc { rd: Reg::R6, cc: Cond::Eq }, "seteq r6"),
+            (Instr::CmpRM { rs1: Reg::R1, base: Reg::R2, disp: 4 }, "cmp r1, [r2+4]"),
+        ];
+        for (insn, expected) in cases {
+            assert_eq!(insn.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn every_instruction_renders_nonempty() {
+        // Debuggability: Display is never empty (C-DEBUG-NONEMPTY analogue).
+        for insn in [
+            Instr::Nop,
+            Instr::Halt,
+            Instr::Ret,
+            Instr::PushF,
+            Instr::PopF,
+            Instr::Svc { num: 0 },
+            Instr::CallR { rs: Reg::R1 },
+            Instr::JmpR { rs: Reg::R1 },
+        ] {
+            assert!(!insn.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Binary encoding of RRVM instructions.
+
+use crate::insn::Instr;
+use crate::opcode as op;
+use crate::Reg;
+
+#[inline]
+fn reg_pair(hi: Reg, lo: Reg) -> u8 {
+    (hi.index() << 4) | lo.index()
+}
+
+/// Appends the canonical encoding of `insn` to `out` and returns the number
+/// of bytes written.
+///
+/// The encoding is canonical: [`crate::decode`] of the produced bytes yields
+/// `insn` back and consumes exactly the returned length.
+///
+/// # Example
+///
+/// ```
+/// use rr_isa::{encode, Instr};
+///
+/// let mut buf = Vec::new();
+/// let n = encode(&Instr::Ret, &mut buf);
+/// assert_eq!((n, buf.as_slice()), (1, &[0x02u8][..]));
+/// ```
+pub fn encode(insn: &Instr, out: &mut Vec<u8>) -> usize {
+    let start = out.len();
+    match *insn {
+        Instr::Nop => out.push(op::NOP),
+        Instr::Halt => out.push(op::HALT),
+        Instr::Ret => out.push(op::RET),
+        Instr::PushF => out.push(op::PUSHF),
+        Instr::PopF => out.push(op::POPF),
+        Instr::MovRR { rd, rs } => {
+            out.push(op::MOV_RR);
+            out.push(reg_pair(rd, rs));
+        }
+        Instr::MovRI { rd, imm } => {
+            out.push(op::MOV_RI);
+            out.push(rd.index());
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        Instr::AluRR { op: alu, rd, rs } => {
+            out.push(op::ALU_RR_BASE + alu as u8);
+            out.push(reg_pair(rd, rs));
+        }
+        Instr::AluRI { op: alu, rd, imm } => {
+            out.push(op::ALU_RI_BASE + alu as u8);
+            out.push(rd.index());
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        Instr::ShiftRI { op: sh, rd, amt } => {
+            out.push(op::SHIFT_RI_BASE + sh as u8);
+            out.push(rd.index());
+            out.push(amt);
+        }
+        Instr::Not { rd } => {
+            out.push(op::NOT);
+            out.push(rd.index());
+        }
+        Instr::Neg { rd } => {
+            out.push(op::NEG);
+            out.push(rd.index());
+        }
+        Instr::CmpRR { rs1, rs2 } => {
+            out.push(op::CMP_RR);
+            out.push(reg_pair(rs1, rs2));
+        }
+        Instr::CmpRI { rs1, imm } => {
+            out.push(op::CMP_RI);
+            out.push(rs1.index());
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        Instr::CmpRM { rs1, base, disp } => {
+            out.push(op::CMP_RM);
+            out.push(reg_pair(rs1, base));
+            out.extend_from_slice(&disp.to_le_bytes());
+        }
+        Instr::TestRR { rs1, rs2 } => {
+            out.push(op::TEST_RR);
+            out.push(reg_pair(rs1, rs2));
+        }
+        Instr::Load { rd, base, disp } => {
+            out.push(op::LOAD);
+            out.push(reg_pair(rd, base));
+            out.extend_from_slice(&disp.to_le_bytes());
+        }
+        Instr::Store { base, disp, rs } => {
+            out.push(op::STORE);
+            out.push(reg_pair(rs, base));
+            out.extend_from_slice(&disp.to_le_bytes());
+        }
+        Instr::LoadB { rd, base, disp } => {
+            out.push(op::LOADB);
+            out.push(reg_pair(rd, base));
+            out.extend_from_slice(&disp.to_le_bytes());
+        }
+        Instr::StoreB { base, disp, rs } => {
+            out.push(op::STOREB);
+            out.push(reg_pair(rs, base));
+            out.extend_from_slice(&disp.to_le_bytes());
+        }
+        Instr::Lea { rd, base, disp } => {
+            out.push(op::LEA);
+            out.push(reg_pair(rd, base));
+            out.extend_from_slice(&disp.to_le_bytes());
+        }
+        Instr::Push { rs } => {
+            out.push(op::PUSH);
+            out.push(rs.index());
+        }
+        Instr::Pop { rd } => {
+            out.push(op::POP);
+            out.push(rd.index());
+        }
+        Instr::Jmp { rel } => {
+            out.push(op::JMP);
+            out.extend_from_slice(&rel.to_le_bytes());
+        }
+        Instr::Jcc { cc, rel } => {
+            out.push(op::JCC);
+            out.push(cc.code());
+            out.extend_from_slice(&rel.to_le_bytes());
+        }
+        Instr::Call { rel } => {
+            out.push(op::CALL);
+            out.extend_from_slice(&rel.to_le_bytes());
+        }
+        Instr::CallR { rs } => {
+            out.push(op::CALLR);
+            out.push(rs.index());
+        }
+        Instr::JmpR { rs } => {
+            out.push(op::JMPR);
+            out.push(rs.index());
+        }
+        Instr::SetCc { rd, cc } => {
+            out.push(op::SETCC);
+            out.push((rd.index() << 4) | cc.code());
+        }
+        Instr::Svc { num } => {
+            out.push(op::SVC);
+            out.push(num);
+        }
+    }
+    out.len() - start
+}
+
+/// Encodes `insn` into a fresh vector.
+///
+/// # Example
+///
+/// ```
+/// use rr_isa::{encode_to_vec, Instr, Reg};
+///
+/// let bytes = encode_to_vec(&Instr::Push { rs: Reg::R3 });
+/// assert_eq!(bytes.len(), 2);
+/// ```
+pub fn encode_to_vec(insn: &Instr) -> Vec<u8> {
+    let mut out = Vec::with_capacity(crate::MAX_INSTR_LEN);
+    encode(insn, &mut out);
+    out
+}
+
+/// The canonical encoded length of `insn` in bytes, without encoding it.
+///
+/// # Example
+///
+/// ```
+/// use rr_isa::{encoded_len, Instr, Reg};
+///
+/// assert_eq!(encoded_len(&Instr::MovRI { rd: Reg::R0, imm: 0 }), 10);
+/// assert_eq!(encoded_len(&Instr::Ret), 1);
+/// ```
+pub fn encoded_len(insn: &Instr) -> usize {
+    match insn {
+        Instr::Nop | Instr::Halt | Instr::Ret | Instr::PushF | Instr::PopF => 1,
+        Instr::MovRR { .. }
+        | Instr::AluRR { .. }
+        | Instr::Not { .. }
+        | Instr::Neg { .. }
+        | Instr::CmpRR { .. }
+        | Instr::TestRR { .. }
+        | Instr::Push { .. }
+        | Instr::Pop { .. }
+        | Instr::CallR { .. }
+        | Instr::JmpR { .. }
+        | Instr::SetCc { .. }
+        | Instr::Svc { .. } => 2,
+        Instr::ShiftRI { .. } => 3,
+        Instr::Jmp { .. } | Instr::Call { .. } => 5,
+        Instr::AluRI { .. }
+        | Instr::CmpRI { .. }
+        | Instr::CmpRM { .. }
+        | Instr::Load { .. }
+        | Instr::Store { .. }
+        | Instr::LoadB { .. }
+        | Instr::StoreB { .. }
+        | Instr::Lea { .. }
+        | Instr::Jcc { .. } => 6,
+        Instr::MovRI { .. } => 10,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{AluOp, ShiftOp};
+    use crate::Cond;
+
+    /// A representative instruction of every variant, used by several tests.
+    pub(crate) fn sample_instructions() -> Vec<Instr> {
+        let r = Reg::from_index;
+        let mut v = vec![
+            Instr::Nop,
+            Instr::Halt,
+            Instr::Ret,
+            Instr::PushF,
+            Instr::PopF,
+            Instr::MovRR { rd: r(1), rs: r(2) },
+            Instr::MovRI { rd: r(3), imm: 0xDEAD_BEEF_0BAD_F00D },
+            Instr::Not { rd: r(4) },
+            Instr::Neg { rd: r(5) },
+            Instr::CmpRR { rs1: r(6), rs2: r(7) },
+            Instr::CmpRI { rs1: r(8), imm: -42 },
+            Instr::CmpRM { rs1: r(9), base: r(10), disp: 256 },
+            Instr::TestRR { rs1: r(11), rs2: r(12) },
+            Instr::Load { rd: r(13), base: r(14), disp: -8 },
+            Instr::Store { base: r(15), disp: 8, rs: r(0) },
+            Instr::LoadB { rd: r(1), base: r(2), disp: 0 },
+            Instr::StoreB { base: r(3), disp: 1, rs: r(4) },
+            Instr::Lea { rd: r(5), base: r(6), disp: 1024 },
+            Instr::Push { rs: r(7) },
+            Instr::Pop { rd: r(8) },
+            Instr::Jmp { rel: -5 },
+            Instr::Call { rel: 100 },
+            Instr::CallR { rs: r(9) },
+            Instr::JmpR { rs: r(10) },
+            Instr::Svc { num: 3 },
+        ];
+        for alu in AluOp::ALL {
+            v.push(Instr::AluRR { op: alu, rd: r(1), rs: r(2) });
+            v.push(Instr::AluRI { op: alu, rd: r(3), imm: 77 });
+        }
+        for sh in ShiftOp::ALL {
+            v.push(Instr::ShiftRI { op: sh, rd: r(4), amt: 13 });
+        }
+        for cc in Cond::ALL {
+            v.push(Instr::Jcc { cc, rel: 64 });
+            v.push(Instr::SetCc { rd: r(5), cc });
+        }
+        v
+    }
+
+    #[test]
+    fn encoded_len_matches_encoding() {
+        for insn in sample_instructions() {
+            let bytes = encode_to_vec(&insn);
+            assert_eq!(bytes.len(), encoded_len(&insn), "{insn}");
+            assert!(bytes.len() <= crate::MAX_INSTR_LEN);
+        }
+    }
+
+    #[test]
+    fn immediates_are_little_endian() {
+        let bytes = encode_to_vec(&Instr::MovRI { rd: Reg::R0, imm: 0x0102_0304_0506_0708 });
+        assert_eq!(&bytes[2..], &[8, 7, 6, 5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn distinct_instructions_have_distinct_encodings() {
+        let all = sample_instructions();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(encode_to_vec(a), encode_to_vec(b), "{a} vs {b}");
+            }
+        }
+    }
+}

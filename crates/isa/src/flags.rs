@@ -1,0 +1,179 @@
+//! The NZCV condition flags.
+
+use std::fmt;
+
+/// RRVM condition flags, set by arithmetic/logic instructions and consumed
+/// by `j<cond>` and `set<cond>`.
+///
+/// * `z` — zero: the result was zero.
+/// * `n` — negative: the result's sign bit (bit 63) was set.
+/// * `c` — carry: unsigned overflow (for `sub`/`cmp`: *borrow*, i.e.
+///   `a < b` unsigned, matching x86 semantics so the paper's `jb`/`jae`
+///   patterns translate directly).
+/// * `v` — overflow: signed overflow.
+///
+/// `pushf` stores the packed form ([`Flags::to_bits`]) on the stack and
+/// `popf` restores it — the mechanism exploited by the paper's Table II
+/// `cmp` protection pattern.
+///
+/// # Example
+///
+/// ```
+/// use rr_isa::Flags;
+///
+/// let f = Flags::from_sub(5, 5);
+/// assert!(f.z);
+/// assert_eq!(Flags::from_bits(f.to_bits()), f);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Flags {
+    /// Zero flag.
+    pub z: bool,
+    /// Negative (sign) flag.
+    pub n: bool,
+    /// Carry / unsigned-borrow flag.
+    pub c: bool,
+    /// Signed-overflow flag.
+    pub v: bool,
+}
+
+impl Flags {
+    /// Flags with every bit clear.
+    pub const CLEAR: Flags = Flags {
+        z: false,
+        n: false,
+        c: false,
+        v: false,
+    };
+
+    /// Creates flags from an explicit tuple of bits.
+    pub fn new(z: bool, n: bool, c: bool, v: bool) -> Flags {
+        Flags { z, n, c, v }
+    }
+
+    /// Packs the flags into the low four bits of a word
+    /// (bit 0 = Z, 1 = N, 2 = C, 3 = V).
+    pub fn to_bits(self) -> u64 {
+        u64::from(self.z) | u64::from(self.n) << 1 | u64::from(self.c) << 2 | u64::from(self.v) << 3
+    }
+
+    /// Unpacks flags produced by [`Flags::to_bits`]; higher bits are ignored.
+    pub fn from_bits(bits: u64) -> Flags {
+        Flags {
+            z: bits & 1 != 0,
+            n: bits & 2 != 0,
+            c: bits & 4 != 0,
+            v: bits & 8 != 0,
+        }
+    }
+
+    /// Flags resulting from the subtraction `a - b` (also the semantics of
+    /// `cmp a, b`).
+    pub fn from_sub(a: u64, b: u64) -> Flags {
+        let (res, borrow) = a.overflowing_sub(b);
+        let sv = (a as i64).overflowing_sub(b as i64).1;
+        Flags {
+            z: res == 0,
+            n: (res as i64) < 0,
+            c: borrow,
+            v: sv,
+        }
+    }
+
+    /// Flags resulting from the addition `a + b`.
+    pub fn from_add(a: u64, b: u64) -> Flags {
+        let (res, carry) = a.overflowing_add(b);
+        let sv = (a as i64).overflowing_add(b as i64).1;
+        Flags {
+            z: res == 0,
+            n: (res as i64) < 0,
+            c: carry,
+            v: sv,
+        }
+    }
+
+    /// Flags resulting from a logic operation producing `res`
+    /// (`and`, `or`, `xor`, `not`, `test`): C and V are cleared.
+    pub fn from_logic(res: u64) -> Flags {
+        Flags {
+            z: res == 0,
+            n: (res as i64) < 0,
+            c: false,
+            v: false,
+        }
+    }
+}
+
+impl fmt::Display for Flags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bit = |b: bool, ch: char| if b { ch } else { '-' };
+        write!(
+            f,
+            "{}{}{}{}",
+            bit(self.z, 'Z'),
+            bit(self.n, 'N'),
+            bit(self.c, 'C'),
+            bit(self.v, 'V')
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_round_trip_all_sixteen() {
+        for bits in 0..16u64 {
+            assert_eq!(Flags::from_bits(bits).to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn from_bits_ignores_high_bits() {
+        assert_eq!(Flags::from_bits(0xFFF0), Flags::CLEAR);
+    }
+
+    #[test]
+    fn sub_flags_match_comparisons() {
+        let cases: [(u64, u64); 8] = [
+            (0, 0),
+            (1, 2),
+            (2, 1),
+            (u64::MAX, 1),
+            (1, u64::MAX),
+            (i64::MIN as u64, 1),
+            (i64::MAX as u64, u64::MAX),
+            (5, 5),
+        ];
+        for (a, b) in cases {
+            let f = Flags::from_sub(a, b);
+            assert_eq!(f.z, a == b, "z for {a} - {b}");
+            assert_eq!(f.c, a < b, "c (borrow) for {a} - {b}");
+            // signed-less-than == (N != V), the textbook identity
+            assert_eq!(f.n != f.v, (a as i64) < (b as i64), "n^v for {a} - {b}");
+        }
+    }
+
+    #[test]
+    fn add_carry_and_overflow() {
+        let f = Flags::from_add(u64::MAX, 1);
+        assert!(f.c && f.z);
+        let f = Flags::from_add(i64::MAX as u64, 1);
+        assert!(f.v && f.n);
+    }
+
+    #[test]
+    fn logic_clears_c_and_v() {
+        let f = Flags::from_logic(0);
+        assert!(f.z && !f.n && !f.c && !f.v);
+        let f = Flags::from_logic(u64::MAX);
+        assert!(!f.z && f.n && !f.c && !f.v);
+    }
+
+    #[test]
+    fn display_compact() {
+        assert_eq!(Flags::CLEAR.to_string(), "----");
+        assert_eq!(Flags::new(true, false, true, false).to_string(), "Z-C-");
+    }
+}

@@ -1,0 +1,73 @@
+//! Opcode byte assignments for the RRVM encoding.
+//!
+//! The numbering deliberately leaves large gaps of *unassigned* opcodes: a
+//! random bit flip in an opcode byte frequently lands on an invalid
+//! encoding and crashes the machine, mirroring the behaviour of sparse real
+//! ISA encodings that fault-injection studies rely on.
+
+/// `nop`
+pub const NOP: u8 = 0x00;
+/// `halt`
+pub const HALT: u8 = 0x01;
+/// `ret`
+pub const RET: u8 = 0x02;
+/// `pushf`
+pub const PUSHF: u8 = 0x03;
+/// `popf`
+pub const POPF: u8 = 0x04;
+/// `mov rd, rs`
+pub const MOV_RR: u8 = 0x05;
+/// `mov rd, imm64`
+pub const MOV_RI: u8 = 0x06;
+
+/// Base opcode for register/register ALU ops; add [`crate::insn::AluOp`]'s code.
+pub const ALU_RR_BASE: u8 = 0x10;
+/// Base opcode for register/immediate ALU ops; add the op code.
+pub const ALU_RI_BASE: u8 = 0x20;
+/// Base opcode for immediate shifts; add [`crate::insn::ShiftOp`]'s code.
+pub const SHIFT_RI_BASE: u8 = 0x30;
+
+/// `not rd`
+pub const NOT: u8 = 0x33;
+/// `neg rd`
+pub const NEG: u8 = 0x34;
+/// `cmp rs1, rs2`
+pub const CMP_RR: u8 = 0x38;
+/// `cmp rs1, imm32`
+pub const CMP_RI: u8 = 0x39;
+/// `cmp rs1, [base+disp]`
+pub const CMP_RM: u8 = 0x3A;
+/// `test rs1, rs2`
+pub const TEST_RR: u8 = 0x3B;
+
+/// `load rd, [base+disp]`
+pub const LOAD: u8 = 0x40;
+/// `store [base+disp], rs`
+pub const STORE: u8 = 0x41;
+/// `loadb rd, [base+disp]`
+pub const LOADB: u8 = 0x42;
+/// `storeb [base+disp], rs`
+pub const STOREB: u8 = 0x43;
+/// `lea rd, [base+disp]`
+pub const LEA: u8 = 0x44;
+
+/// `push rs`
+pub const PUSH: u8 = 0x48;
+/// `pop rd`
+pub const POP: u8 = 0x49;
+
+/// `jmp rel32`
+pub const JMP: u8 = 0x50;
+/// `j<cc> rel32`
+pub const JCC: u8 = 0x51;
+/// `call rel32`
+pub const CALL: u8 = 0x52;
+/// `callr rs`
+pub const CALLR: u8 = 0x53;
+/// `jmpr rs`
+pub const JMPR: u8 = 0x54;
+
+/// `set<cc> rd`
+pub const SETCC: u8 = 0x58;
+/// `svc num`
+pub const SVC: u8 = 0x60;

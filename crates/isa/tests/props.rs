@@ -1,0 +1,119 @@
+//! Property-based tests for the RRVM encoding.
+
+use proptest::prelude::*;
+use rr_isa::{decode, encode_to_vec, encoded_len, Cond, Instr, Reg, MAX_INSTR_LEN};
+
+/// Strategy producing an arbitrary valid register.
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg::from_index)
+}
+
+/// Strategy producing an arbitrary valid condition code.
+fn any_cond() -> impl Strategy<Value = Cond> {
+    (0u8..10).prop_map(|c| Cond::from_code(c).expect("in range"))
+}
+
+fn any_alu() -> impl Strategy<Value = rr_isa::InstrKind> {
+    Just(rr_isa::InstrKind::Alu)
+}
+
+/// Strategy producing an arbitrary instruction covering every variant.
+fn any_instr() -> impl Strategy<Value = Instr> {
+    use rr_isa::Instr as I;
+    let _ = any_alu; // silence unused when shrinking strategies below
+    prop_oneof![
+        Just(I::Nop),
+        Just(I::Halt),
+        Just(I::Ret),
+        Just(I::PushF),
+        Just(I::PopF),
+        (any_reg(), any_reg()).prop_map(|(rd, rs)| I::MovRR { rd, rs }),
+        (any_reg(), any::<u64>()).prop_map(|(rd, imm)| I::MovRI { rd, imm }),
+        (0u8..7, any_reg(), any_reg()).prop_map(|(op, rd, rs)| I::AluRR {
+            op: alu_from(op),
+            rd,
+            rs
+        }),
+        (0u8..7, any_reg(), any::<i32>()).prop_map(|(op, rd, imm)| I::AluRI {
+            op: alu_from(op),
+            rd,
+            imm
+        }),
+        (0u8..3, any_reg(), any::<u8>()).prop_map(|(op, rd, amt)| I::ShiftRI {
+            op: shift_from(op),
+            rd,
+            amt
+        }),
+        any_reg().prop_map(|rd| I::Not { rd }),
+        any_reg().prop_map(|rd| I::Neg { rd }),
+        (any_reg(), any_reg()).prop_map(|(rs1, rs2)| I::CmpRR { rs1, rs2 }),
+        (any_reg(), any::<i32>()).prop_map(|(rs1, imm)| I::CmpRI { rs1, imm }),
+        (any_reg(), any_reg(), any::<i32>())
+            .prop_map(|(rs1, base, disp)| I::CmpRM { rs1, base, disp }),
+        (any_reg(), any_reg()).prop_map(|(rs1, rs2)| I::TestRR { rs1, rs2 }),
+        (any_reg(), any_reg(), any::<i32>()).prop_map(|(rd, base, disp)| I::Load { rd, base, disp }),
+        (any_reg(), any::<i32>(), any_reg())
+            .prop_map(|(base, disp, rs)| I::Store { base, disp, rs }),
+        (any_reg(), any_reg(), any::<i32>())
+            .prop_map(|(rd, base, disp)| I::LoadB { rd, base, disp }),
+        (any_reg(), any::<i32>(), any_reg())
+            .prop_map(|(base, disp, rs)| I::StoreB { base, disp, rs }),
+        (any_reg(), any_reg(), any::<i32>()).prop_map(|(rd, base, disp)| I::Lea { rd, base, disp }),
+        any_reg().prop_map(|rs| I::Push { rs }),
+        any_reg().prop_map(|rd| I::Pop { rd }),
+        any::<i32>().prop_map(|rel| I::Jmp { rel }),
+        (any_cond(), any::<i32>()).prop_map(|(cc, rel)| I::Jcc { cc, rel }),
+        any::<i32>().prop_map(|rel| I::Call { rel }),
+        any_reg().prop_map(|rs| I::CallR { rs }),
+        any_reg().prop_map(|rs| I::JmpR { rs }),
+        (any_reg(), any_cond()).prop_map(|(rd, cc)| I::SetCc { rd, cc }),
+        any::<u8>().prop_map(|num| I::Svc { num }),
+    ]
+}
+
+fn alu_from(code: u8) -> rr_isa::AluOp {
+    rr_isa::AluOp::from_code(code).expect("in range")
+}
+
+fn shift_from(code: u8) -> rr_isa::ShiftOp {
+    rr_isa::ShiftOp::from_code(code).expect("in range")
+}
+
+proptest! {
+    /// decode ∘ encode = identity, and the consumed length matches.
+    #[test]
+    fn encode_decode_round_trip(insn in any_instr()) {
+        let bytes = encode_to_vec(&insn);
+        prop_assert!(bytes.len() <= MAX_INSTR_LEN);
+        prop_assert_eq!(bytes.len(), encoded_len(&insn));
+        let (decoded, len) = decode(&bytes).expect("canonical encoding must decode");
+        prop_assert_eq!(decoded, insn);
+        prop_assert_eq!(len, bytes.len());
+    }
+
+    /// Decoding arbitrary bytes never panics and never reads past the
+    /// reported length.
+    #[test]
+    fn decode_total_on_random_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..32)) {
+        match decode(&bytes) {
+            Ok((_, len)) => prop_assert!(len <= bytes.len()),
+            Err(_) => {}
+        }
+    }
+
+    /// A decoded instruction re-encodes to at most the bytes consumed
+    /// (redundant encodings may canonicalize, but never grow).
+    #[test]
+    fn reencode_never_grows(bytes in proptest::collection::vec(any::<u8>(), 1..16)) {
+        if let Ok((insn, len)) = decode(&bytes) {
+            prop_assert!(encode_to_vec(&insn).len() <= len.max(MAX_INSTR_LEN));
+            prop_assert_eq!(encoded_len(&insn), len);
+        }
+    }
+
+    /// Textual rendering is total and non-empty.
+    #[test]
+    fn display_total(insn in any_instr()) {
+        prop_assert!(!insn.to_string().is_empty());
+    }
+}

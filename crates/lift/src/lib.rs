@@ -1,0 +1,44 @@
+//! # rr-lift — lifting RRVM binaries to RRIR
+//!
+//! The front end of the Hybrid rewriting approach (paper §IV-C step 1) and
+//! the Rev.ng stand-in: a full translation from machine code to the
+//! compiler IR, so that countermeasures can be implemented as IR passes
+//! and the result lowered back to a binary by `rr-lower`.
+//!
+//! The translation follows Rev.ng's CPU-state-variable design: every
+//! machine register and condition flag becomes an RRIR [`rr_ir::Cell`];
+//! each machine instruction expands into explicit dataflow between cells —
+//! including *flag semantics*, so a `cmp` lifts into the four NZCV flag
+//! computations and a `j<cc>` into the corresponding boolean expression
+//! over the flag cells. Machine basic blocks map 1:1 onto IR blocks;
+//! machine `call`/`ret` map to IR calls/returns (state passes through
+//! cells and memory, so IR functions have no explicit parameters).
+//!
+//! ## Known modelling gaps (documented divergences)
+//!
+//! * `mul` overflow flags: the machine sets C/V on unsigned overflow; the
+//!   lifted code leaves them clear. Programs that branch on C/V
+//!   immediately after `mul` would diverge; none of the workloads do, and
+//!   the end-to-end equivalence tests would catch it.
+//! * Indirect *jumps* (`jmpr`) are rejected ([`LiftError::Unsupported`]) —
+//!   their targets are not statically known. Indirect *calls* are
+//!   supported (they return).
+//!
+//! ## Example
+//!
+//! ```
+//! use rr_asm::assemble_and_link;
+//! use rr_lift::lift;
+//!
+//! let exe = assemble_and_link(
+//!     "    .global _start\n_start:\n    mov r1, 7\n    svc 0\n",
+//! )?;
+//! let lifted = lift(&exe)?;
+//! assert_eq!(lifted.module.entry, "__rr_entry"); // `_start` is renamed
+//! assert!(rr_ir::verify(&lifted.module).is_ok());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod lifter;
+
+pub use lifter::{lift, LiftError, LiftedProgram, ENTRY_FUNCTION};

@@ -1,0 +1,747 @@
+//! The instruction-by-instruction lifter.
+
+use rr_disasm::{disassemble, DataSection, DisasmError, SymInstr};
+use rr_ir::{BinOp, BlockId, Cell, Function, Module, Op, Pred, Terminator, ValueId, Width};
+use rr_isa::{AluOp, Cond, Instr, InstrKind, Reg, ShiftOp};
+use rr_obj::Executable;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Name given to the lifted entry function (the machine `_start` is
+/// renamed so the backend can emit its own `_start` initialization stub).
+pub const ENTRY_FUNCTION: &str = "__rr_entry";
+
+/// A binary lifted to RRIR: the code as a [`Module`] plus the data
+/// sections carried through unchanged for the backend to re-emit.
+#[derive(Debug, Clone)]
+pub struct LiftedProgram {
+    /// The lifted code.
+    pub module: Module,
+    /// Recovered data sections (symbolized), re-emitted by `rr-lower`.
+    pub data: Vec<DataSection>,
+}
+
+/// Why lifting failed.
+#[derive(Debug)]
+pub enum LiftError {
+    /// The binary could not be disassembled.
+    Disasm(DisasmError),
+    /// A construct the lifter does not model.
+    Unsupported {
+        /// Address of the offending instruction.
+        addr: u64,
+        /// Description.
+        what: String,
+    },
+    /// The lifted module failed verification (lifter bug).
+    Verify(rr_ir::VerifyError),
+}
+
+impl fmt::Display for LiftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiftError::Disasm(e) => write!(f, "disassembly failed: {e}"),
+            LiftError::Unsupported { addr, what } => {
+                write!(f, "unsupported construct at {addr:#x}: {what}")
+            }
+            LiftError::Verify(e) => write!(f, "lifted module is invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LiftError {}
+
+impl From<DisasmError> for LiftError {
+    fn from(e: DisasmError) -> Self {
+        LiftError::Disasm(e)
+    }
+}
+
+/// Lifts `exe` to RRIR.
+///
+/// # Errors
+///
+/// See [`LiftError`]; notably indirect jumps are unsupported.
+pub fn lift(exe: &Executable) -> Result<LiftedProgram, LiftError> {
+    let disasm = disassemble(exe)?;
+
+    // Symbolized form of each original instruction (for address
+    // materialization and branch labels).
+    let sym_map: HashMap<u64, SymInstr> = disasm
+        .listing
+        .original_code()
+        .map(|(_, addr, insn)| (addr, insn.clone()))
+        .collect();
+
+    // Function entry address → name.
+    let fn_names: HashMap<u64, String> =
+        disasm.functions.iter().map(|f| (f.entry, f.name.clone())).collect();
+
+    let mut module = Module::new();
+    for mf in &disasm.functions {
+        let lifted = lift_function(mf, &sym_map, &fn_names)?;
+        module.push_function(lifted);
+    }
+
+    // Rename the entry function so the backend owns the `_start` symbol.
+    let entry_name = fn_names
+        .get(&exe.entry)
+        .cloned()
+        .expect("entry function always discovered");
+    rename_function(&mut module, &entry_name, ENTRY_FUNCTION);
+    module.entry = ENTRY_FUNCTION.to_owned();
+
+    rr_ir::verify(&module).map_err(LiftError::Verify)?;
+    Ok(LiftedProgram { module, data: disasm.listing.data })
+}
+
+fn rename_function(module: &mut Module, from: &str, to: &str) {
+    for f in module.functions_mut() {
+        if f.name == from {
+            f.name = to.to_owned();
+        }
+        for b in f.block_ids() {
+            let ops = f.block(b).ops.clone();
+            for v in ops {
+                match f.op_mut(v) {
+                    Op::Call { callee } if callee == from => *callee = to.to_owned(),
+                    Op::SymAddr(s) if s == from => *s = to.to_owned(),
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+struct Ctx<'a> {
+    f: Function,
+    sym_map: &'a HashMap<u64, SymInstr>,
+    fn_names: &'a HashMap<u64, String>,
+    block_of: HashMap<u64, BlockId>,
+}
+
+impl Ctx<'_> {
+    fn emit(&mut self, b: BlockId, op: Op) -> ValueId {
+        self.f.append(b, op)
+    }
+
+    fn konst(&mut self, b: BlockId, value: u64) -> ValueId {
+        self.emit(b, Op::Const(value))
+    }
+
+    fn read(&mut self, b: BlockId, r: Reg) -> ValueId {
+        self.emit(b, Op::ReadCell(Cell::reg(r.index())))
+    }
+
+    fn write(&mut self, b: BlockId, r: Reg, value: ValueId) {
+        self.emit(b, Op::WriteCell { cell: Cell::reg(r.index()), value });
+    }
+
+    fn bin(&mut self, b: BlockId, op: BinOp, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.emit(b, Op::BinOp { op, lhs, rhs })
+    }
+
+    fn icmp(&mut self, b: BlockId, pred: Pred, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.emit(b, Op::ICmp { pred, lhs, rhs })
+    }
+
+    fn write_flag(&mut self, b: BlockId, cell: Cell, value: ValueId) {
+        self.emit(b, Op::WriteCell { cell, value });
+    }
+
+    /// NZCV for `a - b = res` (also `cmp`).
+    fn flags_sub(&mut self, b: BlockId, a: ValueId, rhs: ValueId, res: ValueId) {
+        let zero = self.konst(b, 0);
+        let z = self.icmp(b, Pred::Eq, res, zero);
+        let n = self.icmp(b, Pred::Slt, res, zero);
+        let c = self.icmp(b, Pred::Ult, a, rhs);
+        // Signed overflow: (a ^ b) & (a ^ res), sign bit.
+        let axb = self.bin(b, BinOp::Xor, a, rhs);
+        let axr = self.bin(b, BinOp::Xor, a, res);
+        let both = self.bin(b, BinOp::And, axb, axr);
+        let s63 = self.konst(b, 63);
+        let v = self.bin(b, BinOp::Lshr, both, s63);
+        self.write_flag(b, Cell::Z, z);
+        self.write_flag(b, Cell::N, n);
+        self.write_flag(b, Cell::C, c);
+        self.write_flag(b, Cell::V, v);
+    }
+
+    /// NZCV for `a + b = res`.
+    fn flags_add(&mut self, b: BlockId, a: ValueId, rhs: ValueId, res: ValueId) {
+        let zero = self.konst(b, 0);
+        let z = self.icmp(b, Pred::Eq, res, zero);
+        let n = self.icmp(b, Pred::Slt, res, zero);
+        let c = self.icmp(b, Pred::Ult, res, a);
+        // Signed overflow: (a ^ res) & (b ^ res), sign bit.
+        let axr = self.bin(b, BinOp::Xor, a, res);
+        let bxr = self.bin(b, BinOp::Xor, rhs, res);
+        let both = self.bin(b, BinOp::And, axr, bxr);
+        let s63 = self.konst(b, 63);
+        let v = self.bin(b, BinOp::Lshr, both, s63);
+        self.write_flag(b, Cell::Z, z);
+        self.write_flag(b, Cell::N, n);
+        self.write_flag(b, Cell::C, c);
+        self.write_flag(b, Cell::V, v);
+    }
+
+    /// ZN for a logic result; C and V cleared.
+    fn flags_logic(&mut self, b: BlockId, res: ValueId) {
+        let zero = self.konst(b, 0);
+        let z = self.icmp(b, Pred::Eq, res, zero);
+        let n = self.icmp(b, Pred::Slt, res, zero);
+        self.write_flag(b, Cell::Z, z);
+        self.write_flag(b, Cell::N, n);
+        self.write_flag(b, Cell::C, zero);
+        self.write_flag(b, Cell::V, zero);
+    }
+
+    /// Boolean (0/1) evaluation of a machine condition from flag cells.
+    fn eval_cond(&mut self, b: BlockId, cc: Cond) -> ValueId {
+        let one = self.konst(b, 1);
+        let z = self.emit(b, Op::ReadCell(Cell::Z));
+        match cc {
+            Cond::Eq => z,
+            Cond::Ne => self.bin(b, BinOp::Xor, z, one),
+            Cond::Lt | Cond::Ge | Cond::Le | Cond::Gt => {
+                let n = self.emit(b, Op::ReadCell(Cell::N));
+                let v = self.emit(b, Op::ReadCell(Cell::V));
+                let lt = self.bin(b, BinOp::Xor, n, v);
+                match cc {
+                    Cond::Lt => lt,
+                    Cond::Ge => self.bin(b, BinOp::Xor, lt, one),
+                    Cond::Le => self.bin(b, BinOp::Or, z, lt),
+                    Cond::Gt => {
+                        let le = self.bin(b, BinOp::Or, z, lt);
+                        self.bin(b, BinOp::Xor, le, one)
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            Cond::B | Cond::Ae | Cond::Be | Cond::A => {
+                let c = self.emit(b, Op::ReadCell(Cell::C));
+                match cc {
+                    Cond::B => c,
+                    Cond::Ae => self.bin(b, BinOp::Xor, c, one),
+                    Cond::Be => self.bin(b, BinOp::Or, c, z),
+                    Cond::A => {
+                        let be = self.bin(b, BinOp::Or, c, z);
+                        self.bin(b, BinOp::Xor, be, one)
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+
+    /// `[base + disp]` address computation.
+    fn address(&mut self, b: BlockId, base: Reg, disp: i32) -> ValueId {
+        let base_v = self.read(b, base);
+        if disp == 0 {
+            return base_v;
+        }
+        let d = self.konst(b, disp as i64 as u64);
+        self.bin(b, BinOp::Add, base_v, d)
+    }
+
+    /// Virtual push: `sp -= 8; [sp] = value`.
+    fn push(&mut self, b: BlockId, value: ValueId) {
+        let sp = self.read(b, Reg::SP);
+        let eight = self.konst(b, 8);
+        let nsp = self.bin(b, BinOp::Sub, sp, eight);
+        self.emit(b, Op::Store { addr: nsp, value, width: Width::Q });
+        self.write(b, Reg::SP, nsp);
+    }
+
+    /// Virtual pop: `value = [sp]; sp += 8`.
+    fn pop(&mut self, b: BlockId) -> ValueId {
+        let sp = self.read(b, Reg::SP);
+        let value = self.emit(b, Op::Load { addr: sp, width: Width::Q });
+        let eight = self.konst(b, 8);
+        let nsp = self.bin(b, BinOp::Add, sp, eight);
+        self.write(b, Reg::SP, nsp);
+        value
+    }
+
+    /// Packed NZCV word (matching `rr_isa::Flags::to_bits`).
+    fn pack_flags(&mut self, b: BlockId) -> ValueId {
+        let z = self.emit(b, Op::ReadCell(Cell::Z));
+        let n = self.emit(b, Op::ReadCell(Cell::N));
+        let c = self.emit(b, Op::ReadCell(Cell::C));
+        let v = self.emit(b, Op::ReadCell(Cell::V));
+        let one = self.konst(b, 1);
+        let two = self.konst(b, 2);
+        let three = self.konst(b, 3);
+        let n1 = self.bin(b, BinOp::Shl, n, one);
+        let c2 = self.bin(b, BinOp::Shl, c, two);
+        let v3 = self.bin(b, BinOp::Shl, v, three);
+        let zn = self.bin(b, BinOp::Or, z, n1);
+        let cv = self.bin(b, BinOp::Or, c2, v3);
+        self.bin(b, BinOp::Or, zn, cv)
+    }
+
+    fn unpack_flags(&mut self, b: BlockId, word: ValueId) {
+        let one = self.konst(b, 1);
+        for (shift, cell) in [(0u64, Cell::Z), (1, Cell::N), (2, Cell::C), (3, Cell::V)] {
+            let sh = self.konst(b, shift);
+            let moved = self.bin(b, BinOp::Lshr, word, sh);
+            let bit = self.bin(b, BinOp::And, moved, one);
+            self.write_flag(b, cell, bit);
+        }
+    }
+}
+
+fn lift_function(
+    mf: &rr_disasm::Function,
+    sym_map: &HashMap<u64, SymInstr>,
+    fn_names: &HashMap<u64, String>,
+) -> Result<Function, LiftError> {
+    let mut ctx = Ctx {
+        f: Function::new(mf.name.clone()),
+        sym_map,
+        fn_names,
+        block_of: HashMap::new(),
+    };
+    // Allocate IR blocks: function entry is block 0.
+    ctx.block_of.insert(mf.entry, ctx.f.entry());
+    for block in &mf.blocks {
+        if block.addr != mf.entry {
+            let id = ctx.f.new_block();
+            ctx.block_of.insert(block.addr, id);
+        }
+    }
+
+    for block in &mf.blocks {
+        lift_block(&mut ctx, block)?;
+    }
+    Ok(ctx.f)
+}
+
+fn lift_block(ctx: &mut Ctx<'_>, mb: &rr_disasm::BasicBlock) -> Result<(), LiftError> {
+    let b = ctx.block_of[&mb.addr];
+    let (term_addr, term_insn) = mb.terminator();
+
+    for &(addr, insn) in &mb.instrs {
+        let is_terminator_slot = addr == term_addr;
+        if is_terminator_slot && set_block_terminator(ctx, b, mb, addr, insn)? {
+            return Ok(());
+        }
+        lift_instr(ctx, b, addr, insn)?;
+        if is_terminator_slot {
+            // Plain final instruction (leader split or svc exit):
+            // fall through to the single successor if there is one.
+            let term = match mb.succs.as_slice() {
+                [next] => Terminator::Br(ctx.block_of[next]),
+                [] => Terminator::Abort, // dynamically unreachable fall-off
+                _ => unreachable!("plain instructions have at most one successor"),
+            };
+            ctx.f.set_terminator(b, term);
+            return Ok(());
+        }
+    }
+    let _ = term_insn;
+    Ok(())
+}
+
+/// Handles block-terminating instructions; returns `true` if the
+/// terminator was set (the instruction is consumed).
+fn set_block_terminator(
+    ctx: &mut Ctx<'_>,
+    b: BlockId,
+    mb: &rr_disasm::BasicBlock,
+    addr: u64,
+    insn: Instr,
+) -> Result<bool, LiftError> {
+    match insn.kind() {
+        InstrKind::Jump => {
+            let target = mb.succs.first().copied().ok_or_else(|| LiftError::Unsupported {
+                addr,
+                what: "jump without recovered target".into(),
+            })?;
+            let target_block =
+                *ctx.block_of.get(&target).ok_or_else(|| LiftError::Unsupported {
+                    addr,
+                    what: "jump target outside this function (tail call?)".into(),
+                })?;
+            ctx.f.set_terminator(b, Terminator::Br(target_block));
+            Ok(true)
+        }
+        InstrKind::CondJump => {
+            let Instr::Jcc { cc, .. } = insn else { unreachable!() };
+            let [taken, fallthrough] = mb.succs.as_slice() else {
+                return Err(LiftError::Unsupported {
+                    addr,
+                    what: "conditional jump without two successors".into(),
+                });
+            };
+            let cond = ctx.eval_cond(b, cc);
+            let if_true = *ctx.block_of.get(taken).ok_or_else(|| LiftError::Unsupported {
+                addr,
+                what: "branch target outside this function".into(),
+            })?;
+            let if_false =
+                *ctx.block_of.get(fallthrough).ok_or_else(|| LiftError::Unsupported {
+                    addr,
+                    what: "branch fall-through outside this function".into(),
+                })?;
+            ctx.f.set_terminator(b, Terminator::CondBr { cond, if_true, if_false });
+            Ok(true)
+        }
+        InstrKind::Ret => {
+            // The machine `ret` pops the return address from the stack;
+            // the lifted call sequence leaves a dummy slot there (see
+            // `lift_instr` for calls), which must be dropped to keep the
+            // virtual stack balanced.
+            let sp = ctx.read(b, Reg::SP);
+            let eight = ctx.konst(b, 8);
+            let nsp = ctx.bin(b, BinOp::Add, sp, eight);
+            ctx.write(b, Reg::SP, nsp);
+            ctx.f.set_terminator(b, Terminator::Ret);
+            Ok(true)
+        }
+        InstrKind::Halt => {
+            ctx.f.set_terminator(b, Terminator::Abort);
+            Ok(true)
+        }
+        InstrKind::IndirectJump => Err(LiftError::Unsupported {
+            addr,
+            what: "indirect jump (jmpr) targets are not statically known".into(),
+        }),
+        _ => Ok(false),
+    }
+}
+
+fn lift_instr(ctx: &mut Ctx<'_>, b: BlockId, addr: u64, insn: Instr) -> Result<(), LiftError> {
+    match insn {
+        Instr::Nop => {}
+        Instr::MovRR { rd, rs } => {
+            let v = ctx.read(b, rs);
+            ctx.write(b, rd, v);
+        }
+        Instr::MovRI { rd, imm } => {
+            // Symbolized address materializations become SymAddr so the
+            // lowered binary references the *new* location.
+            let v = match ctx.sym_map.get(&addr) {
+                Some(SymInstr::MovSym { sym, addend, .. }) => {
+                    let base = ctx.emit(b, Op::SymAddr(sym.clone()));
+                    if *addend != 0 {
+                        let a = ctx.konst(b, *addend as u64);
+                        ctx.bin(b, BinOp::Add, base, a)
+                    } else {
+                        base
+                    }
+                }
+                _ => ctx.konst(b, imm),
+            };
+            ctx.write(b, rd, v);
+        }
+        Instr::AluRR { op, rd, rs } => {
+            let a = ctx.read(b, rd);
+            let rhs = ctx.read(b, rs);
+            lift_alu(ctx, b, op, rd, a, rhs);
+        }
+        Instr::AluRI { op, rd, imm } => {
+            let a = ctx.read(b, rd);
+            let rhs = ctx.konst(b, imm as i64 as u64);
+            lift_alu(ctx, b, op, rd, a, rhs);
+        }
+        Instr::ShiftRI { op, rd, amt } => {
+            let amt = amt & 63;
+            if amt == 0 {
+                return Ok(()); // value and flags unchanged
+            }
+            let a = ctx.read(b, rd);
+            let amt_v = ctx.konst(b, u64::from(amt));
+            let bin = match op {
+                ShiftOp::Shl => BinOp::Shl,
+                ShiftOp::Shr => BinOp::Lshr,
+                ShiftOp::Sar => BinOp::Ashr,
+            };
+            let res = ctx.bin(b, bin, a, amt_v);
+            ctx.write(b, rd, res);
+            // Flags: ZN from result, C = last bit shifted out, V = 0.
+            let zero = ctx.konst(b, 0);
+            let z = ctx.icmp(b, Pred::Eq, res, zero);
+            let n = ctx.icmp(b, Pred::Slt, res, zero);
+            let carry_shift = match op {
+                ShiftOp::Shl => 64 - amt,
+                ShiftOp::Shr | ShiftOp::Sar => amt - 1,
+            };
+            let cs = ctx.konst(b, u64::from(carry_shift));
+            let one = ctx.konst(b, 1);
+            let moved = ctx.bin(b, BinOp::Lshr, a, cs);
+            let c = ctx.bin(b, BinOp::And, moved, one);
+            ctx.write_flag(b, Cell::Z, z);
+            ctx.write_flag(b, Cell::N, n);
+            ctx.write_flag(b, Cell::C, c);
+            ctx.write_flag(b, Cell::V, zero);
+        }
+        Instr::Not { rd } => {
+            let a = ctx.read(b, rd);
+            let res = ctx.emit(b, Op::Not(a));
+            ctx.write(b, rd, res);
+            ctx.flags_logic(b, res);
+        }
+        Instr::Neg { rd } => {
+            let a = ctx.read(b, rd);
+            let res = ctx.emit(b, Op::Neg(a));
+            ctx.write(b, rd, res);
+            let zero = ctx.konst(b, 0);
+            ctx.flags_sub(b, zero, a, res);
+        }
+        Instr::CmpRR { rs1, rs2 } => {
+            let a = ctx.read(b, rs1);
+            let c = ctx.read(b, rs2);
+            let res = ctx.bin(b, BinOp::Sub, a, c);
+            ctx.flags_sub(b, a, c, res);
+        }
+        Instr::CmpRI { rs1, imm } => {
+            let a = ctx.read(b, rs1);
+            let c = ctx.konst(b, imm as i64 as u64);
+            let res = ctx.bin(b, BinOp::Sub, a, c);
+            ctx.flags_sub(b, a, c, res);
+        }
+        Instr::CmpRM { rs1, base, disp } => {
+            let a = ctx.read(b, rs1);
+            let address = ctx.address(b, base, disp);
+            let m = ctx.emit(b, Op::Load { addr: address, width: Width::Q });
+            let res = ctx.bin(b, BinOp::Sub, a, m);
+            ctx.flags_sub(b, a, m, res);
+        }
+        Instr::TestRR { rs1, rs2 } => {
+            let a = ctx.read(b, rs1);
+            let c = ctx.read(b, rs2);
+            let res = ctx.bin(b, BinOp::And, a, c);
+            ctx.flags_logic(b, res);
+        }
+        Instr::Load { rd, base, disp } => {
+            let address = ctx.address(b, base, disp);
+            let v = ctx.emit(b, Op::Load { addr: address, width: Width::Q });
+            ctx.write(b, rd, v);
+        }
+        Instr::LoadB { rd, base, disp } => {
+            let address = ctx.address(b, base, disp);
+            let v = ctx.emit(b, Op::Load { addr: address, width: Width::B });
+            ctx.write(b, rd, v);
+        }
+        Instr::Store { base, disp, rs } => {
+            let address = ctx.address(b, base, disp);
+            let v = ctx.read(b, rs);
+            ctx.emit(b, Op::Store { addr: address, value: v, width: Width::Q });
+        }
+        Instr::StoreB { base, disp, rs } => {
+            let address = ctx.address(b, base, disp);
+            let v = ctx.read(b, rs);
+            ctx.emit(b, Op::Store { addr: address, value: v, width: Width::B });
+        }
+        Instr::Lea { rd, base, disp } => {
+            let address = ctx.address(b, base, disp);
+            ctx.write(b, rd, address);
+        }
+        Instr::Push { rs } => {
+            let v = ctx.read(b, rs);
+            ctx.push(b, v);
+        }
+        Instr::Pop { rd } => {
+            let v = ctx.pop(b);
+            ctx.write(b, rd, v);
+        }
+        Instr::PushF => {
+            let packed = ctx.pack_flags(b);
+            ctx.push(b, packed);
+        }
+        Instr::PopF => {
+            let word = ctx.pop(b);
+            ctx.unpack_flags(b, word);
+        }
+        Instr::SetCc { rd, cc } => {
+            let v = ctx.eval_cond(b, cc);
+            ctx.write(b, rd, v);
+        }
+        Instr::Svc { num } => {
+            ctx.emit(b, Op::Svc { num });
+        }
+        Instr::Call { .. } => {
+            // Resolve the call target through the symbolized listing.
+            let callee = match ctx.sym_map.get(&addr) {
+                Some(SymInstr::Branch { is_call: true, target, .. }) => target.clone(),
+                _ => {
+                    return Err(LiftError::Unsupported {
+                        addr,
+                        what: "call without symbolized target".into(),
+                    })
+                }
+            };
+            // The disassembler names functions after their symbols; the
+            // target label is that name.
+            if !ctx.fn_names.values().any(|n| *n == callee) {
+                return Err(LiftError::Unsupported {
+                    addr,
+                    what: format!("call to unknown function `{callee}`"),
+                });
+            }
+            // Preserve the machine stack layout: the machine `call` pushes
+            // a return address the callee's sp-relative accesses may index
+            // past. The lifted transfer is a native call, so push a dummy
+            // slot on the *virtual* stack instead (the callee's lifted
+            // `ret` drops it).
+            let dummy = ctx.konst(b, 0);
+            ctx.push(b, dummy);
+            ctx.emit(b, Op::Call { callee });
+        }
+        Instr::CallR { rs } => {
+            let target = ctx.read(b, rs);
+            let dummy = ctx.konst(b, 0);
+            ctx.push(b, dummy);
+            ctx.emit(b, Op::CallIndirect { target });
+        }
+        // Block terminators are handled by `set_block_terminator`.
+        Instr::Jmp { .. } | Instr::Jcc { .. } | Instr::Ret | Instr::Halt | Instr::JmpR { .. } => {
+            unreachable!("terminators are consumed before lift_instr")
+        }
+    }
+    lift_alu_marker(insn);
+    Ok(())
+}
+
+/// Marker so the divergence note stays attached to the code: `mul`
+/// overflow flags are approximated (C = V = 0).
+fn lift_alu_marker(_insn: Instr) {}
+
+fn lift_alu(ctx: &mut Ctx<'_>, b: BlockId, op: AluOp, rd: Reg, a: ValueId, rhs: ValueId) {
+    let bin = match op {
+        AluOp::Add => BinOp::Add,
+        AluOp::Sub => BinOp::Sub,
+        AluOp::And => BinOp::And,
+        AluOp::Or => BinOp::Or,
+        AluOp::Xor => BinOp::Xor,
+        AluOp::Mul => BinOp::Mul,
+        AluOp::Udiv => BinOp::Udiv,
+    };
+    let res = ctx.bin(b, bin, a, rhs);
+    ctx.write(b, rd, res);
+    match op {
+        AluOp::Add => ctx.flags_add(b, a, rhs, res),
+        AluOp::Sub => ctx.flags_sub(b, a, rhs, res),
+        // Documented divergence: machine `mul` sets C/V on overflow; the
+        // lift clears them (see crate docs).
+        AluOp::And | AluOp::Or | AluOp::Xor | AluOp::Mul | AluOp::Udiv => {
+            ctx.flags_logic(b, res)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_asm::assemble_and_link;
+
+    fn lift_src(src: &str) -> LiftedProgram {
+        let exe = assemble_and_link(src).expect("source builds");
+        lift(&exe).expect("lifts")
+    }
+
+    #[test]
+    fn lifts_straight_line_arithmetic() {
+        let lifted = lift_src(
+            "    .global _start\n_start:\n    mov r1, 6\n    mov r2, 7\n    mul r1, r2\n    svc 0\n",
+        );
+        let f = lifted.module.function(ENTRY_FUNCTION).expect("entry renamed");
+        assert_eq!(f.block_count(), 1);
+        // mov + mov + mul(+flags) + svc ⇒ a dozen-ish ops.
+        assert!(f.placed_op_count() >= 8);
+        rr_ir::verify(&lifted.module).unwrap();
+    }
+
+    #[test]
+    fn lifts_branches_into_condbr() {
+        let lifted = lift_src(
+            "    .global _start\n\
+             _start:\n\
+                 cmp r1, 0\n\
+                 je .z\n\
+                 mov r1, 1\n\
+                 svc 0\n\
+             .z:\n\
+                 mov r1, 2\n\
+                 svc 0\n",
+        );
+        let f = lifted.module.function(ENTRY_FUNCTION).unwrap();
+        assert_eq!(f.block_count(), 3);
+        let entry_term = &f.block(f.entry()).term;
+        assert!(matches!(entry_term, Terminator::CondBr { .. }), "{entry_term:?}");
+    }
+
+    #[test]
+    fn lifts_calls_between_functions() {
+        let lifted = lift_src(
+            "    .global _start\n\
+             _start:\n\
+                 call helper\n\
+                 svc 0\n\
+             helper:\n\
+                 mov r0, 1\n\
+                 ret\n",
+        );
+        assert_eq!(lifted.module.functions().len(), 2);
+        let helper = lifted.module.function("helper").unwrap();
+        assert!(matches!(helper.block(helper.entry()).term, Terminator::Ret));
+        let entry = lifted.module.function(ENTRY_FUNCTION).unwrap();
+        let has_call = entry
+            .iter_ops()
+            .any(|(_, _, op)| matches!(op, Op::Call { callee } if callee == "helper"));
+        assert!(has_call);
+    }
+
+    #[test]
+    fn symbolized_addresses_become_symaddr() {
+        let lifted = lift_src(
+            "    .global _start\n\
+             _start:\n\
+                 mov r2, value\n\
+                 load r1, [r2]\n\
+                 svc 0\n\
+                 .data\n\
+             value:\n\
+                 .quad 9\n",
+        );
+        let f = lifted.module.function(ENTRY_FUNCTION).unwrap();
+        let has_symaddr = f
+            .iter_ops()
+            .any(|(_, _, op)| matches!(op, Op::SymAddr(s) if s == "value"));
+        assert!(has_symaddr, "{}", lifted.module);
+        // Data carried through.
+        assert!(!lifted.data.is_empty());
+    }
+
+    #[test]
+    fn rejects_indirect_jumps() {
+        let exe = assemble_and_link(
+            "    .global _start\n\
+             _start:\n\
+                 mov r1, target\n\
+                 jmpr r1\n\
+             target:\n\
+                 svc 0\n",
+        )
+        .unwrap();
+        assert!(matches!(lift(&exe), Err(LiftError::Unsupported { .. })));
+    }
+
+    #[test]
+    fn workloads_lift_and_verify() {
+        for w in rr_workloads::all_workloads() {
+            let exe = w.build().unwrap();
+            let lifted = lift(&exe).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            rr_ir::verify(&lifted.module).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert!(lifted.module.functions().len() >= 2, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn halt_lifts_to_abort() {
+        let lifted = lift_src("    .global _start\n_start:\n    halt\n");
+        let f = lifted.module.function(ENTRY_FUNCTION).unwrap();
+        assert!(matches!(f.block(f.entry()).term, Terminator::Abort));
+    }
+}

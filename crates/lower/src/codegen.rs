@@ -1,0 +1,652 @@
+//! Slot-based code generation.
+
+use rr_asm::BuildError;
+use rr_disasm::{DataLine, DataSection, Line, Listing, SymInstr};
+use rr_ir::{BinOp, BlockId, Function, Op, Pred, Terminator, ValueId, Width};
+use rr_isa::{AluOp, Cond, Instr, Reg, ShiftOp, STACK_TOP};
+use rr_lift::LiftedProgram;
+use rr_obj::{Executable, SectionKind};
+use std::fmt;
+
+/// Cells base register, set once by the entry stub and never clobbered by
+/// generated code.
+const CELLS: Reg = Reg::R13;
+/// Primary code-generation temporary.
+const T0: Reg = Reg::R6;
+/// Secondary code-generation temporary.
+const T1: Reg = Reg::R7;
+
+/// Size of the native stack arena in bytes.
+const NATIVE_STACK_SIZE: u64 = 0x10000;
+
+/// Why lowering failed.
+#[derive(Debug)]
+pub enum LowerError {
+    /// A shift whose amount is not a compile-time constant (RRVM has only
+    /// immediate shifts; lifted code always uses constants).
+    NonConstShift {
+        /// Function containing the shift.
+        function: String,
+        /// The offending value.
+        value: ValueId,
+    },
+    /// The module failed verification before lowering.
+    Verify(rr_ir::VerifyError),
+    /// The generated assembly failed to build (codegen bug).
+    Build(BuildError),
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::NonConstShift { function, value } => {
+                write!(f, "{function}: shift amount of {value} is not a constant")
+            }
+            LowerError::Verify(e) => write!(f, "module invalid before lowering: {e}"),
+            LowerError::Build(e) => write!(f, "generated assembly failed to build: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+impl From<BuildError> for LowerError {
+    fn from(e: BuildError) -> Self {
+        LowerError::Build(e)
+    }
+}
+
+/// Compiles a lifted program to an executable.
+///
+/// # Errors
+///
+/// See [`LowerError`].
+pub fn compile(lifted: &LiftedProgram) -> Result<Executable, LowerError> {
+    let listing = emit_listing(lifted)?;
+    Ok(rr_asm::assemble_and_link(&listing.to_source())?)
+}
+
+/// Lowers to a reassembleable [`Listing`] (inspectable, and the source of
+/// the machine-level instruction counts in Table IV).
+///
+/// # Errors
+///
+/// See [`LowerError`].
+pub fn emit_listing(lifted: &LiftedProgram) -> Result<Listing, LowerError> {
+    rr_ir::verify(&lifted.module).map_err(LowerError::Verify)?;
+    let mut cg = Codegen::new();
+    cg.emit_stub(&lifted.module.entry);
+    for (index, function) in lifted.module.functions().iter().enumerate() {
+        cg.emit_function(index, function)?;
+    }
+    let mut listing = Listing::new();
+    listing.text = cg.lines;
+    listing.data = lifted.data.clone();
+    append_runtime_bss(&mut listing);
+    Ok(listing)
+}
+
+/// Appends the cells arena and native stack to the listing's `.bss`.
+fn append_runtime_bss(listing: &mut Listing) {
+    let runtime = vec![
+        DataLine::Label { name: "__rr_cells".into(), global: false },
+        DataLine::Space(8 * u64::from(rr_ir::Cell::COUNT)),
+        DataLine::Label { name: "__rr_native_stack".into(), global: false },
+        DataLine::Space(NATIVE_STACK_SIZE),
+        DataLine::Label { name: "__rr_native_stack_top".into(), global: false },
+    ];
+    if let Some(bss) = listing.data.iter_mut().find(|s| s.kind == SectionKind::Bss) {
+        bss.lines.extend(runtime);
+    } else {
+        listing.data.push(DataSection { kind: SectionKind::Bss, lines: runtime });
+    }
+}
+
+struct Codegen {
+    lines: Vec<Line>,
+    fresh: u64,
+}
+
+impl Codegen {
+    fn new() -> Codegen {
+        Codegen { lines: Vec::new(), fresh: 0 }
+    }
+
+    fn fresh_label(&mut self, prefix: &str) -> String {
+        let n = self.fresh;
+        self.fresh += 1;
+        format!(".Lg_{prefix}_{n}")
+    }
+
+    fn label(&mut self, name: impl Into<String>, global: bool) {
+        self.lines.push(Line::Label { name: name.into(), global });
+    }
+
+    fn ins(&mut self, instr: Instr) {
+        self.lines.push(Line::Code { orig_addr: None, insn: SymInstr::Plain(instr) });
+    }
+
+    fn branch(&mut self, cond: Option<Cond>, target: impl Into<String>) {
+        self.lines.push(Line::Code {
+            orig_addr: None,
+            insn: SymInstr::Branch { cond, is_call: false, target: target.into() },
+        });
+    }
+
+    fn call(&mut self, target: impl Into<String>) {
+        self.lines.push(Line::Code {
+            orig_addr: None,
+            insn: SymInstr::Branch { cond: None, is_call: true, target: target.into() },
+        });
+    }
+
+    fn mov_sym(&mut self, rd: Reg, sym: impl Into<String>) {
+        self.lines.push(Line::Code {
+            orig_addr: None,
+            insn: SymInstr::MovSym { rd, sym: sym.into(), addend: 0 },
+        });
+    }
+
+    /// `_start`: native stack, cells base, virtual stack pointer, then the
+    /// lifted entry.
+    fn emit_stub(&mut self, entry: &str) {
+        self.label("_start", true);
+        self.mov_sym(Reg::SP, "__rr_native_stack_top");
+        self.mov_sym(CELLS, "__rr_cells");
+        self.ins(Instr::MovRI { rd: T0, imm: STACK_TOP });
+        self.ins(Instr::Store { base: CELLS, disp: 8 * i32::from(Reg::SP.index()), rs: T0 });
+        self.call(entry.to_owned());
+        // The lifted entry normally exits via `svc 0`; returning is
+        // abnormal.
+        self.ins(Instr::Halt);
+    }
+
+    fn emit_function(&mut self, index: usize, f: &Function) -> Result<(), LowerError> {
+        let frame = FrameLayout::new(f);
+        self.label(f.name.clone(), false);
+        if frame.size > 0 {
+            self.ins(Instr::Lea { rd: Reg::SP, base: Reg::SP, disp: -frame.size });
+        }
+        for b in f.block_ids() {
+            self.label(block_label(index, b), false);
+            for &v in &f.block(b).ops {
+                self.emit_op(f, &frame, v)?;
+            }
+            self.emit_terminator(index, f, &frame, b);
+        }
+        Ok(())
+    }
+
+    /// `load reg, [sp + slot(v)]`.
+    fn load_slot(&mut self, frame: &FrameLayout, reg: Reg, v: ValueId) {
+        self.ins(Instr::Load { rd: reg, base: Reg::SP, disp: frame.slot(v) });
+    }
+
+    /// `store [sp + slot(v)], reg`.
+    fn store_slot(&mut self, frame: &FrameLayout, v: ValueId, reg: Reg) {
+        self.ins(Instr::Store { base: Reg::SP, disp: frame.slot(v), rs: reg });
+    }
+
+    fn emit_op(&mut self, f: &Function, frame: &FrameLayout, v: ValueId) -> Result<(), LowerError> {
+        match f.op(v).clone() {
+            Op::Const(c) => {
+                self.ins(Instr::MovRI { rd: T0, imm: c });
+                self.store_slot(frame, v, T0);
+            }
+            Op::SymAddr(sym) => {
+                self.mov_sym(T0, sym);
+                self.store_slot(frame, v, T0);
+            }
+            Op::BinOp { op, lhs, rhs } => {
+                self.load_slot(frame, T0, lhs);
+                match op {
+                    BinOp::Shl | BinOp::Lshr | BinOp::Ashr => {
+                        let Op::Const(amount) = *f.op(rhs) else {
+                            return Err(LowerError::NonConstShift {
+                                function: f.name.clone(),
+                                value: v,
+                            });
+                        };
+                        let shift_op = match op {
+                            BinOp::Shl => ShiftOp::Shl,
+                            BinOp::Lshr => ShiftOp::Shr,
+                            BinOp::Ashr => ShiftOp::Sar,
+                            _ => unreachable!(),
+                        };
+                        self.ins(Instr::ShiftRI {
+                            op: shift_op,
+                            rd: T0,
+                            amt: (amount & 63) as u8,
+                        });
+                    }
+                    _ => {
+                        self.load_slot(frame, T1, rhs);
+                        let alu = match op {
+                            BinOp::Add => AluOp::Add,
+                            BinOp::Sub => AluOp::Sub,
+                            BinOp::And => AluOp::And,
+                            BinOp::Or => AluOp::Or,
+                            BinOp::Xor => AluOp::Xor,
+                            BinOp::Mul => AluOp::Mul,
+                            BinOp::Udiv => AluOp::Udiv,
+                            _ => unreachable!("shifts handled above"),
+                        };
+                        self.ins(Instr::AluRR { op: alu, rd: T0, rs: T1 });
+                    }
+                }
+                self.store_slot(frame, v, T0);
+            }
+            Op::Not(a) => {
+                self.load_slot(frame, T0, a);
+                self.ins(Instr::Not { rd: T0 });
+                self.store_slot(frame, v, T0);
+            }
+            Op::Neg(a) => {
+                self.load_slot(frame, T0, a);
+                self.ins(Instr::Neg { rd: T0 });
+                self.store_slot(frame, v, T0);
+            }
+            Op::ICmp { pred, lhs, rhs } => {
+                self.load_slot(frame, T0, lhs);
+                self.load_slot(frame, T1, rhs);
+                self.ins(Instr::CmpRR { rs1: T0, rs2: T1 });
+                self.ins(Instr::SetCc { rd: T0, cc: pred_to_cond(pred) });
+                self.store_slot(frame, v, T0);
+            }
+            Op::Select { cond, if_true, if_false } => {
+                let lf = self.fresh_label("sel_f");
+                let ld = self.fresh_label("sel_d");
+                self.load_slot(frame, T0, cond);
+                self.ins(Instr::CmpRI { rs1: T0, imm: 0 });
+                self.branch(Some(Cond::Eq), lf.clone());
+                self.load_slot(frame, T0, if_true);
+                self.branch(None, ld.clone());
+                self.label(lf, false);
+                self.load_slot(frame, T0, if_false);
+                self.label(ld, false);
+                self.store_slot(frame, v, T0);
+            }
+            Op::Load { addr, width } => {
+                self.load_slot(frame, T0, addr);
+                let instr = match width {
+                    Width::Q => Instr::Load { rd: T1, base: T0, disp: 0 },
+                    Width::B => Instr::LoadB { rd: T1, base: T0, disp: 0 },
+                };
+                self.ins(instr);
+                self.store_slot(frame, v, T1);
+            }
+            Op::Store { addr, value, width } => {
+                self.load_slot(frame, T0, addr);
+                self.load_slot(frame, T1, value);
+                let instr = match width {
+                    Width::Q => Instr::Store { base: T0, disp: 0, rs: T1 },
+                    Width::B => Instr::StoreB { base: T0, disp: 0, rs: T1 },
+                };
+                self.ins(instr);
+            }
+            Op::ReadCell(cell) => {
+                self.ins(Instr::Load { rd: T0, base: CELLS, disp: 8 * i32::from(cell.0) });
+                self.store_slot(frame, v, T0);
+            }
+            Op::WriteCell { cell, value } => {
+                self.load_slot(frame, T0, value);
+                self.ins(Instr::Store { base: CELLS, disp: 8 * i32::from(cell.0), rs: T0 });
+            }
+            Op::Call { callee } => {
+                self.call(callee);
+            }
+            Op::CallIndirect { target } => {
+                self.load_slot(frame, T0, target);
+                self.ins(Instr::CallR { rs: T0 });
+            }
+            Op::Svc { num } => {
+                // The machine services read `r1` and (for service 2)
+                // write `r0`; bridge them through the cells.
+                match num {
+                    2 => {
+                        self.ins(Instr::Svc { num });
+                        self.ins(Instr::Store { base: CELLS, disp: 0, rs: Reg::R0 });
+                    }
+                    _ => {
+                        self.ins(Instr::Load {
+                            rd: Reg::R1,
+                            base: CELLS,
+                            disp: 8 * i32::from(Reg::R1.index()),
+                        });
+                        self.ins(Instr::Svc { num });
+                    }
+                }
+            }
+            Op::Phi { .. } => {} // materialized on incoming edges
+        }
+        Ok(())
+    }
+
+    fn emit_terminator(&mut self, findex: usize, f: &Function, frame: &FrameLayout, b: BlockId) {
+        match f.block(b).term.clone() {
+            Terminator::Br(succ) => {
+                self.emit_phi_copies(f, frame, b, succ);
+                self.branch(None, block_label(findex, succ));
+            }
+            Terminator::CondBr { cond, if_true, if_false } => {
+                self.load_slot(frame, T0, cond);
+                self.ins(Instr::CmpRI { rs1: T0, imm: 0 });
+                let true_has_phis = block_has_phis(f, if_true);
+                if true_has_phis {
+                    let tramp = self.fresh_label("edge");
+                    self.branch(Some(Cond::Ne), tramp.clone());
+                    // False edge falls through.
+                    self.emit_phi_copies(f, frame, b, if_false);
+                    self.branch(None, block_label(findex, if_false));
+                    // True edge trampoline.
+                    self.label(tramp, false);
+                    self.emit_phi_copies(f, frame, b, if_true);
+                    self.branch(None, block_label(findex, if_true));
+                } else {
+                    self.branch(Some(Cond::Ne), block_label(findex, if_true));
+                    self.emit_phi_copies(f, frame, b, if_false);
+                    self.branch(None, block_label(findex, if_false));
+                }
+            }
+            Terminator::Ret => {
+                if frame.size > 0 {
+                    self.ins(Instr::Lea { rd: Reg::SP, base: Reg::SP, disp: frame.size });
+                }
+                self.ins(Instr::Ret);
+            }
+            Terminator::Abort => self.ins(Instr::Halt),
+            Terminator::Unset => unreachable!("verified modules have terminators"),
+        }
+    }
+
+    /// Two-phase parallel copies for the phis of `succ` along the edge
+    /// `pred → succ` (phase 1 into shadow slots, phase 2 into the phi
+    /// slots), which is safe for swaps and cycles.
+    fn emit_phi_copies(&mut self, f: &Function, frame: &FrameLayout, pred: BlockId, succ: BlockId) {
+        let phis: Vec<(ValueId, ValueId)> = f
+            .block(succ)
+            .ops
+            .iter()
+            .filter_map(|&p| {
+                f.op(p).phi_incomings().and_then(|incomings| {
+                    incomings
+                        .iter()
+                        .find(|(from, _)| *from == pred)
+                        .map(|&(_, value)| (p, value))
+                })
+            })
+            .collect();
+        for &(phi, value) in &phis {
+            self.load_slot(frame, T0, value);
+            self.ins(Instr::Store { base: Reg::SP, disp: frame.shadow(phi), rs: T0 });
+        }
+        for &(phi, _) in &phis {
+            self.ins(Instr::Load { rd: T0, base: Reg::SP, disp: frame.shadow(phi) });
+            self.store_slot(frame, phi, T0);
+        }
+    }
+}
+
+fn block_has_phis(f: &Function, b: BlockId) -> bool {
+    f.block(b).ops.iter().any(|&v| matches!(f.op(v), Op::Phi { .. }))
+}
+
+fn block_label(findex: usize, b: BlockId) -> String {
+    format!(".Lf{}_{}", findex, b.index())
+}
+
+fn pred_to_cond(pred: Pred) -> Cond {
+    match pred {
+        Pred::Eq => Cond::Eq,
+        Pred::Ne => Cond::Ne,
+        Pred::Ult => Cond::B,
+        Pred::Ule => Cond::Be,
+        Pred::Slt => Cond::Lt,
+        Pred::Sle => Cond::Le,
+    }
+}
+
+/// Stack-frame layout: one 8-byte slot per SSA value plus one shadow slot
+/// (for phi parallel copies).
+struct FrameLayout {
+    values: i32,
+    size: i32,
+}
+
+impl FrameLayout {
+    fn new(f: &Function) -> FrameLayout {
+        let values = i32::try_from(f.value_count()).expect("value count fits i32");
+        FrameLayout { values, size: values * 16 }
+    }
+
+    fn slot(&self, v: ValueId) -> i32 {
+        i32::try_from(v.index()).expect("fits") * 8
+    }
+
+    fn shadow(&self, v: ValueId) -> i32 {
+        (self.values + i32::try_from(v.index()).expect("fits")) * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_emu::execute;
+    use rr_ir::Cell;
+
+    fn roundtrip_behavior(src: &str, inputs: &[&[u8]]) {
+        let exe = rr_asm::assemble_and_link(src).expect("source builds");
+        let lifted = rr_lift::lift(&exe).expect("lifts");
+        let lowered = compile(&lifted).expect("lowers");
+        for input in inputs {
+            let original = execute(&exe, input, 1_000_000);
+            let recompiled = execute(&lowered, input, 20_000_000);
+            assert!(
+                original.same_behavior(&recompiled),
+                "behaviour diverged on {input:?}:\noriginal {original:?}\nrecompiled {recompiled:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_flags_survive_the_round_trip() {
+        roundtrip_behavior(
+            "    .global _start\n\
+             _start:\n\
+                 mov r1, 100\n\
+                 sub r1, 58\n\
+                 cmp r1, 42\n\
+                 je .ok\n\
+                 mov r1, 1\n\
+                 svc 0\n\
+             .ok:\n\
+                 mov r1, 0\n\
+                 svc 0\n",
+            &[&[]],
+        );
+    }
+
+    #[test]
+    fn loops_and_memory() {
+        roundtrip_behavior(
+            "    .global _start\n\
+             _start:\n\
+                 mov r2, buf\n\
+                 mov r3, 0\n\
+                 mov r4, 5\n\
+             .fill:\n\
+                 storeb [r2], r3\n\
+                 add r2, 1\n\
+                 add r3, 1\n\
+                 cmp r3, r4\n\
+                 jne .fill\n\
+                 mov r2, buf\n\
+                 loadb r1, [r2+3]\n\
+                 svc 0\n\
+                 .bss\n\
+             buf:\n\
+                 .space 8\n",
+            &[&[]],
+        );
+    }
+
+    #[test]
+    fn calls_stack_and_push_pop() {
+        roundtrip_behavior(
+            "    .global _start\n\
+             _start:\n\
+                 mov r1, 7\n\
+                 push r1\n\
+                 call double_top\n\
+                 pop r1\n\
+                 svc 0\n\
+             double_top:\n\
+                 load r6, [sp+8]\n\
+                 add r6, r6\n\
+                 store [sp+8], r6\n\
+                 ret\n",
+            &[&[]],
+        );
+    }
+
+    #[test]
+    fn pushf_popf_and_setcc() {
+        roundtrip_behavior(
+            "    .global _start\n\
+             _start:\n\
+                 mov r1, 3\n\
+                 cmp r1, 5\n\
+                 pushf\n\
+                 cmp r1, 1\n\
+                 popf\n\
+                 setlt r1\n\
+                 svc 0\n",
+            &[&[]],
+        );
+    }
+
+    #[test]
+    fn io_round_trip() {
+        roundtrip_behavior(
+            "    .global _start\n\
+             _start:\n\
+                 svc 2\n\
+                 cmp r0, -1\n\
+                 je .done\n\
+                 mov r1, r0\n\
+                 svc 1\n\
+             .done:\n\
+                 mov r1, 0\n\
+                 svc 0\n",
+            &[b"A", b""],
+        );
+    }
+
+    #[test]
+    fn shifts_and_unsigned_compares() {
+        roundtrip_behavior(
+            "    .global _start\n\
+             _start:\n\
+                 mov r1, -1\n\
+                 shr r1, 60\n\
+                 cmp r1, 15\n\
+                 jae .big\n\
+                 mov r1, 0\n\
+                 svc 0\n\
+             .big:\n\
+                 mov r1, 2\n\
+                 sar r1, 1\n\
+                 svc 0\n",
+            &[&[]],
+        );
+    }
+
+    #[test]
+    fn hand_built_module_with_phi_lowers() {
+        // max(3, 5) + 1 via a diamond and a phi, written straight in IR.
+        let mut f = Function::new("__rr_entry");
+        let e = f.entry();
+        let t = f.new_block();
+        let u = f.new_block();
+        let j = f.new_block();
+        let a = f.append(e, Op::Const(3));
+        let b2 = f.append(e, Op::Const(5));
+        let c = f.append(e, Op::ICmp { pred: Pred::Slt, lhs: a, rhs: b2 });
+        f.set_terminator(e, Terminator::CondBr { cond: c, if_true: t, if_false: u });
+        f.set_terminator(t, Terminator::Br(j));
+        f.set_terminator(u, Terminator::Br(j));
+        let phi = f.append(j, Op::Phi { incomings: vec![(t, b2), (u, a)] });
+        let one = f.append(j, Op::Const(1));
+        let sum = f.append(j, Op::BinOp { op: BinOp::Add, lhs: phi, rhs: one });
+        f.append(j, Op::WriteCell { cell: Cell::reg(1), value: sum });
+        f.append(j, Op::Svc { num: 0 });
+        f.set_terminator(j, Terminator::Abort);
+
+        let mut module = rr_ir::Module::new();
+        module.entry = "__rr_entry".into();
+        module.push_function(f);
+        let lifted = rr_lift::LiftedProgram { module, data: Vec::new() };
+        let exe = compile(&lifted).expect("lowers");
+        let run = execute(&exe, &[], 1_000_000);
+        assert_eq!(run.outcome, rr_emu::RunOutcome::Exited { code: 6 });
+    }
+
+    #[test]
+    fn non_const_shift_is_rejected() {
+        let mut f = Function::new("__rr_entry");
+        let e = f.entry();
+        let a = f.append(e, Op::Const(8));
+        let amount = f.append(e, Op::ReadCell(Cell::reg(2)));
+        f.append(e, Op::BinOp { op: BinOp::Shl, lhs: a, rhs: amount });
+        f.set_terminator(e, Terminator::Abort);
+        let mut module = rr_ir::Module::new();
+        module.entry = "__rr_entry".into();
+        module.push_function(f);
+        let lifted = rr_lift::LiftedProgram { module, data: Vec::new() };
+        assert!(matches!(compile(&lifted), Err(LowerError::NonConstShift { .. })));
+    }
+
+    #[test]
+    fn all_workloads_lift_lower_equivalently() {
+        for w in rr_workloads::all_workloads() {
+            let exe = w.build().unwrap();
+            let lifted = rr_lift::lift(&exe).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let lowered = compile(&lifted).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            for input in [&w.good_input, &w.bad_input] {
+                let original = execute(&exe, input, 1_000_000);
+                let recompiled = execute(&lowered, input, 50_000_000);
+                assert!(
+                    original.same_behavior(&recompiled),
+                    "{}: diverged on {input:?}\noriginal {original:?}\nrecompiled {recompiled:?}",
+                    w.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimization_passes_preserve_behavior_and_shrink_code() {
+        let w = rr_workloads::pincheck();
+        let exe = w.build().unwrap();
+        let mut lifted = rr_lift::lift(&exe).unwrap();
+        let naive = compile(&lifted).unwrap();
+
+        let mut pm = rr_ir::PassManager::new();
+        pm.add(rr_ir::passes::PromoteCells);
+        pm.add(rr_ir::passes::DeadCodeElimination);
+        pm.run(&mut lifted.module).unwrap();
+        let optimized = compile(&lifted).unwrap();
+
+        assert!(
+            optimized.code_size() < naive.code_size(),
+            "promotion must shrink code: {} vs {}",
+            optimized.code_size(),
+            naive.code_size()
+        );
+        for input in [&w.good_input, &w.bad_input] {
+            let a = execute(&exe, input, 1_000_000);
+            let b = execute(&optimized, input, 50_000_000);
+            assert!(a.same_behavior(&b), "optimized pipeline diverged");
+        }
+    }
+}

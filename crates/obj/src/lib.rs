@@ -1,0 +1,65 @@
+//! # rr-obj — the ROF object and executable format
+//!
+//! ROF ("RRVM Object Format") is the ELF stand-in of this workspace: the
+//! container that assemblers emit, linkers consume, rewriters edit, and the
+//! emulator loads. It exists so the repository reproduces the *information
+//! loss* the paper's binary-rewriting problem is about: after
+//! [`link`]ing, symbolic references are replaced with concrete addresses and
+//! relocation records are discarded, so a rewriter must *re-discover*
+//! symbols ("symbolization") before it can safely move code.
+//!
+//! The crate provides:
+//!
+//! * [`ObjectFile`] — relocatable unit: [`Section`]s, [`Symbol`]s,
+//!   [`Relocation`]s,
+//! * [`link`] — a static linker laying out sections at fixed virtual
+//!   addresses and resolving relocations,
+//! * [`Executable`] — the linked image with per-segment permissions,
+//! * binary serialization (`to_bytes`/`from_bytes`) for both, so tools can
+//!   exchange files like a real toolchain.
+//!
+//! ## Example
+//!
+//! ```
+//! use rr_obj::{link, ObjectFile, Relocation, RelocKind, Section, SectionKind, Symbol, SymbolKind};
+//!
+//! # fn main() -> Result<(), rr_obj::LinkError> {
+//! let mut obj = ObjectFile::new("demo");
+//! // `jmp main` (0x50 + rel32 placeholder) followed by the `main` halt (0x01)
+//! obj.section_mut(SectionKind::Text).data = vec![0x50, 0, 0, 0, 0, 0x01];
+//! obj.symbols.push(Symbol::global("main", SectionKind::Text, 5, SymbolKind::Func));
+//! obj.symbols.push(Symbol::global("_start", SectionKind::Text, 0, SymbolKind::Func));
+//! obj.relocs.push(Relocation {
+//!     section: SectionKind::Text,
+//!     offset: 1,
+//!     kind: RelocKind::Rel32,
+//!     symbol: "main".into(),
+//!     addend: 0,
+//! });
+//! let exe = link(&[obj])?;
+//! assert_eq!(exe.entry, rr_isa::TEXT_BASE);
+//! # Ok(())
+//! # }
+//! ```
+
+mod exec;
+mod linker;
+mod object;
+mod reloc;
+mod section;
+mod serialize;
+mod symbol;
+
+pub use exec::{Executable, Segment, SegmentPerms};
+pub use linker::{link, link_with_entry, LinkError};
+pub use object::ObjectFile;
+pub use reloc::{RelocKind, Relocation};
+pub use section::{Section, SectionKind};
+pub use serialize::FormatError;
+pub use symbol::{Symbol, SymbolKind};
+
+/// Alignment at which the linker places consecutive sections.
+pub const SECTION_ALIGN: u64 = 0x1000;
+
+/// Name of the symbol the linker uses as the program entry point.
+pub const ENTRY_SYMBOL: &str = "_start";

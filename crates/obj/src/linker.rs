@@ -1,0 +1,394 @@
+//! The static linker: objects in, executable out.
+
+use crate::exec::{ExeSymbol, Segment, SegmentPerms};
+use crate::{
+    Executable, ObjectFile, RelocKind, SectionKind, Symbol, ENTRY_SYMBOL, SECTION_ALIGN,
+};
+use rr_isa::TEXT_BASE;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error produced by [`link`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkError {
+    /// A relocation references a symbol no object defines.
+    UndefinedSymbol {
+        /// The missing symbol.
+        symbol: String,
+        /// The object containing the dangling reference.
+        object: String,
+    },
+    /// Two objects define the same global symbol.
+    DuplicateSymbol {
+        /// The clashing symbol.
+        symbol: String,
+    },
+    /// No `_start` (or requested entry) symbol was defined.
+    MissingEntry {
+        /// The entry symbol that was looked for.
+        symbol: String,
+    },
+    /// A `rel32` displacement does not fit in 32 bits.
+    RelocOutOfRange {
+        /// The referenced symbol.
+        symbol: String,
+        /// The displacement that did not fit.
+        displacement: i64,
+    },
+    /// A relocation site lies outside its section's data.
+    RelocOutsideSection {
+        /// The referenced symbol.
+        symbol: String,
+        /// The offending offset.
+        offset: u64,
+    },
+    /// The combined input defines no code at all.
+    NoCode,
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::UndefinedSymbol { symbol, object } => {
+                write!(f, "undefined symbol `{symbol}` referenced from `{object}`")
+            }
+            LinkError::DuplicateSymbol { symbol } => {
+                write!(f, "duplicate global symbol `{symbol}`")
+            }
+            LinkError::MissingEntry { symbol } => {
+                write!(f, "entry symbol `{symbol}` is not defined")
+            }
+            LinkError::RelocOutOfRange { symbol, displacement } => {
+                write!(f, "relocation to `{symbol}` out of rel32 range ({displacement})")
+            }
+            LinkError::RelocOutsideSection { symbol, offset } => {
+                write!(f, "relocation to `{symbol}` at offset {offset:#x} outside section data")
+            }
+            LinkError::NoCode => write!(f, "no .text bytes in any input object"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+fn align_up(value: u64, align: u64) -> u64 {
+    value.div_ceil(align) * align
+}
+
+/// Links `objects` into an [`Executable`] with entry point [`ENTRY_SYMBOL`].
+///
+/// Layout: `.text` at [`TEXT_BASE`], then `.rodata`, `.data`, `.bss`, each
+/// aligned to [`SECTION_ALIGN`]. Within a section, object contributions are
+/// concatenated in input order. Global symbols are resolved across objects;
+/// locals resolve within their own object only.
+///
+/// # Errors
+///
+/// See [`LinkError`] for every failure mode.
+///
+/// # Example
+///
+/// See the crate-level documentation.
+pub fn link(objects: &[ObjectFile]) -> Result<Executable, LinkError> {
+    link_with_entry(objects, ENTRY_SYMBOL)
+}
+
+/// Like [`link`], but with an explicit entry symbol (useful for harnesses
+/// that enter at `main` directly).
+///
+/// # Errors
+///
+/// See [`LinkError`].
+pub fn link_with_entry(objects: &[ObjectFile], entry: &str) -> Result<Executable, LinkError> {
+    // 1. Section layout: base address of each section, and the offset of
+    //    each object's contribution within it. Empty sections consume no
+    //    address space.
+    let mut section_base = [0u64; 4];
+    let mut object_offset = vec![[0u64; 4]; objects.len()];
+    let mut cursor = TEXT_BASE;
+    for kind in SectionKind::ALL {
+        section_base[kind as usize] = cursor;
+        let mut size = 0u64;
+        for (i, obj) in objects.iter().enumerate() {
+            object_offset[i][kind as usize] = size;
+            size += obj.section(kind).size();
+        }
+        if size > 0 {
+            cursor = align_up(cursor + size, SECTION_ALIGN);
+        }
+    }
+
+    // 2. Global symbol table: name -> absolute address. Per-object local
+    //    tables for local resolution.
+    let mut globals: HashMap<&str, (u64, &Symbol)> = HashMap::new();
+    let mut locals: Vec<HashMap<&str, u64>> = vec![HashMap::new(); objects.len()];
+    for (i, obj) in objects.iter().enumerate() {
+        for sym in &obj.symbols {
+            let address =
+                section_base[sym.section as usize] + object_offset[i][sym.section as usize] + sym.offset;
+            if sym.global {
+                if globals.insert(&sym.name, (address, sym)).is_some() {
+                    return Err(LinkError::DuplicateSymbol { symbol: sym.name.clone() });
+                }
+            } else {
+                locals[i].insert(&sym.name, address);
+            }
+        }
+    }
+
+    // 3. Concatenate section bytes.
+    let mut section_bytes: [Vec<u8>; 4] = Default::default();
+    let mut zero_tail = [0u64; 4];
+    for obj in objects {
+        for kind in SectionKind::ALL {
+            let s = obj.section(kind);
+            section_bytes[kind as usize].extend_from_slice(&s.data);
+            zero_tail[kind as usize] += s.zero_size;
+            // Keep later objects' initialized data addressable: pad this
+            // object's zero tail with explicit zeroes except for .bss.
+            if kind != SectionKind::Bss && s.zero_size > 0 {
+                let pad = usize::try_from(s.zero_size).expect("section sizes fit in usize");
+                section_bytes[kind as usize].extend(std::iter::repeat(0).take(pad));
+                zero_tail[kind as usize] -= s.zero_size;
+            }
+        }
+    }
+
+    if section_bytes[SectionKind::Text as usize].is_empty() {
+        return Err(LinkError::NoCode);
+    }
+
+    // 4. Apply relocations.
+    for (i, obj) in objects.iter().enumerate() {
+        for reloc in &obj.relocs {
+            let target = globals
+                .get(reloc.symbol.as_str())
+                .map(|(a, _)| *a)
+                .or_else(|| locals[i].get(reloc.symbol.as_str()).copied())
+                .ok_or_else(|| LinkError::UndefinedSymbol {
+                    symbol: reloc.symbol.clone(),
+                    object: obj.name.clone(),
+                })?;
+            let section = reloc.section as usize;
+            let place =
+                section_base[section] + object_offset[i][section] + reloc.offset;
+            let field_start = usize::try_from(object_offset[i][section] + reloc.offset)
+                .expect("offsets fit in usize");
+            let bytes = &mut section_bytes[section];
+            let width = reloc.kind.width();
+            if field_start + width > bytes.len() {
+                return Err(LinkError::RelocOutsideSection {
+                    symbol: reloc.symbol.clone(),
+                    offset: reloc.offset,
+                });
+            }
+            match reloc.kind {
+                RelocKind::Abs64 => {
+                    let value = (target as i64 + reloc.addend) as u64;
+                    bytes[field_start..field_start + 8].copy_from_slice(&value.to_le_bytes());
+                }
+                RelocKind::Rel32 => {
+                    let displacement = target as i64 + reloc.addend - (place as i64 + 4);
+                    let value = i32::try_from(displacement).map_err(|_| {
+                        LinkError::RelocOutOfRange {
+                            symbol: reloc.symbol.clone(),
+                            displacement,
+                        }
+                    })?;
+                    bytes[field_start..field_start + 4].copy_from_slice(&value.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    // 5. Build segments and the retained symbol table.
+    let mut segments = Vec::new();
+    for kind in SectionKind::ALL {
+        let data = std::mem::take(&mut section_bytes[kind as usize]);
+        let mem_size = data.len() as u64 + zero_tail[kind as usize];
+        if mem_size == 0 {
+            continue;
+        }
+        let perms = if kind.is_executable() {
+            SegmentPerms::RX
+        } else if kind.is_writable() {
+            SegmentPerms::RW
+        } else {
+            SegmentPerms::R
+        };
+        segments.push(Segment { addr: section_base[kind as usize], data, mem_size, perms, section: kind });
+    }
+
+    let mut symbols: Vec<ExeSymbol> = Vec::new();
+    for (i, obj) in objects.iter().enumerate() {
+        for sym in &obj.symbols {
+            let addr = section_base[sym.section as usize]
+                + object_offset[i][sym.section as usize]
+                + sym.offset;
+            symbols.push(ExeSymbol { name: sym.name.clone(), addr, kind: sym.kind });
+        }
+    }
+
+    let entry_addr = globals
+        .get(entry)
+        .map(|(a, _)| *a)
+        .ok_or_else(|| LinkError::MissingEntry { symbol: entry.to_owned() })?;
+
+    Ok(Executable { segments, entry: entry_addr, symbols })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Relocation, SymbolKind};
+
+    fn obj_with_code(name: &str, code: Vec<u8>) -> ObjectFile {
+        let mut obj = ObjectFile::new(name);
+        obj.section_mut(SectionKind::Text).data = code;
+        obj
+    }
+
+    #[test]
+    fn single_object_layout() {
+        let mut obj = obj_with_code("a", vec![0x01]);
+        obj.symbols.push(Symbol::global("_start", SectionKind::Text, 0, SymbolKind::Func));
+        obj.section_mut(SectionKind::Data).data = vec![9, 9];
+        let exe = link(&[obj]).unwrap();
+        assert_eq!(exe.entry, TEXT_BASE);
+        assert_eq!(exe.text_range().start, TEXT_BASE);
+        let data = exe.section_range(SectionKind::Data).unwrap();
+        assert_eq!(data.start % SECTION_ALIGN, 0);
+        assert!(data.start > TEXT_BASE);
+    }
+
+    #[test]
+    fn rel32_resolution_points_past_field() {
+        // jmp main; halt — `main` is the halt at text offset 5.
+        let mut obj = obj_with_code("a", vec![0x50, 0, 0, 0, 0, 0x01]);
+        obj.symbols.push(Symbol::global("_start", SectionKind::Text, 0, SymbolKind::Func));
+        obj.symbols.push(Symbol::local("main", SectionKind::Text, 5, SymbolKind::Label));
+        obj.relocs.push(Relocation {
+            section: SectionKind::Text,
+            offset: 1,
+            kind: RelocKind::Rel32,
+            symbol: "main".into(),
+            addend: 0,
+        });
+        let exe = link(&[obj]).unwrap();
+        // Field at TEXT_BASE+1; next insn at TEXT_BASE+5; target TEXT_BASE+5 → 0.
+        assert_eq!(&exe.text_bytes()[1..5], &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn abs64_in_data() {
+        let mut obj = obj_with_code("a", vec![0x01]);
+        obj.symbols.push(Symbol::global("_start", SectionKind::Text, 0, SymbolKind::Func));
+        obj.section_mut(SectionKind::Data).data = vec![0; 8];
+        obj.symbols.push(Symbol::global("ptr", SectionKind::Data, 0, SymbolKind::Object));
+        obj.relocs.push(Relocation {
+            section: SectionKind::Data,
+            offset: 0,
+            kind: RelocKind::Abs64,
+            symbol: "_start".into(),
+            addend: 4,
+        });
+        let exe = link(&[obj]).unwrap();
+        let data = exe.read_bytes(exe.symbol("ptr").unwrap().addr, 8).unwrap();
+        assert_eq!(u64::from_le_bytes(data.try_into().unwrap()), TEXT_BASE + 4);
+    }
+
+    #[test]
+    fn cross_object_symbols_resolve() {
+        let mut a = obj_with_code("a", vec![0x52, 0, 0, 0, 0, 0x01]); // call helper; halt
+        a.symbols.push(Symbol::global("_start", SectionKind::Text, 0, SymbolKind::Func));
+        a.relocs.push(Relocation {
+            section: SectionKind::Text,
+            offset: 1,
+            kind: RelocKind::Rel32,
+            symbol: "helper".into(),
+            addend: 0,
+        });
+        let mut b = obj_with_code("b", vec![0x02]); // ret
+        b.symbols.push(Symbol::global("helper", SectionKind::Text, 0, SymbolKind::Func));
+        let exe = link(&[a, b]).unwrap();
+        // helper is at TEXT_BASE + 6 (after a's 6 bytes); displacement = 6+1... compute:
+        let helper = exe.symbol("helper").unwrap().addr;
+        let field = TEXT_BASE + 1;
+        let expected = (helper as i64 - (field as i64 + 4)) as i32;
+        let got = i32::from_le_bytes(exe.text_bytes()[1..5].try_into().unwrap());
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn local_symbols_do_not_collide_across_objects() {
+        let mut a = obj_with_code("a", vec![0x01]);
+        a.symbols.push(Symbol::global("_start", SectionKind::Text, 0, SymbolKind::Func));
+        a.symbols.push(Symbol::local("loop", SectionKind::Text, 0, SymbolKind::Label));
+        let mut b = obj_with_code("b", vec![0x02]);
+        b.symbols.push(Symbol::local("loop", SectionKind::Text, 0, SymbolKind::Label));
+        link(&[a, b]).unwrap();
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        // Undefined symbol
+        let mut a = obj_with_code("a", vec![0x50, 0, 0, 0, 0]);
+        a.symbols.push(Symbol::global("_start", SectionKind::Text, 0, SymbolKind::Func));
+        a.relocs.push(Relocation {
+            section: SectionKind::Text,
+            offset: 1,
+            kind: RelocKind::Rel32,
+            symbol: "nowhere".into(),
+            addend: 0,
+        });
+        assert!(matches!(link(&[a]), Err(LinkError::UndefinedSymbol { .. })));
+
+        // Duplicate global
+        let mut a = obj_with_code("a", vec![0x01]);
+        a.symbols.push(Symbol::global("dup", SectionKind::Text, 0, SymbolKind::Func));
+        let mut b = obj_with_code("b", vec![0x01]);
+        b.symbols.push(Symbol::global("dup", SectionKind::Text, 0, SymbolKind::Func));
+        assert!(matches!(link(&[a, b]), Err(LinkError::DuplicateSymbol { .. })));
+
+        // Missing entry
+        let a = obj_with_code("a", vec![0x01]);
+        assert!(matches!(link(&[a]), Err(LinkError::MissingEntry { .. })));
+
+        // No code
+        let mut a = ObjectFile::new("a");
+        a.symbols.push(Symbol::global("_start", SectionKind::Text, 0, SymbolKind::Func));
+        assert!(matches!(link(&[a]), Err(LinkError::NoCode)));
+
+        // Reloc outside section
+        let mut a = obj_with_code("a", vec![0x01]);
+        a.symbols.push(Symbol::global("_start", SectionKind::Text, 0, SymbolKind::Func));
+        a.relocs.push(Relocation {
+            section: SectionKind::Text,
+            offset: 100,
+            kind: RelocKind::Rel32,
+            symbol: "_start".into(),
+            addend: 0,
+        });
+        assert!(matches!(link(&[a]), Err(LinkError::RelocOutsideSection { .. })));
+    }
+
+    #[test]
+    fn bss_occupies_memory_but_no_bytes() {
+        let mut a = obj_with_code("a", vec![0x01]);
+        a.symbols.push(Symbol::global("_start", SectionKind::Text, 0, SymbolKind::Func));
+        a.section_mut(SectionKind::Bss).zero_size = 64;
+        let exe = link(&[a]).unwrap();
+        let bss = exe.segment_at(exe.section_range(SectionKind::Bss).unwrap().start).unwrap();
+        assert_eq!(bss.data.len(), 0);
+        assert_eq!(bss.mem_size, 64);
+        assert!(bss.perms.write);
+    }
+
+    #[test]
+    fn custom_entry() {
+        let mut a = obj_with_code("a", vec![0x01, 0x01]);
+        a.symbols.push(Symbol::global("main", SectionKind::Text, 1, SymbolKind::Func));
+        let exe = link_with_entry(&[a], "main").unwrap();
+        assert_eq!(exe.entry, TEXT_BASE + 1);
+    }
+}

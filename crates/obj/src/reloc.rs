@@ -1,0 +1,108 @@
+//! Relocations: deferred address computations resolved at link time.
+
+use crate::SectionKind;
+use std::fmt;
+
+/// How the linker patches the bytes at a relocation site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum RelocKind {
+    /// Store the symbol's absolute 64-bit address (`S + A`) — used for
+    /// pointers in data sections and `mov rd, imm64` address materialization.
+    Abs64 = 0,
+    /// Store a signed 32-bit displacement `S + A - (P + 4)` where `P` is the
+    /// address of the field — used for `jmp`/`call`/`j<cc>`, whose rel32
+    /// field is the final field of the instruction, so `P + 4` is the
+    /// address of the *next* instruction.
+    Rel32 = 1,
+}
+
+impl RelocKind {
+    /// Decodes a kind from its serialized tag.
+    pub fn from_code(code: u8) -> Option<RelocKind> {
+        match code {
+            0 => Some(RelocKind::Abs64),
+            1 => Some(RelocKind::Rel32),
+            _ => None,
+        }
+    }
+
+    /// Width of the patched field in bytes.
+    pub fn width(self) -> usize {
+        match self {
+            RelocKind::Abs64 => 8,
+            RelocKind::Rel32 => 4,
+        }
+    }
+}
+
+impl fmt::Display for RelocKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RelocKind::Abs64 => "abs64",
+            RelocKind::Rel32 => "rel32",
+        })
+    }
+}
+
+/// One relocation record within an [`crate::ObjectFile`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relocation {
+    /// Section whose bytes are patched.
+    pub section: SectionKind,
+    /// Byte offset of the field within that section.
+    pub offset: u64,
+    /// Patch semantics.
+    pub kind: RelocKind,
+    /// Name of the referenced symbol.
+    pub symbol: String,
+    /// Constant added to the symbol's address.
+    pub addend: i64,
+}
+
+impl fmt::Display for Relocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}+{:#x}: {} {}{}{}",
+            self.section,
+            self.offset,
+            self.kind,
+            self.symbol,
+            if self.addend >= 0 { "+" } else { "" },
+            self.addend
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for kind in [RelocKind::Abs64, RelocKind::Rel32] {
+            assert_eq!(RelocKind::from_code(kind as u8), Some(kind));
+        }
+        assert_eq!(RelocKind::from_code(2), None);
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(RelocKind::Abs64.width(), 8);
+        assert_eq!(RelocKind::Rel32.width(), 4);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let r = Relocation {
+            section: SectionKind::Text,
+            offset: 0x10,
+            kind: RelocKind::Rel32,
+            symbol: "main".into(),
+            addend: 0,
+        };
+        let text = r.to_string();
+        assert!(text.contains("main") && text.contains("rel32"), "{text}");
+    }
+}

@@ -1,0 +1,123 @@
+//! Sections of an object file.
+
+use std::fmt;
+
+/// The four canonical ROF sections.
+///
+/// ROF keeps the section set fixed — `.text`, `.rodata`, `.data`, `.bss` —
+/// which covers everything the workloads and rewriters need while keeping
+/// layout decisions deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum SectionKind {
+    /// Executable code; mapped read+execute.
+    Text = 0,
+    /// Read-only data; mapped read-only.
+    Rodata = 1,
+    /// Initialized writable data.
+    Data = 2,
+    /// Zero-initialized writable data (occupies no file bytes).
+    Bss = 3,
+}
+
+impl SectionKind {
+    /// All section kinds in layout order.
+    pub const ALL: [SectionKind; 4] =
+        [SectionKind::Text, SectionKind::Rodata, SectionKind::Data, SectionKind::Bss];
+
+    /// Decodes a section kind from its serialized tag.
+    pub fn from_code(code: u8) -> Option<SectionKind> {
+        Self::ALL.get(usize::from(code)).copied()
+    }
+
+    /// The conventional section name, including the leading dot.
+    pub fn name(self) -> &'static str {
+        match self {
+            SectionKind::Text => ".text",
+            SectionKind::Rodata => ".rodata",
+            SectionKind::Data => ".data",
+            SectionKind::Bss => ".bss",
+        }
+    }
+
+    /// Whether the section's memory is writable at run time.
+    pub fn is_writable(self) -> bool {
+        matches!(self, SectionKind::Data | SectionKind::Bss)
+    }
+
+    /// Whether the section's memory is executable at run time.
+    pub fn is_executable(self) -> bool {
+        matches!(self, SectionKind::Text)
+    }
+}
+
+impl fmt::Display for SectionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The contents of one section within an [`crate::ObjectFile`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Section {
+    /// Initialized bytes. Empty for `.bss`.
+    pub data: Vec<u8>,
+    /// Extra zero-initialized size beyond `data` (only meaningful for
+    /// `.bss`, where it is the whole size).
+    pub zero_size: u64,
+}
+
+impl Section {
+    /// Creates an empty section.
+    pub fn new() -> Section {
+        Section::default()
+    }
+
+    /// Total run-time size in bytes.
+    pub fn size(&self) -> u64 {
+        self.data.len() as u64 + self.zero_size
+    }
+
+    /// Whether the section contributes no memory at all.
+    pub fn is_empty(&self) -> bool {
+        self.size() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for kind in SectionKind::ALL {
+            assert_eq!(SectionKind::from_code(kind as u8), Some(kind));
+        }
+        assert_eq!(SectionKind::from_code(4), None);
+    }
+
+    #[test]
+    fn permissions_are_w_xor_x() {
+        for kind in SectionKind::ALL {
+            assert!(
+                !(kind.is_writable() && kind.is_executable()),
+                "{kind} must not be writable and executable"
+            );
+        }
+    }
+
+    #[test]
+    fn section_size_includes_zero_tail() {
+        let s = Section { data: vec![1, 2, 3], zero_size: 5 };
+        assert_eq!(s.size(), 8);
+        assert!(!s.is_empty());
+        assert!(Section::new().is_empty());
+    }
+
+    #[test]
+    fn names_have_leading_dot() {
+        for kind in SectionKind::ALL {
+            assert!(kind.name().starts_with('.'));
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! Binary (de)serialization of ROF objects and executables.
+//!
+//! The on-disk layout is a simple length-prefixed format:
+//!
+//! ```text
+//! object:      "ROF1" | name | 4 × section | symbols | relocs
+//! executable:  "RFX1" | entry:u64 | segments | symbols
+//! section:     data:bytes | zero_size:u64
+//! symbol:      name | section:u8 | offset:u64 | kind:u8 | global:u8
+//! reloc:       section:u8 | offset:u64 | kind:u8 | symbol | addend:i64
+//! segment:     addr:u64 | mem_size:u64 | perms:u8 | section:u8 | data
+//! str/bytes:   len:u32 | payload
+//! ```
+//!
+//! All integers are little-endian.
+
+use crate::exec::{ExeSymbol, Segment, SegmentPerms};
+use crate::{
+    Executable, ObjectFile, RelocKind, Relocation, SectionKind, Symbol, SymbolKind,
+};
+use std::fmt;
+
+const OBJ_MAGIC: &[u8; 4] = b"ROF1";
+const EXE_MAGIC: &[u8; 4] = b"RFX1";
+
+/// Error produced when parsing a serialized ROF file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// The magic number did not match.
+    BadMagic,
+    /// The file ended prematurely.
+    UnexpectedEof,
+    /// A tag field held an unassigned value.
+    BadTag {
+        /// Which field was malformed.
+        field: &'static str,
+        /// The offending value.
+        value: u8,
+    },
+    /// A string was not valid UTF-8.
+    BadString,
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::BadMagic => write!(f, "bad magic number"),
+            FormatError::UnexpectedEof => write!(f, "unexpected end of file"),
+            FormatError::BadTag { field, value } => write!(f, "invalid {field} tag {value:#x}"),
+            FormatError::BadString => write!(f, "invalid UTF-8 in string"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FormatError> {
+        let end = self.pos.checked_add(n).ok_or(FormatError::UnexpectedEof)?;
+        let slice = self.bytes.get(self.pos..end).ok_or(FormatError::UnexpectedEof)?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, FormatError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, FormatError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("length checked")))
+    }
+
+    fn u64(&mut self) -> Result<u64, FormatError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("length checked")))
+    }
+
+    fn i64(&mut self) -> Result<i64, FormatError> {
+        Ok(self.u64()? as i64)
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, FormatError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn string(&mut self) -> Result<String, FormatError> {
+        String::from_utf8(self.bytes()?).map_err(|_| FormatError::BadString)
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+impl ObjectFile {
+    /// Serializes the object to its on-disk byte representation.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rr_obj::ObjectFile;
+    ///
+    /// let obj = ObjectFile::new("m");
+    /// let bytes = obj.to_bytes();
+    /// assert_eq!(ObjectFile::from_bytes(&bytes)?, obj);
+    /// # Ok::<(), rr_obj::FormatError>(())
+    /// ```
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(OBJ_MAGIC);
+        put_str(&mut out, &self.name);
+        for kind in SectionKind::ALL {
+            let s = self.section(kind);
+            put_bytes(&mut out, &s.data);
+            out.extend_from_slice(&s.zero_size.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.symbols.len() as u32).to_le_bytes());
+        for sym in &self.symbols {
+            put_str(&mut out, &sym.name);
+            out.push(sym.section as u8);
+            out.extend_from_slice(&sym.offset.to_le_bytes());
+            out.push(sym.kind as u8);
+            out.push(u8::from(sym.global));
+        }
+        out.extend_from_slice(&(self.relocs.len() as u32).to_le_bytes());
+        for r in &self.relocs {
+            out.push(r.section as u8);
+            out.extend_from_slice(&r.offset.to_le_bytes());
+            out.push(r.kind as u8);
+            put_str(&mut out, &r.symbol);
+            out.extend_from_slice(&r.addend.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses an object from bytes produced by [`ObjectFile::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FormatError`] on malformed input; parsing never panics.
+    pub fn from_bytes(bytes: &[u8]) -> Result<ObjectFile, FormatError> {
+        let mut r = Reader::new(bytes);
+        if r.take(4)? != OBJ_MAGIC {
+            return Err(FormatError::BadMagic);
+        }
+        let mut obj = ObjectFile::new(r.string()?);
+        for kind in SectionKind::ALL {
+            let data = r.bytes()?;
+            let zero_size = r.u64()?;
+            let s = obj.section_mut(kind);
+            s.data = data;
+            s.zero_size = zero_size;
+        }
+        let nsyms = r.u32()?;
+        for _ in 0..nsyms {
+            let name = r.string()?;
+            let section = section_kind(r.u8()?)?;
+            let offset = r.u64()?;
+            let kind = symbol_kind(r.u8()?)?;
+            let global = match r.u8()? {
+                0 => false,
+                1 => true,
+                other => return Err(FormatError::BadTag { field: "global", value: other }),
+            };
+            obj.symbols.push(Symbol { name, section, offset, kind, global });
+        }
+        let nrelocs = r.u32()?;
+        for _ in 0..nrelocs {
+            let section = section_kind(r.u8()?)?;
+            let offset = r.u64()?;
+            let kind = reloc_kind(r.u8()?)?;
+            let symbol = r.string()?;
+            let addend = r.i64()?;
+            obj.relocs.push(Relocation { section, offset, kind, symbol, addend });
+        }
+        if !r.done() {
+            return Err(FormatError::UnexpectedEof);
+        }
+        Ok(obj)
+    }
+}
+
+impl Executable {
+    /// Serializes the executable to its on-disk byte representation.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use rr_obj::*;
+    /// # use rr_isa::TEXT_BASE;
+    /// let mut obj = ObjectFile::new("m");
+    /// obj.section_mut(SectionKind::Text).data = vec![0x01];
+    /// obj.symbols.push(Symbol::global("_start", SectionKind::Text, 0, SymbolKind::Func));
+    /// let exe = link(&[obj])?;
+    /// let bytes = exe.to_bytes();
+    /// assert_eq!(Executable::from_bytes(&bytes).unwrap(), exe);
+    /// # Ok::<(), LinkError>(())
+    /// ```
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(EXE_MAGIC);
+        out.extend_from_slice(&self.entry.to_le_bytes());
+        out.extend_from_slice(&(self.segments.len() as u32).to_le_bytes());
+        for seg in &self.segments {
+            out.extend_from_slice(&seg.addr.to_le_bytes());
+            out.extend_from_slice(&seg.mem_size.to_le_bytes());
+            let perms =
+                u8::from(seg.perms.read) | u8::from(seg.perms.write) << 1 | u8::from(seg.perms.exec) << 2;
+            out.push(perms);
+            out.push(seg.section as u8);
+            put_bytes(&mut out, &seg.data);
+        }
+        out.extend_from_slice(&(self.symbols.len() as u32).to_le_bytes());
+        for sym in &self.symbols {
+            put_str(&mut out, &sym.name);
+            out.extend_from_slice(&sym.addr.to_le_bytes());
+            out.push(sym.kind as u8);
+        }
+        out
+    }
+
+    /// Parses an executable from bytes produced by [`Executable::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FormatError`] on malformed input; parsing never panics.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Executable, FormatError> {
+        let mut r = Reader::new(bytes);
+        if r.take(4)? != EXE_MAGIC {
+            return Err(FormatError::BadMagic);
+        }
+        let entry = r.u64()?;
+        let nsegs = r.u32()?;
+        let mut segments = Vec::with_capacity(nsegs as usize);
+        for _ in 0..nsegs {
+            let addr = r.u64()?;
+            let mem_size = r.u64()?;
+            let perms = r.u8()?;
+            let section = section_kind(r.u8()?)?;
+            let data = r.bytes()?;
+            segments.push(Segment {
+                addr,
+                data,
+                mem_size,
+                perms: SegmentPerms {
+                    read: perms & 1 != 0,
+                    write: perms & 2 != 0,
+                    exec: perms & 4 != 0,
+                },
+                section,
+            });
+        }
+        let nsyms = r.u32()?;
+        let mut symbols = Vec::with_capacity(nsyms as usize);
+        for _ in 0..nsyms {
+            let name = r.string()?;
+            let addr = r.u64()?;
+            let kind = symbol_kind(r.u8()?)?;
+            symbols.push(ExeSymbol { name, addr, kind });
+        }
+        if !r.done() {
+            return Err(FormatError::UnexpectedEof);
+        }
+        Ok(Executable { segments, entry, symbols })
+    }
+}
+
+fn section_kind(tag: u8) -> Result<SectionKind, FormatError> {
+    SectionKind::from_code(tag).ok_or(FormatError::BadTag { field: "section", value: tag })
+}
+
+fn symbol_kind(tag: u8) -> Result<SymbolKind, FormatError> {
+    SymbolKind::from_code(tag).ok_or(FormatError::BadTag { field: "symbol kind", value: tag })
+}
+
+fn reloc_kind(tag: u8) -> Result<RelocKind, FormatError> {
+    RelocKind::from_code(tag).ok_or(FormatError::BadTag { field: "reloc kind", value: tag })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link;
+
+    fn rich_object() -> ObjectFile {
+        let mut obj = ObjectFile::new("rich");
+        obj.section_mut(SectionKind::Text).data = vec![0x50, 0, 0, 0, 0, 0x01];
+        obj.section_mut(SectionKind::Rodata).data = b"hello".to_vec();
+        obj.section_mut(SectionKind::Data).data = vec![0; 8];
+        obj.section_mut(SectionKind::Bss).zero_size = 32;
+        obj.symbols.push(Symbol::global("_start", SectionKind::Text, 0, SymbolKind::Func));
+        obj.symbols.push(Symbol::local(".L0", SectionKind::Text, 5, SymbolKind::Label));
+        obj.symbols.push(Symbol::global("msg", SectionKind::Rodata, 0, SymbolKind::Object));
+        obj.relocs.push(Relocation {
+            section: SectionKind::Text,
+            offset: 1,
+            kind: RelocKind::Rel32,
+            symbol: ".L0".into(),
+            addend: 0,
+        });
+        obj.relocs.push(Relocation {
+            section: SectionKind::Data,
+            offset: 0,
+            kind: RelocKind::Abs64,
+            symbol: "msg".into(),
+            addend: -2,
+        });
+        obj
+    }
+
+    #[test]
+    fn object_round_trip() {
+        let obj = rich_object();
+        assert_eq!(ObjectFile::from_bytes(&obj.to_bytes()).unwrap(), obj);
+    }
+
+    #[test]
+    fn executable_round_trip() {
+        let exe = link(&[rich_object()]).unwrap();
+        assert_eq!(Executable::from_bytes(&exe.to_bytes()).unwrap(), exe);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(ObjectFile::from_bytes(b"NOPE"), Err(FormatError::BadMagic));
+        assert_eq!(Executable::from_bytes(b"NOPE....."), Err(FormatError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let bytes = rich_object().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                ObjectFile::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = rich_object().to_bytes();
+        bytes.push(0);
+        assert_eq!(ObjectFile::from_bytes(&bytes), Err(FormatError::UnexpectedEof));
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        let mut obj = rich_object();
+        obj.relocs.clear();
+        obj.symbols.truncate(1);
+        let mut bytes = obj.to_bytes();
+        // Corrupt the symbol's section tag (search for the symbol name and
+        // step past it: name-len + name).
+        let name_pos = bytes
+            .windows(6)
+            .position(|w| w == b"_start")
+            .expect("symbol name present");
+        let section_tag_pos = name_pos + 6;
+        bytes[section_tag_pos] = 0xEE;
+        assert!(matches!(
+            ObjectFile::from_bytes(&bytes),
+            Err(FormatError::BadTag { field: "section", .. })
+        ));
+    }
+}

@@ -1,0 +1,119 @@
+//! Symbols: named locations within sections.
+
+use crate::SectionKind;
+use std::fmt;
+
+/// What a symbol names, mirroring ELF's `STT_*` at the granularity the
+/// rewriters care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum SymbolKind {
+    /// A function entry point. Disassemblers seed code discovery here.
+    Func = 0,
+    /// A data object.
+    Object = 1,
+    /// A local code label (branch target within a function).
+    Label = 2,
+}
+
+impl SymbolKind {
+    /// Decodes a kind from its serialized tag.
+    pub fn from_code(code: u8) -> Option<SymbolKind> {
+        match code {
+            0 => Some(SymbolKind::Func),
+            1 => Some(SymbolKind::Object),
+            2 => Some(SymbolKind::Label),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SymbolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SymbolKind::Func => "func",
+            SymbolKind::Object => "object",
+            SymbolKind::Label => "label",
+        })
+    }
+}
+
+/// A named offset into a section.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Symbol {
+    /// The symbol's name; unique among globals after linking.
+    pub name: String,
+    /// The section the symbol lives in.
+    pub section: SectionKind,
+    /// Byte offset from the start of that section.
+    pub offset: u64,
+    /// What the symbol names.
+    pub kind: SymbolKind,
+    /// Whether the symbol is visible across object files.
+    pub global: bool,
+}
+
+impl Symbol {
+    /// Creates a global symbol.
+    pub fn global(
+        name: impl Into<String>,
+        section: SectionKind,
+        offset: u64,
+        kind: SymbolKind,
+    ) -> Symbol {
+        Symbol { name: name.into(), section, offset, kind, global: true }
+    }
+
+    /// Creates a local (file-scope) symbol.
+    pub fn local(
+        name: impl Into<String>,
+        section: SectionKind,
+        offset: u64,
+        kind: SymbolKind,
+    ) -> Symbol {
+        Symbol { name: name.into(), section, offset, kind, global: false }
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {}+{:#x} ({})",
+            if self.global { "global" } else { "local" },
+            self.kind,
+            self.section,
+            self.offset,
+            self.name
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for kind in [SymbolKind::Func, SymbolKind::Object, SymbolKind::Label] {
+            assert_eq!(SymbolKind::from_code(kind as u8), Some(kind));
+        }
+        assert_eq!(SymbolKind::from_code(3), None);
+    }
+
+    #[test]
+    fn constructors_set_visibility() {
+        let g = Symbol::global("main", SectionKind::Text, 0, SymbolKind::Func);
+        let l = Symbol::local(".L1", SectionKind::Text, 4, SymbolKind::Label);
+        assert!(g.global && !l.global);
+        assert_eq!(g.name, "main");
+        assert_eq!(l.offset, 4);
+    }
+
+    #[test]
+    fn display_mentions_name_and_section() {
+        let s = Symbol::global("pin", SectionKind::Data, 16, SymbolKind::Object);
+        let text = s.to_string();
+        assert!(text.contains("pin") && text.contains(".data"), "{text}");
+    }
+}

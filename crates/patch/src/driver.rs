@@ -1,0 +1,266 @@
+//! The Faulter+Patcher fixed-point loop (paper Fig. 2).
+
+use crate::patterns::{apply_patterns, PatchStats};
+use rr_asm::BuildError;
+use rr_disasm::{DisasmError, SymbolizationPolicy};
+use rr_emu::execute;
+use rr_fault::{Campaign, CampaignConfig, CampaignError, FaultModel};
+use rr_obj::Executable;
+use std::fmt;
+
+/// Configuration of the hardening loop.
+#[derive(Debug, Clone)]
+pub struct HardenConfig {
+    /// Maximum faulter+patcher iterations before giving up.
+    pub max_iterations: usize,
+    /// Symbolization policy for the disassembly step.
+    pub policy: SymbolizationPolicy,
+    /// Campaign settings (step budgets, threads).
+    pub campaign: CampaignConfig,
+    /// Run campaigns in parallel.
+    pub parallel: bool,
+}
+
+impl Default for HardenConfig {
+    fn default() -> Self {
+        HardenConfig {
+            max_iterations: 10,
+            policy: SymbolizationPolicy::DataAccessRefined,
+            campaign: CampaignConfig::default(),
+            parallel: true,
+        }
+    }
+}
+
+/// One iteration of the loop, for reporting.
+#[derive(Debug, Clone)]
+pub struct IterationReport {
+    /// 0-based iteration index.
+    pub iteration: usize,
+    /// Vulnerabilities (successful faults) found by the campaign.
+    pub vulnerabilities: usize,
+    /// Distinct vulnerable program points.
+    pub vulnerable_sites: usize,
+    /// Patch application outcome.
+    pub stats: PatchStats,
+    /// Code size after this iteration's patch, in bytes.
+    pub code_size: u64,
+}
+
+/// Result of running the loop to a fixed point.
+#[derive(Debug, Clone)]
+pub struct LoopOutcome {
+    /// The original binary's code size in bytes.
+    pub original_code_size: u64,
+    /// The hardened binary.
+    pub hardened: Executable,
+    /// Per-iteration reports, in order.
+    pub iterations: Vec<IterationReport>,
+    /// `true` when the final campaign found no *fixable* vulnerabilities
+    /// left (the paper's "no more faults are present or can be fixed").
+    pub fixed_point: bool,
+    /// Successful faults remaining against the final binary.
+    pub residual_vulnerabilities: usize,
+}
+
+impl LoopOutcome {
+    /// Code-size overhead of the hardened binary in percent — the
+    /// Faulter+Patcher column of the paper's Table V.
+    pub fn overhead_percent(&self) -> f64 {
+        let original = self.original_code_size as f64;
+        (self.hardened.code_size() as f64 - original) / original * 100.0
+    }
+}
+
+/// Why hardening failed.
+#[derive(Debug)]
+pub enum HardenError {
+    /// The initial campaign could not be set up.
+    Campaign(CampaignError),
+    /// The binary could not be disassembled.
+    Disasm(DisasmError),
+    /// A patched listing failed to reassemble.
+    Rebuild(BuildError),
+    /// A patch changed the program's behaviour on the golden inputs —
+    /// the rewrite was unsound.
+    BehaviorChanged {
+        /// Iteration at which the divergence appeared.
+        iteration: usize,
+    },
+}
+
+impl fmt::Display for HardenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HardenError::Campaign(e) => write!(f, "campaign setup failed: {e}"),
+            HardenError::Disasm(e) => write!(f, "disassembly failed: {e}"),
+            HardenError::Rebuild(e) => write!(f, "reassembly failed: {e}"),
+            HardenError::BehaviorChanged { iteration } => {
+                write!(f, "patch changed golden behaviour at iteration {iteration}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HardenError {}
+
+impl From<CampaignError> for HardenError {
+    fn from(e: CampaignError) -> Self {
+        HardenError::Campaign(e)
+    }
+}
+
+impl From<DisasmError> for HardenError {
+    fn from(e: DisasmError) -> Self {
+        HardenError::Disasm(e)
+    }
+}
+
+impl From<BuildError> for HardenError {
+    fn from(e: BuildError) -> Self {
+        HardenError::Rebuild(e)
+    }
+}
+
+/// The simulation-driven, iterative hardening driver (paper Fig. 2):
+/// faulter → patcher → reassemble → faulter … until no fixable
+/// vulnerability remains.
+#[derive(Debug, Clone, Default)]
+pub struct FaulterPatcher {
+    config: HardenConfig,
+}
+
+impl FaulterPatcher {
+    /// Creates a driver with the given configuration.
+    pub fn new(config: HardenConfig) -> FaulterPatcher {
+        FaulterPatcher { config }
+    }
+
+    /// Hardens `exe` against `model` using the good/bad input pair as the
+    /// behaviour oracle.
+    ///
+    /// # Errors
+    ///
+    /// See [`HardenError`]. In particular, every intermediate binary is
+    /// verified to behave identically to the original on both inputs; an
+    /// unsound patch aborts the loop.
+    pub fn harden(
+        &self,
+        exe: &Executable,
+        good_input: &[u8],
+        bad_input: &[u8],
+        model: &dyn FaultModel,
+    ) -> Result<LoopOutcome, HardenError> {
+        let original_code_size = exe.code_size();
+        let golden_good = execute(exe, good_input, self.config.campaign.golden_max_steps);
+        let golden_bad = execute(exe, bad_input, self.config.campaign.golden_max_steps);
+
+        let mut current = exe.clone();
+        let mut iterations = Vec::new();
+        let mut fixed_point = false;
+        // Patching can oscillate under models like single-bit-flip: every
+        // inserted pattern carries fresh flippable encodings. Each iterate
+        // is a verified hardened binary, so the loop keeps the *least
+        // vulnerable* one seen (never the unpatched original).
+        let mut best: Option<(Executable, usize)> = None;
+
+        for iteration in 0..self.config.max_iterations {
+            let campaign = Campaign::with_config(
+                &current,
+                good_input,
+                bad_input,
+                self.config.campaign.clone(),
+            )?;
+            let report = if self.config.parallel {
+                campaign.run_parallel(model)
+            } else {
+                campaign.run(model)
+            };
+            let vulnerable = report.vulnerable_pcs();
+            if iteration > 0 && best.as_ref().is_none_or(|(_, s)| vulnerable.len() < *s) {
+                best = Some((current.clone(), vulnerable.len()));
+            }
+            if vulnerable.is_empty() {
+                fixed_point = true;
+                break;
+            }
+
+            let disasm = rr_disasm::disassemble_with(&current, self.config.policy)?;
+            let mut listing = disasm.listing;
+            let stats = apply_patterns(&mut listing, &vulnerable);
+            let made_progress = !stats.patched.is_empty();
+            let rebuilt = rr_asm::assemble_and_link(&listing.to_source())?;
+
+            // Soundness check: golden behaviour must be preserved.
+            let good_now = execute(&rebuilt, good_input, self.config.campaign.golden_max_steps);
+            let bad_now = execute(&rebuilt, bad_input, self.config.campaign.golden_max_steps);
+            if !good_now.same_behavior(&golden_good) || !bad_now.same_behavior(&golden_bad) {
+                return Err(HardenError::BehaviorChanged { iteration });
+            }
+
+            iterations.push(IterationReport {
+                iteration,
+                vulnerabilities: report.vulnerabilities().len(),
+                vulnerable_sites: vulnerable.len(),
+                stats,
+                code_size: rebuilt.code_size(),
+            });
+            current = rebuilt;
+
+            if !made_progress {
+                // Only unpatchable vulnerabilities remain: the paper's
+                // "…or can be fixed" exit.
+                break;
+            }
+        }
+
+        // Evaluate the final binary if we exited by progress stall or
+        // iteration cap rather than a clean campaign, then keep the best
+        // iterate overall.
+        let (hardened, residual) = if fixed_point {
+            (current, 0)
+        } else {
+            let campaign = Campaign::with_config(
+                &current,
+                good_input,
+                bad_input,
+                self.config.campaign.clone(),
+            )?;
+            let report = if self.config.parallel {
+                campaign.run_parallel(model)
+            } else {
+                campaign.run(model)
+            };
+            let final_sites = report.vulnerable_pcs().len();
+            if best.as_ref().is_none_or(|(_, s)| final_sites < *s) {
+                best = Some((current, final_sites));
+            }
+            let (hardened, sites) = best.expect("at least the final binary is a candidate");
+            // The site count is distinct program points; residual counts
+            // individual successful faults at those points, so re-measure
+            // faults on the selected binary.
+            let campaign = Campaign::with_config(
+                &hardened,
+                good_input,
+                bad_input,
+                self.config.campaign.clone(),
+            )?;
+            let report = if self.config.parallel {
+                campaign.run_parallel(model)
+            } else {
+                campaign.run(model)
+            };
+            fixed_point = sites == 0;
+            let residual = report.vulnerabilities().len();
+            (hardened, residual)
+        };
+
+        Ok(LoopOutcome {
+            original_code_size,
+            hardened,
+            iterations,
+            fixed_point,
+            residual_vulnerabilities: residual,
+        })
+    }
+}

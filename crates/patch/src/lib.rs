@@ -1,0 +1,48 @@
+//! # rr-patch — the patcher and the Faulter+Patcher loop
+//!
+//! The second half of the paper's first approach (§IV-B): given the list of
+//! *successful faults* produced by `rr-fault`, replace each vulnerable
+//! instruction — in the reassembleable listing recovered by `rr-disasm` —
+//! with a locally hardened pattern, reassemble, and repeat until a fixed
+//! point (Fig. 2 of the paper).
+//!
+//! ## Protection patterns
+//!
+//! The patterns in [`patterns`] are the RRVM translations of the paper's
+//! tables, adapted to preserve the condition flags (the inserted compares
+//! would otherwise clobber them — see each function's docs):
+//!
+//! * **Table I** (`mov`): re-execute/verify the move and compare the
+//!   result; divert to the fault handler on mismatch.
+//! * **Table II** (`cmp`): run the comparison twice, capture both flag
+//!   words with `pushf`, and compare them.
+//! * **Table III** (`j<cond>`): verify the branch condition with `set<cc>`
+//!   on *both* edges and re-issue the transfer as a verified conditional
+//!   jump, so a glitched decision is caught on whichever path it lands.
+//!
+//! All patterns rely on redundancy: the attacker's single fault can break
+//! one copy of a computation, not both.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use rr_patch::{FaulterPatcher, HardenConfig};
+//! use rr_fault::InstructionSkip;
+//! use rr_workloads::pincheck;
+//!
+//! let w = pincheck();
+//! let exe = w.build()?;
+//! let driver = FaulterPatcher::new(HardenConfig::default());
+//! let outcome = driver.harden(&exe, &w.good_input, &w.bad_input, &InstructionSkip)?;
+//! assert!(outcome.fixed_point);
+//! assert_eq!(outcome.residual_vulnerabilities, 0);
+//! println!("overhead: {:.2}%", outcome.overhead_percent());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod driver;
+mod liveness;
+pub mod patterns;
+
+pub use driver::{FaulterPatcher, HardenConfig, HardenError, IterationReport, LoopOutcome};
+pub use patterns::{apply_patterns, PatchStats, PatternKind, FAULT_HANDLER};

@@ -1,0 +1,116 @@
+//! End-to-end Faulter+Patcher tests: the paper's §V-C result for the
+//! first approach — instruction-skip vulnerabilities fully eliminated,
+//! single-bit-flip vulnerabilities substantially reduced, at modest code
+//! size overhead.
+
+use rr_emu::execute;
+use rr_fault::{Campaign, InstructionSkip, SingleBitFlip};
+use rr_patch::{FaulterPatcher, HardenConfig};
+use rr_workloads::{all_workloads, bootloader, pincheck};
+
+#[test]
+fn pincheck_skip_vulnerabilities_eliminated() {
+    let w = pincheck();
+    let exe = w.build().unwrap();
+    let driver = FaulterPatcher::new(HardenConfig::default());
+    let outcome = driver.harden(&exe, &w.good_input, &w.bad_input, &InstructionSkip).unwrap();
+
+    assert!(outcome.fixed_point, "loop must reach a fixed point: {:#?}", outcome.iterations);
+    assert_eq!(outcome.residual_vulnerabilities, 0);
+    assert!(!outcome.iterations.is_empty(), "the unprotected binary is vulnerable");
+    assert!(outcome.iterations[0].vulnerabilities > 0);
+
+    // Behaviour preserved.
+    let good = execute(&outcome.hardened, &w.good_input, 1_000_000);
+    assert_eq!(good.output, b"ACCESS GRANTED\n");
+    let bad = execute(&outcome.hardened, &w.bad_input, 1_000_000);
+    assert_eq!(bad.output, b"ACCESS DENIED\n");
+
+    // Overhead is targeted, far below naive full duplication (~300%).
+    let overhead = outcome.overhead_percent();
+    assert!(overhead > 0.0 && overhead < 150.0, "overhead {overhead:.1}% out of range");
+}
+
+#[test]
+fn bootloader_skip_vulnerabilities_eliminated() {
+    let w = bootloader();
+    let exe = w.build().unwrap();
+    let driver = FaulterPatcher::new(HardenConfig::default());
+    let outcome = driver.harden(&exe, &w.good_input, &w.bad_input, &InstructionSkip).unwrap();
+    assert!(outcome.fixed_point);
+    assert_eq!(outcome.residual_vulnerabilities, 0);
+    let overhead = outcome.overhead_percent();
+    assert!(overhead > 0.0 && overhead < 150.0, "overhead {overhead:.1}% out of range");
+}
+
+#[test]
+fn all_workloads_reach_skip_fixed_point() {
+    for w in all_workloads() {
+        let exe = w.build().unwrap();
+        let driver = FaulterPatcher::new(HardenConfig::default());
+        let outcome = driver
+            .harden(&exe, &w.good_input, &w.bad_input, &InstructionSkip)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert!(outcome.fixed_point, "{}: no fixed point", w.name);
+        assert_eq!(outcome.residual_vulnerabilities, 0, "{}", w.name);
+    }
+}
+
+#[test]
+fn pincheck_bit_flip_vulnerabilities_halved() {
+    // Paper §V-C: "In the case of the single bit flip fault model we were
+    // able to reduce the number of vulnerable points by 50%".
+    let w = pincheck();
+    let exe = w.build().unwrap();
+
+    let before = Campaign::new(&exe, &w.good_input, &w.bad_input)
+        .unwrap()
+        .run_parallel(&SingleBitFlip);
+    let before_sites = before.vulnerable_pcs().len();
+    assert!(before_sites > 0, "unprotected binary must be bit-flip vulnerable");
+
+    // Bit-flip patching does not converge to zero (each patch adds new
+    // flippable encodings — the paper stopped at a 50% reduction); eight
+    // iterations comfortably clear that bar here.
+    let driver = FaulterPatcher::new(HardenConfig { max_iterations: 8, ..HardenConfig::default() });
+    let outcome = driver.harden(&exe, &w.good_input, &w.bad_input, &SingleBitFlip).unwrap();
+
+    let after = Campaign::new(&outcome.hardened, &w.good_input, &w.bad_input)
+        .unwrap()
+        .run_parallel(&SingleBitFlip);
+    let after_sites = after.vulnerable_pcs().len();
+
+    assert!(
+        after_sites * 2 <= before_sites,
+        "expected ≥50% reduction in vulnerable points: {before_sites} → {after_sites}"
+    );
+}
+
+#[test]
+fn hardened_binary_remains_functional_on_fresh_inputs() {
+    let w = pincheck();
+    let exe = w.build().unwrap();
+    let driver = FaulterPatcher::new(HardenConfig::default());
+    let outcome = driver.harden(&exe, &w.good_input, &w.bad_input, &InstructionSkip).unwrap();
+    for input in w.more_bad_inputs(8, 7) {
+        let original = execute(&exe, &input, 1_000_000);
+        let hardened = execute(&outcome.hardened, &input, 1_000_000);
+        assert!(
+            original.same_behavior(&hardened),
+            "behaviour diverged on untrained input {input:?}"
+        );
+    }
+}
+
+#[test]
+fn iteration_reports_show_monotone_code_growth() {
+    let w = pincheck();
+    let exe = w.build().unwrap();
+    let driver = FaulterPatcher::new(HardenConfig::default());
+    let outcome = driver.harden(&exe, &w.good_input, &w.bad_input, &InstructionSkip).unwrap();
+    let mut last = exe.code_size();
+    for it in &outcome.iterations {
+        assert!(it.code_size >= last, "code shrank at iteration {}", it.iteration);
+        last = it.code_size;
+    }
+}

@@ -1,0 +1,172 @@
+//! Access-control state machine — an extra workload whose critical state
+//! lives in memory (a `mov`/`store` attack surface).
+
+use crate::util::PRINT_STR;
+use crate::Workload;
+
+const ADMIN_PIN: &[u8; 4] = b"8052";
+
+/// Builds the access-control workload: a command loop where `a<pin>`
+/// authenticates, `g` reveals the secret (requires prior authentication),
+/// and `q` quits.
+///
+/// The privileged check reads an *in-memory* flag that was written by a
+/// `store` — so the interesting fault targets here are the data moves the
+/// paper's Table I pattern protects, not just the branches.
+pub fn access_control() -> Workload {
+    let source = format!(
+        "\
+; access — command-driven state machine with an in-memory auth flag.
+;   'a' + 4-byte pin : authenticate
+;   'g'              : print the secret (requires auth)
+;   'q'              : quit (exit 0 if the secret was revealed, else 1)
+    .global _start
+    .text
+_start:
+    mov r8, auth_flag
+    mov r1, 0
+    store [r8], r1       ; auth_flag = 0
+    mov r8, revealed
+    store [r8], r1       ; revealed = 0
+.next_cmd:
+    svc 2
+    cmp r0, -1
+    je .quit
+    cmp r0, 'a'
+    je .do_auth
+    cmp r0, 'g'
+    je .do_get
+    cmp r0, 'q'
+    je .quit
+    jmp .next_cmd
+
+.do_auth:
+    mov r8, pin_secret
+    mov r9, 4
+    mov r7, 0
+.auth_loop:
+    svc 2
+    cmp r0, -1
+    je .next_cmd
+    loadb r2, [r8]
+    xor r2, r0
+    or r7, r2
+    add r8, 1
+    sub r9, 1
+    cmp r9, 0
+    jne .auth_loop
+    cmp r7, 0
+    jne .next_cmd
+    mov r8, auth_flag
+    mov r1, 1
+    store [r8], r1       ; auth_flag = 1
+    jmp .next_cmd
+
+.do_get:
+    mov r8, auth_flag
+    load r1, [r8]
+    cmp r1, 1
+    jne .denied
+    mov r6, msg_secret
+    call print_str
+    mov r8, revealed
+    mov r1, 1
+    store [r8], r1
+    jmp .next_cmd
+.denied:
+    mov r6, msg_denied
+    call print_str
+    jmp .next_cmd
+
+.quit:
+    mov r8, revealed
+    load r2, [r8]
+    cmp r2, 1
+    je .quit_ok
+    mov r1, 1
+    svc 0
+.quit_ok:
+    mov r1, 0
+    svc 0
+
+{PRINT_STR}
+    .rodata
+msg_secret:
+    .asciiz \"SECRET: 42\\n\"
+msg_denied:
+    .asciiz \"DENIED\\n\"
+pin_secret:
+    .ascii \"{pin}\"
+    .bss
+auth_flag:
+    .space 8
+revealed:
+    .space 8
+",
+        pin = std::str::from_utf8(ADMIN_PIN).expect("pin is ASCII"),
+    );
+    let mut good_input = vec![b'a'];
+    good_input.extend_from_slice(ADMIN_PIN);
+    good_input.extend_from_slice(b"gq");
+    Workload {
+        name: "access",
+        description: "reveal the secret only after authenticating with the admin pin",
+        source,
+        good_input,
+        bad_input: b"gq".to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_emu::{execute, RunOutcome};
+
+    #[test]
+    fn authentication_gates_the_secret() {
+        let w = access_control();
+        let exe = w.build().unwrap();
+
+        let good = execute(&exe, &w.good_input, 200_000);
+        assert_eq!(good.outcome, RunOutcome::Exited { code: 0 });
+        assert_eq!(good.output, b"SECRET: 42\n");
+
+        let bad = execute(&exe, &w.bad_input, 200_000);
+        assert_eq!(bad.outcome, RunOutcome::Exited { code: 1 });
+        assert_eq!(bad.output, b"DENIED\n");
+    }
+
+    #[test]
+    fn wrong_pin_does_not_authenticate() {
+        let w = access_control();
+        let exe = w.build().unwrap();
+        let run = execute(&exe, b"a0000gq", 200_000);
+        assert_eq!(run.outcome, RunOutcome::Exited { code: 1 });
+        assert_eq!(run.output, b"DENIED\n");
+    }
+
+    #[test]
+    fn auth_then_multiple_gets() {
+        let w = access_control();
+        let exe = w.build().unwrap();
+        let run = execute(&exe, b"a8052ggq", 200_000);
+        assert_eq!(run.outcome, RunOutcome::Exited { code: 0 });
+        assert_eq!(run.output, b"SECRET: 42\nSECRET: 42\n");
+    }
+
+    #[test]
+    fn unknown_commands_are_ignored() {
+        let w = access_control();
+        let exe = w.build().unwrap();
+        let run = execute(&exe, b"zzza8052gq", 200_000);
+        assert_eq!(run.outcome, RunOutcome::Exited { code: 0 });
+    }
+
+    #[test]
+    fn eof_without_reveal_exits_1() {
+        let w = access_control();
+        let exe = w.build().unwrap();
+        let run = execute(&exe, b"", 200_000);
+        assert_eq!(run.outcome, RunOutcome::Exited { code: 1 });
+    }
+}

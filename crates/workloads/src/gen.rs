@@ -1,0 +1,54 @@
+//! Deterministic input generation for campaigns and tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `len` pseudo-random bytes from `seed` (deterministic across runs).
+pub fn random_bytes(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen()).collect()
+}
+
+/// Derives bad inputs from a known-good input: every single-byte
+/// perturbation position (up to the input length) plus `count` random
+/// same-length inputs. All returned inputs differ from `good`.
+pub fn random_bad_inputs(good: &[u8], count: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for i in 0..good.len() {
+        let mut v = good.to_vec();
+        v[i] = v[i].wrapping_add(1 + rng.gen_range(0..254u8));
+        if v != good {
+            out.push(v);
+        }
+    }
+    while out.len() < good.len() + count {
+        let v: Vec<u8> = (0..good.len()).map(|_| rng.gen()).collect();
+        if v != good {
+            out.push(v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_bytes_is_deterministic() {
+        assert_eq!(random_bytes(16, 7), random_bytes(16, 7));
+        assert_ne!(random_bytes(16, 7), random_bytes(16, 8));
+    }
+
+    #[test]
+    fn bad_inputs_never_equal_good() {
+        let good = b"1234".to_vec();
+        let bads = random_bad_inputs(&good, 10, 1);
+        assert_eq!(bads.len(), good.len() + 10);
+        for b in &bads {
+            assert_ne!(b, &good);
+            assert_eq!(b.len(), good.len());
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! # rr-workloads — the case-study programs
+//!
+//! The paper evaluates its two hardening approaches on a **pincheck**
+//! program and a **secure bootloader**; this crate provides both, written
+//! in RRVM assembly, plus two extra security-decision workloads (an OTP
+//! verifier and a small access-control state machine) used for wider test
+//! and benchmark coverage.
+//!
+//! Every workload follows the faulter's contract from §IV-B of the paper:
+//! it consumes an input (the *pin*, the *boot image*, …) and makes an
+//! attacker-relevant decision — some inputs are **good** (access granted /
+//! boot proceeds) and all others are **bad**. A fault is *successful* when
+//! a run on a bad input behaves like a good run.
+//!
+//! ## Example
+//!
+//! ```
+//! use rr_workloads::pincheck;
+//! use rr_emu::{execute, RunOutcome};
+//!
+//! let w = pincheck();
+//! let exe = w.build()?;
+//! let good = execute(&exe, &w.good_input, 100_000);
+//! assert_eq!(good.outcome, RunOutcome::Exited { code: 0 });
+//! let bad = execute(&exe, &w.bad_input, 100_000);
+//! assert_eq!(bad.outcome, RunOutcome::Exited { code: 1 });
+//! # Ok::<(), rr_asm::BuildError>(())
+//! ```
+
+mod access;
+mod bootloader;
+mod gen;
+mod otp;
+mod pincheck;
+mod util;
+
+pub use access::access_control;
+pub use bootloader::bootloader;
+pub use gen::{random_bad_inputs, random_bytes};
+pub use otp::otp_check;
+pub use pincheck::pincheck;
+pub use util::{fnv1a_64, PRINT_STR};
+
+use rr_asm::BuildError;
+use rr_obj::Executable;
+
+/// A self-contained fault-injection target: assembly source plus the
+/// good/bad input pair the faulter compares behaviours against.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short identifier (`"pincheck"`, `"bootloader"`, …).
+    pub name: &'static str,
+    /// One-line description of the security decision the program makes.
+    pub description: &'static str,
+    /// RRVM assembly source of the program.
+    pub source: String,
+    /// An input for which access is granted (exit code 0).
+    pub good_input: Vec<u8>,
+    /// An input for which access is denied (exit code 1).
+    pub bad_input: Vec<u8>,
+}
+
+impl Workload {
+    /// Assembles and links the workload into an executable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembler/linker failures; the bundled workloads always
+    /// build.
+    pub fn build(&self) -> Result<Executable, BuildError> {
+        rr_asm::assemble_and_link(&self.source)
+    }
+
+    /// Additional *bad* inputs derived from the good one (single-byte
+    /// perturbations plus `count` random inputs of the same length),
+    /// suitable for cross-checking that a patch did not change the
+    /// deny-path behaviour.
+    pub fn more_bad_inputs(&self, count: usize, seed: u64) -> Vec<Vec<u8>> {
+        gen::random_bad_inputs(&self.good_input, count, seed)
+    }
+}
+
+/// All bundled workloads, case studies first.
+pub fn all_workloads() -> Vec<Workload> {
+    vec![pincheck(), bootloader(), otp_check(), access_control()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_emu::{execute, RunOutcome};
+
+    #[test]
+    fn every_workload_builds_and_discriminates() {
+        for w in all_workloads() {
+            let exe = w.build().unwrap_or_else(|e| panic!("{} build failed: {e}", w.name));
+            let good = execute(&exe, &w.good_input, 200_000);
+            assert_eq!(
+                good.outcome,
+                RunOutcome::Exited { code: 0 },
+                "{}: good input must be accepted (output: {:?})",
+                w.name,
+                String::from_utf8_lossy(&good.output),
+            );
+            let bad = execute(&exe, &w.bad_input, 200_000);
+            assert_eq!(
+                bad.outcome,
+                RunOutcome::Exited { code: 1 },
+                "{}: bad input must be denied (output: {:?})",
+                w.name,
+                String::from_utf8_lossy(&bad.output),
+            );
+            assert_ne!(good.output, bad.output, "{}: outputs must differ", w.name);
+        }
+    }
+
+    #[test]
+    fn derived_bad_inputs_are_denied() {
+        // Only for workloads whose decision is pure input equality; the
+        // stateful `access` workload can accept perturbed command tails.
+        for w in [pincheck(), bootloader(), otp_check()] {
+            let exe = w.build().unwrap();
+            for input in w.more_bad_inputs(5, 42) {
+                let run = execute(&exe, &input, 200_000);
+                assert_eq!(
+                    run.outcome,
+                    RunOutcome::Exited { code: 1 },
+                    "{}: derived bad input {:?} was not denied",
+                    w.name,
+                    input
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        for w in all_workloads() {
+            let exe = w.build().unwrap();
+            let a = execute(&exe, &w.good_input, 200_000);
+            let b = execute(&exe, &w.good_input, 200_000);
+            assert_eq!(a, b, "{} must be deterministic", w.name);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! OTP verifier — an extra workload with a *single* decision point.
+
+use crate::util::PRINT_STR;
+use crate::Workload;
+
+const OTP_SECRET: &[u8; 6] = b"492816";
+
+/// Builds the OTP workload: read a 6-digit one-time password and accept it
+/// iff it equals the stored code.
+///
+/// Unlike [`crate::pincheck`], the comparison accumulates differences with
+/// `xor`/`or` and decides with **one** `cmp`/`jne` at the end — the
+/// constant-time idiom. This concentrates the attack surface on a single
+/// conditional branch, which makes it a sharp test for the
+/// conditional-branch hardening pass.
+pub fn otp_check() -> Workload {
+    let source = format!(
+        "\
+; otp — constant-time-style comparison with one final decision branch.
+    .global _start
+    .text
+_start:
+    mov r7, 0            ; difference accumulator
+    mov r8, otp_secret
+    mov r9, 6
+.loop:
+    svc 2
+    cmp r0, -1
+    je .short_input
+    loadb r2, [r8]
+    xor r2, r0
+    or r7, r2
+    add r8, 1
+    sub r9, 1
+    cmp r9, 0
+    jne .loop
+    cmp r7, 0
+    jne .reject
+.accept:
+    mov r6, msg_ok
+    call print_str
+    mov r1, 0
+    svc 0
+.short_input:
+.reject:
+    mov r6, msg_no
+    call print_str
+    mov r1, 1
+    svc 0
+
+{PRINT_STR}
+    .rodata
+msg_ok:
+    .asciiz \"OTP OK\\n\"
+msg_no:
+    .asciiz \"OTP REJECTED\\n\"
+otp_secret:
+    .ascii \"{otp}\"
+",
+        otp = std::str::from_utf8(OTP_SECRET).expect("otp is ASCII"),
+    );
+    Workload {
+        name: "otp",
+        description: "accept iff the 6-digit input equals the stored one-time password",
+        source,
+        good_input: OTP_SECRET.to_vec(),
+        bad_input: b"000000".to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_emu::{execute, execute_traced, RunOutcome};
+
+    #[test]
+    fn accepts_only_the_code() {
+        let w = otp_check();
+        let exe = w.build().unwrap();
+        assert_eq!(
+            execute(&exe, &w.good_input, 100_000).outcome,
+            RunOutcome::Exited { code: 0 }
+        );
+        for bad in [&b"492817"[..], b"592816", b"49281", b""] {
+            assert_eq!(
+                execute(&exe, bad, 100_000).outcome,
+                RunOutcome::Exited { code: 1 },
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn comparison_is_input_independent_in_length() {
+        // The xor/or accumulation runs the full loop regardless of where
+        // the first mismatch occurs (same trace length for full-length bad
+        // inputs).
+        let w = otp_check();
+        let exe = w.build().unwrap();
+        let (_, t1) = execute_traced(&exe, b"000000", 100_000);
+        let (_, t2) = execute_traced(&exe, b"492810", 100_000);
+        assert_eq!(t1.len(), t2.len());
+    }
+}

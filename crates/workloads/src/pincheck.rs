@@ -1,0 +1,130 @@
+//! The pincheck case study (paper §V-C, first application).
+
+use crate::util::PRINT_STR;
+use crate::Workload;
+
+const SECRET_PIN: &[u8; 4] = b"7391";
+
+/// Builds the pincheck workload: read a 4-digit pin from input, verify it
+/// with a `check_pin` routine, and branch on the returned flag.
+///
+/// The program has the classic fault-vulnerable shape the paper's intro
+/// describes: the verification result flows through one register and one
+/// `cmp`/`jne` pair, so a single skipped or corrupted instruction at the
+/// decision point grants access — and with a bad pin that differs from the
+/// secret in a single digit, skipping the per-byte `jne` inside the loop
+/// does too.
+pub fn pincheck() -> Workload {
+    let source = format!(
+        "\
+; pincheck — reads 4 pin bytes, verifies via check_pin, branches once.
+; exit 0 + \"ACCESS GRANTED\" on match, exit 1 + \"ACCESS DENIED\" otherwise.
+    .global _start
+    .text
+_start:
+    mov r8, pin_buf
+    mov r9, 4
+.read_loop:
+    svc 2
+    cmp r0, -1
+    je .deny
+    storeb [r8], r0
+    add r8, 1
+    sub r9, 1
+    cmp r9, 0
+    jne .read_loop
+
+    call check_pin
+    cmp r0, 1
+    jne .deny
+
+.grant:
+    mov r6, msg_grant
+    call print_str
+    mov r1, 0
+    svc 0
+
+.deny:
+    mov r6, msg_deny
+    call print_str
+    mov r1, 1
+    svc 0
+
+; check_pin: r0 = 1 iff pin_buf matches secret, else 0.
+check_pin:
+    mov r8, pin_buf
+    mov r10, secret
+    mov r9, 4
+.cp_loop:
+    loadb r1, [r8]
+    loadb r2, [r10]
+    cmp r1, r2
+    jne .cp_fail
+    add r8, 1
+    add r10, 1
+    sub r9, 1
+    cmp r9, 0
+    jne .cp_loop
+    mov r0, 1
+    ret
+.cp_fail:
+    mov r0, 0
+    ret
+
+{PRINT_STR}
+    .rodata
+msg_grant:
+    .asciiz \"ACCESS GRANTED\\n\"
+msg_deny:
+    .asciiz \"ACCESS DENIED\\n\"
+secret:
+    .ascii \"{pin}\"
+    .bss
+pin_buf:
+    .space 8
+",
+        pin = std::str::from_utf8(SECRET_PIN).expect("pin is ASCII"),
+    );
+    Workload {
+        name: "pincheck",
+        description: "grant access iff the 4-digit input pin matches the stored secret",
+        source,
+        good_input: SECRET_PIN.to_vec(),
+        // One digit off — maximizes the attack surface: a single skipped
+        // byte-compare branch already flips the decision.
+        bad_input: b"7291".to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_emu::{execute, RunOutcome};
+
+    #[test]
+    fn grants_only_the_secret() {
+        let w = pincheck();
+        let exe = w.build().unwrap();
+        let good = execute(&exe, &w.good_input, 100_000);
+        assert_eq!(good.outcome, RunOutcome::Exited { code: 0 });
+        assert_eq!(good.output, b"ACCESS GRANTED\n");
+
+        // Note: input *longer* than 4 bytes with a matching prefix is
+        // granted — the program only consumes 4 bytes, like a read from
+        // stdin would.
+        for bad in [&b"7390"[..], b"7291", b"0000", b"739", b""] {
+            let run = execute(&exe, bad, 100_000);
+            assert_eq!(run.outcome, RunOutcome::Exited { code: 1 }, "{bad:?}");
+            assert_eq!(run.output, b"ACCESS DENIED\n", "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn prefix_of_secret_is_denied() {
+        // Shares 3 bytes with the secret — exercises the late loop exit.
+        let w = pincheck();
+        let exe = w.build().unwrap();
+        let run = execute(&exe, b"7399", 100_000);
+        assert_eq!(run.outcome, RunOutcome::Exited { code: 1 });
+    }
+}

@@ -1,0 +1,56 @@
+//! Shared assembly fragments and host-side helpers.
+
+/// A zero-terminated-string printer, shared by all workloads.
+///
+/// Calling convention: pointer in `r6`; clobbers `r1` and `r6`; prints via
+/// `svc 1`.
+pub const PRINT_STR: &str = "\
+print_str:
+.ps_loop:
+    loadb r1, [r6]
+    cmp r1, 0
+    je .ps_done
+    svc 1
+    add r6, 1
+    jmp .ps_loop
+.ps_done:
+    ret
+";
+
+/// 64-bit FNV-1a — the hash the secure-bootloader workload computes in
+/// assembly; this host-side twin produces the expected value embedded in
+/// its data section.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(rr_workloads::fnv1a_64(b""), 0xcbf29ce484222325);
+/// ```
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_known_vectors() {
+        // Reference vectors for FNV-1a 64.
+        assert_eq!(fnv1a_64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fnv1a_is_sensitive_to_single_bits() {
+        let a = fnv1a_64(b"boot image");
+        let b = fnv1a_64(b"boot imagf");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,2 @@
+//! Placeholder library target so the examples package builds; the
+//! runnable binaries live next to this file (see `Cargo.toml`).

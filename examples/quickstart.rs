@@ -1,0 +1,54 @@
+//! Quickstart: harden a vulnerable pin-check binary in a dozen lines.
+//!
+//! ```text
+//! cargo run --release --bin quickstart
+//! ```
+//!
+//! Walks the paper's core loop once: show the binary is fault-vulnerable,
+//! run the Faulter+Patcher, show the vulnerabilities are gone.
+
+use rr_core::{FaulterPatcher, HardenConfig};
+use rr_emu::execute;
+use rr_fault::{Campaign, InstructionSkip};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A binary with a security decision: the bundled pincheck.
+    let workload = rr_workloads::pincheck();
+    let exe = workload.build()?;
+    println!("built `{}`: {} bytes of code", workload.name, exe.code_size());
+
+    // 2. Is it vulnerable? Simulate instruction-skip faults at every point
+    //    of a bad-input execution.
+    let campaign = Campaign::new(&exe, &workload.good_input, &workload.bad_input)?;
+    let report = campaign.run_parallel(&InstructionSkip);
+    println!("before hardening: {}", report.summary());
+    println!(
+        "  → {} distinct program points let a skipped instruction grant access",
+        report.vulnerable_pcs().len()
+    );
+
+    // 3. Harden: the iterative faulter+patcher loop (paper Fig. 2).
+    let driver = FaulterPatcher::new(HardenConfig::default());
+    let outcome = driver.harden(&exe, &workload.good_input, &workload.bad_input, &InstructionSkip)?;
+    println!(
+        "hardening finished after {} iteration(s); fixed point = {}",
+        outcome.iterations.len(),
+        outcome.fixed_point
+    );
+    println!(
+        "  code size {} → {} bytes ({:+.1}%)",
+        outcome.original_code_size,
+        outcome.hardened.code_size(),
+        outcome.overhead_percent()
+    );
+
+    // 4. Verify: no successful faults remain, behaviour unchanged.
+    let verify = Campaign::new(&outcome.hardened, &workload.good_input, &workload.bad_input)?;
+    println!("after hardening:  {}", verify.run_parallel(&InstructionSkip).summary());
+
+    let good = execute(&outcome.hardened, &workload.good_input, 1_000_000);
+    let bad = execute(&outcome.hardened, &workload.bad_input, 1_000_000);
+    println!("good pin  → {:?}", String::from_utf8_lossy(&good.output).trim());
+    println!("wrong pin → {:?}", String::from_utf8_lossy(&bad.output).trim());
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! Shared helpers for the workspace-level integration tests.
+
+use rr_emu::{execute, Execution};
+use rr_obj::Executable;
+use rr_workloads::Workload;
+
+/// Step budget generous enough for hybrid (lifted/lowered) binaries.
+pub const BIG_BUDGET: u64 = 100_000_000;
+
+/// Asserts two binaries behave identically on a workload's golden inputs
+/// plus a batch of derived inputs.
+pub fn assert_equivalent(w: &Workload, original: &Executable, rewritten: &Executable) {
+    let mut inputs: Vec<Vec<u8>> = vec![w.good_input.clone(), w.bad_input.clone()];
+    inputs.extend(w.more_bad_inputs(6, 0xEC0));
+    for input in &inputs {
+        let a = execute(original, input, BIG_BUDGET);
+        let b = execute(rewritten, input, BIG_BUDGET);
+        assert!(
+            a.same_behavior(&b),
+            "{}: behaviour diverged on {input:?}:\n  original:  {a:?}\n  rewritten: {b:?}",
+            w.name
+        );
+    }
+}
+
+/// Runs a binary on an input with the big budget.
+pub fn run(exe: &Executable, input: &[u8]) -> Execution {
+    execute(exe, input, BIG_BUDGET)
+}

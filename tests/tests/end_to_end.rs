@@ -1,0 +1,92 @@
+//! Whole-system integration: both hardening approaches applied to every
+//! workload, checked for soundness (behaviour preservation) and security
+//! (vulnerability elimination).
+
+use rr_core::{harden_hybrid, FaulterPatcher, HardenConfig, HybridConfig};
+use rr_fault::{Campaign, InstructionSkip};
+use rr_integration::{assert_equivalent, run};
+use rr_workloads::all_workloads;
+
+#[test]
+fn faulter_patcher_on_every_workload() {
+    for w in all_workloads() {
+        let exe = w.build().unwrap();
+        let outcome = FaulterPatcher::new(HardenConfig::default())
+            .harden(&exe, &w.good_input, &w.bad_input, &InstructionSkip)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert!(outcome.fixed_point, "{}: must reach a fixed point", w.name);
+        assert_eq!(outcome.residual_vulnerabilities, 0, "{}", w.name);
+        assert_equivalent(&w, &exe, &outcome.hardened);
+        // Targeted insertion keeps overhead modest.
+        assert!(
+            outcome.overhead_percent() < 200.0,
+            "{}: overhead {:.1}% too large",
+            w.name,
+            outcome.overhead_percent()
+        );
+    }
+}
+
+#[test]
+fn hybrid_on_every_workload() {
+    for w in all_workloads() {
+        let exe = w.build().unwrap();
+        let outcome = harden_hybrid(&exe, &HybridConfig::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert!(outcome.report.protected_branches > 0, "{}", w.name);
+        assert_equivalent(&w, &exe, &outcome.hardened);
+    }
+}
+
+#[test]
+fn both_approaches_are_composable() {
+    // Hybrid output re-enters the Faulter+Patcher loop (the paper's
+    // stated future work) and still behaves like the original.
+    let w = rr_workloads::otp_check();
+    let exe = w.build().unwrap();
+    let hybrid = harden_hybrid(&exe, &HybridConfig::default()).unwrap();
+    let config = HardenConfig {
+        campaign: rr_fault::CampaignConfig {
+            golden_max_steps: rr_integration::BIG_BUDGET,
+            faulted_min_steps: 100_000,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let outcome = FaulterPatcher::new(config)
+        .harden(&hybrid.hardened, &w.good_input, &w.bad_input, &InstructionSkip)
+        .unwrap();
+    assert!(outcome.fixed_point);
+    assert_equivalent(&w, &exe, &outcome.hardened);
+}
+
+#[test]
+fn hardened_binaries_still_deny_bad_inputs() {
+    // Security sanity: hardening must never *weaken* the decision.
+    let w = rr_workloads::pincheck();
+    let exe = w.build().unwrap();
+    let fp = FaulterPatcher::new(HardenConfig::default())
+        .harden(&exe, &w.good_input, &w.bad_input, &InstructionSkip)
+        .unwrap()
+        .hardened;
+    let hy = harden_hybrid(&exe, &HybridConfig::default()).unwrap().hardened;
+    for hardened in [&fp, &hy] {
+        for bad in w.more_bad_inputs(10, 99) {
+            let result = run(hardened, &bad);
+            assert_eq!(result.outcome, rr_emu::RunOutcome::Exited { code: 1 }, "{bad:?}");
+        }
+        assert_eq!(run(hardened, &w.good_input).outcome, rr_emu::RunOutcome::Exited { code: 0 });
+    }
+}
+
+#[test]
+fn campaigns_agree_between_fresh_setups() {
+    // Determinism across independently constructed campaigns.
+    let w = rr_workloads::pincheck();
+    let exe = w.build().unwrap();
+    let a = Campaign::new(&exe, &w.good_input, &w.bad_input).unwrap().run(&InstructionSkip);
+    let b = Campaign::new(&exe, &w.good_input, &w.bad_input)
+        .unwrap()
+        .run_parallel(&InstructionSkip);
+    assert_eq!(a.results, b.results);
+}

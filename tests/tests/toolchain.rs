@@ -1,0 +1,89 @@
+//! Toolchain-level integration: the assembler/linker/loader/disassembler
+//! stack composes correctly with rewriting, serialization, and the IR
+//! pipeline.
+
+use proptest::prelude::*;
+use rr_disasm::disassemble;
+use rr_integration::{assert_equivalent, run};
+use rr_obj::Executable;
+use rr_patch::apply_patterns;
+use std::collections::BTreeSet;
+
+#[test]
+fn executables_survive_serialization_after_patching() {
+    // exe → disassemble → patch everything → reassemble → serialize →
+    // parse → run: the full life of a rewritten binary.
+    let w = rr_workloads::pincheck();
+    let exe = w.build().unwrap();
+    let mut listing = disassemble(&exe).unwrap().listing;
+    let all: BTreeSet<u64> = listing.original_code().map(|(_, a, _)| a).collect();
+    apply_patterns(&mut listing, &all);
+    let patched = rr_asm::assemble_and_link(&listing.to_source()).unwrap();
+
+    let bytes = patched.to_bytes();
+    let reloaded = Executable::from_bytes(&bytes).unwrap();
+    assert_eq!(reloaded, patched);
+    assert_equivalent(&w, &exe, &reloaded);
+}
+
+#[test]
+fn stripped_binaries_can_be_hardened() {
+    // Symbols are a convenience, not a requirement: strip, then run the
+    // full Faulter+Patcher loop.
+    let w = rr_workloads::otp_check();
+    let exe = w.build().unwrap().stripped();
+    let outcome = rr_core::FaulterPatcher::new(rr_core::HardenConfig::default())
+        .harden(&exe, &w.good_input, &w.bad_input, &rr_fault::InstructionSkip)
+        .unwrap();
+    assert!(outcome.fixed_point);
+    assert_equivalent(&w, &exe, &outcome.hardened);
+}
+
+#[test]
+fn object_files_link_in_any_order() {
+    let a = rr_asm::assemble_named(
+        "    .global _start\n_start:\n    call helper\n    mov r1, r0\n    svc 0\n",
+        "main.s",
+    )
+    .unwrap();
+    let b = rr_asm::assemble_named(
+        "    .global helper\nhelper:\n    mov r0, 42\n    ret\n",
+        "helper.s",
+    )
+    .unwrap();
+    for objs in [[a.clone(), b.clone()], [b, a]] {
+        let exe = rr_obj::link(&objs).unwrap();
+        assert_eq!(run(&exe, &[]).outcome, rr_emu::RunOutcome::Exited { code: 42 });
+    }
+}
+
+#[test]
+fn lift_lower_composes_with_disassembly_roundtrip() {
+    // exe → lift → lower → disassemble → reassemble → behaviourally equal.
+    let w = rr_workloads::otp_check();
+    let exe = w.build().unwrap();
+    let lowered = rr_core::lift_lower_roundtrip(&exe, true).unwrap();
+    let listing = disassemble(&lowered).unwrap().listing;
+    let again = rr_asm::assemble_and_link(&listing.to_source()).unwrap();
+    assert_equivalent(&w, &exe, &again);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// Random pins through the whole hardened pipeline behave like the
+    /// original program.
+    #[test]
+    fn hardened_pincheck_agrees_on_random_inputs(pin in proptest::collection::vec(any::<u8>(), 0..8)) {
+        // Build once per process would be nicer; proptest closures make
+        // that awkward, so keep the case count low instead.
+        let w = rr_workloads::pincheck();
+        let exe = w.build().unwrap();
+        let hardened = rr_core::FaulterPatcher::default()
+            .harden(&exe, &w.good_input, &w.bad_input, &rr_fault::InstructionSkip)
+            .unwrap()
+            .hardened;
+        let a = run(&exe, &pin);
+        let b = run(&hardened, &pin);
+        prop_assert!(a.same_behavior(&b), "diverged on {pin:?}: {a:?} vs {b:?}");
+    }
+}
