@@ -60,17 +60,13 @@ pub fn assemble_object(items: &[Item], name: &str) -> Result<ObjectFile, AsmErro
             }
             Statement::Bytes(bytes) => {
                 if section == SectionKind::Bss {
-                    return Err(err(AsmErrorKind::WrongSection(
-                        "initialized data in .bss".into(),
-                    )));
+                    return Err(err(AsmErrorKind::WrongSection("initialized data in .bss".into())));
                 }
                 obj.section_mut(section).data.extend_from_slice(bytes);
             }
             Statement::Quads(quads) => {
                 if section == SectionKind::Bss {
-                    return Err(err(AsmErrorKind::WrongSection(
-                        "initialized data in .bss".into(),
-                    )));
+                    return Err(err(AsmErrorKind::WrongSection("initialized data in .bss".into())));
                 }
                 for expr in quads {
                     let offset = obj.section(section).data.len() as u64;
@@ -97,7 +93,7 @@ pub fn assemble_object(items: &[Item], name: &str) -> Result<ObjectFile, AsmErro
                 } else {
                     let n = usize::try_from(*n)
                         .map_err(|_| err(AsmErrorKind::ImmediateOverflow(*n as i64)))?;
-                    obj.section_mut(section).data.extend(std::iter::repeat(0).take(n));
+                    obj.section_mut(section).data.extend(std::iter::repeat_n(0, n));
                 }
             }
             Statement::Align(n) => {
@@ -106,9 +102,7 @@ pub fn assemble_object(items: &[Item], name: &str) -> Result<ObjectFile, AsmErro
                 if section == SectionKind::Bss {
                     obj.section_mut(section).zero_size += pad;
                 } else {
-                    obj.section_mut(section)
-                        .data
-                        .extend(std::iter::repeat(0).take(pad as usize));
+                    obj.section_mut(section).data.extend(std::iter::repeat_n(0, pad as usize));
                 }
             }
             Statement::Instr(insn) => {

@@ -199,19 +199,13 @@ mod tests {
         // Negative numbers are Minus + Int at the token level.
         assert_eq!(tokenize_line("-5", 1).unwrap(), vec![Token::Minus, Token::Int(5)]);
         // 64-bit hex constants wrap into i64 without error.
-        assert_eq!(
-            tokenize_line("0xffffffffffffffff", 1).unwrap(),
-            vec![Token::Int(-1)]
-        );
+        assert_eq!(tokenize_line("0xffffffffffffffff", 1).unwrap(), vec![Token::Int(-1)]);
     }
 
     #[test]
     fn strings_with_escapes() {
         let tokens = tokenize_line(r#".asciiz "hi\n\0""#, 1).unwrap();
-        assert_eq!(
-            tokens,
-            vec![Token::Ident(".asciiz".into()), Token::Str(b"hi\n\0".to_vec())]
-        );
+        assert_eq!(tokens, vec![Token::Ident(".asciiz".into()), Token::Str(b"hi\n\0".to_vec())]);
     }
 
     #[test]
@@ -244,9 +238,6 @@ mod tests {
             assert_eq!(err.line, 9, "{bad}");
         }
         // `12zz3` parses as an invalid number rather than splitting.
-        assert!(matches!(
-            tokenize_line("12zz3", 1).unwrap_err().kind,
-            AsmErrorKind::BadToken(_)
-        ));
+        assert!(matches!(tokenize_line("12zz3", 1).unwrap_err().kind, AsmErrorKind::BadToken(_)));
     }
 }

@@ -207,8 +207,8 @@ impl<'a> Cursor<'a> {
             other => return Err(self.bad_operands(format!("expected ] or ±disp, found {other:?}"))),
         };
         self.expect(&Token::RBracket)?;
-        let disp = i32::try_from(disp)
-            .map_err(|_| self.error(AsmErrorKind::ImmediateOverflow(disp)))?;
+        let disp =
+            i32::try_from(disp).map_err(|_| self.error(AsmErrorKind::ImmediateOverflow(disp)))?;
         Ok(MemOperand { base, disp })
     }
 
@@ -445,7 +445,8 @@ fn parse_instruction(mnemonic: &str, cursor: &mut Cursor<'_>) -> Result<Statemen
         }
         "svc" => {
             let v = cursor.int()?;
-            let num = u8::try_from(v).map_err(|_| cursor.error(AsmErrorKind::ImmediateOverflow(v)))?;
+            let num =
+                u8::try_from(v).map_err(|_| cursor.error(AsmErrorKind::ImmediateOverflow(v)))?;
             return Ok(Statement::Instr(Instr::Svc { num }));
         }
         _ => {}
@@ -461,7 +462,7 @@ fn parse_instruction(mnemonic: &str, cursor: &mut Cursor<'_>) -> Result<Statemen
             }
             _ => {
                 let v = cursor.int()?;
-                    let imm = fit_i32(cursor, v)?;
+                let imm = fit_i32(cursor, v)?;
                 Ok(Statement::Instr(Instr::AluRI { op, rd, imm }))
             }
         };
@@ -504,10 +505,7 @@ mod tests {
 
     #[test]
     fn parses_moves() {
-        assert_eq!(
-            one("mov r1, r2"),
-            Statement::Instr(Instr::MovRR { rd: Reg::R1, rs: Reg::R2 })
-        );
+        assert_eq!(one("mov r1, r2"), Statement::Instr(Instr::MovRR { rd: Reg::R1, rs: Reg::R2 }));
         assert_eq!(
             one("mov r1, -1"),
             Statement::Instr(Instr::MovRI { rd: Reg::R1, imm: u64::MAX })
@@ -573,20 +571,14 @@ mod tests {
                 Statement::Section(SectionKind::Data),
                 Statement::Label("x".into()),
                 Statement::Label("y".into()),
-                Statement::Quads(vec![
-                    Expr::Int(1),
-                    Expr::Sym { name: "main".into(), addend: 0 }
-                ]),
+                Statement::Quads(vec![Expr::Int(1), Expr::Sym { name: "main".into(), addend: 0 }]),
             ]
         );
     }
 
     #[test]
     fn parses_setcc() {
-        assert_eq!(
-            one("setl r6"),
-            Statement::Instr(Instr::SetCc { rd: Reg::R6, cc: Cond::Lt })
-        );
+        assert_eq!(one("setl r6"), Statement::Instr(Instr::SetCc { rd: Reg::R6, cc: Cond::Lt }));
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Naive vs checkpointed campaign engines on a long-trace workload.
+//!
+//! The workload models the paper's targets at scale: a long background
+//! computation (checksum loop, ≥10k executed instructions) followed by a
+//! short security decision. Two campaigns are measured:
+//!
+//! * **tail** — faults aimed at the decision window at the end of the
+//!   trace (where the attacker aims; every real pincheck vulnerability
+//!   lives there). Naive replay pays the whole trace per fault; the
+//!   checkpointed engine restores a nearby snapshot, so the gap is
+//!   enormous (≥ 5× is the acceptance bar; in practice it is orders of
+//!   magnitude).
+//! * **uniform** — faults spread over the whole trace with a stride.
+//!   Here the post-injection continuation (which no engine can skip)
+//!   dominates half the work, bounding the ideal speedup near 2×.
+//!
+//! An explicit `speedup:` line is printed for the tail campaign so the
+//! number lands in benchmark logs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rr_fault::{
+    Campaign, CampaignConfig, Fault, FaultEffect, FaultModel, FaultSite, InstructionSkip,
+};
+use rr_obj::Executable;
+use std::time::Instant;
+
+/// Instruction skips restricted to trace steps at or after `from_step` —
+/// the "attack the decision, not the warm-up" model.
+struct TailSkip {
+    from_step: u64,
+}
+
+impl FaultModel for TailSkip {
+    fn name(&self) -> &'static str {
+        "tail-skip"
+    }
+
+    fn faults_at(&self, site: &FaultSite) -> Vec<Fault> {
+        if site.step < self.from_step {
+            return Vec::new();
+        }
+        vec![Fault { step: site.step, pc: site.pc, effect: FaultEffect::SkipInstruction }]
+    }
+}
+
+/// A pincheck with a long checksum prologue: ≥10k executed instructions
+/// before the grant/deny decision.
+fn long_trace_workload() -> (Executable, Vec<u8>, Vec<u8>) {
+    let exe = rr_asm::assemble_and_link(
+        "    .global _start\n\
+         _start:\n\
+             mov r1, 3000\n\
+             mov r2, 0\n\
+         .loop:\n\
+             add r2, 7\n\
+             xor r2, r1\n\
+             sub r1, 1\n\
+             cmp r1, 0\n\
+             jne .loop\n\
+             svc 2\n\
+             cmp r0, 'G'\n\
+             jne .deny\n\
+             mov r1, 'Y'\n\
+             svc 1\n\
+             mov r1, 0\n\
+             svc 0\n\
+         .deny:\n\
+             mov r1, 'N'\n\
+             svc 1\n\
+             mov r1, 1\n\
+             svc 0\n",
+    )
+    .expect("long-trace workload builds");
+    (exe, b"G".to_vec(), b"B".to_vec())
+}
+
+fn fresh_campaign<'a>(
+    exe: &'a Executable,
+    good: &'a [u8],
+    bad: &'a [u8],
+    stride: usize,
+) -> Campaign<'a> {
+    let config = CampaignConfig {
+        golden_max_steps: 10_000_000,
+        site_stride: stride,
+        ..CampaignConfig::default()
+    };
+    Campaign::with_config(exe, good, bad, config).expect("campaign sets up")
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let (exe, good, bad) = long_trace_workload();
+    let probe = fresh_campaign(&exe, &good, &bad, 1);
+    let trace_len = probe.golden_bad().steps;
+    assert!(trace_len >= 10_000, "trace must be ≥10k steps, got {trace_len}");
+    let tail = TailSkip { from_step: trace_len - 16 };
+    let tail_faults = probe.run_checkpointed(&tail).results.len() as u64;
+
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+
+    group.throughput(Throughput::Elements(tail_faults));
+    group.bench_with_input(BenchmarkId::new("tail", "naive"), &(), |b, ()| {
+        let campaign = fresh_campaign(&exe, &good, &bad, 1);
+        b.iter(|| campaign.run_parallel(&tail).results.len())
+    });
+    group.bench_with_input(BenchmarkId::new("tail", "checkpoint"), &(), |b, ()| {
+        let campaign = fresh_campaign(&exe, &good, &bad, 1);
+        b.iter(|| campaign.run_checkpointed(&tail).results.len())
+    });
+
+    let stride = 97;
+    let uniform_faults =
+        fresh_campaign(&exe, &good, &bad, stride).run_checkpointed(&InstructionSkip).results.len();
+    group.throughput(Throughput::Elements(uniform_faults as u64));
+    group.bench_with_input(BenchmarkId::new("uniform", "naive"), &(), |b, ()| {
+        let campaign = fresh_campaign(&exe, &good, &bad, stride);
+        b.iter(|| campaign.run_parallel(&InstructionSkip).results.len())
+    });
+    group.bench_with_input(BenchmarkId::new("uniform", "checkpoint"), &(), |b, ()| {
+        let campaign = fresh_campaign(&exe, &good, &bad, stride);
+        b.iter(|| campaign.run_checkpointed(&InstructionSkip).results.len())
+    });
+    group.finish();
+
+    // Headline number: single-shot wall-time ratio on the tail campaign.
+    // Checkpoint recording happens during campaign construction (one
+    // golden pass shared by both engines), so each side is timed on a
+    // fresh campaign and measures pure evaluation cost.
+    let naive_campaign = fresh_campaign(&exe, &good, &bad, 1);
+    let start = Instant::now();
+    let naive_report = naive_campaign.run_parallel(&tail);
+    let naive_time = start.elapsed();
+
+    let checkpointed_campaign = fresh_campaign(&exe, &good, &bad, 1);
+    let start = Instant::now();
+    let checkpointed_report = checkpointed_campaign.run_checkpointed(&tail);
+    let checkpointed_time = start.elapsed();
+
+    assert_eq!(
+        naive_report.results, checkpointed_report.results,
+        "engines must classify identically"
+    );
+    let speedup = naive_time.as_secs_f64() / checkpointed_time.as_secs_f64().max(1e-9);
+    println!(
+        "engine/tail ({} steps, {} faults): naive {:?}, checkpointed {:?} — speedup: {speedup:.1}×",
+        trace_len,
+        naive_report.results.len(),
+        naive_time,
+        checkpointed_time,
+    );
+    assert!(
+        speedup >= 5.0,
+        "checkpointed engine must be ≥5× faster on the tail campaign, got {speedup:.1}×"
+    );
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

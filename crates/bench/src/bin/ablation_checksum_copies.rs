@@ -11,14 +11,23 @@ fn main() {
     let exe = w.build().expect("workload builds");
     println!("Ablation — checksum copies in conditional branch hardening (pincheck)");
     rule(76);
-    println!("{:<8} {:>12} {:>12} {:>14} {:>14}", "copies", "code bytes", "overhead", "skip vulns", "skip crashes");
+    println!(
+        "{:<8} {:>12} {:>12} {:>14} {:>14}",
+        "copies", "code bytes", "overhead", "skip vulns", "skip crashes"
+    );
     rule(76);
     for copies in [1usize, 2, 3] {
-        let outcome = harden_hybrid(&exe, &HybridConfig { checksum_copies: copies, ..Default::default() })
-            .expect("pipeline runs");
-        let config = CampaignConfig { golden_max_steps: 100_000_000, faulted_min_steps: 100_000, ..Default::default() };
-        let campaign = Campaign::with_config(&outcome.hardened, &w.good_input, &w.bad_input, config)
-            .expect("campaign setup");
+        let outcome =
+            harden_hybrid(&exe, &HybridConfig { checksum_copies: copies, ..Default::default() })
+                .expect("pipeline runs");
+        let config = CampaignConfig {
+            golden_max_steps: 100_000_000,
+            faulted_min_steps: 100_000,
+            ..Default::default()
+        };
+        let campaign =
+            Campaign::with_config(&outcome.hardened, &w.good_input, &w.bad_input, config)
+                .expect("campaign setup");
         let summary = campaign.run_parallel(&InstructionSkip).summary();
         println!(
             "{:<8} {:>12} {:>12} {:>14} {:>14}",

@@ -26,7 +26,9 @@ fn main() {
         }
     }
     rule(96);
-    println!("Paper (x86-64/Ddisasm/Rev.ng): pincheck 17.61% vs 85.88%; bootloader 19.67% vs 48.67%.");
+    println!(
+        "Paper (x86-64/Ddisasm/Rev.ng): pincheck 17.61% vs 85.88%; bootloader 19.67% vs 48.67%."
+    );
     println!("Shape to check: faulter+patcher ≪ holistic ≪ hybrid. The paper bounds naive");
     println!("duplicate-everything at ≥300%; our leaner patterns keep even holistic application below that.");
 }

@@ -21,7 +21,9 @@ fn main() {
     rule(88);
     for w in [rr_workloads::pincheck(), rr_workloads::bootloader()] {
         for (model, fp_iters) in models {
-            for approach in [Approach::FaulterPatcher, Approach::Hybrid, Approach::HybridPlusPatcher] {
+            for approach in
+                [Approach::FaulterPatcher, Approach::Hybrid, Approach::HybridPlusPatcher]
+            {
                 match vuln_reduction(&w, model, approach, fp_iters) {
                     Ok(row) => println!(
                         "{:<12} {:<17} {:<16} {:>8} {:>8} {:>9.1}%",
@@ -32,7 +34,12 @@ fn main() {
                         row.sites_after,
                         row.reduction_percent(),
                     ),
-                    Err(e) => println!("{:<12} {:<17} {:<16} failed: {e}", w.name, model.name(), approach.to_string()),
+                    Err(e) => println!(
+                        "{:<12} {:<17} {:<16} failed: {e}",
+                        w.name,
+                        model.name(),
+                        approach.to_string()
+                    ),
                 }
             }
         }

@@ -1,1 +1,3 @@
-fn main() { std::process::exit(rr_cli::run(std::env::args().skip(1).collect())); }
+fn main() {
+    std::process::exit(rr_cli::run(std::env::args().skip(1).collect()));
+}

@@ -2,7 +2,7 @@
 //! print on success.
 
 use crate::Args;
-use rr_fault::{Campaign, FaultModel, FlagFlip, InstructionSkip, SingleBitFlip};
+use rr_fault::{Campaign, CampaignEngine, FaultModel, FlagFlip, InstructionSkip, SingleBitFlip};
 use rr_obj::Executable;
 use std::fmt::Write as _;
 use std::fs;
@@ -29,12 +29,12 @@ fn model_by_name(name: &str) -> Result<Box<dyn FaultModel>, String> {
 pub fn asm(raw: &[String]) -> Result<String, String> {
     let args = Args::parse(raw, &["o"])?;
     let input = args.positional(0, "input assembly file")?;
-    let source =
-        fs::read_to_string(input).map_err(|e| format!("cannot read `{input}`: {e}"))?;
+    let source = fs::read_to_string(input).map_err(|e| format!("cannot read `{input}`: {e}"))?;
     let exe = rr_asm::assemble_and_link(&source).map_err(|e| e.to_string())?;
-    let out_path = args.value("o").map(str::to_owned).unwrap_or_else(|| {
-        format!("{}.rfx", input.trim_end_matches(".s"))
-    });
+    let out_path = args
+        .value("o")
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("{}.rfx", input.trim_end_matches(".s")));
     save_exe(&exe, &out_path)?;
     Ok(format!(
         "assembled `{input}` → `{out_path}` ({} bytes of code, entry {:#x})\n",
@@ -74,37 +74,37 @@ pub fn disasm(raw: &[String]) -> Result<String, String> {
     Ok(disasm.listing.to_source())
 }
 
-/// `rr fault <prog.rfx> --good BYTES --bad BYTES [--model ...]`
+/// `rr fault <prog.rfx> --good BYTES --bad BYTES [--model ...]
+/// [--engine naive|checkpoint]`
 pub fn fault(raw: &[String]) -> Result<String, String> {
-    let args = Args::parse(raw, &["good", "bad", "model"])?;
+    let args = Args::parse(raw, &["good", "bad", "model", "engine"])?;
     let exe = load_exe(args.positional(0, "program")?)?;
     let good = args.required("good")?.as_bytes().to_vec();
     let bad = args.required("bad")?.as_bytes().to_vec();
     let model = model_by_name(args.value("model").unwrap_or("skip"))?;
+    let engine: CampaignEngine = args.value("engine").unwrap_or("checkpoint").parse()?;
     let campaign = Campaign::new(&exe, &good, &bad).map_err(|e| e.to_string())?;
-    let report = campaign.run_parallel(model.as_ref());
+    let report = campaign.run_with(model.as_ref(), engine);
     let mut out = String::new();
-    let _ = writeln!(out, "model `{}`: {}", report.model, report.summary());
+    let _ = writeln!(out, "model `{}` (engine {engine}): {}", report.model, report.summary());
     let pcs = report.vulnerable_pcs();
     if pcs.is_empty() {
         let _ = writeln!(out, "no vulnerable program points.");
     } else {
         let _ = writeln!(out, "vulnerable program points:");
         for pc in pcs {
-            let site = campaign
-                .sites()
-                .iter()
-                .find(|s| s.pc == pc)
-                .expect("vulnerable pc has a site");
+            let site =
+                campaign.sites().iter().find(|s| s.pc == pc).expect("vulnerable pc has a site");
             let _ = writeln!(out, "    {pc:#06x}: {}", site.insn);
         }
     }
     Ok(out)
 }
 
-/// `rr harden <prog.rfx> --good BYTES --bad BYTES [--model ...] [-o out]`
+/// `rr harden <prog.rfx> --good BYTES --bad BYTES [--model ...] [-o out]
+/// [--engine naive|checkpoint]`
 pub fn harden(raw: &[String]) -> Result<String, String> {
-    let args = Args::parse(raw, &["good", "bad", "model", "o", "max-iterations"])?;
+    let args = Args::parse(raw, &["good", "bad", "model", "o", "max-iterations", "engine"])?;
     let path = args.positional(0, "program")?;
     let exe = load_exe(path)?;
     let good = args.required("good")?.as_bytes().to_vec();
@@ -112,8 +112,10 @@ pub fn harden(raw: &[String]) -> Result<String, String> {
     let model = model_by_name(args.value("model").unwrap_or("skip"))?;
     let mut config = rr_patch::HardenConfig::default();
     if let Some(n) = args.value("max-iterations") {
-        config.max_iterations =
-            n.parse().map_err(|_| format!("invalid --max-iterations `{n}`"))?;
+        config.max_iterations = n.parse().map_err(|_| format!("invalid --max-iterations `{n}`"))?;
+    }
+    if let Some(engine) = args.value("engine") {
+        config.engine = engine.parse()?;
     }
     let outcome = rr_patch::FaulterPatcher::new(config)
         .harden(&exe, &good, &bad, model.as_ref())
@@ -142,17 +144,48 @@ pub fn harden(raw: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
-/// `rr hybrid <prog.rfx> [-o out]`
+/// `rr hybrid <prog.rfx> [-o out] [--good BYTES --bad BYTES [--model ...]]`
+///
+/// When a good/bad input pair is given, the hardened binary is verified
+/// with a checkpointed fault campaign and the residual counts reported.
 pub fn hybrid(raw: &[String]) -> Result<String, String> {
-    let args = Args::parse(raw, &["o", "copies"])?;
+    let args = Args::parse(raw, &["o", "copies", "good", "bad", "model"])?;
     let path = args.positional(0, "program")?;
     let exe = load_exe(path)?;
     let mut config = rr_core::HybridConfig::default();
     if let Some(n) = args.value("copies") {
         config.checksum_copies = n.parse().map_err(|_| format!("invalid --copies `{n}`"))?;
     }
-    let outcome = rr_core::harden_hybrid(&exe, &config).map_err(|e| e.to_string())?;
     let out_path = args.value("o").map(str::to_owned).unwrap_or_else(|| format!("{path}.hybrid"));
+    if args.value("good").is_some() != args.value("bad").is_some() {
+        return Err("verification needs both --good and --bad".to_owned());
+    }
+    if args.value("model").is_some() && args.value("good").is_none() {
+        return Err("--model only applies to verification; pass --good and --bad too".to_owned());
+    }
+    if let (Some(good), Some(bad)) = (args.value("good"), args.value("bad")) {
+        let model = model_by_name(args.value("model").unwrap_or("skip"))?;
+        let verified = rr_core::harden_hybrid_verified(
+            &exe,
+            good.as_bytes(),
+            bad.as_bytes(),
+            model.as_ref(),
+            &config,
+        )
+        .map_err(|e| e.to_string())?;
+        save_exe(&verified.hybrid.hardened, &out_path)?;
+        return Ok(format!(
+            "hybrid: {} branch(es) protected, IR ops {} → {}, overhead {:+.2}%\n\
+             verification (stride {}): {}\nwrote `{out_path}`\n",
+            verified.hybrid.report.protected_branches,
+            verified.hybrid.ir_ops_before,
+            verified.hybrid.ir_ops_after,
+            verified.hybrid.overhead_percent(),
+            verified.stride,
+            verified.residual,
+        ));
+    }
+    let outcome = rr_core::harden_hybrid(&exe, &config).map_err(|e| e.to_string())?;
     save_exe(&outcome.hardened, &out_path)?;
     Ok(format!(
         "hybrid: {} branch(es) protected, IR ops {} → {}, overhead {:+.2}%\nwrote `{out_path}`\n",
@@ -215,10 +248,9 @@ mod tests {
         assert!(out.contains("vulnerable program points:"), "{out}");
 
         let hardened_path = tmp("pincheck.hardened.rfx");
-        let out = harden(&sv(&[
-            &exe_path, "--good", "7391", "--bad", "7291", "-o", &hardened_path,
-        ]))
-        .unwrap();
+        let out =
+            harden(&sv(&[&exe_path, "--good", "7391", "--bad", "7291", "-o", &hardened_path]))
+                .unwrap();
         assert!(out.contains("fixed point: true"), "{out}");
 
         let out = fault(&sv(&[&hardened_path, "--good", "7391", "--bad", "7291"])).unwrap();
@@ -241,6 +273,31 @@ mod tests {
         let out = run(&sv(&[&exe_path])).unwrap();
         assert!(out.starts_with('H'), "{out}");
         assert!(out.contains("exited with code 0"), "{out}");
+    }
+
+    #[test]
+    fn fault_engines_agree_and_bad_engine_errors() {
+        let exe_path = tmp("engine.rfx");
+        workload(&sv(&["pincheck", "-o", &exe_path])).unwrap();
+        let naive =
+            fault(&sv(&[&exe_path, "--good", "7391", "--bad", "7291", "--engine", "naive"]))
+                .unwrap();
+        let checkpointed =
+            fault(&sv(&[&exe_path, "--good", "7391", "--bad", "7291", "--engine", "checkpoint"]))
+                .unwrap();
+        // Identical classifications → identical report bodies, modulo the
+        // engine name in the header line.
+        let strip = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert_eq!(strip(&naive), strip(&checkpointed));
+        assert!(naive.contains("engine naive"), "{naive}");
+        assert!(checkpointed.contains("engine checkpoint"), "{checkpointed}");
+        assert!(fault(&sv(&[&exe_path, "--good", "7391", "--bad", "7291", "--engine", "laser",]))
+            .is_err());
+        // A half-specified verification pair must error, not silently
+        // skip verification, and --model without the pair is meaningless.
+        assert!(hybrid(&sv(&[&exe_path, "--good", "7391"])).is_err());
+        assert!(hybrid(&sv(&[&exe_path, "--bad", "7291"])).is_err());
+        assert!(hybrid(&sv(&[&exe_path, "--model", "bitflip"])).is_err());
     }
 
     #[test]

@@ -68,11 +68,14 @@ pub fn usage() -> &'static str {
      \x20   rr run <prog.rfx> [--input BYTES] [--max-steps N]\n\
      \x20   rr disasm <prog.rfx> [--policy naive|refined]\n\
      \x20   rr fault <prog.rfx> --good BYTES --bad BYTES [--model skip|bitflip|flagflip]\n\
+     \x20            [--engine naive|checkpoint]\n\
      \x20   rr harden <prog.rfx> --good BYTES --bad BYTES [--model ...] [-o out.rfx]\n\
-     \x20   rr hybrid <prog.rfx> [-o out.rfx]\n\
+     \x20            [--engine naive|checkpoint]\n\
+     \x20   rr hybrid <prog.rfx> [-o out.rfx] [--good BYTES --bad BYTES [--model ...]]\n\
      \x20   rr workload <pincheck|bootloader|otp|access> [-o out.rfx] [--emit-asm]\n\
      \n\
-     BYTES arguments are literal ASCII (e.g. --good 7391).\n"
+     BYTES arguments are literal ASCII (e.g. --good 7391). Campaigns use\n\
+     the checkpointed replay engine unless --engine naive is given.\n"
 }
 
 /// Minimal option parser: positional arguments plus `--key value` /
@@ -90,10 +93,8 @@ impl Args {
         while let Some(arg) = iter.next() {
             if let Some(name) = arg.strip_prefix('-').map(|a| a.trim_start_matches('-')) {
                 if value_flags.contains(&name) {
-                    let value = iter
-                        .next()
-                        .ok_or_else(|| format!("option `{arg}` needs a value"))?
-                        .clone();
+                    let value =
+                        iter.next().ok_or_else(|| format!("option `{arg}` needs a value"))?.clone();
                     options.push((name.to_owned(), Some(value)));
                 } else {
                     options.push((name.to_owned(), None));
@@ -106,18 +107,11 @@ impl Args {
     }
 
     pub(crate) fn positional(&self, index: usize, what: &str) -> Result<&str, String> {
-        self.positional
-            .get(index)
-            .map(String::as_str)
-            .ok_or_else(|| format!("missing {what}"))
+        self.positional.get(index).map(String::as_str).ok_or_else(|| format!("missing {what}"))
     }
 
     pub(crate) fn value(&self, name: &str) -> Option<&str> {
-        self.options
-            .iter()
-            .rev()
-            .find(|(n, _)| n == name)
-            .and_then(|(_, v)| v.as_deref())
+        self.options.iter().rev().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
     }
 
     pub(crate) fn required(&self, name: &str) -> Result<&str, String> {
@@ -151,7 +145,11 @@ mod tests {
 
     #[test]
     fn arg_parser_splits_options() {
-        let args = Args::parse(&sv(&["prog.rfx", "--good", "7391", "--emit-asm", "-o", "x"]), &["good", "o"]).unwrap();
+        let args = Args::parse(
+            &sv(&["prog.rfx", "--good", "7391", "--emit-asm", "-o", "x"]),
+            &["good", "o"],
+        )
+        .unwrap();
         assert_eq!(args.positional(0, "program").unwrap(), "prog.rfx");
         assert_eq!(args.value("good"), Some("7391"));
         assert_eq!(args.value("o"), Some("x"));

@@ -327,8 +327,7 @@ pub fn table5_row(w: &Workload) -> Result<Table5Row, ExperimentError> {
     let exe = w.build()?;
 
     let driver = FaulterPatcher::new(HardenConfig::default());
-    let fp =
-        driver.harden(&exe, &w.good_input, &w.bad_input, &rr_fault::InstructionSkip)?;
+    let fp = driver.harden(&exe, &w.good_input, &w.bad_input, &rr_fault::InstructionSkip)?;
 
     let hybrid = harden_hybrid(&exe, &HybridConfig::default())?;
     let roundtrip = lift_lower_roundtrip(&exe, true)?;
@@ -402,28 +401,21 @@ impl VulnReduction {
     }
 }
 
-/// Step budget generous enough for hybrid (slot-machine) binaries.
-fn campaign_config() -> rr_fault::CampaignConfig {
-    rr_fault::CampaignConfig {
-        golden_max_steps: 100_000_000,
-        faulted_min_steps: 100_000,
-        ..Default::default()
-    }
-}
+pub(crate) use crate::pipeline::measurement_campaign_config as campaign_config;
 
 /// Trace-site cap for statistical sampling on long (hybrid) traces.
-const MAX_SITES: usize = 4_000;
+pub(crate) const MAX_SITES: usize = 4_000;
 
 fn count_sites(
     exe: &Executable,
     w: &Workload,
     model: &dyn FaultModel,
 ) -> Result<usize, ExperimentError> {
-    let golden = rr_emu::execute(exe, &w.bad_input, campaign_config().golden_max_steps);
-    let stride = (golden.steps as usize / MAX_SITES).max(1);
-    let config = rr_fault::CampaignConfig { site_stride: stride, ..campaign_config() };
-    let campaign = Campaign::with_config(exe, &w.good_input, &w.bad_input, config)?;
-    Ok(campaign.run_parallel(model).vulnerable_pcs().len())
+    let mut campaign = Campaign::with_config(exe, &w.good_input, &w.bad_input, campaign_config())?;
+    campaign.sample_sites(MAX_SITES);
+    // Checkpointed engine: identical classifications, ~√T of the replay
+    // cost — this is the measurement loop the engine was built for.
+    Ok(campaign.run_checkpointed(model).vulnerable_pcs().len())
 }
 
 /// Measures the vulnerability reduction of one approach on one workload
@@ -455,14 +447,13 @@ pub fn vuln_reduction(
         Approach::HybridPlusPatcher => {
             let hybrid = harden_hybrid(&exe, &HybridConfig::default())?.hardened;
             // The hybrid binary's traces are long; sample sites like the
-            // measurement campaigns do.
+            // measurement campaigns do (same rounding as
+            // Campaign::sample_sites, derived from one golden run since
+            // the loop rebuilds its campaigns per iteration).
             let golden = rr_emu::execute(&hybrid, &w.bad_input, campaign_config().golden_max_steps);
-            let stride = (golden.steps as usize / MAX_SITES).max(1);
+            let stride = (golden.steps as usize).div_ceil(MAX_SITES).max(1);
             let config = HardenConfig {
-                campaign: rr_fault::CampaignConfig {
-                    site_stride: stride,
-                    ..campaign_config()
-                },
+                campaign: rr_fault::CampaignConfig { site_stride: stride, ..campaign_config() },
                 ..fp_config()
             };
             FaulterPatcher::new(config)
@@ -547,11 +538,7 @@ mod tests {
         // The paper's after-column mnemonics appear: xor (checksums), and,
         // or (mask arithmetic).
         for needle in ["xor", "and", "or", "sub", "not"] {
-            assert!(
-                t4.ir_after.contains_key(needle),
-                "missing {needle} in {:?}",
-                t4.ir_after
-            );
+            assert!(t4.ir_after.contains_key(needle), "missing {needle} in {:?}", t4.ir_after);
         }
     }
 

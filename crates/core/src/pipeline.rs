@@ -1,5 +1,6 @@
 //! The Hybrid compiler–binary pipeline (paper Fig. 3, upper half).
 
+use rr_fault::{Campaign, CampaignConfig, CampaignEngine, CampaignError, FaultModel, Summary};
 use rr_harden::{BranchHardening, HardeningReport};
 use rr_ir::passes::{DeadCodeElimination, PromoteCells};
 use rr_ir::PassManager;
@@ -33,6 +34,8 @@ pub enum HybridError {
     Pass(String, rr_ir::VerifyError),
     /// Lowering failed.
     Lower(LowerError),
+    /// The post-hardening verification campaign could not be set up.
+    Verify(CampaignError),
 }
 
 impl fmt::Display for HybridError {
@@ -41,6 +44,7 @@ impl fmt::Display for HybridError {
             HybridError::Lift(e) => write!(f, "lift failed: {e}"),
             HybridError::Pass(name, e) => write!(f, "pass `{name}` broke the module: {e}"),
             HybridError::Lower(e) => write!(f, "lowering failed: {e}"),
+            HybridError::Verify(e) => write!(f, "verification campaign failed: {e}"),
         }
     }
 }
@@ -89,7 +93,10 @@ impl HybridOutcome {
 /// # Errors
 ///
 /// See [`HybridError`].
-pub fn harden_hybrid(exe: &Executable, config: &HybridConfig) -> Result<HybridOutcome, HybridError> {
+pub fn harden_hybrid(
+    exe: &Executable,
+    config: &HybridConfig,
+) -> Result<HybridOutcome, HybridError> {
     let mut lifted = rr_lift::lift(exe)?;
     if config.optimize {
         let mut pm = PassManager::new();
@@ -102,8 +109,7 @@ pub fn harden_hybrid(exe: &Executable, config: &HybridConfig) -> Result<HybridOu
     // Run directly (not via the manager) so the pass's report stays
     // readable, then verify explicitly.
     rr_ir::Pass::run(&pass, &mut lifted.module);
-    rr_ir::verify(&lifted.module)
-        .map_err(|e| HybridError::Pass("branch-hardening".into(), e))?;
+    rr_ir::verify(&lifted.module).map_err(|e| HybridError::Pass("branch-hardening".into(), e))?;
     let ir_ops_after = lifted.module.placed_op_count();
     let hardened = rr_lower::compile(&lifted)?;
     Ok(HybridOutcome {
@@ -113,6 +119,70 @@ pub fn harden_hybrid(exe: &Executable, config: &HybridConfig) -> Result<HybridOu
         ir_ops_before,
         ir_ops_after,
     })
+}
+
+/// A [`HybridOutcome`] plus the fault-campaign verdict on the hardened
+/// binary.
+#[derive(Debug, Clone)]
+pub struct VerifiedHybridOutcome {
+    /// The hybrid pipeline's result.
+    pub hybrid: HybridOutcome,
+    /// Streamed classification counts of the verification campaign
+    /// against the hardened binary (sampled via `site_stride` on long
+    /// traces).
+    pub residual: Summary,
+    /// Trace-site stride the verification campaign sampled with (1 =
+    /// exhaustive).
+    pub stride: usize,
+}
+
+/// Campaign tunables shared by the verification step and the experiment
+/// drivers: step budgets generous enough for hybrid (slot-machine)
+/// binaries.
+pub(crate) fn measurement_campaign_config() -> CampaignConfig {
+    CampaignConfig {
+        golden_max_steps: 100_000_000,
+        faulted_min_steps: 100_000,
+        ..CampaignConfig::default()
+    }
+}
+
+/// Trace-site cap for the verification campaign; hybrid binaries multiply
+/// trace lengths, so longer traces are sampled (statistical fault
+/// injection, as in the paper's evaluation).
+const VERIFY_MAX_SITES: usize = 4_000;
+
+/// Runs the Hybrid pipeline, then *verifies* the hardened binary by
+/// fault-simulating it with the checkpointed campaign engine and
+/// streaming the classifications into a [`Summary`].
+///
+/// This closes the loop the paper leaves implicit: hardening is only as
+/// good as the residual-vulnerability count measured against it, and the
+/// checkpointed engine makes that measurement affordable on the long
+/// traces hybrid binaries produce.
+///
+/// # Errors
+///
+/// See [`HybridError`]; campaign setup failures surface as
+/// [`HybridError::Verify`].
+pub fn harden_hybrid_verified(
+    exe: &Executable,
+    good_input: &[u8],
+    bad_input: &[u8],
+    model: &dyn FaultModel,
+    config: &HybridConfig,
+) -> Result<VerifiedHybridOutcome, HybridError> {
+    let hybrid = harden_hybrid(exe, config)?;
+    let mut campaign = Campaign::with_config(
+        &hybrid.hardened,
+        good_input,
+        bad_input,
+        measurement_campaign_config(),
+    )
+    .map_err(HybridError::Verify)?;
+    let stride = campaign.sample_sites(VERIFY_MAX_SITES);
+    let residual = campaign.run_streaming(model, CampaignEngine::Checkpointed);
+    Ok(VerifiedHybridOutcome { hybrid, residual, stride })
 }
 
 /// Lifts and lowers without any countermeasure — isolates the overhead of
@@ -152,6 +222,38 @@ mod tests {
             let b = execute(&outcome.hardened, input, 100_000_000);
             assert!(a.same_behavior(&b));
         }
+    }
+
+    #[test]
+    fn verified_hybrid_measures_residual_faults() {
+        let w = rr_workloads::pincheck();
+        let exe = w.build().unwrap();
+        let verified = harden_hybrid_verified(
+            &exe,
+            &w.good_input,
+            &w.bad_input,
+            &rr_fault::InstructionSkip,
+            &HybridConfig::default(),
+        )
+        .unwrap();
+        assert!(verified.hybrid.report.protected_branches > 0);
+        assert!(verified.residual.total > 0, "campaign must evaluate faults");
+        assert_eq!(verified.residual.diverged, 0, "golden replays never diverge");
+        assert!(verified.stride >= 1);
+        // The checksum pass protects the decision branches; skipping an
+        // unprotected instruction may still corrupt, but the hardened
+        // binary must not be *more* skip-vulnerable than the original.
+        let baseline = {
+            let campaign = Campaign::new(&exe, &w.good_input, &w.bad_input).unwrap();
+            campaign.run_streaming(&rr_fault::InstructionSkip, CampaignEngine::Checkpointed)
+        };
+        let baseline_rate = baseline.success as f64 / baseline.total.max(1) as f64;
+        let hardened_rate =
+            verified.residual.success as f64 / verified.residual.total.max(1) as f64;
+        assert!(
+            hardened_rate <= baseline_rate,
+            "hardening must not increase the success rate: {hardened_rate} vs {baseline_rate}"
+        );
     }
 
     #[test]

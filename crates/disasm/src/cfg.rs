@@ -117,8 +117,7 @@ pub fn build_functions(exe: &Executable, code: &CodeMap) -> Vec<Function> {
     for &addr in &addrs {
         let block = &blocks[&addr];
         let (term_addr, term) = block.terminator();
-        let next = term_addr
-            + code.instr_at(term_addr).map(|&(_, len)| len as u64).unwrap_or(0);
+        let next = term_addr + code.instr_at(term_addr).map(|&(_, len)| len as u64).unwrap_or(0);
         let mut succs = Vec::new();
         match term.kind() {
             InstrKind::Jump => {
@@ -177,8 +176,7 @@ pub fn build_functions(exe: &Executable, code: &CodeMap) -> Vec<Function> {
             .find(|s| s.addr == entry && s.kind == rr_obj::SymbolKind::Func)
             .map(|s| s.name.clone())
             .unwrap_or_else(|| format!("f_{entry:x}"));
-        let function_blocks =
-            members.iter().filter_map(|addr| blocks.get(addr)).cloned().collect();
+        let function_blocks = members.iter().filter_map(|addr| blocks.get(addr)).cloned().collect();
         functions.push(Function { entry, name, blocks: function_blocks });
     }
     functions
@@ -271,11 +269,8 @@ mod tests {
         );
         let f = &funcs[0];
         // Find the loop block and check it points at itself.
-        let loop_block = f
-            .blocks
-            .iter()
-            .find(|b| b.succs.contains(&b.addr))
-            .expect("loop block with self edge");
+        let loop_block =
+            f.blocks.iter().find(|b| b.succs.contains(&b.addr)).expect("loop block with self edge");
         assert_eq!(loop_block.succs.len(), 2);
     }
 

@@ -122,8 +122,8 @@ pub fn discover(exe: &Executable) -> Result<CodeMap, DisasmError> {
             let bytes = exe
                 .read_bytes(pc, available)
                 .ok_or(DisasmError::Undecodable { addr: pc, cause: DecodeError::Empty })?;
-            let (insn, len) = decode(bytes)
-                .map_err(|cause| DisasmError::Undecodable { addr: pc, cause })?;
+            let (insn, len) =
+                decode(bytes).map_err(|cause| DisasmError::Undecodable { addr: pc, cause })?;
             map.instrs.insert(pc, (insn, len));
             covered.insert(pc, pc + len as u64);
             let next = pc + len as u64;
@@ -253,8 +253,7 @@ mod tests {
         // Hand-build: jmp .+(-3) jumps into the middle of itself.
         // jmp rel32: opcode 0x50, rel = -3 → target = pc+5-3 = pc+2 (mid-instruction).
         let mut obj = rr_obj::ObjectFile::new("bad");
-        obj.section_mut(rr_obj::SectionKind::Text).data =
-            vec![0x50, 0xFD, 0xFF, 0xFF, 0xFF, 0x01];
+        obj.section_mut(rr_obj::SectionKind::Text).data = vec![0x50, 0xFD, 0xFF, 0xFF, 0xFF, 0x01];
         obj.symbols.push(rr_obj::Symbol::global(
             "_start",
             rr_obj::SectionKind::Text,
@@ -262,10 +261,7 @@ mod tests {
             rr_obj::SymbolKind::Func,
         ));
         let exe = rr_obj::link(&[obj]).unwrap();
-        assert!(matches!(
-            discover(&exe),
-            Err(DisasmError::MisalignedTarget { .. })
-        ));
+        assert!(matches!(discover(&exe), Err(DisasmError::MisalignedTarget { .. })));
     }
 
     #[test]

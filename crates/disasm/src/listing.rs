@@ -154,9 +154,9 @@ impl Listing {
     /// Index into [`Listing::text`] of the instruction that originated at
     /// `addr` in the original binary.
     pub fn find_code(&self, addr: u64) -> Option<usize> {
-        self.text.iter().position(
-            |line| matches!(line, Line::Code { orig_addr: Some(a), .. } if *a == addr),
-        )
+        self.text
+            .iter()
+            .position(|line| matches!(line, Line::Code { orig_addr: Some(a), .. } if *a == addr))
     }
 
     /// Replaces the line at `index` with `replacement` lines (in place,
@@ -194,13 +194,9 @@ impl Listing {
 
     /// Whether any text or data line defines `name`.
     pub fn has_label(&self, name: &str) -> bool {
-        self.text
-            .iter()
-            .any(|l| matches!(l, Line::Label { name: n, .. } if n == name))
+        self.text.iter().any(|l| matches!(l, Line::Label { name: n, .. } if n == name))
             || self.data.iter().any(|s| {
-                s.lines
-                    .iter()
-                    .any(|l| matches!(l, DataLine::Label { name: n, .. } if n == name))
+                s.lines.iter().any(|l| matches!(l, DataLine::Label { name: n, .. } if n == name))
             })
     }
 
@@ -325,10 +321,7 @@ mod tests {
                 orig_addr: Some(0x1000),
                 insn: SymInstr::MovSym { rd: Reg::R1, sym: "value".into(), addend: 0 },
             },
-            Line::Code {
-                orig_addr: Some(0x100A),
-                insn: SymInstr::Plain(Instr::Svc { num: 0 }),
-            },
+            Line::Code { orig_addr: Some(0x100A), insn: SymInstr::Plain(Instr::Svc { num: 0 }) },
         ];
         listing.data = vec![DataSection {
             kind: SectionKind::Data,

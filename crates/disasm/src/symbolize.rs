@@ -168,7 +168,8 @@ impl<'a> Symbolizer<'a> {
                 if escapes(&insn, rd) {
                     return true;
                 }
-                if insn.is_block_terminator() || matches!(insn, Instr::Call { .. } | Instr::CallR { .. })
+                if insn.is_block_terminator()
+                    || matches!(insn, Instr::Call { .. } | Instr::CallR { .. })
                 {
                     // Value is live across control flow we do not track.
                     return true;
@@ -323,12 +324,11 @@ impl<'a> Symbolizer<'a> {
 
         let mut addr = range.start;
         let mut pending_bytes: Vec<u8> = Vec::new();
-        let flush =
-            |pending: &mut Vec<u8>, lines: &mut Vec<DataLine>| {
-                if !pending.is_empty() {
-                    lines.push(DataLine::Bytes(std::mem::take(pending)));
-                }
-            };
+        let flush = |pending: &mut Vec<u8>, lines: &mut Vec<DataLine>| {
+            if !pending.is_empty() {
+                lines.push(DataLine::Bytes(std::mem::take(pending)));
+            }
+        };
         while addr < range.end {
             if label_addrs.contains(&addr) {
                 flush(&mut pending_bytes, &mut lines);
@@ -338,8 +338,7 @@ impl<'a> Symbolizer<'a> {
                 // Zero tail (all of .bss, or trailing zeroes): one .space up
                 // to the next label or section end.
                 flush(&mut pending_bytes, &mut lines);
-                let next_label =
-                    label_addrs.range(addr + 1..).next().copied().unwrap_or(range.end);
+                let next_label = label_addrs.range(addr + 1..).next().copied().unwrap_or(range.end);
                 lines.push(DataLine::Space(next_label - addr));
                 addr = next_label;
                 continue;
@@ -347,7 +346,7 @@ impl<'a> Symbolizer<'a> {
             // Symbolized word?
             if self.quad_syms.contains_key(&addr)
                 && addr + 8 <= initialized_end
-                && !label_addrs.range(addr + 1..addr + 8).next().is_some()
+                && label_addrs.range(addr + 1..addr + 8).next().is_none()
             {
                 flush(&mut pending_bytes, &mut lines);
                 let target = self.quad_syms[&addr];
@@ -507,9 +506,7 @@ mod tests {
     #[test]
     fn entry_label_is_always_start() {
         // Even for a stripped binary the listing defines a global _start.
-        let exe = assemble_and_link("    .global _start\n_start:\n    svc 0\n")
-            .unwrap()
-            .stripped();
+        let exe = assemble_and_link("    .global _start\n_start:\n    svc 0\n").unwrap().stripped();
         let code = discover(&exe).unwrap();
         let listing = symbolize(&exe, &code, SymbolizationPolicy::DataAccessRefined).unwrap();
         let source = listing.to_source();
@@ -530,11 +527,8 @@ mod tests {
                  .space 32\n",
             SymbolizationPolicy::DataAccessRefined,
         );
-        let bss = listing
-            .data
-            .iter()
-            .find(|s| s.kind == SectionKind::Bss)
-            .expect("bss section present");
+        let bss =
+            listing.data.iter().find(|s| s.kind == SectionKind::Bss).expect("bss section present");
         assert!(bss.lines.iter().any(|l| matches!(l, DataLine::Space(32))), "{bss:?}");
     }
 }

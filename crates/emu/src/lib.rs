@@ -47,7 +47,7 @@ mod machine;
 mod memory;
 mod outcome;
 
-pub use machine::{Machine, RunResult, DEFAULT_MAX_STEPS};
+pub use machine::{Machine, RunResult, Snapshot, DEFAULT_MAX_STEPS};
 pub use memory::{AccessKind, Memory};
 pub use outcome::{CpuFault, Execution, RunOutcome};
 

@@ -4,6 +4,7 @@ use crate::memory::{AccessKind, Memory};
 use crate::outcome::{CpuFault, RunOutcome};
 use rr_isa::{decode, AluOp, Flags, Instr, Reg, ShiftOp, MAX_INSTR_LEN, STACK_TOP};
 use rr_obj::Executable;
+use std::sync::Arc;
 
 /// Default step budget for [`Machine::run`]-style helpers.
 pub const DEFAULT_MAX_STEPS: u64 = 1_000_000;
@@ -29,12 +30,40 @@ pub struct Machine {
     flags: Flags,
     pc: u64,
     memory: Memory,
-    input: Vec<u8>,
+    /// Shared with snapshots: the input stream is immutable, only the
+    /// cursor moves.
+    input: Arc<Vec<u8>>,
     input_pos: usize,
-    output: Vec<u8>,
+    /// Copy-on-write like memory regions: snapshots share the buffer and
+    /// the next write after a capture copies it.
+    output: Arc<Vec<u8>>,
     /// Set once the machine has stopped (exit or fault); further stepping
     /// is a no-op returning the same outcome.
     stopped: Option<RunOutcome>,
+}
+
+/// A point-in-time capture of a machine's complete architectural state:
+/// registers, flags, program counter, memory, I/O cursor, accumulated
+/// output, and stopped status.
+///
+/// Snapshots are cheap: memory regions, the input stream, and the output
+/// buffer are all copy-on-write, so a capture is O(regions) pointer
+/// clones no matter how large the address space or output. They are also
+/// [`Send`] + [`Sync`], so a recording pass can publish snapshots that
+/// many replay workers restore concurrently — the foundation of the
+/// `rr-engine` checkpointed campaign scheduler.
+///
+/// Internally a snapshot is simply a (cheap) clone of the whole machine,
+/// which makes it impossible to forget a field when the machine grows
+/// new state.
+#[derive(Debug, Clone)]
+pub struct Snapshot(Machine);
+
+impl Snapshot {
+    /// Program counter at capture time.
+    pub fn pc(&self) -> u64 {
+        self.0.pc
+    }
 }
 
 impl Machine {
@@ -48,11 +77,33 @@ impl Machine {
             flags: Flags::CLEAR,
             pc: exe.entry,
             memory: Memory::for_executable(exe),
-            input: input.to_vec(),
+            input: Arc::new(input.to_vec()),
             input_pos: 0,
-            output: Vec::new(),
+            output: Arc::new(Vec::new()),
             stopped: None,
         }
+    }
+
+    /// Captures the machine's complete state. O(regions) thanks to
+    /// copy-on-write memory and output; the returned [`Snapshot`] stays
+    /// valid no matter how this machine runs on.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot(self.clone())
+    }
+
+    /// Rewinds this machine to a previously captured snapshot. The
+    /// snapshot must come from a machine created for the same executable
+    /// and input (snapshots carry their input stream, so the pairing is
+    /// restored too).
+    pub fn restore(&mut self, snapshot: &Snapshot) {
+        *self = snapshot.0.clone();
+    }
+
+    /// Materializes a fresh machine from a snapshot (equivalent to
+    /// rebuilding the original machine and replaying it to the capture
+    /// point, but O(regions)).
+    pub fn from_snapshot(snapshot: &Snapshot) -> Machine {
+        snapshot.0.clone()
     }
 
     /// Current program counter.
@@ -91,9 +142,10 @@ impl Machine {
         &self.output
     }
 
-    /// Takes ownership of the output buffer.
+    /// Takes ownership of the output buffer (cloning only if a snapshot
+    /// still shares it).
     pub fn take_output(&mut self) -> Vec<u8> {
-        std::mem::take(&mut self.output)
+        Arc::unwrap_or_clone(std::mem::take(&mut self.output))
     }
 
     /// Whether the machine has stopped, and how.
@@ -339,7 +391,8 @@ impl Machine {
                 Ok(())
             }
             1 => {
-                self.output.push(self.reg(Reg::R1) as u8);
+                let byte = self.reg(Reg::R1) as u8;
+                Arc::make_mut(&mut self.output).push(byte);
                 Ok(())
             }
             2 => {
@@ -355,7 +408,7 @@ impl Machine {
             }
             3 => {
                 let text = self.reg(Reg::R1).to_string();
-                self.output.extend_from_slice(text.as_bytes());
+                Arc::make_mut(&mut self.output).extend_from_slice(text.as_bytes());
                 Ok(())
             }
             other => Err(CpuFault::BadService(other)),
@@ -406,9 +459,8 @@ mod tests {
 
     #[test]
     fn arithmetic_and_exit_code() {
-        let (outcome, _) = run_src(&format!(
-            "{PRELUDE}    mov r1, 6\n    mov r2, 7\n    mul r1, r2\n    svc 0\n"
-        ));
+        let (outcome, _) =
+            run_src(&format!("{PRELUDE}    mov r1, 6\n    mov r2, 7\n    mul r1, r2\n    svc 0\n"));
         assert_eq!(outcome, RunOutcome::Exited { code: 42 });
     }
 
@@ -520,30 +572,39 @@ mod tests {
 
     #[test]
     fn decimal_output_service() {
-        let (_, out) = run_src(&format!(
-            "{PRELUDE}    mov r1, 12345\n    svc 3\n    mov r1, 0\n    svc 0\n"
-        ));
+        let (_, out) =
+            run_src(&format!("{PRELUDE}    mov r1, 12345\n    svc 3\n    mov r1, 0\n    svc 0\n"));
         assert_eq!(out, b"12345");
     }
 
     #[test]
     fn crash_taxonomy() {
         // Unmapped read.
-        let (outcome, _) = run_src(&format!("{PRELUDE}    mov r2, 0x99999000\n    load r1, [r2]\n    svc 0\n"));
+        let (outcome, _) =
+            run_src(&format!("{PRELUDE}    mov r2, 0x99999000\n    load r1, [r2]\n    svc 0\n"));
         assert!(matches!(
             outcome,
-            RunOutcome::Crashed { fault: CpuFault::MemoryFault { access: AccessKind::Read, .. }, .. }
+            RunOutcome::Crashed {
+                fault: CpuFault::MemoryFault { access: AccessKind::Read, .. },
+                ..
+            }
         ));
 
         // Write to .text (W^X).
-        let (outcome, _) = run_src(&format!("{PRELUDE}    mov r2, 0x1000\n    store [r2], r1\n    svc 0\n"));
+        let (outcome, _) =
+            run_src(&format!("{PRELUDE}    mov r2, 0x1000\n    store [r2], r1\n    svc 0\n"));
         assert!(matches!(
             outcome,
-            RunOutcome::Crashed { fault: CpuFault::MemoryFault { access: AccessKind::Write, .. }, .. }
+            RunOutcome::Crashed {
+                fault: CpuFault::MemoryFault { access: AccessKind::Write, .. },
+                ..
+            }
         ));
 
         // Divide by zero.
-        let (outcome, _) = run_src(&format!("{PRELUDE}    mov r1, 4\n    mov r2, 0\n    udiv r1, r2\n    svc 0\n"));
+        let (outcome, _) = run_src(&format!(
+            "{PRELUDE}    mov r1, 4\n    mov r2, 0\n    udiv r1, r2\n    svc 0\n"
+        ));
         assert!(matches!(outcome, RunOutcome::Crashed { fault: CpuFault::DivideByZero, .. }));
 
         // Halt is an abnormal stop.
@@ -599,7 +660,9 @@ mod tests {
 
     #[test]
     fn traces_record_every_pc() {
-        let exe = assemble_and_link(&format!("{PRELUDE}    nop\n    nop\n    mov r1, 0\n    svc 0\n")).unwrap();
+        let exe =
+            assemble_and_link(&format!("{PRELUDE}    nop\n    nop\n    mov r1, 0\n    svc 0\n"))
+                .unwrap();
         let (exec, trace) = crate::execute_traced(&exe, &[], 100);
         assert_eq!(exec.outcome, RunOutcome::Exited { code: 0 });
         assert_eq!(trace.len(), 4);
@@ -610,7 +673,8 @@ mod tests {
 
     #[test]
     fn stopped_machine_is_sticky() {
-        let exe = assemble_and_link(&format!("{PRELUDE}    mov r1, 3\n    svc 0\n    svc 1\n")).unwrap();
+        let exe =
+            assemble_and_link(&format!("{PRELUDE}    mov r1, 3\n    svc 0\n    svc 1\n")).unwrap();
         let mut m = Machine::new(&exe, &[]);
         let r1 = m.run(100);
         assert_eq!(r1.outcome, RunOutcome::Exited { code: 3 });
@@ -622,14 +686,12 @@ mod tests {
 
     #[test]
     fn shift_semantics() {
-        let (outcome, _) = run_src(&format!(
-            "{PRELUDE}    mov r1, 1\n    shl r1, 4\n    shr r1, 1\n    svc 0\n"
-        ));
+        let (outcome, _) =
+            run_src(&format!("{PRELUDE}    mov r1, 1\n    shl r1, 4\n    shr r1, 1\n    svc 0\n"));
         assert_eq!(outcome, RunOutcome::Exited { code: 8 });
         // Arithmetic shift preserves sign.
-        let (outcome, _) = run_src(&format!(
-            "{PRELUDE}    mov r1, -16\n    sar r1, 2\n    neg r1\n    svc 0\n"
-        ));
+        let (outcome, _) =
+            run_src(&format!("{PRELUDE}    mov r1, -16\n    sar r1, 2\n    neg r1\n    svc 0\n"));
         assert_eq!(outcome, RunOutcome::Exited { code: 4 });
     }
 
@@ -643,6 +705,123 @@ mod tests {
                  svc 0\n"
         ));
         assert_eq!(outcome, RunOutcome::Exited { code: 1 });
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_full_state() {
+        // A program exercising registers, flags, memory, input, and output
+        // before and after the capture point.
+        let src = "    .global _start\n\
+                   _start:\n\
+                       svc 2\n\
+                       mov r1, r0\n\
+                       svc 1\n\
+                       mov r2, buffer\n\
+                       store [r2], r1\n\
+                       cmp r1, 'A'\n\
+                       svc 2\n\
+                       mov r1, r0\n\
+                       svc 1\n\
+                       load r3, [r2]\n\
+                       mov r1, 0\n\
+                       svc 0\n\
+                       .data\n\
+                   buffer:\n\
+                       .space 8\n";
+        let exe = assemble_and_link(src).unwrap();
+        let mut m = Machine::new(&exe, b"AB");
+        // Execute up to and including the cmp (6 instructions).
+        for _ in 0..6 {
+            m.step().unwrap();
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.pc(), m.pc());
+
+        // Run the original to completion, then restore and re-run: the
+        // register file, flags, memory, input cursor, and output must all
+        // have rewound, so the completions are identical.
+        let first = m.run(100);
+        assert_eq!(first.outcome, RunOutcome::Exited { code: 0 });
+        let final_output = m.output().to_vec();
+        let final_r3 = m.reg(Reg::R3);
+
+        m.restore(&snap);
+        assert_eq!(m.pc(), snap.pc());
+        assert_eq!(m.stopped(), None);
+        assert_eq!(m.output(), b"A", "output rewound to the capture point");
+        let again = m.run(100);
+        assert_eq!(again.outcome, first.outcome);
+        assert_eq!(again.steps, first.steps);
+        assert_eq!(m.output(), final_output.as_slice());
+        assert_eq!(m.reg(Reg::R3), final_r3);
+
+        // A machine materialized from the snapshot behaves identically.
+        let mut fresh = Machine::from_snapshot(&snap);
+        assert_eq!(fresh.flags(), snap.0.flags());
+        let fresh_run = fresh.run(100);
+        assert_eq!(fresh_run.outcome, first.outcome);
+        assert_eq!(fresh.output(), final_output.as_slice());
+    }
+
+    #[test]
+    fn snapshot_isolates_later_memory_writes() {
+        let src = format!(
+            "{PRELUDE}\
+                 mov r2, buffer\n\
+                 mov r1, 1\n\
+                 store [r2], r1\n\
+                 mov r1, 2\n\
+                 store [r2], r1\n\
+                 svc 0\n\
+                 .data\n\
+             buffer:\n\
+                 .space 8\n"
+        );
+        let exe = assemble_and_link(&src).unwrap();
+        let mut m = Machine::new(&exe, &[]);
+        for _ in 0..3 {
+            m.step().unwrap(); // first store done: buffer = 1
+        }
+        let snap = m.snapshot();
+        m.run(10); // second store overwrites buffer with 2
+        let data_base = exe.section_range(rr_obj::SectionKind::Data).unwrap().start;
+        assert_eq!(m.peek_bytes(data_base, 1).unwrap()[0], 2);
+        // The snapshot still sees 1 (copy-on-write protected it).
+        let restored = Machine::from_snapshot(&snap);
+        assert_eq!(restored.peek_bytes(data_base, 1).unwrap()[0], 1);
+    }
+
+    #[test]
+    fn snapshot_preserves_stopped_state() {
+        let exe = assemble_and_link(&format!("{PRELUDE}    mov r1, 9\n    svc 0\n")).unwrap();
+        let mut m = Machine::new(&exe, &[]);
+        let result = m.run(10);
+        assert_eq!(result.outcome, RunOutcome::Exited { code: 9 });
+        let snap = m.snapshot();
+        let mut restored = Machine::from_snapshot(&snap);
+        assert_eq!(restored.stopped(), Some(RunOutcome::Exited { code: 9 }));
+        // A stopped machine stays stopped after restore.
+        let rerun = restored.run(10);
+        assert_eq!(rerun.outcome, RunOutcome::Exited { code: 9 });
+        assert_eq!(rerun.steps, 0);
+    }
+
+    #[test]
+    fn snapshot_preserves_input_cursor() {
+        let src = format!(
+            "{PRELUDE}    svc 2\n    svc 2\n    mov r1, r0\n    svc 1\n    mov r1, 0\n    svc 0\n"
+        );
+        let exe = assemble_and_link(&src).unwrap();
+        let mut m = Machine::new(&exe, b"XYZ");
+        m.step().unwrap(); // consumed 'X'
+        let snap = m.snapshot();
+        m.run(10);
+        assert_eq!(m.output(), b"Y");
+        // Restoring rewinds the cursor to after 'X', so the next read is
+        // 'Y' again — not 'Z'.
+        m.restore(&snap);
+        m.run(10);
+        assert_eq!(m.output(), b"Y");
     }
 
     #[test]

@@ -1,7 +1,20 @@
 //! The emulated flat memory: permissioned regions.
+//!
+//! Region contents are stored behind [`Arc`] so that cloning a `Memory`
+//! (and therefore snapshotting a machine) is O(regions) pointer copies
+//! rather than a byte copy of the whole address space. Writes go through
+//! [`Arc::make_mut`], which transparently copies a region the first time
+//! it is written after a clone — copy-on-write at *region* granularity:
+//! one write to a region costs a private copy of that whole region (for
+//! the stack, 1 MiB), not just the touched bytes. The checkpointed
+//! replay engine in `rr-engine` depends on this: snapshots of untouched
+//! regions stay shared, and a checkpoint pays only for the regions its
+//! interval dirtied (see `ReplayConfig::max_checkpoints` for the
+//! resulting retention bound; per-page COW is a roadmap item).
 
-use rr_obj::{Executable, SegmentPerms};
 use rr_isa::{STACK_SIZE, STACK_TOP};
+use rr_obj::{Executable, SegmentPerms};
+use std::sync::Arc;
 
 /// The kind of memory access that failed (or is being checked).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -28,7 +41,9 @@ impl std::fmt::Display for AccessKind {
 struct Region {
     start: u64,
     perms: SegmentPerms,
-    bytes: Vec<u8>,
+    /// Copy-on-write contents: cloning the region shares the allocation;
+    /// the first write after a clone copies it.
+    bytes: Arc<Vec<u8>>,
 }
 
 impl Region {
@@ -62,13 +77,13 @@ impl Memory {
             .map(|seg| {
                 let mut bytes = seg.data.clone();
                 bytes.resize(seg.mem_size as usize, 0);
-                Region { start: seg.addr, perms: seg.perms, bytes }
+                Region { start: seg.addr, perms: seg.perms, bytes: Arc::new(bytes) }
             })
             .collect();
         regions.push(Region {
             start: STACK_TOP - STACK_SIZE,
             perms: SegmentPerms::RW,
-            bytes: vec![0; STACK_SIZE as usize],
+            bytes: Arc::new(vec![0; STACK_SIZE as usize]),
         });
         regions.sort_by_key(|r| r.start);
         Memory { regions }
@@ -125,8 +140,7 @@ impl Memory {
             return Err((addr, AccessKind::Write));
         }
         let offset = (addr - region.start) as usize;
-        let dst = region
-            .bytes
+        let dst = Arc::make_mut(&mut region.bytes)
             .get_mut(offset..offset + data.len())
             .ok_or((addr, AccessKind::Write))?;
         dst.copy_from_slice(data);
@@ -152,8 +166,8 @@ impl Memory {
     pub fn poke(&mut self, addr: u64, data: &[u8]) -> bool {
         if let Some(region) = self.region_mut(addr) {
             let offset = (addr - region.start) as usize;
-            if let Some(dst) = region.bytes.get_mut(offset..offset + data.len()) {
-                dst.copy_from_slice(data);
+            if offset + data.len() <= region.bytes.len() {
+                Arc::make_mut(&mut region.bytes)[offset..offset + data.len()].copy_from_slice(data);
                 return true;
             }
         }
@@ -172,7 +186,7 @@ impl Memory {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rr_obj::{Segment, SectionKind};
+    use rr_obj::{SectionKind, Segment};
 
     fn demo_memory() -> Memory {
         let exe = Executable {
@@ -244,6 +258,32 @@ mod tests {
         let mem = demo_memory();
         assert_eq!(mem.fetch(0x1001, 10).unwrap(), &[0x02]);
         assert!(mem.fetch(0x0, 1).is_err());
+    }
+
+    #[test]
+    fn clones_share_until_written() {
+        let mut mem = demo_memory();
+        let snapshot = mem.clone();
+        // All regions are shared allocations right after the clone.
+        for (a, b) in mem.regions.iter().zip(&snapshot.regions) {
+            assert!(Arc::ptr_eq(&a.bytes, &b.bytes));
+        }
+        // Writing the data region unshares only the data region.
+        mem.write_u64(0x2000, 0xDEAD_BEEF).unwrap();
+        assert!(!Arc::ptr_eq(&mem.regions[1].bytes, &snapshot.regions[1].bytes));
+        assert!(Arc::ptr_eq(&mem.regions[0].bytes, &snapshot.regions[0].bytes));
+        // The snapshot still sees the pre-write value.
+        assert_eq!(snapshot.read_u64(0x2000).unwrap(), 0xAAAA_AAAA);
+        assert_eq!(mem.read_u64(0x2000).unwrap(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn poke_also_unshares() {
+        let mut mem = demo_memory();
+        let snapshot = mem.clone();
+        assert!(mem.poke(0x1000, &[0x55]));
+        assert_eq!(snapshot.peek(0x1000, 1).unwrap(), &[0x01]);
+        assert_eq!(mem.peek(0x1000, 1).unwrap(), &[0x55]);
     }
 
     #[test]

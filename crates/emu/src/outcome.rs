@@ -125,7 +125,11 @@ mod tests {
 
     #[test]
     fn behaviour_ignores_steps() {
-        let a = Execution { outcome: RunOutcome::Exited { code: 1 }, output: b"ok".to_vec(), steps: 10 };
+        let a = Execution {
+            outcome: RunOutcome::Exited { code: 1 },
+            output: b"ok".to_vec(),
+            steps: 10,
+        };
         let mut b = a.clone();
         b.steps = 99;
         assert!(a.same_behavior(&b));

@@ -1,0 +1,54 @@
+//! # rr-engine — checkpointed replay and sharded campaign scheduling
+//!
+//! Fault-injection campaigns replay one golden execution thousands of
+//! times: once per candidate fault, each time up to the injection step.
+//! Replaying from step 0 makes a campaign over a `T`-step trace cost
+//! O(T²) emulated instructions, which caps tractable trace lengths.
+//!
+//! This crate removes that bound with the classic snapshot-then-resume
+//! structure (the same shape lifter runtimes use to fork cheap execution
+//! states from one expensive setup):
+//!
+//! * [`ReplayEngine`] records one pass over the golden run, capturing a
+//!   [`rr_emu::Snapshot`] every `k` steps (default `k ≈ √T`). Restoring a
+//!   machine at an arbitrary trace step then costs O(regions) for the
+//!   snapshot plus at most `k` single steps — O(T·√T) for a whole
+//!   exhaustive campaign instead of O(T²).
+//! * [`shard`] provides the parallel scheduler: contiguous work shards
+//!   across OS threads with order-preserving collection and a streaming
+//!   fold for aggregation without materializing per-item results.
+//!
+//! Snapshots are copy-on-write at region granularity
+//! ([`rr_emu::Memory`] shares each region's allocation until written),
+//! so checkpoints pay only for the regions their interval dirtied —
+//! untouched segments stay shared — and worker threads restore from the
+//! same snapshots concurrently without copying. A write to a region does
+//! copy that whole region (1 MiB for the stack), which is why
+//! [`ReplayConfig::max_checkpoints`] bounds retention on long traces.
+//!
+//! The campaign-level integration lives in `rr-fault`
+//! (`Campaign::run_checkpointed`); this crate stays independent of fault
+//! models so it can serve any replay-heavy consumer (differential
+//! testing, trace bisection, time-travel debugging).
+//!
+//! ## Example
+//!
+//! ```
+//! use rr_asm::assemble_and_link;
+//! use rr_engine::{ReplayConfig, ReplayEngine};
+//!
+//! let exe = assemble_and_link(
+//!     "    .global _start\n_start:\n    mov r1, 3\n.loop:\n    sub r1, 1\n    cmp r1, 0\n    jne .loop\n    svc 0\n",
+//! )?;
+//! let engine = ReplayEngine::record(&exe, &[], &ReplayConfig::default());
+//! // A machine about to execute trace step 5, without replaying 0..5
+//! // from scratch when a checkpoint is closer.
+//! let machine = engine.machine_at(5)?;
+//! assert_eq!(machine.pc(), engine.trace()[5]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod replay;
+pub mod shard;
+
+pub use replay::{auto_interval, ReplayConfig, ReplayEngine, ReplayError};

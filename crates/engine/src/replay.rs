@@ -1,0 +1,355 @@
+//! Recording a golden run with periodic checkpoints and replaying to
+//! arbitrary trace steps.
+
+use rr_emu::{Execution, Machine, Snapshot};
+use rr_obj::Executable;
+use std::fmt;
+
+/// Tunables for [`ReplayEngine::record`].
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// Step budget for the recording run.
+    pub max_steps: u64,
+    /// Capture a checkpoint every this many steps; `0` = adaptive
+    /// (tracks ≈ √T as the run grows, the total-work optimum when
+    /// replays are uniformly distributed over the trace — no probe run
+    /// needed).
+    pub checkpoint_interval: u64,
+    /// Ceiling on the number of retained checkpoints. Memory is COW at
+    /// *region* granularity, so the worst case per checkpoint is one
+    /// private copy of every region dirtied in its interval (for
+    /// stack-writing programs, the whole 1 MiB stack region); the cap
+    /// bounds total retained state on very long traces at the cost of
+    /// longer step-forward replays. A pinned `checkpoint_interval` is
+    /// widened (doubled, thinning recorded checkpoints) only if the run
+    /// would otherwise exceed the cap. `0` = unlimited.
+    pub max_checkpoints: usize,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig { max_steps: 1_000_000, checkpoint_interval: 0, max_checkpoints: 1024 }
+    }
+}
+
+/// The checkpoint interval minimizing recorded-state + replay work for a
+/// `steps`-long trace: √T, clamped to at least 1.
+pub fn auto_interval(steps: u64) -> u64 {
+    ((steps as f64).sqrt().ceil() as u64).max(1)
+}
+
+/// Why a replay request failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The requested step lies beyond the recorded trace.
+    OutOfTrace {
+        /// The requested step.
+        requested: u64,
+        /// The recorded trace length.
+        trace_len: u64,
+    },
+    /// Re-execution from the nearest checkpoint stopped early — the
+    /// machine is not deterministic relative to the recording (a bug in
+    /// the caller's state handling, surfaced instead of panicking).
+    Diverged {
+        /// The step at which re-execution stopped.
+        step: u64,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::OutOfTrace { requested, trace_len } => {
+                write!(f, "step {requested} is beyond the {trace_len}-step recorded trace")
+            }
+            ReplayError::Diverged { step } => {
+                write!(f, "replay diverged from the recording at step {step}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+#[derive(Debug)]
+struct Checkpoint {
+    step: u64,
+    snapshot: Snapshot,
+}
+
+/// One recorded golden run: its trace, behaviour, and periodic state
+/// checkpoints, supporting O(√T) random access to any trace step.
+#[derive(Debug)]
+pub struct ReplayEngine {
+    checkpoints: Vec<Checkpoint>,
+    trace: Vec<u64>,
+    execution: Execution,
+    interval: u64,
+}
+
+impl ReplayEngine {
+    /// Runs `exe` on `input`, recording the program counter of every
+    /// executed instruction and a state checkpoint every
+    /// `config.checkpoint_interval` steps (plus the initial state).
+    ///
+    /// With `checkpoint_interval = 0` the interval adapts while the run
+    /// executes: whenever the checkpoint count overtakes twice the
+    /// current interval (or `max_checkpoints`), the interval doubles and
+    /// every odd checkpoint is dropped. Interval and count chase each
+    /// other, so both end within a factor of two of √T — the optimum —
+    /// after a single pass, with no probe run to discover T first, while
+    /// the count stays bounded by `max_checkpoints` on very long traces.
+    pub fn record(exe: &Executable, input: &[u8], config: &ReplayConfig) -> ReplayEngine {
+        let fixed = config.checkpoint_interval > 0;
+        let mut interval = if fixed { config.checkpoint_interval } else { 1 };
+        let count_cap =
+            if config.max_checkpoints > 0 { config.max_checkpoints as u64 } else { u64::MAX };
+        let mut machine = Machine::new(exe, input);
+        let mut checkpoints = vec![Checkpoint { step: 0, snapshot: machine.snapshot() }];
+        let mut trace = Vec::new();
+        let result = machine.run_with(config.max_steps, |m| {
+            let step = trace.len() as u64;
+            if step > 0 && step.is_multiple_of(interval) {
+                checkpoints.push(Checkpoint { step, snapshot: m.snapshot() });
+                // Adaptive mode chases count ≈ interval (≈ √T); a pinned
+                // interval widens only when the memory cap demands it.
+                let grow_at = if fixed { count_cap } else { (2 * interval).min(count_cap) };
+                if checkpoints.len() as u64 > grow_at {
+                    interval *= 2;
+                    checkpoints.retain(|c| c.step.is_multiple_of(interval));
+                }
+            }
+            trace.push(m.pc());
+        });
+        let execution = Execution {
+            outcome: result.outcome,
+            output: machine.take_output(),
+            steps: result.steps,
+        };
+        ReplayEngine { checkpoints, trace, execution, interval }
+    }
+
+    /// The recorded program counters, one per executed instruction.
+    pub fn trace(&self) -> &[u64] {
+        &self.trace
+    }
+
+    /// The recorded run's behaviour.
+    pub fn execution(&self) -> &Execution {
+        &self.execution
+    }
+
+    /// The checkpoint interval actually used.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Number of recorded checkpoints (including the initial state).
+    pub fn checkpoint_count(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// Produces a machine *about to execute* trace step `step` (so
+    /// `machine.pc() == trace()[step]` for in-trace steps; `step ==
+    /// trace().len()` yields the final state).
+    ///
+    /// Restores the nearest checkpoint at or before `step` and steps
+    /// forward — at most [`ReplayEngine::interval`] instructions.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplayError::OutOfTrace`] for steps beyond the recording;
+    /// [`ReplayError::Diverged`] if forward execution stops early (which
+    /// a deterministic machine never does).
+    pub fn machine_at(&self, step: u64) -> Result<Machine, ReplayError> {
+        if step > self.trace.len() as u64 {
+            return Err(ReplayError::OutOfTrace {
+                requested: step,
+                trace_len: self.trace.len() as u64,
+            });
+        }
+        let index = self.checkpoints.partition_point(|c| c.step <= step) - 1;
+        let checkpoint = &self.checkpoints[index];
+        let mut machine = Machine::from_snapshot(&checkpoint.snapshot);
+        for at in checkpoint.step..step {
+            if machine.step().is_err() {
+                return Err(ReplayError::Diverged { step: at });
+            }
+        }
+        Ok(machine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_asm::assemble_and_link;
+    use rr_emu::RunOutcome;
+
+    fn looping_exe(iterations: u32) -> Executable {
+        assemble_and_link(&format!(
+            "    .global _start\n\
+             _start:\n\
+                 mov r1, {iterations}\n\
+                 mov r2, 0\n\
+             .loop:\n\
+                 add r2, 7\n\
+                 sub r1, 1\n\
+                 cmp r1, 0\n\
+                 jne .loop\n\
+                 mov r1, r2\n\
+                 and r1, 0xff\n\
+                 svc 0\n"
+        ))
+        .expect("loop program builds")
+    }
+
+    #[test]
+    fn recording_matches_plain_traced_execution() {
+        let exe = looping_exe(50);
+        let engine = ReplayEngine::record(&exe, &[], &ReplayConfig::default());
+        let (exec, trace) = rr_emu::execute_traced(&exe, &[], 1_000_000);
+        assert_eq!(engine.execution(), &exec);
+        assert_eq!(engine.trace(), trace.as_slice());
+        assert!(engine.checkpoint_count() > 1, "long trace must checkpoint");
+    }
+
+    #[test]
+    fn auto_interval_is_roughly_sqrt() {
+        assert_eq!(auto_interval(0), 1);
+        assert_eq!(auto_interval(1), 1);
+        assert_eq!(auto_interval(100), 10);
+        assert_eq!(auto_interval(10_000), 100);
+        assert!(auto_interval(1 << 40) >= 1 << 20);
+    }
+
+    #[test]
+    fn adaptive_interval_tracks_sqrt_of_the_trace() {
+        for iterations in [10u32, 200, 2000] {
+            let exe = looping_exe(iterations);
+            let engine = ReplayEngine::record(&exe, &[], &ReplayConfig::default());
+            let steps = engine.execution().steps;
+            let sqrt = auto_interval(steps);
+            assert!(
+                engine.interval() >= sqrt / 2 && engine.interval() <= sqrt * 4,
+                "T={steps}: interval {} not within 2x of sqrt {sqrt}",
+                engine.interval()
+            );
+            assert!(
+                (engine.checkpoint_count() as u64) <= sqrt * 4 + 1,
+                "T={steps}: {} checkpoints for sqrt {sqrt}",
+                engine.checkpoint_count()
+            );
+            // Checkpoints stay sorted with the initial state first, which
+            // machine_at's binary search depends on.
+            assert_eq!(engine.checkpoints[0].step, 0);
+            for pair in engine.checkpoints.windows(2) {
+                assert!(pair[0].step < pair[1].step);
+            }
+        }
+    }
+
+    #[test]
+    fn max_checkpoints_caps_retained_state() {
+        let exe = looping_exe(2000);
+        let capped = ReplayEngine::record(
+            &exe,
+            &[],
+            &ReplayConfig { max_checkpoints: 8, ..ReplayConfig::default() },
+        );
+        assert!(capped.checkpoint_count() <= 8, "{} checkpoints", capped.checkpoint_count());
+        // Replay still works, just with longer forward stepping.
+        let steps = capped.execution().steps;
+        let m = capped.machine_at(steps / 2).unwrap();
+        assert_eq!(m.pc(), capped.trace()[(steps / 2) as usize]);
+        // A pinned interval is widened rather than blowing past the cap.
+        let pinned = ReplayEngine::record(
+            &exe,
+            &[],
+            &ReplayConfig { checkpoint_interval: 1, max_checkpoints: 8, ..ReplayConfig::default() },
+        );
+        assert!(pinned.checkpoint_count() <= 8, "{} checkpoints", pinned.checkpoint_count());
+        assert!(pinned.interval() > 1, "interval must widen under the cap");
+        let m = pinned.machine_at(steps / 3).unwrap();
+        assert_eq!(m.pc(), pinned.trace()[(steps / 3) as usize]);
+    }
+
+    #[test]
+    fn machine_at_agrees_with_replay_from_scratch() {
+        let exe = looping_exe(40);
+        let engine = ReplayEngine::record(
+            &exe,
+            &[],
+            &ReplayConfig { checkpoint_interval: 16, ..ReplayConfig::default() },
+        );
+        let total = engine.trace().len() as u64;
+        for step in [0, 1, 15, 16, 17, 100, total - 1, total] {
+            let via_engine = engine.machine_at(step).unwrap();
+            let mut scratch = Machine::new(&exe, &[]);
+            for _ in 0..step {
+                scratch.step().unwrap();
+            }
+            assert_eq!(via_engine.pc(), scratch.pc(), "pc at step {step}");
+            assert_eq!(via_engine.flags(), scratch.flags(), "flags at step {step}");
+            for r in rr_isa_regs() {
+                assert_eq!(via_engine.reg(r), scratch.reg(r), "reg {r} at step {step}");
+            }
+        }
+    }
+
+    // Minimal local copy of the register list to avoid an rr-isa dev-dep:
+    // the emulator re-exports nothing register-shaped, but Machine::reg
+    // takes rr_isa::Reg which rr-emu already depends on.
+    fn rr_isa_regs() -> impl Iterator<Item = rr_isa::Reg> {
+        rr_isa::Reg::ALL.into_iter()
+    }
+
+    #[test]
+    fn machine_at_resumes_to_identical_behavior() {
+        let exe = looping_exe(64);
+        let engine = ReplayEngine::record(&exe, &[], &ReplayConfig::default());
+        let mut resumed = engine.machine_at(100).unwrap();
+        let result = resumed.run(1_000_000);
+        assert_eq!(result.outcome, engine.execution().outcome);
+        assert_eq!(resumed.output(), engine.execution().output.as_slice());
+        assert_eq!(100 + result.steps, engine.execution().steps);
+    }
+
+    #[test]
+    fn out_of_trace_requests_error() {
+        let exe = looping_exe(3);
+        let engine = ReplayEngine::record(&exe, &[], &ReplayConfig::default());
+        let len = engine.trace().len() as u64;
+        let err = engine.machine_at(len + 1).map(|_| ()).unwrap_err();
+        assert_eq!(err, ReplayError::OutOfTrace { requested: len + 1, trace_len: len });
+        // The final state is reachable and stopped.
+        let at_end = engine.machine_at(len).unwrap();
+        assert_eq!(at_end.stopped(), Some(RunOutcome::Exited { code: engine_exit_code(&engine) }));
+    }
+
+    fn engine_exit_code(engine: &ReplayEngine) -> u64 {
+        match engine.execution().outcome {
+            RunOutcome::Exited { code } => code,
+            other => panic!("expected exit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explicit_interval_controls_checkpoint_density() {
+        let exe = looping_exe(100);
+        let fine = ReplayEngine::record(
+            &exe,
+            &[],
+            &ReplayConfig { checkpoint_interval: 8, ..ReplayConfig::default() },
+        );
+        let coarse = ReplayEngine::record(
+            &exe,
+            &[],
+            &ReplayConfig { checkpoint_interval: 128, ..ReplayConfig::default() },
+        );
+        assert!(fine.checkpoint_count() > coarse.checkpoint_count());
+        assert_eq!(fine.interval(), 8);
+        assert_eq!(coarse.interval(), 128);
+    }
+}

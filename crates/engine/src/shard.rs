@@ -1,0 +1,151 @@
+//! Sharded parallel scheduling: contiguous work ranges across OS threads
+//! with order-preserving collection and streaming aggregation.
+//!
+//! The campaign runner hands each worker a contiguous slice of fault
+//! sites. Contiguity matters for the checkpointed engine: neighbouring
+//! faults restore from the same checkpoints, so a shard's snapshot
+//! restores stay warm in cache instead of ping-ponging across the trace.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// Resolves a requested worker count: `0` means all available cores.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    }
+}
+
+/// Splits `len` items into at most `shards` contiguous, near-equal,
+/// non-empty ranges covering `0..len` in order.
+pub fn shard_ranges(len: usize, shards: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let shards = shards.clamp(1, len);
+    let chunk = len.div_ceil(shards);
+    (0..len).step_by(chunk).map(|start| start..(start + chunk).min(len)).collect()
+}
+
+/// Runs `work` over contiguous shards of `items` on up to `threads`
+/// workers, returning one result per shard in shard order.
+///
+/// `work` receives the shard index and the shard's slice. With one thread
+/// (or a single shard) everything runs on the caller's thread — campaign
+/// results are therefore identical regardless of parallelism.
+pub fn run_sharded<T, R, F>(items: &[T], threads: usize, work: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    let ranges = shard_ranges(items.len(), resolve_threads(threads));
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(|r| work(0, &items[r])).collect();
+    }
+    let mut results: Vec<Option<R>> = std::iter::repeat_with(|| None).take(ranges.len()).collect();
+    std::thread::scope(|scope| {
+        let work = &work;
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .enumerate()
+            .map(|(index, range)| {
+                let slice = &items[range];
+                scope.spawn(move || work(index, slice))
+            })
+            .collect();
+        for (slot, handle) in results.iter_mut().zip(handles) {
+            *slot = Some(handle.join().expect("shard worker panicked"));
+        }
+    });
+    results.into_iter().map(|r| r.expect("every shard reported")).collect()
+}
+
+/// Streaming map-reduce over shards: each worker folds its shard into an
+/// accumulator seeded from `init`, and the per-shard accumulators are
+/// merged in shard order with `merge`. Nothing per-item is ever
+/// materialized, so campaigns can aggregate summaries over millions of
+/// faults in O(shards) memory.
+///
+/// `init` must be the identity of `merge` (e.g. a zeroed counter): every
+/// shard starts from a clone of it, so a non-identity seed would be
+/// counted once per shard.
+pub fn sharded_fold<T, A, F, M>(items: &[T], threads: usize, init: A, fold: F, merge: M) -> A
+where
+    T: Sync,
+    A: Clone + Send + Sync,
+    F: Fn(A, &T) -> A + Sync,
+    M: Fn(A, A) -> A,
+{
+    let accumulators =
+        run_sharded(items, threads, |_, shard| shard.iter().fold(init.clone(), &fold));
+    accumulators.into_iter().reduce(merge).unwrap_or(init)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn ranges_cover_everything_in_order() {
+        for len in [0usize, 1, 2, 7, 8, 9, 100, 101] {
+            for shards in [1usize, 2, 3, 8, 200] {
+                let ranges = shard_ranges(len, shards);
+                let mut covered = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, covered, "contiguous in order");
+                    assert!(r.end > r.start, "non-empty");
+                    covered = r.end;
+                }
+                assert_eq!(covered, len, "full coverage for len={len} shards={shards}");
+                assert!(ranges.len() <= shards.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_results_preserve_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let shards = run_sharded(&items, 4, |index, shard| (index, shard.to_vec()));
+        let flattened: Vec<usize> = shards.iter().flat_map(|(_, s)| s.iter().copied()).collect();
+        assert_eq!(flattened, items);
+        for (expected, (index, _)) in shards.iter().enumerate() {
+            assert_eq!(expected, *index);
+        }
+    }
+
+    #[test]
+    fn all_threads_participate_for_large_inputs() {
+        let items: Vec<u32> = (0..1000).collect();
+        let distinct = AtomicUsize::new(0);
+        let results = run_sharded(&items, 4, |_, shard| {
+            distinct.fetch_add(1, Ordering::Relaxed);
+            shard.iter().map(|&x| u64::from(x)).sum::<u64>()
+        });
+        assert_eq!(distinct.load(Ordering::Relaxed), results.len());
+        assert_eq!(results.iter().sum::<u64>(), (0..1000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let items = [1, 2, 3];
+        let results = run_sharded(&items, 1, |_, shard| shard.len());
+        assert_eq!(results, vec![3]);
+    }
+
+    #[test]
+    fn fold_streams_without_materializing() {
+        let items: Vec<u64> = (1..=10_000).collect();
+        let total = sharded_fold(&items, 0, 0u64, |acc, &x| acc + x, |a, b| a + b);
+        assert_eq!(total, 10_000 * 10_001 / 2);
+    }
+
+    #[test]
+    fn resolve_threads_defaults_to_cores() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

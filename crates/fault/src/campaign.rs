@@ -1,12 +1,59 @@
 //! The campaign runner: golden runs, fault enumeration, classification.
+//!
+//! Two execution engines evaluate faults:
+//!
+//! * **Naive** — replay the bad-input run from step 0 to every injection
+//!   point: O(T²) emulated instructions over a `T`-step trace.
+//! * **Checkpointed** — restore the nearest [`rr_engine::ReplayEngine`]
+//!   checkpoint (recorded every ≈ √T steps along the golden trace) and
+//!   step forward: ~O(T·√T) total, typically an order of magnitude
+//!   faster on long traces.
+//!
+//! The emulator is deterministic, so the two engines classify every
+//! fault identically — `crates/fault/tests/engine_equiv.rs` enforces
+//! bit-identical reports across all fault models and workloads.
 
 use crate::model::FaultModel;
 use crate::site::{Fault, FaultClass, FaultEffect, FaultSite};
-use rr_emu::{execute, execute_traced, Execution, Machine, RunOutcome};
+use rr_emu::{execute, Execution, Machine, RunOutcome};
+use rr_engine::{ReplayConfig, ReplayEngine};
 use rr_isa::{decode, Flags, MAX_INSTR_LEN};
 use rr_obj::Executable;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::str::FromStr;
+
+/// Which execution engine a campaign evaluates faults with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CampaignEngine {
+    /// Replay from step 0 for every fault (the reference implementation).
+    Naive,
+    /// Restore the nearest recorded checkpoint, then step forward
+    /// (bit-identical results, ~√T of the naive replay cost per fault).
+    #[default]
+    Checkpointed,
+}
+
+impl fmt::Display for CampaignEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CampaignEngine::Naive => "naive",
+            CampaignEngine::Checkpointed => "checkpoint",
+        })
+    }
+}
+
+impl FromStr for CampaignEngine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "naive" => Ok(CampaignEngine::Naive),
+            "checkpoint" | "checkpointed" => Ok(CampaignEngine::Checkpointed),
+            other => Err(format!("unknown engine `{other}` (naive|checkpoint)")),
+        }
+    }
+}
 
 /// Tunables for a fault-injection campaign.
 #[derive(Debug, Clone)]
@@ -17,13 +64,16 @@ pub struct CampaignConfig {
     pub faulted_step_multiplier: u64,
     /// …but never less than this floor (faults can lengthen runs a lot).
     pub faulted_min_steps: u64,
-    /// Worker threads for [`Campaign::run_parallel`]; `0` means "all
-    /// available cores".
+    /// Worker threads for the parallel runners; `0` means "all available
+    /// cores".
     pub threads: usize,
     /// Evaluate only every `site_stride`-th trace site (≥ 1). Statistical
     /// fault injection (Leveugle et al., cited by the paper) for long
     /// traces; `1` = exhaustive.
     pub site_stride: usize,
+    /// Checkpoint spacing for the checkpointed engine, in trace steps;
+    /// `0` = automatic (≈ √T, the total-work optimum).
+    pub checkpoint_interval: u64,
 }
 
 impl Default for CampaignConfig {
@@ -34,6 +84,7 @@ impl Default for CampaignConfig {
             faulted_min_steps: 10_000,
             threads: 0,
             site_stride: 1,
+            checkpoint_interval: 0,
         }
     }
 }
@@ -88,6 +139,38 @@ pub struct Summary {
     pub timed_out: usize,
     /// Normal exits matching neither golden behaviour.
     pub corrupted: usize,
+    /// Replays that failed to reach the injection point (determinism
+    /// violations; always 0 for well-formed campaigns).
+    pub diverged: usize,
+}
+
+impl Summary {
+    /// Streams one classification into the counts.
+    pub fn record(&mut self, class: FaultClass) {
+        self.total += 1;
+        match class {
+            FaultClass::Success => self.success += 1,
+            FaultClass::Benign => self.benign += 1,
+            FaultClass::Crashed => self.crashed += 1,
+            FaultClass::TimedOut => self.timed_out += 1,
+            FaultClass::Corrupted => self.corrupted += 1,
+            FaultClass::ReplayDiverged => self.diverged += 1,
+        }
+    }
+
+    /// Combines two partial summaries (shard aggregation).
+    #[must_use]
+    pub fn merge(self, other: Summary) -> Summary {
+        Summary {
+            total: self.total + other.total,
+            success: self.success + other.success,
+            benign: self.benign + other.benign,
+            crashed: self.crashed + other.crashed,
+            timed_out: self.timed_out + other.timed_out,
+            corrupted: self.corrupted + other.corrupted,
+            diverged: self.diverged + other.diverged,
+        }
+    }
 }
 
 impl fmt::Display for Summary {
@@ -96,7 +179,11 @@ impl fmt::Display for Summary {
             f,
             "{} faults: {} success, {} benign, {} crashed, {} timed-out, {} corrupted",
             self.total, self.success, self.benign, self.crashed, self.timed_out, self.corrupted
-        )
+        )?;
+        if self.diverged > 0 {
+            write!(f, ", {} replay-diverged", self.diverged)?;
+        }
+        Ok(())
     }
 }
 
@@ -124,24 +211,14 @@ impl CampaignReport {
     /// Distinct instruction addresses with at least one successful fault —
     /// the set of *program points* the patcher must protect.
     pub fn vulnerable_pcs(&self) -> BTreeSet<u64> {
-        self.results
-            .iter()
-            .filter(|r| r.class == FaultClass::Success)
-            .map(|r| r.fault.pc)
-            .collect()
+        self.results.iter().filter(|r| r.class == FaultClass::Success).map(|r| r.fault.pc).collect()
     }
 
     /// Aggregated per-class counts.
     pub fn summary(&self) -> Summary {
-        let mut s = Summary { total: self.results.len(), ..Summary::default() };
+        let mut s = Summary::default();
         for r in &self.results {
-            match r.class {
-                FaultClass::Success => s.success += 1,
-                FaultClass::Benign => s.benign += 1,
-                FaultClass::Crashed => s.crashed += 1,
-                FaultClass::TimedOut => s.timed_out += 1,
-                FaultClass::Corrupted => s.corrupted += 1,
-            }
+            s.record(r.class);
         }
         s
     }
@@ -160,6 +237,10 @@ pub struct Campaign<'a> {
     golden_bad: Execution,
     sites: Vec<FaultSite>,
     config: CampaignConfig,
+    /// Checkpoints recorded along the golden bad-input run (captured
+    /// during construction), shared by every checkpointed evaluation of
+    /// this campaign.
+    replay: ReplayEngine,
 }
 
 impl<'a> Campaign<'a> {
@@ -192,14 +273,27 @@ impl<'a> Campaign<'a> {
         if !golden_good.outcome.is_exit() {
             return Err(CampaignError::GoldenGoodFailed(golden_good.outcome));
         }
-        let (golden_bad, trace) = execute_traced(exe, bad_input, config.golden_max_steps);
+        // One pass over the bad-input run yields the golden behaviour,
+        // the trace, *and* the replay checkpoints (adaptive √T interval
+        // unless the config pins one) — no separate recording run.
+        let replay = ReplayEngine::record(
+            exe,
+            bad_input,
+            &ReplayConfig {
+                max_steps: config.golden_max_steps,
+                checkpoint_interval: config.checkpoint_interval,
+                ..ReplayConfig::default()
+            },
+        );
+        let golden_bad = replay.execution().clone();
         if !golden_bad.outcome.is_exit() {
             return Err(CampaignError::GoldenBadFailed(golden_bad.outcome));
         }
         if golden_good.same_behavior(&golden_bad) {
             return Err(CampaignError::IndistinguishableBehaviors);
         }
-        let sites = trace
+        let sites = replay
+            .trace()
             .iter()
             .enumerate()
             .filter_map(|(step, &pc)| {
@@ -208,7 +302,7 @@ impl<'a> Campaign<'a> {
                 Some(FaultSite { step: step as u64, pc, insn, len })
             })
             .collect();
-        Ok(Campaign { exe, bad_input, golden_good, golden_bad, sites, config })
+        Ok(Campaign { exe, bad_input, golden_good, golden_bad, sites, config, replay })
     }
 
     /// The golden good-input behaviour.
@@ -226,52 +320,104 @@ impl<'a> Campaign<'a> {
         &self.sites
     }
 
-    /// Evaluates `model` over every site, serially.
+    /// The checkpointed-replay engine recorded alongside the golden
+    /// bad-input run at construction.
+    pub fn replay_engine(&self) -> &ReplayEngine {
+        &self.replay
+    }
+
+    /// Samples the campaign down to at most `max_sites` trace sites by
+    /// setting the site stride from the recorded trace length
+    /// (statistical fault injection for long traces; Leveugle et al.).
+    /// Returns the stride chosen.
+    pub fn sample_sites(&mut self, max_sites: usize) -> usize {
+        let stride = (self.golden_bad.steps as usize).div_ceil(max_sites.max(1)).max(1);
+        self.config.site_stride = stride;
+        stride
+    }
+
+    /// Evaluates `model` over every site, serially, with the naive
+    /// engine (the reference implementation everything else must match).
     pub fn run(&self, model: &dyn FaultModel) -> CampaignReport {
         let faults = self.enumerate(model);
-        let results =
-            faults.iter().map(|&fault| FaultResult { fault, class: self.evaluate(&fault) }).collect();
+        let results = faults
+            .iter()
+            .map(|&fault| FaultResult { fault, class: self.evaluate(&fault) })
+            .collect();
         CampaignReport { model: model.name(), results }
     }
 
-    /// Evaluates `model` over every site using `config.threads` workers
-    /// (all cores when 0). Result order matches [`Campaign::run`].
+    /// Evaluates `model` with the naive engine sharded over
+    /// `config.threads` workers (all cores when 0). Result order matches
+    /// [`Campaign::run`].
     pub fn run_parallel(&self, model: &dyn FaultModel) -> CampaignReport {
         let faults = self.enumerate(model);
-        let threads = if self.config.threads == 0 {
-            std::thread::available_parallelism().map(usize::from).unwrap_or(1)
-        } else {
-            self.config.threads
-        };
-        if threads <= 1 || faults.len() < 2 * threads {
-            return CampaignReport {
-                model: model.name(),
-                results: faults
-                    .iter()
-                    .map(|&fault| FaultResult { fault, class: self.evaluate(&fault) })
-                    .collect(),
-            };
-        }
-        let chunk_size = faults.len().div_ceil(threads);
-        let mut results: Vec<Vec<FaultResult>> = Vec::new();
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = faults
-                .chunks(chunk_size)
-                .map(|chunk| {
-                    scope.spawn(move |_| {
-                        chunk
-                            .iter()
-                            .map(|&fault| FaultResult { fault, class: self.evaluate(&fault) })
-                            .collect::<Vec<_>>()
-                    })
+        let shards = rr_engine::shard::run_sharded(&faults, self.config.threads, |_, chunk| {
+            chunk
+                .iter()
+                .map(|&fault| FaultResult { fault, class: self.evaluate(&fault) })
+                .collect::<Vec<_>>()
+        });
+        CampaignReport { model: model.name(), results: shards.concat() }
+    }
+
+    /// Evaluates `model` with the checkpointed engine, sharded over
+    /// `config.threads` workers: each fault restores the nearest recorded
+    /// checkpoint and steps forward instead of replaying from step 0.
+    ///
+    /// Classifications are bit-identical to [`Campaign::run`]; on a
+    /// `T`-step trace the replay work drops from O(T²) to ~O(T·√T).
+    pub fn run_checkpointed(&self, model: &dyn FaultModel) -> CampaignReport {
+        let engine = self.replay_engine();
+        let faults = self.enumerate(model);
+        let shards = rr_engine::shard::run_sharded(&faults, self.config.threads, |_, chunk| {
+            chunk
+                .iter()
+                .map(|&fault| FaultResult {
+                    fault,
+                    class: self.evaluate_checkpointed(engine, &fault),
                 })
-                .collect();
-            for handle in handles {
-                results.push(handle.join().expect("campaign worker panicked"));
-            }
-        })
-        .expect("campaign thread scope failed");
-        CampaignReport { model: model.name(), results: results.concat() }
+                .collect::<Vec<_>>()
+        });
+        CampaignReport { model: model.name(), results: shards.concat() }
+    }
+
+    /// Evaluates `model` with an explicit engine choice.
+    pub fn run_with(&self, model: &dyn FaultModel, engine: CampaignEngine) -> CampaignReport {
+        match engine {
+            CampaignEngine::Naive => self.run_parallel(model),
+            CampaignEngine::Checkpointed => self.run_checkpointed(model),
+        }
+    }
+
+    /// Evaluates `model` and streams classifications straight into a
+    /// [`Summary`]. Faults are enumerated per site inside each shard and
+    /// never materialized, so memory stays O(sites + shards) no matter
+    /// how many faults the model produces per site — for campaigns too
+    /// large to keep every [`FaultResult`].
+    pub fn run_streaming(&self, model: &dyn FaultModel, engine: CampaignEngine) -> Summary {
+        let replay = match engine {
+            CampaignEngine::Naive => None,
+            CampaignEngine::Checkpointed => Some(self.replay_engine()),
+        };
+        let stride = self.config.site_stride.max(1);
+        let sampled: Vec<&FaultSite> = self.sites.iter().step_by(stride).collect();
+        rr_engine::shard::sharded_fold(
+            &sampled,
+            self.config.threads,
+            Summary::default(),
+            |mut acc, site| {
+                for fault in model.faults_at(site) {
+                    let class = match replay {
+                        Some(engine) => self.evaluate_checkpointed(engine, &fault),
+                        None => self.evaluate(&fault),
+                    };
+                    acc.record(class);
+                }
+                acc
+            },
+            Summary::merge,
+        )
     }
 
     fn enumerate(&self, model: &dyn FaultModel) -> Vec<Fault> {
@@ -279,17 +425,38 @@ impl<'a> Campaign<'a> {
         self.sites.iter().step_by(stride).flat_map(|site| model.faults_at(site)).collect()
     }
 
-    /// Replays the bad-input run to the fault's step, injects it, resumes,
-    /// and classifies the resulting behaviour.
+    /// Replays the bad-input run from step 0 to the fault's step, injects
+    /// it, resumes, and classifies the resulting behaviour.
     fn evaluate(&self, fault: &Fault) -> FaultClass {
         let mut machine = Machine::new(self.exe, self.bad_input);
         for _ in 0..fault.step {
             if machine.step().is_err() {
-                // Cannot happen on a golden trace; treat defensively.
-                return FaultClass::Crashed;
+                // Unreachable on a golden trace; degrade gracefully.
+                return FaultClass::ReplayDiverged;
             }
         }
-        debug_assert_eq!(machine.pc(), fault.pc, "trace replay diverged");
+        self.inject_and_classify(machine, fault)
+    }
+
+    /// Restores the nearest checkpoint at or before the fault's step,
+    /// steps forward, injects, resumes, and classifies.
+    fn evaluate_checkpointed(&self, engine: &ReplayEngine, fault: &Fault) -> FaultClass {
+        match engine.machine_at(fault.step) {
+            Ok(machine) => self.inject_and_classify(machine, fault),
+            Err(_) => FaultClass::ReplayDiverged,
+        }
+    }
+
+    /// Applies the fault's effect to a machine positioned at its step and
+    /// classifies the faulted continuation.
+    fn inject_and_classify(&self, mut machine: Machine, fault: &Fault) -> FaultClass {
+        if machine.pc() != fault.pc {
+            // The replay did not arrive where the trace says it should
+            // have — report instead of asserting (determinism is the
+            // emulator's contract; a violation costs one result, not the
+            // whole campaign).
+            return FaultClass::ReplayDiverged;
+        }
         match fault.effect {
             FaultEffect::SkipInstruction => {
                 if machine.skip_instruction().is_err() {
@@ -428,10 +595,7 @@ mod tests {
         assert!(summary.success > 0, "{summary}");
         assert!(summary.crashed > 0, "sparse opcodes must yield crashes: {summary}");
         assert!(summary.benign > 0, "{summary}");
-        assert_eq!(
-            summary.total,
-            campaign.sites().iter().map(|s| s.len * 8).sum::<usize>()
-        );
+        assert_eq!(summary.total, campaign.sites().iter().map(|s| s.len * 8).sum::<usize>());
     }
 
     #[test]
@@ -442,6 +606,45 @@ mod tests {
         let serial = campaign.run(&InstructionSkip);
         let parallel = campaign.run_parallel(&InstructionSkip);
         assert_eq!(serial.results, parallel.results);
+    }
+
+    #[test]
+    fn checkpointed_engine_matches_naive_and_reuses_checkpoints() {
+        let (exe, good, bad) = pincheck_campaign_parts();
+        let campaign = Campaign::new(&exe, &good, &bad).unwrap();
+        let naive = campaign.run(&InstructionSkip);
+        let checkpointed = campaign.run_checkpointed(&InstructionSkip);
+        assert_eq!(naive.results, checkpointed.results);
+        // The replay engine recorded the golden bad trace with a √T-ish
+        // interval and is cached on the campaign.
+        let engine = campaign.replay_engine();
+        assert_eq!(engine.trace().len() as u64, campaign.golden_bad().steps);
+        assert!(engine.checkpoint_count() >= 1);
+        assert_eq!(
+            campaign.run_with(&InstructionSkip, CampaignEngine::Checkpointed).results,
+            naive.results
+        );
+    }
+
+    #[test]
+    fn streaming_summary_matches_materialized_report() {
+        let (exe, good, bad) = pincheck_campaign_parts();
+        let campaign = Campaign::new(&exe, &good, &bad).unwrap();
+        let report = campaign.run(&FlagFlip);
+        for engine in [CampaignEngine::Naive, CampaignEngine::Checkpointed] {
+            assert_eq!(campaign.run_streaming(&FlagFlip, engine), report.summary(), "{engine}");
+        }
+    }
+
+    #[test]
+    fn engine_names_parse_and_render() {
+        assert_eq!("naive".parse::<CampaignEngine>().unwrap(), CampaignEngine::Naive);
+        assert_eq!("checkpoint".parse::<CampaignEngine>().unwrap(), CampaignEngine::Checkpointed);
+        assert_eq!("checkpointed".parse::<CampaignEngine>().unwrap(), CampaignEngine::Checkpointed);
+        assert!("laser".parse::<CampaignEngine>().is_err());
+        assert_eq!(CampaignEngine::default(), CampaignEngine::Checkpointed);
+        assert_eq!(CampaignEngine::Naive.to_string(), "naive");
+        assert_eq!(CampaignEngine::Checkpointed.to_string(), "checkpoint");
     }
 
     #[test]
@@ -472,7 +675,37 @@ mod tests {
         let campaign = Campaign::new(&exe, &good, &bad).unwrap();
         let report = campaign.run(&InstructionSkip);
         let s = report.summary();
-        assert_eq!(s.total, s.success + s.benign + s.crashed + s.timed_out + s.corrupted);
+        assert_eq!(
+            s.total,
+            s.success + s.benign + s.crashed + s.timed_out + s.corrupted + s.diverged
+        );
         assert_eq!(s.total, report.results.len());
+        assert_eq!(s.diverged, 0, "golden replays never diverge");
+    }
+
+    #[test]
+    fn divergent_replay_reports_instead_of_panicking() {
+        let (exe, good, bad) = pincheck_campaign_parts();
+        let campaign = Campaign::new(&exe, &good, &bad).unwrap();
+        // A fault whose recorded pc disagrees with the trace models a
+        // determinism violation; it must degrade to ReplayDiverged (the
+        // seed implementation debug-asserted here and took the whole
+        // process down in debug builds).
+        let bogus =
+            Fault { step: 0, pc: 0xDEAD_0000, effect: crate::site::FaultEffect::SkipInstruction };
+        assert_eq!(campaign.evaluate(&bogus), FaultClass::ReplayDiverged);
+        let engine = campaign.replay_engine();
+        assert_eq!(campaign.evaluate_checkpointed(engine, &bogus), FaultClass::ReplayDiverged);
+        // Beyond-trace steps likewise degrade gracefully.
+        let beyond = Fault {
+            step: campaign.golden_bad().steps + 10,
+            pc: 0x1000,
+            effect: crate::site::FaultEffect::SkipInstruction,
+        };
+        assert_eq!(campaign.evaluate_checkpointed(engine, &beyond), FaultClass::ReplayDiverged);
+        let mut summary = Summary::default();
+        summary.record(FaultClass::ReplayDiverged);
+        assert_eq!(summary.diverged, 1);
+        assert!(summary.to_string().contains("replay-diverged"));
     }
 }

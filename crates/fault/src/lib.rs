@@ -16,6 +16,13 @@
 //!    enumerates there, replay the run up to that step, apply the fault,
 //!    resume, and classify the behaviour.
 //!
+//! Step 3 is the hot loop, and two [`CampaignEngine`]s implement it: the
+//! **naive** engine replays from step 0 per fault (O(T²) over a `T`-step
+//! trace), while the default **checkpointed** engine restores `rr-engine`
+//! snapshots recorded every ≈ √T steps and steps forward (~O(T·√T)).
+//! Both classify every fault identically — determinism is the emulator's
+//! contract, and the equivalence test suite enforces it.
+//!
 //! Classification ([`FaultClass`]): `Success` (matches the good run —
 //! a vulnerability), `Benign` (still matches the bad run), `Crashed`,
 //! `TimedOut`, or `Corrupted` (some third behaviour).
@@ -48,6 +55,8 @@ mod campaign;
 mod model;
 mod site;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignError, CampaignReport, FaultResult, Summary};
+pub use campaign::{
+    Campaign, CampaignConfig, CampaignEngine, CampaignError, CampaignReport, FaultResult, Summary,
+};
 pub use model::{FaultModel, FlagFlip, InstructionSkip, RegisterBitFlip, SingleBitFlip};
 pub use site::{Fault, FaultClass, FaultEffect, FaultSite};

@@ -90,16 +90,23 @@ pub enum FaultClass {
     TimedOut,
     /// Exited normally but matched neither golden behaviour.
     Corrupted,
+    /// The golden-trace replay to the injection point did not arrive at
+    /// the expected program counter (or stopped early). The emulator's
+    /// determinism contract makes this unreachable for well-formed
+    /// campaigns; it is reported as a class instead of panicking so a
+    /// violated contract degrades one fault's result, not the process.
+    ReplayDiverged,
 }
 
 impl FaultClass {
     /// All classes, in reporting order.
-    pub const ALL: [FaultClass; 5] = [
+    pub const ALL: [FaultClass; 6] = [
         FaultClass::Success,
         FaultClass::Benign,
         FaultClass::Crashed,
         FaultClass::TimedOut,
         FaultClass::Corrupted,
+        FaultClass::ReplayDiverged,
     ];
 }
 
@@ -111,6 +118,7 @@ impl fmt::Display for FaultClass {
             FaultClass::Crashed => "crashed",
             FaultClass::TimedOut => "timed-out",
             FaultClass::Corrupted => "corrupted",
+            FaultClass::ReplayDiverged => "replay-diverged",
         })
     }
 }

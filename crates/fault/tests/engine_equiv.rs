@@ -1,0 +1,141 @@
+//! Engine equivalence: the checkpointed campaign engine must classify
+//! every fault exactly like the naive reference engine, for every fault
+//! model, on every case-study workload.
+//!
+//! This is the determinism contract the whole optimisation rests on:
+//! restoring a snapshot and stepping forward is indistinguishable from
+//! replaying from step 0. Any divergence here is a bug in
+//! snapshot/restore (missed state) or in the replay engine (wrong
+//! checkpoint selection), and would silently corrupt campaign results —
+//! so the comparison is on full reports (fault-by-fault classes), not
+//! just summaries.
+
+use rr_fault::{
+    Campaign, CampaignConfig, CampaignEngine, FaultClass, FaultModel, FlagFlip, InstructionSkip,
+    RegisterBitFlip, SingleBitFlip,
+};
+use rr_workloads::Workload;
+
+fn workloads() -> Vec<Workload> {
+    vec![rr_workloads::pincheck(), rr_workloads::otp_check(), rr_workloads::bootloader()]
+}
+
+fn models() -> Vec<(&'static str, Box<dyn FaultModel>)> {
+    vec![
+        ("skip", Box::new(InstructionSkip)),
+        ("bitflip", Box::new(SingleBitFlip)),
+        ("flagflip", Box::new(FlagFlip)),
+        // Two registers × four bits keeps the extension model tractable
+        // while still exercising the register-restore path.
+        (
+            "regflip",
+            Box::new(RegisterBitFlip {
+                regs: vec![rr_isa_reg(0), rr_isa_reg(1)],
+                bits: vec![0, 1, 31, 63],
+            }),
+        ),
+    ]
+}
+
+fn rr_isa_reg(index: u8) -> rr_isa::Reg {
+    rr_isa::Reg::from_index(index)
+}
+
+/// Strides per workload keep the heavier models (bit flips enumerate
+/// 8 × len faults per site) inside a sensible test budget without losing
+/// coverage of every fault-effect kind.
+fn config_for(workload: &str, model: &str) -> CampaignConfig {
+    let site_stride = match (workload, model) {
+        ("pincheck", _) => 1, // short trace: fully exhaustive
+        (_, "bitflip") => 7,
+        _ => 3,
+    };
+    CampaignConfig { site_stride, ..CampaignConfig::default() }
+}
+
+#[test]
+fn checkpointed_matches_naive_for_every_model_and_workload() {
+    for w in workloads() {
+        let exe = w.build().unwrap_or_else(|e| panic!("{}: build failed: {e}", w.name));
+        for (model_name, model) in models() {
+            let config = config_for(w.name, model_name);
+            let campaign = Campaign::with_config(&exe, &w.good_input, &w.bad_input, config)
+                .unwrap_or_else(|e| panic!("{}: campaign setup failed: {e}", w.name));
+            let naive = campaign.run(model.as_ref());
+            let checkpointed = campaign.run_checkpointed(model.as_ref());
+            assert_eq!(
+                naive.results.len(),
+                checkpointed.results.len(),
+                "{}/{model_name}: fault counts differ",
+                w.name
+            );
+            for (n, c) in naive.results.iter().zip(&checkpointed.results) {
+                assert_eq!(
+                    n, c,
+                    "{}/{model_name}: classification diverged at step {} pc {:#x}",
+                    w.name, n.fault.step, n.fault.pc
+                );
+            }
+            // Per-class counts agree as a consequence; assert anyway so a
+            // failure names the class.
+            for class in FaultClass::ALL {
+                assert_eq!(
+                    naive.count(class),
+                    checkpointed.count(class),
+                    "{}/{model_name}: {class} count differs",
+                    w.name
+                );
+            }
+            assert_eq!(naive.summary().diverged, 0, "{}/{model_name}", w.name);
+        }
+    }
+}
+
+#[test]
+fn parallel_sharding_preserves_order_and_results() {
+    for w in workloads() {
+        let exe = w.build().unwrap();
+        for threads in [1, 2, 5] {
+            let config = CampaignConfig { threads, site_stride: 2, ..CampaignConfig::default() };
+            let campaign =
+                Campaign::with_config(&exe, &w.good_input, &w.bad_input, config).unwrap();
+            let serial = campaign.run(&InstructionSkip);
+            let sharded = campaign.run_checkpointed(&InstructionSkip);
+            assert_eq!(serial.results, sharded.results, "{} threads={threads}", w.name);
+        }
+    }
+}
+
+#[test]
+fn streaming_summaries_match_reports_on_all_workloads() {
+    for w in workloads() {
+        let exe = w.build().unwrap();
+        let config = CampaignConfig { site_stride: 4, ..CampaignConfig::default() };
+        let campaign = Campaign::with_config(&exe, &w.good_input, &w.bad_input, config).unwrap();
+        let expected = campaign.run(&InstructionSkip).summary();
+        for engine in [CampaignEngine::Naive, CampaignEngine::Checkpointed] {
+            assert_eq!(
+                campaign.run_streaming(&InstructionSkip, engine),
+                expected,
+                "{} via {engine}",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn explicit_checkpoint_intervals_do_not_change_results() {
+    let w = rr_workloads::otp_check();
+    let exe = w.build().unwrap();
+    let baseline = {
+        let campaign = Campaign::new(&exe, &w.good_input, &w.bad_input).unwrap();
+        campaign.run(&InstructionSkip)
+    };
+    for interval in [1, 2, 16, 1024, u64::MAX / 2] {
+        let config = CampaignConfig { checkpoint_interval: interval, ..CampaignConfig::default() };
+        let campaign = Campaign::with_config(&exe, &w.good_input, &w.bad_input, config).unwrap();
+        let report = campaign.run_checkpointed(&InstructionSkip);
+        assert_eq!(report.results, baseline.results, "interval={interval}");
+    }
+}

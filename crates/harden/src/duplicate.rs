@@ -78,7 +78,10 @@ fn duplicate_function(f: &mut Function) -> bool {
         let tail = f.new_block();
         let term = std::mem::replace(&mut f.block_mut(b).term, Terminator::Unset);
         f.set_terminator(tail, term.clone());
-        f.set_terminator(b, Terminator::CondBr { cond: ok, if_true: tail, if_false: fault_response });
+        f.set_terminator(
+            b,
+            Terminator::CondBr { cond: ok, if_true: tail, if_false: fault_response },
+        );
 
         // Phis in original successors now receive the edge from `tail`.
         for succ in term.successors() {

@@ -99,8 +99,7 @@ fn branch_hardening_blocks_decision_skips() {
         faulted_min_steps: BUDGET,
         ..Default::default()
     };
-    let campaign =
-        Campaign::with_config(&hardened, &w.good_input, &w.bad_input, config).unwrap();
+    let campaign = Campaign::with_config(&hardened, &w.good_input, &w.bad_input, config).unwrap();
     let report = campaign.run_parallel(&InstructionSkip);
     let summary = report.summary();
     assert!(summary.crashed > 0, "validation must catch some faults: {summary}");
@@ -123,10 +122,7 @@ fn branch_hardening_blocks_decision_skips() {
     }
     // And the hardening must not be vacuous: only a handful of data-move
     // residuals may remain.
-    assert!(
-        summary.success <= 5,
-        "too many residual vulnerabilities: {summary}"
-    );
+    assert!(summary.success <= 5, "too many residual vulnerabilities: {summary}");
 }
 
 /// The paper's stated future work — "enable an iterative countermeasure
@@ -150,9 +146,8 @@ fn iterative_patching_of_hybrid_output_reaches_zero() {
         ..Default::default()
     };
     let driver = rr_patch::FaulterPatcher::new(config);
-    let outcome = driver
-        .harden(&hardened, &w.good_input, &w.bad_input, &InstructionSkip)
-        .expect("loop runs");
+    let outcome =
+        driver.harden(&hardened, &w.good_input, &w.bad_input, &InstructionSkip).expect("loop runs");
     assert!(outcome.fixed_point, "hybrid + iterative patching must reach a fixed point");
     assert_eq!(outcome.residual_vulnerabilities, 0);
 }

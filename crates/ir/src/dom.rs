@@ -138,7 +138,10 @@ mod tests {
         f.set_terminator(then_bb, Terminator::Br(join));
         f.set_terminator(else_bb, Terminator::Br(join));
         let cond2 = f.append(join, Op::Const(0));
-        f.set_terminator(join, Terminator::CondBr { cond: cond2, if_true: then_bb, if_false: exit });
+        f.set_terminator(
+            join,
+            Terminator::CondBr { cond: cond2, if_true: then_bb, if_false: exit },
+        );
         f.set_terminator(exit, Terminator::Ret);
         (f, [entry, then_bb, else_bb, join, exit])
     }

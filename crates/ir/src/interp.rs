@@ -136,7 +136,11 @@ impl<'a> Interp<'a> {
                 None => InterpOutcome::Aborted,
             },
         };
-        Ok(InterpResult { outcome: finalize(outcome, self.exited), output: self.output, steps: self.steps })
+        Ok(InterpResult {
+            outcome: finalize(outcome, self.exited),
+            output: self.output,
+            steps: self.steps,
+        })
     }
 
     /// Executes one function; `Ok(Some(()))` means it returned normally,
@@ -274,10 +278,8 @@ impl<'a> Interp<'a> {
                 0
             }
             Op::Call { callee } => {
-                let callee_fn = self
-                    .module
-                    .function(&callee)
-                    .ok_or(InterpError::UnknownCallee(callee))?;
+                let callee_fn =
+                    self.module.function(&callee).ok_or(InterpError::UnknownCallee(callee))?;
                 self.run_function(callee_fn)?;
                 0
             }

@@ -15,7 +15,7 @@
 //!   ([`ValueId`]); dataflow between operations is pure SSA, which is what
 //!   the hardening pass manipulates.
 //! * **Cells** ([`Cell`]) — the architectural machine state (16 registers
-//!   + 4 condition flags), modelled as module-level mutable slots accessed
+//!   plus 4 condition flags), modelled as module-level mutable slots accessed
 //!   with [`Op::ReadCell`]/[`Op::WriteCell`]. Lifted code moves machine
 //!   state through cells; optimization passes such as
 //!   [`passes::PromoteCells`] forward values through them and delete dead

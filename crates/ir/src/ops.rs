@@ -321,14 +321,8 @@ mod tests {
     fn operand_lists() {
         let v = |i| ValueId(i);
         assert!(Op::Const(1).operands().is_empty());
-        assert_eq!(
-            Op::BinOp { op: BinOp::Add, lhs: v(1), rhs: v(2) }.operands(),
-            vec![v(1), v(2)]
-        );
-        assert_eq!(
-            Op::Select { cond: v(0), if_true: v(1), if_false: v(2) }.operands().len(),
-            3
-        );
+        assert_eq!(Op::BinOp { op: BinOp::Add, lhs: v(1), rhs: v(2) }.operands(), vec![v(1), v(2)]);
+        assert_eq!(Op::Select { cond: v(0), if_true: v(1), if_false: v(2) }.operands().len(), 3);
     }
 
     #[test]

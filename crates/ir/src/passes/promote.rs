@@ -89,12 +89,11 @@ fn promote_function(f: &mut Function) -> bool {
                     }
                     will_be_overwritten.insert(*cell, true);
                 }
-                Op::ReadCell(cell) => {
+                Op::ReadCell(cell)
                     // Only *surviving* reads block dead-store elimination.
-                    if !replacements.contains_key(&v) {
+                    if !replacements.contains_key(&v) => {
                         will_be_overwritten.insert(*cell, false);
                     }
-                }
                 op if is_barrier(op) => will_be_overwritten.clear(),
                 _ => {}
             }
@@ -160,11 +159,7 @@ mod tests {
         // The Not must now use the constant directly.
         assert_eq!(f.op(n).operands(), vec![c]);
         // The read is gone.
-        assert!(f
-            .block(f.entry())
-            .ops
-            .iter()
-            .all(|&v| !matches!(f.op(v), Op::ReadCell(_))));
+        assert!(f.block(f.entry()).ops.iter().all(|&v| !matches!(f.op(v), Op::ReadCell(_))));
         verify_function(f, None).unwrap();
     }
 
@@ -214,12 +209,8 @@ mod tests {
         let f = m.function("f").unwrap();
         // The read after the call must survive (g may have changed r1),
         // and the write before the call must survive (g may read it).
-        let reads = f
-            .block(f.entry())
-            .ops
-            .iter()
-            .filter(|&&v| matches!(f.op(v), Op::ReadCell(_)))
-            .count();
+        let reads =
+            f.block(f.entry()).ops.iter().filter(|&&v| matches!(f.op(v), Op::ReadCell(_))).count();
         let writes = f
             .block(f.entry())
             .ops
@@ -259,11 +250,7 @@ mod tests {
         let mut m = module_of(f);
         PromoteCells.run(&mut m);
         let f = &m.functions()[0];
-        assert!(f
-            .block(f.entry())
-            .ops
-            .iter()
-            .any(|&v| matches!(f.op(v), Op::WriteCell { .. })));
+        assert!(f.block(f.entry()).ops.iter().any(|&v| matches!(f.op(v), Op::WriteCell { .. })));
         verify_function(f, None).unwrap();
     }
 

@@ -208,10 +208,7 @@ pub fn verify_function(f: &Function, module: Option<&Module>) -> Result<(), Veri
     // SSA dominance.
     let dom = DomTree::compute(f);
     let preds = f.predecessors();
-    let dominated_use = |user_block: BlockId,
-                         user_pos: usize,
-                         used: ValueId|
-     -> bool {
+    let dominated_use = |user_block: BlockId, user_pos: usize, used: ValueId| -> bool {
         match placement.get(&used) {
             None => false, // operand never placed
             Some(&(def_block, def_pos)) => {
@@ -259,11 +256,7 @@ pub fn verify_function(f: &Function, module: Option<&Module>) -> Result<(), Veri
             } else {
                 for used in op.operands() {
                     if !dominated_use(b, pos, used) {
-                        return Err(VerifyError::UseBeforeDef {
-                            function: fname(),
-                            user: v,
-                            used,
-                        });
+                        return Err(VerifyError::UseBeforeDef { function: fname(), user: v, used });
                     }
                 }
             }
@@ -309,10 +302,7 @@ mod tests {
     #[test]
     fn rejects_missing_terminator() {
         let f = Function::new("bad");
-        assert!(matches!(
-            verify_function(&f, None),
-            Err(VerifyError::MissingTerminator { .. })
-        ));
+        assert!(matches!(verify_function(&f, None), Err(VerifyError::MissingTerminator { .. })));
     }
 
     #[test]
@@ -323,10 +313,7 @@ mod tests {
         let ghost = f.alloc(Op::Const(1));
         f.append(e, Op::Not(ghost));
         f.set_terminator(e, Terminator::Ret);
-        assert!(matches!(
-            verify_function(&f, None),
-            Err(VerifyError::UseBeforeDef { .. })
-        ));
+        assert!(matches!(verify_function(&f, None), Err(VerifyError::UseBeforeDef { .. })));
     }
 
     #[test]
@@ -342,10 +329,7 @@ mod tests {
         f.set_terminator(t, Terminator::Br(j));
         f.append(j, Op::Not(inner));
         f.set_terminator(j, Terminator::Ret);
-        assert!(matches!(
-            verify_function(&f, None),
-            Err(VerifyError::UseBeforeDef { .. })
-        ));
+        assert!(matches!(verify_function(&f, None), Err(VerifyError::UseBeforeDef { .. })));
     }
 
     #[test]
@@ -368,10 +352,7 @@ mod tests {
 
         // Remove one incoming → mismatch.
         *f.op_mut(phi) = Op::Phi { incomings: vec![(t, a)] };
-        assert!(matches!(
-            verify_function(&f, None),
-            Err(VerifyError::PhiPredMismatch { .. })
-        ));
+        assert!(matches!(verify_function(&f, None), Err(VerifyError::PhiPredMismatch { .. })));
     }
 
     #[test]
@@ -384,10 +365,7 @@ mod tests {
         f.set_terminator(e, Terminator::Ret);
         // entry has no preds, so empty incomings are fine — but the phi is
         // not at the head.
-        assert!(matches!(
-            verify_function(&f, None),
-            Err(VerifyError::PhiNotAtHead { .. })
-        ));
+        assert!(matches!(verify_function(&f, None), Err(VerifyError::PhiNotAtHead { .. })));
     }
 
     #[test]
@@ -402,10 +380,7 @@ mod tests {
         let mut f = ret_fn("cells");
         let e = f.entry();
         f.insert(e, 0, Op::ReadCell(Cell(42)));
-        assert!(matches!(
-            verify_function(&f, None),
-            Err(VerifyError::BadCell { .. })
-        ));
+        assert!(matches!(verify_function(&f, None), Err(VerifyError::BadCell { .. })));
     }
 
     #[test]
@@ -423,9 +398,6 @@ mod tests {
         let v = f.append(e, Op::Const(1));
         f.block_mut(e).ops.push(v);
         f.set_terminator(e, Terminator::Ret);
-        assert!(matches!(
-            verify_function(&f, None),
-            Err(VerifyError::MultiplePlacement { .. })
-        ));
+        assert!(matches!(verify_function(&f, None), Err(VerifyError::MultiplePlacement { .. })));
     }
 }

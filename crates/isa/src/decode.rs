@@ -158,35 +158,55 @@ pub fn decode(bytes: &[u8]) -> Result<(Instr, usize), DecodeError> {
         op::LOAD => {
             need(bytes, 6)?;
             (
-                Instr::Load { rd: reg_hi(bytes[1]), base: reg_lo(bytes[1]), disp: imm32(&bytes[2..]) },
+                Instr::Load {
+                    rd: reg_hi(bytes[1]),
+                    base: reg_lo(bytes[1]),
+                    disp: imm32(&bytes[2..]),
+                },
                 6,
             )
         }
         op::STORE => {
             need(bytes, 6)?;
             (
-                Instr::Store { base: reg_lo(bytes[1]), disp: imm32(&bytes[2..]), rs: reg_hi(bytes[1]) },
+                Instr::Store {
+                    base: reg_lo(bytes[1]),
+                    disp: imm32(&bytes[2..]),
+                    rs: reg_hi(bytes[1]),
+                },
                 6,
             )
         }
         op::LOADB => {
             need(bytes, 6)?;
             (
-                Instr::LoadB { rd: reg_hi(bytes[1]), base: reg_lo(bytes[1]), disp: imm32(&bytes[2..]) },
+                Instr::LoadB {
+                    rd: reg_hi(bytes[1]),
+                    base: reg_lo(bytes[1]),
+                    disp: imm32(&bytes[2..]),
+                },
                 6,
             )
         }
         op::STOREB => {
             need(bytes, 6)?;
             (
-                Instr::StoreB { base: reg_lo(bytes[1]), disp: imm32(&bytes[2..]), rs: reg_hi(bytes[1]) },
+                Instr::StoreB {
+                    base: reg_lo(bytes[1]),
+                    disp: imm32(&bytes[2..]),
+                    rs: reg_hi(bytes[1]),
+                },
                 6,
             )
         }
         op::LEA => {
             need(bytes, 6)?;
             (
-                Instr::Lea { rd: reg_hi(bytes[1]), base: reg_lo(bytes[1]), disp: imm32(&bytes[2..]) },
+                Instr::Lea {
+                    rd: reg_hi(bytes[1]),
+                    base: reg_lo(bytes[1]),
+                    disp: imm32(&bytes[2..]),
+                },
                 6,
             )
         }
@@ -351,10 +371,7 @@ mod tests {
             Err(DecodeError::InvalidCond(10))
         );
         // setcc with cc nibble = 0xF
-        assert_eq!(
-            decode(&[crate::opcode::SETCC, 0x1F]),
-            Err(DecodeError::InvalidCond(0xF))
-        );
+        assert_eq!(decode(&[crate::opcode::SETCC, 0x1F]), Err(DecodeError::InvalidCond(0xF)));
     }
 
     #[test]

@@ -39,12 +39,7 @@ pub struct Flags {
 
 impl Flags {
     /// Flags with every bit clear.
-    pub const CLEAR: Flags = Flags {
-        z: false,
-        n: false,
-        c: false,
-        v: false,
-    };
+    pub const CLEAR: Flags = Flags { z: false, n: false, c: false, v: false };
 
     /// Creates flags from an explicit tuple of bits.
     pub fn new(z: bool, n: bool, c: bool, v: bool) -> Flags {
@@ -59,12 +54,7 @@ impl Flags {
 
     /// Unpacks flags produced by [`Flags::to_bits`]; higher bits are ignored.
     pub fn from_bits(bits: u64) -> Flags {
-        Flags {
-            z: bits & 1 != 0,
-            n: bits & 2 != 0,
-            c: bits & 4 != 0,
-            v: bits & 8 != 0,
-        }
+        Flags { z: bits & 1 != 0, n: bits & 2 != 0, c: bits & 4 != 0, v: bits & 8 != 0 }
     }
 
     /// Flags resulting from the subtraction `a - b` (also the semantics of
@@ -72,35 +62,20 @@ impl Flags {
     pub fn from_sub(a: u64, b: u64) -> Flags {
         let (res, borrow) = a.overflowing_sub(b);
         let sv = (a as i64).overflowing_sub(b as i64).1;
-        Flags {
-            z: res == 0,
-            n: (res as i64) < 0,
-            c: borrow,
-            v: sv,
-        }
+        Flags { z: res == 0, n: (res as i64) < 0, c: borrow, v: sv }
     }
 
     /// Flags resulting from the addition `a + b`.
     pub fn from_add(a: u64, b: u64) -> Flags {
         let (res, carry) = a.overflowing_add(b);
         let sv = (a as i64).overflowing_add(b as i64).1;
-        Flags {
-            z: res == 0,
-            n: (res as i64) < 0,
-            c: carry,
-            v: sv,
-        }
+        Flags { z: res == 0, n: (res as i64) < 0, c: carry, v: sv }
     }
 
     /// Flags resulting from a logic operation producing `res`
     /// (`and`, `or`, `xor`, `not`, `test`): C and V are cleared.
     pub fn from_logic(res: u64) -> Flags {
-        Flags {
-            z: res == 0,
-            n: (res as i64) < 0,
-            c: false,
-            v: false,
-        }
+        Flags { z: res == 0, n: (res as i64) < 0, c: false, v: false }
     }
 }
 

@@ -19,15 +19,8 @@ pub enum AluOp {
 
 impl AluOp {
     /// All ALU operations in encoding order.
-    pub const ALL: [AluOp; 7] = [
-        AluOp::Add,
-        AluOp::Sub,
-        AluOp::And,
-        AluOp::Or,
-        AluOp::Xor,
-        AluOp::Mul,
-        AluOp::Udiv,
-    ];
+    pub const ALL: [AluOp; 7] =
+        [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor, AluOp::Mul, AluOp::Udiv];
 
     /// Decodes an operation from its encoding, if valid.
     pub fn from_code(code: u8) -> Option<AluOp> {
@@ -253,10 +246,7 @@ impl Instr {
 
     /// Whether executing the instruction updates the [`crate::Flags`].
     pub fn sets_flags(&self) -> bool {
-        matches!(
-            self.kind(),
-            InstrKind::Alu | InstrKind::Cmp
-        ) || matches!(self, Instr::PopF)
+        matches!(self.kind(), InstrKind::Alu | InstrKind::Cmp) || matches!(self, Instr::PopF)
     }
 
     /// Whether the instruction's behaviour depends on the current flags.

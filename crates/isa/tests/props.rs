@@ -48,16 +48,32 @@ fn any_instr() -> impl Strategy<Value = Instr> {
         any_reg().prop_map(|rd| I::Neg { rd }),
         (any_reg(), any_reg()).prop_map(|(rs1, rs2)| I::CmpRR { rs1, rs2 }),
         (any_reg(), any::<i32>()).prop_map(|(rs1, imm)| I::CmpRI { rs1, imm }),
-        (any_reg(), any_reg(), any::<i32>())
-            .prop_map(|(rs1, base, disp)| I::CmpRM { rs1, base, disp }),
+        (any_reg(), any_reg(), any::<i32>()).prop_map(|(rs1, base, disp)| I::CmpRM {
+            rs1,
+            base,
+            disp
+        }),
         (any_reg(), any_reg()).prop_map(|(rs1, rs2)| I::TestRR { rs1, rs2 }),
-        (any_reg(), any_reg(), any::<i32>()).prop_map(|(rd, base, disp)| I::Load { rd, base, disp }),
-        (any_reg(), any::<i32>(), any_reg())
-            .prop_map(|(base, disp, rs)| I::Store { base, disp, rs }),
-        (any_reg(), any_reg(), any::<i32>())
-            .prop_map(|(rd, base, disp)| I::LoadB { rd, base, disp }),
-        (any_reg(), any::<i32>(), any_reg())
-            .prop_map(|(base, disp, rs)| I::StoreB { base, disp, rs }),
+        (any_reg(), any_reg(), any::<i32>()).prop_map(|(rd, base, disp)| I::Load {
+            rd,
+            base,
+            disp
+        }),
+        (any_reg(), any::<i32>(), any_reg()).prop_map(|(base, disp, rs)| I::Store {
+            base,
+            disp,
+            rs
+        }),
+        (any_reg(), any_reg(), any::<i32>()).prop_map(|(rd, base, disp)| I::LoadB {
+            rd,
+            base,
+            disp
+        }),
+        (any_reg(), any::<i32>(), any_reg()).prop_map(|(base, disp, rs)| I::StoreB {
+            base,
+            disp,
+            rs
+        }),
         (any_reg(), any_reg(), any::<i32>()).prop_map(|(rd, base, disp)| I::Lea { rd, base, disp }),
         any_reg().prop_map(|rs| I::Push { rs }),
         any_reg().prop_map(|rd| I::Pop { rd }),
@@ -95,10 +111,7 @@ proptest! {
     /// reported length.
     #[test]
     fn decode_total_on_random_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..32)) {
-        match decode(&bytes) {
-            Ok((_, len)) => prop_assert!(len <= bytes.len()),
-            Err(_) => {}
-        }
+        if let Ok((_, len)) = decode(&bytes) { prop_assert!(len <= bytes.len()) }
     }
 
     /// A decoded instruction re-encodes to at most the bytes consumed

@@ -67,11 +67,8 @@ pub fn lift(exe: &Executable) -> Result<LiftedProgram, LiftError> {
 
     // Symbolized form of each original instruction (for address
     // materialization and branch labels).
-    let sym_map: HashMap<u64, SymInstr> = disasm
-        .listing
-        .original_code()
-        .map(|(_, addr, insn)| (addr, insn.clone()))
-        .collect();
+    let sym_map: HashMap<u64, SymInstr> =
+        disasm.listing.original_code().map(|(_, addr, insn)| (addr, insn.clone())).collect();
 
     // Function entry address → name.
     let fn_names: HashMap<u64, String> =
@@ -84,10 +81,7 @@ pub fn lift(exe: &Executable) -> Result<LiftedProgram, LiftError> {
     }
 
     // Rename the entry function so the backend owns the `_start` symbol.
-    let entry_name = fn_names
-        .get(&exe.entry)
-        .cloned()
-        .expect("entry function always discovered");
+    let entry_name = fn_names.get(&exe.entry).cloned().expect("entry function always discovered");
     rename_function(&mut module, &entry_name, ENTRY_FUNCTION);
     module.entry = ENTRY_FUNCTION.to_owned();
 
@@ -296,12 +290,8 @@ fn lift_function(
     sym_map: &HashMap<u64, SymInstr>,
     fn_names: &HashMap<u64, String>,
 ) -> Result<Function, LiftError> {
-    let mut ctx = Ctx {
-        f: Function::new(mf.name.clone()),
-        sym_map,
-        fn_names,
-        block_of: HashMap::new(),
-    };
+    let mut ctx =
+        Ctx { f: Function::new(mf.name.clone()), sym_map, fn_names, block_of: HashMap::new() };
     // Allocate IR blocks: function entry is block 0.
     ctx.block_of.insert(mf.entry, ctx.f.entry());
     for block in &mf.blocks {
@@ -625,9 +615,7 @@ fn lift_alu(ctx: &mut Ctx<'_>, b: BlockId, op: AluOp, rd: Reg, a: ValueId, rhs: 
         AluOp::Sub => ctx.flags_sub(b, a, rhs, res),
         // Documented divergence: machine `mul` sets C/V on overflow; the
         // lift clears them (see crate docs).
-        AluOp::And | AluOp::Or | AluOp::Xor | AluOp::Mul | AluOp::Udiv => {
-            ctx.flags_logic(b, res)
-        }
+        AluOp::And | AluOp::Or | AluOp::Xor | AluOp::Mul | AluOp::Udiv => ctx.flags_logic(b, res),
     }
 }
 
@@ -706,9 +694,8 @@ mod tests {
                  .quad 9\n",
         );
         let f = lifted.module.function(ENTRY_FUNCTION).unwrap();
-        let has_symaddr = f
-            .iter_ops()
-            .any(|(_, _, op)| matches!(op, Op::SymAddr(s) if s == "value"));
+        let has_symaddr =
+            f.iter_ops().any(|(_, _, op)| matches!(op, Op::SymAddr(s) if s == "value"));
         assert!(has_symaddr, "{}", lifted.module);
         // Data carried through.
         assert!(!lifted.data.is_empty());

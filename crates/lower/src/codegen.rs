@@ -213,11 +213,7 @@ impl Codegen {
                             BinOp::Ashr => ShiftOp::Sar,
                             _ => unreachable!(),
                         };
-                        self.ins(Instr::ShiftRI {
-                            op: shift_op,
-                            rd: T0,
-                            amt: (amount & 63) as u8,
-                        });
+                        self.ins(Instr::ShiftRI { op: shift_op, rd: T0, amt: (amount & 63) as u8 });
                     }
                     _ => {
                         self.load_slot(frame, T1, rhs);
@@ -369,10 +365,7 @@ impl Codegen {
             .iter()
             .filter_map(|&p| {
                 f.op(p).phi_incomings().and_then(|incomings| {
-                    incomings
-                        .iter()
-                        .find(|(from, _)| *from == pred)
-                        .map(|&(_, value)| (p, value))
+                    incomings.iter().find(|(from, _)| *from == pred).map(|&(_, value)| (p, value))
                 })
             })
             .collect();

@@ -1,9 +1,7 @@
 //! The static linker: objects in, executable out.
 
 use crate::exec::{ExeSymbol, Segment, SegmentPerms};
-use crate::{
-    Executable, ObjectFile, RelocKind, SectionKind, Symbol, ENTRY_SYMBOL, SECTION_ALIGN,
-};
+use crate::{Executable, ObjectFile, RelocKind, SectionKind, Symbol, ENTRY_SYMBOL, SECTION_ALIGN};
 use rr_isa::TEXT_BASE;
 use std::collections::HashMap;
 use std::fmt;
@@ -124,8 +122,9 @@ pub fn link_with_entry(objects: &[ObjectFile], entry: &str) -> Result<Executable
     let mut locals: Vec<HashMap<&str, u64>> = vec![HashMap::new(); objects.len()];
     for (i, obj) in objects.iter().enumerate() {
         for sym in &obj.symbols {
-            let address =
-                section_base[sym.section as usize] + object_offset[i][sym.section as usize] + sym.offset;
+            let address = section_base[sym.section as usize]
+                + object_offset[i][sym.section as usize]
+                + sym.offset;
             if sym.global {
                 if globals.insert(&sym.name, (address, sym)).is_some() {
                     return Err(LinkError::DuplicateSymbol { symbol: sym.name.clone() });
@@ -148,7 +147,7 @@ pub fn link_with_entry(objects: &[ObjectFile], entry: &str) -> Result<Executable
             // object's zero tail with explicit zeroes except for .bss.
             if kind != SectionKind::Bss && s.zero_size > 0 {
                 let pad = usize::try_from(s.zero_size).expect("section sizes fit in usize");
-                section_bytes[kind as usize].extend(std::iter::repeat(0).take(pad));
+                section_bytes[kind as usize].extend(std::iter::repeat_n(0, pad));
                 zero_tail[kind as usize] -= s.zero_size;
             }
         }
@@ -170,8 +169,7 @@ pub fn link_with_entry(objects: &[ObjectFile], entry: &str) -> Result<Executable
                     object: obj.name.clone(),
                 })?;
             let section = reloc.section as usize;
-            let place =
-                section_base[section] + object_offset[i][section] + reloc.offset;
+            let place = section_base[section] + object_offset[i][section] + reloc.offset;
             let field_start = usize::try_from(object_offset[i][section] + reloc.offset)
                 .expect("offsets fit in usize");
             let bytes = &mut section_bytes[section];
@@ -190,10 +188,7 @@ pub fn link_with_entry(objects: &[ObjectFile], entry: &str) -> Result<Executable
                 RelocKind::Rel32 => {
                     let displacement = target as i64 + reloc.addend - (place as i64 + 4);
                     let value = i32::try_from(displacement).map_err(|_| {
-                        LinkError::RelocOutOfRange {
-                            symbol: reloc.symbol.clone(),
-                            displacement,
-                        }
+                        LinkError::RelocOutOfRange { symbol: reloc.symbol.clone(), displacement }
                     })?;
                     bytes[field_start..field_start + 4].copy_from_slice(&value.to_le_bytes());
                 }
@@ -216,7 +211,13 @@ pub fn link_with_entry(objects: &[ObjectFile], entry: &str) -> Result<Executable
         } else {
             SegmentPerms::R
         };
-        segments.push(Segment { addr: section_base[kind as usize], data, mem_size, perms, section: kind });
+        segments.push(Segment {
+            addr: section_base[kind as usize],
+            data,
+            mem_size,
+            perms,
+            section: kind,
+        });
     }
 
     let mut symbols: Vec<ExeSymbol> = Vec::new();

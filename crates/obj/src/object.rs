@@ -86,7 +86,9 @@ mod tests {
     fn duplicate_globals_rejected() {
         let mut obj = ObjectFile::new("t");
         obj.define_symbol(Symbol::global("x", SectionKind::Text, 0, SymbolKind::Func)).unwrap();
-        assert!(obj.define_symbol(Symbol::global("x", SectionKind::Text, 8, SymbolKind::Func)).is_err());
+        assert!(obj
+            .define_symbol(Symbol::global("x", SectionKind::Text, 8, SymbolKind::Func))
+            .is_err());
         // Locals may shadow freely.
         obj.define_symbol(Symbol::local("x", SectionKind::Text, 8, SymbolKind::Label)).unwrap();
     }

@@ -15,9 +15,7 @@
 //! All integers are little-endian.
 
 use crate::exec::{ExeSymbol, Segment, SegmentPerms};
-use crate::{
-    Executable, ObjectFile, RelocKind, Relocation, SectionKind, Symbol, SymbolKind,
-};
+use crate::{Executable, ObjectFile, RelocKind, Relocation, SectionKind, Symbol, SymbolKind};
 use std::fmt;
 
 const OBJ_MAGIC: &[u8; 4] = b"ROF1";
@@ -222,8 +220,9 @@ impl Executable {
         for seg in &self.segments {
             out.extend_from_slice(&seg.addr.to_le_bytes());
             out.extend_from_slice(&seg.mem_size.to_le_bytes());
-            let perms =
-                u8::from(seg.perms.read) | u8::from(seg.perms.write) << 1 | u8::from(seg.perms.exec) << 2;
+            let perms = u8::from(seg.perms.read)
+                | u8::from(seg.perms.write) << 1
+                | u8::from(seg.perms.exec) << 2;
             out.push(perms);
             out.push(seg.section as u8);
             put_bytes(&mut out, &seg.data);
@@ -348,10 +347,7 @@ mod tests {
     fn truncation_rejected_everywhere() {
         let bytes = rich_object().to_bytes();
         for cut in 0..bytes.len() {
-            assert!(
-                ObjectFile::from_bytes(&bytes[..cut]).is_err(),
-                "cut at {cut} should fail"
-            );
+            assert!(ObjectFile::from_bytes(&bytes[..cut]).is_err(), "cut at {cut} should fail");
         }
     }
 
@@ -370,10 +366,7 @@ mod tests {
         let mut bytes = obj.to_bytes();
         // Corrupt the symbol's section tag (search for the symbol name and
         // step past it: name-len + name).
-        let name_pos = bytes
-            .windows(6)
-            .position(|w| w == b"_start")
-            .expect("symbol name present");
+        let name_pos = bytes.windows(6).position(|w| w == b"_start").expect("symbol name present");
         let section_tag_pos = name_pos + 6;
         bytes[section_tag_pos] = 0xEE;
         assert!(matches!(

@@ -11,37 +11,27 @@ fn any_section_kind() -> impl Strategy<Value = SectionKind> {
 }
 
 fn any_symbol() -> impl Strategy<Value = Symbol> {
-    (
-        "[a-z_][a-z0-9_]{0,12}",
-        any_section_kind(),
-        0u64..0x1000,
-        0u8..3,
-        any::<bool>(),
-    )
-        .prop_map(|(name, section, offset, kind, global)| Symbol {
+    ("[a-z_][a-z0-9_]{0,12}", any_section_kind(), 0u64..0x1000, 0u8..3, any::<bool>()).prop_map(
+        |(name, section, offset, kind, global)| Symbol {
             name,
             section,
             offset,
             kind: SymbolKind::from_code(kind).expect("in range"),
             global,
-        })
+        },
+    )
 }
 
 fn any_reloc() -> impl Strategy<Value = Relocation> {
-    (
-        any_section_kind(),
-        0u64..0x1000,
-        0u8..2,
-        "[a-z_][a-z0-9_]{0,12}",
-        -64i64..64,
-    )
-        .prop_map(|(section, offset, kind, symbol, addend)| Relocation {
+    (any_section_kind(), 0u64..0x1000, 0u8..2, "[a-z_][a-z0-9_]{0,12}", -64i64..64).prop_map(
+        |(section, offset, kind, symbol, addend)| Relocation {
             section,
             offset,
             kind: RelocKind::from_code(kind).expect("in range"),
             symbol,
             addend,
-        })
+        },
+    )
 }
 
 fn any_object() -> impl Strategy<Value = ObjectFile> {

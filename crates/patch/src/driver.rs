@@ -4,7 +4,9 @@ use crate::patterns::{apply_patterns, PatchStats};
 use rr_asm::BuildError;
 use rr_disasm::{DisasmError, SymbolizationPolicy};
 use rr_emu::execute;
-use rr_fault::{Campaign, CampaignConfig, CampaignError, FaultModel};
+use rr_fault::{
+    Campaign, CampaignConfig, CampaignEngine, CampaignError, CampaignReport, FaultModel,
+};
 use rr_obj::Executable;
 use std::fmt;
 
@@ -19,6 +21,10 @@ pub struct HardenConfig {
     pub campaign: CampaignConfig,
     /// Run campaigns in parallel.
     pub parallel: bool,
+    /// Campaign execution engine. The default checkpointed engine makes
+    /// every faulter iteration ~√T cheaper on a `T`-step trace while
+    /// classifying identically to the naive engine.
+    pub engine: CampaignEngine,
 }
 
 impl Default for HardenConfig {
@@ -28,6 +34,7 @@ impl Default for HardenConfig {
             policy: SymbolizationPolicy::DataAccessRefined,
             campaign: CampaignConfig::default(),
             parallel: true,
+            engine: CampaignEngine::default(),
         }
     }
 }
@@ -136,6 +143,25 @@ impl FaulterPatcher {
         FaulterPatcher { config }
     }
 
+    /// Campaign settings with `parallel: false` honoured for both
+    /// engines (a single worker thread evaluates inline).
+    fn campaign_config(&self) -> CampaignConfig {
+        let mut config = self.config.campaign.clone();
+        if !self.config.parallel {
+            config.threads = 1;
+        }
+        config
+    }
+
+    /// Runs one campaign with the configured engine and parallelism.
+    fn run_campaign(&self, campaign: &Campaign<'_>, model: &dyn FaultModel) -> CampaignReport {
+        match self.config.engine {
+            CampaignEngine::Checkpointed => campaign.run_checkpointed(model),
+            CampaignEngine::Naive if self.config.parallel => campaign.run_parallel(model),
+            CampaignEngine::Naive => campaign.run(model),
+        }
+    }
+
     /// Hardens `exe` against `model` using the good/bad input pair as the
     /// behaviour oracle.
     ///
@@ -165,17 +191,9 @@ impl FaulterPatcher {
         let mut best: Option<(Executable, usize)> = None;
 
         for iteration in 0..self.config.max_iterations {
-            let campaign = Campaign::with_config(
-                &current,
-                good_input,
-                bad_input,
-                self.config.campaign.clone(),
-            )?;
-            let report = if self.config.parallel {
-                campaign.run_parallel(model)
-            } else {
-                campaign.run(model)
-            };
+            let campaign =
+                Campaign::with_config(&current, good_input, bad_input, self.campaign_config())?;
+            let report = self.run_campaign(&campaign, model);
             let vulnerable = report.vulnerable_pcs();
             if iteration > 0 && best.as_ref().is_none_or(|(_, s)| vulnerable.len() < *s) {
                 best = Some((current.clone(), vulnerable.len()));
@@ -220,17 +238,9 @@ impl FaulterPatcher {
         let (hardened, residual) = if fixed_point {
             (current, 0)
         } else {
-            let campaign = Campaign::with_config(
-                &current,
-                good_input,
-                bad_input,
-                self.config.campaign.clone(),
-            )?;
-            let report = if self.config.parallel {
-                campaign.run_parallel(model)
-            } else {
-                campaign.run(model)
-            };
+            let campaign =
+                Campaign::with_config(&current, good_input, bad_input, self.campaign_config())?;
+            let report = self.run_campaign(&campaign, model);
             let final_sites = report.vulnerable_pcs().len();
             if best.as_ref().is_none_or(|(_, s)| final_sites < *s) {
                 best = Some((current, final_sites));
@@ -239,17 +249,9 @@ impl FaulterPatcher {
             // The site count is distinct program points; residual counts
             // individual successful faults at those points, so re-measure
             // faults on the selected binary.
-            let campaign = Campaign::with_config(
-                &hardened,
-                good_input,
-                bad_input,
-                self.config.campaign.clone(),
-            )?;
-            let report = if self.config.parallel {
-                campaign.run_parallel(model)
-            } else {
-                campaign.run(model)
-            };
+            let campaign =
+                Campaign::with_config(&hardened, good_input, bad_input, self.campaign_config())?;
+            let report = self.run_campaign(&campaign, model);
             fixed_point = sites == 0;
             let residual = report.vulnerabilities().len();
             (hardened, residual)

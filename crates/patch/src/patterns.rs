@@ -143,9 +143,7 @@ pub fn apply_patterns(listing: &mut Listing, vulnerable: &BTreeSet<u64>) -> Patc
         };
         let flags_dead = flags_dead_after(listing, index);
         let scratch_for = |avoid: &[Reg]| {
-            pre_patch_index
-                .get(&addr)
-                .and_then(|&i| liveness.dead_scratch_after(i, avoid))
+            pre_patch_index.get(&addr).and_then(|&i| liveness.dead_scratch_after(i, avoid))
         };
         match expand(&insn, flags_dead, &scratch_for, listing) {
             Ok((lines, kind)) => {
@@ -220,8 +218,9 @@ fn fusible_pair(listing: &Listing, index: usize) -> Option<(usize, Option<u64>)>
                 if matches!(i.kind(), InstrKind::Cmp) && !reads_sp(i)
         )
     };
-    let is_condjump =
-        |line: &Line| matches!(line, Line::Code { insn: SymInstr::Branch { cond: Some(_), .. }, .. });
+    let is_condjump = |line: &Line| {
+        matches!(line, Line::Code { insn: SymInstr::Branch { cond: Some(_), .. }, .. })
+    };
     let orig_addr = |line: &Line| match line {
         Line::Code { orig_addr, .. } => *orig_addr,
         _ => None,
@@ -252,8 +251,8 @@ fn reads_sp(i: &Instr) -> bool {
 /// cites).
 fn is_idempotent(i: &Instr) -> bool {
     match *i {
-        Instr::MovRR { rd, rs } => rd != rs || true, // mov rd,rd is trivially idempotent
-        Instr::MovRI { .. } | Instr::Lea { .. } => true,
+        // mov rd,rd is trivially idempotent, so every register mov is.
+        Instr::MovRR { .. } | Instr::MovRI { .. } | Instr::Lea { .. } => true,
         Instr::Load { rd, base, .. } | Instr::LoadB { rd, base, .. } => rd != base,
         // Stores re-write the same value (operands unchanged in between).
         Instr::Store { .. } | Instr::StoreB { .. } => true,
@@ -387,9 +386,7 @@ fn verify_compare(i: &Instr) -> Option<Instr> {
         Instr::MovRI { rd, imm } => {
             i32::try_from(imm as i64).ok().map(|small| Instr::CmpRI { rs1: rd, imm: small })
         }
-        Instr::Load { rd, base, disp } if rd != base => {
-            Some(Instr::CmpRM { rs1: rd, base, disp })
-        }
+        Instr::Load { rd, base, disp } if rd != base => Some(Instr::CmpRM { rs1: rd, base, disp }),
         Instr::Store { base, disp, rs } => Some(Instr::CmpRM { rs1: rs, base, disp }),
         // Byte-wide and address moves need a scratch register to verify.
         _ => None,
@@ -431,10 +428,7 @@ fn verify_via_scratch(
             let s = scratch_for(&[rd])?;
             Some(verify_with(
                 plain(*i),
-                vec![
-                    plain(Instr::MovRI { rd: s, imm }),
-                    plain(Instr::CmpRR { rs1: rd, rs2: s }),
-                ],
+                vec![plain(Instr::MovRI { rd: s, imm }), plain(Instr::CmpRR { rs1: rd, rs2: s })],
                 listing,
             ))
         }
@@ -660,11 +654,7 @@ mod tests {
 
     #[test]
     fn mov_ri_small_and_large_immediates() {
-        patch_and_check(
-            "    .global _start\n_start:\n    mov r1, 5\n    svc 0\n",
-            &[ENTRY],
-            &[],
-        );
+        patch_and_check("    .global _start\n_start:\n    mov r1, 5\n    svc 0\n", &[ENTRY], &[]);
         patch_and_check(
             "    .global _start\n_start:\n    mov r1, 0xcbf29ce484222325\n    xor r1, r1\n    svc 0\n",
             &[ENTRY],
@@ -942,10 +932,9 @@ mod tests {
 
     #[test]
     fn unpatchable_sites_are_reported() {
-        let exe = assemble_and_link(
-            "    .global _start\n_start:\n    call f\n    svc 0\nf:\n    ret\n",
-        )
-        .unwrap();
+        let exe =
+            assemble_and_link("    .global _start\n_start:\n    call f\n    svc 0\nf:\n    ret\n")
+                .unwrap();
         let mut listing = disassemble(&exe).unwrap().listing;
         let stats = apply_patterns(&mut listing, &BTreeSet::from([ENTRY, ENTRY + 5, 0x9999]));
         // call → unpatchable; svc → unpatchable; 0x9999 → not in listing.
@@ -1022,10 +1011,7 @@ mod tests {
             if let Line::Code { orig_addr: None, insn: SymInstr::Plain(i) } = line {
                 let moves_sp = matches!(
                     i,
-                    Instr::Push { .. }
-                        | Instr::Pop { .. }
-                        | Instr::PushF
-                        | Instr::PopF
+                    Instr::Push { .. } | Instr::Pop { .. } | Instr::PushF | Instr::PopF
                 ) || matches!(*i, Instr::Lea { rd, .. } if rd == Reg::SP);
                 assert!(!moves_sp, "pattern instruction moves sp: {i}");
             }
@@ -1046,8 +1032,7 @@ mod tests {
         apply_patterns(&mut listing, &all_addrs);
         let patched = assemble_and_link(&listing.to_source()).unwrap();
 
-        let campaign =
-            rr_fault::Campaign::new(&patched, &w.good_input, &w.bad_input).unwrap();
+        let campaign = rr_fault::Campaign::new(&patched, &w.good_input, &w.bad_input).unwrap();
         let report = campaign.run_parallel(&rr_fault::InstructionSkip);
         let vulns = report.vulnerabilities();
         assert!(

@@ -63,9 +63,8 @@ fn pincheck_bit_flip_vulnerabilities_halved() {
     let w = pincheck();
     let exe = w.build().unwrap();
 
-    let before = Campaign::new(&exe, &w.good_input, &w.bad_input)
-        .unwrap()
-        .run_parallel(&SingleBitFlip);
+    let before =
+        Campaign::new(&exe, &w.good_input, &w.bad_input).unwrap().run_parallel(&SingleBitFlip);
     let before_sites = before.vulnerable_pcs().len();
     assert!(before_sites > 0, "unprotected binary must be bit-flip vulnerable");
 

@@ -1,0 +1,91 @@
+//! `any::<T>()` — strategies for "any value of a type".
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug)]
+pub struct Any<T> {
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any { _marker: PhantomData }
+    }
+}
+
+/// Strategy producing arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: PhantomData }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {
+        $(impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                // Bias 1 in 8 draws towards the interesting boundary
+                // values; bugs cluster there and there is no shrinking to
+                // find them from arbitrary failures.
+                if rng.below(8) == 0 {
+                    const EDGES: [i128; 5] = [0, 1, -1, <$ty>::MIN as i128, <$ty>::MAX as i128];
+                    let pick = EDGES[rng.below(EDGES.len() as u64) as usize];
+                    pick as $ty
+                } else {
+                    rng.next_u64() as $ty
+                }
+            }
+        })*
+    };
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for crate::sample::Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        crate::sample::Index::from_word(rng.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ints_cover_edges_and_bulk() {
+        let mut rng = TestRng::deterministic("ints");
+        let values: Vec<u8> = (0..2000).map(|_| u8::arbitrary(&mut rng)).collect();
+        assert!(values.contains(&0));
+        assert!(values.contains(&255));
+        let distinct: std::collections::BTreeSet<u8> = values.iter().copied().collect();
+        assert!(distinct.len() > 100);
+    }
+
+    #[test]
+    fn bools_take_both_values() {
+        let mut rng = TestRng::deterministic("bools");
+        let values: Vec<bool> = (0..64).map(|_| bool::arbitrary(&mut rng)).collect();
+        assert!(values.contains(&true) && values.contains(&false));
+    }
+}

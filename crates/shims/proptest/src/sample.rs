@@ -1,0 +1,36 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+/// An index into a collection whose length is only known inside the test
+/// body. Draw one with `any::<prop::sample::Index>()`, then project it
+/// onto a concrete length with [`Index::index`].
+#[derive(Debug, Clone, Copy)]
+pub struct Index {
+    word: u64,
+}
+
+impl Index {
+    pub(crate) fn from_word(word: u64) -> Index {
+        Index { word }
+    }
+
+    /// Projects onto `[0, len)`; `len` must be non-zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on an empty collection");
+        (self.word % len as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_is_uniform_enough() {
+        let counts =
+            (0..100u64).map(|w| Index::from_word(w).index(7)).fold([0usize; 7], |mut acc, i| {
+                acc[i] += 1;
+                acc
+            });
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+}

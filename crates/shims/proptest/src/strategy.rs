@@ -1,0 +1,291 @@
+//! The [`Strategy`] trait and the combinators the workspace uses.
+
+use crate::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream proptest there is no shrinking: a strategy is just a
+/// deterministic sampler over the [`TestRng`] stream.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between boxed strategies (built by [`prop_oneof!`]).
+///
+/// [`prop_oneof!`]: crate::prop_oneof
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; `arms` must be non-empty.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+
+    /// Boxes one arm (helper for the macro).
+    pub fn arm<S: Strategy<Value = T> + 'static>(strategy: S) -> Box<dyn Strategy<Value = T>> {
+        Box::new(strategy)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let pick = rng.below(self.arms.len() as u64) as usize;
+        self.arms[pick].generate(rng)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $ty
+                }
+            }
+
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128 + 1) as u128;
+                    if span > u64::MAX as u128 {
+                        return rng.next_u64() as $ty;
+                    }
+                    (start as i128 + rng.below(span as u64) as i128) as $ty
+                }
+            }
+        )*
+    };
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {
+        $(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+/// `&str` patterns act as string strategies over a regex subset:
+/// concatenations of literal characters and character classes, each with
+/// an optional `{min,max}` repetition — enough for patterns like
+/// `"[a-z_][a-z0-9_]{0,12}"`.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = compile_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = if atom.min == atom.max {
+                atom.min
+            } else {
+                atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize
+            };
+            for _ in 0..count {
+                let pick = rng.below(atom.chars.len() as u64) as usize;
+                out.push(atom.chars[pick]);
+            }
+        }
+        out
+    }
+}
+
+struct PatternAtom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn compile_pattern(pattern: &str) -> Vec<PatternAtom> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let set = match c {
+            '[' => {
+                let mut set = Vec::new();
+                loop {
+                    let Some(member) = chars.next() else {
+                        panic!("unterminated character class in pattern `{pattern}`");
+                    };
+                    if member == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        // Possible range `a-z`; a trailing `-` before `]` is
+                        // a literal dash.
+                        let mut ahead = chars.clone();
+                        ahead.next(); // the '-'
+                        match ahead.next() {
+                            Some(end) if end != ']' => {
+                                chars.next();
+                                chars.next();
+                                set.extend((member..=end).filter(|ch| ch.is_ascii()));
+                                continue;
+                            }
+                            _ => {}
+                        }
+                    }
+                    set.push(member);
+                }
+                assert!(!set.is_empty(), "empty character class in pattern `{pattern}`");
+                set
+            }
+            '\\' => vec![chars.next().expect("dangling escape in pattern")],
+            other => vec![other],
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let spec: String = chars.by_ref().take_while(|&ch| ch != '}').collect();
+            let (lo, hi) = spec
+                .split_once(',')
+                .unwrap_or_else(|| panic!("unsupported repetition `{{{spec}}}` in `{pattern}`"));
+            (
+                lo.trim().parse().expect("repetition lower bound"),
+                hi.trim().parse().expect("repetition upper bound"),
+            )
+        } else {
+            (1, 1)
+        };
+        atoms.push(PatternAtom { chars: set, min, max });
+    }
+    atoms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges");
+        for _ in 0..500 {
+            let v = (3u8..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (-64i64..64).generate(&mut rng);
+            assert!((-64..64).contains(&w));
+            let x = (1u8..=255).generate(&mut rng);
+            assert!(x >= 1);
+        }
+    }
+
+    #[test]
+    fn map_union_and_just_compose() {
+        let mut rng = TestRng::deterministic("compose");
+        let s =
+            crate::prop_oneof![Just("fixed".to_owned()), (0u8..10).prop_map(|v| format!("r{v}")),];
+        let mut saw_fixed = false;
+        let mut saw_reg = false;
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            if v == "fixed" {
+                saw_fixed = true;
+            } else {
+                assert!(v.starts_with('r'));
+                saw_reg = true;
+            }
+        }
+        assert!(saw_fixed && saw_reg);
+    }
+
+    #[test]
+    fn string_patterns_respect_classes_and_repetition() {
+        let mut rng = TestRng::deterministic("patterns");
+        for _ in 0..200 {
+            let s = "[a-z_][a-z0-9_]{0,12}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 13, "{s}");
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_lowercase() || first == '_', "{s}");
+            for c in s.chars() {
+                assert!(c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_', "{s}");
+            }
+        }
+    }
+
+    #[test]
+    fn tuples_draw_componentwise() {
+        let mut rng = TestRng::deterministic("tuples");
+        let ((a, b), c) = (((0u8..4), (10u8..14)), (20u8..24)).generate(&mut rng);
+        assert!(a < 4 && (10..14).contains(&b) && (20..24).contains(&c));
+    }
+}

@@ -1,0 +1,158 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this crate provides
+//! the exact subset of the `rand` 0.8 API the workspace uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], [`Rng::gen`] and
+//! [`Rng::gen_range`]. The generator is a fixed SplitMix64, so seeded
+//! streams are deterministic across runs and platforms — which is all the
+//! workloads require (they only need *reproducible* pseudo-random bytes).
+
+/// Seedable random-number generator constructors.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from the generator's native output.
+pub trait Standard: Sized {
+    /// Derives a value from one 64-bit generator word.
+    fn from_word(word: u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($ty:ty),*) => {
+        $(impl Standard for $ty {
+            fn from_word(word: u64) -> $ty {
+                word as $ty
+            }
+        })*
+    };
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn from_word(word: u64) -> bool {
+        word & 1 == 1
+    }
+}
+
+/// Ranges a generator can sample from.
+pub trait SampleRange<T> {
+    /// Uniformly samples one value using `word` (a full-entropy 64-bit
+    /// generator output).
+    fn sample(&self, word: u64) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($ty:ty),*) => {
+        $(impl SampleRange<$ty> for core::ops::Range<$ty> {
+            fn sample(&self, word: u64) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                self.start.wrapping_add((word % span) as $ty)
+            }
+        }
+        impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+            fn sample(&self, word: u64) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as u128).wrapping_sub(start as u128).wrapping_add(1);
+                if span > u64::MAX as u128 {
+                    return Standard::from_word(word);
+                }
+                start.wrapping_add((word % span as u64) as $ty)
+            }
+        })*
+    };
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// The user-facing generator interface (subset of `rand::Rng`).
+pub trait Rng {
+    /// Produces the next 64-bit word of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of an inferred type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_word(self.next_u64())
+    }
+
+    /// Samples uniformly from a range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self.next_u64())
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic 64-bit generator (SplitMix64).
+    ///
+    /// Not the upstream `StdRng` algorithm, but API-compatible for this
+    /// workspace; all consumers only rely on *determinism per seed*.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: u8 = rng.gen_range(0..254u8);
+            assert!(v < 254);
+            let w: usize = rng.gen_range(3..=9usize);
+            assert!((3..=9).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_covers_byte_space() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let bytes: Vec<u8> = (0..4096).map(|_| rng.gen()).collect();
+        let distinct: std::collections::BTreeSet<u8> = bytes.iter().copied().collect();
+        assert!(distinct.len() > 200, "only {} distinct bytes", distinct.len());
+    }
+}

@@ -77,10 +77,7 @@ mod tests {
     fn accepts_only_the_code() {
         let w = otp_check();
         let exe = w.build().unwrap();
-        assert_eq!(
-            execute(&exe, &w.good_input, 100_000).outcome,
-            RunOutcome::Exited { code: 0 }
-        );
+        assert_eq!(execute(&exe, &w.good_input, 100_000).outcome, RunOutcome::Exited { code: 0 });
         for bad in [&b"492817"[..], b"592816", b"49281", b""] {
             assert_eq!(
                 execute(&exe, bad, 100_000).outcome,

@@ -25,8 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             f.instr_count()
         );
         for block in &f.blocks {
-            let succs: Vec<String> =
-                block.succs.iter().map(|s| format!("{s:#x}")).collect();
+            let succs: Vec<String> = block.succs.iter().map(|s| format!("{s:#x}")).collect();
             println!(
                 "      block {:#x} ({} insns) → [{}]",
                 block.addr,

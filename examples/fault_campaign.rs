@@ -14,10 +14,7 @@ use std::collections::BTreeMap;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = rr_workloads::bootloader();
     let exe = workload.build()?;
-    println!(
-        "target: `{}` — {}\n",
-        workload.name, workload.description
-    );
+    println!("target: `{}` — {}\n", workload.name, workload.description);
 
     let campaign = Campaign::new(&exe, &workload.good_input, &workload.bad_input)?;
     println!(

@@ -29,7 +29,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Harden: the iterative faulter+patcher loop (paper Fig. 2).
     let driver = FaulterPatcher::new(HardenConfig::default());
-    let outcome = driver.harden(&exe, &workload.good_input, &workload.bad_input, &InstructionSkip)?;
+    let outcome =
+        driver.harden(&exe, &workload.good_input, &workload.bad_input, &InstructionSkip)?;
     println!(
         "hardening finished after {} iteration(s); fixed point = {}",
         outcome.iterations.len(),

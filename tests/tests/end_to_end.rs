@@ -85,8 +85,7 @@ fn campaigns_agree_between_fresh_setups() {
     let w = rr_workloads::pincheck();
     let exe = w.build().unwrap();
     let a = Campaign::new(&exe, &w.good_input, &w.bad_input).unwrap().run(&InstructionSkip);
-    let b = Campaign::new(&exe, &w.good_input, &w.bad_input)
-        .unwrap()
-        .run_parallel(&InstructionSkip);
+    let b =
+        Campaign::new(&exe, &w.good_input, &w.bad_input).unwrap().run_parallel(&InstructionSkip);
     assert_eq!(a.results, b.results);
 }

@@ -24,7 +24,9 @@ fn claim_tables_1_2_3_patterns() {
     assert!(cmp.protected.contains("pushf"));
     let jcc = &examples[2];
     // Table III: the condition is examined on both edges.
-    assert!(jcc.protected.matches("setne").count() >= 2 || jcc.protected.matches("jne").count() >= 2);
+    assert!(
+        jcc.protected.matches("setne").count() >= 2 || jcc.protected.matches("jne").count() >= 2
+    );
 }
 
 /// Table IV: conditional branch hardening multiplies the instruction count
@@ -117,9 +119,8 @@ fn claim_bit_flip_half_reduction() {
 #[test]
 fn claim_fig5_cfg_structure() {
     let (before, after) = fig5_cfg();
-    let block_labels = |s: &str| {
-        s.lines().filter(|l| l.starts_with("bb") && l.ends_with(':')).count()
-    };
+    let block_labels =
+        |s: &str| s.lines().filter(|l| l.starts_with("bb") && l.ends_with(':')).count();
     // Before: 3 blocks (source + two destinations).
     assert_eq!(block_labels(&before), 3, "{before}");
     // After: source + 2 validation blocks per edge + fault response +
