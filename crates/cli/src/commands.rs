@@ -2,7 +2,9 @@
 //! print on success.
 
 use crate::Args;
-use rr_fault::{Campaign, CampaignEngine, FaultModel, FlagFlip, InstructionSkip, SingleBitFlip};
+use rr_fault::{
+    Campaign, CampaignConfig, CampaignEngine, FaultModel, FlagFlip, InstructionSkip, SingleBitFlip,
+};
 use rr_obj::Executable;
 use std::fmt::Write as _;
 use std::fs;
@@ -75,7 +77,11 @@ pub fn disasm(raw: &[String]) -> Result<String, String> {
 }
 
 /// `rr fault <prog.rfx> --good BYTES --bad BYTES [--model ...]
-/// [--engine naive|checkpoint]`
+/// [--engine naive|checkpoint] [--streaming]`
+///
+/// `--streaming` folds classifications straight into the summary without
+/// materializing per-fault results — O(shards) memory no matter how many
+/// faults the model enumerates, for million-fault campaigns.
 pub fn fault(raw: &[String]) -> Result<String, String> {
     let args = Args::parse(raw, &["good", "bad", "model", "engine"])?;
     let exe = load_exe(args.positional(0, "program")?)?;
@@ -83,10 +89,20 @@ pub fn fault(raw: &[String]) -> Result<String, String> {
     let bad = args.required("bad")?.as_bytes().to_vec();
     let model = model_by_name(args.value("model").unwrap_or("skip"))?;
     let engine: CampaignEngine = args.value("engine").unwrap_or("checkpoint").parse()?;
-    let campaign = Campaign::new(&exe, &good, &bad).map_err(|e| e.to_string())?;
-    let report = campaign.run_with(model.as_ref(), engine);
+    // The engine choice doubles as the construction hint: naive
+    // campaigns skip snapshot recording entirely.
+    let config = CampaignConfig { engine, ..CampaignConfig::default() };
+    let campaign = Campaign::with_config(&exe, &good, &bad, config).map_err(|e| e.to_string())?;
     let mut out = String::new();
+    if args.flag("streaming") {
+        let summary = campaign.run_streaming_configured(model.as_ref());
+        let _ = writeln!(out, "model `{}` (engine {engine}, streaming): {summary}", model.name());
+        let _ = writeln!(out, "memory: {}", campaign.replay_footprint());
+        return Ok(out);
+    }
+    let report = campaign.run_configured(model.as_ref());
     let _ = writeln!(out, "model `{}` (engine {engine}): {}", report.model, report.summary());
+    let _ = writeln!(out, "memory: {}", campaign.replay_footprint());
     let pcs = report.vulnerable_pcs();
     if pcs.is_empty() {
         let _ = writeln!(out, "no vulnerable program points.");
@@ -286,11 +302,16 @@ mod tests {
             fault(&sv(&[&exe_path, "--good", "7391", "--bad", "7291", "--engine", "checkpoint"]))
                 .unwrap();
         // Identical classifications → identical report bodies, modulo the
-        // engine name in the header line.
-        let strip = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
+        // engine name in the header and the per-engine memory line.
+        let strip = |s: &str| s.lines().skip(2).collect::<Vec<_>>().join("\n");
         assert_eq!(strip(&naive), strip(&checkpointed));
         assert!(naive.contains("engine naive"), "{naive}");
         assert!(checkpointed.contains("engine checkpoint"), "{checkpointed}");
+        // Both surface the checkpoint memory footprint; the naive hint
+        // records no snapshots, so it retains nothing.
+        assert!(naive.contains("memory: 1 checkpoints"), "{naive}");
+        assert!(checkpointed.contains("memory: "), "{checkpointed}");
+        assert!(checkpointed.contains("region-COW"), "{checkpointed}");
         assert!(fault(&sv(&[&exe_path, "--good", "7391", "--bad", "7291", "--engine", "laser",]))
             .is_err());
         // A half-specified verification pair must error, not silently
@@ -298,6 +319,32 @@ mod tests {
         assert!(hybrid(&sv(&[&exe_path, "--good", "7391"])).is_err());
         assert!(hybrid(&sv(&[&exe_path, "--bad", "7291"])).is_err());
         assert!(hybrid(&sv(&[&exe_path, "--model", "bitflip"])).is_err());
+    }
+
+    #[test]
+    fn streaming_mode_prints_summary_without_report() {
+        let exe_path = tmp("streaming.rfx");
+        workload(&sv(&["pincheck", "-o", &exe_path])).unwrap();
+        let full = fault(&sv(&[&exe_path, "--good", "7391", "--bad", "7291"])).unwrap();
+        for engine in ["naive", "checkpoint"] {
+            let streamed = fault(&sv(&[
+                &exe_path,
+                "--good",
+                "7391",
+                "--bad",
+                "7291",
+                "--engine",
+                engine,
+                "--streaming",
+            ]))
+            .unwrap();
+            assert!(streamed.contains("streaming"), "{streamed}");
+            assert!(!streamed.contains("vulnerable"), "no per-pc list: {streamed}");
+            // The streamed summary line matches the materialized run's.
+            let summary_of =
+                |s: &str| s.lines().next().unwrap().split(": ").nth(1).map(str::to_owned);
+            assert_eq!(summary_of(&streamed), summary_of(&full), "{engine}");
+        }
     }
 
     #[test]

@@ -68,14 +68,16 @@ pub fn usage() -> &'static str {
      \x20   rr run <prog.rfx> [--input BYTES] [--max-steps N]\n\
      \x20   rr disasm <prog.rfx> [--policy naive|refined]\n\
      \x20   rr fault <prog.rfx> --good BYTES --bad BYTES [--model skip|bitflip|flagflip]\n\
-     \x20            [--engine naive|checkpoint]\n\
+     \x20            [--engine naive|checkpoint] [--streaming]\n\
      \x20   rr harden <prog.rfx> --good BYTES --bad BYTES [--model ...] [-o out.rfx]\n\
      \x20            [--engine naive|checkpoint]\n\
      \x20   rr hybrid <prog.rfx> [-o out.rfx] [--good BYTES --bad BYTES [--model ...]]\n\
      \x20   rr workload <pincheck|bootloader|otp|access> [-o out.rfx] [--emit-asm]\n\
      \n\
      BYTES arguments are literal ASCII (e.g. --good 7391). Campaigns use\n\
-     the checkpointed replay engine unless --engine naive is given.\n"
+     the checkpointed replay engine unless --engine naive is given;\n\
+     --streaming folds results into a summary in O(shards) memory for\n\
+     million-fault campaigns.\n"
 }
 
 /// Minimal option parser: positional arguments plus `--key value` /

@@ -48,7 +48,9 @@ mod memory;
 mod outcome;
 
 pub use machine::{Machine, RunResult, Snapshot, DEFAULT_MAX_STEPS};
-pub use memory::{AccessKind, Memory};
+pub use memory::{
+    AccessKind, MemResult, Memory, MemoryDelta, MemoryStats, PAGE_SIZE, STRADDLE_TAIL,
+};
 pub use outcome::{CpuFault, Execution, RunOutcome};
 
 use rr_obj::Executable;

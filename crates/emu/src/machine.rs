@@ -1,6 +1,6 @@
 //! The CPU interpreter.
 
-use crate::memory::{AccessKind, Memory};
+use crate::memory::{AccessKind, Memory, MemoryDelta, MemoryStats};
 use crate::outcome::{CpuFault, RunOutcome};
 use rr_isa::{decode, AluOp, Flags, Instr, Reg, ShiftOp, MAX_INSTR_LEN, STACK_TOP};
 use rr_obj::Executable;
@@ -46,9 +46,12 @@ pub struct Machine {
 /// registers, flags, program counter, memory, I/O cursor, accumulated
 /// output, and stopped status.
 ///
-/// Snapshots are cheap: memory regions, the input stream, and the output
-/// buffer are all copy-on-write, so a capture is O(regions) pointer
-/// clones no matter how large the address space or output. They are also
+/// Snapshots are cheap: memory pages, the input stream, and the output
+/// buffer are all copy-on-write, so a capture is O(pages) reference
+/// bumps — no byte is copied — and the pages a later run dirties are
+/// unshared 4 KiB at a time, so a retained snapshot's footprint is
+/// proportional to the bytes its interval actually touched
+/// ([`Snapshot::dirtied_since`] measures exactly that). They are also
 /// [`Send`] + [`Sync`], so a recording pass can publish snapshots that
 /// many replay workers restore concurrently — the foundation of the
 /// `rr-engine` checkpointed campaign scheduler.
@@ -63,6 +66,20 @@ impl Snapshot {
     /// Program counter at capture time.
     pub fn pc(&self) -> u64 {
         self.0.pc
+    }
+
+    /// Residency of the captured memory (materialized vs zero pages).
+    pub fn memory_stats(&self) -> MemoryStats {
+        self.0.memory.stats()
+    }
+
+    /// Memory pages this capture no longer shares with `baseline` — the
+    /// bytes an interval of execution between the two captures dirtied.
+    /// Both snapshots must come from machines for the same executable.
+    /// This is the accounting the `rr-engine` checkpoint byte budget and
+    /// footprint reports are built on.
+    pub fn dirtied_since(&self, baseline: &Snapshot) -> MemoryDelta {
+        self.0.memory.delta(&baseline.0.memory)
     }
 }
 
@@ -84,9 +101,10 @@ impl Machine {
         }
     }
 
-    /// Captures the machine's complete state. O(regions) thanks to
-    /// copy-on-write memory and output; the returned [`Snapshot`] stays
-    /// valid no matter how this machine runs on.
+    /// Captures the machine's complete state. O(pages) reference bumps
+    /// thanks to page-granular copy-on-write memory and output; the
+    /// returned [`Snapshot`] stays valid no matter how this machine runs
+    /// on.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot(self.clone())
     }
@@ -101,7 +119,7 @@ impl Machine {
 
     /// Materializes a fresh machine from a snapshot (equivalent to
     /// rebuilding the original machine and replaying it to the capture
-    /// point, but O(regions)).
+    /// point, but O(pages)).
     pub fn from_snapshot(snapshot: &Snapshot) -> Machine {
         snapshot.0.clone()
     }
@@ -168,6 +186,18 @@ impl Machine {
     /// program state.
     pub fn memory(&self) -> &Memory {
         &self.memory
+    }
+
+    /// Residency of this machine's memory (materialized vs zero pages).
+    pub fn memory_stats(&self) -> MemoryStats {
+        self.memory.stats()
+    }
+
+    /// Memory pages this machine no longer shares with `snapshot` — the
+    /// bytes dirtied since (or, for an unrelated capture of the same
+    /// executable, the divergence between the two states).
+    pub fn dirtied_since(&self, snapshot: &Snapshot) -> MemoryDelta {
+        self.memory.delta(&snapshot.0.memory)
     }
 
     /// Decodes the instruction at the current PC without executing it.

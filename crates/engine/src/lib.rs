@@ -18,13 +18,18 @@
 //!   across OS threads with order-preserving collection and a streaming
 //!   fold for aggregation without materializing per-item results.
 //!
-//! Snapshots are copy-on-write at region granularity
-//! ([`rr_emu::Memory`] shares each region's allocation until written),
-//! so checkpoints pay only for the regions their interval dirtied —
-//! untouched segments stay shared — and worker threads restore from the
-//! same snapshots concurrently without copying. A write to a region does
-//! copy that whole region (1 MiB for the stack), which is why
-//! [`ReplayConfig::max_checkpoints`] bounds retention on long traces.
+//! Snapshots are copy-on-write at *page* granularity
+//! ([`rr_emu::Memory`] shares fixed 4 KiB pages, with a zero-page fast
+//! path for untouched memory), so a checkpoint pays only for the bytes
+//! its interval actually dirtied — a stack-writing interval retains the
+//! few stack pages it touched, not the whole 1 MiB region — and worker
+//! threads restore from the same snapshots concurrently without
+//! copying. Retention is budgeted in those terms:
+//! [`ReplayConfig::max_retained_bytes`] bounds the summed dirtied-page
+//! deltas between consecutive checkpoints (widening the interval when
+//! exceeded), [`ReplayEngine::footprint`] reports them, and
+//! [`ReplayConfig::record_snapshots`] lets naive-only consumers skip
+//! snapshot capture entirely.
 //!
 //! The campaign-level integration lives in `rr-fault`
 //! (`Campaign::run_checkpointed`); this crate stays independent of fault
@@ -51,4 +56,4 @@
 mod replay;
 pub mod shard;
 
-pub use replay::{auto_interval, ReplayConfig, ReplayEngine, ReplayError};
+pub use replay::{auto_interval, ReplayConfig, ReplayEngine, ReplayError, ReplayFootprint};

@@ -1,7 +1,7 @@
 //! Recording a golden run with periodic checkpoints and replaying to
 //! arbitrary trace steps.
 
-use rr_emu::{Execution, Machine, Snapshot};
+use rr_emu::{Execution, Machine, MemoryDelta, Snapshot};
 use rr_obj::Executable;
 use std::fmt;
 
@@ -15,20 +15,35 @@ pub struct ReplayConfig {
     /// replays are uniformly distributed over the trace — no probe run
     /// needed).
     pub checkpoint_interval: u64,
-    /// Ceiling on the number of retained checkpoints. Memory is COW at
-    /// *region* granularity, so the worst case per checkpoint is one
-    /// private copy of every region dirtied in its interval (for
-    /// stack-writing programs, the whole 1 MiB stack region); the cap
-    /// bounds total retained state on very long traces at the cost of
-    /// longer step-forward replays. A pinned `checkpoint_interval` is
-    /// widened (doubled, thinning recorded checkpoints) only if the run
-    /// would otherwise exceed the cap. `0` = unlimited.
+    /// Ceiling on the number of retained checkpoints; `0` = unlimited.
+    /// With page-granular COW memory the per-checkpoint cost is bytes
+    /// dirtied, so [`ReplayConfig::max_retained_bytes`] is the
+    /// meaningful memory bound — this count cap remains as a secondary
+    /// guard on per-checkpoint fixed overhead.
     pub max_checkpoints: usize,
+    /// *Byte* budget for retained checkpoint state, measured as the
+    /// page-granular dirtied bytes between consecutive checkpoints
+    /// ([`rr_emu::Snapshot::dirtied_since`]). When the recording would
+    /// exceed it, the interval doubles and the recorded checkpoints are
+    /// thinned — same mechanism as the count cap, but bounding what
+    /// actually matters: resident memory. `0` = unlimited.
+    pub max_retained_bytes: u64,
+    /// When `false`, only the initial state is captured: the trace and
+    /// behaviour are still recorded, but [`ReplayEngine::machine_at`]
+    /// degrades to replay-from-0. The engine hint for consumers that
+    /// will only ever replay naively and shouldn't pay for snapshots.
+    pub record_snapshots: bool,
 }
 
 impl Default for ReplayConfig {
     fn default() -> Self {
-        ReplayConfig { max_steps: 1_000_000, checkpoint_interval: 0, max_checkpoints: 1024 }
+        ReplayConfig {
+            max_steps: 1_000_000,
+            checkpoint_interval: 0,
+            max_checkpoints: 1024,
+            max_retained_bytes: 256 << 20,
+            record_snapshots: true,
+        }
     }
 }
 
@@ -76,6 +91,52 @@ impl std::error::Error for ReplayError {}
 struct Checkpoint {
     step: u64,
     snapshot: Snapshot,
+    /// Pages this checkpoint no longer shares with the *previous retained*
+    /// checkpoint — its incremental retained footprint. Zero for the
+    /// initial checkpoint (accounted via resident bytes instead).
+    delta: MemoryDelta,
+}
+
+/// Aggregate memory footprint of a recording's retained checkpoints.
+///
+/// `retained_bytes` is what the page-granular COW representation keeps
+/// privately across checkpoints; `region_cow_bytes` is what the previous
+/// region-granular design would have kept for the *same* checkpoints
+/// (one whole region per region touched per interval) — the ratio is the
+/// win the paged memory buys, and the snapshot-footprint benchmark gates
+/// it at ≥ 10× on stack-dirtying workloads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayFootprint {
+    /// Retained checkpoints, including the initial state.
+    pub checkpoints: usize,
+    /// Checkpoint interval in trace steps.
+    pub interval: u64,
+    /// Materialized bytes of the initial checkpoint (shared by every
+    /// later checkpoint that didn't dirty them).
+    pub base_resident_bytes: u64,
+    /// Pages dirtied between consecutive checkpoints, summed.
+    pub retained_pages: u64,
+    /// `retained_pages × PAGE_SIZE` — incremental retained state under
+    /// page-granular COW.
+    pub retained_bytes: u64,
+    /// Incremental retained state region-granular COW would have kept
+    /// for the same checkpoints.
+    pub region_cow_bytes: u64,
+}
+
+impl fmt::Display for ReplayFootprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} checkpoints (interval {}): {} KiB retained ({} dirty pages; \
+             region-COW would retain {} KiB)",
+            self.checkpoints,
+            self.interval,
+            (self.base_resident_bytes + self.retained_bytes) / 1024,
+            self.retained_pages,
+            (self.base_resident_bytes + self.region_cow_bytes) / 1024,
+        )
+    }
 }
 
 /// One recorded golden run: its trace, behaviour, and periodic state
@@ -86,6 +147,9 @@ pub struct ReplayEngine {
     trace: Vec<u64>,
     execution: Execution,
     interval: u64,
+    /// Whether periodic snapshots were captured (engine hint; `false`
+    /// means only the initial state exists and replay is from step 0).
+    snapshots: bool,
 }
 
 impl ReplayEngine {
@@ -100,24 +164,48 @@ impl ReplayEngine {
     /// other, so both end within a factor of two of √T — the optimum —
     /// after a single pass, with no probe run to discover T first, while
     /// the count stays bounded by `max_checkpoints` on very long traces.
+    ///
+    /// Retained state is additionally bounded by
+    /// `config.max_retained_bytes`: every new checkpoint's dirtied-page
+    /// delta against its predecessor is accounted, and the interval
+    /// widens (thinning recorded checkpoints) whenever the running total
+    /// would exceed the byte budget.
     pub fn record(exe: &Executable, input: &[u8], config: &ReplayConfig) -> ReplayEngine {
         let fixed = config.checkpoint_interval > 0;
         let mut interval = if fixed { config.checkpoint_interval } else { 1 };
         let count_cap =
             if config.max_checkpoints > 0 { config.max_checkpoints as u64 } else { u64::MAX };
+        let byte_cap =
+            if config.max_retained_bytes > 0 { config.max_retained_bytes } else { u64::MAX };
         let mut machine = Machine::new(exe, input);
-        let mut checkpoints = vec![Checkpoint { step: 0, snapshot: machine.snapshot() }];
+        let mut checkpoints = vec![Checkpoint {
+            step: 0,
+            snapshot: machine.snapshot(),
+            delta: MemoryDelta::default(),
+        }];
+        let mut retained_bytes = 0u64;
         let mut trace = Vec::new();
         let result = machine.run_with(config.max_steps, |m| {
             let step = trace.len() as u64;
-            if step > 0 && step.is_multiple_of(interval) {
-                checkpoints.push(Checkpoint { step, snapshot: m.snapshot() });
+            if config.record_snapshots && step > 0 && step.is_multiple_of(interval) {
+                let snapshot = m.snapshot();
+                let delta =
+                    snapshot.dirtied_since(&checkpoints.last().expect("initial state").snapshot);
+                retained_bytes += delta.bytes;
+                checkpoints.push(Checkpoint { step, snapshot, delta });
                 // Adaptive mode chases count ≈ interval (≈ √T); a pinned
-                // interval widens only when the memory cap demands it.
-                let grow_at = if fixed { count_cap } else { (2 * interval).min(count_cap) };
-                if checkpoints.len() as u64 > grow_at {
+                // interval widens only when a memory cap demands it. The
+                // byte budget may need several doublings, so loop; step 0
+                // is always retained, so the thinning terminates.
+                loop {
+                    let grow_at = if fixed { count_cap } else { (2 * interval).min(count_cap) };
+                    let over = checkpoints.len() as u64 > grow_at || retained_bytes > byte_cap;
+                    if !over || checkpoints.len() <= 1 {
+                        break;
+                    }
                     interval *= 2;
                     checkpoints.retain(|c| c.step.is_multiple_of(interval));
+                    retained_bytes = recompute_deltas(&mut checkpoints);
                 }
             }
             trace.push(m.pc());
@@ -127,7 +215,14 @@ impl ReplayEngine {
             output: machine.take_output(),
             steps: result.steps,
         };
-        ReplayEngine { checkpoints, trace, execution, interval }
+        ReplayEngine { checkpoints, trace, execution, interval, snapshots: config.record_snapshots }
+    }
+
+    /// Whether periodic snapshots were recorded
+    /// ([`ReplayConfig::record_snapshots`]); when `false`,
+    /// [`ReplayEngine::machine_at`] replays from step 0.
+    pub fn records_snapshots(&self) -> bool {
+        self.snapshots
     }
 
     /// The recorded program counters, one per executed instruction.
@@ -150,12 +245,41 @@ impl ReplayEngine {
         self.checkpoints.len()
     }
 
+    /// Memory footprint of the retained checkpoints: page-granular
+    /// retained bytes, and what region-granular COW would have retained
+    /// for the same recording.
+    pub fn footprint(&self) -> ReplayFootprint {
+        let base = self.checkpoints.first().expect("initial state");
+        let mut footprint = ReplayFootprint {
+            checkpoints: self.checkpoints.len(),
+            interval: self.interval,
+            base_resident_bytes: base.snapshot.memory_stats().resident_bytes,
+            ..ReplayFootprint::default()
+        };
+        for checkpoint in &self.checkpoints[1..] {
+            footprint.retained_pages += checkpoint.delta.pages;
+            footprint.retained_bytes += checkpoint.delta.bytes;
+            footprint.region_cow_bytes += checkpoint.delta.region_bytes;
+        }
+        footprint
+    }
+
+    /// Incremental retained checkpoint state in bytes (the quantity
+    /// [`ReplayConfig::max_retained_bytes`] budgets).
+    pub fn retained_bytes(&self) -> u64 {
+        self.checkpoints[1..].iter().map(|c| c.delta.bytes).sum()
+    }
+
     /// Produces a machine *about to execute* trace step `step` (so
     /// `machine.pc() == trace()[step]` for in-trace steps; `step ==
     /// trace().len()` yields the final state).
     ///
     /// Restores the nearest checkpoint at or before `step` and steps
-    /// forward — at most [`ReplayEngine::interval`] instructions.
+    /// forward — at most [`ReplayEngine::interval`] instructions when
+    /// the recording captured snapshots; with
+    /// [`ReplayConfig::record_snapshots`] disabled only the initial
+    /// state exists, so this replays from step 0 (up to `step`
+    /// instructions).
     ///
     /// # Errors
     ///
@@ -179,6 +303,19 @@ impl ReplayEngine {
         }
         Ok(machine)
     }
+}
+
+/// Re-derives each checkpoint's dirtied-page delta against its (new)
+/// predecessor after thinning, returning the summed retained bytes.
+fn recompute_deltas(checkpoints: &mut [Checkpoint]) -> u64 {
+    let mut retained = 0;
+    for i in 1..checkpoints.len() {
+        let (before, after) = checkpoints.split_at_mut(i);
+        let checkpoint = &mut after[0];
+        checkpoint.delta = checkpoint.snapshot.dirtied_since(&before[i - 1].snapshot);
+        retained += checkpoint.delta.bytes;
+    }
+    retained
 }
 
 #[cfg(test)]
@@ -273,6 +410,94 @@ mod tests {
         assert!(pinned.interval() > 1, "interval must widen under the cap");
         let m = pinned.machine_at(steps / 3).unwrap();
         assert_eq!(m.pc(), pinned.trace()[(steps / 3) as usize]);
+    }
+
+    /// A loop that pushes/pops every iteration, dirtying the top stack
+    /// page at every checkpoint interval.
+    fn stack_churn_exe(iterations: u32) -> Executable {
+        assemble_and_link(&format!(
+            "    .global _start\n\
+             _start:\n\
+                 mov r1, {iterations}\n\
+             .loop:\n\
+                 push r1\n\
+                 pop r2\n\
+                 sub r1, 1\n\
+                 cmp r1, 0\n\
+                 jne .loop\n\
+                 mov r1, r2\n\
+                 svc 0\n"
+        ))
+        .expect("stack churn program builds")
+    }
+
+    #[test]
+    fn byte_budget_caps_retained_state() {
+        let exe = stack_churn_exe(800);
+        let free = ReplayEngine::record(&exe, &[], &ReplayConfig::default());
+        assert!(free.retained_bytes() > 0, "stack churn must dirty pages");
+        // Budget below the unconstrained footprint forces thinning.
+        let budget = free.retained_bytes() / 4;
+        let capped = ReplayEngine::record(
+            &exe,
+            &[],
+            &ReplayConfig { max_retained_bytes: budget, ..ReplayConfig::default() },
+        );
+        assert!(
+            capped.retained_bytes() <= budget,
+            "retained {} over budget {budget}",
+            capped.retained_bytes()
+        );
+        assert!(capped.checkpoint_count() < free.checkpoint_count());
+        // Replay still reaches arbitrary steps, just with longer forward
+        // stepping.
+        let steps = capped.execution().steps;
+        let m = capped.machine_at(steps / 2).unwrap();
+        assert_eq!(m.pc(), capped.trace()[(steps / 2) as usize]);
+    }
+
+    #[test]
+    fn footprint_reports_page_granular_retention() {
+        let exe = stack_churn_exe(500);
+        let engine = ReplayEngine::record(&exe, &[], &ReplayConfig::default());
+        let footprint = engine.footprint();
+        assert_eq!(footprint.checkpoints, engine.checkpoint_count());
+        assert_eq!(footprint.interval, engine.interval());
+        assert_eq!(footprint.retained_bytes, engine.retained_bytes());
+        assert_eq!(footprint.retained_bytes, footprint.retained_pages * 4096);
+        // Stack churn dirties ~1 page per interval while region-COW would
+        // retain the whole 1 MiB stack per checkpoint.
+        assert!(footprint.retained_bytes > 0);
+        assert!(
+            footprint.region_cow_bytes >= 10 * footprint.retained_bytes,
+            "region-COW {} vs paged {}",
+            footprint.region_cow_bytes,
+            footprint.retained_bytes
+        );
+        let rendered = footprint.to_string();
+        assert!(rendered.contains("checkpoints"), "{rendered}");
+        assert!(rendered.contains("region-COW"), "{rendered}");
+    }
+
+    #[test]
+    fn snapshot_recording_can_be_disabled() {
+        let exe = looping_exe(200);
+        let engine = ReplayEngine::record(
+            &exe,
+            &[],
+            &ReplayConfig { record_snapshots: false, ..ReplayConfig::default() },
+        );
+        assert!(!engine.records_snapshots());
+        assert_eq!(engine.checkpoint_count(), 1, "only the initial state");
+        assert_eq!(engine.retained_bytes(), 0);
+        // The trace and behaviour are recorded as usual, and machine_at
+        // still works — it just replays from step 0.
+        let (exec, trace) = rr_emu::execute_traced(&exe, &[], 1_000_000);
+        assert_eq!(engine.execution(), &exec);
+        assert_eq!(engine.trace(), trace.as_slice());
+        let mid = trace.len() as u64 / 2;
+        let m = engine.machine_at(mid).unwrap();
+        assert_eq!(m.pc(), trace[mid as usize]);
     }
 
     #[test]

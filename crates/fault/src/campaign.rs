@@ -74,6 +74,20 @@ pub struct CampaignConfig {
     /// Checkpoint spacing for the checkpointed engine, in trace steps;
     /// `0` = automatic (≈ √T, the total-work optimum).
     pub checkpoint_interval: u64,
+    /// Byte budget for the state retained by the recorded checkpoints,
+    /// measured as page-granular dirtied bytes
+    /// ([`rr_engine::ReplayConfig::max_retained_bytes`]); exceeding it
+    /// widens the checkpoint interval. `0` = unlimited.
+    pub max_retained_bytes: u64,
+    /// Which engine this campaign is built for. Construction uses it as
+    /// a hint: a [`CampaignEngine::Naive`] campaign skips snapshot
+    /// recording entirely (the golden pass still yields the trace and
+    /// behaviour), so naive-only consumers stop paying checkpoint
+    /// memory. [`Campaign::run_configured`] dispatches on it; the
+    /// explicit `run_*` methods stay correct either way — on a
+    /// naive-hinted campaign the checkpointed engine merely degrades to
+    /// replay-from-0.
+    pub engine: CampaignEngine,
 }
 
 impl Default for CampaignConfig {
@@ -85,6 +99,8 @@ impl Default for CampaignConfig {
             threads: 0,
             site_stride: 1,
             checkpoint_interval: 0,
+            max_retained_bytes: ReplayConfig::default().max_retained_bytes,
+            engine: CampaignEngine::default(),
         }
     }
 }
@@ -274,14 +290,18 @@ impl<'a> Campaign<'a> {
             return Err(CampaignError::GoldenGoodFailed(golden_good.outcome));
         }
         // One pass over the bad-input run yields the golden behaviour,
-        // the trace, *and* the replay checkpoints (adaptive √T interval
-        // unless the config pins one) — no separate recording run.
+        // the trace, *and* — for checkpoint-hinted campaigns — the
+        // replay checkpoints (adaptive √T interval unless the config
+        // pins one). Naive-hinted campaigns skip snapshot capture and
+        // its memory cost; the pass is needed for the trace regardless.
         let replay = ReplayEngine::record(
             exe,
             bad_input,
             &ReplayConfig {
                 max_steps: config.golden_max_steps,
                 checkpoint_interval: config.checkpoint_interval,
+                max_retained_bytes: config.max_retained_bytes,
+                record_snapshots: config.engine == CampaignEngine::Checkpointed,
                 ..ReplayConfig::default()
             },
         );
@@ -390,11 +410,42 @@ impl<'a> Campaign<'a> {
         }
     }
 
+    /// Evaluates `model` with the engine the campaign was configured
+    /// (and its golden pass recorded) for.
+    pub fn run_configured(&self, model: &dyn FaultModel) -> CampaignReport {
+        self.run_with(model, self.config.engine)
+    }
+
+    /// The engine this campaign was configured for.
+    pub fn engine(&self) -> CampaignEngine {
+        self.config.engine
+    }
+
+    /// Memory footprint of the checkpoints retained for this campaign:
+    /// page-granular retained bytes, and the region-COW baseline for the
+    /// same recording. Naive-hinted campaigns report one checkpoint and
+    /// zero retained bytes.
+    pub fn replay_footprint(&self) -> rr_engine::ReplayFootprint {
+        self.replay.footprint()
+    }
+
+    /// Streams `model` with the engine the campaign was configured (and
+    /// its golden pass recorded) for — the hint-safe counterpart of
+    /// [`Campaign::run_streaming`], mirroring
+    /// [`Campaign::run_configured`].
+    pub fn run_streaming_configured(&self, model: &dyn FaultModel) -> Summary {
+        self.run_streaming(model, self.config.engine)
+    }
+
     /// Evaluates `model` and streams classifications straight into a
     /// [`Summary`]. Faults are enumerated per site inside each shard and
     /// never materialized, so memory stays O(sites + shards) no matter
     /// how many faults the model produces per site — for campaigns too
-    /// large to keep every [`FaultResult`].
+    /// large to keep every [`FaultResult`]. Prefer
+    /// [`Campaign::run_streaming_configured`] unless you deliberately
+    /// want a different engine than the campaign was recorded for (a
+    /// checkpointed evaluation of a naive-hinted campaign degrades to
+    /// replay-from-0 per fault).
     pub fn run_streaming(&self, model: &dyn FaultModel, engine: CampaignEngine) -> Summary {
         let replay = match engine {
             CampaignEngine::Naive => None,
@@ -634,6 +685,30 @@ mod tests {
         for engine in [CampaignEngine::Naive, CampaignEngine::Checkpointed] {
             assert_eq!(campaign.run_streaming(&FlagFlip, engine), report.summary(), "{engine}");
         }
+    }
+
+    #[test]
+    fn naive_hint_skips_snapshot_recording() {
+        let (exe, good, bad) = pincheck_campaign_parts();
+        let config = CampaignConfig { engine: CampaignEngine::Naive, ..CampaignConfig::default() };
+        let hinted = Campaign::with_config(&exe, &good, &bad, config).unwrap();
+        assert_eq!(hinted.engine(), CampaignEngine::Naive);
+        assert!(!hinted.replay_engine().records_snapshots());
+        assert_eq!(hinted.replay_engine().checkpoint_count(), 1, "initial state only");
+        let footprint = hinted.replay_footprint();
+        assert_eq!(footprint.retained_bytes, 0);
+
+        // The hint changes memory, never results: all engines still
+        // classify identically (checkpointed degrades to replay-from-0).
+        let reference = Campaign::new(&exe, &good, &bad).unwrap().run(&InstructionSkip);
+        assert_eq!(hinted.run_configured(&InstructionSkip).results, reference.results);
+        assert_eq!(hinted.run_checkpointed(&InstructionSkip).results, reference.results);
+
+        // A checkpoint-hinted campaign records and reports real state.
+        let recording = Campaign::new(&exe, &good, &bad).unwrap();
+        assert!(recording.replay_engine().records_snapshots());
+        assert!(recording.replay_footprint().checkpoints > 1);
+        assert_eq!(recording.run_configured(&InstructionSkip).results, reference.results);
     }
 
     #[test]

@@ -124,6 +124,45 @@ fn streaming_summaries_match_reports_on_all_workloads() {
     }
 }
 
+/// The paged-memory retention knobs are pure memory/performance
+/// controls: squeezing the checkpoint byte budget (forcing interval
+/// widening and checkpoint thinning) or hinting the campaign naive
+/// (skipping snapshot recording entirely) must never change a single
+/// classification.
+#[test]
+fn byte_budgets_and_engine_hints_do_not_change_results() {
+    for w in [rr_workloads::pincheck(), rr_workloads::otp_check()] {
+        let exe = w.build().unwrap();
+        let baseline =
+            Campaign::new(&exe, &w.good_input, &w.bad_input).unwrap().run(&InstructionSkip);
+        // Byte budgets from generous down to pathological (one page).
+        for budget in [16 << 20, 64 << 10, 4096] {
+            let config = CampaignConfig { max_retained_bytes: budget, ..CampaignConfig::default() };
+            let campaign =
+                Campaign::with_config(&exe, &w.good_input, &w.bad_input, config).unwrap();
+            let report = campaign.run_checkpointed(&InstructionSkip);
+            assert_eq!(report.results, baseline.results, "{} budget={budget}", w.name);
+            assert!(
+                campaign.replay_footprint().retained_bytes <= budget,
+                "{}: footprint over budget {budget}",
+                w.name
+            );
+        }
+        // Naive-hinted campaign, evaluated by every path.
+        let config = CampaignConfig { engine: CampaignEngine::Naive, ..CampaignConfig::default() };
+        let hinted = Campaign::with_config(&exe, &w.good_input, &w.bad_input, config).unwrap();
+        assert_eq!(hinted.replay_footprint().checkpoints, 1, "{}", w.name);
+        assert_eq!(hinted.run_configured(&InstructionSkip).results, baseline.results);
+        assert_eq!(hinted.run_checkpointed(&InstructionSkip).results, baseline.results);
+        assert_eq!(
+            hinted.run_streaming(&InstructionSkip, CampaignEngine::Naive),
+            baseline.summary(),
+            "{}",
+            w.name
+        );
+    }
+}
+
 #[test]
 fn explicit_checkpoint_intervals_do_not_change_results() {
     let w = rr_workloads::otp_check();

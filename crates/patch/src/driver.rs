@@ -144,12 +144,15 @@ impl FaulterPatcher {
     }
 
     /// Campaign settings with `parallel: false` honoured for both
-    /// engines (a single worker thread evaluates inline).
+    /// engines (a single worker thread evaluates inline) and the engine
+    /// choice passed down as a construction hint, so naive-engine
+    /// hardening loops skip snapshot recording and its memory cost.
     fn campaign_config(&self) -> CampaignConfig {
         let mut config = self.config.campaign.clone();
         if !self.config.parallel {
             config.threads = 1;
         }
+        config.engine = self.config.engine;
         config
     }
 
