@@ -14,12 +14,16 @@
 //!   Here the post-injection continuation (which no engine can skip)
 //!   dominates half the work, bounding the ideal speedup near 2×.
 //!
+//! With the session API the engine is fixed at construction
+//! ([`CampaignConfig::engine`]), so each side of the comparison is its
+//! own [`CampaignSession`] — naive sessions don't even record snapshots.
 //! An explicit `speedup:` line is printed for the tail campaign so the
 //! number lands in benchmark logs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rr_fault::{
-    Campaign, CampaignConfig, Fault, FaultEffect, FaultModel, FaultSite, InstructionSkip,
+    CampaignConfig, CampaignEngine, CampaignReport, CampaignSession, Collect, Fault, FaultEffect,
+    FaultModel, FaultSite, InstructionSkip,
 };
 use rr_obj::Executable;
 use std::time::Instant;
@@ -74,67 +78,82 @@ fn long_trace_workload() -> (Executable, Vec<u8>, Vec<u8>) {
     (exe, b"G".to_vec(), b"B".to_vec())
 }
 
-fn fresh_campaign<'a>(
-    exe: &'a Executable,
-    good: &'a [u8],
-    bad: &'a [u8],
+fn fresh_session(
+    exe: &Executable,
+    good: &[u8],
+    bad: &[u8],
     stride: usize,
-) -> Campaign<'a> {
+    engine: CampaignEngine,
+) -> CampaignSession {
     let config = CampaignConfig {
         golden_max_steps: 10_000_000,
         site_stride: stride,
+        engine,
         ..CampaignConfig::default()
     };
-    Campaign::with_config(exe, good, bad, config).expect("campaign sets up")
+    CampaignSession::builder(exe.clone())
+        .good_input(good)
+        .bad_input(bad)
+        .config(config)
+        .build()
+        .expect("session sets up")
+}
+
+fn run_one(session: &CampaignSession, model: &dyn FaultModel) -> CampaignReport {
+    session.run(&[model], Collect).pop().expect("one report per model")
 }
 
 fn bench_engines(c: &mut Criterion) {
     let (exe, good, bad) = long_trace_workload();
-    let probe = fresh_campaign(&exe, &good, &bad, 1);
+    let probe = fresh_session(&exe, &good, &bad, 1, CampaignEngine::Checkpointed);
     let trace_len = probe.golden_bad().steps;
     assert!(trace_len >= 10_000, "trace must be ≥10k steps, got {trace_len}");
     let tail = TailSkip { from_step: trace_len - 16 };
-    let tail_faults = probe.run_checkpointed(&tail).results.len() as u64;
+    let tail_faults = run_one(&probe, &tail).results.len() as u64;
 
     let mut group = c.benchmark_group("engine");
     group.sample_size(10);
 
     group.throughput(Throughput::Elements(tail_faults));
     group.bench_with_input(BenchmarkId::new("tail", "naive"), &(), |b, ()| {
-        let campaign = fresh_campaign(&exe, &good, &bad, 1);
-        b.iter(|| campaign.run_parallel(&tail).results.len())
+        let session = fresh_session(&exe, &good, &bad, 1, CampaignEngine::Naive);
+        b.iter(|| run_one(&session, &tail).results.len())
     });
     group.bench_with_input(BenchmarkId::new("tail", "checkpoint"), &(), |b, ()| {
-        let campaign = fresh_campaign(&exe, &good, &bad, 1);
-        b.iter(|| campaign.run_checkpointed(&tail).results.len())
+        let session = fresh_session(&exe, &good, &bad, 1, CampaignEngine::Checkpointed);
+        b.iter(|| run_one(&session, &tail).results.len())
     });
 
     let stride = 97;
-    let uniform_faults =
-        fresh_campaign(&exe, &good, &bad, stride).run_checkpointed(&InstructionSkip).results.len();
+    let uniform_faults = run_one(
+        &fresh_session(&exe, &good, &bad, stride, CampaignEngine::Checkpointed),
+        &InstructionSkip,
+    )
+    .results
+    .len();
     group.throughput(Throughput::Elements(uniform_faults as u64));
     group.bench_with_input(BenchmarkId::new("uniform", "naive"), &(), |b, ()| {
-        let campaign = fresh_campaign(&exe, &good, &bad, stride);
-        b.iter(|| campaign.run_parallel(&InstructionSkip).results.len())
+        let session = fresh_session(&exe, &good, &bad, stride, CampaignEngine::Naive);
+        b.iter(|| run_one(&session, &InstructionSkip).results.len())
     });
     group.bench_with_input(BenchmarkId::new("uniform", "checkpoint"), &(), |b, ()| {
-        let campaign = fresh_campaign(&exe, &good, &bad, stride);
-        b.iter(|| campaign.run_checkpointed(&InstructionSkip).results.len())
+        let session = fresh_session(&exe, &good, &bad, stride, CampaignEngine::Checkpointed);
+        b.iter(|| run_one(&session, &InstructionSkip).results.len())
     });
     group.finish();
 
     // Headline number: single-shot wall-time ratio on the tail campaign.
-    // Checkpoint recording happens during campaign construction (one
-    // golden pass shared by both engines), so each side is timed on a
-    // fresh campaign and measures pure evaluation cost.
-    let naive_campaign = fresh_campaign(&exe, &good, &bad, 1);
+    // Checkpoint recording happens during session construction (one
+    // golden pass per session), so each side is timed on a fresh session
+    // and measures pure evaluation cost.
+    let naive_session = fresh_session(&exe, &good, &bad, 1, CampaignEngine::Naive);
     let start = Instant::now();
-    let naive_report = naive_campaign.run_parallel(&tail);
+    let naive_report = run_one(&naive_session, &tail);
     let naive_time = start.elapsed();
 
-    let checkpointed_campaign = fresh_campaign(&exe, &good, &bad, 1);
+    let checkpointed_session = fresh_session(&exe, &good, &bad, 1, CampaignEngine::Checkpointed);
     let start = Instant::now();
-    let checkpointed_report = checkpointed_campaign.run_checkpointed(&tail);
+    let checkpointed_report = run_one(&checkpointed_session, &tail);
     let checkpointed_time = start.elapsed();
 
     assert_eq!(

@@ -4,7 +4,7 @@
 
 use rr_bench::{pct, rule};
 use rr_core::{harden_hybrid, HybridConfig};
-use rr_fault::{Campaign, CampaignConfig, InstructionSkip};
+use rr_fault::{CampaignConfig, CampaignSession, Collect, FaultModel, InstructionSkip};
 
 fn main() {
     let w = rr_workloads::pincheck();
@@ -25,10 +25,17 @@ fn main() {
             faulted_min_steps: 100_000,
             ..Default::default()
         };
-        let campaign =
-            Campaign::with_config(&outcome.hardened, &w.good_input, &w.bad_input, config)
-                .expect("campaign setup");
-        let summary = campaign.run_parallel(&InstructionSkip).summary();
+        let session = CampaignSession::builder(outcome.hardened.clone())
+            .good_input(&w.good_input[..])
+            .bad_input(&w.bad_input[..])
+            .config(config)
+            .build()
+            .expect("session setup");
+        let summary = session
+            .run(&[&InstructionSkip as &dyn FaultModel], Collect)
+            .pop()
+            .expect("one report")
+            .summary();
         println!(
             "{:<8} {:>12} {:>12} {:>14} {:>14}",
             copies,

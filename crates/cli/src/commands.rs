@@ -3,7 +3,9 @@
 
 use crate::Args;
 use rr_fault::{
-    Campaign, CampaignConfig, CampaignEngine, FaultModel, FlagFlip, InstructionSkip, SingleBitFlip,
+    CampaignConfig, CampaignEngine, CampaignSession, CampaignSessionBuilder, Collect,
+    CrashTriageOracle, FaultModel, FlagFlip, InstructionSkip, OutputPrefixOracle, ShardPolicy,
+    SingleBitFlip, Stream,
 };
 use rr_obj::Executable;
 use std::fmt::Write as _;
@@ -24,6 +26,42 @@ fn model_by_name(name: &str) -> Result<Box<dyn FaultModel>, String> {
         "bitflip" => Ok(Box::new(SingleBitFlip)),
         "flagflip" => Ok(Box::new(FlagFlip)),
         other => Err(format!("unknown fault model `{other}` (skip|bitflip|flagflip)")),
+    }
+}
+
+/// Parses a comma-separated model list (`skip,bitflip`); all listed
+/// models share one scheduling pass over the trace.
+fn models_by_names(names: &str) -> Result<Vec<Box<dyn FaultModel>>, String> {
+    let models: Vec<Box<dyn FaultModel>> = names
+        .split(',')
+        .map(str::trim)
+        .filter(|n| !n.is_empty())
+        .map(model_by_name)
+        .collect::<Result<_, _>>()?;
+    if models.is_empty() {
+        return Err(format!("--model `{names}` names no fault model (skip|bitflip|flagflip)"));
+    }
+    Ok(models)
+}
+
+/// Applies the `--oracle` choice to a session builder: `golden`
+/// (default; needs `--good`), `crash` (crash-only triage), or
+/// `prefix:TEXT` (success = output starts with TEXT). The latter two
+/// need no good input.
+fn apply_oracle(
+    builder: CampaignSessionBuilder,
+    oracle: &str,
+    args: &Args,
+) -> Result<CampaignSessionBuilder, String> {
+    match oracle {
+        "golden" => Ok(builder.good_input(args.required("good")?.as_bytes())),
+        "crash" => Ok(builder.oracle(CrashTriageOracle)),
+        other => match other.strip_prefix("prefix:") {
+            // An empty prefix would declare every run a success.
+            Some("") => Err("--oracle prefix: needs non-empty TEXT".to_owned()),
+            Some(prefix) => Ok(builder.oracle(OutputPrefixOracle::new(prefix.as_bytes()))),
+            None => Err(format!("unknown oracle `{other}` (golden|crash|prefix:TEXT)")),
+        },
     }
 }
 
@@ -76,42 +114,54 @@ pub fn disasm(raw: &[String]) -> Result<String, String> {
     Ok(disasm.listing.to_source())
 }
 
-/// `rr fault <prog.rfx> --good BYTES --bad BYTES [--model ...]
-/// [--engine naive|checkpoint] [--streaming]`
+/// `rr fault <prog.rfx> --bad BYTES [--good BYTES] [--model a[,b…]]
+/// [--engine naive|checkpoint] [--shard contiguous|interleaved]
+/// [--oracle golden|crash|prefix:TEXT] [--streaming]`
 ///
-/// `--streaming` folds classifications straight into the summary without
-/// materializing per-fault results — O(shards) memory no matter how many
-/// faults the model enumerates, for million-fault campaigns.
+/// One campaign session evaluates every listed model in a single
+/// scheduling pass. `--streaming` folds classifications straight into
+/// per-model summaries without materializing per-fault results —
+/// O(shards) memory no matter how many faults the models enumerate, for
+/// million-fault campaigns. `--oracle crash` and `--oracle prefix:TEXT`
+/// run golden-good-free campaigns (no `--good` needed).
 pub fn fault(raw: &[String]) -> Result<String, String> {
-    let args = Args::parse(raw, &["good", "bad", "model", "engine"])?;
+    let args = Args::parse(raw, &["good", "bad", "model", "engine", "shard", "oracle"])?;
     let exe = load_exe(args.positional(0, "program")?)?;
-    let good = args.required("good")?.as_bytes().to_vec();
     let bad = args.required("bad")?.as_bytes().to_vec();
-    let model = model_by_name(args.value("model").unwrap_or("skip"))?;
+    let models = models_by_names(args.value("model").unwrap_or("skip"))?;
     let engine: CampaignEngine = args.value("engine").unwrap_or("checkpoint").parse()?;
-    // The engine choice doubles as the construction hint: naive
-    // campaigns skip snapshot recording entirely.
-    let config = CampaignConfig { engine, ..CampaignConfig::default() };
-    let campaign = Campaign::with_config(&exe, &good, &bad, config).map_err(|e| e.to_string())?;
+    let shard: ShardPolicy = args.value("shard").unwrap_or("contiguous").parse()?;
+    // The engine choice is fixed at construction: naive sessions skip
+    // snapshot recording entirely.
+    let config = CampaignConfig { engine, shard, ..CampaignConfig::default() };
+    let builder = CampaignSession::builder(exe).bad_input(bad).config(config);
+    let builder = apply_oracle(builder, args.value("oracle").unwrap_or("golden"), &args)?;
+    let session = builder.build().map_err(|e| e.to_string())?;
+    let refs: Vec<&dyn FaultModel> = models.iter().map(Box::as_ref).collect();
     let mut out = String::new();
     if args.flag("streaming") {
-        let summary = campaign.run_streaming_configured(model.as_ref());
-        let _ = writeln!(out, "model `{}` (engine {engine}, streaming): {summary}", model.name());
-        let _ = writeln!(out, "memory: {}", campaign.replay_footprint());
+        for ms in session.run(&refs, Stream) {
+            let _ =
+                writeln!(out, "model `{}` (engine {engine}, streaming): {}", ms.model, ms.summary);
+        }
+        let _ = writeln!(out, "memory: {}", session.replay_footprint());
         return Ok(out);
     }
-    let report = campaign.run_configured(model.as_ref());
-    let _ = writeln!(out, "model `{}` (engine {engine}): {}", report.model, report.summary());
-    let _ = writeln!(out, "memory: {}", campaign.replay_footprint());
-    let pcs = report.vulnerable_pcs();
-    if pcs.is_empty() {
-        let _ = writeln!(out, "no vulnerable program points.");
-    } else {
-        let _ = writeln!(out, "vulnerable program points:");
-        for pc in pcs {
-            let site =
-                campaign.sites().iter().find(|s| s.pc == pc).expect("vulnerable pc has a site");
-            let _ = writeln!(out, "    {pc:#06x}: {}", site.insn);
+    for (index, report) in session.run(&refs, Collect).iter().enumerate() {
+        let _ = writeln!(out, "model `{}` (engine {engine}): {}", report.model, report.summary());
+        if index == 0 {
+            let _ = writeln!(out, "memory: {}", session.replay_footprint());
+        }
+        let pcs = report.vulnerable_pcs();
+        if pcs.is_empty() {
+            let _ = writeln!(out, "no vulnerable program points.");
+        } else {
+            let _ = writeln!(out, "vulnerable program points:");
+            for pc in pcs {
+                let site =
+                    session.sites().iter().find(|s| s.pc == pc).expect("vulnerable pc has a site");
+                let _ = writeln!(out, "    {pc:#06x}: {}", site.insn);
+            }
         }
     }
     Ok(out)
@@ -345,6 +395,57 @@ mod tests {
                 |s: &str| s.lines().next().unwrap().split(": ").nth(1).map(str::to_owned);
             assert_eq!(summary_of(&streamed), summary_of(&full), "{engine}");
         }
+    }
+
+    #[test]
+    fn shard_policies_oracles_and_multi_models() {
+        let exe_path = tmp("session.rfx");
+        workload(&sv(&["pincheck", "-o", &exe_path])).unwrap();
+        // Scheduling is invisible in reports.
+        let base = fault(&sv(&[&exe_path, "--good", "7391", "--bad", "7291"])).unwrap();
+        let interleaved =
+            fault(&sv(&[&exe_path, "--good", "7391", "--bad", "7291", "--shard", "interleaved"]))
+                .unwrap();
+        assert_eq!(base, interleaved);
+        assert!(fault(&sv(&[&exe_path, "--good", "7391", "--bad", "7291", "--shard", "zigzag"]))
+            .is_err());
+
+        // Oracle-driven campaigns need no --good…
+        let crash =
+            fault(&sv(&[&exe_path, "--bad", "7291", "--oracle", "crash", "--model", "bitflip"]))
+                .unwrap();
+        assert!(crash.contains("no vulnerable program points"), "{crash}");
+        let prefix =
+            fault(&sv(&[&exe_path, "--bad", "7291", "--oracle", "prefix:ACCESS GRANTED"])).unwrap();
+        assert!(prefix.contains("vulnerable program points:"), "{prefix}");
+        assert!(fault(&sv(&[&exe_path, "--bad", "7291", "--oracle", "psychic"])).is_err());
+        // …but the default golden oracle still requires it.
+        assert!(fault(&sv(&[&exe_path, "--bad", "7291"])).is_err());
+
+        // Comma-separated models share one session and print one block
+        // each.
+        let multi =
+            fault(&sv(&[&exe_path, "--good", "7391", "--bad", "7291", "--model", "skip,flagflip"]))
+                .unwrap();
+        assert!(multi.contains("model `instruction-skip`"), "{multi}");
+        assert!(multi.contains("model `flag-flip`"), "{multi}");
+        assert!(fault(&sv(&[
+            &exe_path,
+            "--good",
+            "7391",
+            "--bad",
+            "7291",
+            "--model",
+            "skip,nope"
+        ]))
+        .is_err());
+        // Degenerate inputs are rejected, not silently no-oped: a model
+        // list naming nothing, and an empty goal prefix (which would
+        // classify every fault as a success).
+        assert!(
+            fault(&sv(&[&exe_path, "--good", "7391", "--bad", "7291", "--model", ","])).is_err()
+        );
+        assert!(fault(&sv(&[&exe_path, "--bad", "7291", "--oracle", "prefix:"])).is_err());
     }
 
     #[test]

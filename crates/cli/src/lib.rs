@@ -7,7 +7,7 @@
 //! rr asm program.s -o program.rfx          # assemble + link
 //! rr run program.rfx --input 7391          # execute on the emulator
 //! rr disasm program.rfx                    # reassembleable disassembly
-//! rr fault program.rfx --good 7391 --bad 0000 [--model bitflip]
+//! rr fault program.rfx --good 7391 --bad 0000 [--model bitflip,skip]
 //! rr harden program.rfx --good 7391 --bad 0000 -o hardened.rfx
 //! rr hybrid program.rfx -o hardened.rfx    # lift → harden pass → lower
 //! rr workload pincheck -o pincheck.rfx     # emit a bundled case study
@@ -67,17 +67,21 @@ pub fn usage() -> &'static str {
      \x20   rr asm <input.s> [-o out.rfx]\n\
      \x20   rr run <prog.rfx> [--input BYTES] [--max-steps N]\n\
      \x20   rr disasm <prog.rfx> [--policy naive|refined]\n\
-     \x20   rr fault <prog.rfx> --good BYTES --bad BYTES [--model skip|bitflip|flagflip]\n\
-     \x20            [--engine naive|checkpoint] [--streaming]\n\
+     \x20   rr fault <prog.rfx> --bad BYTES [--good BYTES]\n\
+     \x20            [--model skip|bitflip|flagflip[,…]] [--engine naive|checkpoint]\n\
+     \x20            [--shard contiguous|interleaved]\n\
+     \x20            [--oracle golden|crash|prefix:TEXT] [--streaming]\n\
      \x20   rr harden <prog.rfx> --good BYTES --bad BYTES [--model ...] [-o out.rfx]\n\
      \x20            [--engine naive|checkpoint]\n\
      \x20   rr hybrid <prog.rfx> [-o out.rfx] [--good BYTES --bad BYTES [--model ...]]\n\
      \x20   rr workload <pincheck|bootloader|otp|access> [-o out.rfx] [--emit-asm]\n\
      \n\
-     BYTES arguments are literal ASCII (e.g. --good 7391). Campaigns use\n\
-     the checkpointed replay engine unless --engine naive is given;\n\
-     --streaming folds results into a summary in O(shards) memory for\n\
-     million-fault campaigns.\n"
+     BYTES arguments are literal ASCII (e.g. --good 7391). Campaign\n\
+     sessions use the checkpointed replay engine unless --engine naive is\n\
+     given; all --model entries share one scheduling pass; --streaming\n\
+     folds results into per-model summaries in O(shards) memory for\n\
+     million-fault campaigns. The default golden oracle needs --good;\n\
+     --oracle crash and --oracle prefix:TEXT campaign a single input.\n"
 }
 
 /// Minimal option parser: positional arguments plus `--key value` /

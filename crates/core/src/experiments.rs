@@ -4,7 +4,7 @@
 
 use crate::pipeline::{harden_hybrid, lift_lower_roundtrip, HybridConfig, HybridError};
 use rr_disasm::{disassemble, Line, Listing, SymInstr};
-use rr_fault::{Campaign, CampaignError, FaultModel};
+use rr_fault::{CampaignError, CampaignSession, Collect, FaultModel};
 use rr_harden::BranchHardening;
 use rr_ir::{Function, Module, Op, Pred, Terminator};
 use rr_obj::Executable;
@@ -411,11 +411,17 @@ fn count_sites(
     w: &Workload,
     model: &dyn FaultModel,
 ) -> Result<usize, ExperimentError> {
-    let mut campaign = Campaign::with_config(exe, &w.good_input, &w.bad_input, campaign_config())?;
-    campaign.sample_sites(MAX_SITES);
-    // Checkpointed engine: identical classifications, ~√T of the replay
-    // cost — this is the measurement loop the engine was built for.
-    Ok(campaign.run_checkpointed(model).vulnerable_pcs().len())
+    // The default checkpointed engine: identical classifications, ~√T of
+    // the replay cost — this is the measurement loop the engine was
+    // built for.
+    let mut session = CampaignSession::builder(exe.clone())
+        .good_input(&w.good_input[..])
+        .bad_input(&w.bad_input[..])
+        .config(campaign_config())
+        .build()?;
+    session.sample_sites(MAX_SITES);
+    let report = session.run(&[model], Collect).pop().expect("one model in, one report out");
+    Ok(report.vulnerable_pcs().len())
 }
 
 /// Measures the vulnerability reduction of one approach on one workload

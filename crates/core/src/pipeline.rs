@@ -1,6 +1,6 @@
 //! The Hybrid compiler–binary pipeline (paper Fig. 3, upper half).
 
-use rr_fault::{Campaign, CampaignConfig, CampaignEngine, CampaignError, FaultModel, Summary};
+use rr_fault::{CampaignConfig, CampaignError, CampaignSession, FaultModel, Stream, Summary};
 use rr_harden::{BranchHardening, HardeningReport};
 use rr_ir::passes::{DeadCodeElimination, PromoteCells};
 use rr_ir::PassManager;
@@ -173,15 +173,15 @@ pub fn harden_hybrid_verified(
     config: &HybridConfig,
 ) -> Result<VerifiedHybridOutcome, HybridError> {
     let hybrid = harden_hybrid(exe, config)?;
-    let mut campaign = Campaign::with_config(
-        &hybrid.hardened,
-        good_input,
-        bad_input,
-        measurement_campaign_config(),
-    )
-    .map_err(HybridError::Verify)?;
-    let stride = campaign.sample_sites(VERIFY_MAX_SITES);
-    let residual = campaign.run_streaming(model, CampaignEngine::Checkpointed);
+    let mut session = CampaignSession::builder(hybrid.hardened.clone())
+        .good_input(good_input)
+        .bad_input(bad_input)
+        .config(measurement_campaign_config())
+        .build()
+        .map_err(HybridError::Verify)?;
+    let stride = session.sample_sites(VERIFY_MAX_SITES);
+    let residual =
+        session.run(&[model], Stream).pop().expect("one model in, one summary out").summary;
     Ok(VerifiedHybridOutcome { hybrid, residual, stride })
 }
 
@@ -244,8 +244,16 @@ mod tests {
         // unprotected instruction may still corrupt, but the hardened
         // binary must not be *more* skip-vulnerable than the original.
         let baseline = {
-            let campaign = Campaign::new(&exe, &w.good_input, &w.bad_input).unwrap();
-            campaign.run_streaming(&rr_fault::InstructionSkip, CampaignEngine::Checkpointed)
+            let session = CampaignSession::builder(exe.clone())
+                .good_input(&w.good_input[..])
+                .bad_input(&w.bad_input[..])
+                .build()
+                .unwrap();
+            session
+                .run(&[&rr_fault::InstructionSkip as &dyn FaultModel], Stream)
+                .pop()
+                .unwrap()
+                .summary
         };
         let baseline_rate = baseline.success as f64 / baseline.total.max(1) as f64;
         let hardened_rate =

@@ -14,9 +14,10 @@
 //!   machine at an arbitrary trace step then costs O(regions) for the
 //!   snapshot plus at most `k` single steps — O(T·√T) for a whole
 //!   exhaustive campaign instead of O(T²).
-//! * [`shard`] provides the parallel scheduler: contiguous work shards
-//!   across OS threads with order-preserving collection and a streaming
-//!   fold for aggregation without materializing per-item results.
+//! * [`shard`] provides the parallel scheduler: contiguous or
+//!   round-robin ([`shard::ShardPolicy`]) work assignment across OS
+//!   threads with order-preserving collection and a streaming fold for
+//!   aggregation without materializing per-item results.
 //!
 //! Snapshots are copy-on-write at *page* granularity
 //! ([`rr_emu::Memory`] shares fixed 4 KiB pages, with a zero-page fast
@@ -32,9 +33,9 @@
 //! snapshot capture entirely.
 //!
 //! The campaign-level integration lives in `rr-fault`
-//! (`Campaign::run_checkpointed`); this crate stays independent of fault
-//! models so it can serve any replay-heavy consumer (differential
-//! testing, trace bisection, time-travel debugging).
+//! (`CampaignSession`); this crate stays independent of fault models so
+//! it can serve any replay-heavy consumer (differential testing, trace
+//! bisection, time-travel debugging).
 //!
 //! ## Example
 //!

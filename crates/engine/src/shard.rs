@@ -1,13 +1,61 @@
-//! Sharded parallel scheduling: contiguous work ranges across OS threads
-//! with order-preserving collection and streaming aggregation.
+//! Sharded parallel scheduling: work assignment across OS threads with
+//! order-preserving collection and streaming aggregation.
 //!
-//! The campaign runner hands each worker a contiguous slice of fault
-//! sites. Contiguity matters for the checkpointed engine: neighbouring
-//! faults restore from the same checkpoints, so a shard's snapshot
-//! restores stay warm in cache instead of ping-ponging across the trace.
+//! Two assignment policies ([`ShardPolicy`]) are provided:
+//!
+//! * **Contiguous** ([`shard_ranges`]) hands each worker a contiguous
+//!   slice. Contiguity matters for the checkpointed engine: neighbouring
+//!   faults restore from the same checkpoints, so a shard's snapshot
+//!   restores stay warm in cache instead of ping-ponging across the
+//!   trace.
+//! * **Interleaved** ([`interleaved_ranges`]) deals items round-robin,
+//!   worker `s` of `n` taking items `s, s+n, s+2n, …`. This trades
+//!   checkpoint affinity for balance: fault models with skewed per-site
+//!   fault counts (bit flips enumerate `8 × len` faults per site, so
+//!   long instructions clustered in one trace region overload one
+//!   contiguous shard) spread evenly across workers.
+//!
+//! Both policies collect results in item order, so scheduling is
+//! invisible in the output — campaigns classify identically under
+//! either.
 
+use std::fmt;
 use std::num::NonZeroUsize;
 use std::ops::Range;
+use std::str::FromStr;
+
+/// How work items are assigned to parallel workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardPolicy {
+    /// Contiguous ranges ([`shard_ranges`]): best checkpoint-restore
+    /// locality, the default.
+    #[default]
+    Contiguous,
+    /// Round-robin assignment ([`interleaved_ranges`]): best balance
+    /// under skewed per-item cost.
+    Interleaved,
+}
+
+impl fmt::Display for ShardPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ShardPolicy::Contiguous => "contiguous",
+            ShardPolicy::Interleaved => "interleaved",
+        })
+    }
+}
+
+impl FromStr for ShardPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "contiguous" => Ok(ShardPolicy::Contiguous),
+            "interleaved" => Ok(ShardPolicy::Interleaved),
+            other => Err(format!("unknown shard policy `{other}` (contiguous|interleaved)")),
+        }
+    }
+}
 
 /// Resolves a requested worker count: `0` means all available cores.
 pub fn resolve_threads(requested: usize) -> usize {
@@ -27,6 +75,17 @@ pub fn shard_ranges(len: usize, shards: usize) -> Vec<Range<usize>> {
     let shards = shards.clamp(1, len);
     let chunk = len.div_ceil(shards);
     (0..len).step_by(chunk).map(|start| start..(start + chunk).min(len)).collect()
+}
+
+/// Round-robin counterpart of [`shard_ranges`]: splits the indices
+/// `0..len` into at most `shards` non-empty sequences, shard `s` of `n`
+/// taking `s, s+n, s+2n, …`.
+pub fn interleaved_ranges(len: usize, shards: usize) -> Vec<Vec<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let shards = shards.clamp(1, len);
+    (0..shards).map(|s| (s..len).step_by(shards).collect()).collect()
 }
 
 /// Runs `work` over contiguous shards of `items` on up to `threads`
@@ -82,6 +141,101 @@ where
     let accumulators =
         run_sharded(items, threads, |_, shard| shard.iter().fold(init.clone(), &fold));
     accumulators.into_iter().reduce(merge).unwrap_or(init)
+}
+
+/// Maps every item to a result on up to `threads` workers under the
+/// given assignment `policy`, returning the results **in item order**
+/// regardless of which worker produced them — scheduling is invisible
+/// in the output.
+pub fn run_scheduled<T, R, F>(items: &[T], threads: usize, policy: ShardPolicy, map: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    match policy {
+        ShardPolicy::Contiguous => {
+            run_sharded(items, threads, |_, shard| shard.iter().map(&map).collect::<Vec<R>>())
+                .into_iter()
+                .flatten()
+                .collect()
+        }
+        ShardPolicy::Interleaved => {
+            let assignments = interleaved_ranges(items.len(), resolve_threads(threads));
+            if assignments.len() <= 1 {
+                return items.iter().map(map).collect();
+            }
+            let mut slots: Vec<Option<R>> =
+                std::iter::repeat_with(|| None).take(items.len()).collect();
+            std::thread::scope(|scope| {
+                let map = &map;
+                let handles: Vec<_> = assignments
+                    .iter()
+                    .map(|indices| {
+                        scope.spawn(move || {
+                            indices.iter().map(|&i| map(&items[i])).collect::<Vec<R>>()
+                        })
+                    })
+                    .collect();
+                for (indices, handle) in assignments.iter().zip(handles) {
+                    let results = handle.join().expect("interleaved worker panicked");
+                    for (&index, result) in indices.iter().zip(results) {
+                        slots[index] = Some(result);
+                    }
+                }
+            });
+            slots.into_iter().map(|r| r.expect("every item mapped")).collect()
+        }
+    }
+}
+
+/// Streaming map-reduce under an assignment `policy`: like
+/// [`sharded_fold`], but the items each worker folds are chosen by
+/// `policy`. Per-shard accumulators are merged in shard order, so the
+/// result is deterministic for a given `(items, threads, policy)`
+/// triple; when `merge` is commutative and associative (e.g. summary
+/// counters) the result is identical across policies and thread counts.
+///
+/// `init` must be the identity of `merge` — see [`sharded_fold`].
+pub fn scheduled_fold<T, A, F, M>(
+    items: &[T],
+    threads: usize,
+    policy: ShardPolicy,
+    init: A,
+    fold: F,
+    merge: M,
+) -> A
+where
+    T: Sync,
+    A: Clone + Send + Sync,
+    F: Fn(A, &T) -> A + Sync,
+    M: Fn(A, A) -> A,
+{
+    match policy {
+        ShardPolicy::Contiguous => sharded_fold(items, threads, init, fold, merge),
+        ShardPolicy::Interleaved => {
+            let assignments = interleaved_ranges(items.len(), resolve_threads(threads));
+            if assignments.len() <= 1 {
+                return items.iter().fold(init, fold);
+            }
+            let accumulators: Vec<A> = std::thread::scope(|scope| {
+                let fold = &fold;
+                let init = &init;
+                assignments
+                    .iter()
+                    .map(|indices| {
+                        scope.spawn(move || {
+                            indices.iter().fold(init.clone(), |acc, &i| fold(acc, &items[i]))
+                        })
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|handle| handle.join().expect("interleaved worker panicked"))
+                    .collect()
+            });
+            accumulators.into_iter().reduce(merge).unwrap_or(init)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -147,5 +301,68 @@ mod tests {
     fn resolve_threads_defaults_to_cores() {
         assert!(resolve_threads(0) >= 1);
         assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn interleaved_ranges_deal_round_robin() {
+        for len in [0usize, 1, 2, 7, 8, 9, 100, 101] {
+            for shards in [1usize, 2, 3, 8, 200] {
+                let assignments = interleaved_ranges(len, shards);
+                if len == 0 {
+                    assert!(assignments.is_empty());
+                    continue;
+                }
+                let n = assignments.len();
+                assert!(n <= shards.max(1) && n <= len);
+                let mut seen = vec![false; len];
+                for (s, indices) in assignments.iter().enumerate() {
+                    assert!(!indices.is_empty(), "len={len} shards={shards}");
+                    for (k, &index) in indices.iter().enumerate() {
+                        assert_eq!(index, s + k * n, "round-robin stride");
+                        assert!(!std::mem::replace(&mut seen[index], true), "duplicate {index}");
+                    }
+                }
+                assert!(seen.iter().all(|&s| s), "full coverage for len={len} shards={shards}");
+                // Balance: assignment sizes differ by at most one item.
+                let sizes: Vec<usize> = assignments.iter().map(Vec::len).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "skewed deal: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn scheduled_map_is_order_preserving_under_both_policies() {
+        let items: Vec<usize> = (0..137).collect();
+        let expected: Vec<usize> = items.iter().map(|x| x * 3).collect();
+        for policy in [ShardPolicy::Contiguous, ShardPolicy::Interleaved] {
+            for threads in [1, 2, 4, 7] {
+                let results = run_scheduled(&items, threads, policy, |&x| x * 3);
+                assert_eq!(results, expected, "{policy} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn scheduled_fold_agrees_across_policies() {
+        let items: Vec<u64> = (1..=5_000).collect();
+        let expected = 5_000u64 * 5_001 / 2;
+        for policy in [ShardPolicy::Contiguous, ShardPolicy::Interleaved] {
+            for threads in [0, 1, 3] {
+                let total =
+                    scheduled_fold(&items, threads, policy, 0u64, |acc, &x| acc + x, |a, b| a + b);
+                assert_eq!(total, expected, "{policy} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_policy_parses_and_renders() {
+        assert_eq!("contiguous".parse::<ShardPolicy>().unwrap(), ShardPolicy::Contiguous);
+        assert_eq!("interleaved".parse::<ShardPolicy>().unwrap(), ShardPolicy::Interleaved);
+        assert!("zigzag".parse::<ShardPolicy>().is_err());
+        assert_eq!(ShardPolicy::default(), ShardPolicy::Contiguous);
+        assert_eq!(ShardPolicy::Contiguous.to_string(), "contiguous");
+        assert_eq!(ShardPolicy::Interleaved.to_string(), "interleaved");
     }
 }

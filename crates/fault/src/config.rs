@@ -1,0 +1,124 @@
+//! Campaign tunables: engine choice, scheduling, and step budgets.
+
+use rr_engine::shard::ShardPolicy;
+use rr_engine::ReplayConfig;
+use std::fmt;
+use std::str::FromStr;
+
+/// Which execution engine a session evaluates faults with.
+///
+/// The choice is made **once, at session construction**: a
+/// [`Checkpointed`](CampaignEngine::Checkpointed) session records
+/// `rr-engine` snapshots along the golden bad-input pass and restores
+/// the nearest one per fault; a [`Naive`](CampaignEngine::Naive) session
+/// records no snapshots (paying no checkpoint memory) and replays every
+/// fault from step 0. There is no way to ask a naive session for a
+/// checkpointed evaluation afterwards — the old API let that combination
+/// silently degrade to replay-from-zero; the session API makes it
+/// unrepresentable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CampaignEngine {
+    /// Replay from step 0 for every fault (the reference implementation).
+    Naive,
+    /// Restore the nearest recorded checkpoint, then step forward
+    /// (bit-identical results, ~√T of the naive replay cost per fault).
+    #[default]
+    Checkpointed,
+}
+
+impl fmt::Display for CampaignEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CampaignEngine::Naive => "naive",
+            CampaignEngine::Checkpointed => "checkpoint",
+        })
+    }
+}
+
+impl FromStr for CampaignEngine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "naive" => Ok(CampaignEngine::Naive),
+            "checkpoint" | "checkpointed" => Ok(CampaignEngine::Checkpointed),
+            other => Err(format!("unknown engine `{other}` (naive|checkpoint)")),
+        }
+    }
+}
+
+/// Tunables for a fault-injection session.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Step budget for the golden (unfaulted) runs.
+    pub golden_max_steps: u64,
+    /// Faulted runs get `golden_bad_steps × this` extra steps…
+    pub faulted_step_multiplier: u64,
+    /// …but never less than this floor (faults can lengthen runs a lot).
+    pub faulted_min_steps: u64,
+    /// Worker threads for the parallel runner; `0` means "all available
+    /// cores".
+    pub threads: usize,
+    /// How fault sites are dealt to worker threads:
+    /// [`ShardPolicy::Contiguous`] ranges keep checkpoint restores warm,
+    /// [`ShardPolicy::Interleaved`] round-robin balances skewed per-site
+    /// fault counts (bit-flip models enumerate `8 × len` faults per
+    /// site). Results are identical either way.
+    pub shard: ShardPolicy,
+    /// Evaluate only every `site_stride`-th trace site (≥ 1). Statistical
+    /// fault injection (Leveugle et al., cited by the paper) for long
+    /// traces; `1` = exhaustive.
+    pub site_stride: usize,
+    /// Checkpoint spacing for the checkpointed engine, in trace steps;
+    /// `0` = automatic (≈ √T, the total-work optimum).
+    pub checkpoint_interval: u64,
+    /// Byte budget for the state retained by the recorded checkpoints,
+    /// measured as page-granular dirtied bytes
+    /// ([`rr_engine::ReplayConfig::max_retained_bytes`]); exceeding it
+    /// widens the checkpoint interval. `0` = unlimited.
+    pub max_retained_bytes: u64,
+    /// Which engine this session evaluates faults with. Decides at
+    /// construction whether the golden pass records snapshots — see
+    /// [`CampaignEngine`].
+    pub engine: CampaignEngine,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            golden_max_steps: 1_000_000,
+            faulted_step_multiplier: 4,
+            faulted_min_steps: 10_000,
+            threads: 0,
+            shard: ShardPolicy::Contiguous,
+            site_stride: 1,
+            checkpoint_interval: 0,
+            max_retained_bytes: ReplayConfig::default().max_retained_bytes,
+            engine: CampaignEngine::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_names_parse_and_render() {
+        assert_eq!("naive".parse::<CampaignEngine>().unwrap(), CampaignEngine::Naive);
+        assert_eq!("checkpoint".parse::<CampaignEngine>().unwrap(), CampaignEngine::Checkpointed);
+        assert_eq!("checkpointed".parse::<CampaignEngine>().unwrap(), CampaignEngine::Checkpointed);
+        assert!("laser".parse::<CampaignEngine>().is_err());
+        assert_eq!(CampaignEngine::default(), CampaignEngine::Checkpointed);
+        assert_eq!(CampaignEngine::Naive.to_string(), "naive");
+        assert_eq!(CampaignEngine::Checkpointed.to_string(), "checkpoint");
+    }
+
+    #[test]
+    fn default_config_is_exhaustive_and_checkpointed() {
+        let config = CampaignConfig::default();
+        assert_eq!(config.site_stride, 1);
+        assert_eq!(config.engine, CampaignEngine::Checkpointed);
+        assert_eq!(config.shard, ShardPolicy::Contiguous);
+    }
+}

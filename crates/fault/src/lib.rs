@@ -1,10 +1,10 @@
-//! # rr-fault — fault models and the fault-injection campaign engine
+//! # rr-fault — fault models, oracles, and the campaign session
 //!
 //! This crate is the **faulter** of the paper's Faulter+Patcher loop
 //! (§IV-B): it simulates hardware fault injection against an
-//! [`rr_obj::Executable`] and reports which faults are *successful* — i.e.
-//! make a run on a **bad** input behave exactly like a run on a **good**
-//! input (the attacker's goal).
+//! [`rr_obj::Executable`] and reports which faults are *successful* — in
+//! the paper's attacker model, make a run on a **bad** input behave
+//! exactly like a run on a **good** input.
 //!
 //! The procedure follows the paper:
 //!
@@ -16,16 +16,33 @@
 //!    enumerates there, replay the run up to that step, apply the fault,
 //!    resume, and classify the behaviour.
 //!
-//! Step 3 is the hot loop, and two [`CampaignEngine`]s implement it: the
-//! **naive** engine replays from step 0 per fault (O(T²) over a `T`-step
-//! trace), while the default **checkpointed** engine restores `rr-engine`
-//! snapshots recorded every ≈ √T steps and steps forward (~O(T·√T)).
-//! Both classify every fault identically — determinism is the emulator's
-//! contract, and the equivalence test suite enforces it.
+//! The API is built around an owned, reusable [`CampaignSession`]:
 //!
-//! Classification ([`FaultClass`]): `Success` (matches the good run —
-//! a vulnerability), `Benign` (still matches the bad run), `Crashed`,
-//! `TimedOut`, or `Corrupted` (some third behaviour).
+//! * [`CampaignSession::builder`] owns the executable and inputs
+//!   (`Arc`-shared with the replay machinery), performs the golden runs
+//!   once, and fixes the execution engine — the **naive** engine replays
+//!   from step 0 per fault (O(T²) over a `T`-step trace), the default
+//!   **checkpointed** engine restores `rr-engine` snapshots recorded
+//!   every ≈ √T steps and steps forward (~O(T·√T)). A naive session
+//!   records no snapshots and can never be asked for a checkpointed
+//!   evaluation, so the two cannot be mismatched.
+//! * Classification is a pluggable [`Oracle`]. The default
+//!   [`GoldenPairOracle`] implements the paper's comparison
+//!   ([`FaultClass::Success`] = matches the good run, [`FaultClass::Benign`]
+//!   = still matches the bad run, `Crashed`/`TimedOut`/`Corrupted`
+//!   otherwise); [`OutputPrefixOracle`] and [`CrashTriageOracle`] run
+//!   campaigns that need no good input at all.
+//! * [`CampaignSession::run`] is the one entry point: any number of
+//!   models share a single scheduling pass (contiguous or round-robin
+//!   [`ShardPolicy`]), and the sink argument picks the consumption —
+//!   [`Collect`] materializes a [`CampaignReport`] per model, [`Stream`]
+//!   folds straight into a [`ModelSummary`] per model in O(shards)
+//!   memory.
+//!
+//! Both engines classify every fault identically — determinism is the
+//! emulator's contract, and `crates/fault/tests/engine_equiv.rs`
+//! enforces bit-identical reports across engines, thread counts, and
+//! shard policies.
 //!
 //! Fault models provided:
 //!
@@ -39,24 +56,34 @@
 //! ## Example
 //!
 //! ```
-//! use rr_fault::{Campaign, FaultClass, InstructionSkip};
+//! use rr_fault::{CampaignSession, Collect, FaultClass, InstructionSkip};
 //! use rr_workloads::pincheck;
 //!
 //! let w = pincheck();
-//! let exe = w.build()?;
-//! let campaign = Campaign::new(&exe, &w.good_input, &w.bad_input)?;
-//! let report = campaign.run(&InstructionSkip);
+//! let session = CampaignSession::builder(w.build()?)
+//!     .good_input(&w.good_input[..])
+//!     .bad_input(&w.bad_input[..])
+//!     .build()?;
+//! let report = session.run(&[&InstructionSkip], Collect).pop().unwrap();
 //! // The unprotected pincheck is skip-vulnerable:
 //! assert!(report.count(FaultClass::Success) > 0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-mod campaign;
+mod config;
 mod model;
+mod oracle;
+mod report;
+mod session;
 mod site;
 
-pub use campaign::{
-    Campaign, CampaignConfig, CampaignEngine, CampaignError, CampaignReport, FaultResult, Summary,
-};
+pub use config::{CampaignConfig, CampaignEngine};
 pub use model::{FaultModel, FlagFlip, InstructionSkip, RegisterBitFlip, SingleBitFlip};
+pub use oracle::{Behavior, CrashTriageOracle, GoldenPairOracle, Oracle, OutputPrefixOracle};
+pub use report::{CampaignReport, FaultResult, ModelSummary, Summary};
+pub use session::{CampaignError, CampaignSession, CampaignSessionBuilder, Collect, Sink, Stream};
 pub use site::{Fault, FaultClass, FaultEffect, FaultSite};
+
+// The shard policy is part of [`CampaignConfig`]; re-exported so session
+// consumers don't need an rr-engine dependency to select it.
+pub use rr_engine::shard::ShardPolicy;

@@ -1,0 +1,190 @@
+//! Oracles: pluggable classification of faulted behaviours.
+//!
+//! An [`Oracle`] turns the observable behaviour of one faulted run into
+//! a [`FaultClass`]. The paper's attacker model — "the faulted bad-input
+//! run behaves exactly like the good-input run" — is the default
+//! [`GoldenPairOracle`]; decoupling the judgment from the runner opens
+//! other campaign scenarios (output-prefix goals, crash-only robustness
+//! triage) without touching the scheduling or replay machinery.
+
+use crate::site::FaultClass;
+use rr_emu::RunOutcome;
+use std::fmt;
+
+/// The complete observable behaviour of one run — what oracles classify.
+///
+/// An alias for [`rr_emu::Execution`]: the run's [`RunOutcome`], its
+/// output bytes, and the executed step count (which oracles normally
+/// ignore — patching legitimately changes it).
+pub type Behavior = rr_emu::Execution;
+
+/// Classifies the behaviour of faulted runs.
+///
+/// Implementations must be [`Send`] + [`Sync`] (sessions evaluate faults
+/// from multiple threads) and [`fmt::Debug`] (sessions are debuggable).
+///
+/// The classes an oracle may return are [`FaultClass::Success`],
+/// [`FaultClass::Benign`], [`FaultClass::Crashed`],
+/// [`FaultClass::TimedOut`] and [`FaultClass::Corrupted`];
+/// [`FaultClass::ReplayDiverged`] is reserved for the runner itself
+/// (a replay that never reached the injection point has no faulted
+/// behaviour to classify).
+pub trait Oracle: fmt::Debug + Send + Sync {
+    /// Short name for reports and CLI output.
+    fn name(&self) -> &'static str;
+
+    /// Classifies one faulted run's behaviour.
+    fn classify(&self, faulted: &Behavior) -> FaultClass;
+}
+
+/// The paper's oracle: compare against the two golden runs.
+///
+/// `Success` when the faulted run matches the **good**-input behaviour
+/// (the attacker's goal), `Benign` when it still matches the unfaulted
+/// **bad**-input behaviour, and `Crashed`/`TimedOut`/`Corrupted` by
+/// outcome for any third behaviour.
+#[derive(Debug, Clone)]
+pub struct GoldenPairOracle {
+    golden_good: Behavior,
+    golden_bad: Behavior,
+}
+
+impl GoldenPairOracle {
+    /// Builds the oracle from the two golden behaviours.
+    pub fn new(golden_good: Behavior, golden_bad: Behavior) -> GoldenPairOracle {
+        GoldenPairOracle { golden_good, golden_bad }
+    }
+
+    /// The golden good-input behaviour this oracle compares against.
+    pub fn golden_good(&self) -> &Behavior {
+        &self.golden_good
+    }
+
+    /// The golden bad-input behaviour this oracle compares against.
+    pub fn golden_bad(&self) -> &Behavior {
+        &self.golden_bad
+    }
+}
+
+impl Oracle for GoldenPairOracle {
+    fn name(&self) -> &'static str {
+        "golden-pair"
+    }
+
+    fn classify(&self, faulted: &Behavior) -> FaultClass {
+        if faulted.same_behavior(&self.golden_good) {
+            FaultClass::Success
+        } else if faulted.same_behavior(&self.golden_bad) {
+            FaultClass::Benign
+        } else {
+            match faulted.outcome {
+                RunOutcome::Crashed { .. } => FaultClass::Crashed,
+                RunOutcome::TimedOut => FaultClass::TimedOut,
+                RunOutcome::Exited { .. } => FaultClass::Corrupted,
+            }
+        }
+    }
+}
+
+/// An attacker goal stated as an output prefix (e.g. `ACCESS GRANTED`):
+/// `Success` as soon as the faulted run's output starts with the prefix
+/// — even if the run crashes afterwards, the attacker has already
+/// observed the output — otherwise `Crashed`/`TimedOut` by outcome and
+/// `Benign` for clean exits without the prefix.
+///
+/// Needs no good input: sessions using it can be built from a single
+/// traced input.
+#[derive(Debug, Clone)]
+pub struct OutputPrefixOracle {
+    prefix: Vec<u8>,
+}
+
+impl OutputPrefixOracle {
+    /// Builds the oracle for a goal output prefix.
+    pub fn new(prefix: impl Into<Vec<u8>>) -> OutputPrefixOracle {
+        OutputPrefixOracle { prefix: prefix.into() }
+    }
+
+    /// The goal prefix.
+    pub fn prefix(&self) -> &[u8] {
+        &self.prefix
+    }
+}
+
+impl Oracle for OutputPrefixOracle {
+    fn name(&self) -> &'static str {
+        "output-prefix"
+    }
+
+    fn classify(&self, faulted: &Behavior) -> FaultClass {
+        if faulted.output.starts_with(&self.prefix) {
+            return FaultClass::Success;
+        }
+        match faulted.outcome {
+            RunOutcome::Crashed { .. } => FaultClass::Crashed,
+            RunOutcome::TimedOut => FaultClass::TimedOut,
+            RunOutcome::Exited { .. } => FaultClass::Benign,
+        }
+    }
+}
+
+/// Crash-only triage: `Crashed`/`TimedOut` by outcome, everything else
+/// `Benign`. The robustness-campaign oracle ("which faults does the
+/// binary *detect*?"); needs no good input.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CrashTriageOracle;
+
+impl Oracle for CrashTriageOracle {
+    fn name(&self) -> &'static str {
+        "crash-triage"
+    }
+
+    fn classify(&self, faulted: &Behavior) -> FaultClass {
+        match faulted.outcome {
+            RunOutcome::Crashed { .. } => FaultClass::Crashed,
+            RunOutcome::TimedOut => FaultClass::TimedOut,
+            RunOutcome::Exited { .. } => FaultClass::Benign,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn behavior(outcome: RunOutcome, output: &[u8]) -> Behavior {
+        Behavior { outcome, output: output.to_vec(), steps: 42 }
+    }
+
+    #[test]
+    fn prefix_oracle_rewards_the_goal_output_even_on_crash() {
+        let oracle = OutputPrefixOracle::new(&b"GRANTED"[..]);
+        assert_eq!(oracle.name(), "output-prefix");
+        assert_eq!(oracle.prefix(), b"GRANTED");
+        let crash = RunOutcome::Crashed { fault: rr_emu::CpuFault::DivideByZero, pc: 0x1000 };
+        assert_eq!(
+            oracle.classify(&behavior(RunOutcome::Exited { code: 0 }, b"GRANTED\n")),
+            FaultClass::Success
+        );
+        assert_eq!(oracle.classify(&behavior(crash, b"GRANTED then boom")), FaultClass::Success);
+        assert_eq!(oracle.classify(&behavior(crash, b"DENIED")), FaultClass::Crashed);
+        assert_eq!(oracle.classify(&behavior(RunOutcome::TimedOut, b"")), FaultClass::TimedOut);
+        assert_eq!(
+            oracle.classify(&behavior(RunOutcome::Exited { code: 1 }, b"DENIED")),
+            FaultClass::Benign
+        );
+    }
+
+    #[test]
+    fn crash_triage_only_sees_detectable_failures() {
+        let oracle = CrashTriageOracle;
+        assert_eq!(oracle.name(), "crash-triage");
+        let crash = RunOutcome::Crashed { fault: rr_emu::CpuFault::DivideByZero, pc: 0x1000 };
+        assert_eq!(oracle.classify(&behavior(crash, b"x")), FaultClass::Crashed);
+        assert_eq!(oracle.classify(&behavior(RunOutcome::TimedOut, b"")), FaultClass::TimedOut);
+        assert_eq!(
+            oracle.classify(&behavior(RunOutcome::Exited { code: 7 }, b"whatever")),
+            FaultClass::Benign
+        );
+    }
+}

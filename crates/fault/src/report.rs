@@ -1,0 +1,161 @@
+//! Campaign results: per-fault classifications, per-model reports, and
+//! streamed summaries.
+
+use crate::site::{Fault, FaultClass};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One evaluated fault and its classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultResult {
+    /// The injected fault.
+    pub fault: Fault,
+    /// How the oracle classified the faulted run.
+    pub class: FaultClass,
+}
+
+/// Per-class counts of a campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Summary {
+    /// Total faults evaluated.
+    pub total: usize,
+    /// Successful faults (vulnerabilities).
+    pub success: usize,
+    /// Faults with no attacker-relevant effect.
+    pub benign: usize,
+    /// Faulted runs that crashed.
+    pub crashed: usize,
+    /// Faulted runs that hung.
+    pub timed_out: usize,
+    /// Normal exits matching neither golden behaviour.
+    pub corrupted: usize,
+    /// Replays that failed to reach the injection point (determinism
+    /// violations; always 0 for well-formed campaigns).
+    pub diverged: usize,
+}
+
+impl Summary {
+    /// Streams one classification into the counts.
+    pub fn record(&mut self, class: FaultClass) {
+        self.total += 1;
+        match class {
+            FaultClass::Success => self.success += 1,
+            FaultClass::Benign => self.benign += 1,
+            FaultClass::Crashed => self.crashed += 1,
+            FaultClass::TimedOut => self.timed_out += 1,
+            FaultClass::Corrupted => self.corrupted += 1,
+            FaultClass::ReplayDiverged => self.diverged += 1,
+        }
+    }
+
+    /// Combines two partial summaries (shard aggregation).
+    #[must_use]
+    pub fn merge(self, other: Summary) -> Summary {
+        Summary {
+            total: self.total + other.total,
+            success: self.success + other.success,
+            benign: self.benign + other.benign,
+            crashed: self.crashed + other.crashed,
+            timed_out: self.timed_out + other.timed_out,
+            corrupted: self.corrupted + other.corrupted,
+            diverged: self.diverged + other.diverged,
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} faults: {} success, {} benign, {} crashed, {} timed-out, {} corrupted",
+            self.total, self.success, self.benign, self.crashed, self.timed_out, self.corrupted
+        )?;
+        if self.diverged > 0 {
+            write!(f, ", {} replay-diverged", self.diverged)?;
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of running one fault model against one binary.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Name of the fault model that was simulated.
+    pub model: &'static str,
+    /// Every evaluated fault, in site order.
+    pub results: Vec<FaultResult>,
+}
+
+impl CampaignReport {
+    /// Number of results in the given class.
+    pub fn count(&self, class: FaultClass) -> usize {
+        self.results.iter().filter(|r| r.class == class).count()
+    }
+
+    /// The successful faults — the vulnerability list handed to the
+    /// patcher.
+    pub fn vulnerabilities(&self) -> Vec<FaultResult> {
+        self.results.iter().copied().filter(|r| r.class == FaultClass::Success).collect()
+    }
+
+    /// Distinct instruction addresses with at least one successful fault —
+    /// the set of *program points* the patcher must protect.
+    pub fn vulnerable_pcs(&self) -> BTreeSet<u64> {
+        self.results.iter().filter(|r| r.class == FaultClass::Success).map(|r| r.fault.pc).collect()
+    }
+
+    /// Aggregated per-class counts.
+    pub fn summary(&self) -> Summary {
+        let mut s = Summary::default();
+        for r in &self.results {
+            s.record(r.class);
+        }
+        s
+    }
+}
+
+/// A streamed [`Summary`] for one fault model — what the
+/// [`Stream`](crate::Stream) sink yields instead of a materialized
+/// [`CampaignReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelSummary {
+    /// Name of the fault model that was simulated.
+    pub model: &'static str,
+    /// Aggregated per-class counts.
+    pub summary: Summary,
+}
+
+impl fmt::Display for ModelSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.model, self.summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_records_and_merges_every_class() {
+        let mut a = Summary::default();
+        for class in FaultClass::ALL {
+            a.record(class);
+        }
+        assert_eq!(a.total, 6);
+        assert_eq!(
+            a.total,
+            a.success + a.benign + a.crashed + a.timed_out + a.corrupted + a.diverged
+        );
+        let merged = a.merge(a);
+        assert_eq!(merged.total, 12);
+        assert_eq!(merged.diverged, 2);
+        assert!(merged.to_string().contains("replay-diverged"));
+        assert!(!Summary::default().to_string().contains("replay-diverged"));
+    }
+
+    #[test]
+    fn model_summary_displays_its_model() {
+        let ms = ModelSummary { model: "instruction-skip", summary: Summary::default() };
+        assert!(ms.to_string().starts_with("instruction-skip: "));
+    }
+}

@@ -9,10 +9,15 @@
 //! checkpoint selection), and would silently corrupt campaign results —
 //! so the comparison is on full reports (fault-by-fault classes), not
 //! just summaries.
+//!
+//! With the session API the engine is a construction-time property
+//! ([`CampaignConfig::engine`]), so "naive vs checkpointed" means two
+//! independently built [`CampaignSession`]s over the same workload —
+//! exactly how a consumer would switch engines.
 
 use rr_fault::{
-    Campaign, CampaignConfig, CampaignEngine, FaultClass, FaultModel, FlagFlip, InstructionSkip,
-    RegisterBitFlip, SingleBitFlip,
+    CampaignConfig, CampaignEngine, CampaignReport, CampaignSession, Collect, FaultClass,
+    FaultModel, FlagFlip, InstructionSkip, RegisterBitFlip, ShardPolicy, SingleBitFlip, Stream,
 };
 use rr_workloads::Workload;
 
@@ -41,6 +46,19 @@ fn rr_isa_reg(index: u8) -> rr_isa::Reg {
     rr_isa::Reg::from_index(index)
 }
 
+fn session(w: &Workload, config: CampaignConfig) -> CampaignSession {
+    CampaignSession::builder(w.build().unwrap_or_else(|e| panic!("{}: build failed: {e}", w.name)))
+        .good_input(&w.good_input[..])
+        .bad_input(&w.bad_input[..])
+        .config(config)
+        .build()
+        .unwrap_or_else(|e| panic!("{}: session setup failed: {e}", w.name))
+}
+
+fn run_one(s: &CampaignSession, model: &dyn FaultModel) -> CampaignReport {
+    s.run(&[model], Collect).pop().expect("one report per model")
+}
+
 /// Strides per workload keep the heavier models (bit flips enumerate
 /// 8 × len faults per site) inside a sensible test budget without losing
 /// coverage of every fault-effect kind.
@@ -56,13 +74,16 @@ fn config_for(workload: &str, model: &str) -> CampaignConfig {
 #[test]
 fn checkpointed_matches_naive_for_every_model_and_workload() {
     for w in workloads() {
-        let exe = w.build().unwrap_or_else(|e| panic!("{}: build failed: {e}", w.name));
         for (model_name, model) in models() {
             let config = config_for(w.name, model_name);
-            let campaign = Campaign::with_config(&exe, &w.good_input, &w.bad_input, config)
-                .unwrap_or_else(|e| panic!("{}: campaign setup failed: {e}", w.name));
-            let naive = campaign.run(model.as_ref());
-            let checkpointed = campaign.run_checkpointed(model.as_ref());
+            let naive = run_one(
+                &session(&w, CampaignConfig { engine: CampaignEngine::Naive, ..config.clone() }),
+                model.as_ref(),
+            );
+            let checkpointed = run_one(
+                &session(&w, CampaignConfig { engine: CampaignEngine::Checkpointed, ..config }),
+                model.as_ref(),
+            );
             assert_eq!(
                 naive.results.len(),
                 checkpointed.results.len(),
@@ -92,16 +113,24 @@ fn checkpointed_matches_naive_for_every_model_and_workload() {
 }
 
 #[test]
-fn parallel_sharding_preserves_order_and_results() {
+fn scheduling_is_invisible_in_reports() {
+    // Thread counts and shard policies are pure scheduling: reports stay
+    // bit-identical, in site order, under every combination.
     for w in workloads() {
-        let exe = w.build().unwrap();
-        for threads in [1, 2, 5] {
-            let config = CampaignConfig { threads, site_stride: 2, ..CampaignConfig::default() };
-            let campaign =
-                Campaign::with_config(&exe, &w.good_input, &w.bad_input, config).unwrap();
-            let serial = campaign.run(&InstructionSkip);
-            let sharded = campaign.run_checkpointed(&InstructionSkip);
-            assert_eq!(serial.results, sharded.results, "{} threads={threads}", w.name);
+        let serial = run_one(
+            &session(
+                &w,
+                CampaignConfig { threads: 1, site_stride: 2, ..CampaignConfig::default() },
+            ),
+            &InstructionSkip,
+        );
+        for threads in [2, 5] {
+            for shard in [ShardPolicy::Contiguous, ShardPolicy::Interleaved] {
+                let config =
+                    CampaignConfig { threads, shard, site_stride: 2, ..CampaignConfig::default() };
+                let sharded = run_one(&session(&w, config), &InstructionSkip);
+                assert_eq!(serial.results, sharded.results, "{} threads={threads} {shard}", w.name);
+            }
         }
     }
 }
@@ -109,53 +138,45 @@ fn parallel_sharding_preserves_order_and_results() {
 #[test]
 fn streaming_summaries_match_reports_on_all_workloads() {
     for w in workloads() {
-        let exe = w.build().unwrap();
-        let config = CampaignConfig { site_stride: 4, ..CampaignConfig::default() };
-        let campaign = Campaign::with_config(&exe, &w.good_input, &w.bad_input, config).unwrap();
-        let expected = campaign.run(&InstructionSkip).summary();
         for engine in [CampaignEngine::Naive, CampaignEngine::Checkpointed] {
-            assert_eq!(
-                campaign.run_streaming(&InstructionSkip, engine),
-                expected,
-                "{} via {engine}",
-                w.name
-            );
+            let s =
+                session(&w, CampaignConfig { engine, site_stride: 4, ..CampaignConfig::default() });
+            let expected = run_one(&s, &InstructionSkip).summary();
+            let streamed = s.run(&[&InstructionSkip as &dyn FaultModel], Stream);
+            assert_eq!(streamed[0].summary, expected, "{} via {engine}", w.name);
         }
     }
 }
 
 /// The paged-memory retention knobs are pure memory/performance
 /// controls: squeezing the checkpoint byte budget (forcing interval
-/// widening and checkpoint thinning) or hinting the campaign naive
+/// widening and checkpoint thinning) or building the session naive
 /// (skipping snapshot recording entirely) must never change a single
 /// classification.
 #[test]
-fn byte_budgets_and_engine_hints_do_not_change_results() {
+fn byte_budgets_and_engine_choice_do_not_change_results() {
     for w in [rr_workloads::pincheck(), rr_workloads::otp_check()] {
-        let exe = w.build().unwrap();
-        let baseline =
-            Campaign::new(&exe, &w.good_input, &w.bad_input).unwrap().run(&InstructionSkip);
+        let baseline = run_one(&session(&w, CampaignConfig::default()), &InstructionSkip);
         // Byte budgets from generous down to pathological (one page).
         for budget in [16 << 20, 64 << 10, 4096] {
             let config = CampaignConfig { max_retained_bytes: budget, ..CampaignConfig::default() };
-            let campaign =
-                Campaign::with_config(&exe, &w.good_input, &w.bad_input, config).unwrap();
-            let report = campaign.run_checkpointed(&InstructionSkip);
+            let s = session(&w, config);
+            let report = run_one(&s, &InstructionSkip);
             assert_eq!(report.results, baseline.results, "{} budget={budget}", w.name);
             assert!(
-                campaign.replay_footprint().retained_bytes <= budget,
+                s.replay_footprint().retained_bytes <= budget,
                 "{}: footprint over budget {budget}",
                 w.name
             );
         }
-        // Naive-hinted campaign, evaluated by every path.
+        // A naive session records nothing and still classifies
+        // identically, via both sinks.
         let config = CampaignConfig { engine: CampaignEngine::Naive, ..CampaignConfig::default() };
-        let hinted = Campaign::with_config(&exe, &w.good_input, &w.bad_input, config).unwrap();
-        assert_eq!(hinted.replay_footprint().checkpoints, 1, "{}", w.name);
-        assert_eq!(hinted.run_configured(&InstructionSkip).results, baseline.results);
-        assert_eq!(hinted.run_checkpointed(&InstructionSkip).results, baseline.results);
+        let naive = session(&w, config);
+        assert_eq!(naive.replay_footprint().checkpoints, 1, "{}", w.name);
+        assert_eq!(run_one(&naive, &InstructionSkip).results, baseline.results);
         assert_eq!(
-            hinted.run_streaming(&InstructionSkip, CampaignEngine::Naive),
+            naive.run(&[&InstructionSkip as &dyn FaultModel], Stream)[0].summary,
             baseline.summary(),
             "{}",
             w.name
@@ -166,15 +187,29 @@ fn byte_budgets_and_engine_hints_do_not_change_results() {
 #[test]
 fn explicit_checkpoint_intervals_do_not_change_results() {
     let w = rr_workloads::otp_check();
-    let exe = w.build().unwrap();
-    let baseline = {
-        let campaign = Campaign::new(&exe, &w.good_input, &w.bad_input).unwrap();
-        campaign.run(&InstructionSkip)
-    };
+    let baseline = run_one(&session(&w, CampaignConfig::default()), &InstructionSkip);
     for interval in [1, 2, 16, 1024, u64::MAX / 2] {
         let config = CampaignConfig { checkpoint_interval: interval, ..CampaignConfig::default() };
-        let campaign = Campaign::with_config(&exe, &w.good_input, &w.bad_input, config).unwrap();
-        let report = campaign.run_checkpointed(&InstructionSkip);
+        let report = run_one(&session(&w, config), &InstructionSkip);
         assert_eq!(report.results, baseline.results, "interval={interval}");
+    }
+}
+
+#[test]
+fn one_pass_multi_model_runs_match_independent_runs() {
+    // All models handed to one `run` call share a single scheduling pass;
+    // the reports must still equal independently evaluated ones, engine
+    // by engine.
+    let w = rr_workloads::otp_check();
+    for engine in [CampaignEngine::Naive, CampaignEngine::Checkpointed] {
+        let s = session(&w, CampaignConfig { engine, site_stride: 3, ..CampaignConfig::default() });
+        let boxed = models();
+        let refs: Vec<&dyn FaultModel> = boxed.iter().map(|(_, m)| m.as_ref()).collect();
+        let combined = s.run(&refs, Collect);
+        assert_eq!(combined.len(), refs.len());
+        for ((name, model), combined_report) in boxed.iter().zip(&combined) {
+            let solo = run_one(&s, model.as_ref());
+            assert_eq!(combined_report.results, solo.results, "{name} via {engine}");
+        }
     }
 }

@@ -3,7 +3,7 @@
 //! §V-C, second approach).
 
 use rr_emu::execute;
-use rr_fault::{Campaign, FaultClass, InstructionSkip};
+use rr_fault::{CampaignSession, Collect, FaultClass, FaultModel, InstructionSkip};
 use rr_harden::{BranchHardening, FullDuplication};
 use rr_ir::PassManager;
 use rr_lower::compile;
@@ -84,8 +84,13 @@ fn full_duplication_preserves_behavior() {
 fn branch_hardening_blocks_decision_skips() {
     let w = pincheck();
     let exe = w.build().unwrap();
-    let baseline_campaign = Campaign::new(&exe, &w.good_input, &w.bad_input).unwrap();
-    let baseline = baseline_campaign.run_parallel(&InstructionSkip);
+    let baseline_session = CampaignSession::builder(exe.clone())
+        .good_input(&w.good_input[..])
+        .bad_input(&w.bad_input[..])
+        .build()
+        .unwrap();
+    let baseline =
+        baseline_session.run(&[&InstructionSkip as &dyn FaultModel], Collect).pop().unwrap();
     let baseline_vulns = baseline.summary().success;
     assert!(baseline_vulns > 0);
 
@@ -99,15 +104,20 @@ fn branch_hardening_blocks_decision_skips() {
         faulted_min_steps: BUDGET,
         ..Default::default()
     };
-    let campaign = Campaign::with_config(&hardened, &w.good_input, &w.bad_input, config).unwrap();
-    let report = campaign.run_parallel(&InstructionSkip);
+    let session = CampaignSession::builder(hardened)
+        .good_input(&w.good_input[..])
+        .bad_input(&w.bad_input[..])
+        .config(config)
+        .build()
+        .unwrap();
+    let report = session.run(&[&InstructionSkip as &dyn FaultModel], Collect).pop().unwrap();
     let summary = report.summary();
     assert!(summary.crashed > 0, "validation must catch some faults: {summary}");
 
     // No residual vulnerability may sit on a compare or conditional jump.
     for result in report.vulnerabilities() {
         assert_eq!(result.class, FaultClass::Success);
-        let site = campaign
+        let site = session
             .sites()
             .iter()
             .find(|s| s.step == result.fault.step)

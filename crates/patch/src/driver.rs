@@ -3,12 +3,14 @@
 use crate::patterns::{apply_patterns, PatchStats};
 use rr_asm::BuildError;
 use rr_disasm::{DisasmError, SymbolizationPolicy};
-use rr_emu::execute;
+use rr_emu::{execute, Execution};
 use rr_fault::{
-    Campaign, CampaignConfig, CampaignEngine, CampaignError, CampaignReport, FaultModel,
+    CampaignConfig, CampaignEngine, CampaignError, CampaignReport, CampaignSession, Collect,
+    FaultModel,
 };
 use rr_obj::Executable;
 use std::fmt;
+use std::sync::Arc;
 
 /// Configuration of the hardening loop.
 #[derive(Debug, Clone)]
@@ -17,7 +19,7 @@ pub struct HardenConfig {
     pub max_iterations: usize,
     /// Symbolization policy for the disassembly step.
     pub policy: SymbolizationPolicy,
-    /// Campaign settings (step budgets, threads).
+    /// Campaign settings (step budgets, threads, shard policy).
     pub campaign: CampaignConfig,
     /// Run campaigns in parallel.
     pub parallel: bool,
@@ -68,6 +70,16 @@ pub struct LoopOutcome {
     pub fixed_point: bool,
     /// Successful faults remaining against the final binary.
     pub residual_vulnerabilities: usize,
+    /// Campaign sessions built across the whole loop (including the
+    /// final re-measurement ones).
+    pub campaigns: usize,
+    /// Good-input golden executions those sessions performed. Always 1:
+    /// the first session runs the good input once, and every later
+    /// session reuses that behaviour as a trusted golden
+    /// ([`rr_fault::CampaignSessionBuilder::golden_good`]) — sound
+    /// because each patch is verified to preserve both golden behaviours
+    /// before the next campaign.
+    pub golden_good_runs: usize,
 }
 
 impl LoopOutcome {
@@ -129,6 +141,20 @@ impl From<BuildError> for HardenError {
     }
 }
 
+/// Golden-run state carried across the loop's campaign sessions: the
+/// `Arc`-shared inputs (derived once) and, after the first session, the
+/// trusted golden-good behaviour every later session reuses plus the
+/// original binary's golden-bad behaviour (the soundness reference).
+#[derive(Debug)]
+struct SessionSeed {
+    good: Arc<[u8]>,
+    bad: Arc<[u8]>,
+    golden_good: Option<Execution>,
+    golden_bad: Option<Execution>,
+    campaigns: usize,
+    golden_good_runs: usize,
+}
+
 /// The simulation-driven, iterative hardening driver (paper Fig. 2):
 /// faulter → patcher → reassemble → faulter … until no fixable
 /// vulnerability remains.
@@ -143,10 +169,10 @@ impl FaulterPatcher {
         FaulterPatcher { config }
     }
 
-    /// Campaign settings with `parallel: false` honoured for both
-    /// engines (a single worker thread evaluates inline) and the engine
-    /// choice passed down as a construction hint, so naive-engine
-    /// hardening loops skip snapshot recording and its memory cost.
+    /// Campaign settings with `parallel: false` honoured (a single
+    /// worker thread evaluates inline) and the engine choice passed
+    /// down, so naive-engine hardening loops skip snapshot recording and
+    /// its memory cost.
     fn campaign_config(&self) -> CampaignConfig {
         let mut config = self.config.campaign.clone();
         if !self.config.parallel {
@@ -156,13 +182,31 @@ impl FaulterPatcher {
         config
     }
 
-    /// Runs one campaign with the configured engine and parallelism.
-    fn run_campaign(&self, campaign: &Campaign<'_>, model: &dyn FaultModel) -> CampaignReport {
-        match self.config.engine {
-            CampaignEngine::Checkpointed => campaign.run_checkpointed(model),
-            CampaignEngine::Naive if self.config.parallel => campaign.run_parallel(model),
-            CampaignEngine::Naive => campaign.run(model),
+    /// Builds one campaign session on `exe`, reusing the seed's trusted
+    /// golden-good behaviour when one is available, and runs `model`.
+    fn campaign(
+        &self,
+        exe: &Executable,
+        seed: &mut SessionSeed,
+        model: &dyn FaultModel,
+    ) -> Result<CampaignReport, CampaignError> {
+        let mut builder = CampaignSession::builder(exe.clone())
+            .good_input(seed.good.clone())
+            .bad_input(seed.bad.clone())
+            .config(self.campaign_config());
+        if let Some(golden) = seed.golden_good.clone() {
+            builder = builder.golden_good(golden);
         }
+        let session = builder.build()?;
+        seed.campaigns += 1;
+        if !session.reused_golden_good() {
+            seed.golden_good_runs += 1;
+        }
+        seed.golden_good = session.golden_good().cloned();
+        if seed.golden_bad.is_none() {
+            seed.golden_bad = Some(session.golden_bad().clone());
+        }
+        Ok(session.run(&[model], Collect).pop().expect("one model in, one report out"))
     }
 
     /// Hardens `exe` against `model` using the good/bad input pair as the
@@ -181,8 +225,17 @@ impl FaulterPatcher {
         model: &dyn FaultModel,
     ) -> Result<LoopOutcome, HardenError> {
         let original_code_size = exe.code_size();
-        let golden_good = execute(exe, good_input, self.config.campaign.golden_max_steps);
-        let golden_bad = execute(exe, bad_input, self.config.campaign.golden_max_steps);
+        // Inputs are derived into `Arc`s once and shared by every
+        // session the loop builds.
+        let mut seed = SessionSeed {
+            good: good_input.into(),
+            bad: bad_input.into(),
+            golden_good: None,
+            golden_bad: None,
+            campaigns: 0,
+            golden_good_runs: 0,
+        };
+        let golden_max_steps = self.config.campaign.golden_max_steps;
 
         let mut current = exe.clone();
         let mut iterations = Vec::new();
@@ -194,9 +247,12 @@ impl FaulterPatcher {
         let mut best: Option<(Executable, usize)> = None;
 
         for iteration in 0..self.config.max_iterations {
-            let campaign =
-                Campaign::with_config(&current, good_input, bad_input, self.campaign_config())?;
-            let report = self.run_campaign(&campaign, model);
+            let report = self.campaign(&current, &mut seed, model)?;
+            // Soundness references: the golden behaviours every patched
+            // iterate must preserve, taken from the first session's
+            // golden pass (on the original binary).
+            let golden_good = seed.golden_good.clone().expect("golden-pair session ran");
+            let golden_bad = seed.golden_bad.clone().expect("golden-pair session ran");
             let vulnerable = report.vulnerable_pcs();
             if iteration > 0 && best.as_ref().is_none_or(|(_, s)| vulnerable.len() < *s) {
                 best = Some((current.clone(), vulnerable.len()));
@@ -212,9 +268,11 @@ impl FaulterPatcher {
             let made_progress = !stats.patched.is_empty();
             let rebuilt = rr_asm::assemble_and_link(&listing.to_source())?;
 
-            // Soundness check: golden behaviour must be preserved.
-            let good_now = execute(&rebuilt, good_input, self.config.campaign.golden_max_steps);
-            let bad_now = execute(&rebuilt, bad_input, self.config.campaign.golden_max_steps);
+            // Soundness check: golden behaviour must be preserved. (This
+            // is also what licenses reusing the golden-good behaviour in
+            // the next iteration's session.)
+            let good_now = execute(&rebuilt, good_input, golden_max_steps);
+            let bad_now = execute(&rebuilt, bad_input, golden_max_steps);
             if !good_now.same_behavior(&golden_good) || !bad_now.same_behavior(&golden_bad) {
                 return Err(HardenError::BehaviorChanged { iteration });
             }
@@ -241,9 +299,7 @@ impl FaulterPatcher {
         let (hardened, residual) = if fixed_point {
             (current, 0)
         } else {
-            let campaign =
-                Campaign::with_config(&current, good_input, bad_input, self.campaign_config())?;
-            let report = self.run_campaign(&campaign, model);
+            let report = self.campaign(&current, &mut seed, model)?;
             let final_sites = report.vulnerable_pcs().len();
             if best.as_ref().is_none_or(|(_, s)| final_sites < *s) {
                 best = Some((current, final_sites));
@@ -252,9 +308,7 @@ impl FaulterPatcher {
             // The site count is distinct program points; residual counts
             // individual successful faults at those points, so re-measure
             // faults on the selected binary.
-            let campaign =
-                Campaign::with_config(&hardened, good_input, bad_input, self.campaign_config())?;
-            let report = self.run_campaign(&campaign, model);
+            let report = self.campaign(&hardened, &mut seed, model)?;
             fixed_point = sites == 0;
             let residual = report.vulnerabilities().len();
             (hardened, residual)
@@ -266,6 +320,8 @@ impl FaulterPatcher {
             iterations,
             fixed_point,
             residual_vulnerabilities: residual,
+            campaigns: seed.campaigns,
+            golden_good_runs: seed.golden_good_runs,
         })
     }
 }

@@ -1032,8 +1032,15 @@ mod tests {
         apply_patterns(&mut listing, &all_addrs);
         let patched = assemble_and_link(&listing.to_source()).unwrap();
 
-        let campaign = rr_fault::Campaign::new(&patched, &w.good_input, &w.bad_input).unwrap();
-        let report = campaign.run_parallel(&rr_fault::InstructionSkip);
+        let session = rr_fault::CampaignSession::builder(patched)
+            .good_input(&w.good_input[..])
+            .bad_input(&w.bad_input[..])
+            .build()
+            .unwrap();
+        let report = session
+            .run(&[&rr_fault::InstructionSkip as &dyn rr_fault::FaultModel], rr_fault::Collect)
+            .pop()
+            .unwrap();
         let vulns = report.vulnerabilities();
         assert!(
             vulns.is_empty(),
@@ -1041,7 +1048,7 @@ mod tests {
             vulns
                 .iter()
                 .map(|v| {
-                    let site = campaign.sites().iter().find(|s| s.step == v.fault.step).unwrap();
+                    let site = session.sites().iter().find(|s| s.step == v.fault.step).unwrap();
                     format!("{:#x} {}", site.pc, site.insn)
                 })
                 .collect::<Vec<_>>()

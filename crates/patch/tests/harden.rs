@@ -4,9 +4,23 @@
 //! size overhead.
 
 use rr_emu::execute;
-use rr_fault::{Campaign, InstructionSkip, SingleBitFlip};
+use rr_fault::{CampaignSession, Collect, InstructionSkip, SingleBitFlip};
 use rr_patch::{FaulterPatcher, HardenConfig};
-use rr_workloads::{all_workloads, bootloader, pincheck};
+use rr_workloads::{all_workloads, bootloader, pincheck, Workload};
+
+fn bit_flip_sites(exe: &rr_obj::Executable, w: &Workload) -> usize {
+    let session = CampaignSession::builder(exe.clone())
+        .good_input(&w.good_input[..])
+        .bad_input(&w.bad_input[..])
+        .build()
+        .unwrap();
+    session
+        .run(&[&SingleBitFlip as &dyn rr_fault::FaultModel], Collect)
+        .pop()
+        .unwrap()
+        .vulnerable_pcs()
+        .len()
+}
 
 #[test]
 fn pincheck_skip_vulnerabilities_eliminated() {
@@ -63,9 +77,7 @@ fn pincheck_bit_flip_vulnerabilities_halved() {
     let w = pincheck();
     let exe = w.build().unwrap();
 
-    let before =
-        Campaign::new(&exe, &w.good_input, &w.bad_input).unwrap().run_parallel(&SingleBitFlip);
-    let before_sites = before.vulnerable_pcs().len();
+    let before_sites = bit_flip_sites(&exe, &w);
     assert!(before_sites > 0, "unprotected binary must be bit-flip vulnerable");
 
     // Bit-flip patching does not converge to zero (each patch adds new
@@ -74,10 +86,7 @@ fn pincheck_bit_flip_vulnerabilities_halved() {
     let driver = FaulterPatcher::new(HardenConfig { max_iterations: 8, ..HardenConfig::default() });
     let outcome = driver.harden(&exe, &w.good_input, &w.bad_input, &SingleBitFlip).unwrap();
 
-    let after = Campaign::new(&outcome.hardened, &w.good_input, &w.bad_input)
-        .unwrap()
-        .run_parallel(&SingleBitFlip);
-    let after_sites = after.vulnerable_pcs().len();
+    let after_sites = bit_flip_sites(&outcome.hardened, &w);
 
     assert!(
         after_sites * 2 <= before_sites,
@@ -99,6 +108,33 @@ fn hardened_binary_remains_functional_on_fresh_inputs() {
             "behaviour diverged on untrained input {input:?}"
         );
     }
+}
+
+#[test]
+fn golden_good_run_is_reused_across_iterations() {
+    // The loop rebuilds its campaign session every iteration (the binary
+    // changed), but the golden *good* behaviour carries over: the first
+    // session executes the good input once, and every later session is
+    // seeded with that behaviour as a trusted golden — sound because
+    // each patch is verified to preserve golden behaviour first.
+    let w = pincheck();
+    let exe = w.build().unwrap();
+    let driver = FaulterPatcher::new(HardenConfig::default());
+    let outcome = driver.harden(&exe, &w.good_input, &w.bad_input, &InstructionSkip).unwrap();
+    assert!(
+        outcome.campaigns >= 2,
+        "pincheck hardening needs at least a find-and-fix and a verify campaign, got {}",
+        outcome.campaigns
+    );
+    assert_eq!(
+        outcome.golden_good_runs, 1,
+        "only the first of {} sessions may execute the good input",
+        outcome.campaigns
+    );
+    // The reuse is behaviour-preserving: the loop still converges with
+    // the same result as ever.
+    assert!(outcome.fixed_point);
+    assert_eq!(outcome.residual_vulnerabilities, 0);
 }
 
 #[test]

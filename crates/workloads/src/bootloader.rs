@@ -6,7 +6,8 @@ use crate::{gen, Workload};
 /// Size of the boot image the loader verifies.
 pub const IMAGE_SIZE: usize = 32;
 
-/// Builds the secure-bootloader workload: read an [`IMAGE_SIZE`]-byte boot
+/// Builds the secure-bootloader workload: read an `IMAGE_SIZE`-byte (32)
+/// boot
 /// image, hash it (FNV-1a 64, computed in assembly with `xor`/`mul`), and
 /// compare against the expected hash stored in `.data`.
 ///

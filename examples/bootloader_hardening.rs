@@ -6,7 +6,9 @@
 //! ```
 
 use rr_core::{harden_hybrid, FaulterPatcher, HardenConfig, HybridConfig};
-use rr_fault::{Campaign, CampaignConfig, FaultModel, InstructionSkip, SingleBitFlip};
+use rr_fault::{
+    CampaignConfig, CampaignSession, Collect, FaultModel, InstructionSkip, SingleBitFlip,
+};
 use rr_obj::Executable;
 
 fn count_vulnerable(exe: &Executable, good: &[u8], bad: &[u8], model: &dyn FaultModel) -> usize {
@@ -16,8 +18,15 @@ fn count_vulnerable(exe: &Executable, good: &[u8], bad: &[u8], model: &dyn Fault
         site_stride: 1,
         ..Default::default()
     };
-    match Campaign::with_config(exe, good, bad, config) {
-        Ok(campaign) => campaign.run_parallel(model).vulnerable_pcs().len(),
+    let session = CampaignSession::builder(exe.clone())
+        .good_input(good)
+        .bad_input(bad)
+        .config(config)
+        .build();
+    match session {
+        Ok(session) => {
+            session.run(&[model], Collect).pop().expect("one report").vulnerable_pcs().len()
+        }
         Err(e) => {
             eprintln!("campaign failed: {e}");
             usize::MAX

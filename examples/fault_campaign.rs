@@ -7,7 +7,8 @@
 //! ```
 
 use rr_fault::{
-    Campaign, FaultClass, FaultModel, FlagFlip, InstructionSkip, RegisterBitFlip, SingleBitFlip,
+    CampaignSession, Collect, FaultClass, FaultModel, FlagFlip, InstructionSkip, RegisterBitFlip,
+    SingleBitFlip,
 };
 use std::collections::BTreeMap;
 
@@ -16,26 +17,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let exe = workload.build()?;
     println!("target: `{}` — {}\n", workload.name, workload.description);
 
-    let campaign = Campaign::new(&exe, &workload.good_input, &workload.bad_input)?;
+    let session = CampaignSession::builder(exe)
+        .good_input(&workload.good_input[..])
+        .bad_input(&workload.bad_input[..])
+        .build()?;
     println!(
         "golden runs: good exits {:?}, bad exits {:?}; {} trace sites\n",
-        campaign.golden_good().outcome,
-        campaign.golden_bad().outcome,
-        campaign.sites().len()
+        session.golden_good().expect("golden-pair session").outcome,
+        session.golden_bad().outcome,
+        session.sites().len()
     );
 
     let register_model = RegisterBitFlip::low_bits(8);
     let models: [&dyn FaultModel; 4] =
         [&InstructionSkip, &SingleBitFlip, &FlagFlip, &register_model];
 
-    for model in models {
-        let report = campaign.run_parallel(model);
+    // One scheduling pass evaluates all four models.
+    for (model, report) in models.iter().zip(session.run(&models, Collect)) {
         println!("model `{}`: {}", model.name(), report.summary());
 
         // Which instruction kinds are exploitable under this model?
         let mut by_kind: BTreeMap<String, usize> = BTreeMap::new();
         for result in report.results.iter().filter(|r| r.class == FaultClass::Success) {
-            let site = campaign
+            let site = session
                 .sites()
                 .iter()
                 .find(|s| s.step == result.fault.step)

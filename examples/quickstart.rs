@@ -9,7 +9,7 @@
 
 use rr_core::{FaulterPatcher, HardenConfig};
 use rr_emu::execute;
-use rr_fault::{Campaign, InstructionSkip};
+use rr_fault::{CampaignSession, Collect, InstructionSkip};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A binary with a security decision: the bundled pincheck.
@@ -19,8 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Is it vulnerable? Simulate instruction-skip faults at every point
     //    of a bad-input execution.
-    let campaign = Campaign::new(&exe, &workload.good_input, &workload.bad_input)?;
-    let report = campaign.run_parallel(&InstructionSkip);
+    let session = CampaignSession::builder(exe.clone())
+        .good_input(&workload.good_input[..])
+        .bad_input(&workload.bad_input[..])
+        .build()?;
+    let report = session.run(&[&InstructionSkip], Collect).pop().unwrap();
     println!("before hardening: {}", report.summary());
     println!(
         "  → {} distinct program points let a skipped instruction grant access",
@@ -44,8 +47,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 4. Verify: no successful faults remain, behaviour unchanged.
-    let verify = Campaign::new(&outcome.hardened, &workload.good_input, &workload.bad_input)?;
-    println!("after hardening:  {}", verify.run_parallel(&InstructionSkip).summary());
+    let verify = CampaignSession::builder(outcome.hardened.clone())
+        .good_input(&workload.good_input[..])
+        .bad_input(&workload.bad_input[..])
+        .build()?;
+    let after = verify.run(&[&InstructionSkip], Collect).pop().unwrap();
+    println!("after hardening:  {}", after.summary());
 
     let good = execute(&outcome.hardened, &workload.good_input, 1_000_000);
     let bad = execute(&outcome.hardened, &workload.bad_input, 1_000_000);

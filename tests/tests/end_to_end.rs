@@ -3,7 +3,7 @@
 //! (vulnerability elimination).
 
 use rr_core::{harden_hybrid, FaulterPatcher, HardenConfig, HybridConfig};
-use rr_fault::{Campaign, InstructionSkip};
+use rr_fault::{CampaignSession, Collect, InstructionSkip};
 use rr_integration::{assert_equivalent, run};
 use rr_workloads::all_workloads;
 
@@ -80,12 +80,20 @@ fn hardened_binaries_still_deny_bad_inputs() {
 }
 
 #[test]
-fn campaigns_agree_between_fresh_setups() {
-    // Determinism across independently constructed campaigns.
+fn campaigns_agree_between_fresh_sessions() {
+    // Determinism across independently constructed sessions, serial vs
+    // parallel scheduling.
     let w = rr_workloads::pincheck();
     let exe = w.build().unwrap();
-    let a = Campaign::new(&exe, &w.good_input, &w.bad_input).unwrap().run(&InstructionSkip);
-    let b =
-        Campaign::new(&exe, &w.good_input, &w.bad_input).unwrap().run_parallel(&InstructionSkip);
+    let session = |threads| {
+        CampaignSession::builder(exe.clone())
+            .good_input(&w.good_input[..])
+            .bad_input(&w.bad_input[..])
+            .config(rr_fault::CampaignConfig { threads, ..Default::default() })
+            .build()
+            .unwrap()
+    };
+    let a = session(1).run(&[&InstructionSkip], Collect).pop().unwrap();
+    let b = session(0).run(&[&InstructionSkip], Collect).pop().unwrap();
     assert_eq!(a.results, b.results);
 }
