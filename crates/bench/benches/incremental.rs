@@ -1,0 +1,120 @@
+//! Incremental vs full re-campaigning on a multi-iteration hardening
+//! run — the wall-clock gate for the listing-diff/classification-reuse
+//! pipeline.
+//!
+//! The workload models the paper's targets at scale: a long checksum
+//! prologue (thousands of executed instructions) feeding a short,
+//! vulnerable security decision. Hardening it runs several campaigns — the
+//! find-and-fix iteration plus the loop's re-measurement passes — and
+//! every campaign after the first is where incremental mode earns its
+//! keep: the patch touches only the decision window, so the checksum
+//! prologue's thousands of classifications carry over through the
+//! listing delta, and only the touched tail is re-executed (with
+//! region-scoped snapshots).
+//!
+//! Gate: the incremental run must be **≥ 2× faster** end to end while
+//! producing a bit-identical hardened binary. The reuse rate is printed
+//! for the benchmark summary.
+
+use rr_fault::{CampaignConfig, InstructionSkip, ReuseStats};
+use rr_obj::Executable;
+use rr_patch::{FaulterPatcher, HardenConfig, LoopOutcome};
+use std::time::{Duration, Instant};
+
+/// A pincheck with a long checksum prologue (≥4k executed instructions)
+/// before the grant/deny decision (the same shape as the engine
+/// benchmark's workload, sized for exhaustive-site hardening runs).
+fn long_trace_workload() -> (Executable, Vec<u8>, Vec<u8>) {
+    let exe = rr_asm::assemble_and_link(
+        "    .global _start\n\
+         _start:\n\
+             mov r1, 800\n\
+             mov r2, 0\n\
+         .loop:\n\
+             add r2, 7\n\
+             xor r2, r1\n\
+             sub r1, 1\n\
+             cmp r1, 0\n\
+             jne .loop\n\
+             svc 2\n\
+             cmp r0, 'G'\n\
+             jne .deny\n\
+             mov r1, 'Y'\n\
+             svc 1\n\
+             mov r1, 0\n\
+             svc 0\n\
+         .deny:\n\
+             mov r1, 'N'\n\
+             svc 1\n\
+             mov r1, 1\n\
+             svc 0\n",
+    )
+    .expect("long-trace workload builds");
+    (exe, b"G".to_vec(), b"B".to_vec())
+}
+
+fn config(incremental: bool) -> HardenConfig {
+    HardenConfig {
+        // One find-and-fix iteration plus the loop's two re-measurement
+        // campaigns: a three-campaign run, two of them seeded in
+        // incremental mode.
+        max_iterations: 1,
+        incremental,
+        campaign: CampaignConfig {
+            golden_max_steps: 10_000_000,
+            // Exhaustive sites (stride 1): the campaign must see the
+            // decision window's vulnerable instructions; the ~4k-step
+            // trace keeps the O(T²) full campaigns bounded for CI.
+            ..CampaignConfig::default()
+        },
+        ..HardenConfig::default()
+    }
+}
+
+fn harden(exe: &Executable, good: &[u8], bad: &[u8], incremental: bool) -> (LoopOutcome, Duration) {
+    let driver = FaulterPatcher::new(config(incremental));
+    let start = Instant::now();
+    let outcome = driver.harden(exe, good, bad, &InstructionSkip).expect("hardening succeeds");
+    (outcome, start.elapsed())
+}
+
+fn main() {
+    let (exe, good, bad) = long_trace_workload();
+
+    // Warm-up pass (page in code paths, stabilize the timing runs).
+    let _ = harden(&exe, &good, &bad, false);
+
+    let (full, full_time) = harden(&exe, &good, &bad, false);
+    let (incremental, incremental_time) = harden(&exe, &good, &bad, true);
+
+    // Correctness first: incremental must change nothing but the work.
+    assert_eq!(full.iterations, incremental.iterations, "per-iteration classifications diverged");
+    assert_eq!(
+        full.hardened.to_bytes(),
+        incremental.hardened.to_bytes(),
+        "hardened binaries diverged"
+    );
+    assert_eq!(full.residual_vulnerabilities, incremental.residual_vulnerabilities);
+    assert_eq!(full.campaigns, incremental.campaigns);
+    assert!(full.campaigns >= 3, "multi-campaign run expected, got {}", full.campaigns);
+    assert_eq!(full.sites_reused, 0);
+    assert!(incremental.sites_reused > 0, "incremental run must reuse classifications");
+
+    let reuse = ReuseStats {
+        sites_reused: incremental.sites_reused,
+        sites_replayed: incremental.sites_replayed,
+    };
+    let speedup = full_time.as_secs_f64() / incremental_time.as_secs_f64().max(1e-9);
+    println!(
+        "incremental/harden ({} campaigns): full {full_time:?}, incremental \
+         {incremental_time:?} — speedup: {speedup:.1}×",
+        full.campaigns,
+    );
+    println!("reuse: {reuse}");
+
+    assert!(
+        speedup >= 2.0,
+        "incremental re-campaigning must be ≥2× faster on a multi-iteration \
+         hardening run, got {speedup:.1}×"
+    );
+}

@@ -168,7 +168,12 @@ pub fn fault(raw: &[String]) -> Result<String, String> {
 }
 
 /// `rr harden <prog.rfx> --good BYTES --bad BYTES [--model ...] [-o out]
-/// [--engine naive|checkpoint]`
+/// [--engine naive|checkpoint] [--incremental]`
+///
+/// `--incremental` seeds every re-campaign with the prior iteration's
+/// classifications through the patch's listing delta: untouched sites
+/// reuse their prior class without executing, classifying bit-identically
+/// to full re-campaigning, and the report gains a `reuse:` line.
 pub fn harden(raw: &[String]) -> Result<String, String> {
     let args = Args::parse(raw, &["good", "bad", "model", "o", "max-iterations", "engine"])?;
     let path = args.positional(0, "program")?;
@@ -183,7 +188,8 @@ pub fn harden(raw: &[String]) -> Result<String, String> {
     if let Some(engine) = args.value("engine") {
         config.engine = engine.parse()?;
     }
-    let outcome = rr_patch::FaulterPatcher::new(config)
+    config.incremental = args.flag("incremental");
+    let outcome = rr_patch::FaulterPatcher::new(config.clone())
         .harden(&exe, &good, &bad, model.as_ref())
         .map_err(|e| e.to_string())?;
     let mut out = String::new();
@@ -204,6 +210,13 @@ pub fn harden(raw: &[String]) -> Result<String, String> {
         outcome.residual_vulnerabilities,
         outcome.overhead_percent()
     );
+    if config.incremental {
+        let reuse = rr_fault::ReuseStats {
+            sites_reused: outcome.sites_reused,
+            sites_replayed: outcome.sites_replayed,
+        };
+        let _ = writeln!(out, "reuse: {reuse} across {} campaigns", outcome.campaigns);
+    }
     let out_path = args.value("o").map(str::to_owned).unwrap_or_else(|| format!("{path}.hardened"));
     save_exe(&outcome.hardened, &out_path)?;
     let _ = writeln!(out, "wrote `{out_path}`");
@@ -369,6 +382,40 @@ mod tests {
         assert!(hybrid(&sv(&[&exe_path, "--good", "7391"])).is_err());
         assert!(hybrid(&sv(&[&exe_path, "--bad", "7291"])).is_err());
         assert!(hybrid(&sv(&[&exe_path, "--model", "bitflip"])).is_err());
+    }
+
+    #[test]
+    fn incremental_harden_matches_full_and_reports_reuse() {
+        let exe_path = tmp("incr.rfx");
+        workload(&sv(&["pincheck", "-o", &exe_path])).unwrap();
+        let full_out = tmp("incr-full.rfx");
+        let incr_out = tmp("incr-incr.rfx");
+        let full =
+            harden(&sv(&[&exe_path, "--good", "7391", "--bad", "7291", "-o", &full_out])).unwrap();
+        let incremental = harden(&sv(&[
+            &exe_path,
+            "--good",
+            "7391",
+            "--bad",
+            "7291",
+            "--incremental",
+            "-o",
+            &incr_out,
+        ]))
+        .unwrap();
+        // Identical hardening (same iterations, same binary), plus a
+        // reuse: line only in incremental mode.
+        assert!(incremental.contains("reuse: "), "{incremental}");
+        assert!(incremental.contains("% of fault evaluations reused"), "{incremental}");
+        assert!(!full.contains("reuse: "), "{full}");
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("reuse: ") && !l.contains("wrote "))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&full), strip(&incremental));
+        assert_eq!(fs::read(&full_out).unwrap(), fs::read(&incr_out).unwrap());
     }
 
     #[test]

@@ -72,7 +72,7 @@ pub fn usage() -> &'static str {
      \x20            [--shard contiguous|interleaved]\n\
      \x20            [--oracle golden|crash|prefix:TEXT] [--streaming]\n\
      \x20   rr harden <prog.rfx> --good BYTES --bad BYTES [--model ...] [-o out.rfx]\n\
-     \x20            [--engine naive|checkpoint]\n\
+     \x20            [--engine naive|checkpoint] [--incremental]\n\
      \x20   rr hybrid <prog.rfx> [-o out.rfx] [--good BYTES --bad BYTES [--model ...]]\n\
      \x20   rr workload <pincheck|bootloader|otp|access> [-o out.rfx] [--emit-asm]\n\
      \n\
@@ -81,7 +81,10 @@ pub fn usage() -> &'static str {
      given; all --model entries share one scheduling pass; --streaming\n\
      folds results into per-model summaries in O(shards) memory for\n\
      million-fault campaigns. The default golden oracle needs --good;\n\
-     --oracle crash and --oracle prefix:TEXT campaign a single input.\n"
+     --oracle crash and --oracle prefix:TEXT campaign a single input.\n\
+     harden --incremental diffs the listing after each patch and reuses\n\
+     prior classifications for untouched sites (bit-identical results;\n\
+     the report's reuse: line shows the work saved).\n"
 }
 
 /// Minimal option parser: positional arguments plus `--key value` /

@@ -22,6 +22,13 @@
 //! 4. **Listing emission** ([`Listing`]) — symbolic assembly text that
 //!    `rr_asm::assemble_and_link` turns back into an executable.
 //!
+//! For iterative rewriting, [`ListingDelta`] compares the listing of one
+//! rewrite step with the patched listing that produced the next binary —
+//! changed, inserted, and address-shifted instruction ranges plus an
+//! old→new address remap — so downstream consumers (the incremental
+//! fault campaign in `rr-fault`) can tell exactly which code a rewrite
+//! touched.
+//!
 //! The round trip `disassemble → to_source → assemble_and_link` is
 //! byte-identical for binaries produced by this workspace's assembler —
 //! property-tested in `tests/roundtrip.rs`.
@@ -42,11 +49,13 @@
 //! ```
 
 mod cfg;
+mod delta;
 mod discover;
 mod listing;
 mod symbolize;
 
 pub use cfg::{build_functions, BasicBlock, Function};
+pub use delta::{DeltaError, ListingDelta};
 pub use discover::{discover, CodeMap, DisasmError};
 pub use listing::{DataLine, DataSection, Line, Listing, SymInstr};
 pub use symbolize::{symbolize, SymbolizationPolicy};

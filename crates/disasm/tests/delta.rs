@@ -1,0 +1,129 @@
+//! Property tests for [`rr_disasm::ListingDelta`]: a random single-site
+//! patch must yield a delta that marks exactly the patched and shifted
+//! ranges, and the old→new address remap must round-trip on every
+//! unchanged instruction.
+
+use proptest::prelude::*;
+use rr_disasm::{disassemble, Line, Listing, ListingDelta, SymInstr};
+use rr_isa::{decode, Instr, MAX_INSTR_LEN};
+use rr_obj::Executable;
+
+/// Decodes the instruction starting at `addr` in `exe`.
+fn decode_at(exe: &Executable, addr: u64) -> (Instr, usize) {
+    let text = exe.text_range();
+    let available = (text.end - addr).min(MAX_INSTR_LEN as u64) as usize;
+    decode(exe.read_bytes(addr, available).expect("mapped")).expect("decodable")
+}
+
+/// The original-code (index, addr) pairs of a listing.
+fn code_sites(listing: &Listing) -> Vec<(usize, u64)> {
+    listing.original_code().map(|(i, a, _)| (i, a)).collect()
+}
+
+fn workload_listing() -> (Listing, Executable) {
+    let exe = rr_workloads::pincheck().build().expect("pincheck builds");
+    let listing = disassemble(&exe).expect("pincheck disassembles").listing;
+    (listing, exe)
+}
+
+fn inserted_line() -> Line {
+    Line::Code { orig_addr: None, insn: SymInstr::Plain(Instr::Nop) }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Inserting code before one random site shifts exactly the
+    /// instructions at or after it, changes nothing, and the remap
+    /// round-trips (and preserves the instruction) everywhere.
+    #[test]
+    fn single_site_insertion_marks_exactly_the_shifted_ranges(
+        site in any::<prop::sample::Index>(),
+        extra_nops in 0usize..3,
+    ) {
+        let (listing, exe) = workload_listing();
+        let sites = code_sites(&listing);
+        let (index, patch_addr) = sites[site.index(sites.len())];
+
+        let mut patched = listing.clone();
+        for _ in 0..=extra_nops {
+            patched.text.insert(index, inserted_line());
+        }
+        let rebuilt = rr_asm::assemble_and_link(&patched.to_source()).expect("reassembles");
+        let delta = ListingDelta::compute(&listing, &exe, &patched, &rebuilt).expect("delta");
+
+        // Nothing changed on the old side; exactly one inserted range on
+        // the new side, landing where the patched site used to start.
+        prop_assert!(delta.changed_ranges().is_empty(), "{delta}");
+        prop_assert_eq!(delta.inserted_ranges().len(), 1, "{}", delta);
+        let inserted = delta.inserted_ranges()[0].clone();
+        prop_assert_eq!(inserted.start, patch_addr);
+        let shift = inserted.end - inserted.start;
+        prop_assert_eq!(shift, (1 + extra_nops as u64) * rr_isa::encoded_len(&Instr::Nop) as u64);
+
+        for &(_, addr) in &sites {
+            // Every instruction survives, shifted iff at/after the patch.
+            let expected = if addr < patch_addr { addr } else { addr + shift };
+            prop_assert_eq!(delta.remap(addr), Some(expected), "addr {:#x}", addr);
+            prop_assert!(!delta.is_changed(addr));
+            // The remap round-trips…
+            prop_assert_eq!(delta.remap_back(expected), Some(addr));
+            // …and the instruction at the remapped address has the same
+            // shape (identical bytes for non-relative instructions; for
+            // relative branches the offset re-encodes, the length and
+            // kind may not change).
+            let (old_insn, old_len) = decode_at(&exe, addr);
+            let (new_insn, new_len) = decode_at(&rebuilt, expected);
+            prop_assert_eq!(old_len, new_len);
+            prop_assert_eq!(old_insn.kind(), new_insn.kind());
+            if old_insn.rel_target().is_none() {
+                prop_assert_eq!(old_insn, new_insn);
+            }
+        }
+        // Shifted ranges cover exactly the tail: every remapped address
+        // at/after the patch is in a shifted range, none before it.
+        for &(_, addr) in &sites {
+            let shifted = delta.shifted_ranges().iter().any(|r| r.contains(&addr));
+            prop_assert_eq!(shifted, addr >= patch_addr, "addr {:#x}", addr);
+        }
+    }
+
+    /// Replacing one random site marks exactly that instruction changed
+    /// (old side) and its replacement inserted (new side); every other
+    /// instruction stays remapped.
+    #[test]
+    fn single_site_replacement_marks_exactly_the_patched_range(
+        site in any::<prop::sample::Index>(),
+    ) {
+        let (listing, exe) = workload_listing();
+        let sites = code_sites(&listing);
+        let (index, patch_addr) = sites[site.index(sites.len())];
+        let (_, patched_len) = decode_at(&exe, patch_addr);
+
+        let mut patched = listing.clone();
+        // The patcher's replacement helpers drop orig_addr: model that.
+        patched.replace_code(index, vec![inserted_line(), inserted_line()]);
+        let rebuilt = rr_asm::assemble_and_link(&patched.to_source()).expect("reassembles");
+        let delta = ListingDelta::compute(&listing, &exe, &patched, &rebuilt).expect("delta");
+
+        prop_assert_eq!(delta.remap(patch_addr), None);
+        prop_assert!(delta.is_changed(patch_addr));
+        prop_assert_eq!(delta.changed_ranges().len(), 1);
+        prop_assert_eq!(
+            delta.changed_ranges()[0].clone(),
+            patch_addr..patch_addr + patched_len as u64
+        );
+        prop_assert_eq!(delta.inserted_ranges().len(), 1);
+        prop_assert!(delta.is_inserted(delta.inserted_ranges()[0].start));
+        for &(_, addr) in &sites {
+            if addr == patch_addr {
+                continue;
+            }
+            let new_addr = delta.remap(addr);
+            prop_assert!(new_addr.is_some(), "addr {:#x} lost", addr);
+            prop_assert_eq!(delta.remap_back(new_addr.unwrap()), Some(addr));
+            prop_assert!(!delta.is_changed(addr));
+        }
+        prop_assert_eq!(delta.unchanged_count(), sites.len() - 1);
+    }
+}

@@ -218,6 +218,87 @@ impl ReplayEngine {
         ReplayEngine { checkpoints, trace, execution, interval, snapshots: config.record_snapshots }
     }
 
+    /// Region-scoped recording: like [`ReplayEngine::record`], but state
+    /// checkpoints are captured only for the trace-step `window` —
+    /// everything before and after is traced without snapshots.
+    ///
+    /// This is the incremental re-campaign primitive: when a binary
+    /// rewrite invalidates only a window of the prior campaign's
+    /// classifications, re-recording the bad-input trace needs random
+    /// access (and therefore snapshots) only inside that window. The
+    /// capture schedule is aligned *down* to the checkpoint interval, so
+    /// the first retained checkpoint is the last one preceding the
+    /// window's first step; the initial state is always retained, keeping
+    /// [`ReplayEngine::machine_at`] correct (merely slower) for steps
+    /// outside the window.
+    ///
+    /// The interval is `config.checkpoint_interval` when pinned, else
+    /// ≈ √(window length) — the optimum for replays confined to the
+    /// window. `config.max_checkpoints` and `config.max_retained_bytes`
+    /// still bound retained state by widening the interval.
+    pub fn replay_range(
+        exe: &Executable,
+        input: &[u8],
+        config: &ReplayConfig,
+        window: std::ops::Range<u64>,
+    ) -> ReplayEngine {
+        let mut interval = if config.checkpoint_interval > 0 {
+            config.checkpoint_interval
+        } else {
+            auto_interval(window.end.saturating_sub(window.start))
+        };
+        let count_cap =
+            if config.max_checkpoints > 0 { config.max_checkpoints as u64 } else { u64::MAX };
+        let byte_cap =
+            if config.max_retained_bytes > 0 { config.max_retained_bytes } else { u64::MAX };
+        let aligned_start = window.start - window.start % interval;
+        let mut machine = Machine::new(exe, input);
+        let mut checkpoints = vec![Checkpoint {
+            step: 0,
+            snapshot: machine.snapshot(),
+            delta: MemoryDelta::default(),
+        }];
+        let mut retained_bytes = 0u64;
+        let mut trace = Vec::new();
+        let result = machine.run_with(config.max_steps, |m| {
+            let step = trace.len() as u64;
+            let capture = config.record_snapshots
+                && !window.is_empty()
+                && step > 0
+                && (aligned_start..=window.end).contains(&step)
+                && (step - aligned_start).is_multiple_of(interval);
+            if capture {
+                let snapshot = m.snapshot();
+                let delta =
+                    snapshot.dirtied_since(&checkpoints.last().expect("initial state").snapshot);
+                retained_bytes += delta.bytes;
+                checkpoints.push(Checkpoint { step, snapshot, delta });
+                // The window bounds the checkpoint count by construction;
+                // the caps still apply as a guard, widening the schedule
+                // while keeping its alignment (aligned_start stays on an
+                // interval boundary when the interval doubles).
+                while (checkpoints.len() as u64 > count_cap || retained_bytes > byte_cap)
+                    && checkpoints.len() > 1
+                {
+                    interval *= 2;
+                    checkpoints.retain(|c| {
+                        c.step == 0
+                            || (c.step >= aligned_start
+                                && (c.step - aligned_start).is_multiple_of(interval))
+                    });
+                    retained_bytes = recompute_deltas(&mut checkpoints);
+                }
+            }
+            trace.push(m.pc());
+        });
+        let execution = Execution {
+            outcome: result.outcome,
+            output: machine.take_output(),
+            steps: result.steps,
+        };
+        ReplayEngine { checkpoints, trace, execution, interval, snapshots: config.record_snapshots }
+    }
+
     /// Whether periodic snapshots were recorded
     /// ([`ReplayConfig::record_snapshots`]); when `false`,
     /// [`ReplayEngine::machine_at`] replays from step 0.
@@ -558,6 +639,98 @@ mod tests {
             RunOutcome::Exited { code } => code,
             other => panic!("expected exit, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn replay_range_snapshots_only_the_window() {
+        let exe = looping_exe(400);
+        let full = ReplayEngine::record(&exe, &[], &ReplayConfig::default());
+        let steps = full.execution().steps;
+        let window = (steps / 2)..(steps / 2 + steps / 8);
+        let config = ReplayConfig { checkpoint_interval: 16, ..ReplayConfig::default() };
+        let scoped = ReplayEngine::replay_range(&exe, &[], &config, window.clone());
+
+        // Trace and behaviour match a full recording exactly.
+        assert_eq!(scoped.execution(), full.execution());
+        assert_eq!(scoped.trace(), full.trace());
+
+        // Checkpoints: the initial state, then only interval-aligned steps
+        // from the last boundary preceding the window through its end.
+        let aligned_start = window.start - window.start % 16;
+        assert!(scoped.checkpoint_count() > 1, "window must be snapshotted");
+        for c in &scoped.checkpoints[1..] {
+            assert!(
+                c.step >= aligned_start && c.step <= window.end,
+                "checkpoint at {} outside window {window:?} (aligned start {aligned_start})",
+                c.step
+            );
+        }
+        assert_eq!(scoped.checkpoints[1].step, aligned_start.max(16));
+        assert!(
+            scoped.checkpoint_count() < full.checkpoint_count()
+                || full.interval() > scoped.interval(),
+            "region scoping must retain less than a full recording"
+        );
+
+        // Random access is exact inside the window, and still correct
+        // (replay-from-0) before it.
+        for step in [0, window.start / 2, window.start, window.start + 7, window.end - 1] {
+            let m = scoped.machine_at(step).unwrap();
+            assert_eq!(m.pc(), full.trace()[step as usize], "step {step}");
+        }
+    }
+
+    #[test]
+    fn replay_range_degenerate_windows() {
+        let exe = looping_exe(100);
+        let steps = ReplayEngine::record(&exe, &[], &ReplayConfig::default()).execution().steps;
+        // An empty window records the trace but no periodic snapshots.
+        let empty = ReplayEngine::replay_range(&exe, &[], &ReplayConfig::default(), 40..40);
+        assert_eq!(empty.checkpoint_count(), 1, "initial state only");
+        assert_eq!(empty.retained_bytes(), 0);
+        assert_eq!(empty.execution().steps, steps);
+        // A window past the end of the trace captures nothing.
+        let beyond =
+            ReplayEngine::replay_range(&exe, &[], &ReplayConfig::default(), steps * 2..steps * 3);
+        assert_eq!(beyond.checkpoint_count(), 1);
+        // A whole-trace window behaves like a full recording with an
+        // auto-selected ≈√T interval.
+        let whole = ReplayEngine::replay_range(&exe, &[], &ReplayConfig::default(), 0..steps);
+        assert!(whole.checkpoint_count() > 1);
+        let m = whole.machine_at(steps / 2).unwrap();
+        assert_eq!(m.pc(), whole.trace()[(steps / 2) as usize]);
+    }
+
+    #[test]
+    fn replay_range_respects_the_byte_budget_guard() {
+        let exe = stack_churn_exe(600);
+        let steps = ReplayEngine::record(&exe, &[], &ReplayConfig::default()).execution().steps;
+        let free = ReplayEngine::replay_range(
+            &exe,
+            &[],
+            &ReplayConfig { checkpoint_interval: 8, ..ReplayConfig::default() },
+            0..steps,
+        );
+        assert!(free.retained_bytes() > 0);
+        let budget = free.retained_bytes() / 4;
+        let capped = ReplayEngine::replay_range(
+            &exe,
+            &[],
+            &ReplayConfig {
+                checkpoint_interval: 8,
+                max_retained_bytes: budget,
+                ..ReplayConfig::default()
+            },
+            0..steps,
+        );
+        assert!(
+            capped.retained_bytes() <= budget,
+            "retained {} over budget {budget}",
+            capped.retained_bytes()
+        );
+        assert!(capped.interval() > 8, "interval must widen under the cap");
+        let m = capped.machine_at(steps / 3).unwrap();
+        assert_eq!(m.pc(), capped.trace()[(steps / 3) as usize]);
     }
 
     #[test]

@@ -3,17 +3,19 @@
 //!
 //! Two assignment policies ([`ShardPolicy`]) are provided:
 //!
-//! * **Contiguous** ([`shard_ranges`]) hands each worker a contiguous
-//!   slice. Contiguity matters for the checkpointed engine: neighbouring
-//!   faults restore from the same checkpoints, so a shard's snapshot
-//!   restores stay warm in cache instead of ping-ponging across the
-//!   trace.
+//! * **Contiguous** ([`contiguous_ranges`]) hands each worker a
+//!   contiguous slice. Contiguity matters for the checkpointed engine:
+//!   neighbouring faults restore from the same checkpoints, so a shard's
+//!   snapshot restores stay warm in cache instead of ping-ponging across
+//!   the trace.
 //! * **Interleaved** ([`interleaved_ranges`]) deals items round-robin,
 //!   worker `s` of `n` taking items `s, s+n, s+2n, …`. This trades
 //!   checkpoint affinity for balance: fault models with skewed per-site
 //!   fault counts (bit flips enumerate `8 × len` faults per site, so
 //!   long instructions clustered in one trace region overload one
-//!   contiguous shard) spread evenly across workers.
+//!   contiguous shard) spread evenly across workers. Assignments are
+//!   lazy [`InterleavedRange`] descriptors — O(shards) memory, not
+//!   8 bytes per item.
 //!
 //! Both policies collect results in item order, so scheduling is
 //! invisible in the output — campaigns classify identically under
@@ -27,7 +29,7 @@ use std::str::FromStr;
 /// How work items are assigned to parallel workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ShardPolicy {
-    /// Contiguous ranges ([`shard_ranges`]): best checkpoint-restore
+    /// Contiguous ranges ([`contiguous_ranges`]): best checkpoint-restore
     /// locality, the default.
     #[default]
     Contiguous,
@@ -68,7 +70,12 @@ pub fn resolve_threads(requested: usize) -> usize {
 
 /// Splits `len` items into at most `shards` contiguous, near-equal,
 /// non-empty ranges covering `0..len` in order.
-pub fn shard_ranges(len: usize, shards: usize) -> Vec<Range<usize>> {
+///
+/// Degenerate requests degrade instead of erroring: `len == 0` yields no
+/// shards, and `shards == 0` (like `shards == 1`) yields a single shard
+/// covering everything — the clamp to `1..=len` makes every returned
+/// shard non-empty.
+pub fn contiguous_ranges(len: usize, shards: usize) -> Vec<Range<usize>> {
     if len == 0 {
         return Vec::new();
     }
@@ -77,15 +84,62 @@ pub fn shard_ranges(len: usize, shards: usize) -> Vec<Range<usize>> {
     (0..len).step_by(chunk).map(|start| start..(start + chunk).min(len)).collect()
 }
 
-/// Round-robin counterpart of [`shard_ranges`]: splits the indices
-/// `0..len` into at most `shards` non-empty sequences, shard `s` of `n`
-/// taking `s, s+n, s+2n, …`.
-pub fn interleaved_ranges(len: usize, shards: usize) -> Vec<Vec<usize>> {
+/// One worker's round-robin assignment: the indices `start, start +
+/// stride, start + 2·stride, …` below `len`, produced lazily by
+/// [`InterleavedRange::iter`] — a worker's whole assignment is three
+/// words, not 8 bytes per item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterleavedRange {
+    /// First index (the shard number).
+    pub start: usize,
+    /// Exclusive upper bound (the total item count).
+    pub len: usize,
+    /// Distance between consecutive indices (the shard count).
+    pub stride: usize,
+}
+
+impl InterleavedRange {
+    /// The assigned indices, in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> {
+        (self.start..self.len).step_by(self.stride.max(1))
+    }
+
+    /// Number of assigned indices.
+    pub fn count(&self) -> usize {
+        (self.len.saturating_sub(self.start)).div_ceil(self.stride.max(1))
+    }
+
+    /// Whether no index is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.len
+    }
+}
+
+impl IntoIterator for InterleavedRange {
+    type Item = usize;
+    type IntoIter = std::iter::StepBy<Range<usize>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        (self.start..self.len).step_by(self.stride.max(1))
+    }
+}
+
+/// Round-robin counterpart of [`contiguous_ranges`]: splits the indices
+/// `0..len` into at most `shards` non-empty lazy sequences, shard `s` of
+/// `n` taking `s, s+n, s+2n, …`.
+///
+/// Same degenerate-input semantics as [`contiguous_ranges`]: `len == 0`
+/// yields no shards and `shards == 0` is treated as one shard, so every
+/// returned assignment is non-empty and the whole index space is covered
+/// exactly once. Like `contiguous_ranges`, per-shard order is increasing,
+/// so collecting shard results in `(shard, position)` order preserves
+/// item order.
+pub fn interleaved_ranges(len: usize, shards: usize) -> Vec<InterleavedRange> {
     if len == 0 {
         return Vec::new();
     }
     let shards = shards.clamp(1, len);
-    (0..shards).map(|s| (s..len).step_by(shards).collect()).collect()
+    (0..shards).map(|s| InterleavedRange { start: s, len, stride: shards }).collect()
 }
 
 /// Runs `work` over contiguous shards of `items` on up to `threads`
@@ -100,7 +154,7 @@ where
     R: Send,
     F: Fn(usize, &[T]) -> R + Sync,
 {
-    let ranges = shard_ranges(items.len(), resolve_threads(threads));
+    let ranges = contiguous_ranges(items.len(), resolve_threads(threads));
     if ranges.len() <= 1 {
         return ranges.into_iter().map(|r| work(0, &items[r])).collect();
     }
@@ -171,15 +225,15 @@ where
                 let map = &map;
                 let handles: Vec<_> = assignments
                     .iter()
-                    .map(|indices| {
+                    .map(|assignment| {
                         scope.spawn(move || {
-                            indices.iter().map(|&i| map(&items[i])).collect::<Vec<R>>()
+                            assignment.iter().map(|i| map(&items[i])).collect::<Vec<R>>()
                         })
                     })
                     .collect();
-                for (indices, handle) in assignments.iter().zip(handles) {
+                for (assignment, handle) in assignments.iter().zip(handles) {
                     let results = handle.join().expect("interleaved worker panicked");
-                    for (&index, result) in indices.iter().zip(results) {
+                    for (index, result) in assignment.iter().zip(results) {
                         slots[index] = Some(result);
                     }
                 }
@@ -223,9 +277,9 @@ where
                 let init = &init;
                 assignments
                     .iter()
-                    .map(|indices| {
+                    .map(|assignment| {
                         scope.spawn(move || {
-                            indices.iter().fold(init.clone(), |acc, &i| fold(acc, &items[i]))
+                            assignment.iter().fold(init.clone(), |acc, i| fold(acc, &items[i]))
                         })
                     })
                     .collect::<Vec<_>>()
@@ -247,7 +301,7 @@ mod tests {
     fn ranges_cover_everything_in_order() {
         for len in [0usize, 1, 2, 7, 8, 9, 100, 101] {
             for shards in [1usize, 2, 3, 8, 200] {
-                let ranges = shard_ranges(len, shards);
+                let ranges = contiguous_ranges(len, shards);
                 let mut covered = 0;
                 for r in &ranges {
                     assert_eq!(r.start, covered, "contiguous in order");
@@ -315,19 +369,89 @@ mod tests {
                 let n = assignments.len();
                 assert!(n <= shards.max(1) && n <= len);
                 let mut seen = vec![false; len];
-                for (s, indices) in assignments.iter().enumerate() {
-                    assert!(!indices.is_empty(), "len={len} shards={shards}");
-                    for (k, &index) in indices.iter().enumerate() {
+                for (s, assignment) in assignments.iter().enumerate() {
+                    assert!(!assignment.is_empty(), "len={len} shards={shards}");
+                    assert_eq!(assignment.count(), assignment.iter().count());
+                    for (k, index) in assignment.iter().enumerate() {
                         assert_eq!(index, s + k * n, "round-robin stride");
                         assert!(!std::mem::replace(&mut seen[index], true), "duplicate {index}");
                     }
                 }
                 assert!(seen.iter().all(|&s| s), "full coverage for len={len} shards={shards}");
                 // Balance: assignment sizes differ by at most one item.
-                let sizes: Vec<usize> = assignments.iter().map(Vec::len).collect();
+                let sizes: Vec<usize> = assignments.iter().map(InterleavedRange::count).collect();
                 let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
                 assert!(max - min <= 1, "skewed deal: {sizes:?}");
             }
+        }
+    }
+
+    #[test]
+    fn interleaved_range_is_lazy_and_word_sized() {
+        // The descriptor is the whole assignment: three machine words, no
+        // per-item storage (the old representation materialized 8 B per
+        // item).
+        assert_eq!(std::mem::size_of::<InterleavedRange>(), 3 * std::mem::size_of::<usize>());
+        let shard = InterleavedRange { start: 2, len: 1_000_000_007, stride: 5 };
+        assert_eq!(shard.count(), 200_000_001);
+        assert_eq!(shard.iter().nth(3), Some(17));
+        let collected: Vec<usize> = shard.into_iter().take(4).collect();
+        assert_eq!(collected, vec![2, 7, 12, 17]);
+        assert!(InterleavedRange { start: 4, len: 4, stride: 2 }.is_empty());
+        // A zero stride (unreachable through interleaved_ranges, which
+        // clamps) degrades to stride 1 instead of looping forever.
+        assert_eq!(InterleavedRange { start: 0, len: 3, stride: 0 }.count(), 3);
+    }
+
+    // Property coverage for the assignment functions, with the edge cases
+    // the example-based tests above skip: `shards > len`, `len == 0`, and
+    // `shards == 0` (documented to behave like a single shard).
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn contiguous_ranges_cover_every_index_exactly_once(
+            len in 0usize..300,
+            shards in 0usize..400,
+        ) {
+            let ranges = contiguous_ranges(len, shards);
+            let mut seen = vec![0usize; len];
+            for range in &ranges {
+                proptest::prop_assert!(range.start < range.end, "empty shard {range:?}");
+                proptest::prop_assert!(range.end <= len);
+                for index in range.clone() {
+                    seen[index] += 1;
+                }
+            }
+            proptest::prop_assert!(
+                seen.iter().all(|&count| count == 1),
+                "len={len} shards={shards}: coverage {seen:?}"
+            );
+            proptest::prop_assert!(ranges.len() <= shards.max(1).min(len.max(1)));
+        }
+
+        #[test]
+        fn interleaved_ranges_cover_every_index_exactly_once(
+            len in 0usize..300,
+            shards in 0usize..400,
+        ) {
+            let assignments = interleaved_ranges(len, shards);
+            let mut seen = vec![0usize; len];
+            for assignment in &assignments {
+                proptest::prop_assert!(!assignment.is_empty(), "empty shard {assignment:?}");
+                let mut previous = None;
+                for index in assignment.iter() {
+                    proptest::prop_assert!(index < len);
+                    proptest::prop_assert!(previous < Some(index), "order within a shard");
+                    previous = Some(index);
+                    seen[index] += 1;
+                }
+            }
+            proptest::prop_assert!(
+                seen.iter().all(|&count| count == 1),
+                "len={len} shards={shards}: coverage {seen:?}"
+            );
+            proptest::prop_assert!(assignments.len() <= shards.max(1).min(len.max(1)));
         }
     }
 

@@ -1,0 +1,455 @@
+//! Classification reuse across campaign sessions: the incremental
+//! re-campaign machinery.
+//!
+//! The Faulter+Patcher loop re-runs a full fault campaign after every
+//! binary rewrite, yet each patch touches a handful of instructions. A
+//! [`CampaignSeed`] captures what the prior session learned (its golden
+//! bad-input trace and per-model classifications); together with the
+//! [`rr_disasm::ListingDelta`] of the rewrite, [`plan`] aligns the old
+//! and new traces step by step and decides, per site, whether the prior
+//! [`FaultClass`] is still valid:
+//!
+//! * the site's instruction must be **carried over unchanged** (its old
+//!   address remaps through the delta onto the new trace's program
+//!   counter at the aligned step), and
+//! * no touched code — inserted pattern instructions executing in the
+//!   new trace, or replaced instructions vanishing from the old one —
+//!   may lie within [`REUSE_GUARD_WINDOW`] trace steps of the site, so
+//!   the machine state a fault is injected into, and the first stretch
+//!   of its downstream window, relate to the prior run by exact
+//!   relocation correspondence (equal up to the delta's address remap).
+//!
+//! Reused sites answer from the [`ClassificationCache`] without
+//! executing anything; invalidated sites are re-run, and the plan's
+//! `snapshot_window` tells the session which trace region actually needs
+//! checkpoints (`rr_engine::ReplayEngine::replay_range`).
+//!
+//! The cache key is (fault model, site remapped through the delta, fault
+//! effect), and the whole cache is guarded by the oracle fingerprint
+//! ([`crate::Oracle::fingerprint`]): a changed judgment — different
+//! golden behaviours, different goal prefix, a custom oracle without a
+//! fingerprint — empties it. Two per-entry guards apply on top: cached
+//! `TimedOut` entries are dropped when the faulted step budget changed
+//! (the timeout boundary moved with it), and bit-level value corruption
+//! ([`FaultEffect::FlipInstructionBit`] and
+//! [`FaultEffect::FlipRegisterBit`]) is reused only under a
+//! [no-op delta](ListingDelta::is_noop) — a corrupted opcode or a
+//! flipped register holding an absolute address behaves in ways that
+//! depend on code layout, which any insertion shifts.
+
+use crate::report::CampaignReport;
+use crate::site::{Fault, FaultClass, FaultEffect};
+use rr_disasm::ListingDelta;
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Range;
+
+/// Trace-step guard radius around code the delta touched: sites closer
+/// than this to a dirty step are re-executed instead of reused. The
+/// guard absorbs local interactions between a fault and freshly
+/// inserted/removed code (e.g. a skipped instruction falling into an
+/// inserted sequence, or an instruction-bit flip whose corrupted opcode
+/// reads bytes across a patch boundary). It is deliberately small:
+/// alignment already guarantees the machine state at every reused
+/// injection point corresponds to the prior run's (exactly, up to the
+/// delta's address remap), and the inserted protection patterns are
+/// semantically transparent to continuations that merely pass through
+/// them — the invariance test suite pins incremental classifications
+/// bit-identical to from-scratch campaigns across all workloads and
+/// fault models.
+pub const REUSE_GUARD_WINDOW: u64 = 8;
+
+/// What one campaign session learned, packaged for the next session of
+/// an incremental loop: build it with
+/// [`CampaignSession::seed`](crate::CampaignSession::seed) and hand it to
+/// [`CampaignSessionBuilder::seed_from`](crate::CampaignSessionBuilder::seed_from).
+#[derive(Debug, Clone)]
+pub struct CampaignSeed {
+    /// The prior session's golden bad-input trace (one pc per step).
+    pub(crate) trace: Vec<u64>,
+    /// Per-model classifications from the prior session.
+    pub(crate) reports: Vec<CampaignReport>,
+    /// The prior oracle's fingerprint (`None` disables reuse).
+    pub(crate) oracle_fingerprint: Option<u64>,
+    /// The prior session's faulted-run step budget (timeout boundary).
+    pub(crate) faulted_budget: u64,
+}
+
+/// Per-fault classifications carried over from a prior session, keyed by
+/// (model, trace step in the *new* session, effect). Sessions consult it
+/// before replaying anything.
+#[derive(Debug, Default)]
+pub struct ClassificationCache {
+    entries: HashMap<(&'static str, u64, FaultEffect), FaultClass>,
+}
+
+impl ClassificationCache {
+    /// The prior classification for `fault` under `model`, when the seed
+    /// plan proved it still valid.
+    pub fn lookup(&self, model: &'static str, fault: &Fault) -> Option<FaultClass> {
+        self.entries.get(&(model, fault.step, fault.effect)).copied()
+    }
+
+    /// Number of carried-over classifications.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing was carried over.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Counters of how a session's fault evaluations were served.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReuseStats {
+    /// Fault evaluations answered from the [`ClassificationCache`]
+    /// without executing anything.
+    pub sites_reused: usize,
+    /// Fault evaluations that replayed and ran the faulted machine.
+    pub sites_replayed: usize,
+}
+
+impl ReuseStats {
+    /// Merges two counters (e.g. across a loop's sessions).
+    #[must_use]
+    pub fn merge(self, other: ReuseStats) -> ReuseStats {
+        ReuseStats {
+            sites_reused: self.sites_reused + other.sites_reused,
+            sites_replayed: self.sites_replayed + other.sites_replayed,
+        }
+    }
+
+    /// Fraction of evaluations served from the cache, in percent.
+    pub fn reuse_percent(&self) -> f64 {
+        let total = self.sites_reused + self.sites_replayed;
+        if total == 0 {
+            return 0.0;
+        }
+        self.sites_reused as f64 / total as f64 * 100.0
+    }
+}
+
+impl fmt::Display for ReuseStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} reused, {} replayed ({:.1}% of fault evaluations reused)",
+            self.sites_reused,
+            self.sites_replayed,
+            self.reuse_percent()
+        )
+    }
+}
+
+/// The outcome of aligning a seed against a freshly recorded trace.
+#[derive(Debug, Default)]
+pub(crate) struct SeedPlan {
+    /// Classifications proven still valid, rekeyed to new trace steps.
+    pub cache: ClassificationCache,
+    /// The new-trace step range containing every invalidated site —
+    /// the only region whose faults will be executed, and therefore the
+    /// only region worth snapshotting. `None` when every site of every
+    /// seeded model is reusable.
+    pub snapshot_window: Option<Range<u64>>,
+}
+
+impl SeedPlan {
+    /// A plan that reuses nothing and snapshots everything.
+    fn full(trace_len: u64) -> SeedPlan {
+        SeedPlan { cache: ClassificationCache::default(), snapshot_window: Some(0..trace_len) }
+    }
+}
+
+/// Aligns the seed's trace with `new_trace` through `delta` and builds
+/// the reuse plan. `new_fingerprint` is the new session's oracle
+/// fingerprint; `new_budget` its faulted-run step budget.
+pub(crate) fn plan(
+    seed: &CampaignSeed,
+    delta: &ListingDelta,
+    new_trace: &[u64],
+    new_fingerprint: Option<u64>,
+    new_budget: u64,
+) -> SeedPlan {
+    let trace_len = new_trace.len() as u64;
+    // A changed (or absent) oracle judgment invalidates everything.
+    let (Some(old_print), Some(new_print)) = (seed.oracle_fingerprint, new_fingerprint) else {
+        return SeedPlan::full(trace_len);
+    };
+    if old_print != new_print {
+        return SeedPlan::full(trace_len);
+    }
+
+    // Walk both traces in lockstep. Old steps whose instruction the delta
+    // changed and new steps executing inserted code consume one side only
+    // and mark the spot dirty; everything else must remap exactly, or the
+    // traces diverged structurally and the remainder is dirty wholesale.
+    let old_trace = &seed.trace;
+    let mut old_step_for: Vec<Option<u64>> = vec![None; new_trace.len()];
+    let mut dirty: Vec<u64> = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < old_trace.len() && j < new_trace.len() {
+        if delta.remap(old_trace[i]) == Some(new_trace[j]) {
+            old_step_for[j] = Some(i as u64);
+            i += 1;
+            j += 1;
+        } else if delta.is_inserted(new_trace[j]) {
+            dirty.push(j as u64);
+            j += 1;
+        } else if delta.is_changed(old_trace[i]) {
+            dirty.push(j as u64);
+            i += 1;
+        } else {
+            break; // structural divergence: nothing further aligns
+        }
+    }
+    dirty.extend((j..new_trace.len()).map(|k| k as u64));
+    for slot in &mut old_step_for[j..] {
+        *slot = None;
+    }
+    if i < old_trace.len() && j >= new_trace.len() {
+        // The old trace continued past the alignment: the final aligned
+        // region's downstream differs, guard it.
+        dirty.push(trace_len.saturating_sub(1));
+    }
+
+    // A site is reusable when it aligned and no dirty step falls within
+    // the guard radius.
+    let clean = |step: u64| {
+        let at = dirty.partition_point(|&d| d < step.saturating_sub(REUSE_GUARD_WINDOW));
+        dirty.get(at).is_none_or(|&d| d > step.saturating_add(REUSE_GUARD_WINDOW))
+    };
+
+    // Prior classifications indexed by (model, old step).
+    let mut prior: HashMap<(&'static str, u64), Vec<(FaultEffect, FaultClass)>> = HashMap::new();
+    for report in &seed.reports {
+        for result in &report.results {
+            prior
+                .entry((report.model, result.fault.step))
+                .or_default()
+                .push((result.fault.effect, result.class));
+        }
+    }
+
+    let budget_changed = seed.faulted_budget != new_budget;
+    let noop_delta = delta.is_noop();
+    let mut cache = ClassificationCache::default();
+    let mut invalid: Option<Range<u64>> = None;
+    let grow = |range: Range<u64>, invalid: &mut Option<Range<u64>>| {
+        *invalid = Some(match invalid.take() {
+            None => range,
+            Some(r) => r.start.min(range.start)..r.end.max(range.end),
+        });
+    };
+    for (j, old_step) in old_step_for.iter().enumerate() {
+        let j = j as u64;
+        let reusable = old_step.is_some() && clean(j);
+        if !reusable {
+            grow(j..j + 1, &mut invalid);
+            continue;
+        }
+        let old_step = old_step.expect("reusable implies aligned");
+        for report in &seed.reports {
+            let Some(results) = prior.get(&(report.model, old_step)) else {
+                continue;
+            };
+            for &(effect, class) in results {
+                let cacheable = match effect {
+                    // Bit-level corruption of *values* is layout-sensitive
+                    // and reusable only under a no-op delta: an encoding
+                    // flip can conjure a branch that lands wherever the
+                    // corrupted offset points, and a register flip can XOR
+                    // an absolute code/data address (return targets,
+                    // `mov r, label` materializations) — neither commutes
+                    // with the address shift a patch introduces. Skips and
+                    // flag flips, by contrast, only select among genuine
+                    // program paths, which the old and new binaries relate
+                    // by exact relocation correspondence.
+                    FaultEffect::FlipInstructionBit { .. }
+                    | FaultEffect::FlipRegisterBit { .. } => noop_delta,
+                    FaultEffect::SkipInstruction | FaultEffect::FlipFlags { .. } => true,
+                } && !(budget_changed && class == FaultClass::TimedOut);
+                if !cacheable {
+                    // Re-run this fault (and snapshot its region).
+                    grow(j..j + 1, &mut invalid);
+                    continue;
+                }
+                cache.entries.insert((report.model, j, effect), class);
+            }
+        }
+    }
+
+    SeedPlan { cache, snapshot_window: invalid }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::FaultResult;
+
+    fn seed_with(trace: Vec<u64>, results: Vec<FaultResult>) -> CampaignSeed {
+        CampaignSeed {
+            trace,
+            reports: vec![CampaignReport { model: "instruction-skip", results }],
+            oracle_fingerprint: Some(7),
+            faulted_budget: 10_000,
+        }
+    }
+
+    fn skip_at(step: u64, pc: u64) -> Fault {
+        Fault { step, pc, effect: FaultEffect::SkipInstruction }
+    }
+
+    #[test]
+    fn identity_delta_reuses_everything() {
+        let trace: Vec<u64> = (0..200).map(|k| 0x1000 + k * 4).collect();
+        let results: Vec<FaultResult> = trace
+            .iter()
+            .enumerate()
+            .map(|(step, &pc)| FaultResult {
+                fault: skip_at(step as u64, pc),
+                class: FaultClass::Benign,
+            })
+            .collect();
+        let seed = seed_with(trace.clone(), results);
+        let plan = plan(&seed, &ListingDelta::identity(), &trace, Some(7), 10_000);
+        assert_eq!(plan.cache.len(), 200);
+        assert_eq!(plan.snapshot_window, None);
+        assert_eq!(
+            plan.cache.lookup("instruction-skip", &skip_at(3, trace[3])),
+            Some(FaultClass::Benign)
+        );
+        assert_eq!(plan.cache.lookup("single-bit-flip", &skip_at(3, trace[3])), None);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_invalidates_everything() {
+        let trace: Vec<u64> = (0..50).map(|k| 0x1000 + k * 4).collect();
+        let results = vec![FaultResult { fault: skip_at(0, 0x1000), class: FaultClass::Success }];
+        let seed = seed_with(trace.clone(), results);
+        for new_print in [Some(8), None] {
+            let plan = plan(&seed, &ListingDelta::identity(), &trace, new_print, 10_000);
+            assert!(plan.cache.is_empty());
+            assert_eq!(plan.snapshot_window, Some(0..50));
+        }
+    }
+
+    #[test]
+    fn changed_budget_drops_only_timed_out_entries() {
+        let trace: Vec<u64> = (0..300).map(|k| 0x1000 + k * 4).collect();
+        let results = vec![
+            FaultResult { fault: skip_at(10, trace[10]), class: FaultClass::Benign },
+            FaultResult { fault: skip_at(200, trace[200]), class: FaultClass::TimedOut },
+        ];
+        let seed = seed_with(trace.clone(), results);
+        let unchanged = plan(&seed, &ListingDelta::identity(), &trace, Some(7), 10_000);
+        assert_eq!(unchanged.cache.len(), 2);
+        assert_eq!(unchanged.snapshot_window, None);
+
+        let moved = plan(&seed, &ListingDelta::identity(), &trace, Some(7), 20_000);
+        assert_eq!(
+            moved.cache.lookup("instruction-skip", &skip_at(10, trace[10])),
+            Some(FaultClass::Benign)
+        );
+        assert_eq!(moved.cache.lookup("instruction-skip", &skip_at(200, trace[200])), None);
+        assert_eq!(moved.snapshot_window, Some(200..201));
+    }
+
+    #[test]
+    fn layout_sensitive_effects_reuse_only_across_noop_deltas() {
+        use rr_isa::Reg;
+        // A real shifting delta: disassemble a straight-line program,
+        // insert a nop before its final instruction (more than
+        // REUSE_GUARD_WINDOW steps after the probed site), reassemble.
+        let movs: String = (0..16).map(|k| format!("    mov r1, {k}\n")).collect();
+        let exe =
+            rr_asm::assemble_and_link(&format!("    .global _start\n_start:\n{movs}    svc 0\n"))
+                .unwrap();
+        let listing = rr_disasm::disassemble(&exe).unwrap().listing;
+        let mut patched = listing.clone();
+        let last =
+            patched.text.iter().rposition(|l| matches!(l, rr_disasm::Line::Code { .. })).unwrap();
+        patched.text.insert(
+            last,
+            rr_disasm::Line::Code {
+                orig_addr: None,
+                insn: rr_disasm::SymInstr::Plain(rr_isa::Instr::Nop),
+            },
+        );
+        let rebuilt = rr_asm::assemble_and_link(&patched.to_source()).unwrap();
+        let delta = ListingDelta::compute(&listing, &exe, &patched, &rebuilt).unwrap();
+        assert!(!delta.is_noop(), "the nop shifts the tail");
+
+        // The straight-line traces: every instruction in order, with the
+        // inserted nop executing right before the final one in the new
+        // binary.
+        let old_trace: Vec<u64> = listing.original_code().map(|(_, a, _)| a).collect();
+        let nop_addr = delta.inserted_ranges()[0].start;
+        let mut new_trace: Vec<u64> =
+            old_trace.iter().map(|&a| delta.remap(a).expect("carried over")).collect();
+        new_trace.insert(new_trace.len() - 1, nop_addr);
+        let insertion_step = (new_trace.len() - 2) as u64;
+        assert!(insertion_step > REUSE_GUARD_WINDOW, "probe site must sit outside the guard");
+
+        let effects = [
+            FaultEffect::SkipInstruction,
+            FaultEffect::FlipFlags { mask: 1 },
+            FaultEffect::FlipRegisterBit { reg: Reg::R1, bit: 6 },
+            FaultEffect::FlipInstructionBit { byte: 0, bit: 3 },
+        ];
+        let results: Vec<FaultResult> = effects
+            .iter()
+            .map(|&effect| FaultResult {
+                fault: Fault { step: 0, pc: old_trace[0], effect },
+                class: FaultClass::Benign,
+            })
+            .collect();
+        let seed = CampaignSeed {
+            trace: old_trace.clone(),
+            reports: vec![CampaignReport { model: "mixed", results }],
+            oracle_fingerprint: Some(7),
+            faulted_budget: 10_000,
+        };
+        let plan = plan(&seed, &delta, &new_trace, Some(7), 10_000);
+
+        // Path-selection effects carry over; value-corruption effects do
+        // not (they're layout-sensitive and the delta shifts addresses).
+        let lookup =
+            |effect| plan.cache.lookup("mixed", &Fault { step: 0, pc: new_trace[0], effect });
+        assert_eq!(lookup(FaultEffect::SkipInstruction), Some(FaultClass::Benign));
+        assert_eq!(lookup(FaultEffect::FlipFlags { mask: 1 }), Some(FaultClass::Benign));
+        assert_eq!(lookup(FaultEffect::FlipRegisterBit { reg: Reg::R1, bit: 6 }), None);
+        assert_eq!(lookup(FaultEffect::FlipInstructionBit { byte: 0, bit: 3 }), None);
+        // …and the dropped entries force their step into the re-run
+        // window.
+        assert_eq!(plan.snapshot_window.clone().map(|w| w.start), Some(0));
+
+        // Under an identity delta everything is reusable.
+        let identity = plan2_identity(&seed, &old_trace);
+        for effect in effects {
+            assert_eq!(
+                identity.cache.lookup("mixed", &Fault { step: 0, pc: old_trace[0], effect }),
+                Some(FaultClass::Benign),
+                "{effect:?}"
+            );
+        }
+        assert_eq!(identity.snapshot_window, None);
+    }
+
+    fn plan2_identity(seed: &CampaignSeed, trace: &[u64]) -> SeedPlan {
+        plan(seed, &ListingDelta::identity(), trace, Some(7), 10_000)
+    }
+
+    #[test]
+    fn reuse_stats_render_and_merge() {
+        let a = ReuseStats { sites_reused: 3, sites_replayed: 1 };
+        let b = ReuseStats { sites_reused: 1, sites_replayed: 3 };
+        let merged = a.merge(b);
+        assert_eq!(merged, ReuseStats { sites_reused: 4, sites_replayed: 4 });
+        assert!((merged.reuse_percent() - 50.0).abs() < 1e-9);
+        assert_eq!(ReuseStats::default().reuse_percent(), 0.0);
+        let text = merged.to_string();
+        assert!(text.contains("4 reused") && text.contains("50.0%"), "{text}");
+    }
+}

@@ -44,6 +44,17 @@
 //! enforces bit-identical reports across engines, thread counts, and
 //! shard policies.
 //!
+//! For iterative loops that re-campaign after a small binary rewrite,
+//! sessions support **incremental re-campaigning**: package a finished
+//! session's classifications with [`CampaignSession::seed`], compute the
+//! rewrite's [`ListingDelta`], and hand both to the next builder via
+//! [`CampaignSessionBuilder::seed_from`]. Sites the rewrite provably
+//! left alone reuse the prior [`FaultClass`] from a
+//! [`ClassificationCache`] without executing anything (guarded by the
+//! [`Oracle::fingerprint`]), and snapshots are re-recorded only for the
+//! invalidated trace region. [`CampaignSession::reuse_stats`] reports
+//! the reused/replayed split.
+//!
 //! Fault models provided:
 //!
 //! * [`InstructionSkip`] — the paper's "instruction skip" model,
@@ -70,6 +81,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod cache;
 mod config;
 mod model;
 mod oracle;
@@ -77,6 +89,7 @@ mod report;
 mod session;
 mod site;
 
+pub use cache::{CampaignSeed, ClassificationCache, ReuseStats, REUSE_GUARD_WINDOW};
 pub use config::{CampaignConfig, CampaignEngine};
 pub use model::{FaultModel, FlagFlip, InstructionSkip, RegisterBitFlip, SingleBitFlip};
 pub use oracle::{Behavior, CrashTriageOracle, GoldenPairOracle, Oracle, OutputPrefixOracle};
@@ -87,3 +100,8 @@ pub use site::{Fault, FaultClass, FaultEffect, FaultSite};
 // The shard policy is part of [`CampaignConfig`]; re-exported so session
 // consumers don't need an rr-engine dependency to select it.
 pub use rr_engine::shard::ShardPolicy;
+
+// The listing delta is the input to [`CampaignSessionBuilder::seed_from`];
+// re-exported so incremental campaign drivers don't need an rr-disasm
+// dependency to pass one through.
+pub use rr_disasm::ListingDelta;

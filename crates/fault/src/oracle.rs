@@ -10,6 +10,7 @@
 use crate::site::FaultClass;
 use rr_emu::RunOutcome;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// The complete observable behaviour of one run — what oracles classify.
 ///
@@ -35,6 +36,39 @@ pub trait Oracle: fmt::Debug + Send + Sync {
 
     /// Classifies one faulted run's behaviour.
     fn classify(&self, faulted: &Behavior) -> FaultClass;
+
+    /// A value identifying everything this oracle's judgment depends on,
+    /// or `None` when the oracle cannot state one.
+    ///
+    /// Incremental re-campaigns reuse a prior session's classifications
+    /// only when both sessions' oracle fingerprints are equal — a changed
+    /// fingerprint invalidates the whole `ClassificationCache`. The
+    /// contract: two oracles with equal fingerprints must classify every
+    /// behaviour identically. Note the fingerprint must *not* cover
+    /// incidental state that legitimately changes across
+    /// behaviour-preserving rebuilds (e.g. golden step counts — patching
+    /// lengthens runs without changing what the attacker observes).
+    ///
+    /// The default is `None`: a custom oracle that doesn't opt in never
+    /// has its classifications carried across sessions.
+    fn fingerprint(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Hashes the behaviour-relevant parts of an [`Execution`] — outcome and
+/// output, *not* the step count, which changes across
+/// behaviour-preserving rebuilds.
+fn hash_behavior<H: Hasher>(state: &mut H, behavior: &Behavior) {
+    behavior.outcome.hash(state);
+    behavior.output.hash(state);
+}
+
+/// A deterministic in-process hasher seeded with the oracle name.
+fn fingerprint_hasher(name: &str) -> std::collections::hash_map::DefaultHasher {
+    let mut state = std::collections::hash_map::DefaultHasher::new();
+    name.hash(&mut state);
+    state
 }
 
 /// The paper's oracle: compare against the two golden runs.
@@ -84,6 +118,15 @@ impl Oracle for GoldenPairOracle {
             }
         }
     }
+
+    /// Covers both golden behaviours (outcome + output; step counts are
+    /// excluded because [`Behavior::same_behavior`] ignores them).
+    fn fingerprint(&self) -> Option<u64> {
+        let mut state = fingerprint_hasher(self.name());
+        hash_behavior(&mut state, &self.golden_good);
+        hash_behavior(&mut state, &self.golden_bad);
+        Some(state.finish())
+    }
 }
 
 /// An attacker goal stated as an output prefix (e.g. `ACCESS GRANTED`):
@@ -126,6 +169,13 @@ impl Oracle for OutputPrefixOracle {
             RunOutcome::Exited { .. } => FaultClass::Benign,
         }
     }
+
+    /// Covers the goal prefix.
+    fn fingerprint(&self) -> Option<u64> {
+        let mut state = fingerprint_hasher(self.name());
+        self.prefix.hash(&mut state);
+        Some(state.finish())
+    }
 }
 
 /// Crash-only triage: `Crashed`/`TimedOut` by outcome, everything else
@@ -145,6 +195,11 @@ impl Oracle for CrashTriageOracle {
             RunOutcome::TimedOut => FaultClass::TimedOut,
             RunOutcome::Exited { .. } => FaultClass::Benign,
         }
+    }
+
+    /// Stateless: the name is the whole configuration.
+    fn fingerprint(&self) -> Option<u64> {
+        Some(fingerprint_hasher(self.name()).finish())
     }
 }
 
@@ -173,6 +228,54 @@ mod tests {
             oracle.classify(&behavior(RunOutcome::Exited { code: 1 }, b"DENIED")),
             FaultClass::Benign
         );
+    }
+
+    #[test]
+    fn fingerprints_track_judgment_not_step_counts() {
+        let good = behavior(RunOutcome::Exited { code: 0 }, b"GRANTED");
+        let bad = behavior(RunOutcome::Exited { code: 1 }, b"DENIED");
+        let pair = GoldenPairOracle::new(good.clone(), bad.clone());
+        assert!(pair.fingerprint().is_some());
+        // Step counts legitimately change across behaviour-preserving
+        // rebuilds: the fingerprint must not.
+        let mut longer_bad = bad.clone();
+        longer_bad.steps += 1000;
+        assert_eq!(
+            pair.fingerprint(),
+            GoldenPairOracle::new(good.clone(), longer_bad).fingerprint()
+        );
+        // A different golden behaviour is a different judgment.
+        let other_bad = behavior(RunOutcome::Exited { code: 1 }, b"LOCKED");
+        assert_ne!(pair.fingerprint(), GoldenPairOracle::new(good, other_bad).fingerprint());
+
+        // The prefix oracle fingerprints its goal; crash triage is
+        // stateless; distinct oracle kinds never collide on equal state.
+        assert_eq!(
+            OutputPrefixOracle::new(&b"A"[..]).fingerprint(),
+            OutputPrefixOracle::new(&b"A"[..]).fingerprint()
+        );
+        assert_ne!(
+            OutputPrefixOracle::new(&b"A"[..]).fingerprint(),
+            OutputPrefixOracle::new(&b"B"[..]).fingerprint()
+        );
+        assert_eq!(CrashTriageOracle.fingerprint(), CrashTriageOracle.fingerprint());
+        assert_ne!(
+            CrashTriageOracle.fingerprint(),
+            OutputPrefixOracle::new(&b""[..]).fingerprint()
+        );
+
+        // Custom oracles default to "no fingerprint" → never reused.
+        #[derive(Debug)]
+        struct Opaque;
+        impl Oracle for Opaque {
+            fn name(&self) -> &'static str {
+                "opaque"
+            }
+            fn classify(&self, _: &Behavior) -> FaultClass {
+                FaultClass::Benign
+            }
+        }
+        assert_eq!(Opaque.fingerprint(), None);
     }
 
     #[test]

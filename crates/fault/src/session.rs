@@ -19,17 +19,20 @@
 //! * all models passed to one `run` call share a single scheduling pass
 //!   over the trace sites (per [`CampaignConfig::shard`] policy).
 
+use crate::cache::{self, CampaignSeed, ClassificationCache, ReuseStats};
 use crate::config::{CampaignConfig, CampaignEngine};
 use crate::model::FaultModel;
 use crate::oracle::{Behavior, GoldenPairOracle, Oracle};
 use crate::report::{CampaignReport, FaultResult, ModelSummary, Summary};
 use crate::site::{Fault, FaultClass, FaultEffect, FaultSite};
+use rr_disasm::ListingDelta;
 use rr_emu::{execute, Execution, Machine, RunOutcome};
 use rr_engine::shard::{run_scheduled, scheduled_fold};
 use rr_engine::{ReplayConfig, ReplayEngine, ReplayFootprint};
 use rr_isa::{decode, Flags, MAX_INSTR_LEN};
 use rr_obj::Executable;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Why a session could not be built.
@@ -79,6 +82,7 @@ pub struct CampaignSessionBuilder {
     config: CampaignConfig,
     oracle: Option<Arc<dyn Oracle>>,
     golden_good: Option<Execution>,
+    seed: Option<(CampaignSeed, ListingDelta)>,
 }
 
 impl CampaignSessionBuilder {
@@ -138,6 +142,27 @@ impl CampaignSessionBuilder {
         self
     }
 
+    /// Seeds the session with a prior session's classifications
+    /// ([`CampaignSession::seed`]) and the [`ListingDelta`] of the binary
+    /// rewrite separating the two — the incremental re-campaign seam.
+    ///
+    /// At build time the new golden bad-input trace is aligned with the
+    /// seed's through the delta: sites whose injection point and nearby
+    /// downstream trace window the rewrite left untouched adopt the prior
+    /// [`FaultClass`] without executing anything, and (for checkpointed
+    /// sessions) snapshots are recorded only for the trace region that
+    /// actually needs re-execution
+    /// ([`rr_engine::ReplayEngine::replay_range`]). Reuse is guarded by
+    /// the oracle fingerprint: a seed whose oracle judged differently —
+    /// or one without a fingerprint — is ignored wholesale. Either way
+    /// classifications are identical to an unseeded session; only the
+    /// work changes. [`CampaignSession::reuse_stats`] reports the split.
+    #[must_use]
+    pub fn seed_from(mut self, prior: CampaignSeed, delta: &ListingDelta) -> Self {
+        self.seed = Some((prior, delta.clone()));
+        self
+    }
+
     /// Performs the golden pass and builds the session.
     ///
     /// One pass over the bad-input run yields the golden behaviour, the
@@ -177,15 +202,24 @@ impl CampaignSessionBuilder {
             }
         }
 
-        let replay = ReplayEngine::record(
+        let replay_config = ReplayConfig {
+            max_steps: config.golden_max_steps,
+            checkpoint_interval: config.checkpoint_interval,
+            max_retained_bytes: config.max_retained_bytes,
+            record_snapshots: config.engine == CampaignEngine::Checkpointed,
+            ..ReplayConfig::default()
+        };
+        // A seeded checkpointed session defers snapshot capture: the
+        // region worth checkpointing is only known once the fresh trace
+        // has been aligned with the seed's, so the first pass records the
+        // trace and behaviour alone.
+        let defer_snapshots = self.seed.is_some() && config.engine == CampaignEngine::Checkpointed;
+        let mut replay = ReplayEngine::record(
             &self.exe,
             &bad_input,
             &ReplayConfig {
-                max_steps: config.golden_max_steps,
-                checkpoint_interval: config.checkpoint_interval,
-                max_retained_bytes: config.max_retained_bytes,
-                record_snapshots: config.engine == CampaignEngine::Checkpointed,
-                ..ReplayConfig::default()
+                record_snapshots: replay_config.record_snapshots && !defer_snapshots,
+                ..replay_config.clone()
             },
         );
         let golden_bad = replay.execution().clone();
@@ -203,6 +237,38 @@ impl CampaignSessionBuilder {
                 Arc::new(GoldenPairOracle::new(golden_good, golden_bad.clone()))
             }
         };
+
+        // Align the seed (if any) against the fresh trace: carried-over
+        // classifications go to the cache; the invalidated region — if
+        // anything needs re-execution at all — is re-recorded with
+        // region-scoped snapshots.
+        let faulted_budget =
+            (golden_bad.steps * config.faulted_step_multiplier).max(config.faulted_min_steps);
+        let mut cache = ClassificationCache::default();
+        if let Some((seed, delta)) = &self.seed {
+            let plan =
+                cache::plan(seed, delta, replay.trace(), oracle.fingerprint(), faulted_budget);
+            cache = plan.cache;
+            if config.engine == CampaignEngine::Checkpointed {
+                // Re-record with snapshots: scoped to the invalidated
+                // window when one exists, full-trace otherwise. The
+                // no-window case could skip snapshots entirely for the
+                // *seeded* models (everything answers from the cache),
+                // but a model absent from the seed would then silently
+                // replay every fault from step 0 — the exact
+                // checkpointed-in-name-only degradation the session API
+                // exists to make unrepresentable. One golden-pass of
+                // recording buys that guarantee back.
+                let scoped = match plan.snapshot_window {
+                    Some(window) => {
+                        ReplayEngine::replay_range(&self.exe, &bad_input, &replay_config, window)
+                    }
+                    None => ReplayEngine::record(&self.exe, &bad_input, &replay_config),
+                };
+                debug_assert_eq!(scoped.trace(), replay.trace(), "deterministic re-recording");
+                replay = scoped;
+            }
+        }
 
         let sites = replay
             .trace()
@@ -226,6 +292,9 @@ impl CampaignSessionBuilder {
             oracle,
             replay,
             reused_golden_good,
+            cache,
+            reused: AtomicUsize::new(0),
+            replayed: AtomicUsize::new(0),
         })
     }
 }
@@ -251,6 +320,13 @@ pub struct CampaignSession {
     /// shared by every evaluation of this session.
     replay: ReplayEngine,
     reused_golden_good: bool,
+    /// Classifications carried over from a seeding session
+    /// ([`CampaignSessionBuilder::seed_from`]); empty when unseeded.
+    cache: ClassificationCache,
+    /// Fault evaluations served from the cache.
+    reused: AtomicUsize,
+    /// Fault evaluations that actually executed.
+    replayed: AtomicUsize,
 }
 
 impl CampaignSession {
@@ -267,6 +343,7 @@ impl CampaignSession {
             config: CampaignConfig::default(),
             oracle: None,
             golden_good: None,
+            seed: None,
         }
     }
 
@@ -330,6 +407,38 @@ impl CampaignSession {
         &self.replay
     }
 
+    /// Packages what this session learned for the next session of an
+    /// incremental loop: its golden bad-input trace, the given per-model
+    /// `reports` (from this session's [`CampaignSession::run`]), the
+    /// oracle fingerprint, and the faulted-run step budget. Feed the
+    /// result — together with the [`ListingDelta`] of the intervening
+    /// rewrite — to [`CampaignSessionBuilder::seed_from`].
+    pub fn seed(&self, reports: &[CampaignReport]) -> CampaignSeed {
+        CampaignSeed {
+            trace: self.replay.trace().to_vec(),
+            reports: reports.to_vec(),
+            oracle_fingerprint: self.oracle.fingerprint(),
+            faulted_budget: (self.golden_bad.steps * self.config.faulted_step_multiplier)
+                .max(self.config.faulted_min_steps),
+        }
+    }
+
+    /// How this session's fault evaluations were served so far: answered
+    /// from the carried-over [`ClassificationCache`] vs actually
+    /// replayed. Both zero before the first [`CampaignSession::run`].
+    pub fn reuse_stats(&self) -> ReuseStats {
+        ReuseStats {
+            sites_reused: self.reused.load(Ordering::Relaxed),
+            sites_replayed: self.replayed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of classifications carried over from the seeding session
+    /// (zero for unseeded sessions).
+    pub fn cached_classifications(&self) -> usize {
+        self.cache.len()
+    }
+
     /// Memory footprint of the checkpoints retained for this session:
     /// page-granular retained bytes, and the region-COW baseline for the
     /// same recording. Naive sessions report one checkpoint and zero
@@ -372,10 +481,18 @@ impl CampaignSession {
         self.sites.iter().step_by(self.config.site_stride.max(1)).collect()
     }
 
-    /// Positions a machine at the fault's step (restore + step forward
-    /// for checkpointed sessions; replay from step 0 for naive ones),
-    /// injects, resumes, and classifies via the oracle.
-    fn evaluate(&self, fault: &Fault) -> FaultClass {
+    /// Classifies one fault of `model`: served from the carried-over
+    /// [`ClassificationCache`] when the seed plan proved the prior
+    /// classification still valid, otherwise by positioning a machine at
+    /// the fault's step (restore + step forward for checkpointed
+    /// sessions; replay from step 0 for naive ones), injecting, resuming,
+    /// and consulting the oracle.
+    fn evaluate(&self, model: &'static str, fault: &Fault) -> FaultClass {
+        if let Some(class) = self.cache.lookup(model, fault) {
+            self.reused.fetch_add(1, Ordering::Relaxed);
+            return class;
+        }
+        self.replayed.fetch_add(1, Ordering::Relaxed);
         match self.replay.machine_at(fault.step) {
             Ok(machine) => self.inject_and_classify(machine, fault),
             Err(_) => FaultClass::ReplayDiverged,
@@ -459,13 +576,18 @@ impl Sink for Collect {
         let mut faults = Vec::new();
         for model in models {
             let before = faults.len();
-            faults.extend(sampled.iter().flat_map(|site| model.faults_at(site)));
+            let name = model.name();
+            faults.extend(
+                sampled.iter().flat_map(|site| model.faults_at(site)).map(|fault| (name, fault)),
+            );
             counts.push(faults.len() - before);
         }
-        let results =
-            run_scheduled(&faults, session.config.threads, session.config.shard, |fault| {
-                FaultResult { fault: *fault, class: session.evaluate(fault) }
-            });
+        let results = run_scheduled(
+            &faults,
+            session.config.threads,
+            session.config.shard,
+            |(name, fault)| FaultResult { fault: *fault, class: session.evaluate(name, fault) },
+        );
         let mut rest = results;
         let mut reports = Vec::with_capacity(models.len());
         for (model, count) in models.iter().zip(counts) {
@@ -499,7 +621,7 @@ impl Sink for Stream {
             |mut acc, site| {
                 for (m, model) in models.iter().enumerate() {
                     for fault in model.faults_at(site) {
-                        acc[m].record(session.evaluate(&fault));
+                        acc[m].record(session.evaluate(model.name(), &fault));
                     }
                 }
                 acc
@@ -772,14 +894,14 @@ mod tests {
             // (the seed implementation debug-asserted here and took the
             // whole process down in debug builds).
             let bogus = Fault { step: 0, pc: 0xDEAD_0000, effect: FaultEffect::SkipInstruction };
-            assert_eq!(session.evaluate(&bogus), FaultClass::ReplayDiverged, "{engine}");
+            assert_eq!(session.evaluate("test", &bogus), FaultClass::ReplayDiverged, "{engine}");
             // Beyond-trace steps likewise degrade gracefully.
             let beyond = Fault {
                 step: session.golden_bad().steps + 10,
                 pc: 0x1000,
                 effect: FaultEffect::SkipInstruction,
             };
-            assert_eq!(session.evaluate(&beyond), FaultClass::ReplayDiverged, "{engine}");
+            assert_eq!(session.evaluate("test", &beyond), FaultClass::ReplayDiverged, "{engine}");
         }
     }
 
@@ -806,6 +928,100 @@ mod tests {
             run_one(&reusing, &InstructionSkip).results,
             run_one(&first, &InstructionSkip).results
         );
+    }
+
+    #[test]
+    fn seeded_session_reuses_everything_across_an_identity_rewrite() {
+        let w = pincheck();
+        let exe = w.build().unwrap();
+        let first = CampaignSession::builder(exe.clone())
+            .good_input(&w.good_input[..])
+            .bad_input(&w.bad_input[..])
+            .build()
+            .unwrap();
+        let models: [&dyn FaultModel; 2] = [&InstructionSkip, &FlagFlip];
+        let reports = first.run(&models, Collect);
+        assert_eq!(first.reuse_stats().sites_reused, 0, "unseeded sessions never reuse");
+
+        // Same binary, nothing changed: every classification carries over
+        // and the seeded session executes nothing.
+        let seeded = CampaignSession::builder(exe)
+            .good_input(&w.good_input[..])
+            .bad_input(&w.bad_input[..])
+            .seed_from(first.seed(&reports), &rr_disasm::ListingDelta::identity())
+            .build()
+            .unwrap();
+        assert!(seeded.cached_classifications() > 0);
+        let again = seeded.run(&models, Collect);
+        for (fresh, cached) in reports.iter().zip(&again) {
+            assert_eq!(fresh.model, cached.model);
+            assert_eq!(fresh.results, cached.results, "{}", fresh.model);
+        }
+        let stats = seeded.reuse_stats();
+        assert!(stats.sites_reused > 0);
+        assert_eq!(stats.sites_replayed, 0, "identity rewrite leaves nothing to replay");
+        assert!((stats.reuse_percent() - 100.0).abs() < 1e-9);
+
+        // A model the seed never ran is evaluated live — and classifies
+        // exactly as in the unseeded session.
+        let bitflip = seeded.run(&[&SingleBitFlip as &dyn FaultModel], Collect);
+        assert!(seeded.reuse_stats().sites_replayed > 0);
+        assert_eq!(bitflip[0].results, first.run(&[&SingleBitFlip], Collect)[0].results);
+    }
+
+    #[test]
+    fn seeded_session_matches_a_full_campaign_across_a_real_rewrite() {
+        // Patch pincheck behaviour-preservingly (insert a nop mid-text),
+        // then campaign the rebuilt binary twice: from scratch, and seeded
+        // with the original session's classifications through the listing
+        // delta. Classifications must be bit-identical, with nonzero
+        // reuse.
+        let w = pincheck();
+        let exe = w.build().unwrap();
+        let first = CampaignSession::builder(exe.clone())
+            .good_input(&w.good_input[..])
+            .bad_input(&w.bad_input[..])
+            .build()
+            .unwrap();
+        let models: [&dyn FaultModel; 2] = [&InstructionSkip, &FlagFlip];
+        let reports = first.run(&models, Collect);
+
+        let listing = rr_disasm::disassemble(&exe).unwrap().listing;
+        let mut patched = listing.clone();
+        // Insert before an instruction the bad-input run demonstrably
+        // executes (the mid-trace site), so the delta dirties real trace
+        // steps.
+        let mid_pc = first.sites()[first.sites().len() / 2].pc;
+        let index = patched.find_code(mid_pc).expect("traced pc is in the listing");
+        patched.text.insert(
+            index,
+            rr_disasm::Line::Code {
+                orig_addr: None,
+                insn: rr_disasm::SymInstr::Plain(rr_isa::Instr::Nop),
+            },
+        );
+        let rebuilt = rr_asm::assemble_and_link(&patched.to_source()).unwrap();
+        let delta = rr_disasm::ListingDelta::compute(&listing, &exe, &patched, &rebuilt).unwrap();
+
+        let scratch = CampaignSession::builder(rebuilt.clone())
+            .good_input(&w.good_input[..])
+            .bad_input(&w.bad_input[..])
+            .build()
+            .unwrap();
+        let seeded = CampaignSession::builder(rebuilt)
+            .good_input(&w.good_input[..])
+            .bad_input(&w.bad_input[..])
+            .seed_from(first.seed(&reports), &delta)
+            .build()
+            .unwrap();
+        let scratch_reports = scratch.run(&models, Collect);
+        let seeded_reports = seeded.run(&models, Collect);
+        for (fresh, cached) in scratch_reports.iter().zip(&seeded_reports) {
+            assert_eq!(fresh.results, cached.results, "{}", fresh.model);
+        }
+        let stats = seeded.reuse_stats();
+        assert!(stats.sites_reused > 0, "{stats}");
+        assert!(stats.sites_replayed > 0, "the nop executes, its region must replay: {stats}");
     }
 
     #[test]

@@ -2,11 +2,11 @@
 
 use crate::patterns::{apply_patterns, PatchStats};
 use rr_asm::BuildError;
-use rr_disasm::{DisasmError, SymbolizationPolicy};
+use rr_disasm::{DisasmError, ListingDelta, SymbolizationPolicy};
 use rr_emu::{execute, Execution};
 use rr_fault::{
-    CampaignConfig, CampaignEngine, CampaignError, CampaignReport, CampaignSession, Collect,
-    FaultModel,
+    CampaignConfig, CampaignEngine, CampaignError, CampaignReport, CampaignSeed, CampaignSession,
+    Collect, FaultModel, ReuseStats, Summary,
 };
 use rr_obj::Executable;
 use std::fmt;
@@ -27,6 +27,17 @@ pub struct HardenConfig {
     /// every faulter iteration ~√T cheaper on a `T`-step trace while
     /// classifying identically to the naive engine.
     pub engine: CampaignEngine,
+    /// Incremental re-campaigning: after every rewrite, compute the
+    /// [`ListingDelta`] of the patch and seed the next campaign session
+    /// with the prior classifications
+    /// ([`rr_fault::CampaignSessionBuilder::seed_from`]). Sites the patch
+    /// provably left alone reuse their prior [`rr_fault::FaultClass`]
+    /// without executing anything; only the touched trace region is
+    /// re-run (and re-snapshotted). Classifications are bit-identical to
+    /// full re-campaigning — the invariance test suite pins it across
+    /// every workload × fault model — and [`LoopOutcome::sites_reused`]
+    /// reports the work saved.
+    pub incremental: bool,
 }
 
 impl Default for HardenConfig {
@@ -37,12 +48,13 @@ impl Default for HardenConfig {
             campaign: CampaignConfig::default(),
             parallel: true,
             engine: CampaignEngine::default(),
+            incremental: false,
         }
     }
 }
 
 /// One iteration of the loop, for reporting.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IterationReport {
     /// 0-based iteration index.
     pub iteration: usize,
@@ -54,6 +66,10 @@ pub struct IterationReport {
     pub stats: PatchStats,
     /// Code size after this iteration's patch, in bytes.
     pub code_size: u64,
+    /// Per-class counts of this iteration's campaign — the full
+    /// classification signature, for comparing incremental and full
+    /// re-campaign runs.
+    pub summary: Summary,
 }
 
 /// Result of running the loop to a fixed point.
@@ -80,6 +96,12 @@ pub struct LoopOutcome {
     /// because each patch is verified to preserve both golden behaviours
     /// before the next campaign.
     pub golden_good_runs: usize,
+    /// Fault evaluations served from carried-over classifications across
+    /// the whole loop ([`HardenConfig::incremental`]); 0 for full
+    /// re-campaigning.
+    pub sites_reused: usize,
+    /// Fault evaluations that actually replayed and executed.
+    pub sites_replayed: usize,
 }
 
 impl LoopOutcome {
@@ -145,6 +167,8 @@ impl From<BuildError> for HardenError {
 /// `Arc`-shared inputs (derived once) and, after the first session, the
 /// trusted golden-good behaviour every later session reuses plus the
 /// original binary's golden-bad behaviour (the soundness reference).
+/// In incremental mode it also carries the prior session's
+/// classifications and the listing delta pointing at the next binary.
 #[derive(Debug)]
 struct SessionSeed {
     good: Arc<[u8]>,
@@ -153,6 +177,22 @@ struct SessionSeed {
     golden_bad: Option<Execution>,
     campaigns: usize,
     golden_good_runs: usize,
+    reuse: ReuseStats,
+    carry: Option<IncrementalCarry>,
+}
+
+/// What one finished campaign hands to the next in incremental mode.
+#[derive(Debug)]
+struct IncrementalCarry {
+    /// The finished session's trace + classifications.
+    seed: CampaignSeed,
+    /// The rewrite separating that session's binary from the carry's
+    /// target binary (identity until a patch retargets it).
+    delta: ListingDelta,
+    /// Text bytes of the target binary — the carry only seeds a campaign
+    /// on exactly that binary (the loop can re-measure older iterates,
+    /// which must re-campaign in full).
+    text: Vec<u8>,
 }
 
 /// The simulation-driven, iterative hardening driver (paper Fig. 2):
@@ -183,7 +223,9 @@ impl FaulterPatcher {
     }
 
     /// Builds one campaign session on `exe`, reusing the seed's trusted
-    /// golden-good behaviour when one is available, and runs `model`.
+    /// golden-good behaviour when one is available — and, in incremental
+    /// mode, the prior session's classifications when the carry targets
+    /// exactly this binary — and runs `model`.
     fn campaign(
         &self,
         exe: &Executable,
@@ -197,6 +239,11 @@ impl FaulterPatcher {
         if let Some(golden) = seed.golden_good.clone() {
             builder = builder.golden_good(golden);
         }
+        if let Some(carry) = seed.carry.take() {
+            if carry.text == exe.text_bytes() {
+                builder = builder.seed_from(carry.seed, &carry.delta);
+            }
+        }
         let session = builder.build()?;
         seed.campaigns += 1;
         if !session.reused_golden_good() {
@@ -206,7 +253,19 @@ impl FaulterPatcher {
         if seed.golden_bad.is_none() {
             seed.golden_bad = Some(session.golden_bad().clone());
         }
-        Ok(session.run(&[model], Collect).pop().expect("one model in, one report out"))
+        let report = session.run(&[model], Collect).pop().expect("one model in, one report out");
+        seed.reuse = seed.reuse.merge(session.reuse_stats());
+        if self.config.incremental {
+            // Until a patch retargets it (with the real listing delta),
+            // the carry covers re-campaigning this same binary — e.g. the
+            // loop's final re-measurement passes — with full reuse.
+            seed.carry = Some(IncrementalCarry {
+                seed: session.seed(std::slice::from_ref(&report)),
+                delta: ListingDelta::identity(),
+                text: exe.text_bytes().to_vec(),
+            });
+        }
+        Ok(report)
     }
 
     /// Hardens `exe` against `model` using the good/bad input pair as the
@@ -234,6 +293,8 @@ impl FaulterPatcher {
             golden_bad: None,
             campaigns: 0,
             golden_good_runs: 0,
+            reuse: ReuseStats::default(),
+            carry: None,
         };
         let golden_max_steps = self.config.campaign.golden_max_steps;
 
@@ -263,6 +324,8 @@ impl FaulterPatcher {
             }
 
             let disasm = rr_disasm::disassemble_with(&current, self.config.policy)?;
+            let pre_patch =
+                if self.config.incremental { Some(disasm.listing.clone()) } else { None };
             let mut listing = disasm.listing;
             let stats = apply_patterns(&mut listing, &vulnerable);
             let made_progress = !stats.patched.is_empty();
@@ -277,12 +340,28 @@ impl FaulterPatcher {
                 return Err(HardenError::BehaviorChanged { iteration });
             }
 
+            // Retarget the carry at the patched binary: the next campaign
+            // reuses this iteration's classifications through the
+            // listing delta of the patch. A delta failure (the listing
+            // does not describe the rebuilt layout) degrades to a full
+            // re-campaign instead of failing the loop.
+            if let (Some(pre_patch), Some(carry)) = (pre_patch, seed.carry.as_mut()) {
+                match ListingDelta::compute(&pre_patch, &current, &listing, &rebuilt) {
+                    Ok(delta) => {
+                        carry.delta = delta;
+                        carry.text = rebuilt.text_bytes().to_vec();
+                    }
+                    Err(_) => seed.carry = None,
+                }
+            }
+
             iterations.push(IterationReport {
                 iteration,
                 vulnerabilities: report.vulnerabilities().len(),
                 vulnerable_sites: vulnerable.len(),
                 stats,
                 code_size: rebuilt.code_size(),
+                summary: report.summary(),
             });
             current = rebuilt;
 
@@ -322,6 +401,8 @@ impl FaulterPatcher {
             residual_vulnerabilities: residual,
             campaigns: seed.campaigns,
             golden_good_runs: seed.golden_good_runs,
+            sites_reused: seed.reuse.sites_reused,
+            sites_replayed: seed.reuse.sites_replayed,
         })
     }
 }
