@@ -168,9 +168,20 @@ fn bench_engines(c: &mut Criterion) {
         naive_time,
         checkpointed_time,
     );
+    const GATE: f64 = 5.0;
+    rr_bench::write_bench_json(
+        "engine",
+        &[
+            ("speedup", ((speedup * 100.0).round() / 100.0).into()),
+            ("gate", GATE.into()),
+            ("passed", (speedup >= GATE).into()),
+            ("trace_steps", (trace_len as f64).into()),
+            ("faults", (naive_report.results.len() as f64).into()),
+        ],
+    );
     assert!(
-        speedup >= 5.0,
-        "checkpointed engine must be ≥5× faster on the tail campaign, got {speedup:.1}×"
+        speedup >= GATE,
+        "checkpointed engine must be ≥{GATE}× faster on the tail campaign, got {speedup:.1}×"
     );
 }
 

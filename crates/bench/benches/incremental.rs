@@ -112,9 +112,20 @@ fn main() {
     );
     println!("reuse: {reuse}");
 
+    const GATE: f64 = 2.0;
+    rr_bench::write_bench_json(
+        "incremental",
+        &[
+            ("speedup", ((speedup * 100.0).round() / 100.0).into()),
+            ("gate", GATE.into()),
+            ("passed", (speedup >= GATE).into()),
+            ("reuse_percent", ((reuse.reuse_percent() * 10.0).round() / 10.0).into()),
+            ("campaigns", (full.campaigns as f64).into()),
+        ],
+    );
     assert!(
-        speedup >= 2.0,
-        "incremental re-campaigning must be ≥2× faster on a multi-iteration \
+        speedup >= GATE,
+        "incremental re-campaigning must be ≥{GATE}× faster on a multi-iteration \
          hardening run, got {speedup:.1}×"
     );
 }

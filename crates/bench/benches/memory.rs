@@ -81,6 +81,18 @@ fn bench_memory(c: &mut Criterion) {
         footprint.region_cow_bytes / 1024,
         footprint.region_cow_bytes as f64 / footprint.retained_bytes as f64,
     );
+    let reduction = footprint.region_cow_bytes as f64 / footprint.retained_bytes as f64;
+    const GATE: f64 = 10.0;
+    rr_bench::write_bench_json(
+        "memory",
+        &[
+            ("reduction", ((reduction * 10.0).round() / 10.0).into()),
+            ("gate", GATE.into()),
+            ("passed", (reduction >= GATE).into()),
+            ("retained_bytes", (footprint.retained_bytes as f64).into()),
+            ("region_cow_bytes", (footprint.region_cow_bytes as f64).into()),
+        ],
+    );
     assert!(
         footprint.region_cow_bytes >= 10 * footprint.retained_bytes,
         "paged COW must retain ≥10× less than the region-COW baseline, got {} vs {}",

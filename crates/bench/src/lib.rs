@@ -16,7 +16,11 @@
 //! | `ablation_checksum_copies` | design ablation (1 vs 2 copies) |
 //!
 //! Criterion benches (`cargo bench -p rr-bench`): `emulator`, `campaign`,
-//! `rewriting`, `pipelines`.
+//! `rewriting`, `pipelines`, plus the CI-gated `engine`, `memory`,
+//! `incremental`, and `multifault` benches — each of which also emits a
+//! machine-readable `BENCH_<name>.json` record ([`write_bench_json`])
+//! into `target/bench-results/` so the perf trajectory is tracked across
+//! commits.
 
 /// Renders a percentage for table output.
 pub fn pct(value: f64) -> String {
@@ -26,4 +30,121 @@ pub fn pct(value: f64) -> String {
 /// Prints a horizontal rule sized for the tables.
 pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
+}
+
+/// A JSON scalar for [`write_bench_json`].
+#[derive(Debug, Clone)]
+pub enum BenchValue {
+    /// A number (speedups, gates, percentages, counts).
+    Num(f64),
+    /// A string (names, units).
+    Str(String),
+    /// A flag (e.g. whether the gate passed).
+    Bool(bool),
+}
+
+impl From<f64> for BenchValue {
+    fn from(value: f64) -> BenchValue {
+        BenchValue::Num(value)
+    }
+}
+
+impl From<&str> for BenchValue {
+    fn from(value: &str) -> BenchValue {
+        BenchValue::Str(value.to_owned())
+    }
+}
+
+impl From<bool> for BenchValue {
+    fn from(value: bool) -> BenchValue {
+        BenchValue::Bool(value)
+    }
+}
+
+/// Writes a machine-readable benchmark record to `BENCH_<name>.json`
+/// (one flat JSON object; a `"name"` field is prepended automatically),
+/// so the perf trajectory of the gated benchmarks can be tracked across
+/// commits without scraping human-oriented log lines.
+///
+/// The file lands in `$RR_BENCH_JSON_DIR` when set, else in the
+/// workspace's `target/bench-results/` (next to the other build
+/// artifacts, outside version control). Returns the path written.
+pub fn write_bench_json(name: &str, fields: &[(&str, BenchValue)]) -> std::path::PathBuf {
+    let dir =
+        std::env::var_os("RR_BENCH_JSON_DIR").map(std::path::PathBuf::from).unwrap_or_else(|| {
+            // CARGO_MANIFEST_DIR is crates/bench at bench runtime; the
+            // workspace target dir sits two levels up.
+            std::env::var_os("CARGO_MANIFEST_DIR")
+                .map(|m| std::path::PathBuf::from(m).join("../../target/bench-results"))
+                .unwrap_or_else(|| std::path::PathBuf::from("."))
+        });
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let mut body = format!("{{\n  \"name\": {}", json_string(name));
+    for (key, value) in fields {
+        let rendered = match value {
+            // JSON has no NaN/Inf; clamp to null rather than emit
+            // invalid output from a degenerate measurement.
+            BenchValue::Num(n) if n.is_finite() => format!("{n}"),
+            BenchValue::Num(_) => "null".to_owned(),
+            BenchValue::Str(s) => json_string(s),
+            BenchValue::Bool(b) => format!("{b}"),
+        };
+        body.push_str(&format!(",\n  {}: {rendered}", json_string(key)));
+    }
+    body.push_str("\n}\n");
+    std::fs::write(&path, body).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("bench json: {}", path.display());
+    path
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+fn json_string(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_json_is_well_formed_and_lands_where_pointed() {
+        let dir = std::env::temp_dir().join("rr-bench-json-test");
+        let _ = std::fs::create_dir_all(&dir);
+        std::env::set_var("RR_BENCH_JSON_DIR", &dir);
+        let path = write_bench_json(
+            "unit\"test",
+            &[
+                ("speedup", BenchValue::Num(2.5)),
+                ("gate", BenchValue::Num(2.0)),
+                ("passed", BenchValue::Bool(true)),
+                ("unit", BenchValue::from("x")),
+                ("nan", BenchValue::Num(f64::NAN)),
+            ],
+        );
+        std::env::remove_var("RR_BENCH_JSON_DIR");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"name\": \"unit\\\"test\""), "{body}");
+        assert!(body.contains("\"speedup\": 2.5"), "{body}");
+        assert!(body.contains("\"passed\": true"), "{body}");
+        assert!(body.contains("\"nan\": null"), "{body}");
+        assert!(body.starts_with('{') && body.trim_end().ends_with('}'), "{body}");
+        // Balanced quotes: an even count means every string closed.
+        let unescaped_quotes = body.replace("\\\"", "").matches('"').count();
+        assert_eq!(unescaped_quotes % 2, 0, "{body}");
+    }
 }

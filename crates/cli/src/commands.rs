@@ -4,8 +4,8 @@
 use crate::Args;
 use rr_fault::{
     CampaignConfig, CampaignEngine, CampaignSession, CampaignSessionBuilder, Collect,
-    CrashTriageOracle, FaultModel, FlagFlip, InstructionSkip, OutputPrefixOracle, ShardPolicy,
-    SingleBitFlip, Stream,
+    CrashTriageOracle, FaultModel, FlagFlip, InstructionSkip, OutputPrefixOracle, PairPolicy,
+    PlanConfig, ShardPolicy, SingleBitFlip, Stream,
 };
 use rr_obj::Executable;
 use std::fmt::Write as _;
@@ -114,31 +114,91 @@ pub fn disasm(raw: &[String]) -> Result<String, String> {
     Ok(disasm.listing.to_source())
 }
 
+/// Parses the multi-fault plan flags shared by `rr fault` and
+/// `rr harden`: `--order N` (default 1), `--pair-window N` (step window
+/// for consecutive injections; unbounded pairing without it),
+/// `--plan-budget N` (per-order sampling cap) and `--seed N` (sampling
+/// seed, echoed in the report header so sampled campaigns reproduce).
+fn plan_config_from(args: &Args) -> Result<PlanConfig, String> {
+    let mut plan = PlanConfig::default();
+    if let Some(n) = args.value("order") {
+        plan.order = n.parse().map_err(|_| format!("invalid --order `{n}`"))?;
+        if plan.order == 0 {
+            return Err("--order must be at least 1".to_owned());
+        }
+    }
+    if let Some(n) = args.value("pair-window") {
+        let max_gap = n.parse().map_err(|_| format!("invalid --pair-window `{n}`"))?;
+        plan.policy = PairPolicy::WithinWindow { max_gap };
+    }
+    if let Some(n) = args.value("plan-budget") {
+        plan.budget = Some(n.parse().map_err(|_| format!("invalid --plan-budget `{n}`"))?);
+    }
+    if let Some(n) = args.value("seed") {
+        plan.seed = n.parse().map_err(|_| format!("invalid --seed `{n}`"))?;
+    }
+    Ok(plan)
+}
+
+/// The report-header line describing a multi-fault plan space.
+fn plan_header(plan: &PlanConfig) -> String {
+    let window = match plan.policy {
+        PairPolicy::Pairs => "unbounded window".to_owned(),
+        PairPolicy::WithinWindow { max_gap } => format!("window ≤{max_gap} steps"),
+    };
+    let budget = match plan.budget {
+        Some(b) => format!("budget {b}/order"),
+        None => "exhaustive".to_owned(),
+    };
+    format!("plan: order ≤{}, {window}, {budget}, seed {}", plan.order, plan.seed)
+}
+
 /// `rr fault <prog.rfx> --bad BYTES [--good BYTES] [--model a[,b…]]
 /// [--engine naive|checkpoint] [--shard contiguous|interleaved]
-/// [--oracle golden|crash|prefix:TEXT] [--streaming]`
+/// [--oracle golden|crash|prefix:TEXT] [--streaming]
+/// [--order N [--pair-window N] [--plan-budget N] [--seed N]]`
 ///
 /// One campaign session evaluates every listed model in a single
 /// scheduling pass. `--streaming` folds classifications straight into
 /// per-model summaries without materializing per-fault results —
 /// O(shards) memory no matter how many faults the models enumerate, for
 /// million-fault campaigns. `--oracle crash` and `--oracle prefix:TEXT`
-/// run golden-good-free campaigns (no `--good` needed).
+/// run golden-good-free campaigns (no `--good` needed). `--order 2`
+/// opens the multi-fault plan space (double faults); the header echoes
+/// the plan space and sampling seed, and reports split counts by order.
 pub fn fault(raw: &[String]) -> Result<String, String> {
-    let args = Args::parse(raw, &["good", "bad", "model", "engine", "shard", "oracle"])?;
+    let args = Args::parse(
+        raw,
+        &[
+            "good",
+            "bad",
+            "model",
+            "engine",
+            "shard",
+            "oracle",
+            "order",
+            "pair-window",
+            "plan-budget",
+            "seed",
+        ],
+    )?;
     let exe = load_exe(args.positional(0, "program")?)?;
     let bad = args.required("bad")?.as_bytes().to_vec();
     let models = models_by_names(args.value("model").unwrap_or("skip"))?;
     let engine: CampaignEngine = args.value("engine").unwrap_or("checkpoint").parse()?;
     let shard: ShardPolicy = args.value("shard").unwrap_or("contiguous").parse()?;
+    let plan = plan_config_from(&args)?;
     // The engine choice is fixed at construction: naive sessions skip
     // snapshot recording entirely.
-    let config = CampaignConfig { engine, shard, ..CampaignConfig::default() };
+    let config = CampaignConfig { engine, shard, plan, ..CampaignConfig::default() };
     let builder = CampaignSession::builder(exe).bad_input(bad).config(config);
     let builder = apply_oracle(builder, args.value("oracle").unwrap_or("golden"), &args)?;
     let session = builder.build().map_err(|e| e.to_string())?;
     let refs: Vec<&dyn FaultModel> = models.iter().map(Box::as_ref).collect();
     let mut out = String::new();
+    if plan.order >= 2 {
+        let _ = writeln!(out, "{}", plan_header(&plan));
+    }
     if args.flag("streaming") {
         for ms in session.run(&refs, Stream) {
             let _ =
@@ -149,6 +209,11 @@ pub fn fault(raw: &[String]) -> Result<String, String> {
     }
     for (index, report) in session.run(&refs, Collect).iter().enumerate() {
         let _ = writeln!(out, "model `{}` (engine {engine}): {}", report.model, report.summary());
+        if plan.order >= 2 {
+            for (order, summary) in report.summary_by_order() {
+                let _ = writeln!(out, "    order {order}: {summary}");
+            }
+        }
         if index == 0 {
             let _ = writeln!(out, "memory: {}", session.replay_footprint());
         }
@@ -168,14 +233,33 @@ pub fn fault(raw: &[String]) -> Result<String, String> {
 }
 
 /// `rr harden <prog.rfx> --good BYTES --bad BYTES [--model ...] [-o out]
-/// [--engine naive|checkpoint] [--incremental]`
+/// [--engine naive|checkpoint] [--no-incremental]
+/// [--order N [--pair-window N] [--plan-budget N] [--seed N]]`
 ///
-/// `--incremental` seeds every re-campaign with the prior iteration's
-/// classifications through the patch's listing delta: untouched sites
-/// reuse their prior class without executing, classifying bit-identically
-/// to full re-campaigning, and the report gains a `reuse:` line.
+/// Incremental re-campaigning is on by default: every re-campaign is
+/// seeded with the prior iteration's classifications through the patch's
+/// listing delta — untouched sites reuse their prior class without
+/// executing, classifying bit-identically to full re-campaigning, and
+/// the report gains a `reuse:` line. `--no-incremental` restores the
+/// full-re-campaign baseline. `--order 2` hardens against double faults:
+/// the loop iterates until no order-≤2 success remains (or the iteration
+/// budget is hit) and reports residuals split by order.
 pub fn harden(raw: &[String]) -> Result<String, String> {
-    let args = Args::parse(raw, &["good", "bad", "model", "o", "max-iterations", "engine"])?;
+    let args = Args::parse(
+        raw,
+        &[
+            "good",
+            "bad",
+            "model",
+            "o",
+            "max-iterations",
+            "engine",
+            "order",
+            "pair-window",
+            "plan-budget",
+            "seed",
+        ],
+    )?;
     let path = args.positional(0, "program")?;
     let exe = load_exe(path)?;
     let good = args.required("good")?.as_bytes().to_vec();
@@ -188,11 +272,22 @@ pub fn harden(raw: &[String]) -> Result<String, String> {
     if let Some(engine) = args.value("engine") {
         config.engine = engine.parse()?;
     }
-    config.incremental = args.flag("incremental");
+    config.incremental = !args.flag("no-incremental");
+    let plan = plan_config_from(&args)?;
+    config.fault_order = plan.order;
+    config.pair_window = match plan.policy {
+        PairPolicy::WithinWindow { max_gap } => Some(max_gap),
+        PairPolicy::Pairs => None,
+    };
+    config.plan_budget = plan.budget;
+    config.sample_seed = plan.seed;
     let outcome = rr_patch::FaulterPatcher::new(config.clone())
         .harden(&exe, &good, &bad, model.as_ref())
         .map_err(|e| e.to_string())?;
     let mut out = String::new();
+    if plan.order >= 2 {
+        let _ = writeln!(out, "{}", plan_header(&plan));
+    }
     for it in &outcome.iterations {
         let _ = writeln!(
             out,
@@ -210,6 +305,15 @@ pub fn harden(raw: &[String]) -> Result<String, String> {
         outcome.residual_vulnerabilities,
         outcome.overhead_percent()
     );
+    if plan.order >= 2 {
+        let by_order: Vec<String> = outcome
+            .residual_by_order
+            .iter()
+            .enumerate()
+            .map(|(k, count)| format!("order {}: {count}", k + 1))
+            .collect();
+        let _ = writeln!(out, "residual by order: {}", by_order.join(", "));
+    }
     if config.incremental {
         let reuse = rr_fault::ReuseStats {
             sites_reused: outcome.sites_reused,
@@ -385,26 +489,28 @@ mod tests {
     }
 
     #[test]
-    fn incremental_harden_matches_full_and_reports_reuse() {
+    fn incremental_harden_is_default_and_matches_the_full_baseline() {
         let exe_path = tmp("incr.rfx");
         workload(&sv(&["pincheck", "-o", &exe_path])).unwrap();
         let full_out = tmp("incr-full.rfx");
         let incr_out = tmp("incr-incr.rfx");
-        let full =
-            harden(&sv(&[&exe_path, "--good", "7391", "--bad", "7291", "-o", &full_out])).unwrap();
-        let incremental = harden(&sv(&[
+        // Incremental is the default; --no-incremental is the escape
+        // hatch back to full re-campaigning.
+        let full = harden(&sv(&[
             &exe_path,
             "--good",
             "7391",
             "--bad",
             "7291",
-            "--incremental",
+            "--no-incremental",
             "-o",
-            &incr_out,
+            &full_out,
         ]))
         .unwrap();
+        let incremental =
+            harden(&sv(&[&exe_path, "--good", "7391", "--bad", "7291", "-o", &incr_out])).unwrap();
         // Identical hardening (same iterations, same binary), plus a
-        // reuse: line only in incremental mode.
+        // reuse: line only in (default) incremental mode.
         assert!(incremental.contains("reuse: "), "{incremental}");
         assert!(incremental.contains("% of fault evaluations reused"), "{incremental}");
         assert!(!full.contains("reuse: "), "{full}");
@@ -416,6 +522,82 @@ mod tests {
         };
         assert_eq!(strip(&full), strip(&incremental));
         assert_eq!(fs::read(&full_out).unwrap(), fs::read(&incr_out).unwrap());
+    }
+
+    #[test]
+    fn multi_fault_flags_flow_through_fault_and_harden() {
+        let exe_path = tmp("order2.rfx");
+        workload(&sv(&["pincheck", "-o", &exe_path])).unwrap();
+        // An order-2 campaign echoes the plan space (with its seed) and
+        // splits the report by order.
+        let out = fault(&sv(&[
+            &exe_path,
+            "--good",
+            "7391",
+            "--bad",
+            "7291",
+            "--order",
+            "2",
+            "--pair-window",
+            "6",
+            "--seed",
+            "42",
+        ]))
+        .unwrap();
+        assert!(out.contains("plan: order ≤2"), "{out}");
+        assert!(out.contains("window ≤6 steps"), "{out}");
+        assert!(out.contains("seed 42"), "{out}");
+        assert!(out.contains("order 1: "), "{out}");
+        assert!(out.contains("order 2: "), "{out}");
+        // Same campaign, same seed → identical output (reproducibility
+        // is the point of surfacing the seed).
+        let again = fault(&sv(&[
+            &exe_path,
+            "--good",
+            "7391",
+            "--bad",
+            "7291",
+            "--order",
+            "2",
+            "--pair-window",
+            "6",
+            "--seed",
+            "42",
+        ]))
+        .unwrap();
+        assert_eq!(out, again);
+        // An order-1 report stays in the classic format.
+        let plain = fault(&sv(&[&exe_path, "--good", "7391", "--bad", "7291"])).unwrap();
+        assert!(!plain.contains("plan: "), "{plain}");
+        // Bad values are rejected.
+        for bad_args in [
+            vec![&exe_path[..], "--good", "7391", "--bad", "7291", "--order", "0"],
+            vec![&exe_path[..], "--good", "7391", "--bad", "7291", "--order", "x"],
+            vec![&exe_path[..], "--good", "7391", "--bad", "7291", "--pair-window", "x"],
+            vec![&exe_path[..], "--good", "7391", "--bad", "7291", "--seed", "x"],
+            vec![&exe_path[..], "--good", "7391", "--bad", "7291", "--plan-budget", "x"],
+        ] {
+            assert!(fault(&sv(&bad_args)).is_err(), "{bad_args:?}");
+        }
+        // The harden loop accepts the same flags and reports per-order
+        // residuals.
+        let hardened_path = tmp("order2.hardened.rfx");
+        let out = harden(&sv(&[
+            &exe_path,
+            "--good",
+            "7391",
+            "--bad",
+            "7291",
+            "--order",
+            "2",
+            "--pair-window",
+            "6",
+            "-o",
+            &hardened_path,
+        ]))
+        .unwrap();
+        assert!(out.contains("plan: order ≤2"), "{out}");
+        assert!(out.contains("residual by order: order 1: "), "{out}");
     }
 
     #[test]

@@ -71,8 +71,10 @@ pub fn usage() -> &'static str {
      \x20            [--model skip|bitflip|flagflip[,…]] [--engine naive|checkpoint]\n\
      \x20            [--shard contiguous|interleaved]\n\
      \x20            [--oracle golden|crash|prefix:TEXT] [--streaming]\n\
+     \x20            [--order N] [--pair-window N] [--plan-budget N] [--seed N]\n\
      \x20   rr harden <prog.rfx> --good BYTES --bad BYTES [--model ...] [-o out.rfx]\n\
-     \x20            [--engine naive|checkpoint] [--incremental]\n\
+     \x20            [--engine naive|checkpoint] [--no-incremental]\n\
+     \x20            [--order N] [--pair-window N] [--plan-budget N] [--seed N]\n\
      \x20   rr hybrid <prog.rfx> [-o out.rfx] [--good BYTES --bad BYTES [--model ...]]\n\
      \x20   rr workload <pincheck|bootloader|otp|access> [-o out.rfx] [--emit-asm]\n\
      \n\
@@ -82,9 +84,15 @@ pub fn usage() -> &'static str {
      folds results into per-model summaries in O(shards) memory for\n\
      million-fault campaigns. The default golden oracle needs --good;\n\
      --oracle crash and --oracle prefix:TEXT campaign a single input.\n\
-     harden --incremental diffs the listing after each patch and reuses\n\
-     prior classifications for untouched sites (bit-identical results;\n\
-     the report's reuse: line shows the work saved).\n"
+     --order 2 evaluates double-fault plans too (--pair-window bounds the\n\
+     step gap between the two injections; --plan-budget caps each order\n\
+     by seeded sampling, --seed makes the sample reproducible and is\n\
+     echoed in the report header). harden iterates until no order-≤N\n\
+     success remains. Hardening re-campaigns are incremental by default:\n\
+     each patch's listing delta carries prior classifications for\n\
+     untouched sites (bit-identical results; the reuse: line shows the\n\
+     work saved). --no-incremental restores the full re-campaign\n\
+     baseline.\n"
 }
 
 /// Minimal option parser: positional arguments plus `--key value` /

@@ -351,6 +351,17 @@ impl ReplayEngine {
         self.checkpoints[1..].iter().map(|c| c.delta.bytes).sum()
     }
 
+    /// The trace step of the nearest retained checkpoint at or before
+    /// `step` — the restore point [`ReplayEngine::machine_at`] would use,
+    /// and the bucketing key for checkpoint-neighbourhood scheduling:
+    /// work items that agree on this value restore from the same
+    /// snapshot, so grouping them lets a scheduler pay the restore once
+    /// per group. Steps beyond the trace report the last checkpoint.
+    pub fn checkpoint_step_before(&self, step: u64) -> u64 {
+        let index = self.checkpoints.partition_point(|c| c.step <= step).max(1) - 1;
+        self.checkpoints[index].step
+    }
+
     /// Produces a machine *about to execute* trace step `step` (so
     /// `machine.pc() == trace()[step]` for in-trace steps; `step ==
     /// trace().len()` yields the final state).
@@ -609,6 +620,38 @@ mod tests {
     // takes rr_isa::Reg which rr-emu already depends on.
     fn rr_isa_regs() -> impl Iterator<Item = rr_isa::Reg> {
         rr_isa::Reg::ALL.into_iter()
+    }
+
+    #[test]
+    fn checkpoint_step_before_names_the_restore_point() {
+        let exe = looping_exe(100);
+        let engine = ReplayEngine::record(
+            &exe,
+            &[],
+            &ReplayConfig { checkpoint_interval: 16, ..ReplayConfig::default() },
+        );
+        let total = engine.trace().len() as u64;
+        for step in [0, 1, 15, 16, 17, 100, total - 1, total, total + 50] {
+            let restore = engine.checkpoint_step_before(step);
+            assert!(restore <= step, "restore point must not overshoot step {step}");
+            assert!(
+                engine.checkpoints.iter().any(|c| c.step == restore),
+                "step {step}: {restore} is not a retained checkpoint"
+            );
+            if step <= total {
+                assert!(
+                    step - restore < 16 || restore == engine.checkpoints.last().unwrap().step,
+                    "step {step}: restore {restore} further than one interval"
+                );
+            }
+        }
+        // A snapshot-less recording always restores the initial state.
+        let naive = ReplayEngine::record(
+            &exe,
+            &[],
+            &ReplayConfig { record_snapshots: false, ..ReplayConfig::default() },
+        );
+        assert_eq!(naive.checkpoint_step_before(total / 2), 0);
     }
 
     #[test]

@@ -243,6 +243,78 @@ where
     }
 }
 
+/// Affinity scheduling: groups items into buckets by a caller-supplied
+/// key, deals whole buckets to up to `threads` workers (contiguously in
+/// ascending key order, so neighbouring buckets land on one worker), and
+/// runs `work` once per bucket. Results come back **in item order**, as
+/// with [`run_scheduled`] — the bucketing is invisible in the output.
+///
+/// `work` receives the bucket's key and the bucket's item indices in
+/// ascending order, and must return one result per index, in that order.
+/// Handing `work` the whole bucket — rather than one item at a time — is
+/// the point: a worker can pay a per-bucket setup cost (e.g. restoring
+/// one replay checkpoint) once for every item that shares it. This is
+/// the checkpoint-neighbourhood scheduling multi-fault campaigns use:
+/// plans keyed by the checkpoint preceding their first injection restore
+/// that checkpoint once per bucket instead of once per plan.
+pub fn run_bucketed<T, K, R, F>(
+    items: &[T],
+    threads: usize,
+    key_of: impl Fn(&T) -> K,
+    work: F,
+) -> Vec<R>
+where
+    T: Sync,
+    K: Ord + Send + Sync,
+    R: Send,
+    F: Fn(&K, &[usize]) -> Vec<R> + Sync,
+{
+    let mut buckets: std::collections::BTreeMap<K, Vec<usize>> = std::collections::BTreeMap::new();
+    for (index, item) in items.iter().enumerate() {
+        buckets.entry(key_of(item)).or_default().push(index);
+    }
+    let buckets: Vec<(K, Vec<usize>)> = buckets.into_iter().collect();
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    let scatter = |slots: &mut Vec<Option<R>>, indices: &[usize], results: Vec<R>| {
+        assert_eq!(indices.len(), results.len(), "one result per bucket item");
+        for (&index, result) in indices.iter().zip(results) {
+            slots[index] = Some(result);
+        }
+    };
+    let ranges = contiguous_ranges(buckets.len(), resolve_threads(threads));
+    if ranges.len() <= 1 {
+        for (key, indices) in &buckets {
+            let results = work(key, indices);
+            scatter(&mut slots, indices, results);
+        }
+    } else {
+        std::thread::scope(|scope| {
+            let work = &work;
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|range| {
+                    let chunk = &buckets[range];
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|(key, indices)| work(key, indices))
+                            .collect::<Vec<Vec<R>>>()
+                    })
+                })
+                .collect();
+            let mut cursor = 0;
+            for handle in handles {
+                for results in handle.join().expect("bucket worker panicked") {
+                    let (_, indices) = &buckets[cursor];
+                    scatter(&mut slots, indices, results);
+                    cursor += 1;
+                }
+            }
+        });
+    }
+    slots.into_iter().map(|r| r.expect("every item evaluated")).collect()
+}
+
 /// Streaming map-reduce under an assignment `policy`: like
 /// [`sharded_fold`], but the items each worker folds are chosen by
 /// `policy`. Per-shard accumulators are merged in shard order, so the
@@ -465,6 +537,49 @@ mod tests {
                 assert_eq!(results, expected, "{policy} threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn bucketed_runs_preserve_item_order_and_group_by_key() {
+        // Key = tens digit: buckets of up to 10 neighbouring items.
+        let items: Vec<usize> = (0..137).rev().collect();
+        let expected: Vec<usize> = items.iter().map(|x| x * 3).collect();
+        let buckets_seen = std::sync::Mutex::new(Vec::new());
+        for threads in [1, 3, 8] {
+            let results = run_bucketed(
+                &items,
+                threads,
+                |&x| x / 10,
+                |&key, indices| {
+                    buckets_seen.lock().unwrap().push((key, indices.len()));
+                    // Indices arrive ascending, and every item in the
+                    // bucket shares the key.
+                    assert!(indices.windows(2).all(|w| w[0] < w[1]));
+                    assert!(indices.iter().all(|&i| items[i] / 10 == key));
+                    indices.iter().map(|&i| items[i] * 3).collect()
+                },
+            );
+            assert_eq!(results, expected, "threads={threads}");
+        }
+        // 137 items with tens-digit keys → 14 buckets per run.
+        assert_eq!(buckets_seen.lock().unwrap().len(), 14 * 3);
+    }
+
+    #[test]
+    fn bucketed_runs_handle_degenerate_inputs() {
+        let empty: [u32; 0] = [];
+        assert!(run_bucketed(&empty, 4, |&x| x, |_, i| vec![0u32; i.len()]).is_empty());
+        // One bucket, many threads.
+        let ones = [7u32; 5];
+        let out = run_bucketed(&ones, 8, |_| 0u8, |_, indices| vec![1u32; indices.len()]);
+        assert_eq!(out, vec![1; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one result per bucket item")]
+    fn bucketed_work_must_answer_every_item() {
+        let items = [1u32, 2, 3];
+        let _ = run_bucketed(&items, 1, |_| 0u8, |_, _| Vec::<u32>::new());
     }
 
     #[test]

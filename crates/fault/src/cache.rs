@@ -24,11 +24,14 @@
 //! `snapshot_window` tells the session which trace region actually needs
 //! checkpoints (`rr_engine::ReplayEngine::replay_range`).
 //!
-//! The cache key is (fault model, site remapped through the delta, fault
-//! effect), and the whole cache is guarded by the oracle fingerprint
+//! The cache key is (fault model, the *whole injection plan* remapped
+//! through the delta — one (step, effect) per injection), and the whole
+//! cache is guarded by the oracle fingerprint
 //! ([`crate::Oracle::fingerprint`]): a changed judgment — different
 //! golden behaviours, different goal prefix, a custom oracle without a
-//! fingerprint — empties it. Two per-entry guards apply on top: cached
+//! fingerprint — empties it. Two per-entry guards apply on top, each
+//! evaluated **conjunctively over every injection of a plan** (one
+//! invalidated injection invalidates the run it participated in): cached
 //! `TimedOut` entries are dropped when the faulted step budget changed
 //! (the timeout boundary moved with it), and bit-level value corruption
 //! ([`FaultEffect::FlipInstructionBit`] and
@@ -38,7 +41,7 @@
 //! depend on code layout, which any insertion shifts.
 
 use crate::report::CampaignReport;
-use crate::site::{Fault, FaultClass, FaultEffect};
+use crate::site::{FaultClass, FaultEffect, FaultPlan};
 use rr_disasm::ListingDelta;
 use std::collections::HashMap;
 use std::fmt;
@@ -75,19 +78,49 @@ pub struct CampaignSeed {
     pub(crate) faulted_budget: u64,
 }
 
-/// Per-fault classifications carried over from a prior session, keyed by
-/// (model, trace step in the *new* session, effect). Sessions consult it
-/// before replaying anything.
+/// The cache key: a plan's injections remapped onto the new session's
+/// trace, reduced to what classification depends on — (step, effect) per
+/// injection. Program counters are implied by the step (the trace names
+/// one pc per step). Singleton and pair keys stay inline so the hot
+/// order-1 lookup path allocates nothing.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum PlanKey {
+    One(u64, FaultEffect),
+    Two([(u64, FaultEffect); 2]),
+    Many(Box<[(u64, FaultEffect)]>),
+}
+
+impl PlanKey {
+    fn of(plan: &FaultPlan) -> PlanKey {
+        PlanKey::from_steps(plan.iter().map(|f| (f.step, f.effect)))
+    }
+
+    fn from_steps(steps: impl IntoIterator<Item = (u64, FaultEffect)>) -> PlanKey {
+        let mut iter = steps.into_iter();
+        let a = iter.next().expect("plans have at least one injection");
+        let Some(b) = iter.next() else {
+            return PlanKey::One(a.0, a.1);
+        };
+        let Some(c) = iter.next() else {
+            return PlanKey::Two([a, b]);
+        };
+        PlanKey::Many([a, b, c].into_iter().chain(iter).collect())
+    }
+}
+
+/// Per-plan classifications carried over from a prior session, keyed by
+/// (model, plan remapped onto the *new* session's trace). Sessions
+/// consult it before replaying anything.
 #[derive(Debug, Default)]
 pub struct ClassificationCache {
-    entries: HashMap<(&'static str, u64, FaultEffect), FaultClass>,
+    entries: HashMap<(&'static str, PlanKey), FaultClass>,
 }
 
 impl ClassificationCache {
-    /// The prior classification for `fault` under `model`, when the seed
+    /// The prior classification for `plan` under `model`, when the seed
     /// plan proved it still valid.
-    pub fn lookup(&self, model: &'static str, fault: &Fault) -> Option<FaultClass> {
-        self.entries.get(&(model, fault.step, fault.effect)).copied()
+    pub fn lookup(&self, model: &'static str, plan: &FaultPlan) -> Option<FaultClass> {
+        self.entries.get(&(model, PlanKey::of(plan))).copied()
     }
 
     /// Number of carried-over classifications.
@@ -220,15 +253,13 @@ pub(crate) fn plan(
         let at = dirty.partition_point(|&d| d < step.saturating_sub(REUSE_GUARD_WINDOW));
         dirty.get(at).is_none_or(|&d| d > step.saturating_add(REUSE_GUARD_WINDOW))
     };
+    let reusable = |j: u64| old_step_for[j as usize].is_some() && clean(j);
 
-    // Prior classifications indexed by (model, old step).
-    let mut prior: HashMap<(&'static str, u64), Vec<(FaultEffect, FaultClass)>> = HashMap::new();
-    for report in &seed.reports {
-        for result in &report.results {
-            prior
-                .entry((report.model, result.fault.step))
-                .or_default()
-                .push((result.fault.effect, result.class));
+    // Invert the alignment: old step → new step.
+    let mut new_step_for: Vec<Option<u64>> = vec![None; old_trace.len()];
+    for (j, old_step) in old_step_for.iter().enumerate() {
+        if let Some(i) = old_step {
+            new_step_for[*i as usize] = Some(j as u64);
         }
     }
 
@@ -242,41 +273,63 @@ pub(crate) fn plan(
             Some(r) => r.start.min(range.start)..r.end.max(range.end),
         });
     };
-    for (j, old_step) in old_step_for.iter().enumerate() {
-        let j = j as u64;
-        let reusable = old_step.is_some() && clean(j);
-        if !reusable {
+    // Every un-aligned or guarded new step must be re-executable — it is
+    // where plans the seed cannot answer will restore and replay.
+    for j in 0..trace_len {
+        if !reusable(j) {
             grow(j..j + 1, &mut invalid);
-            continue;
         }
-        let old_step = old_step.expect("reusable implies aligned");
-        for report in &seed.reports {
-            let Some(results) = prior.get(&(report.model, old_step)) else {
+    }
+    // Carry prior classifications whose *whole plan* survives: every
+    // injection must remap onto a reusable new step, and every effect
+    // must pass its reuse guard — conjunctively, since one invalidated
+    // injection invalidates the run it participated in.
+    for report in &seed.reports {
+        for result in &report.results {
+            let remapped: Option<Vec<(u64, FaultEffect)>> = result
+                .plan
+                .iter()
+                .map(|fault| {
+                    new_step_for
+                        .get(fault.step as usize)
+                        .copied()
+                        .flatten()
+                        .filter(|&j| reusable(j))
+                        .map(|j| (j, fault.effect))
+                })
+                .collect();
+            let Some(remapped) = remapped else {
+                // Some injection fell on dirty or vanished code; its new
+                // step (if any) is already inside the snapshot window via
+                // the per-step pass above.
                 continue;
             };
-            for &(effect, class) in results {
-                let cacheable = match effect {
-                    // Bit-level corruption of *values* is layout-sensitive
-                    // and reusable only under a no-op delta: an encoding
-                    // flip can conjure a branch that lands wherever the
-                    // corrupted offset points, and a register flip can XOR
-                    // an absolute code/data address (return targets,
-                    // `mov r, label` materializations) — neither commutes
-                    // with the address shift a patch introduces. Skips and
-                    // flag flips, by contrast, only select among genuine
-                    // program paths, which the old and new binaries relate
-                    // by exact relocation correspondence.
-                    FaultEffect::FlipInstructionBit { .. }
-                    | FaultEffect::FlipRegisterBit { .. } => noop_delta,
-                    FaultEffect::SkipInstruction | FaultEffect::FlipFlags { .. } => true,
-                } && !(budget_changed && class == FaultClass::TimedOut);
-                if !cacheable {
-                    // Re-run this fault (and snapshot its region).
-                    grow(j..j + 1, &mut invalid);
-                    continue;
+            let effects_reusable = result.plan.iter().all(|fault| match fault.effect {
+                // Bit-level corruption of *values* is layout-sensitive
+                // and reusable only under a no-op delta: an encoding
+                // flip can conjure a branch that lands wherever the
+                // corrupted offset points, and a register flip can XOR
+                // an absolute code/data address (return targets,
+                // `mov r, label` materializations) — neither commutes
+                // with the address shift a patch introduces. Skips and
+                // flag flips, by contrast, only select among genuine
+                // program paths, which the old and new binaries relate
+                // by exact relocation correspondence.
+                FaultEffect::FlipInstructionBit { .. } | FaultEffect::FlipRegisterBit { .. } => {
+                    noop_delta
                 }
-                cache.entries.insert((report.model, j, effect), class);
+                FaultEffect::SkipInstruction | FaultEffect::FlipFlags { .. } => true,
+            });
+            let cacheable =
+                effects_reusable && !(budget_changed && result.class == FaultClass::TimedOut);
+            if !cacheable {
+                // Re-run this plan: it restores at its earliest remapped
+                // injection, so that region needs snapshots.
+                let earliest = remapped[0].0;
+                grow(earliest..earliest + 1, &mut invalid);
+                continue;
             }
+            cache.entries.insert((report.model, PlanKey::from_steps(remapped)), result.class);
         }
     }
 
@@ -287,6 +340,7 @@ pub(crate) fn plan(
 mod tests {
     use super::*;
     use crate::report::FaultResult;
+    use crate::site::Fault;
 
     fn seed_with(trace: Vec<u64>, results: Vec<FaultResult>) -> CampaignSeed {
         CampaignSeed {
@@ -301,32 +355,62 @@ mod tests {
         Fault { step, pc, effect: FaultEffect::SkipInstruction }
     }
 
+    fn skip_plan(step: u64, pc: u64) -> FaultPlan {
+        FaultPlan::single(skip_at(step, pc))
+    }
+
     #[test]
     fn identity_delta_reuses_everything() {
         let trace: Vec<u64> = (0..200).map(|k| 0x1000 + k * 4).collect();
         let results: Vec<FaultResult> = trace
             .iter()
             .enumerate()
-            .map(|(step, &pc)| FaultResult {
-                fault: skip_at(step as u64, pc),
-                class: FaultClass::Benign,
-            })
+            .map(|(step, &pc)| FaultResult::single(skip_at(step as u64, pc), FaultClass::Benign))
             .collect();
         let seed = seed_with(trace.clone(), results);
         let plan = plan(&seed, &ListingDelta::identity(), &trace, Some(7), 10_000);
         assert_eq!(plan.cache.len(), 200);
         assert_eq!(plan.snapshot_window, None);
         assert_eq!(
-            plan.cache.lookup("instruction-skip", &skip_at(3, trace[3])),
+            plan.cache.lookup("instruction-skip", &skip_plan(3, trace[3])),
             Some(FaultClass::Benign)
         );
-        assert_eq!(plan.cache.lookup("single-bit-flip", &skip_at(3, trace[3])), None);
+        assert_eq!(plan.cache.lookup("single-bit-flip", &skip_plan(3, trace[3])), None);
+    }
+
+    #[test]
+    fn pair_plans_reuse_and_rekey_as_whole_plans() {
+        let trace: Vec<u64> = (0..100).map(|k| 0x1000 + k * 4).collect();
+        let pair = FaultPlan::new([skip_at(10, trace[10]), skip_at(20, trace[20])]);
+        let results = vec![
+            FaultResult { plan: pair.clone(), class: FaultClass::Success },
+            FaultResult::single(skip_at(10, trace[10]), FaultClass::Benign),
+        ];
+        let seed = seed_with(trace.clone(), results);
+        let plan = plan(&seed, &ListingDelta::identity(), &trace, Some(7), 10_000);
+        assert_eq!(plan.cache.len(), 2);
+        assert_eq!(plan.snapshot_window, None);
+        // The pair answers as a pair; its singleton prefix answers as a
+        // singleton; a different pairing misses.
+        assert_eq!(plan.cache.lookup("instruction-skip", &pair), Some(FaultClass::Success));
+        assert_eq!(
+            plan.cache.lookup("instruction-skip", &skip_plan(10, trace[10])),
+            Some(FaultClass::Benign)
+        );
+        assert_eq!(
+            plan.cache.lookup(
+                "instruction-skip",
+                &FaultPlan::new([skip_at(10, trace[10]), skip_at(21, trace[21])])
+            ),
+            None
+        );
+        assert_eq!(plan.cache.lookup("instruction-skip", &skip_plan(20, trace[20])), None);
     }
 
     #[test]
     fn fingerprint_mismatch_invalidates_everything() {
         let trace: Vec<u64> = (0..50).map(|k| 0x1000 + k * 4).collect();
-        let results = vec![FaultResult { fault: skip_at(0, 0x1000), class: FaultClass::Success }];
+        let results = vec![FaultResult::single(skip_at(0, 0x1000), FaultClass::Success)];
         let seed = seed_with(trace.clone(), results);
         for new_print in [Some(8), None] {
             let plan = plan(&seed, &ListingDelta::identity(), &trace, new_print, 10_000);
@@ -339,8 +423,8 @@ mod tests {
     fn changed_budget_drops_only_timed_out_entries() {
         let trace: Vec<u64> = (0..300).map(|k| 0x1000 + k * 4).collect();
         let results = vec![
-            FaultResult { fault: skip_at(10, trace[10]), class: FaultClass::Benign },
-            FaultResult { fault: skip_at(200, trace[200]), class: FaultClass::TimedOut },
+            FaultResult::single(skip_at(10, trace[10]), FaultClass::Benign),
+            FaultResult::single(skip_at(200, trace[200]), FaultClass::TimedOut),
         ];
         let seed = seed_with(trace.clone(), results);
         let unchanged = plan(&seed, &ListingDelta::identity(), &trace, Some(7), 10_000);
@@ -349,10 +433,10 @@ mod tests {
 
         let moved = plan(&seed, &ListingDelta::identity(), &trace, Some(7), 20_000);
         assert_eq!(
-            moved.cache.lookup("instruction-skip", &skip_at(10, trace[10])),
+            moved.cache.lookup("instruction-skip", &skip_plan(10, trace[10])),
             Some(FaultClass::Benign)
         );
-        assert_eq!(moved.cache.lookup("instruction-skip", &skip_at(200, trace[200])), None);
+        assert_eq!(moved.cache.lookup("instruction-skip", &skip_plan(200, trace[200])), None);
         assert_eq!(moved.snapshot_window, Some(200..201));
     }
 
@@ -400,9 +484,8 @@ mod tests {
         ];
         let results: Vec<FaultResult> = effects
             .iter()
-            .map(|&effect| FaultResult {
-                fault: Fault { step: 0, pc: old_trace[0], effect },
-                class: FaultClass::Benign,
+            .map(|&effect| {
+                FaultResult::single(Fault { step: 0, pc: old_trace[0], effect }, FaultClass::Benign)
             })
             .collect();
         let seed = CampaignSeed {
@@ -415,8 +498,10 @@ mod tests {
 
         // Path-selection effects carry over; value-corruption effects do
         // not (they're layout-sensitive and the delta shifts addresses).
-        let lookup =
-            |effect| plan.cache.lookup("mixed", &Fault { step: 0, pc: new_trace[0], effect });
+        let lookup = |effect| {
+            plan.cache
+                .lookup("mixed", &FaultPlan::single(Fault { step: 0, pc: new_trace[0], effect }))
+        };
         assert_eq!(lookup(FaultEffect::SkipInstruction), Some(FaultClass::Benign));
         assert_eq!(lookup(FaultEffect::FlipFlags { mask: 1 }), Some(FaultClass::Benign));
         assert_eq!(lookup(FaultEffect::FlipRegisterBit { reg: Reg::R1, bit: 6 }), None);
@@ -425,11 +510,36 @@ mod tests {
         // window.
         assert_eq!(plan.snapshot_window.clone().map(|w| w.start), Some(0));
 
+        // A pair mixing a reusable and a layout-sensitive effect is
+        // invalidated conjunctively: one bad injection poisons the plan.
+        let mixed_pair = FaultPlan::new([
+            Fault { step: 0, pc: old_trace[0], effect: FaultEffect::SkipInstruction },
+            Fault {
+                step: 2,
+                pc: old_trace[2],
+                effect: FaultEffect::FlipInstructionBit { byte: 0, bit: 3 },
+            },
+        ]);
+        let pair_seed = CampaignSeed {
+            trace: old_trace.clone(),
+            reports: vec![CampaignReport {
+                model: "mixed",
+                results: vec![FaultResult { plan: mixed_pair, class: FaultClass::Benign }],
+            }],
+            oracle_fingerprint: Some(7),
+            faulted_budget: 10_000,
+        };
+        let pair_plan = super::plan(&pair_seed, &delta, &new_trace, Some(7), 10_000);
+        assert!(pair_plan.cache.is_empty(), "a layout-sensitive leg poisons the whole pair");
+
         // Under an identity delta everything is reusable.
         let identity = plan2_identity(&seed, &old_trace);
         for effect in effects {
             assert_eq!(
-                identity.cache.lookup("mixed", &Fault { step: 0, pc: old_trace[0], effect }),
+                identity.cache.lookup(
+                    "mixed",
+                    &FaultPlan::single(Fault { step: 0, pc: old_trace[0], effect })
+                ),
                 Some(FaultClass::Benign),
                 "{effect:?}"
             );

@@ -1,5 +1,7 @@
-//! Campaign tunables: engine choice, scheduling, and step budgets.
+//! Campaign tunables: engine choice, scheduling, step budgets, and the
+//! multi-fault plan space.
 
+use crate::model::PlanConfig;
 use rr_engine::shard::ShardPolicy;
 use rr_engine::ReplayConfig;
 use std::fmt;
@@ -81,6 +83,24 @@ pub struct CampaignConfig {
     /// construction whether the golden pass records snapshots — see
     /// [`CampaignEngine`].
     pub engine: CampaignEngine,
+    /// The multi-fault plan space: maximum injections per plan, pair
+    /// policy, sampling budget, and sampling seed. The default is the
+    /// classic single-fault campaign (order 1).
+    pub plan: PlanConfig,
+    /// Checkpoint-neighbourhood plan bucketing (checkpointed engine,
+    /// **multi-fault campaigns** — [`PlanConfig::order`] ≥ 2): plans are
+    /// grouped by the checkpoint preceding their earliest injection and
+    /// each bucket is evaluated by one sweep that restores the
+    /// checkpoint once and walks forward, cloning the in-flight machine
+    /// at every injection point — instead of paying a
+    /// restore-plus-forward-replay per plan. Order-1 campaigns keep
+    /// per-plan scheduling (singletons arrive in site order, so
+    /// contiguous shards are already checkpoint-local, and the
+    /// [`CampaignConfig::shard`] policy stays meaningful).
+    /// Classifications are identical either way (the multifault
+    /// benchmark gates the speedup); `false` falls back to per-plan
+    /// positioning everywhere.
+    pub bucketing: bool,
 }
 
 impl Default for CampaignConfig {
@@ -95,6 +115,8 @@ impl Default for CampaignConfig {
             checkpoint_interval: 0,
             max_retained_bytes: ReplayConfig::default().max_retained_bytes,
             engine: CampaignEngine::default(),
+            plan: PlanConfig::default(),
+            bucketing: true,
         }
     }
 }
@@ -120,5 +142,8 @@ mod tests {
         assert_eq!(config.site_stride, 1);
         assert_eq!(config.engine, CampaignEngine::Checkpointed);
         assert_eq!(config.shard, ShardPolicy::Contiguous);
+        assert_eq!(config.plan.order, 1, "single-fault campaigns are the default");
+        assert_eq!(config.plan.budget, None, "order 1 is exhaustive by default");
+        assert!(config.bucketing, "warm checkpoint scheduling is the default");
     }
 }

@@ -12,9 +12,11 @@
 //!    normally and behave differently (the *golden* runs).
 //! 2. Trace the bad-input run: every executed program counter is a
 //!    potential fault site.
-//! 3. For every site and every concrete fault the chosen [`FaultModel`]
-//!    enumerates there, replay the run up to that step, apply the fault,
-//!    resume, and classify the behaviour.
+//! 3. Expand the faults the chosen [`FaultModel`] enumerates at every
+//!    site into ordered injection [`FaultPlan`]s (singletons by default;
+//!    pairs and beyond per [`PlanConfig`]), and for each plan: replay the
+//!    run up to its earliest injection, apply each effect as its trace
+//!    step arrives, resume, and classify the behaviour.
 //!
 //! The API is built around an owned, reusable [`CampaignSession`]:
 //!
@@ -64,6 +66,30 @@
 //! * [`RegisterBitFlip`] and [`FlagFlip`] — additional transient models
 //!   for wider coverage.
 //!
+//! ## Multi-fault plans
+//!
+//! The unit every campaign evaluates is an ordered [`FaultPlan`] — one
+//! or more injections applied to the *same* run, in trace-step order.
+//! The classic single-fault campaign is the plan of length 1 (the
+//! default, [`PlanConfig::order`]` == 1`); raising the order models an
+//! attacker firing several timed glitches in one execution, e.g. the
+//! double fault that skips both a check *and* its duplicated
+//! countermeasure — which order-1 hardening cannot even see.
+//! [`PairPolicy::WithinWindow`] keeps the pair space physical (bounded
+//! glitch re-arm time) and [`PlanConfig::budget`] caps each order by
+//! seeded uniform sampling, since exhaustive cross-products explode;
+//! the seed makes sampled campaigns exactly reproducible. Later
+//! injections are **time-triggered**: each effect fires when the run
+//! reaches its trace step, wherever the earlier fault diverted control —
+//! and a run that ends early simply never receives them.
+//!
+//! Checkpointed sessions schedule plans by **checkpoint neighbourhood**
+//! ([`CampaignConfig::bucketing`]): plans whose earliest injections
+//! share a retained checkpoint are swept together, restoring the
+//! checkpoint once and cloning the in-flight machine (cheap, COW) at
+//! each injection point, instead of paying restore-plus-forward-replay
+//! per plan.
+//!
 //! ## Example
 //!
 //! ```
@@ -80,6 +106,39 @@
 //! assert!(report.count(FaultClass::Success) > 0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! ## Example: a double-fault campaign
+//!
+//! ```
+//! use rr_fault::{
+//!     CampaignConfig, CampaignSession, Collect, InstructionSkip, PairPolicy, PlanConfig,
+//! };
+//! use rr_workloads::pincheck;
+//!
+//! let w = pincheck();
+//! let config = CampaignConfig {
+//!     plan: PlanConfig {
+//!         order: 2,                                        // singles + pairs
+//!         policy: PairPolicy::WithinWindow { max_gap: 8 }, // ≤8 steps apart
+//!         budget: Some(10_000),                            // sample if larger
+//!         seed: 42,                                        // reproducible
+//!     },
+//!     ..CampaignConfig::default()
+//! };
+//! let session = CampaignSession::builder(w.build()?)
+//!     .good_input(&w.good_input[..])
+//!     .bad_input(&w.bad_input[..])
+//!     .config(config)
+//!     .build()?;
+//! let report = session.run(&[&InstructionSkip], Collect).pop().unwrap();
+//! // Per-order breakdown: order 1 rides along unchanged, order 2 adds
+//! // the double faults.
+//! for (order, summary) in report.summary_by_order() {
+//!     println!("order {order}: {summary}");
+//! }
+//! assert_eq!(report.max_order(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 mod cache;
 mod config;
@@ -91,11 +150,14 @@ mod site;
 
 pub use cache::{CampaignSeed, ClassificationCache, ReuseStats, REUSE_GUARD_WINDOW};
 pub use config::{CampaignConfig, CampaignEngine};
-pub use model::{FaultModel, FlagFlip, InstructionSkip, RegisterBitFlip, SingleBitFlip};
+pub use model::{
+    enumerate_plans, FaultModel, FlagFlip, InstructionSkip, PairPolicy, PlanConfig, PlanSet,
+    RegisterBitFlip, SingleBitFlip,
+};
 pub use oracle::{Behavior, CrashTriageOracle, GoldenPairOracle, Oracle, OutputPrefixOracle};
 pub use report::{CampaignReport, FaultResult, ModelSummary, Summary};
 pub use session::{CampaignError, CampaignSession, CampaignSessionBuilder, Collect, Sink, Stream};
-pub use site::{Fault, FaultClass, FaultEffect, FaultSite};
+pub use site::{Fault, FaultClass, FaultEffect, FaultPlan, FaultSite};
 
 // The shard policy is part of [`CampaignConfig`]; re-exported so session
 // consumers don't need an rr-engine dependency to select it.

@@ -1,7 +1,11 @@
-//! Fault models: enumerating concrete faults at a trace site.
+//! Fault models: enumerating concrete faults at a trace site, and the
+//! plan combinators that expand them into multi-fault injection plans.
 
-use crate::site::{Fault, FaultEffect, FaultSite};
+use crate::site::{Fault, FaultEffect, FaultPlan, FaultSite};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use rr_isa::Reg;
+use std::collections::BTreeSet;
 
 /// A fault model enumerates the concrete faults an attacker with a given
 /// physical capability could inject at one execution-trace site.
@@ -117,6 +121,312 @@ impl FaultModel for FlagFlip {
     }
 }
 
+/// How higher-order plans combine single-site faults across trace sites.
+///
+/// Exhaustive pair (and triple, …) spaces are cross-products and explode
+/// quickly; [`WithinWindow`](PairPolicy::WithinWindow) keeps campaigns
+/// focused on the physically plausible case of glitches fired in quick
+/// succession, and [`PlanConfig::budget`] bounds whatever space remains
+/// by deterministic random sampling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairPolicy {
+    /// Every combination of faults at strictly increasing trace steps.
+    Pairs,
+    /// Only combinations whose *consecutive* injections are at most
+    /// `max_gap` trace steps apart — the double-glitch attacker with a
+    /// bounded re-arm time.
+    WithinWindow {
+        /// Maximum step distance between consecutive injections.
+        max_gap: u64,
+    },
+}
+
+/// Plan-space configuration: how a campaign expands each fault model's
+/// per-site faults into ordered [`FaultPlan`]s.
+///
+/// Order 1 (the default) is the classic single-fault campaign — one
+/// singleton plan per fault, in site order. Order `k` adds every
+/// plan of 2..=k injections the [`PairPolicy`] admits, each order
+/// independently capped by `budget` via seeded uniform sampling
+/// ([`PlanConfig::seed`]), so sampled multi-fault campaigns are exactly
+/// reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanConfig {
+    /// Maximum injections per plan (≥ 1). Plans of *every* order up to
+    /// this are enumerated, so an order-2 campaign subsumes order 1.
+    pub order: usize,
+    /// How multi-fault plans combine sites.
+    pub policy: PairPolicy,
+    /// Cap on enumerated plans *per model per order above 1*; when the
+    /// exhaustive space is larger, `budget` plans are drawn uniformly
+    /// (deterministically, from `seed`). `None` = exhaustive.
+    pub budget: Option<usize>,
+    /// Seed for budgeted sampling, echoed in reports so sampled
+    /// campaigns can be reproduced.
+    pub seed: u64,
+}
+
+impl Default for PlanConfig {
+    fn default() -> Self {
+        PlanConfig { order: 1, policy: PairPolicy::Pairs, budget: None, seed: 0 }
+    }
+}
+
+/// The enumerated plan space of one model over one site list.
+#[derive(Debug, Clone)]
+pub struct PlanSet {
+    /// The plans, singletons first (site order), then each higher order
+    /// in canonical (site, fault) lexicographic order.
+    pub plans: Vec<FaultPlan>,
+    /// Exhaustive space size per order, `(order, total)` — totals can
+    /// exceed the enumerated count when sampling kicked in.
+    pub total_by_order: Vec<(usize, u128)>,
+    /// Whether any order was down-sampled to the budget.
+    pub sampled: bool,
+}
+
+/// Expands `model`'s faults over `sites` into the plan space `config`
+/// describes: every fault as a singleton plan (site order — identical to
+/// the classic single-fault campaign), plus, for each order `m` in
+/// `2..=config.order`, every `m`-tuple of faults at strictly increasing
+/// trace steps admitted by the pair policy (two injections never share a
+/// step: two glitches at the same instant are physically one glitch).
+///
+/// Each order above 1 is budget-capped independently: when its
+/// exhaustive count exceeds `config.budget`, that many plans are drawn
+/// uniformly without replacement using a generator seeded from
+/// `config.seed` — the same seed always selects the same plans.
+pub fn enumerate_plans(
+    model: &dyn FaultModel,
+    sites: &[&FaultSite],
+    config: &PlanConfig,
+) -> PlanSet {
+    let singles: Vec<Vec<Fault>> = sites.iter().map(|site| model.faults_at(site)).collect();
+    let mut plans: Vec<FaultPlan> =
+        singles.iter().flatten().copied().map(FaultPlan::single).collect();
+    let mut total_by_order = vec![(1, plans.len() as u128)];
+    let sampled = append_higher_orders(singles, sites, config, &mut plans, &mut total_by_order);
+    PlanSet { plans, total_by_order, sampled }
+}
+
+/// The higher-order (2..=`config.order`) plans alone — for consumers
+/// that stream the singleton portion separately. Only call with a
+/// sampling budget set: the materialized list is then at most
+/// `budget × (order − 1)` plans. Unbudgeted consumers should fold over
+/// [`plan_space`] + [`PlanSpace::for_each_starting_at`] instead, which
+/// never materializes the cross-product.
+pub(crate) fn higher_order_plans(
+    model: &dyn FaultModel,
+    sites: &[&FaultSite],
+    config: &PlanConfig,
+) -> Vec<FaultPlan> {
+    let singles: Vec<Vec<Fault>> = sites.iter().map(|site| model.faults_at(site)).collect();
+    let mut plans = Vec::new();
+    append_higher_orders(singles, sites, config, &mut plans, &mut Vec::new());
+    plans
+}
+
+/// Builds the counting/enumeration machinery for `model` over `sites`
+/// — the lazy counterpart of [`higher_order_plans`] for streaming
+/// consumers.
+pub(crate) fn plan_space(
+    model: &dyn FaultModel,
+    sites: &[&FaultSite],
+    config: &PlanConfig,
+) -> PlanSpace {
+    let singles: Vec<Vec<Fault>> = sites.iter().map(|site| model.faults_at(site)).collect();
+    PlanSpace::new(sites, singles, config.policy, config.order)
+}
+
+/// Appends orders 2..=`config.order` to `plans` (and their exhaustive
+/// totals to `total_by_order`), sampling any order whose space exceeds
+/// the budget. Returns whether sampling kicked in.
+fn append_higher_orders(
+    singles: Vec<Vec<Fault>>,
+    sites: &[&FaultSite],
+    config: &PlanConfig,
+    plans: &mut Vec<FaultPlan>,
+    total_by_order: &mut Vec<(usize, u128)>,
+) -> bool {
+    let mut sampled = false;
+    if config.order >= 2 {
+        let space = PlanSpace::new(sites, singles, config.policy, config.order);
+        for order in 2..=config.order {
+            let total = space.total(order);
+            total_by_order.push((order, total));
+            match config.budget.map(|b| b as u128) {
+                Some(budget) if total > budget => {
+                    sampled = true;
+                    // Draw distinct plan indices uniformly; the BTreeSet
+                    // both deduplicates and yields them in ascending
+                    // (canonical) order. Seeded per order so adding an
+                    // order never reshuffles the ones below it.
+                    let mut rng = StdRng::seed_from_u64(config.seed ^ order as u64);
+                    let mut drawn: BTreeSet<u128> = BTreeSet::new();
+                    while (drawn.len() as u128) < budget {
+                        let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                        drawn.insert(wide % total);
+                    }
+                    plans.extend(drawn.into_iter().map(|index| space.unrank(order, index)));
+                }
+                _ => space.generate_all(order, plans),
+            }
+        }
+    }
+    sampled
+}
+
+/// Counting/unranking machinery over the multi-fault cross-product.
+///
+/// `counts[t-1][i]` is the number of `t`-injection chains whose earliest
+/// injection sits at site `i` — in `u128`, since pair and triple spaces
+/// overflow `u64` on long traces. Counting lets budgeted sampling draw
+/// uniform plans by *index* and materialize only the drawn ones, so the
+/// exhaustive cross-product is never held in memory; streaming consumers
+/// visit plans one at a time through
+/// [`PlanSpace::for_each_starting_at`].
+pub(crate) struct PlanSpace {
+    steps: Vec<u64>,
+    faults: Vec<Vec<Fault>>,
+    policy: PairPolicy,
+    counts: Vec<Vec<u128>>,
+}
+
+impl PlanSpace {
+    fn new(
+        sites: &[&FaultSite],
+        faults: Vec<Vec<Fault>>,
+        policy: PairPolicy,
+        max_order: usize,
+    ) -> PlanSpace {
+        let steps: Vec<u64> = sites.iter().map(|s| s.step).collect();
+        let mut space = PlanSpace {
+            counts: vec![faults.iter().map(|f| f.len() as u128).collect()],
+            steps,
+            faults,
+            policy,
+        };
+        let n = space.steps.len();
+        while space.counts.len() < max_order {
+            let prev = space.counts.last().expect("order-1 counts seed the DP");
+            // suffix[i] = Σ_{j ≥ i} prev[j]; a chain at site i continues
+            // to any site in (i, successor_end(i)], so its continuation
+            // count is a suffix-sum difference.
+            let mut suffix = vec![0u128; n + 1];
+            for i in (0..n).rev() {
+                suffix[i] = suffix[i + 1] + prev[i];
+            }
+            let next: Vec<u128> = (0..n)
+                .map(|i| {
+                    let window = suffix[i + 1] - suffix[space.successor_end(i) + 1];
+                    space.faults[i].len() as u128 * window
+                })
+                .collect();
+            space.counts.push(next);
+        }
+        space
+    }
+
+    /// Index of the last site a chain at site `i` may continue to.
+    fn successor_end(&self, i: usize) -> usize {
+        match self.policy {
+            PairPolicy::Pairs => self.steps.len().saturating_sub(1),
+            PairPolicy::WithinWindow { max_gap } => {
+                let limit = self.steps[i].saturating_add(max_gap);
+                self.steps.partition_point(|&s| s <= limit) - 1
+            }
+        }
+    }
+
+    /// Number of order-`order` plans in the space.
+    fn total(&self, order: usize) -> u128 {
+        self.counts[order - 1].iter().sum()
+    }
+
+    /// The `index`-th order-`order` plan, in the canonical lexicographic
+    /// order by (first site, first fault, then the suffix recursively).
+    fn unrank(&self, order: usize, mut index: u128) -> FaultPlan {
+        let mut faults = Vec::with_capacity(order);
+        let mut from = 0;
+        for level in (1..=order).rev() {
+            let counts = &self.counts[level - 1];
+            let mut site = from;
+            // Linear scan from the window start; plans cluster near their
+            // predecessor, so the scan is short for windowed policies.
+            while index >= counts[site] {
+                index -= counts[site];
+                site += 1;
+            }
+            let per_fault =
+                if level == 1 { 1 } else { counts[site] / self.faults[site].len() as u128 };
+            let fault_index = (index / per_fault) as usize;
+            index %= per_fault;
+            faults.push(self.faults[site][fault_index]);
+            from = site + 1;
+        }
+        FaultPlan::new(faults)
+    }
+
+    /// Appends every order-`order` plan in canonical order.
+    fn generate_all(&self, order: usize, out: &mut Vec<FaultPlan>) {
+        let mut chain = Vec::with_capacity(order);
+        self.generate_from(order, 0, self.steps.len().saturating_sub(1), &mut chain, &mut |plan| {
+            out.push(plan)
+        });
+    }
+
+    /// Visits every plan of every order in `2..=max_order` whose
+    /// **earliest** injection sits at `site`, one at a time — nothing is
+    /// materialized, so a streaming fold over first-injection sites
+    /// covers the exhaustive multi-fault space (each plan exactly once)
+    /// in O(1) extra memory per worker.
+    pub(crate) fn for_each_starting_at(
+        &self,
+        max_order: usize,
+        site: usize,
+        visit: &mut impl FnMut(FaultPlan),
+    ) {
+        let mut chain = Vec::with_capacity(max_order);
+        for order in 2..=max_order {
+            for index in 0..self.faults[site].len() {
+                chain.push(self.faults[site][index]);
+                self.generate_from(
+                    order - 1,
+                    site + 1,
+                    self.successor_end(site),
+                    &mut chain,
+                    visit,
+                );
+                chain.pop();
+            }
+        }
+    }
+
+    fn generate_from(
+        &self,
+        remaining: usize,
+        from: usize,
+        to: usize,
+        chain: &mut Vec<Fault>,
+        visit: &mut impl FnMut(FaultPlan),
+    ) {
+        if remaining == 0 {
+            visit(FaultPlan::new(chain.iter().copied()));
+            return;
+        }
+        if from > to || from >= self.steps.len() {
+            return;
+        }
+        for site in from..=to {
+            for index in 0..self.faults[site].len() {
+                chain.push(self.faults[site][index]);
+                self.generate_from(remaining - 1, site + 1, self.successor_end(site), chain, visit);
+                chain.pop();
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +463,178 @@ mod tests {
     #[test]
     fn flag_model_targets_four_bits() {
         assert_eq!(FlagFlip.faults_at(&site(1)).len(), 4);
+    }
+
+    fn sites_at(steps: &[u64]) -> Vec<FaultSite> {
+        steps
+            .iter()
+            .map(|&step| FaultSite { step, pc: 0x1000 + step * 4, insn: Instr::Nop, len: 4 })
+            .collect()
+    }
+
+    fn refs(sites: &[FaultSite]) -> Vec<&FaultSite> {
+        sites.iter().collect()
+    }
+
+    #[test]
+    fn order_one_enumeration_matches_the_flat_fault_list() {
+        let sites = sites_at(&[0, 1, 2, 5]);
+        let set = enumerate_plans(&SingleBitFlip, &refs(&sites), &PlanConfig::default());
+        let flat: Vec<Fault> = sites.iter().flat_map(|s| SingleBitFlip.faults_at(s)).collect();
+        assert_eq!(set.plans.len(), flat.len());
+        assert!(!set.sampled);
+        assert_eq!(set.total_by_order, vec![(1, flat.len() as u128)]);
+        for (plan, fault) in set.plans.iter().zip(&flat) {
+            assert_eq!(plan.order(), 1);
+            assert_eq!(plan.first(), fault, "singleton plans keep site order");
+        }
+    }
+
+    #[test]
+    fn pairs_cover_the_cross_product_of_distinct_steps() {
+        let sites = sites_at(&[0, 1, 2, 3]);
+        let config = PlanConfig { order: 2, ..PlanConfig::default() };
+        let set = enumerate_plans(&InstructionSkip, &refs(&sites), &config);
+        // 4 singletons + C(4,2) = 6 pairs.
+        assert_eq!(set.plans.len(), 4 + 6);
+        assert_eq!(set.total_by_order, vec![(1, 4), (2, 6)]);
+        let pairs: Vec<&FaultPlan> = set.plans.iter().filter(|p| p.order() == 2).collect();
+        assert_eq!(pairs.len(), 6);
+        for pair in &pairs {
+            let steps: Vec<u64> = pair.iter().map(|f| f.step).collect();
+            assert!(steps[0] < steps[1], "strictly increasing steps: {steps:?}");
+        }
+        // All distinct.
+        let unique: std::collections::HashSet<&FaultPlan> = pairs.iter().copied().collect();
+        assert_eq!(unique.len(), 6);
+    }
+
+    #[test]
+    fn window_policy_bounds_consecutive_gaps() {
+        let sites = sites_at(&[0, 2, 4, 10, 11]);
+        let config = PlanConfig {
+            order: 2,
+            policy: PairPolicy::WithinWindow { max_gap: 2 },
+            ..PlanConfig::default()
+        };
+        let set = enumerate_plans(&InstructionSkip, &refs(&sites), &config);
+        let pairs: Vec<Vec<u64>> = set
+            .plans
+            .iter()
+            .filter(|p| p.order() == 2)
+            .map(|p| p.iter().map(|f| f.step).collect())
+            .collect();
+        // (0,2), (2,4), (10,11): the 4→10 and wider gaps are excluded.
+        assert_eq!(pairs, vec![vec![0, 2], vec![2, 4], vec![10, 11]]);
+    }
+
+    #[test]
+    fn triples_chain_the_window_constraint() {
+        let sites = sites_at(&[0, 1, 2, 3, 9]);
+        let config = PlanConfig {
+            order: 3,
+            policy: PairPolicy::WithinWindow { max_gap: 1 },
+            ..PlanConfig::default()
+        };
+        let set = enumerate_plans(&InstructionSkip, &refs(&sites), &config);
+        let triples: Vec<Vec<u64>> = set
+            .plans
+            .iter()
+            .filter(|p| p.order() == 3)
+            .map(|p| p.iter().map(|f| f.step).collect())
+            .collect();
+        assert_eq!(triples, vec![vec![0, 1, 2], vec![1, 2, 3]]);
+        // Orders 1 and 2 ride along: an order-3 campaign subsumes both.
+        assert_eq!(set.total_by_order.len(), 3);
+        assert!(set.plans.iter().any(|p| p.order() == 1));
+        assert!(set.plans.iter().any(|p| p.order() == 2));
+    }
+
+    #[test]
+    fn budget_sampling_is_deterministic_and_within_the_space() {
+        let sites = sites_at(&(0..40).collect::<Vec<u64>>());
+        let exhaustive = enumerate_plans(
+            &InstructionSkip,
+            &refs(&sites),
+            &PlanConfig { order: 2, ..PlanConfig::default() },
+        );
+        let full: std::collections::HashSet<FaultPlan> =
+            exhaustive.plans.iter().filter(|p| p.order() == 2).cloned().collect();
+        assert_eq!(full.len(), 40 * 39 / 2);
+
+        let config = PlanConfig { order: 2, budget: Some(50), seed: 7, ..PlanConfig::default() };
+        let a = enumerate_plans(&InstructionSkip, &refs(&sites), &config);
+        let b = enumerate_plans(&InstructionSkip, &refs(&sites), &config);
+        assert!(a.sampled);
+        assert_eq!(a.plans, b.plans, "same seed, same sample");
+        let sampled: Vec<&FaultPlan> = a.plans.iter().filter(|p| p.order() == 2).collect();
+        assert_eq!(sampled.len(), 50, "budget is honoured exactly");
+        for plan in &sampled {
+            assert!(full.contains(plan), "sample drawn from the exhaustive space");
+        }
+        // Distinct draws, canonical (ascending-index) order.
+        let unique: std::collections::HashSet<&FaultPlan> = sampled.iter().copied().collect();
+        assert_eq!(unique.len(), 50);
+
+        let other =
+            enumerate_plans(&InstructionSkip, &refs(&sites), &PlanConfig { seed: 8, ..config });
+        assert_ne!(a.plans, other.plans, "a different seed draws a different sample");
+        // A budget at or above the space size enumerates exhaustively.
+        let roomy = enumerate_plans(
+            &InstructionSkip,
+            &refs(&sites),
+            &PlanConfig { budget: Some(10_000), ..config },
+        );
+        assert!(!roomy.sampled);
+        assert_eq!(roomy.plans.len(), exhaustive.plans.len());
+    }
+
+    #[test]
+    fn empty_and_tiny_site_lists_degrade_gracefully() {
+        let config = PlanConfig { order: 2, ..PlanConfig::default() };
+        let set = enumerate_plans(&InstructionSkip, &[], &config);
+        assert!(set.plans.is_empty());
+        assert_eq!(set.total_by_order, vec![(1, 0), (2, 0)]);
+        // One site: a singleton plan, no pairs.
+        let sites = sites_at(&[3]);
+        let set = enumerate_plans(&InstructionSkip, &refs(&sites), &config);
+        assert_eq!(set.plans.len(), 1);
+        assert_eq!(set.total_by_order, vec![(1, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn unranked_samples_match_exhaustive_enumeration_order() {
+        // Sampling with a budget of the full space size must reproduce
+        // the exhaustive enumeration exactly (every index drawn, emitted
+        // ascending) — pins unrank() against generate_all().
+        let sites = sites_at(&[0, 1, 2, 5, 6, 9]);
+        let bitflip_pairs = |budget| {
+            enumerate_plans(
+                &FlagFlip,
+                &refs(&sites),
+                &PlanConfig {
+                    order: 2,
+                    policy: PairPolicy::WithinWindow { max_gap: 4 },
+                    budget,
+                    seed: 3,
+                },
+            )
+        };
+        let exhaustive = bitflip_pairs(None);
+        let total = exhaustive.total_by_order[1].1 as usize;
+        assert!(total > 10);
+        // Force the sampling path with a budget one below the space,
+        // then check the drawn plans are a subset in canonical order.
+        let sampled = bitflip_pairs(Some(total - 1));
+        assert!(sampled.sampled);
+        let exhaustive_pairs: Vec<&FaultPlan> =
+            exhaustive.plans.iter().filter(|p| p.order() == 2).collect();
+        let sampled_pairs: Vec<&FaultPlan> =
+            sampled.plans.iter().filter(|p| p.order() == 2).collect();
+        assert_eq!(sampled_pairs.len(), total - 1);
+        let mut cursor = exhaustive_pairs.iter();
+        for plan in sampled_pairs {
+            assert!(cursor.any(|p| p == &plan), "sampled plans appear in exhaustive order: {plan}");
+        }
     }
 }

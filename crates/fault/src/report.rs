@@ -1,17 +1,35 @@
-//! Campaign results: per-fault classifications, per-model reports, and
+//! Campaign results: per-plan classifications, per-model reports, and
 //! streamed summaries.
 
-use crate::site::{Fault, FaultClass};
-use std::collections::BTreeSet;
+use crate::site::{Fault, FaultClass, FaultPlan};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-/// One evaluated fault and its classification.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// One evaluated injection plan and its classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultResult {
-    /// The injected fault.
-    pub fault: Fault,
+    /// The injected plan (a single fault in order-1 campaigns).
+    pub plan: FaultPlan,
     /// How the oracle classified the faulted run.
     pub class: FaultClass,
+}
+
+impl FaultResult {
+    /// Wraps a single-fault classification (order-1 convenience).
+    pub fn single(fault: Fault, class: FaultClass) -> FaultResult {
+        FaultResult { plan: FaultPlan::single(fault), class }
+    }
+
+    /// The plan's earliest injection — for order-1 campaigns, *the*
+    /// fault.
+    pub fn fault(&self) -> &Fault {
+        self.plan.first()
+    }
+
+    /// Number of injections in the plan.
+    pub fn order(&self) -> usize {
+        self.plan.order()
+    }
 }
 
 /// Per-class counts of a campaign.
@@ -92,16 +110,23 @@ impl CampaignReport {
         self.results.iter().filter(|r| r.class == class).count()
     }
 
-    /// The successful faults — the vulnerability list handed to the
+    /// The successful plans — the vulnerability list handed to the
     /// patcher.
     pub fn vulnerabilities(&self) -> Vec<FaultResult> {
-        self.results.iter().copied().filter(|r| r.class == FaultClass::Success).collect()
+        self.results.iter().filter(|r| r.class == FaultClass::Success).cloned().collect()
     }
 
-    /// Distinct instruction addresses with at least one successful fault —
-    /// the set of *program points* the patcher must protect.
+    /// Distinct instruction addresses involved in at least one successful
+    /// plan — the set of *program points* the patcher must protect. For
+    /// a multi-fault success every injection's address is included: a
+    /// double fault is only defeated once one of its two targets is
+    /// hardened past it.
     pub fn vulnerable_pcs(&self) -> BTreeSet<u64> {
-        self.results.iter().filter(|r| r.class == FaultClass::Success).map(|r| r.fault.pc).collect()
+        self.results
+            .iter()
+            .filter(|r| r.class == FaultClass::Success)
+            .flat_map(|r| r.plan.iter().map(|f| f.pc))
+            .collect()
     }
 
     /// Aggregated per-class counts.
@@ -111,6 +136,28 @@ impl CampaignReport {
             s.record(r.class);
         }
         s
+    }
+
+    /// Per-class counts split by plan order (1 = single fault), in
+    /// ascending order — how much of the damage needs a double (triple,
+    /// …) fault.
+    pub fn summary_by_order(&self) -> Vec<(usize, Summary)> {
+        let mut by_order: BTreeMap<usize, Summary> = BTreeMap::new();
+        for r in &self.results {
+            by_order.entry(r.order()).or_default().record(r.class);
+        }
+        by_order.into_iter().collect()
+    }
+
+    /// Successful plans of exactly `order` injections.
+    pub fn successes_of_order(&self, order: usize) -> usize {
+        self.results.iter().filter(|r| r.class == FaultClass::Success && r.order() == order).count()
+    }
+
+    /// The highest plan order this report evaluated (0 for an empty
+    /// report).
+    pub fn max_order(&self) -> usize {
+        self.results.iter().map(FaultResult::order).max().unwrap_or(0)
     }
 }
 
@@ -157,5 +204,44 @@ mod tests {
     fn model_summary_displays_its_model() {
         let ms = ModelSummary { model: "instruction-skip", summary: Summary::default() };
         assert!(ms.to_string().starts_with("instruction-skip: "));
+    }
+
+    #[test]
+    fn per_order_summaries_split_the_report() {
+        use crate::site::{Fault, FaultEffect, FaultPlan};
+        let skip =
+            |step: u64| Fault { step, pc: 0x1000 + step * 4, effect: FaultEffect::SkipInstruction };
+        let report = CampaignReport {
+            model: "instruction-skip",
+            results: vec![
+                FaultResult::single(skip(0), FaultClass::Benign),
+                FaultResult::single(skip(1), FaultClass::Success),
+                FaultResult {
+                    plan: FaultPlan::new([skip(0), skip(5)]),
+                    class: FaultClass::Success,
+                },
+                FaultResult {
+                    plan: FaultPlan::new([skip(2), skip(6)]),
+                    class: FaultClass::Crashed,
+                },
+            ],
+        };
+        assert_eq!(report.max_order(), 2);
+        assert_eq!(report.successes_of_order(1), 1);
+        assert_eq!(report.successes_of_order(2), 1);
+        let by_order = report.summary_by_order();
+        assert_eq!(by_order.len(), 2);
+        assert_eq!(by_order[0].0, 1);
+        assert_eq!(by_order[0].1.total, 2);
+        assert_eq!(by_order[1].0, 2);
+        assert_eq!(by_order[1].1.crashed, 1);
+        // The pair success contributes both of its pcs.
+        let pcs = report.vulnerable_pcs();
+        assert!(pcs.contains(&skip(0).pc) && pcs.contains(&skip(5).pc));
+        assert_eq!(report.vulnerabilities().len(), 2);
+        // Order-1 accessors still read like the single-fault API.
+        let first = &report.results[1];
+        assert_eq!(first.fault().step, 1);
+        assert_eq!(first.order(), 1);
     }
 }

@@ -21,13 +21,13 @@
 
 use crate::cache::{self, CampaignSeed, ClassificationCache, ReuseStats};
 use crate::config::{CampaignConfig, CampaignEngine};
-use crate::model::FaultModel;
+use crate::model::{enumerate_plans, FaultModel};
 use crate::oracle::{Behavior, GoldenPairOracle, Oracle};
 use crate::report::{CampaignReport, FaultResult, ModelSummary, Summary};
-use crate::site::{Fault, FaultClass, FaultEffect, FaultSite};
+use crate::site::{Fault, FaultClass, FaultEffect, FaultPlan, FaultSite};
 use rr_disasm::ListingDelta;
 use rr_emu::{execute, Execution, Machine, RunOutcome};
-use rr_engine::shard::{run_scheduled, scheduled_fold};
+use rr_engine::shard::{run_bucketed, run_scheduled, scheduled_fold};
 use rr_engine::{ReplayConfig, ReplayEngine, ReplayFootprint};
 use rr_isa::{decode, Flags, MAX_INSTR_LEN};
 use rr_obj::Executable;
@@ -481,64 +481,209 @@ impl CampaignSession {
         self.sites.iter().step_by(self.config.site_stride.max(1)).collect()
     }
 
-    /// Classifies one fault of `model`: served from the carried-over
+    /// The step budget faulted continuations run under.
+    fn faulted_budget(&self) -> u64 {
+        (self.golden_bad.steps * self.config.faulted_step_multiplier)
+            .max(self.config.faulted_min_steps)
+    }
+
+    /// Classifies one plan of `model`: served from the carried-over
     /// [`ClassificationCache`] when the seed plan proved the prior
     /// classification still valid, otherwise by positioning a machine at
-    /// the fault's step (restore + step forward for checkpointed
-    /// sessions; replay from step 0 for naive ones), injecting, resuming,
-    /// and consulting the oracle.
-    fn evaluate(&self, model: &'static str, fault: &Fault) -> FaultClass {
-        if let Some(class) = self.cache.lookup(model, fault) {
+    /// the plan's earliest injection step (restore + step forward for
+    /// checkpointed sessions; replay from step 0 for naive ones),
+    /// injecting, resuming, and consulting the oracle.
+    fn evaluate(&self, model: &'static str, plan: &FaultPlan) -> FaultClass {
+        if let Some(class) = self.cache.lookup(model, plan) {
             self.reused.fetch_add(1, Ordering::Relaxed);
             return class;
         }
         self.replayed.fetch_add(1, Ordering::Relaxed);
-        match self.replay.machine_at(fault.step) {
-            Ok(machine) => self.inject_and_classify(machine, fault),
+        match self.replay.machine_at(plan.earliest_step()) {
+            Ok(machine) => self.inject_and_classify(machine, plan),
             Err(_) => FaultClass::ReplayDiverged,
         }
     }
 
-    /// Applies the fault's effect to a machine positioned at its step and
-    /// classifies the faulted continuation.
-    fn inject_and_classify(&self, mut machine: Machine, fault: &Fault) -> FaultClass {
-        if machine.pc() != fault.pc {
+    /// Applies the plan's injections to a machine positioned at the
+    /// *earliest* injection's step, and classifies the outcome.
+    ///
+    /// Injections are **time-triggered**, like the physical glitches they
+    /// model: after the first effect is applied (on the golden trace, so
+    /// the program counter is verified against the recording), the
+    /// machine free-runs and each later effect fires when the machine's
+    /// step count reaches that injection's trace step — wherever control
+    /// actually is by then, since the earlier fault may have diverted it.
+    /// A run that exits or crashes before a later injection's time
+    /// arrives is classified as-is: the attacker's second glitch fired
+    /// into a finished program. The total faulted continuation shares one
+    /// step budget, exactly like the single-fault case.
+    fn inject_and_classify(&self, mut machine: Machine, plan: &FaultPlan) -> FaultClass {
+        let first = plan.first();
+        if machine.pc() != first.pc {
             // The replay did not arrive where the trace says it should
             // have — report instead of asserting (determinism is the
             // emulator's contract; a violation costs one result, not the
             // whole campaign).
             return FaultClass::ReplayDiverged;
         }
-        match fault.effect {
-            FaultEffect::SkipInstruction => {
-                if machine.skip_instruction().is_err() {
-                    return FaultClass::Crashed;
+        if let Err(class) = apply_effect(&mut machine, first) {
+            return class;
+        }
+        let budget = self.faulted_budget();
+        let mut used = 0u64;
+        let mut prev_step = first.step;
+        for fault in plan.iter().skip(1) {
+            let gap = fault.step - prev_step;
+            prev_step = fault.step;
+            if gap > 0 {
+                let allowed = gap.min(budget - used);
+                let result = machine.run(allowed);
+                used += result.steps;
+                if result.outcome != RunOutcome::TimedOut || allowed < gap {
+                    // The run ended before this injection's time arrived
+                    // (the earlier fault made it unreachable), or the
+                    // shared budget ran out mid-gap. `run` reports budget
+                    // exhaustion as TimedOut, which is exactly the class
+                    // such a hang deserves — classify what happened.
+                    let faulted = Behavior {
+                        outcome: result.outcome,
+                        output: machine.take_output(),
+                        steps: used,
+                    };
+                    return self.oracle.classify(&faulted);
                 }
             }
-            FaultEffect::FlipInstructionBit { byte, bit } => {
-                let addr = fault.pc + byte as u64;
-                let Some(&current) = machine.peek_bytes(addr, 1).and_then(|b| b.first()) else {
-                    return FaultClass::Crashed;
-                };
-                machine.poke_bytes(addr, &[current ^ (1 << bit)]);
-            }
-            FaultEffect::FlipRegisterBit { reg, bit } => {
-                machine.set_reg(reg, machine.reg(reg) ^ (1u64 << bit));
-            }
-            FaultEffect::FlipFlags { mask } => {
-                machine.set_flags(Flags::from_bits(machine.flags().to_bits() ^ u64::from(mask)));
+            if let Err(class) = apply_effect(&mut machine, fault) {
+                return class;
             }
         }
-        let budget = (self.golden_bad.steps * self.config.faulted_step_multiplier)
-            .max(self.config.faulted_min_steps);
-        let result = machine.run(budget);
+        let result = machine.run(budget - used);
         let faulted = Behavior {
             outcome: result.outcome,
             output: machine.take_output(),
-            steps: result.steps,
+            steps: used + result.steps,
         };
         self.oracle.classify(&faulted)
     }
+
+    /// Evaluates every `(model, plan)` pair, scheduling per the session
+    /// config: **multi-fault** checkpointed sessions with
+    /// [`CampaignConfig::bucketing`] group plans by the checkpoint
+    /// preceding their earliest injection and sweep each neighbourhood
+    /// with one restore ([`CampaignSession::evaluate_bucket`]);
+    /// otherwise every plan is positioned independently under the
+    /// session's [`rr_engine::shard::ShardPolicy`]. Order-1 campaigns
+    /// keep the per-plan path on purpose — singleton plans arrive in
+    /// site order, so contiguous shards are already checkpoint-local,
+    /// and the `shard` knob (contiguous vs interleaved balance) stays
+    /// meaningful. Classifications are identical either way.
+    fn evaluate_all(&self, plans: &[(&'static str, FaultPlan)]) -> Vec<FaultClass> {
+        let bucketed = self.config.bucketing
+            && self.config.plan.order >= 2
+            && self.config.engine == CampaignEngine::Checkpointed
+            && self.replay.records_snapshots();
+        if bucketed {
+            run_bucketed(
+                plans,
+                self.config.threads,
+                |(_, plan)| self.replay.checkpoint_step_before(plan.earliest_step()),
+                |&checkpoint_step, indices| self.evaluate_bucket(checkpoint_step, plans, indices),
+            )
+        } else {
+            run_scheduled(plans, self.config.threads, self.config.shard, |(name, plan)| {
+                self.evaluate(name, plan)
+            })
+        }
+    }
+
+    /// Evaluates one checkpoint neighbourhood: all of `indices` share the
+    /// retained checkpoint at `checkpoint_step`. The checkpoint is
+    /// restored **once**; a cursor machine then walks forward through the
+    /// neighbourhood in ascending injection order, and each plan is
+    /// evaluated on a cheap COW clone taken when the cursor reaches its
+    /// earliest injection — so the per-plan positioning cost (restore +
+    /// up to a whole checkpoint interval of forward stepping) is paid
+    /// once per bucket instead of once per plan.
+    fn evaluate_bucket(
+        &self,
+        checkpoint_step: u64,
+        plans: &[(&'static str, FaultPlan)],
+        indices: &[usize],
+    ) -> Vec<FaultClass> {
+        let mut order: Vec<usize> = (0..indices.len()).collect();
+        order.sort_by_key(|&k| plans[indices[k]].1.earliest_step());
+        let mut out: Vec<Option<FaultClass>> = vec![None; indices.len()];
+        // The cursor is lazy: a bucket answered entirely from the
+        // classification cache never restores anything.
+        let mut cursor: Option<(Machine, u64)> = None;
+        let mut diverged = false;
+        for k in order {
+            let (name, plan) = &plans[indices[k]];
+            if let Some(class) = self.cache.lookup(name, plan) {
+                self.reused.fetch_add(1, Ordering::Relaxed);
+                out[k] = Some(class);
+                continue;
+            }
+            self.replayed.fetch_add(1, Ordering::Relaxed);
+            if !diverged && cursor.is_none() {
+                match self.replay.machine_at(checkpoint_step) {
+                    Ok(machine) => cursor = Some((machine, checkpoint_step)),
+                    Err(_) => diverged = true,
+                }
+            }
+            if let Some((machine, at)) = cursor.as_mut() {
+                while !diverged && *at < plan.earliest_step() {
+                    if machine.step().is_err() {
+                        diverged = true;
+                    }
+                    *at += 1;
+                }
+            }
+            if diverged {
+                // Forward replay of the golden trace stopped early: the
+                // same determinism violation machine_at reports — degrade
+                // this plan (and the rest of the neighbourhood beyond the
+                // divergence) instead of panicking.
+                out[k] = Some(FaultClass::ReplayDiverged);
+                continue;
+            }
+            let (machine, _) = cursor.as_ref().expect("cursor initialized above");
+            let clone = Machine::from_snapshot(&machine.snapshot());
+            out[k] = Some(self.inject_and_classify(clone, plan));
+        }
+        out.into_iter().map(|class| class.expect("every plan classified")).collect()
+    }
+}
+
+/// Applies one injection's physical effect to the machine. The program
+/// counter in [`Fault::pc`] anchors *address-based* effects (an encoding
+/// bit flip corrupts the instruction at that address, wherever control
+/// currently is); skip/register/flag effects act on the machine's
+/// current state. `Err` short-circuits with the class the failed
+/// injection itself produced (e.g. skipping an unreadable instruction).
+fn apply_effect(machine: &mut Machine, fault: &Fault) -> Result<(), FaultClass> {
+    match fault.effect {
+        FaultEffect::SkipInstruction => {
+            if machine.skip_instruction().is_err() {
+                return Err(FaultClass::Crashed);
+            }
+        }
+        FaultEffect::FlipInstructionBit { byte, bit } => {
+            let addr = fault.pc + byte as u64;
+            let Some(&current) = machine.peek_bytes(addr, 1).and_then(|b| b.first()) else {
+                return Err(FaultClass::Crashed);
+            };
+            machine.poke_bytes(addr, &[current ^ (1 << bit)]);
+        }
+        FaultEffect::FlipRegisterBit { reg, bit } => {
+            machine.set_reg(reg, machine.reg(reg) ^ (1u64 << bit));
+        }
+        FaultEffect::FlipFlags { mask } => {
+            machine.set_flags(Flags::from_bits(machine.flags().to_bits() ^ u64::from(mask)));
+        }
+    }
+    Ok(())
 }
 
 mod sealed {
@@ -568,27 +713,26 @@ impl Sink for Collect {
     fn drive(session: &CampaignSession, models: &[&dyn FaultModel]) -> Vec<CampaignReport> {
         let sampled = session.sampled_sites();
         // A Collect run materializes every result anyway, so enumerating
-        // the faults up front costs the same memory — and lets the one
-        // scheduling pass cover exactly the faults, so models whose
+        // the plans up front costs the same memory — and lets the one
+        // scheduling pass cover exactly the plans, so models whose
         // faults cluster on few sites pay no per-site scheduling
-        // overhead. Per model, faults stay in site order.
+        // overhead. Per model, singleton plans stay in site order,
+        // followed by each higher order in canonical enumeration order.
         let mut counts = Vec::with_capacity(models.len());
-        let mut faults = Vec::new();
+        let mut plans: Vec<(&'static str, FaultPlan)> = Vec::new();
         for model in models {
-            let before = faults.len();
+            let before = plans.len();
             let name = model.name();
-            faults.extend(
-                sampled.iter().flat_map(|site| model.faults_at(site)).map(|fault| (name, fault)),
-            );
-            counts.push(faults.len() - before);
+            let set = enumerate_plans(*model, &sampled, &session.config.plan);
+            plans.extend(set.plans.into_iter().map(|plan| (name, plan)));
+            counts.push(plans.len() - before);
         }
-        let results = run_scheduled(
-            &faults,
-            session.config.threads,
-            session.config.shard,
-            |(name, fault)| FaultResult { fault: *fault, class: session.evaluate(name, fault) },
-        );
-        let mut rest = results;
+        let classes = session.evaluate_all(&plans);
+        let mut rest: Vec<FaultResult> = plans
+            .into_iter()
+            .zip(classes)
+            .map(|((_, plan), class)| FaultResult { plan, class })
+            .collect();
         let mut reports = Vec::with_capacity(models.len());
         for (model, count) in models.iter().zip(counts) {
             let tail = rest.split_off(count);
@@ -600,11 +744,15 @@ impl Sink for Collect {
 }
 
 /// Fold classifications straight into per-model [`Summary`] counters:
-/// [`CampaignSession::run`] returns one [`ModelSummary`] per model.
-/// Faults are enumerated per site inside each shard and never
-/// materialized, so memory stays O(sites + shards) no matter how many
-/// faults the models produce — for campaigns too large to keep every
-/// [`FaultResult`].
+/// [`CampaignSession::run`] returns one [`ModelSummary`] per model,
+/// keeping memory at O(sites + shards) no matter how many plans the
+/// campaign evaluates — for campaigns too large to keep every
+/// [`FaultResult`]. Singleton plans are enumerated per site inside each
+/// shard; unbudgeted higher-order plans are visited lazily per
+/// first-injection site (the cross-product is never materialized); a
+/// sampling budget ([`crate::PlanConfig::budget`]) bounds the one list
+/// that is materialized — the drawn sample — which then goes through the
+/// bucketed scheduling pass.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Stream;
 
@@ -613,7 +761,7 @@ impl Sink for Stream {
 
     fn drive(session: &CampaignSession, models: &[&dyn FaultModel]) -> Vec<ModelSummary> {
         let sampled = session.sampled_sites();
-        let summaries = scheduled_fold(
+        let mut summaries = scheduled_fold(
             &sampled,
             session.config.threads,
             session.config.shard,
@@ -621,13 +769,62 @@ impl Sink for Stream {
             |mut acc, site| {
                 for (m, model) in models.iter().enumerate() {
                     for fault in model.faults_at(site) {
-                        acc[m].record(session.evaluate(model.name(), &fault));
+                        acc[m].record(session.evaluate(model.name(), &FaultPlan::single(fault)));
                     }
                 }
                 acc
             },
             |a, b| a.into_iter().zip(b).map(|(x, y)| x.merge(y)).collect(),
         );
+        if session.config.plan.order >= 2 {
+            if session.config.plan.budget.is_some() {
+                // Budgeted: at most `budget` plans per order survive
+                // sampling, so materializing them costs bounded memory
+                // and buys the bucketed (warm-checkpoint) schedule.
+                let mut counts = Vec::with_capacity(models.len());
+                let mut plans: Vec<(&'static str, FaultPlan)> = Vec::new();
+                for model in models {
+                    let before = plans.len();
+                    let higher =
+                        crate::model::higher_order_plans(*model, &sampled, &session.config.plan);
+                    plans.extend(higher.into_iter().map(|plan| (model.name(), plan)));
+                    counts.push(plans.len() - before);
+                }
+                let mut classes = session.evaluate_all(&plans).into_iter();
+                for (m, count) in counts.into_iter().enumerate() {
+                    for class in classes.by_ref().take(count) {
+                        summaries[m].record(class);
+                    }
+                }
+            } else {
+                // Unbudgeted: the exhaustive pair/k-tuple space can be
+                // quadratic and larger — fold it lazily, sharding by
+                // first-injection site and visiting each plan exactly
+                // once, so memory stays O(sites + shards).
+                let site_indices: Vec<usize> = (0..sampled.len()).collect();
+                for (m, model) in models.iter().enumerate() {
+                    let space = crate::model::plan_space(*model, &sampled, &session.config.plan);
+                    let extra = scheduled_fold(
+                        &site_indices,
+                        session.config.threads,
+                        session.config.shard,
+                        Summary::default(),
+                        |mut acc, &site| {
+                            space.for_each_starting_at(
+                                session.config.plan.order,
+                                site,
+                                &mut |plan| {
+                                    acc.record(session.evaluate(model.name(), &plan));
+                                },
+                            );
+                            acc
+                        },
+                        Summary::merge,
+                    );
+                    summaries[m] = summaries[m].merge(extra);
+                }
+            }
+        }
         models
             .iter()
             .zip(summaries)
@@ -759,7 +956,7 @@ mod tests {
                 session
                     .sites()
                     .iter()
-                    .find(|s| s.step == result.fault.step)
+                    .find(|s| s.step == result.fault().step)
                     .expect("vulnerability at a known site")
                     .insn
                     .kind()
@@ -893,14 +1090,18 @@ mod tests {
             // determinism violation; it must degrade to ReplayDiverged
             // (the seed implementation debug-asserted here and took the
             // whole process down in debug builds).
-            let bogus = Fault { step: 0, pc: 0xDEAD_0000, effect: FaultEffect::SkipInstruction };
+            let bogus = FaultPlan::single(Fault {
+                step: 0,
+                pc: 0xDEAD_0000,
+                effect: FaultEffect::SkipInstruction,
+            });
             assert_eq!(session.evaluate("test", &bogus), FaultClass::ReplayDiverged, "{engine}");
             // Beyond-trace steps likewise degrade gracefully.
-            let beyond = Fault {
+            let beyond = FaultPlan::single(Fault {
                 step: session.golden_bad().steps + 10,
                 pc: 0x1000,
                 effect: FaultEffect::SkipInstruction,
-            };
+            });
             assert_eq!(session.evaluate("test", &beyond), FaultClass::ReplayDiverged, "{engine}");
         }
     }
@@ -1022,6 +1223,77 @@ mod tests {
         let stats = seeded.reuse_stats();
         assert!(stats.sites_reused > 0, "{stats}");
         assert!(stats.sites_replayed > 0, "the nop executes, its region must replay: {stats}");
+    }
+
+    #[test]
+    fn order_two_campaigns_subsume_order_one_and_agree_across_schedulers() {
+        use crate::model::{PairPolicy, PlanConfig};
+        let order2 = |bucketing, engine, threads| {
+            pincheck_session_with(CampaignConfig {
+                engine,
+                threads,
+                bucketing,
+                plan: PlanConfig {
+                    order: 2,
+                    policy: PairPolicy::WithinWindow { max_gap: 6 },
+                    ..PlanConfig::default()
+                },
+                ..CampaignConfig::default()
+            })
+        };
+        let reference = run_one(&order2(false, CampaignEngine::Naive, 1), &InstructionSkip);
+        assert!(reference.max_order() == 2, "pairs were enumerated");
+        // The order-1 prefix is exactly the singleton campaign.
+        let singles = run_one(&pincheck_session(), &InstructionSkip);
+        let prefix: Vec<&FaultResult> =
+            reference.results.iter().take(singles.results.len()).collect();
+        for (single, multi) in singles.results.iter().zip(prefix) {
+            assert_eq!(single, multi, "order-1 results are unchanged by the pair space");
+        }
+        // Bucketed checkpointed evaluation and per-plan evaluation agree,
+        // across thread counts and both sinks.
+        for bucketing in [false, true] {
+            for threads in [1, 4] {
+                let session = order2(bucketing, CampaignEngine::Checkpointed, threads);
+                let report = run_one(&session, &InstructionSkip);
+                assert_eq!(
+                    report.results, reference.results,
+                    "bucketing={bucketing} threads={threads}"
+                );
+                let streamed = session.run(&[&InstructionSkip as &dyn FaultModel], Stream);
+                assert_eq!(streamed[0].summary, report.summary(), "stream bucketing={bucketing}");
+            }
+        }
+    }
+
+    #[test]
+    fn double_faults_change_outcomes_somewhere() {
+        use crate::model::{PairPolicy, PlanConfig};
+        // Not a tautology: at least one pair must classify differently
+        // from both of its legs (two skips compose, they don't shadow).
+        let session = pincheck_session_with(CampaignConfig {
+            plan: PlanConfig {
+                order: 2,
+                policy: PairPolicy::WithinWindow { max_gap: 8 },
+                ..PlanConfig::default()
+            },
+            ..CampaignConfig::default()
+        });
+        let report = run_one(&session, &InstructionSkip);
+        let single_class = |step: u64| {
+            report
+                .results
+                .iter()
+                .find(|r| r.order() == 1 && r.fault().step == step)
+                .map(|r| r.class)
+        };
+        let composing = report.results.iter().filter(|r| r.order() == 2).any(|pair| {
+            let mut legs = pair.plan.iter();
+            let (a, b) = (legs.next().unwrap().step, legs.next().unwrap().step);
+            single_class(a).is_some_and(|c| c != pair.class)
+                && single_class(b).is_some_and(|c| c != pair.class)
+        });
+        assert!(composing, "some pair must behave unlike either single fault");
     }
 
     #[test]

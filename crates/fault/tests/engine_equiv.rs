@@ -92,9 +92,12 @@ fn checkpointed_matches_naive_for_every_model_and_workload() {
             );
             for (n, c) in naive.results.iter().zip(&checkpointed.results) {
                 assert_eq!(
-                    n, c,
+                    n,
+                    c,
                     "{}/{model_name}: classification diverged at step {} pc {:#x}",
-                    w.name, n.fault.step, n.fault.pc
+                    w.name,
+                    n.fault().step,
+                    n.fault().pc
                 );
             }
             // Per-class counts agree as a consequence; assert anyway so a

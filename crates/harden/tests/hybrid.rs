@@ -120,7 +120,7 @@ fn branch_hardening_blocks_decision_skips() {
         let site = session
             .sites()
             .iter()
-            .find(|s| s.step == result.fault.step)
+            .find(|s| s.step == result.fault().step)
             .expect("site for vulnerability");
         let kind = site.insn.kind();
         assert!(

@@ -27,17 +27,35 @@ pub struct HardenConfig {
     /// every faulter iteration ~√T cheaper on a `T`-step trace while
     /// classifying identically to the naive engine.
     pub engine: CampaignEngine,
-    /// Incremental re-campaigning: after every rewrite, compute the
-    /// [`ListingDelta`] of the patch and seed the next campaign session
-    /// with the prior classifications
+    /// Incremental re-campaigning (**on by default**): after every
+    /// rewrite, compute the [`ListingDelta`] of the patch and seed the
+    /// next campaign session with the prior classifications
     /// ([`rr_fault::CampaignSessionBuilder::seed_from`]). Sites the patch
     /// provably left alone reuse their prior [`rr_fault::FaultClass`]
     /// without executing anything; only the touched trace region is
     /// re-run (and re-snapshotted). Classifications are bit-identical to
     /// full re-campaigning — the invariance test suite pins it across
     /// every workload × fault model — and [`LoopOutcome::sites_reused`]
-    /// reports the work saved.
+    /// reports the work saved. Disable (`rr harden --no-incremental`)
+    /// only to measure the unseeded baseline.
     pub incremental: bool,
+    /// Maximum injections per evaluated plan (≥ 1). At order `k` every
+    /// campaign in the loop evaluates all plans of 1..=k injections the
+    /// pair policy admits, the patcher protects every program point
+    /// involved in a successful plan, and the loop iterates until no
+    /// order-≤k `Success` remains or `max_iterations` is hit.
+    pub fault_order: usize,
+    /// Maximum step gap between consecutive injections of a multi-fault
+    /// plan ([`rr_fault::PairPolicy::WithinWindow`]); `None` = unbounded
+    /// pairing ([`rr_fault::PairPolicy::Pairs`]).
+    pub pair_window: Option<u64>,
+    /// Cap on enumerated plans per model per order above 1, sampled
+    /// deterministically from [`HardenConfig::sample_seed`] when the
+    /// exhaustive space is larger; `None` = exhaustive.
+    pub plan_budget: Option<usize>,
+    /// Seed for budgeted plan sampling — fix it to make sampled
+    /// multi-fault hardening runs reproducible.
+    pub sample_seed: u64,
 }
 
 impl Default for HardenConfig {
@@ -48,7 +66,11 @@ impl Default for HardenConfig {
             campaign: CampaignConfig::default(),
             parallel: true,
             engine: CampaignEngine::default(),
-            incremental: false,
+            incremental: true,
+            fault_order: 1,
+            pair_window: None,
+            plan_budget: None,
+            sample_seed: 0,
         }
     }
 }
@@ -84,8 +106,13 @@ pub struct LoopOutcome {
     /// `true` when the final campaign found no *fixable* vulnerabilities
     /// left (the paper's "no more faults are present or can be fixed").
     pub fixed_point: bool,
-    /// Successful faults remaining against the final binary.
+    /// Successful plans remaining against the final binary, all orders.
     pub residual_vulnerabilities: usize,
+    /// Residual successful plans split by plan order: index `k` holds
+    /// the order-`k+1` count, up to [`HardenConfig::fault_order`]. An
+    /// order-2 run that drove the singles to zero but not the pairs
+    /// reports `[0, n]`.
+    pub residual_by_order: Vec<usize>,
     /// Campaign sessions built across the whole loop (including the
     /// final re-measurement ones).
     pub campaigns: usize,
@@ -210,15 +237,25 @@ impl FaulterPatcher {
     }
 
     /// Campaign settings with `parallel: false` honoured (a single
-    /// worker thread evaluates inline) and the engine choice passed
-    /// down, so naive-engine hardening loops skip snapshot recording and
-    /// its memory cost.
+    /// worker thread evaluates inline), the engine choice passed
+    /// down — so naive-engine hardening loops skip snapshot recording
+    /// and its memory cost — and the multi-fault plan space derived from
+    /// [`HardenConfig::fault_order`]/`pair_window`/`plan_budget`.
     fn campaign_config(&self) -> CampaignConfig {
         let mut config = self.config.campaign.clone();
         if !self.config.parallel {
             config.threads = 1;
         }
         config.engine = self.config.engine;
+        config.plan = rr_fault::PlanConfig {
+            order: self.config.fault_order.max(1),
+            policy: match self.config.pair_window {
+                Some(max_gap) => rr_fault::PairPolicy::WithinWindow { max_gap },
+                None => rr_fault::PairPolicy::Pairs,
+            },
+            budget: self.config.plan_budget,
+            seed: self.config.sample_seed,
+        };
         config
     }
 
@@ -375,8 +412,9 @@ impl FaulterPatcher {
         // Evaluate the final binary if we exited by progress stall or
         // iteration cap rather than a clean campaign, then keep the best
         // iterate overall.
-        let (hardened, residual) = if fixed_point {
-            (current, 0)
+        let order = self.config.fault_order.max(1);
+        let (hardened, residual, residual_by_order) = if fixed_point {
+            (current, 0, vec![0; order])
         } else {
             let report = self.campaign(&current, &mut seed, model)?;
             let final_sites = report.vulnerable_pcs().len();
@@ -385,12 +423,13 @@ impl FaulterPatcher {
             }
             let (hardened, sites) = best.expect("at least the final binary is a candidate");
             // The site count is distinct program points; residual counts
-            // individual successful faults at those points, so re-measure
-            // faults on the selected binary.
+            // individual successful plans at those points, so re-measure
+            // on the selected binary.
             let report = self.campaign(&hardened, &mut seed, model)?;
             fixed_point = sites == 0;
             let residual = report.vulnerabilities().len();
-            (hardened, residual)
+            let by_order = (1..=order).map(|k| report.successes_of_order(k)).collect();
+            (hardened, residual, by_order)
         };
 
         Ok(LoopOutcome {
@@ -399,6 +438,7 @@ impl FaulterPatcher {
             iterations,
             fixed_point,
             residual_vulnerabilities: residual,
+            residual_by_order,
             campaigns: seed.campaigns,
             golden_good_runs: seed.golden_good_runs,
             sites_reused: seed.reuse.sites_reused,

@@ -1048,7 +1048,7 @@ mod tests {
             vulns
                 .iter()
                 .map(|v| {
-                    let site = session.sites().iter().find(|s| s.step == v.fault.step).unwrap();
+                    let site = session.sites().iter().find(|s| s.step == v.fault().step).unwrap();
                     format!("{:#x} {}", site.pc, site.insn)
                 })
                 .collect::<Vec<_>>()

@@ -1,0 +1,153 @@
+//! Multi-fault hardening: double faults defeat order-1 protection, and
+//! the order-2 loop fixes what the order-1 loop cannot even see.
+//!
+//! This is the scenario the `FaultPlan` refactor exists for. The paper's
+//! patterns mitigate *single*-fault injection by redundancy — duplicate
+//! the instruction, re-check the comparison. A binary hardened that way
+//! measures clean under an order-1 campaign, yet the classic double
+//! fault (skip the check *and* its duplicated countermeasure) still
+//! walks through. An order-2 campaign must expose that residue, and an
+//! order-2 hardening loop must drive it to zero.
+
+use rr_fault::{
+    CampaignConfig, CampaignSession, Collect, FaultModel, InstructionSkip, PairPolicy, PlanConfig,
+};
+use rr_patch::{FaulterPatcher, HardenConfig};
+use rr_workloads::pincheck;
+
+/// The pair window for double-fault campaigns: wide enough to cover a
+/// protection pattern (a handful of straight-line instructions) so "skip
+/// the original + skip its duplicate" pairs are enumerated.
+const PAIR_WINDOW: u64 = 10;
+
+fn order2_config() -> CampaignConfig {
+    CampaignConfig {
+        plan: PlanConfig {
+            order: 2,
+            policy: PairPolicy::WithinWindow { max_gap: PAIR_WINDOW },
+            ..PlanConfig::default()
+        },
+        ..CampaignConfig::default()
+    }
+}
+
+fn campaign(exe: &rr_obj::Executable, config: CampaignConfig) -> rr_fault::CampaignReport {
+    let w = pincheck();
+    let session = CampaignSession::builder(exe.clone())
+        .good_input(&w.good_input[..])
+        .bad_input(&w.bad_input[..])
+        .config(config)
+        .build()
+        .expect("session sets up");
+    session.run(&[&InstructionSkip as &dyn FaultModel], Collect).pop().expect("one report")
+}
+
+#[test]
+fn double_faults_defeat_order_one_hardening_and_order_two_fixes_them() {
+    let w = pincheck();
+    let exe = w.build().unwrap();
+
+    // 1. Harden at order 1 (the paper's loop): fixed point, no residual
+    //    single-fault successes.
+    let order1 = FaulterPatcher::new(HardenConfig::default())
+        .harden(&exe, &w.good_input, &w.bad_input, &InstructionSkip)
+        .expect("order-1 hardening succeeds");
+    assert!(order1.fixed_point, "order-1 loop reaches its fixed point");
+    assert_eq!(order1.residual_vulnerabilities, 0);
+
+    // 2. The order-1-hardened binary measures clean under an order-1
+    //    campaign…
+    let singles = campaign(&order1.hardened, CampaignConfig::default());
+    assert_eq!(
+        singles.summary().success,
+        0,
+        "order-1 hardening left a single-fault success behind"
+    );
+
+    // 3. …but an order-2 campaign finds at least one double fault that
+    //    defeats the duplicated countermeasures.
+    let pairs = campaign(&order1.hardened, order2_config());
+    assert_eq!(pairs.successes_of_order(1), 0, "order-1 results ride along unchanged");
+    let order2_successes = pairs.successes_of_order(2);
+    assert!(
+        order2_successes > 0,
+        "a double fault must defeat naive duplication: {}",
+        pairs.summary()
+    );
+
+    // 4. The hardening loop at order 2 drives the order-≤2 successes to
+    //    zero.
+    let config = HardenConfig {
+        fault_order: 2,
+        pair_window: Some(PAIR_WINDOW),
+        max_iterations: 16,
+        ..HardenConfig::default()
+    };
+    let order2 = FaulterPatcher::new(config)
+        .harden(&exe, &w.good_input, &w.bad_input, &InstructionSkip)
+        .expect("order-2 hardening succeeds");
+    assert!(
+        order2.fixed_point,
+        "order-2 loop must reach a fixed point (residual {:?})",
+        order2.residual_by_order
+    );
+    assert_eq!(order2.residual_vulnerabilities, 0);
+    assert_eq!(order2.residual_by_order, vec![0, 0]);
+
+    // 5. And the order-2-hardened binary really is clean under a fresh
+    //    order-2 campaign.
+    let verify = campaign(&order2.hardened, order2_config());
+    assert_eq!(verify.summary().success, 0, "order-2 hardened binary still vulnerable");
+}
+
+#[test]
+fn per_order_residuals_report_what_each_order_leaves_behind() {
+    // Cap the order-2 loop at zero iterations: the final measurement
+    // campaign sees the unpatched binary, where both orders have
+    // successes — residual_by_order must report both, ascending.
+    let w = pincheck();
+    let exe = w.build().unwrap();
+    let config = HardenConfig {
+        fault_order: 2,
+        pair_window: Some(PAIR_WINDOW),
+        max_iterations: 0,
+        ..HardenConfig::default()
+    };
+    let outcome = FaulterPatcher::new(config)
+        .harden(&exe, &w.good_input, &w.bad_input, &InstructionSkip)
+        .unwrap();
+    assert!(!outcome.fixed_point);
+    assert_eq!(outcome.residual_by_order.len(), 2);
+    assert!(outcome.residual_by_order[0] > 0, "unpatched pincheck is single-fault vulnerable");
+    assert_eq!(
+        outcome.residual_vulnerabilities,
+        outcome.residual_by_order.iter().sum::<usize>(),
+        "the split accounts for every residual success"
+    );
+}
+
+#[test]
+fn incremental_order_two_hardening_matches_the_full_baseline() {
+    // The plan-keyed classification cache must leave multi-fault loop
+    // results bit-identical to full re-campaigning, with reuse.
+    let w = pincheck();
+    let exe = w.build().unwrap();
+    let config = |incremental| HardenConfig {
+        fault_order: 2,
+        pair_window: Some(PAIR_WINDOW),
+        max_iterations: 16,
+        incremental,
+        ..HardenConfig::default()
+    };
+    let full = FaulterPatcher::new(config(false))
+        .harden(&exe, &w.good_input, &w.bad_input, &InstructionSkip)
+        .unwrap();
+    let incremental = FaulterPatcher::new(config(true))
+        .harden(&exe, &w.good_input, &w.bad_input, &InstructionSkip)
+        .unwrap();
+    assert_eq!(full.iterations, incremental.iterations);
+    assert_eq!(full.hardened.to_bytes(), incremental.hardened.to_bytes());
+    assert_eq!(full.residual_by_order, incremental.residual_by_order);
+    assert_eq!(full.sites_reused, 0);
+    assert!(incremental.sites_reused > 0, "plan-keyed cache must reuse across the loop");
+}

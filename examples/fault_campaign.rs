@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let site = session
                 .sites()
                 .iter()
-                .find(|s| s.step == result.fault.step)
+                .find(|s| s.step == result.fault().step)
                 .expect("result maps to a site");
             *by_kind.entry(format!("{:?}", site.insn.kind())).or_default() += 1;
         }
