@@ -26,7 +26,8 @@ use rr_fault::{
     FaultModel, FaultSite, InstructionSkip,
 };
 use rr_obj::Executable;
-use std::time::Instant;
+use rr_telemetry::Telemetry;
+use std::time::{Duration, Instant};
 
 /// Instruction skips restricted to trace steps at or after `from_step` —
 /// the "attack the decision, not the warm-up" model.
@@ -103,6 +104,59 @@ fn run_one(session: &CampaignSession, model: &dyn FaultModel) -> CampaignReport 
     session.run(&[model], Collect).pop().expect("one report per model")
 }
 
+/// Telemetry overhead gate: with only the free atomic counters attached
+/// (no sink, no span clocks), the instrumented campaign hot path must
+/// cost ≤2% against a telemetry-free session on the same uniform
+/// campaign. One worker thread (inline evaluation) and interleaved
+/// min-of-N runs keep the comparison robust to scheduler noise. Returns
+/// the measured cost ratio and the campaign's plans/sec throughput.
+fn measure_telemetry_overhead(exe: &Executable, good: &[u8], bad: &[u8]) -> (f64, f64) {
+    let session_with = |telemetry: Telemetry| {
+        let config = CampaignConfig {
+            golden_max_steps: 10_000_000,
+            site_stride: 97,
+            threads: 1,
+            engine: CampaignEngine::Checkpointed,
+            ..CampaignConfig::default()
+        };
+        CampaignSession::builder(exe.clone())
+            .good_input(good)
+            .bad_input(bad)
+            .config(config)
+            .telemetry(telemetry)
+            .build()
+            .expect("session sets up")
+    };
+    let plain = session_with(Telemetry::disabled());
+    let counted = session_with(Telemetry::counters());
+
+    let mut best_plain = Duration::MAX;
+    let mut best_counted = Duration::MAX;
+    const ROUNDS: usize = 7;
+    for _ in 0..ROUNDS {
+        let start = Instant::now();
+        let _ = run_one(&plain, &InstructionSkip);
+        best_plain = best_plain.min(start.elapsed());
+        let start = Instant::now();
+        let _ = run_one(&counted, &InstructionSkip);
+        best_counted = best_counted.min(start.elapsed());
+    }
+    let overhead = best_counted.as_secs_f64() / best_plain.as_secs_f64().max(1e-9);
+
+    // Campaign throughput for the bench record, from the metrics
+    // snapshot delta around one more measured run.
+    let before = counted.metrics().expect("counters telemetry is enabled");
+    let _ = run_one(&counted, &InstructionSkip);
+    let after = counted.metrics().expect("counters telemetry is enabled");
+    let plans_per_sec = after.delta_since(&before).plans_per_sec();
+
+    println!(
+        "engine/telemetry-overhead: plain {best_plain:?}, counted {best_counted:?} — \
+         ratio {overhead:.3}×, {plans_per_sec:.0} plans/s",
+    );
+    (overhead, plans_per_sec)
+}
+
 fn bench_engines(c: &mut Criterion) {
     let (exe, good, bad) = long_trace_workload();
     let probe = fresh_session(&exe, &good, &bad, 1, CampaignEngine::Checkpointed);
@@ -169,6 +223,8 @@ fn bench_engines(c: &mut Criterion) {
         checkpointed_time,
     );
     const GATE: f64 = 5.0;
+    const OVERHEAD_GATE: f64 = 1.02;
+    let (overhead, plans_per_sec) = measure_telemetry_overhead(&exe, &good, &bad);
     rr_bench::write_bench_json(
         "engine",
         &[
@@ -177,11 +233,18 @@ fn bench_engines(c: &mut Criterion) {
             ("passed", (speedup >= GATE).into()),
             ("trace_steps", (trace_len as f64).into()),
             ("faults", (naive_report.results.len() as f64).into()),
+            ("plans_per_sec", plans_per_sec.round().into()),
+            ("telemetry_overhead", ((overhead * 1000.0).round() / 1000.0).into()),
         ],
-    );
+    )
+    .expect("bench record writes");
     assert!(
         speedup >= GATE,
         "checkpointed engine must be ≥{GATE}× faster on the tail campaign, got {speedup:.1}×"
+    );
+    assert!(
+        overhead <= OVERHEAD_GATE,
+        "sink-free telemetry must cost ≤2% on the campaign hot path, got {overhead:.3}×"
     );
 }
 

@@ -19,6 +19,7 @@
 use rr_fault::{CampaignConfig, InstructionSkip, ReuseStats};
 use rr_obj::Executable;
 use rr_patch::{FaulterPatcher, HardenConfig, LoopOutcome};
+use rr_telemetry::Telemetry;
 use std::time::{Duration, Instant};
 
 /// A pincheck with a long checksum prologue (≥4k executed instructions)
@@ -67,6 +68,10 @@ fn config(incremental: bool) -> HardenConfig {
             // trace keeps the O(T²) full campaigns bounded for CI.
             ..CampaignConfig::default()
         },
+        // Counters-only telemetry on both sides (same ≤2%-gated
+        // instrumentation in each timed run); the bench record's
+        // plans/sec comes from the incremental run's metrics snapshot.
+        telemetry: Telemetry::counters(),
         ..HardenConfig::default()
     }
 }
@@ -113,6 +118,8 @@ fn main() {
     println!("reuse: {reuse}");
 
     const GATE: f64 = 2.0;
+    let plans_per_sec =
+        incremental.metrics.as_ref().map(rr_telemetry::MetricsSnapshot::plans_per_sec);
     rr_bench::write_bench_json(
         "incremental",
         &[
@@ -121,8 +128,10 @@ fn main() {
             ("passed", (speedup >= GATE).into()),
             ("reuse_percent", ((reuse.reuse_percent() * 10.0).round() / 10.0).into()),
             ("campaigns", (full.campaigns as f64).into()),
+            ("plans_per_sec", plans_per_sec.expect("telemetry attached").round().into()),
         ],
-    );
+    )
+    .expect("bench record writes");
     assert!(
         speedup >= GATE,
         "incremental re-campaigning must be ≥{GATE}× faster on a multi-iteration \

@@ -17,7 +17,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rr_engine::{ReplayConfig, ReplayEngine};
+use rr_fault::{CampaignConfig, CampaignSession, Collect, CrashTriageOracle, InstructionSkip};
 use rr_obj::Executable;
+use rr_telemetry::Telemetry;
 
 /// ≥10k-step loop dirtying the top of the stack every iteration.
 fn stack_churn_workload() -> Executable {
@@ -38,6 +40,30 @@ fn stack_churn_workload() -> Executable {
              svc 0\n",
     )
     .expect("stack churn workload builds")
+}
+
+/// Campaign throughput on the same workload, for the bench record: a
+/// crash-triage probe campaign (needs no golden-good input) over strided
+/// skip faults, with the plans/sec rate read from the telemetry
+/// snapshot delta around the run.
+fn probe_plans_per_sec(exe: &Executable) -> f64 {
+    let telemetry = Telemetry::counters();
+    let config = CampaignConfig {
+        golden_max_steps: 10_000_000,
+        site_stride: 97,
+        ..CampaignConfig::default()
+    };
+    let session = CampaignSession::builder(exe.clone())
+        .bad_input(&[][..])
+        .oracle(CrashTriageOracle)
+        .config(config)
+        .telemetry(telemetry.clone())
+        .build()
+        .expect("probe session sets up");
+    let before = telemetry.metrics().expect("counters telemetry is enabled");
+    let _ = session.run(&[&InstructionSkip], Collect);
+    let after = telemetry.metrics().expect("counters telemetry is enabled");
+    after.delta_since(&before).plans_per_sec()
 }
 
 fn bench_memory(c: &mut Criterion) {
@@ -83,6 +109,7 @@ fn bench_memory(c: &mut Criterion) {
     );
     let reduction = footprint.region_cow_bytes as f64 / footprint.retained_bytes as f64;
     const GATE: f64 = 10.0;
+    let plans_per_sec = probe_plans_per_sec(&exe);
     rr_bench::write_bench_json(
         "memory",
         &[
@@ -91,8 +118,10 @@ fn bench_memory(c: &mut Criterion) {
             ("passed", (reduction >= GATE).into()),
             ("retained_bytes", (footprint.retained_bytes as f64).into()),
             ("region_cow_bytes", (footprint.region_cow_bytes as f64).into()),
+            ("plans_per_sec", plans_per_sec.round().into()),
         ],
-    );
+    )
+    .expect("bench record writes");
     assert!(
         footprint.region_cow_bytes >= 10 * footprint.retained_bytes,
         "paged COW must retain ≥10× less than the region-COW baseline, got {} vs {}",

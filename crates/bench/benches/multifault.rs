@@ -22,6 +22,7 @@ use rr_fault::{
     FaultSite, PairPolicy, PlanConfig,
 };
 use rr_obj::Executable;
+use rr_telemetry::Telemetry;
 use std::time::{Duration, Instant};
 
 /// Instruction skips restricted to trace steps at or after `from_step` —
@@ -74,7 +75,13 @@ fn long_trace_workload() -> (Executable, Vec<u8>, Vec<u8>) {
     (exe, b"G".to_vec(), b"B".to_vec())
 }
 
-fn order2_session(exe: &Executable, good: &[u8], bad: &[u8], bucketing: bool) -> CampaignSession {
+fn order2_session(
+    exe: &Executable,
+    good: &[u8],
+    bad: &[u8],
+    bucketing: bool,
+    telemetry: Telemetry,
+) -> CampaignSession {
     let config = CampaignConfig {
         golden_max_steps: 10_000_000,
         // One worker: the gate measures scheduling quality, not core
@@ -96,6 +103,7 @@ fn order2_session(exe: &Executable, good: &[u8], bad: &[u8], bucketing: bool) ->
         .good_input(good)
         .bad_input(bad)
         .config(config)
+        .telemetry(telemetry)
         .build()
         .expect("session sets up")
 }
@@ -108,7 +116,7 @@ fn run_campaign(session: &CampaignSession, model: &dyn FaultModel) -> (CampaignR
 
 fn main() {
     let (exe, good, bad) = long_trace_workload();
-    let probe = order2_session(&exe, &good, &bad, true);
+    let probe = order2_session(&exe, &good, &bad, true, Telemetry::disabled());
     let trace_len = probe.golden_bad().steps;
     assert!(trace_len >= 4_000, "trace must be ≥4k steps, got {trace_len}");
     // Aim the double faults at the decision window at the end of the
@@ -119,10 +127,16 @@ fn main() {
     // Warm-up (page in code paths), then measure each scheduler on its
     // own session.
     let _ = run_campaign(&probe, &tail);
-    let per_plan_session = order2_session(&exe, &good, &bad, false);
+    let per_plan_session = order2_session(&exe, &good, &bad, false, Telemetry::disabled());
     let (per_plan_report, per_plan_time) = run_campaign(&per_plan_session, &tail);
-    let bucketed_session = order2_session(&exe, &good, &bad, true);
+    // Counters-only telemetry on the bucketed side (its cost is gated at
+    // ≤2% by the engine bench) sources the record's plans/sec rate.
+    let telemetry = Telemetry::counters();
+    let bucketed_session = order2_session(&exe, &good, &bad, true, telemetry.clone());
+    let metrics_before = telemetry.metrics().expect("counters telemetry is enabled");
     let (bucketed_report, bucketed_time) = run_campaign(&bucketed_session, &tail);
+    let metrics_after = telemetry.metrics().expect("counters telemetry is enabled");
+    let plans_per_sec = metrics_after.delta_since(&metrics_before).plans_per_sec();
 
     // Correctness first: scheduling must be invisible in the results.
     assert_eq!(
@@ -148,8 +162,10 @@ fn main() {
             ("plans", BenchValue::Num(plans as f64)),
             ("pairs", BenchValue::Num(pairs as f64)),
             ("trace_steps", BenchValue::Num(trace_len as f64)),
+            ("plans_per_sec", BenchValue::Num(plans_per_sec.round())),
         ],
-    );
+    )
+    .expect("bench record writes");
     assert!(
         speedup >= GATE,
         "checkpoint-neighbourhood bucketing must be ≥{GATE}× faster than per-plan \

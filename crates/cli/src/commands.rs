@@ -8,8 +8,10 @@ use rr_fault::{
     PlanConfig, ShardPolicy, SingleBitFlip, Stream,
 };
 use rr_obj::Executable;
+use rr_telemetry::{Counter, JsonlRecorder, ProgressRecorder, Recorder, Telemetry};
 use std::fmt::Write as _;
 use std::fs;
+use std::sync::Arc;
 
 fn load_exe(path: &str) -> Result<Executable, String> {
     let bytes = fs::read(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
@@ -114,6 +116,63 @@ pub fn disasm(raw: &[String]) -> Result<String, String> {
     Ok(disasm.listing.to_source())
 }
 
+/// Observability wiring shared by `rr fault` and `rr harden`:
+/// `--trace-out FILE` streams one schema-versioned JSONL event per
+/// closed span, `--progress` paints a live progress line on stderr, and
+/// `--metrics FILE` writes the final metrics snapshot as JSON. Any of
+/// the three attaches a timed [`Telemetry`] handle to the campaign;
+/// without them the campaign runs on the zero-cost disabled handle.
+/// `--quiet` suppresses the report body (telemetry files still get
+/// written).
+struct TelemetryArgs {
+    telemetry: Telemetry,
+    metrics_path: Option<String>,
+    quiet: bool,
+}
+
+fn telemetry_from(args: &Args) -> Result<TelemetryArgs, String> {
+    let metrics_path = args.value("metrics").map(str::to_owned);
+    let mut sinks: Vec<Arc<dyn Recorder>> = Vec::new();
+    if let Some(path) = args.value("trace-out") {
+        let recorder = JsonlRecorder::create(path)
+            .map_err(|e| format!("cannot create trace file `{path}`: {e}"))?;
+        sinks.push(Arc::new(recorder));
+    }
+    if args.flag("progress") {
+        sinks.push(Arc::new(ProgressRecorder::stderr()));
+    }
+    let telemetry = if !sinks.is_empty() {
+        Telemetry::with_sinks(sinks)
+    } else if metrics_path.is_some() {
+        Telemetry::timed()
+    } else {
+        Telemetry::disabled()
+    };
+    Ok(TelemetryArgs { telemetry, metrics_path, quiet: args.flag("quiet") })
+}
+
+impl TelemetryArgs {
+    /// Flushes sinks, writes the `--metrics` snapshot, and strips the
+    /// report body under `--quiet`. Every `fault`/`harden` exit path
+    /// funnels its output through here.
+    fn finish(&self, out: String) -> Result<String, String> {
+        self.telemetry.flush();
+        if let Some(path) = &self.metrics_path {
+            let snapshot = self.telemetry.metrics().expect("--metrics attaches telemetry");
+            fs::write(path, snapshot.to_json())
+                .map_err(|e| format!("cannot write metrics file `{path}`: {e}"))?;
+        }
+        Ok(if self.quiet { String::new() } else { out })
+    }
+}
+
+/// Parses `--threads N` (0 = all available cores, the default).
+fn threads_from(args: &Args) -> Result<Option<usize>, String> {
+    args.value("threads")
+        .map(|n| n.parse().map_err(|_| format!("invalid --threads `{n}`")))
+        .transpose()
+}
+
 /// Parses the multi-fault plan flags shared by `rr fault` and
 /// `rr harden`: `--order N` (default 1), `--pair-window N` (step window
 /// for consecutive injections; unbounded pairing without it),
@@ -180,6 +239,9 @@ pub fn fault(raw: &[String]) -> Result<String, String> {
             "pair-window",
             "plan-budget",
             "seed",
+            "threads",
+            "trace-out",
+            "metrics",
         ],
     )?;
     let exe = load_exe(args.positional(0, "program")?)?;
@@ -188,10 +250,17 @@ pub fn fault(raw: &[String]) -> Result<String, String> {
     let engine: CampaignEngine = args.value("engine").unwrap_or("checkpoint").parse()?;
     let shard: ShardPolicy = args.value("shard").unwrap_or("contiguous").parse()?;
     let plan = plan_config_from(&args)?;
+    let tel = telemetry_from(&args)?;
     // The engine choice is fixed at construction: naive sessions skip
     // snapshot recording entirely.
-    let config = CampaignConfig { engine, shard, plan, ..CampaignConfig::default() };
-    let builder = CampaignSession::builder(exe).bad_input(bad).config(config);
+    let mut config = CampaignConfig { engine, shard, plan, ..CampaignConfig::default() };
+    if let Some(threads) = threads_from(&args)? {
+        config.threads = threads;
+    }
+    let builder = CampaignSession::builder(exe)
+        .bad_input(bad)
+        .config(config)
+        .telemetry(tel.telemetry.clone());
     let builder = apply_oracle(builder, args.value("oracle").unwrap_or("golden"), &args)?;
     let session = builder.build().map_err(|e| e.to_string())?;
     let refs: Vec<&dyn FaultModel> = models.iter().map(Box::as_ref).collect();
@@ -205,7 +274,7 @@ pub fn fault(raw: &[String]) -> Result<String, String> {
                 writeln!(out, "model `{}` (engine {engine}, streaming): {}", ms.model, ms.summary);
         }
         let _ = writeln!(out, "memory: {}", session.replay_footprint());
-        return Ok(out);
+        return tel.finish(out);
     }
     for (index, report) in session.run(&refs, Collect).iter().enumerate() {
         let _ = writeln!(out, "model `{}` (engine {engine}): {}", report.model, report.summary());
@@ -229,7 +298,7 @@ pub fn fault(raw: &[String]) -> Result<String, String> {
             }
         }
     }
-    Ok(out)
+    tel.finish(out)
 }
 
 /// `rr harden <prog.rfx> --good BYTES --bad BYTES [--model ...] [-o out]
@@ -258,6 +327,9 @@ pub fn harden(raw: &[String]) -> Result<String, String> {
             "pair-window",
             "plan-budget",
             "seed",
+            "threads",
+            "trace-out",
+            "metrics",
         ],
     )?;
     let path = args.positional(0, "program")?;
@@ -265,7 +337,14 @@ pub fn harden(raw: &[String]) -> Result<String, String> {
     let good = args.required("good")?.as_bytes().to_vec();
     let bad = args.required("bad")?.as_bytes().to_vec();
     let model = model_by_name(args.value("model").unwrap_or("skip"))?;
-    let mut config = rr_patch::HardenConfig::default();
+    let tel = telemetry_from(&args)?;
+    let mut config = rr_patch::HardenConfig {
+        telemetry: tel.telemetry.clone(),
+        ..rr_patch::HardenConfig::default()
+    };
+    if let Some(threads) = threads_from(&args)? {
+        config.campaign.threads = threads;
+    }
     if let Some(n) = args.value("max-iterations") {
         config.max_iterations = n.parse().map_err(|_| format!("invalid --max-iterations `{n}`"))?;
     }
@@ -298,6 +377,18 @@ pub fn harden(raw: &[String]) -> Result<String, String> {
             it.stats.skipped.len()
         );
     }
+    // One line per faulter campaign, from the per-iteration metrics
+    // deltas — only when a telemetry flag attached a handle, so the
+    // default report stays unchanged.
+    for (k, m) in outcome.iteration_metrics.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "telemetry {k}: {} plans, {:.0} plans/s, reuse {:.1}%",
+            m.counter(Counter::PlansExecuted),
+            m.plans_per_sec(),
+            m.reuse_percent()
+        );
+    }
     let _ = writeln!(
         out,
         "fixed point: {}; residual successful faults: {}; overhead {:+.2}%",
@@ -324,7 +415,7 @@ pub fn harden(raw: &[String]) -> Result<String, String> {
     let out_path = args.value("o").map(str::to_owned).unwrap_or_else(|| format!("{path}.hardened"));
     save_exe(&outcome.hardened, &out_path)?;
     let _ = writeln!(out, "wrote `{out_path}`");
-    Ok(out)
+    tel.finish(out)
 }
 
 /// `rr hybrid <prog.rfx> [-o out] [--good BYTES --bad BYTES [--model ...]]`

@@ -69,12 +69,14 @@ pub fn usage() -> &'static str {
      \x20   rr disasm <prog.rfx> [--policy naive|refined]\n\
      \x20   rr fault <prog.rfx> --bad BYTES [--good BYTES]\n\
      \x20            [--model skip|bitflip|flagflip[,…]] [--engine naive|checkpoint]\n\
-     \x20            [--shard contiguous|interleaved]\n\
+     \x20            [--shard contiguous|interleaved] [--threads N]\n\
      \x20            [--oracle golden|crash|prefix:TEXT] [--streaming]\n\
      \x20            [--order N] [--pair-window N] [--plan-budget N] [--seed N]\n\
+     \x20            [--trace-out FILE] [--metrics FILE] [--progress] [--quiet]\n\
      \x20   rr harden <prog.rfx> --good BYTES --bad BYTES [--model ...] [-o out.rfx]\n\
-     \x20            [--engine naive|checkpoint] [--no-incremental]\n\
+     \x20            [--engine naive|checkpoint] [--no-incremental] [--threads N]\n\
      \x20            [--order N] [--pair-window N] [--plan-budget N] [--seed N]\n\
+     \x20            [--trace-out FILE] [--metrics FILE] [--progress] [--quiet]\n\
      \x20   rr hybrid <prog.rfx> [-o out.rfx] [--good BYTES --bad BYTES [--model ...]]\n\
      \x20   rr workload <pincheck|bootloader|otp|access> [-o out.rfx] [--emit-asm]\n\
      \n\
@@ -92,7 +94,12 @@ pub fn usage() -> &'static str {
      each patch's listing delta carries prior classifications for\n\
      untouched sites (bit-identical results; the reuse: line shows the\n\
      work saved). --no-incremental restores the full re-campaign\n\
-     baseline.\n"
+     baseline. Observability: --trace-out streams one JSON event per\n\
+     span to FILE (one object per line, schema rr-trace-v1), --metrics\n\
+     writes the final counters/timings snapshot as JSON (rr-metrics-v1),\n\
+     --progress paints a live plans/throughput/ETA line on stderr, and\n\
+     --quiet suppresses the report body; harden additionally prints one\n\
+     telemetry line per faulter iteration when any of those is active.\n"
 }
 
 /// Minimal option parser: positional arguments plus `--key value` /

@@ -1,0 +1,182 @@
+//! Property-based equivalence for the paged memory's *accounting*:
+//! [`rr_emu::MemoryStats`] residency and `dirtied_since` page counts
+//! must match a flat reference model of page identities under arbitrary
+//! interleavings of pokes, snapshots, and restores.
+//!
+//! The reference tracks each stack page as `Zero` or `Data(id)`, minting
+//! a fresh id exactly when the real memory materializes or copies a
+//! page: on the first non-absorbed write to a zero page, and on any
+//! write to a page whose backing is still shared with a live snapshot.
+//! Any divergence in `resident_pages` / `zero_pages` or in a
+//! per-snapshot dirty-page count is a bug in the copy-on-write sharing,
+//! the zero-write absorption, or the straddle mirrors (a write into the
+//! first [`STRADDLE_TAIL`] bytes of a page also rewrites the
+//! predecessor's mirror tail, which must dirty the predecessor too).
+//! This accounting is what the engine's checkpoint byte budget and the
+//! telemetry `retained_snapshot_bytes` gauge are built on.
+
+use proptest::prelude::*;
+use rr_emu::{Machine, Snapshot, PAGE_SIZE, STRADDLE_TAIL};
+use rr_isa::{STACK_SIZE, STACK_TOP};
+use rr_obj::{Executable, SectionKind, Segment, SegmentPerms};
+
+const STACK_BASE: u64 = STACK_TOP - STACK_SIZE;
+const STACK_PAGES: usize = STACK_SIZE as usize / PAGE_SIZE;
+
+/// A minimal executable: one nonzero text page plus the standard stack
+/// (every poke in the property lands in the stack).
+fn tiny_exe() -> Executable {
+    Executable {
+        segments: vec![Segment {
+            addr: 0x1000,
+            data: vec![0x01, 0x02, 0x03, 0x04],
+            mem_size: PAGE_SIZE as u64,
+            perms: SegmentPerms::RX,
+            section: SectionKind::Text,
+        }],
+        entry: 0x1000,
+        symbols: vec![],
+    }
+}
+
+/// A stack page in the reference model: on the shared zero path, or
+/// materialized with an identity standing in for the real `Arc` backing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PageId {
+    Zero,
+    Data(u64),
+}
+
+/// The flat reference: page identities for the machine's stack, plus
+/// the identities each live snapshot pinned.
+struct RefModel {
+    pages: Vec<PageId>,
+    snaps: Vec<Vec<PageId>>,
+    next_id: u64,
+}
+
+impl RefModel {
+    fn new() -> RefModel {
+        RefModel { pages: vec![PageId::Zero; STACK_PAGES], snaps: Vec::new(), next_id: 0 }
+    }
+
+    /// Whether a live snapshot still references this identity (the model
+    /// of `Arc` strong count > 1, which is what makes `Arc::make_mut`
+    /// copy).
+    fn shared(&self, id: u64) -> bool {
+        self.snaps.iter().any(|s| s.contains(&PageId::Data(id)))
+    }
+
+    /// One page receiving one write chunk, mirroring `Region::write`:
+    /// all-zero chunks are absorbed by zero pages; any other write
+    /// materializes a zero page or copies a snapshot-shared one (fresh
+    /// identity) and mutates an unshared page in place (same identity).
+    fn touch(&mut self, p: usize, chunk_zero: bool) {
+        match self.pages[p] {
+            PageId::Zero if chunk_zero => {}
+            PageId::Zero => {
+                self.pages[p] = PageId::Data(self.next_id);
+                self.next_id += 1;
+            }
+            PageId::Data(id) if self.shared(id) => {
+                self.pages[p] = PageId::Data(self.next_id);
+                self.next_id += 1;
+            }
+            PageId::Data(_) => {}
+        }
+    }
+
+    /// A poke at stack offset `offset`, split per page exactly like the
+    /// real write path: body chunks first, then the straddle-mirror
+    /// refreshes of each predecessor page the write's head bytes touch.
+    fn poke(&mut self, offset: usize, data: &[u8]) {
+        if data.is_empty() {
+            return;
+        }
+        let end = offset + data.len();
+        let first = offset / PAGE_SIZE;
+        let last = (end - 1) / PAGE_SIZE;
+        for p in first..=last {
+            let base = p * PAGE_SIZE;
+            let lo = offset.max(base);
+            let hi = end.min(base + PAGE_SIZE);
+            let zero = data[lo - offset..hi - offset].iter().all(|&b| b == 0);
+            self.touch(p, zero);
+        }
+        for p in first.max(1)..=last {
+            let base = p * PAGE_SIZE;
+            let lo = offset.max(base);
+            let hi = end.min(base + STRADDLE_TAIL);
+            if lo < hi {
+                let zero = data[lo - offset..hi - offset].iter().all(|&b| b == 0);
+                self.touch(p - 1, zero);
+            }
+        }
+    }
+
+    fn resident(&self) -> u64 {
+        self.pages.iter().filter(|p| !matches!(p, PageId::Zero)).count() as u64
+    }
+
+    fn dirty_since(&self, snap: &[PageId]) -> u64 {
+        self.pages.iter().zip(snap).filter(|(a, b)| a != b).count() as u64
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn page_accounting_matches_flat_reference(
+        ops in prop::collection::vec(
+            (
+                0u8..8,                       // op kind: 0-4 poke, 5-6 snapshot, 7 restore
+                prop_oneof![0usize..6, 0usize..STACK_PAGES], // page (biased to collide)
+                0usize..PAGE_SIZE,            // offset within the page
+                1usize..16,                   // poke length (may cross a page boundary)
+                0u8..4,                       // fill byte; 0 probes zero-write absorption
+            ),
+            1..120,
+        )
+    ) {
+        let exe = tiny_exe();
+        let mut machine = Machine::new(&exe, b"");
+        let base_resident = machine.memory().stats().resident_pages;
+        let total_pages = machine.memory().stats().total_pages;
+        let mut snaps: Vec<Snapshot> = Vec::new();
+        let mut model = RefModel::new();
+
+        for (kind, page, offset, len, byte) in ops {
+            match kind {
+                0..=4 => {
+                    let at = (page * PAGE_SIZE + offset).min(STACK_SIZE as usize - len);
+                    let data = vec![byte; len];
+                    prop_assert!(machine.poke_bytes(STACK_BASE + at as u64, &data));
+                    model.poke(at, &data);
+                }
+                5 | 6 => {
+                    snaps.push(machine.snapshot());
+                    model.snaps.push(model.pages.clone());
+                }
+                _ => {
+                    if !snaps.is_empty() {
+                        let i = offset % snaps.len();
+                        machine.restore(&snaps[i]);
+                        model.pages = model.snaps[i].clone();
+                    }
+                }
+            }
+
+            // Residency must match the model after every operation...
+            let stats = machine.memory().stats();
+            prop_assert_eq!(stats.resident_pages, base_resident + model.resident());
+            prop_assert_eq!(stats.zero_pages, total_pages - stats.resident_pages);
+            prop_assert_eq!(stats.resident_bytes, stats.resident_pages * PAGE_SIZE as u64);
+            // ...and so must the dirty-page count against every live
+            // snapshot (only stack pages can ever diverge here).
+            for (snap, pages) in snaps.iter().zip(&model.snaps) {
+                prop_assert_eq!(machine.dirtied_since(snap).pages, model.dirty_since(pages));
+            }
+        }
+    }
+}

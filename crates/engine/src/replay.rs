@@ -3,6 +3,7 @@
 
 use rr_emu::{Execution, Machine, MemoryDelta, Snapshot};
 use rr_obj::Executable;
+use rr_telemetry::{Counter, Gauge, SpanKind, Telemetry};
 use std::fmt;
 
 /// Tunables for [`ReplayEngine::record`].
@@ -33,6 +34,11 @@ pub struct ReplayConfig {
     /// degrades to replay-from-0. The engine hint for consumers that
     /// will only ever replay naively and shouldn't pay for snapshots.
     pub record_snapshots: bool,
+    /// Telemetry handle the recording and every replay report through
+    /// (`record`/`snapshot`/`restore` spans, checkpoint-restore counts,
+    /// retained-byte gauges). The default handle is disabled and costs a
+    /// pointer check per event.
+    pub telemetry: Telemetry,
 }
 
 impl Default for ReplayConfig {
@@ -43,6 +49,7 @@ impl Default for ReplayConfig {
             max_checkpoints: 1024,
             max_retained_bytes: 256 << 20,
             record_snapshots: true,
+            telemetry: Telemetry::default(),
         }
     }
 }
@@ -150,6 +157,7 @@ pub struct ReplayEngine {
     /// Whether periodic snapshots were captured (engine hint; `false`
     /// means only the initial state exists and replay is from step 0).
     snapshots: bool,
+    telemetry: Telemetry,
 }
 
 impl ReplayEngine {
@@ -171,6 +179,7 @@ impl ReplayEngine {
     /// widens (thinning recorded checkpoints) whenever the running total
     /// would exceed the byte budget.
     pub fn record(exe: &Executable, input: &[u8], config: &ReplayConfig) -> ReplayEngine {
+        let record_span = config.telemetry.span(SpanKind::Record);
         let fixed = config.checkpoint_interval > 0;
         let mut interval = if fixed { config.checkpoint_interval } else { 1 };
         let count_cap =
@@ -188,9 +197,11 @@ impl ReplayEngine {
         let result = machine.run_with(config.max_steps, |m| {
             let step = trace.len() as u64;
             if config.record_snapshots && step > 0 && step.is_multiple_of(interval) {
+                let capture_span = config.telemetry.span(SpanKind::Snapshot);
                 let snapshot = m.snapshot();
                 let delta =
                     snapshot.dirtied_since(&checkpoints.last().expect("initial state").snapshot);
+                drop(capture_span);
                 retained_bytes += delta.bytes;
                 checkpoints.push(Checkpoint { step, snapshot, delta });
                 // Adaptive mode chases count ≈ interval (≈ √T); a pinned
@@ -215,7 +226,17 @@ impl ReplayEngine {
             output: machine.take_output(),
             steps: result.steps,
         };
-        ReplayEngine { checkpoints, trace, execution, interval, snapshots: config.record_snapshots }
+        drop(record_span);
+        let engine = ReplayEngine {
+            checkpoints,
+            trace,
+            execution,
+            interval,
+            snapshots: config.record_snapshots,
+            telemetry: config.telemetry.clone(),
+        };
+        engine.publish_footprint();
+        engine
     }
 
     /// Region-scoped recording: like [`ReplayEngine::record`], but state
@@ -242,6 +263,7 @@ impl ReplayEngine {
         config: &ReplayConfig,
         window: std::ops::Range<u64>,
     ) -> ReplayEngine {
+        let record_span = config.telemetry.span(SpanKind::Record);
         let mut interval = if config.checkpoint_interval > 0 {
             config.checkpoint_interval
         } else {
@@ -268,9 +290,11 @@ impl ReplayEngine {
                 && (aligned_start..=window.end).contains(&step)
                 && (step - aligned_start).is_multiple_of(interval);
             if capture {
+                let capture_span = config.telemetry.span(SpanKind::Snapshot);
                 let snapshot = m.snapshot();
                 let delta =
                     snapshot.dirtied_since(&checkpoints.last().expect("initial state").snapshot);
+                drop(capture_span);
                 retained_bytes += delta.bytes;
                 checkpoints.push(Checkpoint { step, snapshot, delta });
                 // The window bounds the checkpoint count by construction;
@@ -296,7 +320,31 @@ impl ReplayEngine {
             output: machine.take_output(),
             steps: result.steps,
         };
-        ReplayEngine { checkpoints, trace, execution, interval, snapshots: config.record_snapshots }
+        drop(record_span);
+        let engine = ReplayEngine {
+            checkpoints,
+            trace,
+            execution,
+            interval,
+            snapshots: config.record_snapshots,
+            telemetry: config.telemetry.clone(),
+        };
+        engine.publish_footprint();
+        engine
+    }
+
+    /// Publishes the retained-state gauges (checkpoint count and
+    /// retained snapshot bytes, base included) after a recording.
+    fn publish_footprint(&self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let footprint = self.footprint();
+        self.telemetry.gauge(
+            Gauge::RetainedSnapshotBytes,
+            footprint.base_resident_bytes + footprint.retained_bytes,
+        );
+        self.telemetry.gauge(Gauge::Checkpoints, footprint.checkpoints as u64);
     }
 
     /// Whether periodic snapshots were recorded
@@ -385,6 +433,8 @@ impl ReplayEngine {
                 trace_len: self.trace.len() as u64,
             });
         }
+        let _restore_span = self.telemetry.span(SpanKind::Restore);
+        self.telemetry.count(Counter::CheckpointRestores, 1);
         let index = self.checkpoints.partition_point(|c| c.step <= step) - 1;
         let checkpoint = &self.checkpoints[index];
         let mut machine = Machine::from_snapshot(&checkpoint.snapshot);

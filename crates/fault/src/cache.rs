@@ -43,6 +43,7 @@
 use crate::report::CampaignReport;
 use crate::site::{FaultClass, FaultEffect, FaultPlan};
 use rr_disasm::ListingDelta;
+use rr_telemetry::{Counter, Telemetry};
 use std::collections::HashMap;
 use std::fmt;
 use std::ops::Range;
@@ -197,20 +198,28 @@ impl SeedPlan {
 
 /// Aligns the seed's trace with `new_trace` through `delta` and builds
 /// the reuse plan. `new_fingerprint` is the new session's oracle
-/// fingerprint; `new_budget` its faulted-run step budget.
+/// fingerprint; `new_budget` its faulted-run step budget. Per-guard
+/// invalidation reasons are reported through `telemetry`
+/// ([`Counter::InvalidatedFingerprint`], [`Counter::InvalidatedBudget`],
+/// [`Counter::InvalidatedLayout`], [`Counter::InvalidatedDirty`] — one
+/// count per seed result dropped).
 pub(crate) fn plan(
     seed: &CampaignSeed,
     delta: &ListingDelta,
     new_trace: &[u64],
     new_fingerprint: Option<u64>,
     new_budget: u64,
+    telemetry: &Telemetry,
 ) -> SeedPlan {
     let trace_len = new_trace.len() as u64;
+    let seed_results = || seed.reports.iter().map(|r| r.results.len() as u64).sum::<u64>();
     // A changed (or absent) oracle judgment invalidates everything.
     let (Some(old_print), Some(new_print)) = (seed.oracle_fingerprint, new_fingerprint) else {
+        telemetry.count(Counter::InvalidatedFingerprint, seed_results());
         return SeedPlan::full(trace_len);
     };
     if old_print != new_print {
+        telemetry.count(Counter::InvalidatedFingerprint, seed_results());
         return SeedPlan::full(trace_len);
     }
 
@@ -302,6 +311,7 @@ pub(crate) fn plan(
                 // Some injection fell on dirty or vanished code; its new
                 // step (if any) is already inside the snapshot window via
                 // the per-step pass above.
+                telemetry.count(Counter::InvalidatedDirty, 1);
                 continue;
             };
             let effects_reusable = result.plan.iter().all(|fault| match fault.effect {
@@ -323,6 +333,14 @@ pub(crate) fn plan(
             let cacheable =
                 effects_reusable && !(budget_changed && result.class == FaultClass::TimedOut);
             if !cacheable {
+                telemetry.count(
+                    if effects_reusable {
+                        Counter::InvalidatedBudget
+                    } else {
+                        Counter::InvalidatedLayout
+                    },
+                    1,
+                );
                 // Re-run this plan: it restores at its earliest remapped
                 // injection, so that region needs snapshots.
                 let earliest = remapped[0].0;
@@ -368,7 +386,8 @@ mod tests {
             .map(|(step, &pc)| FaultResult::single(skip_at(step as u64, pc), FaultClass::Benign))
             .collect();
         let seed = seed_with(trace.clone(), results);
-        let plan = plan(&seed, &ListingDelta::identity(), &trace, Some(7), 10_000);
+        let plan =
+            plan(&seed, &ListingDelta::identity(), &trace, Some(7), 10_000, &Telemetry::default());
         assert_eq!(plan.cache.len(), 200);
         assert_eq!(plan.snapshot_window, None);
         assert_eq!(
@@ -387,7 +406,8 @@ mod tests {
             FaultResult::single(skip_at(10, trace[10]), FaultClass::Benign),
         ];
         let seed = seed_with(trace.clone(), results);
-        let plan = plan(&seed, &ListingDelta::identity(), &trace, Some(7), 10_000);
+        let plan =
+            plan(&seed, &ListingDelta::identity(), &trace, Some(7), 10_000, &Telemetry::default());
         assert_eq!(plan.cache.len(), 2);
         assert_eq!(plan.snapshot_window, None);
         // The pair answers as a pair; its singleton prefix answers as a
@@ -413,7 +433,14 @@ mod tests {
         let results = vec![FaultResult::single(skip_at(0, 0x1000), FaultClass::Success)];
         let seed = seed_with(trace.clone(), results);
         for new_print in [Some(8), None] {
-            let plan = plan(&seed, &ListingDelta::identity(), &trace, new_print, 10_000);
+            let plan = plan(
+                &seed,
+                &ListingDelta::identity(),
+                &trace,
+                new_print,
+                10_000,
+                &Telemetry::default(),
+            );
             assert!(plan.cache.is_empty());
             assert_eq!(plan.snapshot_window, Some(0..50));
         }
@@ -427,11 +454,13 @@ mod tests {
             FaultResult::single(skip_at(200, trace[200]), FaultClass::TimedOut),
         ];
         let seed = seed_with(trace.clone(), results);
-        let unchanged = plan(&seed, &ListingDelta::identity(), &trace, Some(7), 10_000);
+        let unchanged =
+            plan(&seed, &ListingDelta::identity(), &trace, Some(7), 10_000, &Telemetry::default());
         assert_eq!(unchanged.cache.len(), 2);
         assert_eq!(unchanged.snapshot_window, None);
 
-        let moved = plan(&seed, &ListingDelta::identity(), &trace, Some(7), 20_000);
+        let moved =
+            plan(&seed, &ListingDelta::identity(), &trace, Some(7), 20_000, &Telemetry::default());
         assert_eq!(
             moved.cache.lookup("instruction-skip", &skip_plan(10, trace[10])),
             Some(FaultClass::Benign)
@@ -494,7 +523,7 @@ mod tests {
             oracle_fingerprint: Some(7),
             faulted_budget: 10_000,
         };
-        let plan = plan(&seed, &delta, &new_trace, Some(7), 10_000);
+        let plan = plan(&seed, &delta, &new_trace, Some(7), 10_000, &Telemetry::default());
 
         // Path-selection effects carry over; value-corruption effects do
         // not (they're layout-sensitive and the delta shifts addresses).
@@ -529,7 +558,8 @@ mod tests {
             oracle_fingerprint: Some(7),
             faulted_budget: 10_000,
         };
-        let pair_plan = super::plan(&pair_seed, &delta, &new_trace, Some(7), 10_000);
+        let pair_plan =
+            super::plan(&pair_seed, &delta, &new_trace, Some(7), 10_000, &Telemetry::default());
         assert!(pair_plan.cache.is_empty(), "a layout-sensitive leg poisons the whole pair");
 
         // Under an identity delta everything is reusable.
@@ -548,7 +578,7 @@ mod tests {
     }
 
     fn plan2_identity(seed: &CampaignSeed, trace: &[u64]) -> SeedPlan {
-        plan(seed, &ListingDelta::identity(), trace, Some(7), 10_000)
+        plan(seed, &ListingDelta::identity(), trace, Some(7), 10_000, &Telemetry::default())
     }
 
     #[test]
@@ -561,5 +591,60 @@ mod tests {
         assert_eq!(ReuseStats::default().reuse_percent(), 0.0);
         let text = merged.to_string();
         assert!(text.contains("4 reused") && text.contains("50.0%"), "{text}");
+    }
+
+    proptest::proptest! {
+        /// `ReuseStats::merge` is a commutative monoid: associative, with
+        /// `ReuseStats::default()` as the identity — the properties shard
+        /// aggregation and the metrics layer's loop-wide accounting rely
+        /// on.
+        #[test]
+        fn reuse_stats_merge_is_associative_with_identity(
+            ar in 0usize..1_000_000, ap in 0usize..1_000_000,
+            br in 0usize..1_000_000, bp in 0usize..1_000_000,
+            cr in 0usize..1_000_000, cp in 0usize..1_000_000,
+        ) {
+            let a = ReuseStats { sites_reused: ar, sites_replayed: ap };
+            let b = ReuseStats { sites_reused: br, sites_replayed: bp };
+            let c = ReuseStats { sites_reused: cr, sites_replayed: cp };
+            proptest::prop_assert_eq!(a.merge(b).merge(c), a.merge(b.merge(c)));
+            proptest::prop_assert_eq!(a.merge(b), b.merge(a));
+            proptest::prop_assert_eq!(a.merge(ReuseStats::default()), a);
+            proptest::prop_assert_eq!(ReuseStats::default().merge(a), a);
+        }
+    }
+
+    #[test]
+    fn plan_reports_per_guard_invalidation_reasons() {
+        use rr_telemetry::Counter;
+        let trace = vec![0x1000u64, 0x1004, 0x1008];
+        let results = vec![
+            FaultResult::single(skip_at(0, 0x1000), FaultClass::Benign),
+            FaultResult::single(skip_at(1, 0x1004), FaultClass::TimedOut),
+        ];
+
+        // A fingerprint mismatch drops every seed result.
+        let t = Telemetry::counters();
+        let seed = seed_with(trace.clone(), results.clone());
+        let fp = plan(&seed, &ListingDelta::identity(), &trace, Some(8), 10_000, &t);
+        assert!(fp.cache.is_empty());
+        assert_eq!(t.metrics().unwrap().counter(Counter::InvalidatedFingerprint), 2);
+
+        // A changed faulted budget drops only the TimedOut entry.
+        let t = Telemetry::counters();
+        let seed = seed_with(trace.clone(), results.clone());
+        let budget = plan(&seed, &ListingDelta::identity(), &trace, Some(7), 20_000, &t);
+        assert_eq!(budget.cache.len(), 1);
+        let m = t.metrics().unwrap();
+        assert_eq!(m.counter(Counter::InvalidatedBudget), 1);
+        assert_eq!(m.counter(Counter::InvalidatedFingerprint), 0);
+
+        // A structurally different trace invalidates by dirtiness.
+        let t = Telemetry::counters();
+        let seed = seed_with(trace.clone(), results);
+        let moved =
+            plan(&seed, &ListingDelta::identity(), &[0x2000, 0x2004, 0x2008], Some(7), 10_000, &t);
+        assert!(moved.cache.is_empty());
+        assert_eq!(t.metrics().unwrap().counter(Counter::InvalidatedDirty), 2);
     }
 }

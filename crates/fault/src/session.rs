@@ -31,6 +31,7 @@ use rr_engine::shard::{run_bucketed, run_scheduled, scheduled_fold};
 use rr_engine::{ReplayConfig, ReplayEngine, ReplayFootprint};
 use rr_isa::{decode, Flags, MAX_INSTR_LEN};
 use rr_obj::Executable;
+use rr_telemetry::{Counter, Gauge, MetricsSnapshot, SpanKind, Telemetry};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -83,6 +84,7 @@ pub struct CampaignSessionBuilder {
     oracle: Option<Arc<dyn Oracle>>,
     golden_good: Option<Execution>,
     seed: Option<(CampaignSeed, ListingDelta)>,
+    telemetry: Telemetry,
 }
 
 impl CampaignSessionBuilder {
@@ -163,6 +165,18 @@ impl CampaignSessionBuilder {
         self
     }
 
+    /// Attaches a telemetry handle: the golden recording, every
+    /// checkpoint restore, injection, classification, and the cache
+    /// reuse guards report through it. Keep a clone to read
+    /// [`rr_telemetry::Telemetry::metrics`] (or use
+    /// [`CampaignSession::metrics`]). The default handle is disabled and
+    /// the instrumentation costs nothing.
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Performs the golden pass and builds the session.
     ///
     /// One pass over the bad-input run yields the golden behaviour, the
@@ -207,6 +221,7 @@ impl CampaignSessionBuilder {
             checkpoint_interval: config.checkpoint_interval,
             max_retained_bytes: config.max_retained_bytes,
             record_snapshots: config.engine == CampaignEngine::Checkpointed,
+            telemetry: self.telemetry.clone(),
             ..ReplayConfig::default()
         };
         // A seeded checkpointed session defers snapshot capture: the
@@ -246,8 +261,14 @@ impl CampaignSessionBuilder {
             (golden_bad.steps * config.faulted_step_multiplier).max(config.faulted_min_steps);
         let mut cache = ClassificationCache::default();
         if let Some((seed, delta)) = &self.seed {
-            let plan =
-                cache::plan(seed, delta, replay.trace(), oracle.fingerprint(), faulted_budget);
+            let plan = cache::plan(
+                seed,
+                delta,
+                replay.trace(),
+                oracle.fingerprint(),
+                faulted_budget,
+                &self.telemetry,
+            );
             cache = plan.cache;
             if config.engine == CampaignEngine::Checkpointed {
                 // Re-record with snapshots: scoped to the invalidated
@@ -295,6 +316,7 @@ impl CampaignSessionBuilder {
             cache,
             reused: AtomicUsize::new(0),
             replayed: AtomicUsize::new(0),
+            telemetry: self.telemetry,
         })
     }
 }
@@ -327,6 +349,9 @@ pub struct CampaignSession {
     reused: AtomicUsize,
     /// Fault evaluations that actually executed.
     replayed: AtomicUsize,
+    /// Telemetry handle every evaluation reports through
+    /// ([`CampaignSessionBuilder::telemetry`]); disabled by default.
+    telemetry: Telemetry,
 }
 
 impl CampaignSession {
@@ -344,6 +369,7 @@ impl CampaignSession {
             oracle: None,
             golden_good: None,
             seed: None,
+            telemetry: Telemetry::default(),
         }
     }
 
@@ -439,6 +465,13 @@ impl CampaignSession {
         self.cache.len()
     }
 
+    /// Snapshot of the attached telemetry's aggregated metrics, or
+    /// `None` when the session was built without a telemetry handle
+    /// ([`CampaignSessionBuilder::telemetry`]).
+    pub fn metrics(&self) -> Option<MetricsSnapshot> {
+        self.telemetry.metrics()
+    }
+
     /// Memory footprint of the checkpoints retained for this session:
     /// page-granular retained bytes, and the region-COW baseline for the
     /// same recording. Naive sessions report one checkpoint and zero
@@ -496,12 +529,24 @@ impl CampaignSession {
     fn evaluate(&self, model: &'static str, plan: &FaultPlan) -> FaultClass {
         if let Some(class) = self.cache.lookup(model, plan) {
             self.reused.fetch_add(1, Ordering::Relaxed);
+            self.note_plan(plan, class, true);
             return class;
         }
         self.replayed.fetch_add(1, Ordering::Relaxed);
-        match self.replay.machine_at(plan.earliest_step()) {
+        let class = match self.replay.machine_at(plan.earliest_step()) {
             Ok(machine) => self.inject_and_classify(machine, plan),
             Err(_) => FaultClass::ReplayDiverged,
+        };
+        self.note_plan(plan, class, false);
+        class
+    }
+
+    /// Telemetry accounting for one classified plan.
+    fn note_plan(&self, plan: &FaultPlan, class: FaultClass, from_cache: bool) {
+        self.telemetry.count(Counter::PlansExecuted, 1);
+        self.telemetry.count(if from_cache { Counter::CacheHits } else { Counter::CacheMisses }, 1);
+        if class == FaultClass::Success {
+            self.telemetry.success(plan.order());
         }
     }
 
@@ -519,6 +564,7 @@ impl CampaignSession {
     /// into a finished program. The total faulted continuation shares one
     /// step budget, exactly like the single-fault case.
     fn inject_and_classify(&self, mut machine: Machine, plan: &FaultPlan) -> FaultClass {
+        let inject_span = self.telemetry.span(SpanKind::Inject);
         let first = plan.first();
         if machine.pc() != first.pc {
             // The replay did not arrive where the trace says it should
@@ -551,7 +597,8 @@ impl CampaignSession {
                         output: machine.take_output(),
                         steps: used,
                     };
-                    return self.oracle.classify(&faulted);
+                    drop(inject_span);
+                    return self.classify(&faulted);
                 }
             }
             if let Err(class) = apply_effect(&mut machine, fault) {
@@ -564,7 +611,14 @@ impl CampaignSession {
             output: machine.take_output(),
             steps: used + result.steps,
         };
-        self.oracle.classify(&faulted)
+        drop(inject_span);
+        self.classify(&faulted)
+    }
+
+    /// Consults the oracle under a [`SpanKind::Classify`] span.
+    fn classify(&self, faulted: &Behavior) -> FaultClass {
+        let _classify_span = self.telemetry.span(SpanKind::Classify);
+        self.oracle.classify(faulted)
     }
 
     /// Evaluates every `(model, plan)` pair, scheduling per the session
@@ -611,6 +665,12 @@ impl CampaignSession {
         plans: &[(&'static str, FaultPlan)],
         indices: &[usize],
     ) -> Vec<FaultClass> {
+        // The bucket-sweep span wraps the whole sweep, so the restore,
+        // inject, and classify spans of its plans nest inside it (like
+        // snapshot captures nest inside the record span).
+        let _sweep_span = self.telemetry.span(SpanKind::BucketSweep);
+        self.telemetry.count(Counter::BucketSweeps, 1);
+        self.telemetry.count(Counter::BucketPlans, indices.len() as u64);
         let mut order: Vec<usize> = (0..indices.len()).collect();
         order.sort_by_key(|&k| plans[indices[k]].1.earliest_step());
         let mut out: Vec<Option<FaultClass>> = vec![None; indices.len()];
@@ -622,6 +682,7 @@ impl CampaignSession {
             let (name, plan) = &plans[indices[k]];
             if let Some(class) = self.cache.lookup(name, plan) {
                 self.reused.fetch_add(1, Ordering::Relaxed);
+                self.note_plan(plan, class, true);
                 out[k] = Some(class);
                 continue;
             }
@@ -645,12 +706,16 @@ impl CampaignSession {
                 // same determinism violation machine_at reports — degrade
                 // this plan (and the rest of the neighbourhood beyond the
                 // divergence) instead of panicking.
+                self.note_plan(plan, FaultClass::ReplayDiverged, false);
                 out[k] = Some(FaultClass::ReplayDiverged);
                 continue;
             }
             let (machine, _) = cursor.as_ref().expect("cursor initialized above");
+            self.telemetry.count(Counter::CowClones, 1);
             let clone = Machine::from_snapshot(&machine.snapshot());
-            out[k] = Some(self.inject_and_classify(clone, plan));
+            let class = self.inject_and_classify(clone, plan);
+            self.note_plan(plan, class, false);
+            out[k] = Some(class);
         }
         out.into_iter().map(|class| class.expect("every plan classified")).collect()
     }
@@ -727,6 +792,7 @@ impl Sink for Collect {
             plans.extend(set.plans.into_iter().map(|plan| (name, plan)));
             counts.push(plans.len() - before);
         }
+        session.telemetry.gauge(Gauge::PlansTotal, plans.len() as u64);
         let classes = session.evaluate_all(&plans);
         let mut rest: Vec<FaultResult> = plans
             .into_iter()
@@ -790,6 +856,7 @@ impl Sink for Stream {
                     plans.extend(higher.into_iter().map(|plan| (model.name(), plan)));
                     counts.push(plans.len() - before);
                 }
+                session.telemetry.gauge(Gauge::PlansTotal, plans.len() as u64);
                 let mut classes = session.evaluate_all(&plans).into_iter();
                 for (m, count) in counts.into_iter().enumerate() {
                     for class in classes.by_ref().take(count) {

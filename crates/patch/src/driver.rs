@@ -9,6 +9,7 @@ use rr_fault::{
     Collect, FaultModel, ReuseStats, Summary,
 };
 use rr_obj::Executable;
+use rr_telemetry::{MetricsSnapshot, Telemetry};
 use std::fmt;
 use std::sync::Arc;
 
@@ -56,6 +57,12 @@ pub struct HardenConfig {
     /// Seed for budgeted plan sampling — fix it to make sampled
     /// multi-fault hardening runs reproducible.
     pub sample_seed: u64,
+    /// Telemetry handle attached to every campaign session the loop
+    /// builds. The default disabled handle costs nothing; pass
+    /// [`Telemetry::counters`] or [`Telemetry::timed`] to collect
+    /// per-iteration metrics ([`LoopOutcome::iteration_metrics`]) and a
+    /// whole-loop snapshot ([`LoopOutcome::metrics`]).
+    pub telemetry: Telemetry,
 }
 
 impl Default for HardenConfig {
@@ -71,6 +78,7 @@ impl Default for HardenConfig {
             pair_window: None,
             plan_budget: None,
             sample_seed: 0,
+            telemetry: Telemetry::default(),
         }
     }
 }
@@ -129,6 +137,15 @@ pub struct LoopOutcome {
     pub sites_reused: usize,
     /// Fault evaluations that actually replayed and executed.
     pub sites_replayed: usize,
+    /// Whole-loop metrics snapshot, taken after the final campaign;
+    /// `None` when [`HardenConfig::telemetry`] is disabled.
+    pub metrics: Option<MetricsSnapshot>,
+    /// Per-iteration metrics deltas: one entry per faulter campaign the
+    /// loop ran, in order (the final fixed-point campaign included, so
+    /// this can be one longer than [`LoopOutcome::iterations`]; the
+    /// post-loop re-measurement campaigns are only reflected in
+    /// [`LoopOutcome::metrics`]). Empty when telemetry is disabled.
+    pub iteration_metrics: Vec<MetricsSnapshot>,
 }
 
 impl LoopOutcome {
@@ -236,6 +253,12 @@ impl FaulterPatcher {
         FaulterPatcher { config }
     }
 
+    /// Current metrics of the driver's [`HardenConfig::telemetry`]
+    /// handle; `None` when telemetry is disabled.
+    pub fn metrics(&self) -> Option<MetricsSnapshot> {
+        self.config.telemetry.metrics()
+    }
+
     /// Campaign settings with `parallel: false` honoured (a single
     /// worker thread evaluates inline), the engine choice passed
     /// down — so naive-engine hardening loops skip snapshot recording
@@ -272,7 +295,8 @@ impl FaulterPatcher {
         let mut builder = CampaignSession::builder(exe.clone())
             .good_input(seed.good.clone())
             .bad_input(seed.bad.clone())
-            .config(self.campaign_config());
+            .config(self.campaign_config())
+            .telemetry(self.config.telemetry.clone());
         if let Some(golden) = seed.golden_good.clone() {
             builder = builder.golden_good(golden);
         }
@@ -337,6 +361,8 @@ impl FaulterPatcher {
 
         let mut current = exe.clone();
         let mut iterations = Vec::new();
+        let mut iteration_metrics = Vec::new();
+        let mut metrics_mark = self.metrics().unwrap_or_default();
         let mut fixed_point = false;
         // Patching can oscillate under models like single-bit-flip: every
         // inserted pattern carries fresh flippable encodings. Each iterate
@@ -346,6 +372,10 @@ impl FaulterPatcher {
 
         for iteration in 0..self.config.max_iterations {
             let report = self.campaign(&current, &mut seed, model)?;
+            if let Some(total) = self.metrics() {
+                iteration_metrics.push(total.delta_since(&metrics_mark));
+                metrics_mark = total;
+            }
             // Soundness references: the golden behaviours every patched
             // iterate must preserve, taken from the first session's
             // golden pass (on the original binary).
@@ -443,6 +473,8 @@ impl FaulterPatcher {
             golden_good_runs: seed.golden_good_runs,
             sites_reused: seed.reuse.sites_reused,
             sites_replayed: seed.reuse.sites_replayed,
+            metrics: self.metrics(),
+            iteration_metrics,
         })
     }
 }
