@@ -22,8 +22,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rr_fault::{
-    CampaignConfig, CampaignEngine, CampaignReport, CampaignSession, Collect, Fault, FaultEffect,
-    FaultModel, FaultSite, InstructionSkip,
+    CampaignConfig, CampaignEngine, CampaignReport, CampaignSession, Collect, ExecMode, Fault,
+    FaultEffect, FaultModel, FaultSite, InstructionSkip,
 };
 use rr_obj::Executable;
 use rr_telemetry::Telemetry;
@@ -86,10 +86,22 @@ fn fresh_session(
     stride: usize,
     engine: CampaignEngine,
 ) -> CampaignSession {
+    fresh_session_exec(exe, good, bad, stride, engine, ExecMode::Interp)
+}
+
+fn fresh_session_exec(
+    exe: &Executable,
+    good: &[u8],
+    bad: &[u8],
+    stride: usize,
+    engine: CampaignEngine,
+    exec: ExecMode,
+) -> CampaignSession {
     let config = CampaignConfig {
         golden_max_steps: 10_000_000,
         site_stride: stride,
         engine,
+        exec,
         ..CampaignConfig::default()
     };
     CampaignSession::builder(exe.clone())
@@ -196,10 +208,12 @@ fn bench_engines(c: &mut Criterion) {
     });
     group.finish();
 
-    // Headline number: single-shot wall-time ratio on the tail campaign.
-    // Checkpoint recording happens during session construction (one
-    // golden pass per session), so each side is timed on a fresh session
-    // and measures pure evaluation cost.
+    // Headline numbers: single-shot wall-time ratios on the tail
+    // campaign. Checkpoint recording happens during session construction
+    // (one golden pass per session), so each side is timed on a fresh
+    // session and measures pure evaluation cost. Two ratios are gated:
+    // the checkpointed engine alone (both sides interpreted, the paper's
+    // ≈√T claim) and the full stack with block-cached execution on top.
     let naive_session = fresh_session(&exe, &good, &bad, 1, CampaignEngine::Naive);
     let start = Instant::now();
     let naive_report = run_one(&naive_session, &tail);
@@ -210,19 +224,33 @@ fn bench_engines(c: &mut Criterion) {
     let checkpointed_report = run_one(&checkpointed_session, &tail);
     let checkpointed_time = start.elapsed();
 
+    let blocks_session =
+        fresh_session_exec(&exe, &good, &bad, 1, CampaignEngine::Checkpointed, ExecMode::Blocks);
+    let start = Instant::now();
+    let blocks_report = run_one(&blocks_session, &tail);
+    let blocks_time = start.elapsed();
+
     assert_eq!(
         naive_report.results, checkpointed_report.results,
         "engines must classify identically"
     );
+    assert_eq!(
+        naive_report.results, blocks_report.results,
+        "block-cached execution must classify identically"
+    );
     let speedup = naive_time.as_secs_f64() / checkpointed_time.as_secs_f64().max(1e-9);
+    let blocks_speedup = naive_time.as_secs_f64() / blocks_time.as_secs_f64().max(1e-9);
     println!(
-        "engine/tail ({} steps, {} faults): naive {:?}, checkpointed {:?} — speedup: {speedup:.1}×",
+        "engine/tail ({} steps, {} faults): naive {:?}, checkpointed(interp) {:?}, \
+         checkpointed(blocks) {:?} — speedup: {speedup:.1}× interp, {blocks_speedup:.1}× blocks",
         trace_len,
         naive_report.results.len(),
         naive_time,
         checkpointed_time,
+        blocks_time,
     );
     const GATE: f64 = 5.0;
+    const BLOCKS_GATE: f64 = 12.0;
     const OVERHEAD_GATE: f64 = 1.02;
     let (overhead, plans_per_sec) = measure_telemetry_overhead(&exe, &good, &bad);
     rr_bench::write_bench_json(
@@ -230,7 +258,9 @@ fn bench_engines(c: &mut Criterion) {
         &[
             ("speedup", ((speedup * 100.0).round() / 100.0).into()),
             ("gate", GATE.into()),
-            ("passed", (speedup >= GATE).into()),
+            ("passed", (speedup >= GATE && blocks_speedup >= BLOCKS_GATE).into()),
+            ("blocks_speedup", ((blocks_speedup * 100.0).round() / 100.0).into()),
+            ("blocks_gate", BLOCKS_GATE.into()),
             ("trace_steps", (trace_len as f64).into()),
             ("faults", (naive_report.results.len() as f64).into()),
             ("plans_per_sec", plans_per_sec.round().into()),
@@ -241,6 +271,11 @@ fn bench_engines(c: &mut Criterion) {
     assert!(
         speedup >= GATE,
         "checkpointed engine must be ≥{GATE}× faster on the tail campaign, got {speedup:.1}×"
+    );
+    assert!(
+        blocks_speedup >= BLOCKS_GATE,
+        "block-cached checkpointed engine must be ≥{BLOCKS_GATE}× faster on the tail campaign, \
+         got {blocks_speedup:.1}×"
     );
     assert!(
         overhead <= OVERHEAD_GATE,

@@ -109,6 +109,34 @@ fn bench_memory(c: &mut Criterion) {
     );
     let reduction = footprint.region_cow_bytes as f64 / footprint.retained_bytes as f64;
     const GATE: f64 = 10.0;
+
+    // Analytic PAGE_SIZE sweep over the same recording: the emulator's
+    // page size is a compile-time constant, so alternative granularities
+    // are answered by byte-diffing adjacent checkpoint snapshots onto a
+    // hypothetical grid rather than rebuilding per point. Coverage is
+    // monotone in the page size on the aligned grid, and the byte-exact
+    // number at 4 KiB lower-bounds the identity-based accounting above.
+    let page_sizes = [1usize << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10];
+    let sweep: Vec<(usize, u64)> =
+        page_sizes.iter().map(|&p| (p, engine.retained_bytes_at(p))).collect();
+    let sweep_line = sweep
+        .iter()
+        .map(|(p, bytes)| format!("{} KiB → {} KiB", p / 1024, bytes / 1024))
+        .collect::<Vec<_>>()
+        .join(", ");
+    println!("memory/page-size-sweep (analytic, same recording): {sweep_line}");
+    assert!(
+        sweep.windows(2).all(|w| w[0].1 <= w[1].1),
+        "retained bytes must grow with the page size: {sweep:?}"
+    );
+    assert!(sweep[0].1 > 0, "stack churn must dirty bytes at every granularity");
+    let native = sweep.iter().find(|(p, _)| *p == rr_emu::PAGE_SIZE).expect("native size swept").1;
+    assert!(
+        native <= footprint.retained_bytes,
+        "byte-exact retention ({native}) must lower-bound page-identity retention ({})",
+        footprint.retained_bytes
+    );
+
     let plans_per_sec = probe_plans_per_sec(&exe);
     rr_bench::write_bench_json(
         "memory",
@@ -118,6 +146,11 @@ fn bench_memory(c: &mut Criterion) {
             ("passed", (reduction >= GATE).into()),
             ("retained_bytes", (footprint.retained_bytes as f64).into()),
             ("region_cow_bytes", (footprint.region_cow_bytes as f64).into()),
+            ("page_sweep_1k", (sweep[0].1 as f64).into()),
+            ("page_sweep_2k", (sweep[1].1 as f64).into()),
+            ("page_sweep_4k", (sweep[2].1 as f64).into()),
+            ("page_sweep_8k", (sweep[3].1 as f64).into()),
+            ("page_sweep_16k", (sweep[4].1 as f64).into()),
             ("plans_per_sec", plans_per_sec.round().into()),
         ],
     )

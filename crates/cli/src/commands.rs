@@ -4,8 +4,8 @@
 use crate::Args;
 use rr_fault::{
     CampaignConfig, CampaignEngine, CampaignSession, CampaignSessionBuilder, Collect,
-    CrashTriageOracle, FaultModel, FlagFlip, InstructionSkip, OutputPrefixOracle, PairPolicy,
-    PlanConfig, ShardPolicy, SingleBitFlip, Stream,
+    CrashTriageOracle, ExecMode, FaultModel, FlagFlip, InstructionSkip, OutputPrefixOracle,
+    PairPolicy, PlanConfig, ShardPolicy, SingleBitFlip, Stream,
 };
 use rr_obj::Executable;
 use rr_telemetry::{Counter, JsonlRecorder, ProgressRecorder, Recorder, Telemetry};
@@ -213,7 +213,8 @@ fn plan_header(plan: &PlanConfig) -> String {
 }
 
 /// `rr fault <prog.rfx> --bad BYTES [--good BYTES] [--model a[,b…]]
-/// [--engine naive|checkpoint] [--shard contiguous|interleaved]
+/// [--engine naive|checkpoint] [--exec interp|blocks]
+/// [--shard contiguous|interleaved]
 /// [--oracle golden|crash|prefix:TEXT] [--streaming]
 /// [--order N [--pair-window N] [--plan-budget N] [--seed N]]`
 ///
@@ -233,6 +234,7 @@ pub fn fault(raw: &[String]) -> Result<String, String> {
             "bad",
             "model",
             "engine",
+            "exec",
             "shard",
             "oracle",
             "order",
@@ -248,12 +250,13 @@ pub fn fault(raw: &[String]) -> Result<String, String> {
     let bad = args.required("bad")?.as_bytes().to_vec();
     let models = models_by_names(args.value("model").unwrap_or("skip"))?;
     let engine: CampaignEngine = args.value("engine").unwrap_or("checkpoint").parse()?;
+    let exec: ExecMode = args.value("exec").unwrap_or("blocks").parse()?;
     let shard: ShardPolicy = args.value("shard").unwrap_or("contiguous").parse()?;
     let plan = plan_config_from(&args)?;
     let tel = telemetry_from(&args)?;
     // The engine choice is fixed at construction: naive sessions skip
     // snapshot recording entirely.
-    let mut config = CampaignConfig { engine, shard, plan, ..CampaignConfig::default() };
+    let mut config = CampaignConfig { engine, exec, shard, plan, ..CampaignConfig::default() };
     if let Some(threads) = threads_from(&args)? {
         config.threads = threads;
     }
@@ -302,7 +305,7 @@ pub fn fault(raw: &[String]) -> Result<String, String> {
 }
 
 /// `rr harden <prog.rfx> --good BYTES --bad BYTES [--model ...] [-o out]
-/// [--engine naive|checkpoint] [--no-incremental]
+/// [--engine naive|checkpoint] [--exec interp|blocks] [--no-incremental]
 /// [--order N [--pair-window N] [--plan-budget N] [--seed N]]`
 ///
 /// Incremental re-campaigning is on by default: every re-campaign is
@@ -323,6 +326,7 @@ pub fn harden(raw: &[String]) -> Result<String, String> {
             "o",
             "max-iterations",
             "engine",
+            "exec",
             "order",
             "pair-window",
             "plan-budget",
@@ -350,6 +354,9 @@ pub fn harden(raw: &[String]) -> Result<String, String> {
     }
     if let Some(engine) = args.value("engine") {
         config.engine = engine.parse()?;
+    }
+    if let Some(exec) = args.value("exec") {
+        config.campaign.exec = exec.parse()?;
     }
     config.incremental = !args.flag("no-incremental");
     let plan = plan_config_from(&args)?;
@@ -572,6 +579,19 @@ mod tests {
         assert!(checkpointed.contains("region-COW"), "{checkpointed}");
         assert!(fault(&sv(&[&exe_path, "--good", "7391", "--bad", "7291", "--engine", "laser",]))
             .is_err());
+        // Execution mode is a pure speed knob: interp and blocks produce
+        // byte-identical reports, and an unknown mode errors.
+        let interp =
+            fault(&sv(&[&exe_path, "--good", "7391", "--bad", "7291", "--exec", "interp"]))
+                .unwrap();
+        let blocks =
+            fault(&sv(&[&exe_path, "--good", "7391", "--bad", "7291", "--exec", "blocks"]))
+                .unwrap();
+        assert_eq!(interp, blocks);
+        assert_eq!(blocks, checkpointed, "blocks is the default");
+        assert!(
+            fault(&sv(&[&exe_path, "--good", "7391", "--bad", "7291", "--exec", "jit"])).is_err()
+        );
         // A half-specified verification pair must error, not silently
         // skip verification, and --model without the pair is meaningless.
         assert!(hybrid(&sv(&[&exe_path, "--good", "7391"])).is_err());

@@ -69,12 +69,13 @@ pub fn usage() -> &'static str {
      \x20   rr disasm <prog.rfx> [--policy naive|refined]\n\
      \x20   rr fault <prog.rfx> --bad BYTES [--good BYTES]\n\
      \x20            [--model skip|bitflip|flagflip[,…]] [--engine naive|checkpoint]\n\
-     \x20            [--shard contiguous|interleaved] [--threads N]\n\
+     \x20            [--exec interp|blocks] [--shard contiguous|interleaved] [--threads N]\n\
      \x20            [--oracle golden|crash|prefix:TEXT] [--streaming]\n\
      \x20            [--order N] [--pair-window N] [--plan-budget N] [--seed N]\n\
      \x20            [--trace-out FILE] [--metrics FILE] [--progress] [--quiet]\n\
      \x20   rr harden <prog.rfx> --good BYTES --bad BYTES [--model ...] [-o out.rfx]\n\
-     \x20            [--engine naive|checkpoint] [--no-incremental] [--threads N]\n\
+     \x20            [--engine naive|checkpoint] [--exec interp|blocks]\n\
+     \x20            [--no-incremental] [--threads N]\n\
      \x20            [--order N] [--pair-window N] [--plan-budget N] [--seed N]\n\
      \x20            [--trace-out FILE] [--metrics FILE] [--progress] [--quiet]\n\
      \x20   rr hybrid <prog.rfx> [-o out.rfx] [--good BYTES --bad BYTES [--model ...]]\n\
@@ -82,7 +83,9 @@ pub fn usage() -> &'static str {
      \n\
      BYTES arguments are literal ASCII (e.g. --good 7391). Campaign\n\
      sessions use the checkpointed replay engine unless --engine naive is\n\
-     given; all --model entries share one scheduling pass; --streaming\n\
+     given, and pre-decoded superblock execution unless --exec interp is\n\
+     given (bit-identical results either way);\n\
+     all --model entries share one scheduling pass; --streaming\n\
      folds results into per-model summaries in O(shards) memory for\n\
      million-fault campaigns. The default golden oracle needs --good;\n\
      --oracle crash and --oracle prefix:TEXT campaign a single input.\n\

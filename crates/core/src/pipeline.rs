@@ -265,6 +265,39 @@ mod tests {
     }
 
     #[test]
+    fn mul_overflow_flags_survive_the_lift() {
+        // Regression: the lift used to clear C/V after `mul` where the
+        // machine sets both on unsigned overflow, so a branch on carry
+        // straight after an overflowing multiply diverged through the
+        // hybrid pipeline. Both sides of the branch must round-trip.
+        let src = "    .global _start\n\
+                   _start:\n\
+                       mov r1, 0x8000000000000000\n\
+                       mov r2, 3\n\
+                       mul r1, r2\n\
+                       jb .overflowed\n\
+                       mov r1, 'n'\n\
+                       svc 1\n\
+                       mov r1, 0\n\
+                       svc 0\n\
+                   .overflowed:\n\
+                       mov r1, 'o'\n\
+                       svc 1\n\
+                       mov r1, 0\n\
+                       svc 0\n";
+        for factor in ["3", "2", "1"] {
+            let exe =
+                rr_asm::assemble_and_link(&src.replace("mov r2, 3", &format!("mov r2, {factor}")))
+                    .unwrap();
+            let roundtrip = lift_lower_roundtrip(&exe, true).unwrap();
+            let a = execute(&exe, &[], 100_000);
+            let b = execute(&roundtrip, &[], 1_000_000);
+            assert_eq!(a.output, b.output, "factor {factor}");
+            assert_eq!(a.outcome, b.outcome, "factor {factor}");
+        }
+    }
+
+    #[test]
     fn roundtrip_overhead_is_part_of_hybrid_overhead() {
         let w = rr_workloads::otp_check();
         let exe = w.build().unwrap();

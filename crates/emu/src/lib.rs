@@ -43,10 +43,12 @@
 //! # Ok::<(), rr_asm::BuildError>(())
 //! ```
 
+mod blockexec;
 mod machine;
 mod memory;
 mod outcome;
 
+pub use blockexec::{BlockCache, BlockStats};
 pub use machine::{Machine, RunResult, Snapshot, DEFAULT_MAX_STEPS};
 pub use memory::{
     AccessKind, MemResult, Memory, MemoryDelta, MemoryStats, PAGE_SIZE, STRADDLE_TAIL,

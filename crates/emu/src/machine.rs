@@ -81,6 +81,13 @@ impl Snapshot {
     pub fn dirtied_since(&self, baseline: &Snapshot) -> MemoryDelta {
         self.0.memory.delta(&baseline.0.memory)
     }
+
+    /// Bytes a page-granular COW with a hypothetical `page_size` would
+    /// retain for this snapshot against `baseline`
+    /// ([`Memory::retained_bytes_at`]).
+    pub fn retained_bytes_at(&self, baseline: &Snapshot, page_size: usize) -> u64 {
+        self.0.memory.retained_bytes_at(&baseline.0.memory, page_size)
+    }
 }
 
 impl Machine {
@@ -249,12 +256,45 @@ impl Machine {
         }
     }
 
+    /// Executes one *pre-decoded* instruction with the same sticky-stop
+    /// contract as [`Machine::step`], but without fetching or decoding —
+    /// the block-cached fast path (`Machine::run_blocks`). The caller
+    /// guarantees `(insn, len)` is what [`Machine::fetch_decode`] would
+    /// return at the current PC (the block cache enforces this with its
+    /// exec-dirty fallback and per-instruction PC checks).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`CpuFault`] that stopped the machine, exactly like
+    /// [`Machine::step`].
+    pub(crate) fn step_decoded(&mut self, insn: Instr, len: usize) -> Result<(), CpuFault> {
+        if let Some(RunOutcome::Crashed { fault, .. }) = self.stopped {
+            return Err(fault);
+        }
+        if self.stopped.is_some() {
+            return Ok(());
+        }
+        match self.exec_decoded(insn, len) {
+            Ok(()) => Ok(()),
+            Err(fault) => {
+                self.stopped = Some(RunOutcome::Crashed { fault, pc: self.pc });
+                Err(fault)
+            }
+        }
+    }
+
     fn mem_fault((addr, access): (u64, AccessKind)) -> CpuFault {
         CpuFault::MemoryFault { addr, access }
     }
 
     fn step_inner(&mut self) -> Result<(), CpuFault> {
         let (insn, len) = self.fetch_decode()?;
+        self.exec_decoded(insn, len)
+    }
+
+    /// Executes an already-decoded instruction (the shared back half of
+    /// [`Machine::step`] and the block-cached path).
+    fn exec_decoded(&mut self, insn: Instr, len: usize) -> Result<(), CpuFault> {
         let next_pc = self.pc + len as u64;
         self.pc = next_pc;
         match insn {

@@ -234,6 +234,13 @@ impl Region {
 #[derive(Debug, Clone)]
 pub struct Memory {
     regions: Vec<Region>,
+    /// Byte ranges of *executable* memory overwritten since load: pokes
+    /// from fault injection, plus checked writes in the (unusual) case
+    /// of a region mapped write+exec. Cloned with the memory, so
+    /// snapshot/restore rewinds it together with the bytes — the
+    /// block-cached execution fast path consults this to fall back to
+    /// interpretation over modified code.
+    exec_dirty: Vec<std::ops::Range<u64>>,
 }
 
 /// Result of a memory access: the value, or the failed access description.
@@ -297,7 +304,7 @@ impl Memory {
             STACK_SIZE as usize,
         ));
         regions.sort_by_key(|r| r.start);
-        Memory { regions }
+        Memory { regions, exec_dirty: Vec::new() }
     }
 
     fn region(&self, addr: u64) -> Option<&Region> {
@@ -353,7 +360,11 @@ impl Memory {
             return Err((addr, AccessKind::Write));
         }
         let offset = (addr - region.start) as usize;
+        let exec = region.perms.exec;
         if region.write(offset, data) {
+            if exec && !data.is_empty() {
+                self.exec_dirty.push(addr..addr + data.len() as u64);
+            }
             Ok(())
         } else {
             Err((addr, AccessKind::Write))
@@ -377,13 +388,34 @@ impl Memory {
     ///
     /// Returns `false` if the range is not fully inside one mapped region.
     pub fn poke(&mut self, addr: u64, data: &[u8]) -> bool {
-        match self.region_mut(addr) {
-            Some(region) => {
-                let offset = (addr - region.start) as usize;
-                region.write(offset, data)
-            }
-            None => false,
+        let Some(region) = self.region_mut(addr) else { return false };
+        let offset = (addr - region.start) as usize;
+        let exec = region.perms.exec;
+        if !region.write(offset, data) {
+            return false;
         }
+        if exec && !data.is_empty() {
+            self.exec_dirty.push(addr..addr + data.len() as u64);
+        }
+        true
+    }
+
+    /// Whether any executable byte in `start..end` has been overwritten
+    /// since this memory was built (or, for a restored machine, since the
+    /// snapshot it came from was captured — the dirty list rewinds with
+    /// the bytes). The block-cached execution path uses this to fall back
+    /// to interpretation over code a fault injection has modified.
+    pub fn exec_dirty_intersects(&self, start: u64, end: u64) -> bool {
+        !self.exec_dirty.is_empty()
+            && self.exec_dirty.iter().any(|r| r.start < end && start < r.end)
+    }
+
+    /// Monotonic count of executable-range overwrites — a cheap "did code
+    /// change since I last looked" check for callers holding decoded
+    /// instructions (grows on every exec-range [`Memory::poke`]/write,
+    /// rewinds on restore).
+    pub fn exec_dirty_epoch(&self) -> usize {
+        self.exec_dirty.len()
     }
 
     /// Reads bytes ignoring permissions (inspection/forensics counterpart
@@ -427,6 +459,58 @@ impl Memory {
         }
         stats.resident_bytes = stats.resident_pages * PAGE_SIZE as u64;
         stats
+    }
+
+    /// What page-granular COW would retain for this memory against
+    /// `baseline` under a **hypothetical** page size, in bytes: exact
+    /// byte-level diffing resampled onto a `page_size`-aligned grid.
+    ///
+    /// [`PAGE_SIZE`] is a compile-time constant, so alternative
+    /// granularities can't be measured by recompiling per point; this
+    /// analytic sweep answers "what would 1 KiB / 16 KiB pages have
+    /// retained?" for the same recording instead. Pages with identical
+    /// backing are skipped wholesale, so the scan only touches pages the
+    /// real COW copied. Byte-identical rewrites (a page copied for a
+    /// write that stored the same value) count as clean here but dirty
+    /// in [`Memory::delta`]'s identity accounting, so the result at
+    /// `PAGE_SIZE` is a lower bound on [`MemoryDelta::bytes`].
+    pub fn retained_bytes_at(&self, baseline: &Memory, page_size: usize) -> u64 {
+        assert!(page_size > 0, "page size must be positive");
+        assert_eq!(self.regions.len(), baseline.regions.len(), "memory layouts differ");
+        fn visible(page: &Page) -> &[u8] {
+            const ZERO: [u8; PAGE_SIZE] = [0u8; PAGE_SIZE];
+            match page {
+                Page::Zero => &ZERO[..],
+                Page::Data(buf) => &buf[..PAGE_SIZE],
+            }
+        }
+        let mut chunks = std::collections::BTreeSet::new();
+        for (a, b) in self.regions.iter().zip(&baseline.regions) {
+            assert_eq!((a.start, a.len), (b.start, b.len), "memory layouts differ");
+            for (p, (pa, pb)) in a.pages.iter().zip(&b.pages).enumerate() {
+                if pa.same_backing(pb) {
+                    continue;
+                }
+                let page_base = p * PAGE_SIZE;
+                let mapped = a.len.saturating_sub(page_base).min(PAGE_SIZE);
+                let (da, db) = (visible(pa), visible(pb));
+                let mut i = 0;
+                while i < mapped {
+                    if da[i] == db[i] {
+                        i += 1;
+                        continue;
+                    }
+                    let addr = a.start + (page_base + i) as u64;
+                    let chunk = addr / page_size as u64;
+                    chunks.insert(chunk);
+                    // The whole chunk is retained either way; skip to
+                    // its end.
+                    let chunk_end = (chunk + 1) * page_size as u64;
+                    i = ((chunk_end - a.start) as usize - page_base).clamp(i + 1, mapped);
+                }
+            }
+        }
+        chunks.len() as u64 * page_size as u64
     }
 
     /// Page-identity divergence from `baseline` (see [`MemoryDelta`]).
@@ -605,6 +689,62 @@ mod tests {
         // Out-of-bounds poke reports failure.
         assert!(!mem.poke(0x1001, &[0, 0]));
         assert!(!mem.poke(0x9999_0000, &[1]));
+    }
+
+    #[test]
+    fn exec_dirty_tracks_code_overwrites_and_rewinds_with_clones() {
+        let mut mem = demo_memory();
+        assert!(!mem.exec_dirty_intersects(0x1000, 0x1002));
+        assert_eq!(mem.exec_dirty_epoch(), 0);
+        let clean = mem.clone();
+        // Data writes don't touch the exec-dirty list.
+        mem.write_u64(0x2000, 7).unwrap();
+        assert_eq!(mem.exec_dirty_epoch(), 0);
+        // A poke into the text region records the range.
+        assert!(mem.poke(0x1001, &[0x55]));
+        assert_eq!(mem.exec_dirty_epoch(), 1);
+        assert!(mem.exec_dirty_intersects(0x1000, 0x1002));
+        assert!(mem.exec_dirty_intersects(0x1001, 0x1002));
+        assert!(!mem.exec_dirty_intersects(0x1002, 0x1010));
+        // Pokes into data regions don't.
+        assert!(mem.poke(0x2000, &[0xFF]));
+        assert_eq!(mem.exec_dirty_epoch(), 1);
+        // The clone taken before the poke is still clean — restoring a
+        // snapshot rewinds the dirty list together with the bytes.
+        assert!(!clean.exec_dirty_intersects(0x1000, 0x1002));
+        // Failed pokes record nothing.
+        assert!(!mem.poke(0x9999_0000, &[1]));
+        assert_eq!(mem.exec_dirty_epoch(), 1);
+    }
+
+    #[test]
+    fn retained_bytes_resample_to_hypothetical_page_sizes() {
+        let mut mem = paged_memory();
+        let baseline = mem.clone();
+        let base = 0x10000u64;
+        // Two dirty bytes in the same 4 KiB page but different 1 KiB
+        // subpages, plus one in the next 4 KiB page.
+        mem.write_u8(base + 5, 0x99).unwrap();
+        mem.write_u8(base + 2000, 0x99).unwrap();
+        mem.write_u8(base + PAGE_SIZE as u64 + 1, 0x99).unwrap();
+        assert_eq!(mem.retained_bytes_at(&baseline, 1024), 3 * 1024);
+        assert_eq!(mem.retained_bytes_at(&baseline, PAGE_SIZE), 2 * PAGE_SIZE as u64);
+        // Both dirty 4 KiB pages share one 8 KiB superpage (region base
+        // is aligned).
+        assert_eq!(mem.retained_bytes_at(&baseline, 2 * PAGE_SIZE), 2 * PAGE_SIZE as u64);
+        // Coverage is monotone in the page size on the aligned grid.
+        let sweep: Vec<u64> = [1024usize, 2048, 4096, 8192, 16384]
+            .iter()
+            .map(|&p| mem.retained_bytes_at(&baseline, p))
+            .collect();
+        assert!(sweep.windows(2).all(|w| w[0] <= w[1]), "{sweep:?}");
+        // A byte-identical rewrite copies the page (delta counts it) but
+        // retains nothing by byte diffing.
+        let mut same = baseline.clone();
+        let original = same.read_u8(base + 5).unwrap();
+        same.write_u8(base + 5, original).unwrap();
+        assert!(same.delta(&baseline).bytes > 0);
+        assert_eq!(same.retained_bytes_at(&baseline, PAGE_SIZE), 0);
     }
 
     #[test]

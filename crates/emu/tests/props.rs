@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use rr_asm::assemble_and_link;
-use rr_emu::{execute, Machine};
+use rr_emu::{execute, BlockCache, BlockStats, Machine, RunOutcome};
 
 /// Random but *assemblable* straight-line programs over safe instructions
 /// (no memory, no control flow — those are covered by targeted tests).
@@ -34,6 +34,39 @@ fn program(lines: &[String]) -> String {
     }
     src.push_str("    mov r1, r2\n    and r1, 0xff\n    svc 0\n");
     src
+}
+
+/// Like [`program`], but the random body runs inside a countdown loop so
+/// the block executor sees real control flow (back edges, a conditional
+/// exit) instead of one straight-line superblock.
+fn looped_program(lines: &[String], iters: u64) -> String {
+    let mut src = format!("    .global _start\n_start:\n    mov r13, {iters}\n.loop:\n");
+    for line in lines {
+        src.push_str("    ");
+        src.push_str(line);
+        src.push('\n');
+    }
+    src.push_str("    sub r13, 1\n    cmp r13, 0\n    jne .loop\n");
+    src.push_str("    mov r1, r2\n    and r1, 0xff\n    svc 0\n");
+    src
+}
+
+/// Runs `machine` to completion through the block executor in
+/// `chunk`-step slices (so fences land at arbitrary mid-block steps) and
+/// returns `(outcome, total_steps)`.
+fn run_blocks_chunked(
+    machine: &mut Machine,
+    cache: &BlockCache,
+    chunk: u64,
+    max_steps: u64,
+) -> (RunOutcome, u64) {
+    let mut stats = BlockStats::default();
+    let mut total = 0u64;
+    while machine.stopped().is_none() && total < max_steps {
+        let result = machine.run_blocks(cache, chunk.min(max_steps - total), &mut stats);
+        total += result.steps;
+    }
+    (machine.stopped().unwrap_or(RunOutcome::TimedOut), total)
 }
 
 proptest! {
@@ -86,6 +119,42 @@ proptest! {
         let result = m.run(50_000);
         // Any outcome is fine; the property is that we got one.
         let _ = result.outcome;
+    }
+
+    /// Block-cached execution is bit-identical to the interpreter over
+    /// random looped programs, for every fence placement: the same
+    /// outcome after the same number of steps, with the same registers,
+    /// flags, program counter, and output — even when the run is driven
+    /// in chunks whose boundaries land mid-block.
+    #[test]
+    fn block_cached_execution_matches_the_interpreter(
+        lines in proptest::collection::vec(safe_line(), 0..24),
+        iters in 1u64..6,
+        chunk in 1u64..97,
+    ) {
+        let exe = assemble_and_link(&looped_program(&lines, iters)).expect("program builds");
+        let text = exe.text_range();
+        // Every text offset as a candidate leader: undecodable or
+        // mid-instruction candidates are dropped by the builder, so this
+        // maximizes block-entry coverage without knowing the CFG.
+        let cache = BlockCache::build(&exe, text.start..text.end).expect("text decodes");
+        let max_steps = 50_000u64;
+
+        let mut interp = Machine::new(&exe, &[]);
+        let interp_result = interp.run(max_steps);
+
+        let mut blocks = Machine::new(&exe, &[]);
+        let (outcome, steps) = run_blocks_chunked(&mut blocks, &cache, chunk, max_steps);
+
+        prop_assert_eq!(interp_result.outcome, outcome);
+        prop_assert_eq!(interp_result.steps, steps);
+        prop_assert_eq!(interp.pc(), blocks.pc());
+        prop_assert_eq!(interp.flags(), blocks.flags());
+        for i in 0..16u8 {
+            let reg = rr_isa::Reg::from_index(i);
+            prop_assert_eq!(interp.reg(reg), blocks.reg(reg), "r{}", i);
+        }
+        prop_assert_eq!(interp.take_output(), blocks.take_output());
     }
 
     /// Flag state after arithmetic matches the ISA-level flag model.

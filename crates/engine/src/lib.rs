@@ -54,7 +54,9 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod blockcache;
 mod replay;
 pub mod shard;
 
+pub use blockcache::{build_block_cache, rebuild_block_cache};
 pub use replay::{auto_interval, ReplayConfig, ReplayEngine, ReplayError, ReplayFootprint};

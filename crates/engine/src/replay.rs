@@ -1,10 +1,13 @@
 //! Recording a golden run with periodic checkpoints and replaying to
 //! arbitrary trace steps.
 
-use rr_emu::{Execution, Machine, MemoryDelta, Snapshot};
+use rr_emu::{
+    BlockCache, BlockStats, Execution, Machine, MemoryDelta, RunOutcome, RunResult, Snapshot,
+};
 use rr_obj::Executable;
 use rr_telemetry::{Counter, Gauge, SpanKind, Telemetry};
 use std::fmt;
+use std::sync::Arc;
 
 /// Tunables for [`ReplayEngine::record`].
 #[derive(Debug, Clone)]
@@ -39,6 +42,13 @@ pub struct ReplayConfig {
     /// retained-byte gauges). The default handle is disabled and costs a
     /// pointer check per event.
     pub telemetry: Telemetry,
+    /// Pre-decoded superblocks over the executable's text (see
+    /// [`crate::build_block_cache`]). When set, the recording run and
+    /// [`ReplayEngine::machine_at`] forward-stepping execute through
+    /// [`rr_emu::Machine::run_blocks`] — bit-identical to the
+    /// interpreter, but without per-step fetch/decode outside injection
+    /// and capture fences. `None` runs the plain interpreter.
+    pub block_cache: Option<Arc<BlockCache>>,
 }
 
 impl Default for ReplayConfig {
@@ -50,6 +60,7 @@ impl Default for ReplayConfig {
             max_retained_bytes: 256 << 20,
             record_snapshots: true,
             telemetry: Telemetry::default(),
+            block_cache: None,
         }
     }
 }
@@ -157,7 +168,207 @@ pub struct ReplayEngine {
     /// Whether periodic snapshots were captured (engine hint; `false`
     /// means only the initial state exists and replay is from step 0).
     snapshots: bool,
+    /// Block cache the recording ran under; [`ReplayEngine::machine_at`]
+    /// forward-steps through it when present.
+    block_cache: Option<Arc<BlockCache>>,
     telemetry: Telemetry,
+}
+
+/// The checkpoint-capture schedule shared by [`ReplayEngine::record`]
+/// and [`ReplayEngine::replay_range`], factored out so the interpreter
+/// and block-cached drivers follow the identical policy: the interpreter
+/// asks [`Recorder::should_capture`] before every step, the block driver
+/// asks [`Recorder::next_fence`] for the step it must stop at.
+struct Recorder<'a> {
+    config: &'a ReplayConfig,
+    /// First step eligible for periodic capture; `0` for a full
+    /// recording, the last interval boundary at or before the window for
+    /// a region-scoped one.
+    aligned_start: u64,
+    /// Last step eligible for capture; `u64::MAX` for a full recording.
+    window_end: u64,
+    /// Whether the interval still chases √T as the run grows (adaptive
+    /// full recordings); pinned or windowed schedules widen only when a
+    /// retention cap demands it.
+    adaptive: bool,
+    /// Whether periodic captures happen at all.
+    enabled: bool,
+    interval: u64,
+    count_cap: u64,
+    byte_cap: u64,
+    retained_bytes: u64,
+    checkpoints: Vec<Checkpoint>,
+}
+
+impl<'a> Recorder<'a> {
+    /// Schedule for a full recording ([`ReplayEngine::record`]).
+    fn full(machine: &Machine, config: &'a ReplayConfig) -> Recorder<'a> {
+        let fixed = config.checkpoint_interval > 0;
+        let interval = if fixed { config.checkpoint_interval } else { 1 };
+        Recorder::new(machine, config, interval, !fixed, 0, u64::MAX, config.record_snapshots)
+    }
+
+    /// Schedule for a region-scoped recording
+    /// ([`ReplayEngine::replay_range`]).
+    fn windowed(
+        machine: &Machine,
+        config: &'a ReplayConfig,
+        window: &std::ops::Range<u64>,
+    ) -> Recorder<'a> {
+        let interval = if config.checkpoint_interval > 0 {
+            config.checkpoint_interval
+        } else {
+            auto_interval(window.end.saturating_sub(window.start))
+        };
+        let aligned_start = window.start - window.start % interval;
+        let enabled = config.record_snapshots && !window.is_empty();
+        Recorder::new(machine, config, interval, false, aligned_start, window.end, enabled)
+    }
+
+    fn new(
+        machine: &Machine,
+        config: &'a ReplayConfig,
+        interval: u64,
+        adaptive: bool,
+        aligned_start: u64,
+        window_end: u64,
+        enabled: bool,
+    ) -> Recorder<'a> {
+        Recorder {
+            config,
+            aligned_start,
+            window_end,
+            adaptive,
+            enabled,
+            interval,
+            count_cap: if config.max_checkpoints > 0 {
+                config.max_checkpoints as u64
+            } else {
+                u64::MAX
+            },
+            byte_cap: if config.max_retained_bytes > 0 {
+                config.max_retained_bytes
+            } else {
+                u64::MAX
+            },
+            retained_bytes: 0,
+            checkpoints: vec![Checkpoint {
+                step: 0,
+                snapshot: machine.snapshot(),
+                delta: MemoryDelta::default(),
+            }],
+        }
+    }
+
+    /// Whether a checkpoint is due with the machine about to execute
+    /// trace step `step`.
+    fn should_capture(&self, step: u64) -> bool {
+        self.enabled
+            && step > 0
+            && step >= self.aligned_start
+            && step <= self.window_end
+            && (step - self.aligned_start).is_multiple_of(self.interval)
+    }
+
+    /// The next step strictly after `step` at which
+    /// [`Recorder::should_capture`] holds — where the block-cached
+    /// driver must fence. Recomputed per segment because thinning can
+    /// widen the interval mid-run.
+    fn next_fence(&self, step: u64) -> Option<u64> {
+        if !self.enabled {
+            return None;
+        }
+        let fence = if step < self.aligned_start {
+            self.aligned_start
+        } else {
+            self.aligned_start + ((step - self.aligned_start) / self.interval + 1) * self.interval
+        };
+        (fence <= self.window_end).then_some(fence)
+    }
+
+    /// Captures a checkpoint, then thins the schedule while a retention
+    /// cap is exceeded. Adaptive mode additionally chases count ≈
+    /// interval (≈ √T); the byte budget may need several doublings, so
+    /// this loops — step 0 is always retained, so the thinning
+    /// terminates.
+    fn capture(&mut self, machine: &Machine, step: u64) {
+        let capture_span = self.config.telemetry.span(SpanKind::Snapshot);
+        let snapshot = machine.snapshot();
+        let delta =
+            snapshot.dirtied_since(&self.checkpoints.last().expect("initial state").snapshot);
+        drop(capture_span);
+        self.retained_bytes += delta.bytes;
+        self.checkpoints.push(Checkpoint { step, snapshot, delta });
+        loop {
+            let grow_at = if self.adaptive {
+                (2 * self.interval).min(self.count_cap)
+            } else {
+                self.count_cap
+            };
+            let over =
+                self.checkpoints.len() as u64 > grow_at || self.retained_bytes > self.byte_cap;
+            if !over || self.checkpoints.len() <= 1 {
+                break;
+            }
+            self.interval *= 2;
+            // Widening keeps the schedule's alignment: aligned_start
+            // stays on an interval boundary when the interval doubles.
+            let (start, interval) = (self.aligned_start, self.interval);
+            self.checkpoints.retain(|c| {
+                c.step == 0 || (c.step >= start && (c.step - start).is_multiple_of(interval))
+            });
+            self.retained_bytes = recompute_deltas(&mut self.checkpoints);
+        }
+    }
+}
+
+/// Drives one recorded execution under `recorder`'s capture schedule:
+/// the interpreter path checks the schedule before every step; the
+/// block-cached path executes fence-to-fence segments through
+/// [`Machine::run_blocks_traced`], paying the schedule check once per
+/// segment instead of once per instruction.
+fn run_recorded(
+    machine: &mut Machine,
+    config: &ReplayConfig,
+    recorder: &mut Recorder<'_>,
+    trace: &mut Vec<u64>,
+) -> RunResult {
+    let Some(cache) = config.block_cache.as_deref() else {
+        return machine.run_with(config.max_steps, |m| {
+            let step = trace.len() as u64;
+            if recorder.should_capture(step) {
+                recorder.capture(m, step);
+            }
+            trace.push(m.pc());
+        });
+    };
+    let mut stats = BlockStats::default();
+    let result = loop {
+        let step = trace.len() as u64;
+        if let Some(outcome) = machine.stopped() {
+            break RunResult { outcome, steps: step };
+        }
+        if step >= config.max_steps {
+            break RunResult { outcome: RunOutcome::TimedOut, steps: step };
+        }
+        if recorder.should_capture(step) {
+            recorder.capture(machine, step);
+        }
+        let fence = recorder.next_fence(step).map_or(config.max_steps, |f| f.min(config.max_steps));
+        machine.run_blocks_traced(cache, fence - step, &mut stats, trace);
+    };
+    flush_block_stats(&config.telemetry, stats);
+    result
+}
+
+/// Batches a run's block/interp step counts into the telemetry handle.
+fn flush_block_stats(telemetry: &Telemetry, stats: BlockStats) {
+    if stats.block_steps > 0 {
+        telemetry.count(Counter::BlockSteps, stats.block_steps);
+    }
+    if stats.interp_steps > 0 {
+        telemetry.count(Counter::InterpSteps, stats.interp_steps);
+    }
 }
 
 impl ReplayEngine {
@@ -180,47 +391,10 @@ impl ReplayEngine {
     /// would exceed the byte budget.
     pub fn record(exe: &Executable, input: &[u8], config: &ReplayConfig) -> ReplayEngine {
         let record_span = config.telemetry.span(SpanKind::Record);
-        let fixed = config.checkpoint_interval > 0;
-        let mut interval = if fixed { config.checkpoint_interval } else { 1 };
-        let count_cap =
-            if config.max_checkpoints > 0 { config.max_checkpoints as u64 } else { u64::MAX };
-        let byte_cap =
-            if config.max_retained_bytes > 0 { config.max_retained_bytes } else { u64::MAX };
         let mut machine = Machine::new(exe, input);
-        let mut checkpoints = vec![Checkpoint {
-            step: 0,
-            snapshot: machine.snapshot(),
-            delta: MemoryDelta::default(),
-        }];
-        let mut retained_bytes = 0u64;
+        let mut recorder = Recorder::full(&machine, config);
         let mut trace = Vec::new();
-        let result = machine.run_with(config.max_steps, |m| {
-            let step = trace.len() as u64;
-            if config.record_snapshots && step > 0 && step.is_multiple_of(interval) {
-                let capture_span = config.telemetry.span(SpanKind::Snapshot);
-                let snapshot = m.snapshot();
-                let delta =
-                    snapshot.dirtied_since(&checkpoints.last().expect("initial state").snapshot);
-                drop(capture_span);
-                retained_bytes += delta.bytes;
-                checkpoints.push(Checkpoint { step, snapshot, delta });
-                // Adaptive mode chases count ≈ interval (≈ √T); a pinned
-                // interval widens only when a memory cap demands it. The
-                // byte budget may need several doublings, so loop; step 0
-                // is always retained, so the thinning terminates.
-                loop {
-                    let grow_at = if fixed { count_cap } else { (2 * interval).min(count_cap) };
-                    let over = checkpoints.len() as u64 > grow_at || retained_bytes > byte_cap;
-                    if !over || checkpoints.len() <= 1 {
-                        break;
-                    }
-                    interval *= 2;
-                    checkpoints.retain(|c| c.step.is_multiple_of(interval));
-                    retained_bytes = recompute_deltas(&mut checkpoints);
-                }
-            }
-            trace.push(m.pc());
-        });
+        let result = run_recorded(&mut machine, config, &mut recorder, &mut trace);
         let execution = Execution {
             outcome: result.outcome,
             output: machine.take_output(),
@@ -228,11 +402,12 @@ impl ReplayEngine {
         };
         drop(record_span);
         let engine = ReplayEngine {
-            checkpoints,
+            checkpoints: recorder.checkpoints,
             trace,
             execution,
-            interval,
+            interval: recorder.interval,
             snapshots: config.record_snapshots,
+            block_cache: config.block_cache.clone(),
             telemetry: config.telemetry.clone(),
         };
         engine.publish_footprint();
@@ -264,57 +439,10 @@ impl ReplayEngine {
         window: std::ops::Range<u64>,
     ) -> ReplayEngine {
         let record_span = config.telemetry.span(SpanKind::Record);
-        let mut interval = if config.checkpoint_interval > 0 {
-            config.checkpoint_interval
-        } else {
-            auto_interval(window.end.saturating_sub(window.start))
-        };
-        let count_cap =
-            if config.max_checkpoints > 0 { config.max_checkpoints as u64 } else { u64::MAX };
-        let byte_cap =
-            if config.max_retained_bytes > 0 { config.max_retained_bytes } else { u64::MAX };
-        let aligned_start = window.start - window.start % interval;
         let mut machine = Machine::new(exe, input);
-        let mut checkpoints = vec![Checkpoint {
-            step: 0,
-            snapshot: machine.snapshot(),
-            delta: MemoryDelta::default(),
-        }];
-        let mut retained_bytes = 0u64;
+        let mut recorder = Recorder::windowed(&machine, config, &window);
         let mut trace = Vec::new();
-        let result = machine.run_with(config.max_steps, |m| {
-            let step = trace.len() as u64;
-            let capture = config.record_snapshots
-                && !window.is_empty()
-                && step > 0
-                && (aligned_start..=window.end).contains(&step)
-                && (step - aligned_start).is_multiple_of(interval);
-            if capture {
-                let capture_span = config.telemetry.span(SpanKind::Snapshot);
-                let snapshot = m.snapshot();
-                let delta =
-                    snapshot.dirtied_since(&checkpoints.last().expect("initial state").snapshot);
-                drop(capture_span);
-                retained_bytes += delta.bytes;
-                checkpoints.push(Checkpoint { step, snapshot, delta });
-                // The window bounds the checkpoint count by construction;
-                // the caps still apply as a guard, widening the schedule
-                // while keeping its alignment (aligned_start stays on an
-                // interval boundary when the interval doubles).
-                while (checkpoints.len() as u64 > count_cap || retained_bytes > byte_cap)
-                    && checkpoints.len() > 1
-                {
-                    interval *= 2;
-                    checkpoints.retain(|c| {
-                        c.step == 0
-                            || (c.step >= aligned_start
-                                && (c.step - aligned_start).is_multiple_of(interval))
-                    });
-                    retained_bytes = recompute_deltas(&mut checkpoints);
-                }
-            }
-            trace.push(m.pc());
-        });
+        let result = run_recorded(&mut machine, config, &mut recorder, &mut trace);
         let execution = Execution {
             outcome: result.outcome,
             output: machine.take_output(),
@@ -322,11 +450,12 @@ impl ReplayEngine {
         };
         drop(record_span);
         let engine = ReplayEngine {
-            checkpoints,
+            checkpoints: recorder.checkpoints,
             trace,
             execution,
-            interval,
+            interval: recorder.interval,
             snapshots: config.record_snapshots,
+            block_cache: config.block_cache.clone(),
             telemetry: config.telemetry.clone(),
         };
         engine.publish_footprint();
@@ -399,6 +528,22 @@ impl ReplayEngine {
         self.checkpoints[1..].iter().map(|c| c.delta.bytes).sum()
     }
 
+    /// Bytes this recording's checkpoints would retain under a
+    /// **hypothetical** COW page size, from exact byte-level diffs of
+    /// adjacent checkpoint snapshots
+    /// ([`rr_emu::Snapshot::retained_bytes_at`]). The emulator's page
+    /// size is a compile-time constant, so this analytic resample is how
+    /// the footprint benchmark sweeps granularities (1–16 KiB) without
+    /// per-point rebuilds. Byte-identical page rewrites count as clean
+    /// here, so the value at the native page size lower-bounds
+    /// [`ReplayEngine::retained_bytes`].
+    pub fn retained_bytes_at(&self, page_size: usize) -> u64 {
+        self.checkpoints
+            .windows(2)
+            .map(|pair| pair[1].snapshot.retained_bytes_at(&pair[0].snapshot, page_size))
+            .sum()
+    }
+
     /// The trace step of the nearest retained checkpoint at or before
     /// `step` — the restore point [`ReplayEngine::machine_at`] would use,
     /// and the bucketing key for checkpoint-neighbourhood scheduling:
@@ -438,12 +583,37 @@ impl ReplayEngine {
         let index = self.checkpoints.partition_point(|c| c.step <= step) - 1;
         let checkpoint = &self.checkpoints[index];
         let mut machine = Machine::from_snapshot(&checkpoint.snapshot);
-        for at in checkpoint.step..step {
-            if machine.step().is_err() {
-                return Err(ReplayError::Diverged { step: at });
+        match &self.block_cache {
+            Some(cache) => {
+                let mut stats = BlockStats::default();
+                let result = machine.run_blocks(cache, step - checkpoint.step, &mut stats);
+                flush_block_stats(&self.telemetry, stats);
+                if let RunOutcome::Crashed { .. } = result.outcome {
+                    // The last of `result.steps` executed instructions
+                    // crashed; a crash with no step executed means the
+                    // restored state itself was already stopped.
+                    let at = checkpoint.step + result.steps.saturating_sub(1);
+                    return Err(ReplayError::Diverged { step: at });
+                }
+                // Exited or TimedOut: either the budget was consumed (we
+                // are at `step`) or the machine stopped normally, where
+                // the interpreter loop would no-op the remaining steps.
+            }
+            None => {
+                for at in checkpoint.step..step {
+                    if machine.step().is_err() {
+                        return Err(ReplayError::Diverged { step: at });
+                    }
+                }
             }
         }
         Ok(machine)
+    }
+
+    /// The block cache the recording ran under, if any — sessions share
+    /// it across replays and post-injection continuations.
+    pub fn block_cache(&self) -> Option<&Arc<BlockCache>> {
+        self.block_cache.as_ref()
     }
 }
 
@@ -824,6 +994,95 @@ mod tests {
         assert!(capped.interval() > 8, "interval must widen under the cap");
         let m = capped.machine_at(steps / 3).unwrap();
         assert_eq!(m.pc(), capped.trace()[(steps / 3) as usize]);
+    }
+
+    /// Block-cached configs for an executable: the same `ReplayConfig`
+    /// with a cache built from the recovered CFG.
+    fn blocked(config: &ReplayConfig, exe: &Executable) -> ReplayConfig {
+        ReplayConfig {
+            block_cache: Some(
+                crate::build_block_cache(exe, &config.telemetry).expect("sample decodes"),
+            ),
+            ..config.clone()
+        }
+    }
+
+    #[test]
+    fn block_cached_recording_is_bit_identical() {
+        let exe = looping_exe(300);
+        for base in [
+            ReplayConfig::default(),
+            ReplayConfig { checkpoint_interval: 16, ..ReplayConfig::default() },
+            ReplayConfig { max_checkpoints: 8, ..ReplayConfig::default() },
+            ReplayConfig { record_snapshots: false, ..ReplayConfig::default() },
+        ] {
+            let interp = ReplayEngine::record(&exe, &[], &base);
+            let blocks = ReplayEngine::record(&exe, &[], &blocked(&base, &exe));
+            assert_eq!(interp.execution(), blocks.execution());
+            assert_eq!(interp.trace(), blocks.trace());
+            assert_eq!(interp.interval(), blocks.interval());
+            assert_eq!(interp.checkpoint_count(), blocks.checkpoint_count());
+            let steps: Vec<u64> = interp.checkpoints.iter().map(|c| c.step).collect();
+            let block_steps: Vec<u64> = blocks.checkpoints.iter().map(|c| c.step).collect();
+            assert_eq!(steps, block_steps, "capture schedule must not drift");
+        }
+    }
+
+    #[test]
+    fn block_cached_machine_at_matches_the_interpreter() {
+        let exe = looping_exe(80);
+        let base = ReplayConfig { checkpoint_interval: 16, ..ReplayConfig::default() };
+        let interp = ReplayEngine::record(&exe, &[], &base);
+        let blocks = ReplayEngine::record(&exe, &[], &blocked(&base, &exe));
+        let total = interp.trace().len() as u64;
+        for step in [0, 1, 15, 16, 17, 100, total - 1, total] {
+            let a = interp.machine_at(step).unwrap();
+            let b = blocks.machine_at(step).unwrap();
+            assert_eq!(a.pc(), b.pc(), "pc at step {step}");
+            assert_eq!(a.flags(), b.flags(), "flags at step {step}");
+            assert_eq!(a.stopped(), b.stopped(), "stop state at step {step}");
+            for r in rr_isa_regs() {
+                assert_eq!(a.reg(r), b.reg(r), "reg {r} at step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_cached_replay_range_matches_the_interpreter() {
+        let exe = looping_exe(400);
+        let steps = ReplayEngine::record(&exe, &[], &ReplayConfig::default()).execution().steps;
+        let window = (steps / 3)..(steps / 2);
+        let base = ReplayConfig { checkpoint_interval: 16, ..ReplayConfig::default() };
+        let interp = ReplayEngine::replay_range(&exe, &[], &base, window.clone());
+        let blocks = ReplayEngine::replay_range(&exe, &[], &blocked(&base, &exe), window.clone());
+        assert_eq!(interp.execution(), blocks.execution());
+        assert_eq!(interp.trace(), blocks.trace());
+        let steps_a: Vec<u64> = interp.checkpoints.iter().map(|c| c.step).collect();
+        let steps_b: Vec<u64> = blocks.checkpoints.iter().map(|c| c.step).collect();
+        assert_eq!(steps_a, steps_b, "windowed capture schedule must not drift");
+        for step in [0, window.start, window.start + 5, window.end - 1] {
+            let a = interp.machine_at(step).unwrap();
+            let b = blocks.machine_at(step).unwrap();
+            assert_eq!(a.pc(), b.pc(), "step {step}");
+        }
+    }
+
+    #[test]
+    fn block_cached_thinning_keeps_the_schedule_aligned() {
+        // Byte-budget thinning doubles the interval mid-run; the block
+        // driver must re-derive its fences from the widened schedule.
+        let exe = stack_churn_exe(800);
+        let free = ReplayEngine::record(&exe, &[], &ReplayConfig::default());
+        let budget = free.retained_bytes() / 4;
+        let base = ReplayConfig { max_retained_bytes: budget, ..ReplayConfig::default() };
+        let interp = ReplayEngine::record(&exe, &[], &base);
+        let blocks = ReplayEngine::record(&exe, &[], &blocked(&base, &exe));
+        assert_eq!(interp.execution(), blocks.execution());
+        assert_eq!(interp.interval(), blocks.interval());
+        let steps_a: Vec<u64> = interp.checkpoints.iter().map(|c| c.step).collect();
+        let steps_b: Vec<u64> = blocks.checkpoints.iter().map(|c| c.step).collect();
+        assert_eq!(steps_a, steps_b);
+        assert!(blocks.retained_bytes() <= budget);
     }
 
     #[test]

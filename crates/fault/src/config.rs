@@ -49,6 +49,44 @@ impl FromStr for CampaignEngine {
     }
 }
 
+/// How a session executes emulated instructions.
+///
+/// Both modes are bit-identical (pinned by proptests); the choice is
+/// purely a speed/robustness knob surfaced as `--exec` on the CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Per-step fetch/decode interpretation everywhere (the reference
+    /// implementation).
+    Interp,
+    /// Pre-decoded superblock execution for golden recording, replay
+    /// positioning, and post-injection continuation, with interpreter
+    /// fallback over code the session has modified (see
+    /// [`rr_engine::build_block_cache`]).
+    #[default]
+    Blocks,
+}
+
+impl fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ExecMode::Interp => "interp",
+            ExecMode::Blocks => "blocks",
+        })
+    }
+}
+
+impl FromStr for ExecMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "interp" => Ok(ExecMode::Interp),
+            "blocks" => Ok(ExecMode::Blocks),
+            other => Err(format!("unknown exec mode `{other}` (interp|blocks)")),
+        }
+    }
+}
+
 /// Tunables for a fault-injection session.
 #[derive(Debug, Clone)]
 pub struct CampaignConfig {
@@ -87,20 +125,20 @@ pub struct CampaignConfig {
     /// policy, sampling budget, and sampling seed. The default is the
     /// classic single-fault campaign (order 1).
     pub plan: PlanConfig,
-    /// Checkpoint-neighbourhood plan bucketing (checkpointed engine,
-    /// **multi-fault campaigns** — [`PlanConfig::order`] ≥ 2): plans are
-    /// grouped by the checkpoint preceding their earliest injection and
-    /// each bucket is evaluated by one sweep that restores the
-    /// checkpoint once and walks forward, cloning the in-flight machine
-    /// at every injection point — instead of paying a
-    /// restore-plus-forward-replay per plan. Order-1 campaigns keep
-    /// per-plan scheduling (singletons arrive in site order, so
-    /// contiguous shards are already checkpoint-local, and the
-    /// [`CampaignConfig::shard`] policy stays meaningful).
-    /// Classifications are identical either way (the multifault
-    /// benchmark gates the speedup); `false` falls back to per-plan
-    /// positioning everywhere.
+    /// Checkpoint-neighbourhood plan bucketing (checkpointed engine):
+    /// plans — singletons and multi-fault alike — are grouped by the
+    /// checkpoint preceding their earliest injection, and each bucket is
+    /// evaluated by one sweep that restores the checkpoint once and
+    /// walks forward (block-cached under
+    /// [`ExecMode::Blocks`]), cloning the in-flight machine at every
+    /// injection point — instead of paying a restore-plus-forward-replay
+    /// per plan. Classifications are identical either way (the
+    /// multifault benchmark gates the speedup); `false` falls back to
+    /// per-plan positioning everywhere.
     pub bucketing: bool,
+    /// How emulated instructions execute — pre-decoded superblocks
+    /// (default) or the plain interpreter. See [`ExecMode`].
+    pub exec: ExecMode,
 }
 
 impl Default for CampaignConfig {
@@ -117,6 +155,7 @@ impl Default for CampaignConfig {
             engine: CampaignEngine::default(),
             plan: PlanConfig::default(),
             bucketing: true,
+            exec: ExecMode::default(),
         }
     }
 }
@@ -145,5 +184,16 @@ mod tests {
         assert_eq!(config.plan.order, 1, "single-fault campaigns are the default");
         assert_eq!(config.plan.budget, None, "order 1 is exhaustive by default");
         assert!(config.bucketing, "warm checkpoint scheduling is the default");
+        assert_eq!(config.exec, ExecMode::Blocks, "block-cached execution is the default");
+    }
+
+    #[test]
+    fn exec_mode_names_parse_and_render() {
+        assert_eq!("interp".parse::<ExecMode>().unwrap(), ExecMode::Interp);
+        assert_eq!("blocks".parse::<ExecMode>().unwrap(), ExecMode::Blocks);
+        assert!("jit".parse::<ExecMode>().is_err());
+        assert_eq!(ExecMode::default(), ExecMode::Blocks);
+        assert_eq!(ExecMode::Interp.to_string(), "interp");
+        assert_eq!(ExecMode::Blocks.to_string(), "blocks");
     }
 }

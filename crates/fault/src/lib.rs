@@ -149,7 +149,7 @@ mod session;
 mod site;
 
 pub use cache::{CampaignSeed, ClassificationCache, ReuseStats, REUSE_GUARD_WINDOW};
-pub use config::{CampaignConfig, CampaignEngine};
+pub use config::{CampaignConfig, CampaignEngine, ExecMode};
 pub use model::{
     enumerate_plans, FaultModel, FlagFlip, InstructionSkip, PairPolicy, PlanConfig, PlanSet,
     RegisterBitFlip, SingleBitFlip,

@@ -20,13 +20,13 @@
 //!   over the trace sites (per [`CampaignConfig::shard`] policy).
 
 use crate::cache::{self, CampaignSeed, ClassificationCache, ReuseStats};
-use crate::config::{CampaignConfig, CampaignEngine};
+use crate::config::{CampaignConfig, CampaignEngine, ExecMode};
 use crate::model::{enumerate_plans, FaultModel};
 use crate::oracle::{Behavior, GoldenPairOracle, Oracle};
 use crate::report::{CampaignReport, FaultResult, ModelSummary, Summary};
 use crate::site::{Fault, FaultClass, FaultEffect, FaultPlan, FaultSite};
 use rr_disasm::ListingDelta;
-use rr_emu::{execute, Execution, Machine, RunOutcome};
+use rr_emu::{execute, BlockStats, Execution, Machine, RunOutcome, RunResult};
 use rr_engine::shard::{run_bucketed, run_scheduled, scheduled_fold};
 use rr_engine::{ReplayConfig, ReplayEngine, ReplayFootprint};
 use rr_isa::{decode, Flags, MAX_INSTR_LEN};
@@ -216,12 +216,29 @@ impl CampaignSessionBuilder {
             }
         }
 
+        // Pre-decode the text into superblocks once per session. A
+        // seeded session accounts the rewrite's invalidations against
+        // the prior session's cache (and reuses it outright when the
+        // text bytes are unchanged).
+        let block_cache = match config.exec {
+            ExecMode::Blocks => match &self.seed {
+                Some((seed, delta)) => rr_engine::rebuild_block_cache(
+                    seed.block_cache.as_ref(),
+                    delta,
+                    &self.exe,
+                    &self.telemetry,
+                ),
+                None => rr_engine::build_block_cache(&self.exe, &self.telemetry),
+            },
+            ExecMode::Interp => None,
+        };
         let replay_config = ReplayConfig {
             max_steps: config.golden_max_steps,
             checkpoint_interval: config.checkpoint_interval,
             max_retained_bytes: config.max_retained_bytes,
             record_snapshots: config.engine == CampaignEngine::Checkpointed,
             telemetry: self.telemetry.clone(),
+            block_cache,
             ..ReplayConfig::default()
         };
         // A seeded checkpointed session defers snapshot capture: the
@@ -446,6 +463,7 @@ impl CampaignSession {
             oracle_fingerprint: self.oracle.fingerprint(),
             faulted_budget: (self.golden_bad.steps * self.config.faulted_step_multiplier)
                 .max(self.config.faulted_min_steps),
+            block_cache: self.replay.block_cache().cloned(),
         }
     }
 
@@ -584,7 +602,7 @@ impl CampaignSession {
             prev_step = fault.step;
             if gap > 0 {
                 let allowed = gap.min(budget - used);
-                let result = machine.run(allowed);
+                let result = self.faulted_run(&mut machine, allowed);
                 used += result.steps;
                 if result.outcome != RunOutcome::TimedOut || allowed < gap {
                     // The run ended before this injection's time arrived
@@ -605,7 +623,7 @@ impl CampaignSession {
                 return class;
             }
         }
-        let result = machine.run(budget - used);
+        let result = self.faulted_run(&mut machine, budget - used);
         let faulted = Behavior {
             outcome: result.outcome,
             output: machine.take_output(),
@@ -615,6 +633,28 @@ impl CampaignSession {
         self.classify(&faulted)
     }
 
+    /// Runs a faulted continuation for up to `max_steps`, block-cached
+    /// when the session has a cache. Injections that rewrote code bytes
+    /// ([`FaultEffect::FlipInstructionBit`]) marked those ranges
+    /// exec-dirty, so the block executor falls back to precise
+    /// interpretation over exactly the corrupted code.
+    fn faulted_run(&self, machine: &mut Machine, max_steps: u64) -> RunResult {
+        match self.replay.block_cache() {
+            Some(cache) => {
+                let mut stats = BlockStats::default();
+                let result = machine.run_blocks(cache, max_steps, &mut stats);
+                if stats.block_steps > 0 {
+                    self.telemetry.count(Counter::BlockSteps, stats.block_steps);
+                }
+                if stats.interp_steps > 0 {
+                    self.telemetry.count(Counter::InterpSteps, stats.interp_steps);
+                }
+                result
+            }
+            None => machine.run(max_steps),
+        }
+    }
+
     /// Consults the oracle under a [`SpanKind::Classify`] span.
     fn classify(&self, faulted: &Behavior) -> FaultClass {
         let _classify_span = self.telemetry.span(SpanKind::Classify);
@@ -622,19 +662,20 @@ impl CampaignSession {
     }
 
     /// Evaluates every `(model, plan)` pair, scheduling per the session
-    /// config: **multi-fault** checkpointed sessions with
-    /// [`CampaignConfig::bucketing`] group plans by the checkpoint
-    /// preceding their earliest injection and sweep each neighbourhood
-    /// with one restore ([`CampaignSession::evaluate_bucket`]);
-    /// otherwise every plan is positioned independently under the
-    /// session's [`rr_engine::shard::ShardPolicy`]. Order-1 campaigns
-    /// keep the per-plan path on purpose — singleton plans arrive in
-    /// site order, so contiguous shards are already checkpoint-local,
-    /// and the `shard` knob (contiguous vs interleaved balance) stays
-    /// meaningful. Classifications are identical either way.
+    /// config: checkpointed sessions with [`CampaignConfig::bucketing`]
+    /// group plans — singletons and multi-fault alike — by the
+    /// checkpoint preceding their earliest injection and sweep each
+    /// neighbourhood with one restore
+    /// ([`CampaignSession::evaluate_bucket`]); otherwise every plan is
+    /// positioned independently under the session's
+    /// [`rr_engine::shard::ShardPolicy`]. Singleton plans used to take
+    /// the per-plan path, but the bucket sweep wins for them too: one
+    /// restore plus one forward walk serves every fault enumerated in
+    /// the neighbourhood, where per-plan positioning re-pays the walk
+    /// for each of the `8 × len` bit-flip faults at a single site.
+    /// Classifications are identical either way.
     fn evaluate_all(&self, plans: &[(&'static str, FaultPlan)]) -> Vec<FaultClass> {
         let bucketed = self.config.bucketing
-            && self.config.plan.order >= 2
             && self.config.engine == CampaignEngine::Checkpointed
             && self.replay.records_snapshots();
         if bucketed {
@@ -694,11 +735,41 @@ impl CampaignSession {
                 }
             }
             if let Some((machine, at)) = cursor.as_mut() {
-                while !diverged && *at < plan.earliest_step() {
-                    if machine.step().is_err() {
-                        diverged = true;
+                let target = plan.earliest_step();
+                match self.replay.block_cache() {
+                    Some(cache) if !diverged && *at < target => {
+                        let mut stats = BlockStats::default();
+                        let result = machine.run_blocks(cache, target - *at, &mut stats);
+                        if stats.block_steps > 0 {
+                            self.telemetry.count(Counter::BlockSteps, stats.block_steps);
+                        }
+                        if stats.interp_steps > 0 {
+                            self.telemetry.count(Counter::InterpSteps, stats.interp_steps);
+                        }
+                        match result.outcome {
+                            RunOutcome::Crashed { .. } => {
+                                // The crashing step counts, mirroring the
+                                // interpreter loop below (its `step()`
+                                // error still advances `*at`).
+                                *at += result.steps.max(1);
+                                diverged = true;
+                            }
+                            // Exited before the target: the interpreter
+                            // loop would no-op the remaining stopped
+                            // steps to the target, so fast-forward.
+                            // TimedOut is the budget fence — the walk
+                            // arrived exactly at the target.
+                            _ => *at = target,
+                        }
                     }
-                    *at += 1;
+                    _ => {
+                        while !diverged && *at < target {
+                            if machine.step().is_err() {
+                                diverged = true;
+                            }
+                            *at += 1;
+                        }
+                    }
                 }
             }
             if diverged {

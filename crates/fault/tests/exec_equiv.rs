@@ -1,0 +1,130 @@
+//! Execution-mode equivalence: block-cached superblock execution
+//! ([`rr_fault::ExecMode::Blocks`], the default) must classify every
+//! fault exactly like the per-step interpreter
+//! ([`rr_fault::ExecMode::Interp`]), for every workload, engine,
+//! thread count, and bucketing choice.
+//!
+//! This is the bit-identity contract the acceleration rests on: the
+//! block executor runs the *same* decoded instructions over the *same*
+//! bytes, falls back to interpretation over any code the session
+//! modified (injections mark their ranges exec-dirty), and stops at
+//! exactly the same step for fences, budgets, crashes, and exits. Any
+//! divergence here is a bug in the block cache (stale decode, missed
+//! self-modification) or in the fence arithmetic, and would silently
+//! corrupt campaign results — so the comparison is on full reports,
+//! fault by fault.
+
+use rr_fault::{
+    CampaignConfig, CampaignEngine, CampaignReport, CampaignSession, Collect, ExecMode, FaultModel,
+    InstructionSkip, PairPolicy, PlanConfig, SingleBitFlip,
+};
+use rr_workloads::Workload;
+
+fn session(w: &Workload, config: CampaignConfig) -> CampaignSession {
+    CampaignSession::builder(w.build().unwrap_or_else(|e| panic!("{}: build failed: {e}", w.name)))
+        .good_input(&w.good_input[..])
+        .bad_input(&w.bad_input[..])
+        .config(config)
+        .build()
+        .unwrap_or_else(|e| panic!("{}: session setup failed: {e}", w.name))
+}
+
+fn run_one(s: &CampaignSession, model: &dyn FaultModel) -> CampaignReport {
+    s.run(&[model], Collect).pop().expect("one report per model")
+}
+
+fn assert_reports_equal(a: &CampaignReport, b: &CampaignReport, context: &str) {
+    assert_eq!(a.results.len(), b.results.len(), "{context}: fault counts differ");
+    for (x, y) in a.results.iter().zip(&b.results) {
+        assert_eq!(
+            x,
+            y,
+            "{context}: classification diverged at step {} pc {:#x}",
+            x.fault().step,
+            x.fault().pc
+        );
+    }
+}
+
+/// Every workload, both engines, bucketing on and off, serial and
+/// parallel: interp and blocks classify identically, report for report.
+#[test]
+fn blocks_match_interp_across_workloads_engines_and_scheduling() {
+    for w in rr_workloads::all_workloads() {
+        // Keep the grid affordable: skip is exhaustive on every
+        // workload, and strided bit flips cover the code-corrupting
+        // effect that forces interpreter fallback.
+        for (engine, bucketing, threads) in [
+            (CampaignEngine::Checkpointed, true, 1),
+            (CampaignEngine::Checkpointed, false, 1),
+            (CampaignEngine::Checkpointed, true, 4),
+            (CampaignEngine::Naive, false, 1),
+        ] {
+            let base = CampaignConfig {
+                engine,
+                bucketing,
+                threads,
+                site_stride: 2,
+                ..CampaignConfig::default()
+            };
+            let context =
+                format!("{} engine={engine} bucketing={bucketing} threads={threads}", w.name);
+            let interp = session(&w, CampaignConfig { exec: ExecMode::Interp, ..base.clone() });
+            let blocks = session(&w, CampaignConfig { exec: ExecMode::Blocks, ..base });
+            assert_reports_equal(
+                &run_one(&interp, &InstructionSkip),
+                &run_one(&blocks, &InstructionSkip),
+                &format!("{context} skip"),
+            );
+            assert_reports_equal(
+                &run_one(&interp, &SingleBitFlip),
+                &run_one(&blocks, &SingleBitFlip),
+                &format!("{context} bitflip"),
+            );
+            assert_eq!(
+                run_one(&blocks, &InstructionSkip).summary().diverged,
+                0,
+                "{context}: block replay diverged"
+            );
+        }
+    }
+}
+
+/// Multi-fault plans inject at several timed points of one continuation;
+/// the block executor must honour every intermediate fence exactly.
+#[test]
+fn blocks_match_interp_for_double_fault_plans() {
+    let w = rr_workloads::pincheck();
+    let base = CampaignConfig {
+        plan: PlanConfig {
+            order: 2,
+            policy: PairPolicy::WithinWindow { max_gap: 6 },
+            budget: Some(2_000),
+            seed: 7,
+        },
+        ..CampaignConfig::default()
+    };
+    let interp = session(&w, CampaignConfig { exec: ExecMode::Interp, ..base.clone() });
+    let blocks = session(&w, CampaignConfig { exec: ExecMode::Blocks, ..base });
+    assert_reports_equal(
+        &run_one(&interp, &InstructionSkip),
+        &run_one(&blocks, &InstructionSkip),
+        "pincheck order-2 skip",
+    );
+}
+
+/// The default config really is block-cached: an explicitly-interp
+/// session and a default one still agree on a full campaign.
+#[test]
+fn default_session_is_block_cached_and_equivalent() {
+    assert_eq!(CampaignConfig::default().exec, ExecMode::Blocks);
+    let w = rr_workloads::otp_check();
+    let default = session(&w, CampaignConfig::default());
+    let interp =
+        session(&w, CampaignConfig { exec: ExecMode::Interp, ..CampaignConfig::default() });
+    assert_reports_equal(
+        &run_one(&interp, &InstructionSkip),
+        &run_one(&default, &InstructionSkip),
+        "otp default-vs-interp",
+    );
+}

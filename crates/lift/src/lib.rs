@@ -16,10 +16,6 @@
 //!
 //! ## Known modelling gaps (documented divergences)
 //!
-//! * `mul` overflow flags: the machine sets C/V on unsigned overflow; the
-//!   lifted code leaves them clear. Programs that branch on C/V
-//!   immediately after `mul` would diverge; none of the workloads do, and
-//!   the end-to-end equivalence tests would catch it.
 //! * Indirect *jumps* (`jmpr`) are rejected ([`LiftError::Unsupported`]) —
 //!   their targets are not statically known. Indirect *calls* are
 //!   supported (they return).

@@ -190,6 +190,32 @@ impl Ctx<'_> {
         self.write_flag(b, Cell::V, zero);
     }
 
+    /// NZCV for `a * b = res` (wrapping): ZN from the result, C = V =
+    /// unsigned overflow, matching the machine's `overflowing_mul`.
+    ///
+    /// RRIR has no widening multiply, so overflow is recovered by
+    /// division: for `a != 0`, the wrapped product overflowed iff
+    /// `res udiv a != b`. The divisor is forced to 1 when `a == 0`
+    /// (`a | (a == 0)`) so the division is total, and the quotient
+    /// check is masked out in that case (0 · b never overflows).
+    fn flags_mul(&mut self, b: BlockId, a: ValueId, rhs: ValueId, res: ValueId) {
+        let zero = self.konst(b, 0);
+        let one = self.konst(b, 1);
+        let z = self.icmp(b, Pred::Eq, res, zero);
+        let n = self.icmp(b, Pred::Slt, res, zero);
+        let a_is_zero = self.icmp(b, Pred::Eq, a, zero);
+        let denom = self.bin(b, BinOp::Or, a, a_is_zero);
+        let q = self.bin(b, BinOp::Udiv, res, denom);
+        let q_matches = self.icmp(b, Pred::Eq, q, rhs);
+        let q_differs = self.bin(b, BinOp::Xor, q_matches, one);
+        let a_nonzero = self.bin(b, BinOp::Xor, a_is_zero, one);
+        let overflow = self.bin(b, BinOp::And, q_differs, a_nonzero);
+        self.write_flag(b, Cell::Z, z);
+        self.write_flag(b, Cell::N, n);
+        self.write_flag(b, Cell::C, overflow);
+        self.write_flag(b, Cell::V, overflow);
+    }
+
     /// Boolean (0/1) evaluation of a machine condition from flag cells.
     fn eval_cond(&mut self, b: BlockId, cc: Cond) -> ValueId {
         let one = self.konst(b, 1);
@@ -590,13 +616,8 @@ fn lift_instr(ctx: &mut Ctx<'_>, b: BlockId, addr: u64, insn: Instr) -> Result<(
             unreachable!("terminators are consumed before lift_instr")
         }
     }
-    lift_alu_marker(insn);
     Ok(())
 }
-
-/// Marker so the divergence note stays attached to the code: `mul`
-/// overflow flags are approximated (C = V = 0).
-fn lift_alu_marker(_insn: Instr) {}
 
 fn lift_alu(ctx: &mut Ctx<'_>, b: BlockId, op: AluOp, rd: Reg, a: ValueId, rhs: ValueId) {
     let bin = match op {
@@ -613,9 +634,8 @@ fn lift_alu(ctx: &mut Ctx<'_>, b: BlockId, op: AluOp, rd: Reg, a: ValueId, rhs: 
     match op {
         AluOp::Add => ctx.flags_add(b, a, rhs, res),
         AluOp::Sub => ctx.flags_sub(b, a, rhs, res),
-        // Documented divergence: machine `mul` sets C/V on overflow; the
-        // lift clears them (see crate docs).
-        AluOp::And | AluOp::Or | AluOp::Xor | AluOp::Mul | AluOp::Udiv => ctx.flags_logic(b, res),
+        AluOp::Mul => ctx.flags_mul(b, a, rhs, res),
+        AluOp::And | AluOp::Or | AluOp::Xor | AluOp::Udiv => ctx.flags_logic(b, res),
     }
 }
 

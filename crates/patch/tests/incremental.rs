@@ -74,6 +74,59 @@ fn instruction_skip_is_invariant_across_all_workloads() {
     }
 }
 
+/// Block-cached execution survives the harden loop: every iteration's
+/// rewrite shifts the text, the carried cache is invalidated through the
+/// patch's listing delta and rebuilt, and the loop still classifies,
+/// patches, and converges bit-identically to the interpreter.
+#[test]
+fn exec_mode_is_invariant_across_harden_iterations() {
+    use rr_fault::{CampaignConfig, ExecMode};
+    use rr_telemetry::{Counter, Telemetry};
+    for w in [rr_workloads::pincheck(), rr_workloads::otp_check()] {
+        let exe = w.build().unwrap();
+        let harden_with = |exec: ExecMode, telemetry: Telemetry| {
+            let config = HardenConfig {
+                max_iterations: 3,
+                incremental: true,
+                telemetry,
+                campaign: CampaignConfig { exec, ..CampaignConfig::default() },
+                ..HardenConfig::default()
+            };
+            FaulterPatcher::new(config)
+                .harden(&exe, &w.good_input, &w.bad_input, &InstructionSkip)
+                .unwrap_or_else(|e| panic!("{} hardening failed: {e}", w.name))
+        };
+        let telemetry = Telemetry::counters();
+        let interp = harden_with(ExecMode::Interp, Telemetry::disabled());
+        let blocks = harden_with(ExecMode::Blocks, telemetry.clone());
+
+        let context = format!("workload {}", w.name);
+        assert_eq!(interp.iterations, blocks.iterations, "{context}");
+        assert_eq!(
+            interp.hardened.to_bytes(),
+            blocks.hardened.to_bytes(),
+            "{context}: hardened binaries diverged"
+        );
+        assert_eq!(interp.fixed_point, blocks.fixed_point, "{context}");
+        assert_eq!(interp.residual_vulnerabilities, blocks.residual_vulnerabilities, "{context}");
+        assert_eq!(interp.campaigns, blocks.campaigns, "{context}");
+
+        // The block path really ran: text was decoded into blocks, block
+        // steps dominate, and each post-rewrite campaign invalidated the
+        // stale blocks of the carried cache before rebuilding.
+        let metrics = telemetry.metrics().expect("counters attached");
+        assert!(metrics.counter(Counter::BlocksDecoded) > 0, "{context}: no blocks decoded");
+        assert!(metrics.counter(Counter::BlockSteps) > 0, "{context}: no block-executed steps");
+        if blocks.campaigns >= 2 {
+            assert!(
+                metrics.counter(Counter::BlockInvalidations) > 0,
+                "{context}: {} campaigns without a cache invalidation",
+                blocks.campaigns
+            );
+        }
+    }
+}
+
 #[test]
 fn single_bit_flip_is_invariant_across_all_workloads() {
     // Persistent encoding flips are reused only across no-op deltas (a

@@ -151,11 +151,20 @@ pub enum Counter {
     /// Plans evaluated inside bucket sweeps (occupancy numerator:
     /// `bucket_plans / bucket_sweeps` is the mean bucket size).
     BucketPlans,
+    /// Superblocks pre-decoded into the block-cached execution engine.
+    BlocksDecoded,
+    /// Instructions executed from pre-decoded block bodies.
+    BlockSteps,
+    /// Instructions executed by the plain interpreter while a block
+    /// cache was available (fallback: cache miss, dirty code, fences).
+    InterpSteps,
+    /// Cached blocks invalidated by a rewrite's listing delta.
+    BlockInvalidations,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 15;
     /// Every counter, in serialization order.
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::PlansExecuted,
@@ -169,6 +178,10 @@ impl Counter {
         Counter::CowClones,
         Counter::BucketSweeps,
         Counter::BucketPlans,
+        Counter::BlocksDecoded,
+        Counter::BlockSteps,
+        Counter::InterpSteps,
+        Counter::BlockInvalidations,
     ];
 
     /// Stable wire name (used as JSON key).
@@ -185,6 +198,10 @@ impl Counter {
             Counter::CowClones => "cow_clones",
             Counter::BucketSweeps => "bucket_sweeps",
             Counter::BucketPlans => "bucket_plans",
+            Counter::BlocksDecoded => "blocks_decoded",
+            Counter::BlockSteps => "block_steps",
+            Counter::InterpSteps => "interp_steps",
+            Counter::BlockInvalidations => "block_invalidations",
         }
     }
 
