@@ -1,0 +1,402 @@
+//! The `rr analyze` static vulnerability report.
+//!
+//! Two views of a binary, computed without executing it:
+//!
+//! * **Single points of failure** — conditional branches whose decision
+//!   is not replicated. A forward reaching-definitions pass over each
+//!   function's basic blocks tracks which flag-setting instructions can
+//!   feed each `j<cc>`; a branch counts as *protected* only when another
+//!   conditional branch in the same function tests the same (or negated)
+//!   condition against a *duplicate* of one of its compares — exactly the
+//!   shape `rr-patch`'s hardening patterns emit.
+//! * **Prunable-site percentages** — over the canonical per-site effect
+//!   universes of the four fault models (skip; 8×len instruction bit
+//!   flips; 16×64 register bit flips; 4 flag flips), the fraction the
+//!   analysis proves [`StaticVerdict::Benign`](crate::StaticVerdict).
+
+use crate::analysis::{Analysis, StaticVerdict};
+use rr_disasm::Function;
+use rr_isa::{Cond, Instr, Reg};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// Benign/total effect counts for one fault-model universe.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EffectCounts {
+    /// Effects the analysis proves benign.
+    pub benign: u64,
+    /// All effects in the model's per-site universe.
+    pub total: u64,
+}
+
+impl EffectCounts {
+    fn add(&mut self, other: EffectCounts) {
+        self.benign += other.benign;
+        self.total += other.total;
+    }
+
+    /// `benign / total` as a percentage (0 when the universe is empty).
+    pub fn pct(self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.benign as f64 * 100.0 / self.total as f64
+        }
+    }
+}
+
+/// Prunable-effect counts per fault model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrunableStats {
+    /// Instruction skips (1 per site).
+    pub skip: EffectCounts,
+    /// Instruction-encoding bit flips (8 × length per site).
+    pub insn_bitflip: EffectCounts,
+    /// Register bit flips (16 registers × 64 bits per site).
+    pub reg_bitflip: EffectCounts,
+    /// Single-bit flag flips (4 per site).
+    pub flag_flip: EffectCounts,
+}
+
+impl PrunableStats {
+    fn add(&mut self, other: &PrunableStats) {
+        self.skip.add(other.skip);
+        self.insn_bitflip.add(other.insn_bitflip);
+        self.reg_bitflip.add(other.reg_bitflip);
+        self.flag_flip.add(other.flag_flip);
+    }
+
+    /// All models pooled.
+    pub fn combined(&self) -> EffectCounts {
+        let mut all = EffectCounts::default();
+        all.add(self.skip);
+        all.add(self.insn_bitflip);
+        all.add(self.reg_bitflip);
+        all.add(self.flag_flip);
+        all
+    }
+}
+
+/// Static findings for one recovered function.
+#[derive(Debug, Clone)]
+pub struct FunctionReport {
+    /// Function name (symbol or `f_<entry>`).
+    pub name: String,
+    /// Entry address.
+    pub entry: u64,
+    /// Instructions in the function.
+    pub instructions: usize,
+    /// Conditional branches in the function.
+    pub cond_branches: usize,
+    /// Conditional branches with no duplicated compare/branch companion —
+    /// the unprotected single points of failure the paper's patterns fix.
+    pub unprotected_spofs: usize,
+    /// Prunable-effect counts over the function's sites.
+    pub prunable: PrunableStats,
+}
+
+/// The full `rr analyze` report.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// Per-function findings, in entry-address order.
+    pub functions: Vec<FunctionReport>,
+}
+
+impl AnalysisReport {
+    /// Aggregated prunable-effect counts.
+    pub fn total_prunable(&self) -> PrunableStats {
+        let mut total = PrunableStats::default();
+        for f in &self.functions {
+            total.add(&f.prunable);
+        }
+        total
+    }
+
+    /// Total unprotected compare/branch single points of failure.
+    pub fn total_spofs(&self) -> usize {
+        self.functions.iter().map(|f| f.unprotected_spofs).sum()
+    }
+
+    /// Renders the report as one `rr-analyze-v1` JSON object.
+    pub fn to_json(&self) -> String {
+        fn counts(c: EffectCounts) -> String {
+            format!("{{\"benign\": {}, \"total\": {}, \"pct\": {:.2}}}", c.benign, c.total, c.pct())
+        }
+        fn prunable(p: &PrunableStats) -> String {
+            format!(
+                "{{\"skip\": {}, \"insn_bitflip\": {}, \"reg_bitflip\": {}, \"flag_flip\": {}, \"combined\": {}}}",
+                counts(p.skip),
+                counts(p.insn_bitflip),
+                counts(p.reg_bitflip),
+                counts(p.flag_flip),
+                counts(p.combined()),
+            )
+        }
+        let mut out = String::from("{\n  \"schema\": \"rr-analyze-v1\",\n  \"functions\": [");
+        for (i, f) in self.functions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"name\": \"{}\", \"entry\": {}, \"instructions\": {}, \
+                 \"cond_branches\": {}, \"unprotected_spofs\": {}, \"prunable\": {}}}",
+                f.name.escape_default(),
+                f.entry,
+                f.instructions,
+                f.cond_branches,
+                f.unprotected_spofs,
+                prunable(&f.prunable),
+            ));
+        }
+        out.push_str(&format!(
+            "\n  ],\n  \"total_unprotected_spofs\": {},\n  \"total_prunable\": {}\n}}\n",
+            self.total_spofs(),
+            prunable(&self.total_prunable()),
+        ));
+        out
+    }
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<20} {:>6} {:>8} {:>6} {:>10}",
+            "function", "instrs", "branches", "spofs", "prunable"
+        )?;
+        for func in &self.functions {
+            writeln!(
+                f,
+                "{:<20} {:>6} {:>8} {:>6} {:>9.1}%",
+                func.name,
+                func.instructions,
+                func.cond_branches,
+                func.unprotected_spofs,
+                func.prunable.combined().pct(),
+            )?;
+        }
+        let total = self.total_prunable().combined();
+        writeln!(
+            f,
+            "unprotected compare/branch SPOFs: {}; statically prunable effects: {}/{} ({:.1}%)",
+            self.total_spofs(),
+            total.benign,
+            total.total,
+            total.pct(),
+        )
+    }
+}
+
+/// One conditional branch and the compares that can feed it.
+struct BranchFacts {
+    cc: Cond,
+    /// Addresses of the flag definitions reaching the branch.
+    reaching: BTreeSet<u64>,
+}
+
+/// Forward reaching definitions of the flags over one function's blocks:
+/// for every conditional branch, which flag-setting instructions can
+/// have produced the flags it tests.
+fn branch_facts(function: &Function) -> Vec<BranchFacts> {
+    let n = function.blocks.len();
+    // IN of a block = union of predecessors' OUT.
+    let inset = |out: &[BTreeSet<u64>], addr: u64| {
+        let mut acc = BTreeSet::new();
+        for (p, pred) in function.blocks.iter().enumerate() {
+            if pred.succs.contains(&addr) {
+                acc.extend(out[p].iter().copied());
+            }
+        }
+        acc
+    };
+
+    // GEN = the block's last flag definition; a block with any flag
+    // definition kills everything inbound.
+    let gens: Vec<Option<u64>> = function
+        .blocks
+        .iter()
+        .map(|b| b.instrs.iter().rev().find(|(_, i)| i.sets_flags()).map(|(pc, _)| *pc))
+        .collect();
+
+    let mut out: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (i, block) in function.blocks.iter().enumerate() {
+            let new_out = match gens[i] {
+                Some(pc) => BTreeSet::from([pc]),
+                None => inset(&out, block.addr),
+            };
+            if new_out != out[i] {
+                out[i] = new_out;
+                changed = true;
+            }
+        }
+    }
+
+    let mut facts = Vec::new();
+    for block in &function.blocks {
+        // Reaching set at a point inside the block: the last in-block
+        // definition before it, else the block's IN set.
+        let mut current = inset(&out, block.addr);
+        for (pc, insn) in &block.instrs {
+            if let Instr::Jcc { cc, .. } = insn {
+                facts.push(BranchFacts { cc: *cc, reaching: current.clone() });
+            }
+            if insn.sets_flags() {
+                current = BTreeSet::from([*pc]);
+            }
+        }
+    }
+    facts
+}
+
+impl Analysis {
+    /// Computes the `rr analyze` static vulnerability report.
+    pub fn report(&self) -> AnalysisReport {
+        let functions =
+            self.functions()
+                .iter()
+                .map(|function| {
+                    let mut instructions = 0;
+                    let mut prunable = PrunableStats::default();
+                    let mut compares: HashMap<u64, Instr> = HashMap::new();
+                    for block in &function.blocks {
+                        for &(pc, insn) in &block.instrs {
+                            instructions += 1;
+                            if insn.sets_flags() {
+                                compares.insert(pc, insn);
+                            }
+                            self.tally_site(pc, &mut prunable);
+                        }
+                    }
+
+                    let facts = branch_facts(function);
+                    let unprotected = facts
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, branch)| {
+                            !facts.iter().enumerate().any(|(j, other)| {
+                                j != *i
+                                    && (other.cc == branch.cc || other.cc == branch.cc.negate())
+                                    && branch.reaching.iter().any(|d| {
+                                        other.reaching.iter().any(|d2| {
+                                            d != d2 && compares.get(d) == compares.get(d2)
+                                        })
+                                    })
+                            })
+                        })
+                        .count();
+
+                    FunctionReport {
+                        name: function.name.clone(),
+                        entry: function.entry,
+                        instructions,
+                        cond_branches: facts.len(),
+                        unprotected_spofs: unprotected,
+                        prunable,
+                    }
+                })
+                .collect();
+        AnalysisReport { functions }
+    }
+
+    /// Adds one site's canonical effect universes to `stats`.
+    fn tally_site(&self, pc: u64, stats: &mut PrunableStats) {
+        let benign = |v: StaticVerdict| u64::from(v == StaticVerdict::Benign);
+        stats.skip.total += 1;
+        stats.skip.benign += benign(self.skip_verdict(pc));
+        let len = self.site_len(pc).unwrap_or(0);
+        for byte in 0..len {
+            for bit in 0..8 {
+                stats.insn_bitflip.total += 1;
+                stats.insn_bitflip.benign += benign(self.insn_bit_flip_verdict(pc, byte, bit));
+            }
+        }
+        for reg in Reg::ALL {
+            // One verdict covers all 64 bit positions of the register.
+            stats.reg_bitflip.total += 64;
+            stats.reg_bitflip.benign += 64 * benign(self.reg_flip_verdict(pc, reg));
+        }
+        for bit in 0..4u8 {
+            stats.flag_flip.total += 1;
+            stats.flag_flip.benign += benign(self.flag_flip_verdict(pc, 1 << bit));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_asm::assemble_and_link;
+
+    fn report_for(src: &str) -> AnalysisReport {
+        let exe = assemble_and_link(src).unwrap();
+        Analysis::from_executable(&exe).unwrap().report()
+    }
+
+    #[test]
+    fn lone_branch_is_an_unprotected_spof() {
+        let report = report_for(
+            "    .global _start\n\
+             _start:\n\
+                 cmp r1, 7\n\
+                 jne .deny\n\
+                 mov r1, 1\n\
+                 svc 0\n\
+             .deny:\n\
+                 mov r1, 0\n\
+                 svc 0\n",
+        );
+        assert_eq!(report.functions.len(), 1);
+        assert_eq!(report.functions[0].cond_branches, 1);
+        assert_eq!(report.total_spofs(), 1);
+    }
+
+    #[test]
+    fn duplicated_compare_and_branch_is_protected() {
+        // The hardened shape: the same compare re-executed, the branch
+        // re-tested with the negated condition.
+        let report = report_for(
+            "    .global _start\n\
+             _start:\n\
+                 cmp r1, 7\n\
+                 jne .deny\n\
+                 cmp r1, 7\n\
+                 je .allow\n\
+                 jmp .deny\n\
+             .allow:\n\
+                 mov r1, 1\n\
+                 svc 0\n\
+             .deny:\n\
+                 mov r1, 0\n\
+                 svc 0\n",
+        );
+        assert_eq!(report.functions[0].cond_branches, 2);
+        assert_eq!(report.total_spofs(), 0, "each branch has a duplicate-compare companion");
+    }
+
+    #[test]
+    fn prunable_stats_count_dead_effects() {
+        let report = report_for(
+            "    .global _start\n\
+             _start:\n\
+                 mov r6, 1\n\
+                 mov r6, 2\n\
+                 mov r1, 0\n\
+                 svc 0\n",
+        );
+        let total = report.total_prunable();
+        assert!(total.skip.benign >= 2, "both dead r6 writes are skippable: {total:?}");
+        assert_eq!(total.skip.total, 4);
+        assert!(total.reg_bitflip.benign > 0);
+        assert!(total.flag_flip.benign > 0);
+        assert!(total.combined().pct() > 0.0);
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"rr-analyze-v1\""), "{json}");
+        assert!(json.contains("\"unprotected_spofs\""), "{json}");
+        assert!(json.contains("\"reg_bitflip\""), "{json}");
+        let text = report.to_string();
+        assert!(text.contains("_start") && text.contains("prunable"), "{text}");
+    }
+}

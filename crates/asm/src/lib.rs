@@ -46,6 +46,8 @@
 //! # Ok::<(), rr_asm::BuildError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod emit;
 mod error;
 mod lexer;

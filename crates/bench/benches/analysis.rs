@@ -1,0 +1,170 @@
+//! Static pruning vs exhaustive execution on a bitflip-heavy campaign —
+//! the wall-clock gate for `rr-analysis`.
+//!
+//! The workload is a checksum loop whose scratch registers die inside
+//! every iteration: exactly the shape where register/encoding bit flips
+//! are overwhelmingly invisible and the liveness analysis can prove it.
+//! With pruning on, those plans are counted and skipped before a single
+//! replay; with pruning off, every one of them is executed just to be
+//! classified `Benign`.
+//!
+//! The metric is **logical plan throughput** — (executed + statically
+//! pruned) plans per second — because that is the question a campaign
+//! answers per unit time: "how much of the fault space is accounted
+//! for?". Gate: pruning must deliver **≥ 1.3×** over the exhaustive
+//! baseline while classifying every surviving plan identically. The
+//! measured numbers land in `BENCH_analysis.json`.
+
+use rr_bench::{write_bench_json, BenchValue};
+use rr_fault::{
+    CampaignConfig, CampaignReport, CampaignSession, Collect, FaultClass, FaultModel,
+    RegisterBitFlip, SingleBitFlip,
+};
+use rr_obj::Executable;
+use rr_telemetry::Telemetry;
+use std::time::{Duration, Instant};
+
+/// A checksum loop with iteration-local scratch state (r6–r11 are
+/// redefined every pass and dead between their last read and the next
+/// write), followed by the usual one-compare security decision.
+fn dead_scratch_workload() -> (Executable, Vec<u8>, Vec<u8>) {
+    let exe = rr_asm::assemble_and_link(
+        "    .global _start\n\
+         _start:\n\
+             mov r1, 150\n\
+             mov r2, 0\n\
+         .loop:\n\
+             mov r6, r1\n\
+             shl r6, 3\n\
+             mov r7, r1\n\
+             xor r7, 21\n\
+             add r6, r7\n\
+             mov r8, r6\n\
+             and r8, 255\n\
+             add r2, r8\n\
+             mov r9, 7\n\
+             mov r10, 11\n\
+             mov r11, 13\n\
+             sub r1, 1\n\
+             cmp r1, 0\n\
+             jne .loop\n\
+             svc 2\n\
+             cmp r0, 'G'\n\
+             jne .deny\n\
+             mov r1, 'Y'\n\
+             svc 1\n\
+             mov r1, 0\n\
+             svc 0\n\
+         .deny:\n\
+             mov r1, 'N'\n\
+             svc 1\n\
+             mov r1, 1\n\
+             svc 0\n",
+    )
+    .expect("dead-scratch workload builds");
+    (exe, b"G".to_vec(), b"B".to_vec())
+}
+
+fn session(
+    exe: &Executable,
+    good: &[u8],
+    bad: &[u8],
+    static_prune: bool,
+    telemetry: Telemetry,
+) -> CampaignSession {
+    let config = CampaignConfig {
+        // One worker: the gate measures pruning leverage, not core count.
+        threads: 1,
+        site_stride: 2,
+        static_prune,
+        ..CampaignConfig::default()
+    };
+    CampaignSession::builder(exe.clone())
+        .good_input(good)
+        .bad_input(bad)
+        .config(config)
+        .telemetry(telemetry)
+        .build()
+        .expect("session sets up")
+}
+
+fn run_campaign(
+    session: &CampaignSession,
+    models: &[&dyn FaultModel],
+) -> (Vec<CampaignReport>, Duration) {
+    let start = Instant::now();
+    let reports = session.run(models, Collect);
+    (reports, start.elapsed())
+}
+
+/// Logical plans accounted for by a set of reports: executed + pruned.
+fn logical_plans(reports: &[CampaignReport]) -> u128 {
+    reports.iter().map(|r| r.results.len() as u128 + r.plans_pruned_static()).sum()
+}
+
+fn main() {
+    let (exe, good, bad) = dead_scratch_workload();
+    // Bitflip-heavy: the full encoding-flip universe plus low-bit flips
+    // of every architectural register at every (strided) trace step.
+    let reg_flips = RegisterBitFlip::low_bits(6);
+    let models: [&dyn FaultModel; 2] = [&SingleBitFlip, &reg_flips];
+
+    // Warm-up, then measure each configuration on its own session.
+    let _ = run_campaign(&session(&exe, &good, &bad, true, Telemetry::disabled()), &models);
+    let full_session = session(&exe, &good, &bad, false, Telemetry::disabled());
+    let (full_reports, full_time) = run_campaign(&full_session, &models);
+    let telemetry = Telemetry::counters();
+    let pruned_session = session(&exe, &good, &bad, true, telemetry.clone());
+    let metrics_before = telemetry.metrics().expect("counters telemetry is enabled");
+    let (pruned_reports, pruned_time) = run_campaign(&pruned_session, &models);
+    let metrics_after = telemetry.metrics().expect("counters telemetry is enabled");
+    let plans_per_sec = metrics_after.delta_since(&metrics_before).plans_per_sec();
+
+    // Correctness first: pruning must be invisible in the survivors.
+    for (full, pruned) in full_reports.iter().zip(&pruned_reports) {
+        let non_benign = |r: &CampaignReport| -> Vec<_> {
+            r.results.iter().filter(|f| f.class != FaultClass::Benign).cloned().collect()
+        };
+        assert_eq!(
+            non_benign(full),
+            non_benign(pruned),
+            "pruning changed a non-benign classification under `{}`",
+            full.model
+        );
+        assert_eq!(full.plans_pruned_static(), 0, "baseline must not prune");
+    }
+    let total = logical_plans(&full_reports);
+    let pruned_count: u128 = pruned_reports.iter().map(|r| r.plans_pruned_static()).sum();
+    assert_eq!(logical_plans(&pruned_reports), total, "pruned campaign must account for all plans");
+    assert!(
+        pruned_count * 4 >= total,
+        "the workload must be prune-heavy (≥25% provably benign), got {pruned_count}/{total}"
+    );
+
+    let full_rate = total as f64 / full_time.as_secs_f64().max(1e-9);
+    let pruned_rate = total as f64 / pruned_time.as_secs_f64().max(1e-9);
+    let speedup = pruned_rate / full_rate.max(1e-9);
+    println!(
+        "analysis/pruning ({total} logical plans, {pruned_count} pruned statically): \
+         exhaustive {full_time:?} ({full_rate:.0}/s), pruned {pruned_time:?} \
+         ({pruned_rate:.0}/s) — speedup: {speedup:.2}×",
+    );
+    const GATE: f64 = 1.3;
+    write_bench_json(
+        "analysis",
+        &[
+            ("speedup", BenchValue::Num((speedup * 100.0).round() / 100.0)),
+            ("gate", BenchValue::Num(GATE)),
+            ("passed", BenchValue::Bool(speedup >= GATE)),
+            ("logical_plans", BenchValue::Num(total as f64)),
+            ("pruned_static", BenchValue::Num(pruned_count as f64)),
+            ("plans_per_sec", BenchValue::Num(plans_per_sec.round())),
+        ],
+    )
+    .expect("bench record writes");
+    assert!(
+        speedup >= GATE,
+        "static pruning must lift logical plan throughput ≥{GATE}× on a bitflip-heavy \
+         campaign, got {speedup:.2}×"
+    );
+}

@@ -22,6 +22,8 @@
 //! into `target/bench-results/` so the perf trajectory is tracked across
 //! commits.
 
+#![forbid(unsafe_code)]
+
 /// Renders a percentage for table output.
 pub fn pct(value: f64) -> String {
     format!("{value:8.2}%")

@@ -116,6 +116,22 @@ pub fn disasm(raw: &[String]) -> Result<String, String> {
     Ok(disasm.listing.to_source())
 }
 
+/// `rr analyze <prog.rfx> [--json]`
+///
+/// Static fault-effect analysis: disassembles the binary (no execution),
+/// runs the `rr-analysis` dataflow pass, and prints the per-function
+/// vulnerability report — unprotected compare/branch single points of
+/// failure and the share of each fault model's effects provably benign.
+/// `--json` emits the `rr-analyze-v1` document instead of the table.
+pub fn analyze(raw: &[String]) -> Result<String, String> {
+    let args = Args::parse(raw, &[])?;
+    let exe = load_exe(args.positional(0, "program")?)?;
+    let analysis = rr_analysis::Analysis::from_executable(&exe)
+        .map_err(|e| format!("analysis failed: {e}"))?;
+    let report = analysis.report();
+    Ok(if args.flag("json") { report.to_json() } else { report.to_string() })
+}
+
 /// Observability wiring shared by `rr fault` and `rr harden`:
 /// `--trace-out FILE` streams one schema-versioned JSONL event per
 /// closed span, `--progress` paints a live progress line on stderr, and
@@ -216,7 +232,8 @@ fn plan_header(plan: &PlanConfig) -> String {
 /// [--engine naive|checkpoint] [--exec interp|blocks]
 /// [--shard contiguous|interleaved]
 /// [--oracle golden|crash|prefix:TEXT] [--streaming]
-/// [--order N [--pair-window N] [--plan-budget N] [--seed N]]`
+/// [--order N [--pair-window N] [--plan-budget N] [--seed N]]
+/// [--no-static-prune] [--audit-analysis]`
 ///
 /// One campaign session evaluates every listed model in a single
 /// scheduling pass. `--streaming` folds classifications straight into
@@ -226,6 +243,9 @@ fn plan_header(plan: &PlanConfig) -> String {
 /// run golden-good-free campaigns (no `--good` needed). `--order 2`
 /// opens the multi-fault plan space (double faults); the header echoes
 /// the plan space and sampling seed, and reports split counts by order.
+/// Provably-benign plans are pruned by static analysis before
+/// enumeration (`--no-static-prune` disables this); `--audit-analysis`
+/// executes them anyway and errors if any classifies non-benign.
 pub fn fault(raw: &[String]) -> Result<String, String> {
     let args = Args::parse(
         raw,
@@ -257,6 +277,9 @@ pub fn fault(raw: &[String]) -> Result<String, String> {
     // The engine choice is fixed at construction: naive sessions skip
     // snapshot recording entirely.
     let mut config = CampaignConfig { engine, exec, shard, plan, ..CampaignConfig::default() };
+    config.static_prune = !args.flag("no-static-prune");
+    config.audit_analysis = args.flag("audit-analysis");
+    let audit = config.audit_analysis;
     if let Some(threads) = threads_from(&args)? {
         config.threads = threads;
     }
@@ -286,6 +309,25 @@ pub fn fault(raw: &[String]) -> Result<String, String> {
                 let _ = writeln!(out, "    order {order}: {summary}");
             }
         }
+        let pruned = report.plans_pruned_static();
+        if pruned > 0 {
+            let _ = writeln!(out, "    pruned: {pruned} statically-benign plan(s) skipped");
+        }
+        if audit {
+            if !report.audit_failures.is_empty() {
+                let mut msg = format!(
+                    "audit failed: {} statically-benign plan(s) classified non-benign under \
+                     model `{}`:",
+                    report.audit_failures.len(),
+                    report.model
+                );
+                for failure in report.audit_failures.iter().take(8) {
+                    let _ = write!(msg, "\n  {} → {}", failure.plan, failure.class);
+                }
+                return Err(msg);
+            }
+            let _ = writeln!(out, "    audit: every statically-benign plan classified benign");
+        }
         if index == 0 {
             let _ = writeln!(out, "memory: {}", session.replay_footprint());
         }
@@ -306,7 +348,8 @@ pub fn fault(raw: &[String]) -> Result<String, String> {
 
 /// `rr harden <prog.rfx> --good BYTES --bad BYTES [--model ...] [-o out]
 /// [--engine naive|checkpoint] [--exec interp|blocks] [--no-incremental]
-/// [--order N [--pair-window N] [--plan-budget N] [--seed N]]`
+/// [--order N [--pair-window N] [--plan-budget N] [--seed N]]
+/// [--no-static-prune] [--audit-analysis]`
 ///
 /// Incremental re-campaigning is on by default: every re-campaign is
 /// seeded with the prior iteration's classifications through the patch's
@@ -349,6 +392,8 @@ pub fn harden(raw: &[String]) -> Result<String, String> {
     if let Some(threads) = threads_from(&args)? {
         config.campaign.threads = threads;
     }
+    config.campaign.static_prune = !args.flag("no-static-prune");
+    config.campaign.audit_analysis = args.flag("audit-analysis");
     if let Some(n) = args.value("max-iterations") {
         config.max_iterations = n.parse().map_err(|_| format!("invalid --max-iterations `{n}`"))?;
     }
@@ -786,6 +831,79 @@ mod tests {
             fault(&sv(&[&exe_path, "--good", "7391", "--bad", "7291", "--model", ","])).is_err()
         );
         assert!(fault(&sv(&[&exe_path, "--bad", "7291", "--oracle", "prefix:"])).is_err());
+    }
+
+    #[test]
+    fn analyze_reports_spofs_and_prunable_effects() {
+        let exe_path = tmp("analyze.rfx");
+        workload(&sv(&["pincheck", "-o", &exe_path])).unwrap();
+        let table = analyze(&sv(&[&exe_path])).unwrap();
+        assert!(table.contains("unprotected compare/branch SPOFs:"), "{table}");
+        assert!(table.contains("prunable"), "{table}");
+        let json = analyze(&sv(&[&exe_path, "--json"])).unwrap();
+        assert!(json.contains("\"schema\": \"rr-analyze-v1\""), "{json}");
+        assert!(json.contains("\"total_unprotected_spofs\""), "{json}");
+        assert!(analyze(&sv(&["/nonexistent/x.rfx"])).is_err());
+    }
+
+    #[test]
+    fn static_pruning_flags_flow_through_fault_and_harden() {
+        let exe_path = tmp("prune.rfx");
+        workload(&sv(&["pincheck", "-o", &exe_path])).unwrap();
+        let base =
+            fault(&sv(&[&exe_path, "--good", "7391", "--bad", "7291", "--model", "bitflip"]))
+                .unwrap();
+        assert!(base.contains("pruned: "), "default-on pruning reports its work: {base}");
+        let unpruned = fault(&sv(&[
+            &exe_path,
+            "--good",
+            "7391",
+            "--bad",
+            "7291",
+            "--model",
+            "bitflip",
+            "--no-static-prune",
+        ]))
+        .unwrap();
+        assert!(!unpruned.contains("pruned: "), "{unpruned}");
+        // Pruning must not change the campaign's findings.
+        let pcs = |s: &str| {
+            s.lines().skip_while(|l| !l.contains("vulnerable")).collect::<Vec<_>>().join("\n")
+        };
+        assert_eq!(pcs(&base), pcs(&unpruned));
+        // Audit mode executes the statically-benign plans anyway and
+        // reports a clean cross-check (an unsound analysis would error).
+        let audited = fault(&sv(&[
+            &exe_path,
+            "--good",
+            "7391",
+            "--bad",
+            "7291",
+            "--model",
+            "bitflip",
+            "--audit-analysis",
+        ]))
+        .unwrap();
+        assert!(audited.contains("audit: "), "{audited}");
+        assert!(!audited.contains("pruned: "), "audit implies no pruning: {audited}");
+        assert_eq!(pcs(&audited), pcs(&base));
+        // Hardening with and without pruning emits bit-identical output:
+        // pruning only ever removes plans that cannot be successes.
+        let pruned_out = tmp("prune.hardened.rfx");
+        let full_out = tmp("prune-full.hardened.rfx");
+        harden(&sv(&[&exe_path, "--good", "7391", "--bad", "7291", "-o", &pruned_out])).unwrap();
+        harden(&sv(&[
+            &exe_path,
+            "--good",
+            "7391",
+            "--bad",
+            "7291",
+            "--no-static-prune",
+            "-o",
+            &full_out,
+        ]))
+        .unwrap();
+        assert_eq!(fs::read(&pruned_out).unwrap(), fs::read(&full_out).unwrap());
     }
 
     #[test]

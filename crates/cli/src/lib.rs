@@ -7,6 +7,7 @@
 //! rr asm program.s -o program.rfx          # assemble + link
 //! rr run program.rfx --input 7391          # execute on the emulator
 //! rr disasm program.rfx                    # reassembleable disassembly
+//! rr analyze program.rfx [--json]          # static vulnerability report
 //! rr fault program.rfx --good 7391 --bad 0000 [--model bitflip,skip]
 //! rr harden program.rfx --good 7391 --bad 0000 -o hardened.rfx
 //! rr hybrid program.rfx -o hardened.rfx    # lift → harden pass → lower
@@ -14,6 +15,8 @@
 //! ```
 //!
 //! The library exposes [`run`] so tests can drive the CLI in-process.
+
+#![forbid(unsafe_code)]
 
 mod commands;
 
@@ -50,6 +53,7 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         "asm" => commands::asm(rest),
         "run" => commands::run(rest),
         "disasm" => commands::disasm(rest),
+        "analyze" => commands::analyze(rest),
         "fault" => commands::fault(rest),
         "harden" => commands::harden(rest),
         "hybrid" => commands::hybrid(rest),
@@ -67,16 +71,19 @@ pub fn usage() -> &'static str {
      \x20   rr asm <input.s> [-o out.rfx]\n\
      \x20   rr run <prog.rfx> [--input BYTES] [--max-steps N]\n\
      \x20   rr disasm <prog.rfx> [--policy naive|refined]\n\
+     \x20   rr analyze <prog.rfx> [--json]\n\
      \x20   rr fault <prog.rfx> --bad BYTES [--good BYTES]\n\
      \x20            [--model skip|bitflip|flagflip[,…]] [--engine naive|checkpoint]\n\
      \x20            [--exec interp|blocks] [--shard contiguous|interleaved] [--threads N]\n\
      \x20            [--oracle golden|crash|prefix:TEXT] [--streaming]\n\
      \x20            [--order N] [--pair-window N] [--plan-budget N] [--seed N]\n\
+     \x20            [--no-static-prune] [--audit-analysis]\n\
      \x20            [--trace-out FILE] [--metrics FILE] [--progress] [--quiet]\n\
      \x20   rr harden <prog.rfx> --good BYTES --bad BYTES [--model ...] [-o out.rfx]\n\
      \x20            [--engine naive|checkpoint] [--exec interp|blocks]\n\
      \x20            [--no-incremental] [--threads N]\n\
      \x20            [--order N] [--pair-window N] [--plan-budget N] [--seed N]\n\
+     \x20            [--no-static-prune] [--audit-analysis]\n\
      \x20            [--trace-out FILE] [--metrics FILE] [--progress] [--quiet]\n\
      \x20   rr hybrid <prog.rfx> [-o out.rfx] [--good BYTES --bad BYTES [--model ...]]\n\
      \x20   rr workload <pincheck|bootloader|otp|access> [-o out.rfx] [--emit-asm]\n\
@@ -97,7 +104,14 @@ pub fn usage() -> &'static str {
      each patch's listing delta carries prior classifications for\n\
      untouched sites (bit-identical results; the reuse: line shows the\n\
      work saved). --no-incremental restores the full re-campaign\n\
-     baseline. Observability: --trace-out streams one JSON event per\n\
+     baseline. analyze disassembles without executing and reports, per\n\
+     recovered function, the unprotected compare/branch single points of\n\
+     failure plus the share of fault effects the dataflow analysis proves\n\
+     benign (--json emits the rr-analyze-v1 document). fault and harden\n\
+     consult the same analysis to prune provably-benign plans before\n\
+     enumeration (--no-static-prune disables it; --audit-analysis instead\n\
+     executes pruned plans too and fails if any classifies non-benign).\n\
+     Observability: --trace-out streams one JSON event per\n\
      span to FILE (one object per line, schema rr-trace-v1), --metrics\n\
      writes the final counters/timings snapshot as JSON (rr-metrics-v1),\n\
      --progress paints a live plans/throughput/ETA line on stderr, and\n\

@@ -190,7 +190,7 @@ impl<'a> Parser<'a> {
 
 const SPAN_KINDS: [&str; 6] =
     ["record", "snapshot", "restore", "inject", "classify", "bucket_sweep"];
-const COUNTERS: [&str; 11] = [
+const COUNTERS: [&str; 13] = [
     "plans_executed",
     "cache_hits",
     "cache_misses",
@@ -202,6 +202,8 @@ const COUNTERS: [&str; 11] = [
     "cow_clones",
     "bucket_sweeps",
     "bucket_plans",
+    "plans_pruned_static",
+    "audit_failures",
 ];
 const GAUGES: [&str; 3] = ["plans_total", "retained_snapshot_bytes", "checkpoints"];
 

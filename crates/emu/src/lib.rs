@@ -43,6 +43,8 @@
 //! # Ok::<(), rr_asm::BuildError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod blockexec;
 mod machine;
 mod memory;

@@ -54,6 +54,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod blockcache;
 mod replay;
 pub mod shard;

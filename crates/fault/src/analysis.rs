@@ -1,0 +1,73 @@
+//! Bridging the static fault-effect analysis into the campaign stack.
+//!
+//! `rr-analysis` knows nothing about this crate's fault types (it sits
+//! below us in the dependency graph); this module maps each
+//! [`FaultEffect`] onto the analysis's per-effect verdict queries and
+//! lifts verdicts from faults to whole plans.
+
+use crate::site::{Fault, FaultEffect, FaultPlan};
+pub use rr_analysis::{Analysis, StaticVerdict};
+
+/// The analysis's verdict for one concrete fault.
+pub fn fault_verdict(analysis: &Analysis, fault: &Fault) -> StaticVerdict {
+    match fault.effect {
+        FaultEffect::SkipInstruction => analysis.skip_verdict(fault.pc),
+        FaultEffect::FlipInstructionBit { byte, bit } => {
+            analysis.insn_bit_flip_verdict(fault.pc, byte, bit)
+        }
+        FaultEffect::FlipRegisterBit { reg, .. } => analysis.reg_flip_verdict(fault.pc, reg),
+        FaultEffect::FlipFlags { mask } => analysis.flag_flip_verdict(fault.pc, mask),
+    }
+}
+
+/// Whether every injection in `plan` is provably benign — the pruning
+/// criterion. Statically-benign injections compose (see the soundness
+/// argument in the `rr-analysis` crate docs), so a plan of benign faults
+/// is itself benign.
+pub fn plan_is_benign(analysis: &Analysis, plan: &FaultPlan) -> bool {
+    plan.iter().all(|fault| fault_verdict(analysis, fault) == StaticVerdict::Benign)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_isa::Reg;
+
+    fn analysis() -> Analysis {
+        let exe = rr_asm::assemble_and_link(
+            "    .global _start\n\
+             _start:\n\
+                 mov r6, 1\n\
+                 mov r6, 2\n\
+                 mov r1, r6\n\
+                 svc 0\n",
+        )
+        .unwrap();
+        Analysis::from_executable(&exe).unwrap()
+    }
+
+    #[test]
+    fn effects_map_to_the_right_verdict_queries() {
+        let a = analysis();
+        let entry = 0x1000;
+        let skip = Fault { step: 0, pc: entry, effect: FaultEffect::SkipInstruction };
+        assert_eq!(fault_verdict(&a, &skip), StaticVerdict::Benign);
+        let flip_dead = Fault {
+            step: 0,
+            pc: entry,
+            effect: FaultEffect::FlipRegisterBit { reg: Reg::R6, bit: 5 },
+        };
+        assert_eq!(fault_verdict(&a, &flip_dead), StaticVerdict::Benign);
+        let flip_live = Fault {
+            step: 2,
+            pc: entry + 20,
+            effect: FaultEffect::FlipRegisterBit { reg: Reg::R6, bit: 5 },
+        };
+        assert_eq!(fault_verdict(&a, &flip_live), StaticVerdict::Unknown);
+        let flags = Fault { step: 0, pc: entry, effect: FaultEffect::FlipFlags { mask: 0xF } };
+        assert_eq!(fault_verdict(&a, &flags), StaticVerdict::Benign);
+
+        assert!(plan_is_benign(&a, &FaultPlan::new([skip, flip_dead])));
+        assert!(!plan_is_benign(&a, &FaultPlan::new([skip, flip_live])));
+    }
+}

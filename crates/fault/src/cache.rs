@@ -369,7 +369,7 @@ mod tests {
     fn seed_with(trace: Vec<u64>, results: Vec<FaultResult>) -> CampaignSeed {
         CampaignSeed {
             trace,
-            reports: vec![CampaignReport { model: "instruction-skip", results }],
+            reports: vec![CampaignReport::new("instruction-skip", results)],
             oracle_fingerprint: Some(7),
             faulted_budget: 10_000,
             block_cache: None,
@@ -526,7 +526,7 @@ mod tests {
             .collect();
         let seed = CampaignSeed {
             trace: old_trace.clone(),
-            reports: vec![CampaignReport { model: "mixed", results }],
+            reports: vec![CampaignReport::new("mixed", results)],
             oracle_fingerprint: Some(7),
             faulted_budget: 10_000,
             block_cache: None,
@@ -559,10 +559,10 @@ mod tests {
         ]);
         let pair_seed = CampaignSeed {
             trace: old_trace.clone(),
-            reports: vec![CampaignReport {
-                model: "mixed",
-                results: vec![FaultResult { plan: mixed_pair, class: FaultClass::Benign }],
-            }],
+            reports: vec![CampaignReport::new(
+                "mixed",
+                vec![FaultResult { plan: mixed_pair, class: FaultClass::Benign }],
+            )],
             oracle_fingerprint: Some(7),
             faulted_budget: 10_000,
             block_cache: None,

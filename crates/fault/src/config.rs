@@ -139,6 +139,19 @@ pub struct CampaignConfig {
     /// How emulated instructions execute — pre-decoded superblocks
     /// (default) or the plain interpreter. See [`ExecMode`].
     pub exec: ExecMode,
+    /// Drop plans the static analysis ([`crate::Analysis`]) proves
+    /// benign from the plan space before enumeration and budget
+    /// normalization (default on; `--no-static-prune` on the CLI).
+    /// Pruning never removes a `Success`: only plans whose every
+    /// injection perturbs provably-dead state are dropped, and those
+    /// classify `Benign` under every behaviour-observing oracle.
+    pub static_prune: bool,
+    /// Audit mode: *execute* statically-benign plans instead of pruning
+    /// them, and flag any that classify as something other than
+    /// [`FaultClass::Benign`](crate::FaultClass::Benign) — a dynamic
+    /// cross-check of the analysis's soundness (`--audit-analysis` on
+    /// the CLI). Implies no pruning for the audited run.
+    pub audit_analysis: bool,
 }
 
 impl Default for CampaignConfig {
@@ -156,6 +169,8 @@ impl Default for CampaignConfig {
             plan: PlanConfig::default(),
             bucketing: true,
             exec: ExecMode::default(),
+            static_prune: true,
+            audit_analysis: false,
         }
     }
 }
@@ -185,6 +200,8 @@ mod tests {
         assert_eq!(config.plan.budget, None, "order 1 is exhaustive by default");
         assert!(config.bucketing, "warm checkpoint scheduling is the default");
         assert_eq!(config.exec, ExecMode::Blocks, "block-cached execution is the default");
+        assert!(config.static_prune, "static pruning is the default");
+        assert!(!config.audit_analysis, "auditing is opt-in");
     }
 
     #[test]

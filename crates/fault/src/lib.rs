@@ -140,6 +140,9 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
+mod analysis;
 mod cache;
 mod config;
 mod model;
@@ -148,11 +151,12 @@ mod report;
 mod session;
 mod site;
 
+pub use analysis::{fault_verdict, plan_is_benign, Analysis, StaticVerdict};
 pub use cache::{CampaignSeed, ClassificationCache, ReuseStats, REUSE_GUARD_WINDOW};
 pub use config::{CampaignConfig, CampaignEngine, ExecMode};
 pub use model::{
-    enumerate_plans, FaultModel, FlagFlip, InstructionSkip, PairPolicy, PlanConfig, PlanSet,
-    RegisterBitFlip, SingleBitFlip,
+    enumerate_plans, enumerate_plans_pruned, FaultModel, FlagFlip, InstructionSkip, PairPolicy,
+    PlanConfig, PlanSet, RegisterBitFlip, SingleBitFlip,
 };
 pub use oracle::{Behavior, CrashTriageOracle, GoldenPairOracle, Oracle, OutputPrefixOracle};
 pub use report::{CampaignReport, FaultResult, ModelSummary, Summary};

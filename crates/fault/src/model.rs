@@ -1,6 +1,7 @@
 //! Fault models: enumerating concrete faults at a trace site, and the
 //! plan combinators that expand them into multi-fault injection plans.
 
+use crate::analysis::{fault_verdict, Analysis, StaticVerdict};
 use crate::site::{Fault, FaultEffect, FaultPlan, FaultSite};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -179,8 +180,13 @@ pub struct PlanSet {
     /// in canonical (site, fault) lexicographic order.
     pub plans: Vec<FaultPlan>,
     /// Exhaustive space size per order, `(order, total)` — totals can
-    /// exceed the enumerated count when sampling kicked in.
+    /// exceed the enumerated count when sampling kicked in. When static
+    /// pruning is active these count the *pruned* space, so any sampling
+    /// budget is spent entirely on plans worth executing.
     pub total_by_order: Vec<(usize, u128)>,
+    /// Plans the static analysis removed per order, `(order, pruned)` —
+    /// all zeros when enumeration ran without an analysis.
+    pub pruned_by_order: Vec<(usize, u128)>,
     /// Whether any order was down-sampled to the budget.
     pub sampled: bool,
 }
@@ -201,12 +207,81 @@ pub fn enumerate_plans(
     sites: &[&FaultSite],
     config: &PlanConfig,
 ) -> PlanSet {
-    let singles: Vec<Vec<Fault>> = sites.iter().map(|site| model.faults_at(site)).collect();
-    let mut plans: Vec<FaultPlan> =
-        singles.iter().flatten().copied().map(FaultPlan::single).collect();
+    enumerate_plans_pruned(model, sites, config, None)
+}
+
+/// [`enumerate_plans`] with static pruning.
+///
+/// The pruning rule is the only compositionally sound one: a plan is
+/// dropped **iff every one of its faults** is proved
+/// [`StaticVerdict::Benign`] by the `analysis`. (Dropping plans with
+/// merely *some* benign members would be unsound — a benign fault's dead
+/// state delta is simply absorbed, leaving the remaining members' full
+/// effect, so such a plan classifies exactly like its non-benign core
+/// and may well be a `Success`.) Pruning happens *before* higher orders
+/// are counted and any sampling budget is normalized, so the budget is
+/// spent entirely on plans that could matter. The removed counts per
+/// order are reported in [`PlanSet::pruned_by_order`]. With
+/// `analysis == None` this is exactly [`enumerate_plans`].
+pub fn enumerate_plans_pruned(
+    model: &dyn FaultModel,
+    sites: &[&FaultSite],
+    config: &PlanConfig,
+    analysis: Option<&Analysis>,
+) -> PlanSet {
+    let faults = model_faults(model, sites);
+    // One fused pass for the singles: the per-site mask vectors are only
+    // materialized when an order ≥ 2 counting DP actually needs them —
+    // order-1 campaigns on long traces are latency-sensitive.
+    let mut plans: Vec<FaultPlan> = Vec::new();
+    let mut pruned_singles = 0u128;
+    for site_faults in &faults {
+        for fault in site_faults {
+            if analysis.is_some_and(|a| fault_verdict(a, fault) == StaticVerdict::Benign) {
+                pruned_singles += 1;
+            } else {
+                plans.push(FaultPlan::single(*fault));
+            }
+        }
+    }
     let mut total_by_order = vec![(1, plans.len() as u128)];
-    let sampled = append_higher_orders(singles, sites, config, &mut plans, &mut total_by_order);
-    PlanSet { plans, total_by_order, sampled }
+    let mut pruned_by_order = vec![(1, pruned_singles)];
+    let mut sampled = false;
+    if config.order >= 2 {
+        let benign = benign_mask(&faults, analysis);
+        let space = PlanSpace::new(sites, faults, benign, config.policy, config.order);
+        sampled = append_higher_orders(
+            &space,
+            config,
+            &mut plans,
+            &mut total_by_order,
+            &mut pruned_by_order,
+        );
+    }
+    PlanSet { plans, total_by_order, pruned_by_order, sampled }
+}
+
+/// How many plans static pruning removes per order, `(order, pruned)` —
+/// singleton benign faults at order 1, all-benign chains above. The
+/// counting DP is O(order × sites); cheap next to executing even one
+/// plan.
+pub(crate) fn pruned_counts_by_order(
+    model: &dyn FaultModel,
+    sites: &[&FaultSite],
+    config: &PlanConfig,
+    analysis: &Analysis,
+) -> Vec<(usize, u128)> {
+    let faults = model_faults(model, sites);
+    let benign = benign_mask(&faults, Some(analysis));
+    let singles: u128 = benign.iter().flatten().filter(|&&b| b).count() as u128;
+    let mut counts = vec![(1, singles)];
+    if config.order >= 2 {
+        let space = PlanSpace::new(sites, faults, benign, config.policy, config.order);
+        for order in 2..=config.order {
+            counts.push((order, space.pruned_total(order)));
+        }
+    }
+    counts
 }
 
 /// The higher-order (2..=`config.order`) plans alone — for consumers
@@ -219,10 +294,15 @@ pub(crate) fn higher_order_plans(
     model: &dyn FaultModel,
     sites: &[&FaultSite],
     config: &PlanConfig,
+    analysis: Option<&Analysis>,
 ) -> Vec<FaultPlan> {
-    let singles: Vec<Vec<Fault>> = sites.iter().map(|site| model.faults_at(site)).collect();
+    let faults = model_faults(model, sites);
+    let benign = benign_mask(&faults, analysis);
     let mut plans = Vec::new();
-    append_higher_orders(singles, sites, config, &mut plans, &mut Vec::new());
+    if config.order >= 2 {
+        let space = PlanSpace::new(sites, faults, benign, config.policy, config.order);
+        append_higher_orders(&space, config, &mut plans, &mut Vec::new(), &mut Vec::new());
+    }
     plans
 }
 
@@ -233,97 +313,148 @@ pub(crate) fn plan_space(
     model: &dyn FaultModel,
     sites: &[&FaultSite],
     config: &PlanConfig,
+    analysis: Option<&Analysis>,
 ) -> PlanSpace {
-    let singles: Vec<Vec<Fault>> = sites.iter().map(|site| model.faults_at(site)).collect();
-    PlanSpace::new(sites, singles, config.policy, config.order)
+    let faults = model_faults(model, sites);
+    let benign = benign_mask(&faults, analysis);
+    PlanSpace::new(sites, faults, benign, config.policy, config.order)
 }
 
-/// Appends orders 2..=`config.order` to `plans` (and their exhaustive
-/// totals to `total_by_order`), sampling any order whose space exceeds
-/// the budget. Returns whether sampling kicked in.
+/// Each site's full fault list, aligned to `sites`.
+fn model_faults(model: &dyn FaultModel, sites: &[&FaultSite]) -> Vec<Vec<Fault>> {
+    sites.iter().map(|site| model.faults_at(site)).collect()
+}
+
+/// Per-fault benign flags aligned to `faults`; all `false` without an
+/// analysis.
+fn benign_mask(faults: &[Vec<Fault>], analysis: Option<&Analysis>) -> Vec<Vec<bool>> {
+    match analysis {
+        Some(analysis) => faults
+            .iter()
+            .map(|site_faults| {
+                site_faults
+                    .iter()
+                    .map(|fault| fault_verdict(analysis, fault) == StaticVerdict::Benign)
+                    .collect()
+            })
+            .collect(),
+        None => faults.iter().map(|site_faults| vec![false; site_faults.len()]).collect(),
+    }
+}
+
+/// Appends orders 2..=`config.order` to `plans` (and their kept/pruned
+/// totals to `total_by_order`/`pruned_by_order`), sampling any order
+/// whose kept space exceeds the budget. Returns whether sampling kicked
+/// in.
 fn append_higher_orders(
-    singles: Vec<Vec<Fault>>,
-    sites: &[&FaultSite],
+    space: &PlanSpace,
     config: &PlanConfig,
     plans: &mut Vec<FaultPlan>,
     total_by_order: &mut Vec<(usize, u128)>,
+    pruned_by_order: &mut Vec<(usize, u128)>,
 ) -> bool {
     let mut sampled = false;
-    if config.order >= 2 {
-        let space = PlanSpace::new(sites, singles, config.policy, config.order);
-        for order in 2..=config.order {
-            let total = space.total(order);
-            total_by_order.push((order, total));
-            match config.budget.map(|b| b as u128) {
-                Some(budget) if total > budget => {
-                    sampled = true;
-                    // Draw distinct plan indices uniformly; the BTreeSet
-                    // both deduplicates and yields them in ascending
-                    // (canonical) order. Seeded per order so adding an
-                    // order never reshuffles the ones below it.
-                    let mut rng = StdRng::seed_from_u64(config.seed ^ order as u64);
-                    let mut drawn: BTreeSet<u128> = BTreeSet::new();
-                    while (drawn.len() as u128) < budget {
-                        let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
-                        drawn.insert(wide % total);
-                    }
-                    plans.extend(drawn.into_iter().map(|index| space.unrank(order, index)));
+    for order in 2..=config.order {
+        let total = space.total(order);
+        total_by_order.push((order, total));
+        pruned_by_order.push((order, space.pruned_total(order)));
+        match config.budget.map(|b| b as u128) {
+            Some(budget) if total > budget => {
+                sampled = true;
+                // Draw distinct plan indices uniformly; the BTreeSet
+                // both deduplicates and yields them in ascending
+                // (canonical) order. Seeded per order so adding an
+                // order never reshuffles the ones below it.
+                let mut rng = StdRng::seed_from_u64(config.seed ^ order as u64);
+                let mut drawn: BTreeSet<u128> = BTreeSet::new();
+                while (drawn.len() as u128) < budget {
+                    let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                    drawn.insert(wide % total);
                 }
-                _ => space.generate_all(order, plans),
+                plans.extend(drawn.into_iter().map(|index| space.unrank(order, index)));
             }
+            _ => space.generate_all(order, plans),
         }
     }
     sampled
 }
 
-/// Counting/unranking machinery over the multi-fault cross-product.
+/// Counting/unranking machinery over the multi-fault cross-product,
+/// minus the statically-pruned (all-benign) chains.
 ///
 /// `counts[t-1][i]` is the number of `t`-injection chains whose earliest
 /// injection sits at site `i` — in `u128`, since pair and triple spaces
-/// overflow `u64` on long traces. Counting lets budgeted sampling draw
-/// uniform plans by *index* and materialize only the drawn ones, so the
-/// exhaustive cross-product is never held in memory; streaming consumers
-/// visit plans one at a time through
-/// [`PlanSpace::for_each_starting_at`].
+/// overflow `u64` on long traces — and `benign_counts[t-1][i]` the
+/// subset built from benign faults only. The *kept* space every public
+/// query works over is their difference: a chain survives pruning iff at
+/// least one member is non-benign. Counting lets budgeted sampling draw
+/// uniform kept plans by *index* and materialize only the drawn ones, so
+/// the exhaustive cross-product is never held in memory; streaming
+/// consumers visit plans one at a time through
+/// [`PlanSpace::for_each_starting_at`]. Without an analysis the benign
+/// DP is identically zero and the kept space is the full one.
 pub(crate) struct PlanSpace {
     steps: Vec<u64>,
     faults: Vec<Vec<Fault>>,
+    benign: Vec<Vec<bool>>,
     policy: PairPolicy,
     counts: Vec<Vec<u128>>,
+    benign_counts: Vec<Vec<u128>>,
+    /// `suffix[t][i]` = Σ_{j ≥ i} `counts[t][j]` (length n+1 per level).
+    suffix: Vec<Vec<u128>>,
+    benign_suffix: Vec<Vec<u128>>,
+}
+
+/// Suffix sums of `row`, one slot longer (`out[i] = Σ_{j ≥ i} row[j]`).
+fn suffix_sums(row: &[u128]) -> Vec<u128> {
+    let mut out = vec![0u128; row.len() + 1];
+    for i in (0..row.len()).rev() {
+        out[i] = out[i + 1] + row[i];
+    }
+    out
 }
 
 impl PlanSpace {
     fn new(
         sites: &[&FaultSite],
         faults: Vec<Vec<Fault>>,
+        benign: Vec<Vec<bool>>,
         policy: PairPolicy,
         max_order: usize,
     ) -> PlanSpace {
         let steps: Vec<u64> = sites.iter().map(|s| s.step).collect();
         let mut space = PlanSpace {
             counts: vec![faults.iter().map(|f| f.len() as u128).collect()],
+            benign_counts: vec![benign
+                .iter()
+                .map(|m| m.iter().filter(|&&b| b).count() as u128)
+                .collect()],
+            suffix: Vec::new(),
+            benign_suffix: Vec::new(),
             steps,
             faults,
+            benign,
             policy,
         };
         let n = space.steps.len();
         while space.counts.len() < max_order {
-            let prev = space.counts.last().expect("order-1 counts seed the DP");
-            // suffix[i] = Σ_{j ≥ i} prev[j]; a chain at site i continues
-            // to any site in (i, successor_end(i)], so its continuation
-            // count is a suffix-sum difference.
-            let mut suffix = vec![0u128; n + 1];
-            for i in (0..n).rev() {
-                suffix[i] = suffix[i + 1] + prev[i];
+            // A chain at site i continues to any site in
+            // (i, successor_end(i)], so its continuation count is a
+            // suffix-sum difference — for the full DP and the
+            // benign-only DP alike.
+            let all = suffix_sums(space.counts.last().expect("order-1 counts seed the DP"));
+            let ben = suffix_sums(space.benign_counts.last().expect("benign DP seeded too"));
+            let (mut next_all, mut next_ben) = (Vec::with_capacity(n), Vec::with_capacity(n));
+            for i in 0..n {
+                let end = space.successor_end(i) + 1;
+                next_all.push(space.counts[0][i] * (all[i + 1] - all[end]));
+                next_ben.push(space.benign_counts[0][i] * (ben[i + 1] - ben[end]));
             }
-            let next: Vec<u128> = (0..n)
-                .map(|i| {
-                    let window = suffix[i + 1] - suffix[space.successor_end(i) + 1];
-                    space.faults[i].len() as u128 * window
-                })
-                .collect();
-            space.counts.push(next);
+            space.counts.push(next_all);
+            space.benign_counts.push(next_ben);
         }
+        space.suffix = space.counts.iter().map(|row| suffix_sums(row)).collect();
+        space.benign_suffix = space.benign_counts.iter().map(|row| suffix_sums(row)).collect();
         space
     }
 
@@ -338,48 +469,94 @@ impl PlanSpace {
         }
     }
 
-    /// Number of order-`order` plans in the space.
-    fn total(&self, order: usize) -> u128 {
-        self.counts[order - 1].iter().sum()
+    /// Continuation counts through site `i`'s window at DP level
+    /// `level` (0-based): `(all, benign-only)`.
+    fn window(&self, level: usize, i: usize) -> (u128, u128) {
+        let end = self.successor_end(i) + 1;
+        (
+            self.suffix[level][i + 1] - self.suffix[level][end],
+            self.benign_suffix[level][i + 1] - self.benign_suffix[level][end],
+        )
     }
 
-    /// The `index`-th order-`order` plan, in the canonical lexicographic
-    /// order by (first site, first fault, then the suffix recursively).
+    /// Number of kept (not statically pruned) order-`order` plans.
+    fn total(&self, order: usize) -> u128 {
+        self.suffix[order - 1][0] - self.benign_suffix[order - 1][0]
+    }
+
+    /// Number of statically pruned (all-benign) order-`order` plans.
+    fn pruned_total(&self, order: usize) -> u128 {
+        self.benign_suffix[order - 1][0]
+    }
+
+    /// The `index`-th *kept* order-`order` plan, in the canonical
+    /// lexicographic order by (first site, first fault, then the suffix
+    /// recursively). `carried` tracks whether the chosen prefix already
+    /// contains a non-benign fault; until it does, continuations must
+    /// contribute one, which is exactly the full-minus-benign count.
     fn unrank(&self, order: usize, mut index: u128) -> FaultPlan {
         let mut faults = Vec::with_capacity(order);
         let mut from = 0;
+        let mut carried = false;
         for level in (1..=order).rev() {
-            let counts = &self.counts[level - 1];
             let mut site = from;
             // Linear scan from the window start; plans cluster near their
             // predecessor, so the scan is short for windowed policies.
-            while index >= counts[site] {
-                index -= counts[site];
+            loop {
+                let site_kept = if carried {
+                    self.counts[level - 1][site]
+                } else {
+                    self.counts[level - 1][site] - self.benign_counts[level - 1][site]
+                };
+                if index < site_kept {
+                    break;
+                }
+                index -= site_kept;
                 site += 1;
             }
-            let per_fault =
-                if level == 1 { 1 } else { counts[site] / self.faults[site].len() as u128 };
-            let fault_index = (index / per_fault) as usize;
-            index %= per_fault;
-            faults.push(self.faults[site][fault_index]);
+            let (win_all, win_ben) = if level == 1 { (1, 1) } else { self.window(level - 2, site) };
+            let mut chosen = None;
+            for (fault_index, &fault) in self.faults[site].iter().enumerate() {
+                let benign = self.benign[site][fault_index];
+                let continuations = if carried || !benign {
+                    win_all
+                } else if level == 1 {
+                    0 // an all-benign completion is pruned, not kept
+                } else {
+                    win_all - win_ben
+                };
+                if index < continuations {
+                    chosen = Some((fault, benign));
+                    break;
+                }
+                index -= continuations;
+            }
+            let (fault, benign) = chosen.expect("kept-plan index within the space");
+            carried |= !benign;
+            faults.push(fault);
             from = site + 1;
         }
         FaultPlan::new(faults)
     }
 
-    /// Appends every order-`order` plan in canonical order.
+    /// Appends every kept order-`order` plan in canonical order.
     fn generate_all(&self, order: usize, out: &mut Vec<FaultPlan>) {
         let mut chain = Vec::with_capacity(order);
-        self.generate_from(order, 0, self.steps.len().saturating_sub(1), &mut chain, &mut |plan| {
-            out.push(plan)
-        });
+        self.generate_from(
+            order,
+            0,
+            self.steps.len().saturating_sub(1),
+            false,
+            &mut chain,
+            &mut |plan| out.push(plan),
+        );
     }
 
-    /// Visits every plan of every order in `2..=max_order` whose
+    /// Visits every kept plan of every order in `2..=max_order` whose
     /// **earliest** injection sits at `site`, one at a time — nothing is
     /// materialized, so a streaming fold over first-injection sites
-    /// covers the exhaustive multi-fault space (each plan exactly once)
-    /// in O(1) extra memory per worker.
+    /// covers the kept multi-fault space (each plan exactly once) in
+    /// O(1) extra memory per worker.
     pub(crate) fn for_each_starting_at(
         &self,
         max_order: usize,
@@ -394,6 +571,7 @@ impl PlanSpace {
                     order - 1,
                     site + 1,
                     self.successor_end(site),
+                    !self.benign[site][index],
                     &mut chain,
                     visit,
                 );
@@ -407,11 +585,15 @@ impl PlanSpace {
         remaining: usize,
         from: usize,
         to: usize,
+        carried: bool,
         chain: &mut Vec<Fault>,
         visit: &mut impl FnMut(FaultPlan),
     ) {
         if remaining == 0 {
-            visit(FaultPlan::new(chain.iter().copied()));
+            // All-benign chains are the pruned ones; emit the rest.
+            if carried {
+                visit(FaultPlan::new(chain.iter().copied()));
+            }
             return;
         }
         if from > to || from >= self.steps.len() {
@@ -420,7 +602,14 @@ impl PlanSpace {
         for site in from..=to {
             for index in 0..self.faults[site].len() {
                 chain.push(self.faults[site][index]);
-                self.generate_from(remaining - 1, site + 1, self.successor_end(site), chain, visit);
+                self.generate_from(
+                    remaining - 1,
+                    site + 1,
+                    self.successor_end(site),
+                    carried || !self.benign[site][index],
+                    chain,
+                    visit,
+                );
                 chain.pop();
             }
         }

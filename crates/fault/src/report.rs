@@ -102,12 +102,33 @@ pub struct CampaignReport {
     pub model: &'static str,
     /// Every evaluated fault, in site order.
     pub results: Vec<FaultResult>,
+    /// Plans the static analysis pruned before execution, per order
+    /// (`(order, pruned)`; all zeros when pruning was off). Pruned plans
+    /// are provably benign — they are not in `results`, and the
+    /// successes are identical to an unpruned campaign's.
+    pub pruned_by_order: Vec<(usize, u128)>,
+    /// Statically-benign plans that classified as something other than
+    /// [`FaultClass::Benign`] under `--audit-analysis` — analysis
+    /// soundness violations. Always empty outside audit mode (and, if
+    /// the analysis is sound, inside it).
+    pub audit_failures: Vec<FaultResult>,
 }
 
 impl CampaignReport {
+    /// A report with no pruning or audit metadata (convenient for tests
+    /// and cache seeding).
+    pub fn new(model: &'static str, results: Vec<FaultResult>) -> CampaignReport {
+        CampaignReport { model, results, pruned_by_order: Vec::new(), audit_failures: Vec::new() }
+    }
+
     /// Number of results in the given class.
     pub fn count(&self, class: FaultClass) -> usize {
         self.results.iter().filter(|r| r.class == class).count()
+    }
+
+    /// Total plans the static analysis pruned (all orders).
+    pub fn plans_pruned_static(&self) -> u128 {
+        self.pruned_by_order.iter().map(|&(_, pruned)| pruned).sum()
     }
 
     /// The successful plans — the vulnerability list handed to the
@@ -211,9 +232,9 @@ mod tests {
         use crate::site::{Fault, FaultEffect, FaultPlan};
         let skip =
             |step: u64| Fault { step, pc: 0x1000 + step * 4, effect: FaultEffect::SkipInstruction };
-        let report = CampaignReport {
-            model: "instruction-skip",
-            results: vec![
+        let report = CampaignReport::new(
+            "instruction-skip",
+            vec![
                 FaultResult::single(skip(0), FaultClass::Benign),
                 FaultResult::single(skip(1), FaultClass::Success),
                 FaultResult {
@@ -225,7 +246,7 @@ mod tests {
                     class: FaultClass::Crashed,
                 },
             ],
-        };
+        );
         assert_eq!(report.max_order(), 2);
         assert_eq!(report.successes_of_order(1), 1);
         assert_eq!(report.successes_of_order(2), 1);

@@ -19,9 +19,10 @@
 //! * all models passed to one `run` call share a single scheduling pass
 //!   over the trace sites (per [`CampaignConfig::shard`] policy).
 
+use crate::analysis::{fault_verdict, plan_is_benign, Analysis, StaticVerdict};
 use crate::cache::{self, CampaignSeed, ClassificationCache, ReuseStats};
 use crate::config::{CampaignConfig, CampaignEngine, ExecMode};
-use crate::model::{enumerate_plans, FaultModel};
+use crate::model::{enumerate_plans_pruned, FaultModel};
 use crate::oracle::{Behavior, GoldenPairOracle, Oracle};
 use crate::report::{CampaignReport, FaultResult, ModelSummary, Summary};
 use crate::site::{Fault, FaultClass, FaultEffect, FaultPlan, FaultSite};
@@ -319,6 +320,16 @@ impl CampaignSessionBuilder {
             })
             .collect();
 
+        // The static fault-effect analysis backing pruning and auditing.
+        // A binary whose CFG cannot be recovered falls back to no
+        // analysis — every verdict is effectively Unknown and nothing is
+        // pruned, which is always sound.
+        let analysis = if config.static_prune || config.audit_analysis {
+            Analysis::from_executable(&self.exe).ok()
+        } else {
+            None
+        };
+
         Ok(CampaignSession {
             exe: self.exe,
             good_input: self.good_input,
@@ -329,6 +340,7 @@ impl CampaignSessionBuilder {
             config,
             oracle,
             replay,
+            analysis,
             reused_golden_good,
             cache,
             reused: AtomicUsize::new(0),
@@ -358,6 +370,10 @@ pub struct CampaignSession {
     /// recorded along the golden bad-input run at construction and
     /// shared by every evaluation of this session.
     replay: ReplayEngine,
+    /// Static fault-effect analysis, built at construction when the
+    /// config enables pruning or auditing and the binary's CFG could be
+    /// recovered; `None` otherwise (no pruning, no audit checks).
+    analysis: Option<Analysis>,
     reused_golden_good: bool,
     /// Classifications carried over from a seeding session
     /// ([`CampaignSessionBuilder::seed_from`]); empty when unseeded.
@@ -527,6 +543,25 @@ impl CampaignSession {
         S::drive(self, models)
     }
 
+    /// The static fault-effect analysis backing pruning and auditing —
+    /// `None` when the config disabled both, or the binary's CFG could
+    /// not be recovered.
+    pub fn analysis(&self) -> Option<&Analysis> {
+        self.analysis.as_ref()
+    }
+
+    /// The analysis enumeration prunes with: `None` under
+    /// `--no-static-prune` (nothing is dropped) *and* under
+    /// `--audit-analysis` (the audit must execute the statically-benign
+    /// plans it cross-checks).
+    fn pruning_analysis(&self) -> Option<&Analysis> {
+        if self.config.static_prune && !self.config.audit_analysis {
+            self.analysis.as_ref()
+        } else {
+            None
+        }
+    }
+
     /// The sites `run` evaluates: every `site_stride`-th trace site.
     fn sampled_sites(&self) -> Vec<&FaultSite> {
         self.sites.iter().step_by(self.config.site_stride.max(1)).collect()
@@ -565,6 +600,17 @@ impl CampaignSession {
         self.telemetry.count(if from_cache { Counter::CacheHits } else { Counter::CacheMisses }, 1);
         if class == FaultClass::Success {
             self.telemetry.success(plan.order());
+        }
+        // The audit cross-check: a statically-benign plan that just
+        // classified as anything else is an analysis soundness
+        // violation. Central here so both sinks and both scheduling
+        // paths are covered.
+        if self.config.audit_analysis && class != FaultClass::Benign {
+            if let Some(analysis) = &self.analysis {
+                if plan_is_benign(analysis, plan) {
+                    self.telemetry.count(Counter::AuditFailures, 1);
+                }
+            }
         }
     }
 
@@ -854,12 +900,19 @@ impl Sink for Collect {
         // faults cluster on few sites pay no per-site scheduling
         // overhead. Per model, singleton plans stay in site order,
         // followed by each higher order in canonical enumeration order.
+        let pruning = session.pruning_analysis();
         let mut counts = Vec::with_capacity(models.len());
+        let mut pruned_orders = Vec::with_capacity(models.len());
         let mut plans: Vec<(&'static str, FaultPlan)> = Vec::new();
         for model in models {
             let before = plans.len();
             let name = model.name();
-            let set = enumerate_plans(*model, &sampled, &session.config.plan);
+            let set = enumerate_plans_pruned(*model, &sampled, &session.config.plan, pruning);
+            let pruned: u128 = set.pruned_by_order.iter().map(|&(_, n)| n).sum();
+            if pruned > 0 {
+                session.telemetry.count(Counter::PlansPrunedStatic, pruned as u64);
+            }
+            pruned_orders.push(set.pruned_by_order);
             plans.extend(set.plans.into_iter().map(|plan| (name, plan)));
             counts.push(plans.len() - before);
         }
@@ -871,9 +924,22 @@ impl Sink for Collect {
             .map(|((_, plan), class)| FaultResult { plan, class })
             .collect();
         let mut reports = Vec::with_capacity(models.len());
-        for (model, count) in models.iter().zip(counts) {
+        for ((model, count), pruned_by_order) in models.iter().zip(counts).zip(pruned_orders) {
             let tail = rest.split_off(count);
-            reports.push(CampaignReport { model: model.name(), results: rest });
+            let audit_failures = match (&session.analysis, session.config.audit_analysis) {
+                (Some(analysis), true) => rest
+                    .iter()
+                    .filter(|r| r.class != FaultClass::Benign && plan_is_benign(analysis, &r.plan))
+                    .cloned()
+                    .collect(),
+                _ => Vec::new(),
+            };
+            reports.push(CampaignReport {
+                model: model.name(),
+                results: rest,
+                pruned_by_order,
+                audit_failures,
+            });
             rest = tail;
         }
         reports
@@ -898,6 +964,26 @@ impl Sink for Stream {
 
     fn drive(session: &CampaignSession, models: &[&dyn FaultModel]) -> Vec<ModelSummary> {
         let sampled = session.sampled_sites();
+        let pruning = session.pruning_analysis();
+        if let Some(analysis) = pruning {
+            // Streamed runs materialize no PlanSet; account the pruned
+            // space up front from the counting DP.
+            let pruned: u128 = models
+                .iter()
+                .flat_map(|model| {
+                    crate::model::pruned_counts_by_order(
+                        *model,
+                        &sampled,
+                        &session.config.plan,
+                        analysis,
+                    )
+                })
+                .map(|(_, n)| n)
+                .sum();
+            if pruned > 0 {
+                session.telemetry.count(Counter::PlansPrunedStatic, pruned as u64);
+            }
+        }
         let mut summaries = scheduled_fold(
             &sampled,
             session.config.threads,
@@ -906,6 +992,11 @@ impl Sink for Stream {
             |mut acc, site| {
                 for (m, model) in models.iter().enumerate() {
                     for fault in model.faults_at(site) {
+                        if pruning
+                            .is_some_and(|a| fault_verdict(a, &fault) == StaticVerdict::Benign)
+                        {
+                            continue;
+                        }
                         acc[m].record(session.evaluate(model.name(), &FaultPlan::single(fault)));
                     }
                 }
@@ -922,8 +1013,12 @@ impl Sink for Stream {
                 let mut plans: Vec<(&'static str, FaultPlan)> = Vec::new();
                 for model in models {
                     let before = plans.len();
-                    let higher =
-                        crate::model::higher_order_plans(*model, &sampled, &session.config.plan);
+                    let higher = crate::model::higher_order_plans(
+                        *model,
+                        &sampled,
+                        &session.config.plan,
+                        pruning,
+                    );
                     plans.extend(higher.into_iter().map(|plan| (model.name(), plan)));
                     counts.push(plans.len() - before);
                 }
@@ -941,7 +1036,8 @@ impl Sink for Stream {
                 // once, so memory stays O(sites + shards).
                 let site_indices: Vec<usize> = (0..sampled.len()).collect();
                 for (m, model) in models.iter().enumerate() {
-                    let space = crate::model::plan_space(*model, &sampled, &session.config.plan);
+                    let space =
+                        crate::model::plan_space(*model, &sampled, &session.config.plan, pruning);
                     let extra = scheduled_fold(
                         &site_indices,
                         session.config.threads,
@@ -1114,7 +1210,9 @@ mod tests {
         assert!(summary.success > 0, "{summary}");
         assert!(summary.crashed > 0, "sparse opcodes must yield crashes: {summary}");
         assert!(summary.benign > 0, "{summary}");
-        assert_eq!(summary.total, session.sites().iter().map(|s| s.len * 8).sum::<usize>());
+        // Executed + statically-pruned covers the full 8 × len space.
+        let space: usize = session.sites().iter().map(|s| s.len * 8).sum();
+        assert_eq!(summary.total + report.plans_pruned_static() as usize, space);
     }
 
     #[test]

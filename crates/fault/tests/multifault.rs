@@ -13,9 +13,9 @@
 
 use rr_emu::{execute, Execution, Machine, RunOutcome};
 use rr_fault::{
-    CampaignConfig, CampaignEngine, CampaignReport, CampaignSession, Collect, Fault, FaultClass,
-    FaultEffect, FaultModel, FlagFlip, InstructionSkip, PairPolicy, PlanConfig, RegisterBitFlip,
-    ShardPolicy, SingleBitFlip,
+    fault_verdict, CampaignConfig, CampaignEngine, CampaignReport, CampaignSession, Collect, Fault,
+    FaultClass, FaultEffect, FaultModel, FlagFlip, InstructionSkip, PairPolicy, PlanConfig,
+    RegisterBitFlip, ShardPolicy, SingleBitFlip, StaticVerdict,
 };
 use rr_workloads::{all_workloads, Workload};
 
@@ -117,13 +117,31 @@ fn assert_matches_reference(w: &Workload, s: &CampaignSession, model: &dyn Fault
     let report: CampaignReport =
         s.run(&[model], Collect).pop().expect("one model in, one report out");
     // The singleton-plan campaign enumerates exactly the flat fault
-    // list, in site order — the pre-refactor report shape.
-    let expected_faults: Vec<Fault> = s
-        .sites()
-        .iter()
-        .step_by(s.config().site_stride.max(1))
-        .flat_map(|site| model.faults_at(site))
-        .collect();
+    // list, in site order — the pre-refactor report shape — minus the
+    // faults the default-on static pruning removed. Every pruned fault
+    // must classify `Benign` under the reference implementation: the
+    // reference is the ground truth the analysis claims to approximate.
+    let pruning =
+        if s.config().static_prune && !s.config().audit_analysis { s.analysis() } else { None };
+    let mut expected_faults: Vec<Fault> = Vec::new();
+    for site in s.sites().iter().step_by(s.config().site_stride.max(1)) {
+        for fault in model.faults_at(site) {
+            if pruning.is_some_and(|a| fault_verdict(a, &fault) == StaticVerdict::Benign) {
+                let class =
+                    reference_class(&exe, &w.bad_input, &fault, budget, &golden_good, &golden_bad);
+                assert_eq!(
+                    class,
+                    FaultClass::Benign,
+                    "{}/{}: statically-pruned {} is not dynamically benign",
+                    w.name,
+                    model.name(),
+                    fault
+                );
+            } else {
+                expected_faults.push(fault);
+            }
+        }
+    }
     assert_eq!(report.results.len(), expected_faults.len(), "{}/{}", w.name, model.name());
     let mut summary_check = 0;
     for (result, fault) in report.results.iter().zip(&expected_faults) {

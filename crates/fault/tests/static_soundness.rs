@@ -1,0 +1,169 @@
+//! Soundness of the static fault-effect analysis, checked dynamically.
+//!
+//! The pruning contract is one-sided: a [`StaticVerdict::Benign`] plan
+//! must classify [`FaultClass::Benign`] when actually executed — the
+//! analysis may say `Unknown` about anything, but never `Benign` about a
+//! plan with an observable effect. Two independent checks pin this over
+//! every bundled workload and fault model:
+//!
+//! * **audit mode** (`audit_analysis`) disables pruning, executes every
+//!   plan — including the statically-benign ones — and records each
+//!   statically-benign plan that classified non-benign as an audit
+//!   failure; the suite demands zero, at order 1 and order 2;
+//! * **invariance**: an unbudgeted campaign with pruning on must report
+//!   exactly the same non-benign results (and therefore bit-identical
+//!   successes) as the same campaign with pruning off — pruning may only
+//!   ever drop plans that execute to `Benign`.
+
+use rr_fault::{
+    CampaignConfig, CampaignSession, Collect, FaultClass, FaultModel, FaultResult, FlagFlip,
+    InstructionSkip, PairPolicy, PlanConfig, RegisterBitFlip, SingleBitFlip,
+};
+use rr_workloads::{all_workloads, Workload};
+
+fn models() -> Vec<Box<dyn FaultModel>> {
+    vec![
+        Box::new(InstructionSkip),
+        Box::new(SingleBitFlip),
+        Box::new(FlagFlip),
+        Box::new(RegisterBitFlip {
+            regs: vec![rr_isa::Reg::from_index(0), rr_isa::Reg::from_index(6)],
+            bits: vec![0, 1, 63],
+        }),
+    ]
+}
+
+/// Site strides keeping the heavy models affordable (the exhaustive
+/// per-fault comparison already runs in `multifault.rs`; here the point
+/// is coverage of every workload × model pair under both checks).
+fn stride_for(model: &str) -> usize {
+    match model {
+        "single-bit-flip" => 5,
+        _ => 2,
+    }
+}
+
+fn session(w: &Workload, config: CampaignConfig) -> CampaignSession {
+    CampaignSession::builder(w.build().unwrap())
+        .good_input(&w.good_input[..])
+        .bad_input(&w.bad_input[..])
+        .config(config)
+        .build()
+        .unwrap_or_else(|e| panic!("{}: session setup failed: {e}", w.name))
+}
+
+#[test]
+fn audit_mode_finds_no_unsound_verdict_on_any_workload_or_model() {
+    for w in all_workloads() {
+        for model in models() {
+            let config = CampaignConfig {
+                site_stride: stride_for(model.name()),
+                audit_analysis: true,
+                ..CampaignConfig::default()
+            };
+            let s = session(&w, config);
+            let report = s.run(&[model.as_ref()], Collect).pop().unwrap();
+            assert!(
+                report.audit_failures.is_empty(),
+                "{}/{}: statically-benign plan(s) classified non-benign: {:?}",
+                w.name,
+                model.name(),
+                report.audit_failures
+            );
+            // Audit implies no pruning: every plan must have executed.
+            assert_eq!(report.plans_pruned_static(), 0, "{}/{}", w.name, model.name());
+        }
+    }
+}
+
+#[test]
+fn order_two_audit_is_clean() {
+    // Order-2 plans compose two effects; a statically-benign pair (both
+    // members individually benign) must still execute to `Benign`.
+    for w in all_workloads() {
+        for model in [&InstructionSkip as &dyn FaultModel, &FlagFlip] {
+            let config = CampaignConfig {
+                site_stride: 3,
+                audit_analysis: true,
+                plan: PlanConfig {
+                    order: 2,
+                    policy: PairPolicy::WithinWindow { max_gap: 8 },
+                    ..PlanConfig::default()
+                },
+                ..CampaignConfig::default()
+            };
+            let report = session(&w, config).run(&[model], Collect).pop().unwrap();
+            assert!(
+                report.audit_failures.is_empty(),
+                "{}/{} order 2: {:?}",
+                w.name,
+                model.name(),
+                report.audit_failures
+            );
+        }
+    }
+}
+
+/// The results a pruned campaign must reproduce exactly: everything the
+/// oracle did **not** classify benign.
+fn non_benign(results: &[FaultResult]) -> Vec<&FaultResult> {
+    results.iter().filter(|r| r.class != FaultClass::Benign).collect()
+}
+
+#[test]
+fn pruning_preserves_every_non_benign_classification() {
+    // Unbudgeted campaigns only: with a per-order sampling budget the
+    // budget is intentionally spent on the *pruned* plan space, so the
+    // drawn samples (and their classifications) legitimately differ.
+    for w in all_workloads() {
+        for model in models() {
+            let config = |static_prune| CampaignConfig {
+                site_stride: stride_for(model.name()),
+                static_prune,
+                ..CampaignConfig::default()
+            };
+            let pruned = session(&w, config(true)).run(&[model.as_ref()], Collect).pop().unwrap();
+            let full = session(&w, config(false)).run(&[model.as_ref()], Collect).pop().unwrap();
+            assert_eq!(
+                non_benign(&pruned.results),
+                non_benign(&full.results),
+                "{}/{}: pruning changed a non-benign result",
+                w.name,
+                model.name()
+            );
+            // In particular the successes — the campaign's findings — are
+            // bit-identical, and the pruned counts account for exactly
+            // the plans that vanished from the report.
+            assert_eq!(pruned.summary().success, full.summary().success);
+            assert_eq!(
+                pruned.results.len() as u128 + pruned.plans_pruned_static(),
+                full.results.len() as u128,
+                "{}/{}",
+                w.name,
+                model.name()
+            );
+            assert_eq!(full.plans_pruned_static(), 0, "pruning off reports nothing pruned");
+        }
+    }
+}
+
+#[test]
+fn order_two_pruning_is_invariant_too() {
+    let w = rr_workloads::otp_check();
+    let config = |static_prune| CampaignConfig {
+        site_stride: 3,
+        static_prune,
+        plan: PlanConfig {
+            order: 2,
+            policy: PairPolicy::WithinWindow { max_gap: 6 },
+            ..PlanConfig::default()
+        },
+        ..CampaignConfig::default()
+    };
+    let model: &dyn FaultModel = &FlagFlip;
+    let pruned = session(&w, config(true)).run(&[model], Collect).pop().unwrap();
+    let full = session(&w, config(false)).run(&[model], Collect).pop().unwrap();
+    assert_eq!(non_benign(&pruned.results), non_benign(&full.results));
+    let pruned_total: u128 = pruned.pruned_by_order.iter().map(|&(_, n)| n).sum();
+    assert_eq!(pruned.results.len() as u128 + pruned_total, full.results.len() as u128);
+}

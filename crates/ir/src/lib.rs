@@ -48,6 +48,8 @@
 //! rr_ir::verify(&module).expect("valid module");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod dom;
 mod func;
 pub mod interp;

@@ -35,6 +35,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod lifter;
 
 pub use lifter::{lift, LiftError, LiftedProgram, ENTRY_FUNCTION};

@@ -11,47 +11,20 @@
 //!
 //! The analysis is conservative: calls and indirect transfers treat every
 //! register as used, unknown edges keep everything live.
+//!
+//! The fixed-point solver (and the [`RegSet`] it works over) is
+//! `rr-analysis`'s [`solve_live_regs`] — the same dataflow core that
+//! backs the campaign stack's static fault-effect pruning. This module
+//! keeps only what is listing-specific: the symbolic-instruction
+//! transfer function (with the patcher's ABI-aware return convention)
+//! and the line-level CFG.
 
 use rr_disasm::{Line, Listing, SymInstr};
 use rr_isa::{Instr, Reg};
 use std::collections::HashMap;
 
-/// A set of machine registers as a bitmask.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct RegSet(u16);
-
-impl RegSet {
-    /// The empty set.
-    pub const EMPTY: RegSet = RegSet(0);
-    /// All sixteen registers.
-    pub const ALL: RegSet = RegSet(u16::MAX);
-
-    /// Inserts a register.
-    pub fn insert(&mut self, r: Reg) {
-        self.0 |= 1 << r.index();
-    }
-
-    /// Removes a register.
-    #[cfg_attr(not(test), allow(dead_code))]
-    pub fn remove(&mut self, r: Reg) {
-        self.0 &= !(1 << r.index());
-    }
-
-    /// Whether the set contains `r`.
-    pub fn contains(self, r: Reg) -> bool {
-        self.0 & (1 << r.index()) != 0
-    }
-
-    /// Union.
-    pub fn union(self, other: RegSet) -> RegSet {
-        RegSet(self.0 | other.0)
-    }
-
-    /// Set difference (`self` without `other`).
-    pub fn minus(self, other: RegSet) -> RegSet {
-        RegSet(self.0 & !other.0)
-    }
-}
+use rr_analysis::solve_live_regs;
+pub use rr_analysis::RegSet;
 
 /// `(uses, defs)` of one symbolic instruction, for liveness purposes.
 fn uses_defs(insn: &SymInstr) -> (RegSet, RegSet) {
@@ -207,40 +180,15 @@ impl Liveness {
             })
             .collect();
 
-        let transfer: Vec<(RegSet, RegSet)> = lines
+        let (uses, defs): (Vec<RegSet>, Vec<RegSet>) = lines
             .iter()
             .map(|line| match line {
                 Line::Code { insn, .. } => uses_defs(insn),
                 _ => (RegSet::EMPTY, RegSet::EMPTY),
             })
-            .collect();
+            .unzip();
 
-        let mut live_in = vec![RegSet::EMPTY; n];
-        let mut live_out = vec![RegSet::EMPTY; n];
-        let mut changed = true;
-        while changed {
-            changed = false;
-            for i in (0..n).rev() {
-                let out = match &successors[i] {
-                    None => RegSet::ALL,
-                    Some(succs) => {
-                        let mut acc = RegSet::EMPTY;
-                        for &s in succs {
-                            acc = acc.union(live_in[s]);
-                        }
-                        acc
-                    }
-                };
-                let (uses, defs) = transfer[i];
-                let new_in = uses.union(out.minus(defs));
-                if out != live_out[i] || new_in != live_in[i] {
-                    live_out[i] = out;
-                    live_in[i] = new_in;
-                    changed = true;
-                }
-            }
-        }
-        Liveness { live_out }
+        Liveness { live_out: solve_live_regs(&uses, &defs, &successors) }
     }
 
     /// Registers live after text line `index`.

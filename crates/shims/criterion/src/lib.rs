@@ -11,6 +11,8 @@
 //! HTML reports), but the numbers it prints are honest medians and the
 //! relative comparisons (e.g. naive vs checkpointed campaign engines) hold.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

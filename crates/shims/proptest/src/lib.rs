@@ -19,6 +19,8 @@
 //! `TestCaseResult`. For the regression-style properties in this
 //! repository those differences don't change what the tests prove.
 
+#![forbid(unsafe_code)]
+
 pub mod arbitrary;
 pub mod collection;
 pub mod config;

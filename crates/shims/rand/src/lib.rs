@@ -7,6 +7,8 @@
 //! streams are deterministic across runs and platforms — which is all the
 //! workloads require (they only need *reproducible* pseudo-random bytes).
 
+#![forbid(unsafe_code)]
+
 /// Seedable random-number generator constructors.
 pub trait SeedableRng: Sized {
     /// Creates a generator from a 64-bit seed.

@@ -46,6 +46,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
@@ -160,11 +162,18 @@ pub enum Counter {
     InterpSteps,
     /// Cached blocks invalidated by a rewrite's listing delta.
     BlockInvalidations,
+    /// Plans the static analysis proved benign and pruned from the plan
+    /// space before any replay time was spent.
+    PlansPrunedStatic,
+    /// Statically-benign plans that classified as something other than
+    /// `Benign` under `--audit-analysis` — analysis soundness
+    /// violations (zero for a sound analysis).
+    AuditFailures,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 17;
     /// Every counter, in serialization order.
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::PlansExecuted,
@@ -182,6 +191,8 @@ impl Counter {
         Counter::BlockSteps,
         Counter::InterpSteps,
         Counter::BlockInvalidations,
+        Counter::PlansPrunedStatic,
+        Counter::AuditFailures,
     ];
 
     /// Stable wire name (used as JSON key).
@@ -202,6 +213,8 @@ impl Counter {
             Counter::BlockSteps => "block_steps",
             Counter::InterpSteps => "interp_steps",
             Counter::BlockInvalidations => "block_invalidations",
+            Counter::PlansPrunedStatic => "plans_pruned_static",
+            Counter::AuditFailures => "audit_failures",
         }
     }
 

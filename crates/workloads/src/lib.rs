@@ -27,6 +27,8 @@
 //! # Ok::<(), rr_asm::BuildError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod access;
 mod bootloader;
 mod gen;
