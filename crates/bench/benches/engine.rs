@@ -230,6 +230,12 @@ fn bench_engines(c: &mut Criterion) {
     let blocks_report = run_one(&blocks_session, &tail);
     let blocks_time = start.elapsed();
 
+    let uops_session =
+        fresh_session_exec(&exe, &good, &bad, 1, CampaignEngine::Checkpointed, ExecMode::Uops);
+    let start = Instant::now();
+    let uops_report = run_one(&uops_session, &tail);
+    let uops_time = start.elapsed();
+
     assert_eq!(
         naive_report.results, checkpointed_report.results,
         "engines must classify identically"
@@ -238,19 +244,27 @@ fn bench_engines(c: &mut Criterion) {
         naive_report.results, blocks_report.results,
         "block-cached execution must classify identically"
     );
+    assert_eq!(
+        naive_report.results, uops_report.results,
+        "uop-compiled execution must classify identically"
+    );
     let speedup = naive_time.as_secs_f64() / checkpointed_time.as_secs_f64().max(1e-9);
     let blocks_speedup = naive_time.as_secs_f64() / blocks_time.as_secs_f64().max(1e-9);
+    let uops_speedup = naive_time.as_secs_f64() / uops_time.as_secs_f64().max(1e-9);
     println!(
         "engine/tail ({} steps, {} faults): naive {:?}, checkpointed(interp) {:?}, \
-         checkpointed(blocks) {:?} — speedup: {speedup:.1}× interp, {blocks_speedup:.1}× blocks",
+         checkpointed(blocks) {:?}, checkpointed(uops) {:?} — speedup: {speedup:.1}× interp, \
+         {blocks_speedup:.1}× blocks, {uops_speedup:.1}× uops",
         trace_len,
         naive_report.results.len(),
         naive_time,
         checkpointed_time,
         blocks_time,
+        uops_time,
     );
     const GATE: f64 = 5.0;
     const BLOCKS_GATE: f64 = 12.0;
+    const UOPS_GATE: f64 = 14.0;
     const OVERHEAD_GATE: f64 = 1.02;
     let (overhead, plans_per_sec) = measure_telemetry_overhead(&exe, &good, &bad);
     rr_bench::write_bench_json(
@@ -258,9 +272,15 @@ fn bench_engines(c: &mut Criterion) {
         &[
             ("speedup", ((speedup * 100.0).round() / 100.0).into()),
             ("gate", GATE.into()),
-            ("passed", (speedup >= GATE && blocks_speedup >= BLOCKS_GATE).into()),
+            (
+                "passed",
+                (speedup >= GATE && blocks_speedup >= BLOCKS_GATE && uops_speedup >= UOPS_GATE)
+                    .into(),
+            ),
             ("blocks_speedup", ((blocks_speedup * 100.0).round() / 100.0).into()),
             ("blocks_gate", BLOCKS_GATE.into()),
+            ("uops_speedup", ((uops_speedup * 100.0).round() / 100.0).into()),
+            ("uops_gate", UOPS_GATE.into()),
             ("trace_steps", (trace_len as f64).into()),
             ("faults", (naive_report.results.len() as f64).into()),
             ("plans_per_sec", plans_per_sec.round().into()),
@@ -276,6 +296,11 @@ fn bench_engines(c: &mut Criterion) {
         blocks_speedup >= BLOCKS_GATE,
         "block-cached checkpointed engine must be ≥{BLOCKS_GATE}× faster on the tail campaign, \
          got {blocks_speedup:.1}×"
+    );
+    assert!(
+        uops_speedup >= UOPS_GATE,
+        "uop-compiled checkpointed engine must be ≥{UOPS_GATE}× faster on the tail campaign, \
+         got {uops_speedup:.1}×"
     );
     assert!(
         overhead <= OVERHEAD_GATE,

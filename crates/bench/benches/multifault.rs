@@ -87,6 +87,11 @@ fn order2_session(
         // One worker: the gate measures scheduling quality, not core
         // count.
         threads: 1,
+        // Pinned to the decoded-block tier for the same reason: the uop
+        // tier speeds up forward positioning — the very cost bucketing
+        // amortizes — which would fold execution-tier gains into the
+        // scheduling ratio. The uop bench gates that tier separately.
+        exec: rr_fault::ExecMode::Blocks,
         // A pinned wide interval models long traces under a tight
         // checkpoint byte budget — per-plan positioning pays hundreds of
         // forward steps, which is precisely what bucketing amortizes.

@@ -229,7 +229,7 @@ fn plan_header(plan: &PlanConfig) -> String {
 }
 
 /// `rr fault <prog.rfx> --bad BYTES [--good BYTES] [--model a[,b…]]
-/// [--engine naive|checkpoint] [--exec interp|blocks]
+/// [--engine naive|checkpoint] [--exec interp|blocks|uops]
 /// [--shard contiguous|interleaved]
 /// [--oracle golden|crash|prefix:TEXT] [--streaming]
 /// [--order N [--pair-window N] [--plan-budget N] [--seed N]]
@@ -270,7 +270,7 @@ pub fn fault(raw: &[String]) -> Result<String, String> {
     let bad = args.required("bad")?.as_bytes().to_vec();
     let models = models_by_names(args.value("model").unwrap_or("skip"))?;
     let engine: CampaignEngine = args.value("engine").unwrap_or("checkpoint").parse()?;
-    let exec: ExecMode = args.value("exec").unwrap_or("blocks").parse()?;
+    let exec: ExecMode = args.value("exec").unwrap_or("uops").parse()?;
     let shard: ShardPolicy = args.value("shard").unwrap_or("contiguous").parse()?;
     let plan = plan_config_from(&args)?;
     let tel = telemetry_from(&args)?;
@@ -347,7 +347,7 @@ pub fn fault(raw: &[String]) -> Result<String, String> {
 }
 
 /// `rr harden <prog.rfx> --good BYTES --bad BYTES [--model ...] [-o out]
-/// [--engine naive|checkpoint] [--exec interp|blocks] [--no-incremental]
+/// [--engine naive|checkpoint] [--exec interp|blocks|uops] [--no-incremental]
 /// [--order N [--pair-window N] [--plan-budget N] [--seed N]]
 /// [--no-static-prune] [--audit-analysis]`
 ///
@@ -624,16 +624,19 @@ mod tests {
         assert!(checkpointed.contains("region-COW"), "{checkpointed}");
         assert!(fault(&sv(&[&exe_path, "--good", "7391", "--bad", "7291", "--engine", "laser",]))
             .is_err());
-        // Execution mode is a pure speed knob: interp and blocks produce
-        // byte-identical reports, and an unknown mode errors.
+        // Execution mode is a pure speed knob: interp, blocks, and uops
+        // produce byte-identical reports, and an unknown mode errors.
         let interp =
             fault(&sv(&[&exe_path, "--good", "7391", "--bad", "7291", "--exec", "interp"]))
                 .unwrap();
         let blocks =
             fault(&sv(&[&exe_path, "--good", "7391", "--bad", "7291", "--exec", "blocks"]))
                 .unwrap();
+        let uops =
+            fault(&sv(&[&exe_path, "--good", "7391", "--bad", "7291", "--exec", "uops"])).unwrap();
         assert_eq!(interp, blocks);
-        assert_eq!(blocks, checkpointed, "blocks is the default");
+        assert_eq!(blocks, uops);
+        assert_eq!(uops, checkpointed, "uops is the default");
         assert!(
             fault(&sv(&[&exe_path, "--good", "7391", "--bad", "7291", "--exec", "jit"])).is_err()
         );

@@ -190,7 +190,7 @@ impl<'a> Parser<'a> {
 
 const SPAN_KINDS: [&str; 6] =
     ["record", "snapshot", "restore", "inject", "classify", "bucket_sweep"];
-const COUNTERS: [&str; 13] = [
+const COUNTERS: [&str; 21] = [
     "plans_executed",
     "cache_hits",
     "cache_misses",
@@ -202,6 +202,14 @@ const COUNTERS: [&str; 13] = [
     "cow_clones",
     "bucket_sweeps",
     "bucket_plans",
+    "blocks_decoded",
+    "block_steps",
+    "interp_steps",
+    "block_invalidations",
+    "blocks_compiled",
+    "uop_steps",
+    "flag_materializations",
+    "tier_promotions",
     "plans_pruned_static",
     "audit_failures",
 ];
@@ -347,6 +355,14 @@ fn fault_trace_and_metrics_are_schema_valid() {
     assert!(num(&root, "plans_per_sec") > 0.0);
     assert!(num(&root, "checkpoints") > 0.0, "checkpointed engine retains checkpoints");
     assert!(num(&root, "retained_snapshot_bytes") > 0.0);
+
+    // The default exec tier is uop compilation: the campaign must have
+    // promoted hot superblocks and run most steps through their compiled
+    // bodies, and lazy flags must have materialized at observable points.
+    assert!(num(&root, "blocks_compiled") > 0.0, "uop tier must compile hot blocks");
+    assert!(num(&root, "tier_promotions") > 0.0, "heat must cross the tier threshold");
+    assert!(num(&root, "uop_steps") > 0.0, "compiled bodies must execute");
+    assert!(num(&root, "flag_materializations") > 0.0, "exits materialize pending flags");
 
     // Span-sum identity: the non-overlapping campaign spans cover most
     // of the wall time and never exceed it.

@@ -31,14 +31,17 @@
 
 use crate::machine::{Machine, RunResult};
 use crate::outcome::RunOutcome;
+use crate::uop::CompiledBlock;
 use rr_isa::{decode, Instr};
 use rr_obj::Executable;
 use std::collections::BTreeSet;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
 
-/// How a [`Machine::run_blocks`] call split its work between the cached
-/// fast path and the interpreter. Accumulate across calls and feed the
-/// totals to telemetry in one batch.
+/// How a [`Machine::run_blocks`] / [`Machine::run_uops`] call split its
+/// work between the execution tiers. Accumulate across calls and feed
+/// the totals to telemetry in one batch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BlockStats {
     /// Instructions executed from pre-decoded block bodies.
@@ -46,26 +49,57 @@ pub struct BlockStats {
     /// Instructions executed by the plain interpreter (cache miss,
     /// exec-dirty fallback, or control flow outside the text).
     pub interp_steps: u64,
+    /// Instructions executed from compiled micro-op bodies (the uop
+    /// tier, [`Machine::run_uops`]).
+    pub uop_steps: u64,
+    /// Superblocks lowered to micro-op bodies by this call.
+    pub blocks_compiled: u64,
+    /// Blocks whose execution count crossed the hot threshold here,
+    /// promoting them to the uop tier.
+    pub tier_promotions: u64,
+    /// Times the uop tier materialized the NZCV flags from a deferred
+    /// flag-setting operation (consumer reads and block exits).
+    pub flag_materializations: u64,
 }
 
 impl BlockStats {
     /// Total instructions executed under this accounting.
     pub fn total(&self) -> u64 {
-        self.block_steps + self.interp_steps
+        self.block_steps + self.interp_steps + self.uop_steps
     }
 }
 
 /// One pre-decoded straight-line run of instructions.
-#[derive(Debug, Clone)]
-struct DecodedBlock {
+#[derive(Debug)]
+pub(crate) struct DecodedBlock {
     /// Address of the first instruction.
-    start: u64,
+    pub(crate) start: u64,
     /// One past the last encoded byte (the exec-dirty probe range).
-    end: u64,
+    pub(crate) end: u64,
     /// Instruction addresses, parallel to `body`.
-    pcs: Vec<u64>,
+    pub(crate) pcs: Vec<u64>,
     /// Pre-decoded instructions with their encoded lengths.
-    body: Vec<(Instr, u8)>,
+    pub(crate) body: Vec<(Instr, u8)>,
+    /// Executions of this block observed by the uop tier, driving hot
+    /// promotion (`UopConfig::hot_threshold`). Atomic so worker threads
+    /// sharing the cache behind an `Arc` can tier concurrently.
+    pub(crate) heat: AtomicU32,
+    /// The compiled micro-op body, produced once on crossing the hot
+    /// threshold and shared by every subsequent execution.
+    pub(crate) compiled: OnceLock<CompiledBlock>,
+}
+
+impl Clone for DecodedBlock {
+    fn clone(&self) -> DecodedBlock {
+        DecodedBlock {
+            start: self.start,
+            end: self.end,
+            pcs: self.pcs.clone(),
+            body: self.body.clone(),
+            heat: AtomicU32::new(self.heat.load(Ordering::Relaxed)),
+            compiled: self.compiled.clone(),
+        }
+    }
 }
 
 /// Pre-decoded superblocks over an executable's text, built once per
@@ -150,7 +184,14 @@ impl BlockCache {
                 block_of[(ipc - text_start) as usize] = index;
                 instr_of[(ipc - text_start) as usize] = i as u32;
             }
-            blocks.push(DecodedBlock { start: leader, end: pc, pcs, body });
+            blocks.push(DecodedBlock {
+                start: leader,
+                end: pc,
+                pcs,
+                body,
+                heat: AtomicU32::new(0),
+                compiled: OnceLock::new(),
+            });
         }
         if blocks.is_empty() {
             return None;
@@ -186,7 +227,7 @@ impl BlockCache {
 
     /// The block containing an instruction that starts at `pc`, and the
     /// instruction's index within it.
-    fn lookup(&self, pc: u64) -> Option<(&DecodedBlock, usize)> {
+    pub(crate) fn lookup(&self, pc: u64) -> Option<(&DecodedBlock, usize)> {
         let off = usize::try_from(pc.checked_sub(self.text_start)?).ok()?;
         let block = *self.block_of.get(off)?;
         if block == u32::MAX {
@@ -240,38 +281,7 @@ impl Machine {
                 Some((block, entry))
                     if !self.memory().exec_dirty_intersects(block.start, block.end) =>
                 {
-                    let mut index = entry;
-                    let mut epoch = self.memory().exec_dirty_epoch();
-                    loop {
-                        let (insn, len) = block.body[index];
-                        if let Some(trace) = trace.as_deref_mut() {
-                            trace.push(self.pc());
-                        }
-                        let result = self.step_decoded(insn, len as usize);
-                        steps += 1;
-                        stats.block_steps += 1;
-                        if result.is_err() || self.stopped().is_some() || steps >= max_steps {
-                            break;
-                        }
-                        let now = self.memory().exec_dirty_epoch();
-                        if now != epoch {
-                            // A store landed in executable memory: the
-                            // cached decodes may be stale; if the write
-                            // hit elsewhere, re-entry through the outer
-                            // lookup resumes block execution.
-                            epoch = now;
-                            if self.memory().exec_dirty_intersects(block.start, block.end) {
-                                break;
-                            }
-                        }
-                        index += 1;
-                        if index >= block.body.len() || self.pc() != block.pcs[index] {
-                            // Fell off the block or control transferred
-                            // (branch, call, ret, corrupted pc) — resume
-                            // through the cache lookup.
-                            break;
-                        }
-                    }
+                    self.run_decoded_body(block, entry, max_steps, &mut steps, stats, &mut trace);
                 }
                 _ => {
                     if let Some(trace) = trace.as_deref_mut() {
@@ -286,6 +296,54 @@ impl Machine {
         match self.stopped() {
             Some(outcome) => RunResult { outcome, steps },
             None => RunResult { outcome: RunOutcome::TimedOut, steps },
+        }
+    }
+
+    /// Executes one pre-decoded block body precisely (the blocks tier's
+    /// inner loop), starting at instruction `entry`, until a fault, stop,
+    /// fence, exec-dirty write into the block, or control transfer out of
+    /// it. Shared with the uop tier, whose cold blocks run here until
+    /// they cross the hot threshold.
+    pub(crate) fn run_decoded_body(
+        &mut self,
+        block: &DecodedBlock,
+        entry: usize,
+        max_steps: u64,
+        steps: &mut u64,
+        stats: &mut BlockStats,
+        trace: &mut Option<&mut Vec<u64>>,
+    ) {
+        let mut index = entry;
+        let mut epoch = self.memory().exec_dirty_epoch();
+        loop {
+            let (insn, len) = block.body[index];
+            if let Some(trace) = trace.as_deref_mut() {
+                trace.push(self.pc());
+            }
+            let result = self.step_decoded(insn, len as usize);
+            *steps += 1;
+            stats.block_steps += 1;
+            if result.is_err() || self.stopped().is_some() || *steps >= max_steps {
+                break;
+            }
+            let now = self.memory().exec_dirty_epoch();
+            if now != epoch {
+                // A store landed in executable memory: the cached
+                // decodes may be stale; if the write hit elsewhere,
+                // re-entry through the outer lookup resumes block
+                // execution.
+                epoch = now;
+                if self.memory().exec_dirty_intersects(block.start, block.end) {
+                    break;
+                }
+            }
+            index += 1;
+            if index >= block.body.len() || self.pc() != block.pcs[index] {
+                // Fell off the block or control transferred (branch,
+                // call, ret, corrupted pc) — resume through the cache
+                // lookup.
+                break;
+            }
         }
     }
 }

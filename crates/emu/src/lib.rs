@@ -17,6 +17,18 @@
 //!   accesses, division by zero and runaway execution are all distinct
 //!   outcomes, because campaigns classify faults by them.
 //!
+//! ## Execution tiers
+//!
+//! Three tiers share one observable behaviour. [`Machine::run`] is the
+//! instruction-at-a-time interpreter. [`Machine::run_blocks`] executes
+//! pre-decoded superblocks from a [`BlockCache`], removing fetch/decode
+//! from the hot path. [`Machine::run_uops`] additionally compiles blocks
+//! that cross [`UopConfig::hot_threshold`] into flat micro-op traces with
+//! pre-extracted operands and lazy NZCV materialization — flags are
+//! recomputed only when a consumer or a block exit reads them, so
+//! architectural state is exact at every observable point. All three are
+//! bit-identical; the uop tier is the default for replay campaigns.
+//!
 //! ## Program I/O
 //!
 //! Programs talk to the runtime through `svc`:
@@ -49,6 +61,7 @@ mod blockexec;
 mod machine;
 mod memory;
 mod outcome;
+mod uop;
 
 pub use blockexec::{BlockCache, BlockStats};
 pub use machine::{Machine, RunResult, Snapshot, DEFAULT_MAX_STEPS};
@@ -56,6 +69,9 @@ pub use memory::{
     AccessKind, MemResult, Memory, MemoryDelta, MemoryStats, PAGE_SIZE, STRADDLE_TAIL,
 };
 pub use outcome::{CpuFault, Execution, RunOutcome};
+#[cfg(feature = "ir-bridge")]
+pub use uop::lower_block_to_ir;
+pub use uop::UopConfig;
 
 use rr_obj::Executable;
 

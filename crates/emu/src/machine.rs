@@ -283,8 +283,21 @@ impl Machine {
         }
     }
 
-    fn mem_fault((addr, access): (u64, AccessKind)) -> CpuFault {
+    pub(crate) fn mem_fault((addr, access): (u64, AccessKind)) -> CpuFault {
         CpuFault::MemoryFault { addr, access }
+    }
+
+    /// Mutable memory access for the in-crate execution engines (the
+    /// micro-op tier performs its own loads/stores).
+    pub(crate) fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.memory
+    }
+
+    /// Records a crash at the current PC with the same contract as the
+    /// [`Machine::step`] error path: the machine sticks to the recorded
+    /// outcome and further stepping returns it.
+    pub(crate) fn stop_crashed(&mut self, fault: CpuFault) {
+        self.stopped = Some(RunOutcome::Crashed { fault, pc: self.pc });
     }
 
     fn step_inner(&mut self) -> Result<(), CpuFault> {
@@ -386,7 +399,7 @@ impl Machine {
         Ok(())
     }
 
-    fn alu(&mut self, op: AluOp, rd: Reg, rhs: u64) -> Result<(), CpuFault> {
+    pub(crate) fn alu(&mut self, op: AluOp, rd: Reg, rhs: u64) -> Result<(), CpuFault> {
         let lhs = self.reg(rd);
         let (res, flags) = match op {
             AluOp::Add => (lhs.wrapping_add(rhs), Flags::from_add(lhs, rhs)),
@@ -440,21 +453,21 @@ impl Machine {
         self.flags = flags;
     }
 
-    fn push(&mut self, value: u64) -> Result<(), CpuFault> {
+    pub(crate) fn push(&mut self, value: u64) -> Result<(), CpuFault> {
         let sp = self.reg(Reg::SP).wrapping_sub(8);
         self.memory.write_u64(sp, value).map_err(Self::mem_fault)?;
         self.set_reg(Reg::SP, sp);
         Ok(())
     }
 
-    fn pop(&mut self) -> Result<u64, CpuFault> {
+    pub(crate) fn pop(&mut self) -> Result<u64, CpuFault> {
         let sp = self.reg(Reg::SP);
         let value = self.memory.read_u64(sp).map_err(Self::mem_fault)?;
         self.set_reg(Reg::SP, sp.wrapping_add(8));
         Ok(value)
     }
 
-    fn service(&mut self, num: u8) -> Result<(), CpuFault> {
+    pub(crate) fn service(&mut self, num: u8) -> Result<(), CpuFault> {
         match num {
             0 => {
                 self.stopped = Some(RunOutcome::Exited { code: self.reg(Reg::R1) });

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use rr_asm::assemble_and_link;
-use rr_emu::{execute, BlockCache, BlockStats, Machine, RunOutcome};
+use rr_emu::{execute, BlockCache, BlockStats, Machine, RunOutcome, UopConfig};
 
 /// Random but *assemblable* straight-line programs over safe instructions
 /// (no memory, no control flow — those are covered by targeted tests).
@@ -64,6 +64,24 @@ fn run_blocks_chunked(
     let mut total = 0u64;
     while machine.stopped().is_none() && total < max_steps {
         let result = machine.run_blocks(cache, chunk.min(max_steps - total), &mut stats);
+        total += result.steps;
+    }
+    (machine.stopped().unwrap_or(RunOutcome::TimedOut), total)
+}
+
+/// [`run_blocks_chunked`] for the uop tier: drives `run_uops` in
+/// `chunk`-step slices under the given tiering threshold.
+fn run_uops_chunked(
+    machine: &mut Machine,
+    cache: &BlockCache,
+    config: UopConfig,
+    chunk: u64,
+    max_steps: u64,
+) -> (RunOutcome, u64) {
+    let mut stats = BlockStats::default();
+    let mut total = 0u64;
+    while machine.stopped().is_none() && total < max_steps {
+        let result = machine.run_uops(cache, config, chunk.min(max_steps - total), &mut stats);
         total += result.steps;
     }
     (machine.stopped().unwrap_or(RunOutcome::TimedOut), total)
@@ -155,6 +173,51 @@ proptest! {
             prop_assert_eq!(interp.reg(reg), blocks.reg(reg), "r{}", i);
         }
         prop_assert_eq!(interp.take_output(), blocks.take_output());
+    }
+
+    /// Compiled uop execution is bit-identical to the interpreter over
+    /// random looped programs, for every fence placement and every
+    /// tiering threshold — eager compilation (0), promote-on-reentry
+    /// (1), and a threshold the short run may never cross (8, leaving
+    /// some or all blocks on the decoded tier). Full architectural
+    /// state is compared at the end of every chunked run: outcome, step
+    /// count, pc, **NZCV flags** (the lazy-materialization contract),
+    /// all sixteen registers, and output.
+    #[test]
+    fn uop_execution_matches_the_interpreter_across_thresholds(
+        lines in proptest::collection::vec(safe_line(), 0..24),
+        iters in 1u64..6,
+        chunk in 1u64..97,
+    ) {
+        let exe = assemble_and_link(&looped_program(&lines, iters)).expect("program builds");
+        let text = exe.text_range();
+        let max_steps = 50_000u64;
+
+        let mut interp = Machine::new(&exe, &[]);
+        let interp_result = interp.run(max_steps);
+        let interp_output = interp.take_output();
+
+        for hot_threshold in [0u32, 1, 8] {
+            // A fresh cache per threshold: heat accumulated under one
+            // threshold must not leak promotions into the next.
+            let cache = BlockCache::build(&exe, text.start..text.end).expect("text decodes");
+            let config = UopConfig { hot_threshold };
+            let mut uops = Machine::new(&exe, &[]);
+            let (outcome, steps) = run_uops_chunked(&mut uops, &cache, config, chunk, max_steps);
+
+            prop_assert_eq!(interp_result.outcome, outcome, "threshold {}", hot_threshold);
+            prop_assert_eq!(interp_result.steps, steps, "threshold {}", hot_threshold);
+            prop_assert_eq!(interp.pc(), uops.pc(), "threshold {}", hot_threshold);
+            prop_assert_eq!(interp.flags(), uops.flags(), "threshold {}", hot_threshold);
+            for i in 0..16u8 {
+                let reg = rr_isa::Reg::from_index(i);
+                prop_assert_eq!(
+                    interp.reg(reg), uops.reg(reg),
+                    "r{} threshold {}", i, hot_threshold
+                );
+            }
+            prop_assert_eq!(&interp_output, &uops.take_output(), "threshold {}", hot_threshold);
+        }
     }
 
     /// Flag state after arithmetic matches the ISA-level flag model.

@@ -61,4 +61,11 @@ mod replay;
 pub mod shard;
 
 pub use blockcache::{build_block_cache, rebuild_block_cache};
-pub use replay::{auto_interval, ReplayConfig, ReplayEngine, ReplayError, ReplayFootprint};
+pub use replay::{
+    auto_interval, flush_block_stats, ExecMode, ReplayConfig, ReplayEngine, ReplayError,
+    ReplayFootprint,
+};
+
+// The uop tiering knob is part of [`ReplayConfig`]; re-exported so
+// replay consumers don't need an rr-emu dependency to set it.
+pub use rr_emu::UopConfig;

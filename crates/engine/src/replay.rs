@@ -3,11 +3,65 @@
 
 use rr_emu::{
     BlockCache, BlockStats, Execution, Machine, MemoryDelta, RunOutcome, RunResult, Snapshot,
+    UopConfig,
 };
 use rr_obj::Executable;
 use rr_telemetry::{Counter, Gauge, SpanKind, Telemetry};
 use std::fmt;
+use std::str::FromStr;
 use std::sync::Arc;
+
+/// How recorded and replayed instructions execute.
+///
+/// All three modes are bit-identical — same traces, same outcomes, same
+/// architectural state at every observable point (pinned by the emu
+/// proptests and the campaign equivalence suites) — so the choice is
+/// purely a speed/robustness knob, surfaced as `--exec` on the CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Per-step fetch/decode interpretation everywhere (the reference
+    /// implementation).
+    Interp,
+    /// Pre-decoded superblock execution with interpreter fallback over
+    /// modified code (see [`crate::build_block_cache`]).
+    Blocks,
+    /// The blocks tier plus micro-op compilation: blocks crossing
+    /// [`rr_emu::UopConfig::hot_threshold`] are lowered once into
+    /// pre-extracted micro-op traces executed with lazy NZCV
+    /// materialization ([`rr_emu::Machine::run_uops`]).
+    #[default]
+    Uops,
+}
+
+impl ExecMode {
+    /// Whether this mode executes through a pre-decoded block cache.
+    pub fn uses_block_cache(self) -> bool {
+        self != ExecMode::Interp
+    }
+}
+
+impl fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ExecMode::Interp => "interp",
+            ExecMode::Blocks => "blocks",
+            ExecMode::Uops => "uops",
+        })
+    }
+}
+
+impl FromStr for ExecMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "interp" => Ok(ExecMode::Interp),
+            "blocks" => Ok(ExecMode::Blocks),
+            "uops" => Ok(ExecMode::Uops),
+            other => Err(format!("unknown exec mode `{other}` (interp|blocks|uops)")),
+        }
+    }
+}
 
 /// Tunables for [`ReplayEngine::record`].
 #[derive(Debug, Clone)]
@@ -49,6 +103,14 @@ pub struct ReplayConfig {
     /// interpreter, but without per-step fetch/decode outside injection
     /// and capture fences. `None` runs the plain interpreter.
     pub block_cache: Option<Arc<BlockCache>>,
+    /// Which tier executes when a block cache is present:
+    /// [`ExecMode::Uops`] (default) additionally compiles hot blocks to
+    /// micro-op traces, [`ExecMode::Blocks`] stays with decoded bodies.
+    /// Without a cache both degrade to interpretation.
+    pub exec: ExecMode,
+    /// Tiering knob for [`ExecMode::Uops`]: how hot a block runs
+    /// decoded before it is compiled.
+    pub uop: UopConfig,
 }
 
 impl Default for ReplayConfig {
@@ -61,6 +123,8 @@ impl Default for ReplayConfig {
             record_snapshots: true,
             telemetry: Telemetry::default(),
             block_cache: None,
+            exec: ExecMode::default(),
+            uop: UopConfig::default(),
         }
     }
 }
@@ -171,6 +235,10 @@ pub struct ReplayEngine {
     /// Block cache the recording ran under; [`ReplayEngine::machine_at`]
     /// forward-steps through it when present.
     block_cache: Option<Arc<BlockCache>>,
+    /// Execution tier the recording ran under; replays use the same one
+    /// (compiled bodies accumulated in the shared cache stay warm).
+    exec: ExecMode,
+    uop: UopConfig,
     telemetry: Telemetry,
 }
 
@@ -355,19 +423,37 @@ fn run_recorded(
             recorder.capture(machine, step);
         }
         let fence = recorder.next_fence(step).map_or(config.max_steps, |f| f.min(config.max_steps));
-        machine.run_blocks_traced(cache, fence - step, &mut stats, trace);
+        match config.exec {
+            ExecMode::Uops => {
+                machine.run_uops_traced(cache, config.uop, fence - step, &mut stats, trace)
+            }
+            _ => machine.run_blocks_traced(cache, fence - step, &mut stats, trace),
+        };
     };
     flush_block_stats(&config.telemetry, stats);
     result
 }
 
-/// Batches a run's block/interp step counts into the telemetry handle.
-fn flush_block_stats(telemetry: &Telemetry, stats: BlockStats) {
+/// Batches a run's per-tier step counts (and the uop tier's compile and
+/// lazy-flag events) into the telemetry handle.
+pub fn flush_block_stats(telemetry: &Telemetry, stats: BlockStats) {
     if stats.block_steps > 0 {
         telemetry.count(Counter::BlockSteps, stats.block_steps);
     }
     if stats.interp_steps > 0 {
         telemetry.count(Counter::InterpSteps, stats.interp_steps);
+    }
+    if stats.uop_steps > 0 {
+        telemetry.count(Counter::UopSteps, stats.uop_steps);
+    }
+    if stats.blocks_compiled > 0 {
+        telemetry.count(Counter::BlocksCompiled, stats.blocks_compiled);
+    }
+    if stats.flag_materializations > 0 {
+        telemetry.count(Counter::FlagMaterializations, stats.flag_materializations);
+    }
+    if stats.tier_promotions > 0 {
+        telemetry.count(Counter::TierPromotions, stats.tier_promotions);
     }
 }
 
@@ -408,6 +494,8 @@ impl ReplayEngine {
             interval: recorder.interval,
             snapshots: config.record_snapshots,
             block_cache: config.block_cache.clone(),
+            exec: config.exec,
+            uop: config.uop,
             telemetry: config.telemetry.clone(),
         };
         engine.publish_footprint();
@@ -456,6 +544,8 @@ impl ReplayEngine {
             interval: recorder.interval,
             snapshots: config.record_snapshots,
             block_cache: config.block_cache.clone(),
+            exec: config.exec,
+            uop: config.uop,
             telemetry: config.telemetry.clone(),
         };
         engine.publish_footprint();
@@ -586,7 +676,11 @@ impl ReplayEngine {
         match &self.block_cache {
             Some(cache) => {
                 let mut stats = BlockStats::default();
-                let result = machine.run_blocks(cache, step - checkpoint.step, &mut stats);
+                let budget = step - checkpoint.step;
+                let result = match self.exec {
+                    ExecMode::Uops => machine.run_uops(cache, self.uop, budget, &mut stats),
+                    _ => machine.run_blocks(cache, budget, &mut stats),
+                };
                 flush_block_stats(&self.telemetry, stats);
                 if let RunOutcome::Crashed { .. } = result.outcome {
                     // The last of `result.steps` executed instructions
@@ -614,6 +708,18 @@ impl ReplayEngine {
     /// it across replays and post-injection continuations.
     pub fn block_cache(&self) -> Option<&Arc<BlockCache>> {
         self.block_cache.as_ref()
+    }
+
+    /// The execution tier the recording ran under — replays and
+    /// continuations should use the same one so compiled micro-op
+    /// bodies in the shared cache stay warm.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec
+    }
+
+    /// The uop tiering knob the recording ran under.
+    pub fn uop_config(&self) -> UopConfig {
+        self.uop
     }
 }
 
@@ -996,93 +1102,125 @@ mod tests {
         assert_eq!(m.pc(), capped.trace()[(steps / 3) as usize]);
     }
 
-    /// Block-cached configs for an executable: the same `ReplayConfig`
-    /// with a cache built from the recovered CFG.
-    fn blocked(config: &ReplayConfig, exe: &Executable) -> ReplayConfig {
+    /// Accelerated configs for an executable: the same `ReplayConfig`
+    /// with a cache built from the recovered CFG and the given tier.
+    fn accel(config: &ReplayConfig, exe: &Executable, exec: ExecMode) -> ReplayConfig {
         ReplayConfig {
             block_cache: Some(
                 crate::build_block_cache(exe, &config.telemetry).expect("sample decodes"),
             ),
+            exec,
+            // Threshold 1 exercises the decoded→compiled promotion path
+            // inside recorded runs, not just steady-state compiled bodies.
+            uop: rr_emu::UopConfig { hot_threshold: 1 },
             ..config.clone()
         }
     }
 
-    #[test]
-    fn block_cached_recording_is_bit_identical() {
-        let exe = looping_exe(300);
-        for base in [
-            ReplayConfig::default(),
-            ReplayConfig { checkpoint_interval: 16, ..ReplayConfig::default() },
-            ReplayConfig { max_checkpoints: 8, ..ReplayConfig::default() },
-            ReplayConfig { record_snapshots: false, ..ReplayConfig::default() },
-        ] {
-            let interp = ReplayEngine::record(&exe, &[], &base);
-            let blocks = ReplayEngine::record(&exe, &[], &blocked(&base, &exe));
-            assert_eq!(interp.execution(), blocks.execution());
-            assert_eq!(interp.trace(), blocks.trace());
-            assert_eq!(interp.interval(), blocks.interval());
-            assert_eq!(interp.checkpoint_count(), blocks.checkpoint_count());
-            let steps: Vec<u64> = interp.checkpoints.iter().map(|c| c.step).collect();
-            let block_steps: Vec<u64> = blocks.checkpoints.iter().map(|c| c.step).collect();
-            assert_eq!(steps, block_steps, "capture schedule must not drift");
-        }
-    }
+    const ACCEL_MODES: [ExecMode; 2] = [ExecMode::Blocks, ExecMode::Uops];
 
     #[test]
-    fn block_cached_machine_at_matches_the_interpreter() {
-        let exe = looping_exe(80);
-        let base = ReplayConfig { checkpoint_interval: 16, ..ReplayConfig::default() };
-        let interp = ReplayEngine::record(&exe, &[], &base);
-        let blocks = ReplayEngine::record(&exe, &[], &blocked(&base, &exe));
-        let total = interp.trace().len() as u64;
-        for step in [0, 1, 15, 16, 17, 100, total - 1, total] {
-            let a = interp.machine_at(step).unwrap();
-            let b = blocks.machine_at(step).unwrap();
-            assert_eq!(a.pc(), b.pc(), "pc at step {step}");
-            assert_eq!(a.flags(), b.flags(), "flags at step {step}");
-            assert_eq!(a.stopped(), b.stopped(), "stop state at step {step}");
-            for r in rr_isa_regs() {
-                assert_eq!(a.reg(r), b.reg(r), "reg {r} at step {step}");
+    fn accelerated_recording_is_bit_identical() {
+        let exe = looping_exe(300);
+        for exec in ACCEL_MODES {
+            for base in [
+                ReplayConfig::default(),
+                ReplayConfig { checkpoint_interval: 16, ..ReplayConfig::default() },
+                ReplayConfig { max_checkpoints: 8, ..ReplayConfig::default() },
+                ReplayConfig { record_snapshots: false, ..ReplayConfig::default() },
+            ] {
+                let interp = ReplayEngine::record(&exe, &[], &base);
+                let fast = ReplayEngine::record(&exe, &[], &accel(&base, &exe, exec));
+                assert_eq!(interp.execution(), fast.execution(), "{exec}");
+                assert_eq!(interp.trace(), fast.trace(), "{exec}");
+                assert_eq!(interp.interval(), fast.interval(), "{exec}");
+                assert_eq!(interp.checkpoint_count(), fast.checkpoint_count(), "{exec}");
+                let steps: Vec<u64> = interp.checkpoints.iter().map(|c| c.step).collect();
+                let fast_steps: Vec<u64> = fast.checkpoints.iter().map(|c| c.step).collect();
+                assert_eq!(steps, fast_steps, "{exec}: capture schedule must not drift");
             }
         }
     }
 
     #[test]
-    fn block_cached_replay_range_matches_the_interpreter() {
+    fn accelerated_machine_at_matches_the_interpreter() {
+        let exe = looping_exe(80);
+        let base = ReplayConfig { checkpoint_interval: 16, ..ReplayConfig::default() };
+        let interp = ReplayEngine::record(&exe, &[], &base);
+        for exec in ACCEL_MODES {
+            let fast = ReplayEngine::record(&exe, &[], &accel(&base, &exe, exec));
+            assert_eq!(fast.exec_mode(), exec);
+            let total = interp.trace().len() as u64;
+            for step in [0, 1, 15, 16, 17, 100, total - 1, total] {
+                let a = interp.machine_at(step).unwrap();
+                let b = fast.machine_at(step).unwrap();
+                assert_eq!(a.pc(), b.pc(), "{exec}: pc at step {step}");
+                assert_eq!(a.flags(), b.flags(), "{exec}: flags at step {step}");
+                assert_eq!(a.stopped(), b.stopped(), "{exec}: stop state at step {step}");
+                for r in rr_isa_regs() {
+                    assert_eq!(a.reg(r), b.reg(r), "{exec}: reg {r} at step {step}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accelerated_replay_range_matches_the_interpreter() {
         let exe = looping_exe(400);
         let steps = ReplayEngine::record(&exe, &[], &ReplayConfig::default()).execution().steps;
         let window = (steps / 3)..(steps / 2);
         let base = ReplayConfig { checkpoint_interval: 16, ..ReplayConfig::default() };
         let interp = ReplayEngine::replay_range(&exe, &[], &base, window.clone());
-        let blocks = ReplayEngine::replay_range(&exe, &[], &blocked(&base, &exe), window.clone());
-        assert_eq!(interp.execution(), blocks.execution());
-        assert_eq!(interp.trace(), blocks.trace());
-        let steps_a: Vec<u64> = interp.checkpoints.iter().map(|c| c.step).collect();
-        let steps_b: Vec<u64> = blocks.checkpoints.iter().map(|c| c.step).collect();
-        assert_eq!(steps_a, steps_b, "windowed capture schedule must not drift");
-        for step in [0, window.start, window.start + 5, window.end - 1] {
-            let a = interp.machine_at(step).unwrap();
-            let b = blocks.machine_at(step).unwrap();
-            assert_eq!(a.pc(), b.pc(), "step {step}");
+        for exec in ACCEL_MODES {
+            let fast =
+                ReplayEngine::replay_range(&exe, &[], &accel(&base, &exe, exec), window.clone());
+            assert_eq!(interp.execution(), fast.execution(), "{exec}");
+            assert_eq!(interp.trace(), fast.trace(), "{exec}");
+            let steps_a: Vec<u64> = interp.checkpoints.iter().map(|c| c.step).collect();
+            let steps_b: Vec<u64> = fast.checkpoints.iter().map(|c| c.step).collect();
+            assert_eq!(steps_a, steps_b, "{exec}: windowed capture schedule must not drift");
+            for step in [0, window.start, window.start + 5, window.end - 1] {
+                let a = interp.machine_at(step).unwrap();
+                let b = fast.machine_at(step).unwrap();
+                assert_eq!(a.pc(), b.pc(), "{exec}: step {step}");
+            }
         }
     }
 
     #[test]
-    fn block_cached_thinning_keeps_the_schedule_aligned() {
+    fn accelerated_thinning_keeps_the_schedule_aligned() {
         // Byte-budget thinning doubles the interval mid-run; the block
-        // driver must re-derive its fences from the widened schedule.
+        // and uop drivers must re-derive their fences from the widened
+        // schedule.
         let exe = stack_churn_exe(800);
         let free = ReplayEngine::record(&exe, &[], &ReplayConfig::default());
         let budget = free.retained_bytes() / 4;
         let base = ReplayConfig { max_retained_bytes: budget, ..ReplayConfig::default() };
         let interp = ReplayEngine::record(&exe, &[], &base);
-        let blocks = ReplayEngine::record(&exe, &[], &blocked(&base, &exe));
-        assert_eq!(interp.execution(), blocks.execution());
-        assert_eq!(interp.interval(), blocks.interval());
-        let steps_a: Vec<u64> = interp.checkpoints.iter().map(|c| c.step).collect();
-        let steps_b: Vec<u64> = blocks.checkpoints.iter().map(|c| c.step).collect();
-        assert_eq!(steps_a, steps_b);
-        assert!(blocks.retained_bytes() <= budget);
+        for exec in ACCEL_MODES {
+            let fast = ReplayEngine::record(&exe, &[], &accel(&base, &exe, exec));
+            assert_eq!(interp.execution(), fast.execution(), "{exec}");
+            assert_eq!(interp.interval(), fast.interval(), "{exec}");
+            let steps_a: Vec<u64> = interp.checkpoints.iter().map(|c| c.step).collect();
+            let steps_b: Vec<u64> = fast.checkpoints.iter().map(|c| c.step).collect();
+            assert_eq!(steps_a, steps_b, "{exec}");
+            assert!(fast.retained_bytes() <= budget, "{exec}");
+        }
+    }
+
+    #[test]
+    fn exec_mode_names_parse_and_render() {
+        assert_eq!("interp".parse::<ExecMode>().unwrap(), ExecMode::Interp);
+        assert_eq!("blocks".parse::<ExecMode>().unwrap(), ExecMode::Blocks);
+        assert_eq!("uops".parse::<ExecMode>().unwrap(), ExecMode::Uops);
+        assert!("jit".parse::<ExecMode>().is_err());
+        assert_eq!(ExecMode::default(), ExecMode::Uops, "uops is the default tier");
+        assert_eq!(ExecMode::Interp.to_string(), "interp");
+        assert_eq!(ExecMode::Blocks.to_string(), "blocks");
+        assert_eq!(ExecMode::Uops.to_string(), "uops");
+        assert!(!ExecMode::Interp.uses_block_cache());
+        assert!(ExecMode::Blocks.uses_block_cache());
+        assert!(ExecMode::Uops.uses_block_cache());
     }
 
     #[test]

@@ -249,14 +249,24 @@ where
 /// runs `work` once per bucket. Results come back **in item order**, as
 /// with [`run_scheduled`] — the bucketing is invisible in the output.
 ///
-/// `work` receives the bucket's key and the bucket's item indices in
-/// ascending order, and must return one result per index, in that order.
-/// Handing `work` the whole bucket — rather than one item at a time — is
-/// the point: a worker can pay a per-bucket setup cost (e.g. restoring
-/// one replay checkpoint) once for every item that shares it. This is
-/// the checkpoint-neighbourhood scheduling multi-fault campaigns use:
-/// plans keyed by the checkpoint preceding their first injection restore
-/// that checkpoint once per bucket instead of once per plan.
+/// `work` receives the bucket's key and a run of the bucket's item
+/// indices in ascending order, and must return one result per index, in
+/// that order. Handing `work` a whole run — rather than one item at a
+/// time — is the point: a worker can pay a per-bucket setup cost (e.g.
+/// restoring one replay checkpoint) once for every item that shares it.
+/// This is the checkpoint-neighbourhood scheduling multi-fault campaigns
+/// use: plans keyed by the checkpoint preceding their first injection
+/// restore that checkpoint once per run instead of once per plan.
+///
+/// Scheduling is work-stealing over an atomic cursor: workers claim the
+/// next unclaimed unit as they go idle, so a few expensive buckets can
+/// no longer serialize the tail of a run behind one worker while the
+/// rest sit idle (the old static deal pinned whole bucket ranges to
+/// workers up front). **Oversized buckets are additionally split** into
+/// contiguous chunks of at most `⌈items / (4 × workers)⌉` indices —
+/// each chunk re-pays the bucket's setup cost, but idle workers get to
+/// help with a giant neighbourhood instead of watching it run. Both
+/// choices are invisible in the output; only wall-clock changes.
 pub fn run_bucketed<T, K, R, F>(
     items: &[T],
     threads: usize,
@@ -281,33 +291,50 @@ where
             slots[index] = Some(result);
         }
     };
-    let ranges = contiguous_ranges(buckets.len(), resolve_threads(threads));
-    if ranges.len() <= 1 {
+    let workers = resolve_threads(threads).min(buckets.len()).max(1);
+    if workers <= 1 {
         for (key, indices) in &buckets {
             let results = work(key, indices);
             scatter(&mut slots, indices, results);
         }
     } else {
+        // Claimable units: whole buckets, except buckets larger than the
+        // chunk target, which split into contiguous index runs so idle
+        // workers can steal part of an oversized neighbourhood. ~4 units
+        // per worker keeps claim contention negligible while leaving
+        // enough slack for stealing to balance skewed bucket costs.
+        let chunk_target = items.len().div_ceil(workers * 4).max(1);
+        let units: Vec<(usize, Range<usize>)> = buckets
+            .iter()
+            .enumerate()
+            .flat_map(|(bucket, (_, indices))| {
+                contiguous_ranges(indices.len(), indices.len().div_ceil(chunk_target))
+                    .into_iter()
+                    .map(move |range| (bucket, range))
+            })
+            .collect();
+        let cursor = std::sync::atomic::AtomicUsize::new(0);
         std::thread::scope(|scope| {
-            let work = &work;
-            let handles: Vec<_> = ranges
-                .into_iter()
-                .map(|range| {
-                    let chunk = &buckets[range];
+            let (work, units, buckets, cursor) = (&work, &units, &buckets, &cursor);
+            let handles: Vec<_> = (0..workers.min(units.len()))
+                .map(|_| {
                     scope.spawn(move || {
-                        chunk
-                            .iter()
-                            .map(|(key, indices)| work(key, indices))
-                            .collect::<Vec<Vec<R>>>()
+                        let mut done: Vec<(usize, Vec<R>)> = Vec::new();
+                        loop {
+                            let unit = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some((bucket, range)) = units.get(unit) else { break };
+                            let (key, indices) = &buckets[*bucket];
+                            done.push((unit, work(key, &indices[range.clone()])));
+                        }
+                        done
                     })
                 })
                 .collect();
-            let mut cursor = 0;
             for handle in handles {
-                for results in handle.join().expect("bucket worker panicked") {
-                    let (_, indices) = &buckets[cursor];
-                    scatter(&mut slots, indices, results);
-                    cursor += 1;
+                for (unit, results) in handle.join().expect("bucket worker panicked") {
+                    let (bucket, range) = &units[unit];
+                    let (_, indices) = &buckets[*bucket];
+                    scatter(&mut slots, &indices[range.clone()], results);
                 }
             }
         });
@@ -544,25 +571,76 @@ mod tests {
         // Key = tens digit: buckets of up to 10 neighbouring items.
         let items: Vec<usize> = (0..137).rev().collect();
         let expected: Vec<usize> = items.iter().map(|x| x * 3).collect();
-        let buckets_seen = std::sync::Mutex::new(Vec::new());
         for threads in [1, 3, 8] {
+            let calls = std::sync::Mutex::new(Vec::new());
             let results = run_bucketed(
                 &items,
                 threads,
                 |&x| x / 10,
                 |&key, indices| {
-                    buckets_seen.lock().unwrap().push((key, indices.len()));
+                    calls.lock().unwrap().push((key, indices.to_vec()));
                     // Indices arrive ascending, and every item in the
-                    // bucket shares the key.
+                    // run shares the key.
                     assert!(indices.windows(2).all(|w| w[0] < w[1]));
                     assert!(indices.iter().all(|&i| items[i] / 10 == key));
                     indices.iter().map(|&i| items[i] * 3).collect()
                 },
             );
             assert_eq!(results, expected, "threads={threads}");
+            let calls = calls.into_inner().unwrap();
+            // 137 items with tens-digit keys → 14 buckets; chunk
+            // splitting may hand a bucket to `work` in several ascending
+            // runs, but never mixes keys and never repeats an index.
+            assert!(calls.len() >= 14, "threads={threads}: {} calls", calls.len());
+            let mut per_key = std::collections::BTreeMap::new();
+            for (key, indices) in calls {
+                per_key.entry(key).or_insert_with(Vec::new).extend(indices);
+            }
+            assert_eq!(per_key.len(), 14, "threads={threads}");
+            for (key, mut indices) in per_key {
+                indices.sort_unstable();
+                indices.dedup();
+                let expected_count = items.iter().filter(|&&x| x / 10 == key).count();
+                assert_eq!(indices.len(), expected_count, "key {key} threads={threads}");
+            }
         }
-        // 137 items with tens-digit keys → 14 buckets per run.
-        assert_eq!(buckets_seen.lock().unwrap().len(), 14 * 3);
+    }
+
+    #[test]
+    fn bucketed_stealing_splits_an_oversized_bucket_into_claimable_chunks() {
+        // One giant bucket plus a handful of singletons: the old static
+        // whole-bucket deal handed the giant to one worker in a single
+        // call while the others exited after their singletons; the
+        // cursor scheduling splits it into bounded chunks any idle
+        // worker can claim. (Which worker claims which chunk is timing —
+        // the splitting and the bound are what's deterministic.)
+        let items: Vec<usize> = (0..400).collect();
+        let expected: Vec<usize> = items.iter().map(|x| x + 1).collect();
+        let giant_chunks = std::sync::Mutex::new(Vec::new());
+        let results = run_bucketed(
+            &items,
+            4,
+            |&x| if x < 396 { 0u8 } else { (x - 395) as u8 },
+            |&key, indices| {
+                if key == 0 {
+                    giant_chunks.lock().unwrap().push(indices.to_vec());
+                }
+                indices.iter().map(|&i| items[i] + 1).collect()
+            },
+        );
+        assert_eq!(results, expected);
+        let chunks = giant_chunks.into_inner().unwrap();
+        // Chunk target = ⌈400 / (4 workers × 4)⌉ = 25: the 396-item
+        // bucket must arrive as many bounded runs, not one call.
+        assert!(chunks.len() >= 396 / 25, "only {} chunks", chunks.len());
+        let mut all: Vec<usize> = Vec::new();
+        for chunk in &chunks {
+            assert!(chunk.len() <= 25, "chunk of {} items", chunk.len());
+            assert!(chunk.windows(2).all(|w| w[0] < w[1]), "ascending within a chunk");
+            all.extend(chunk);
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..396).collect::<Vec<_>>(), "giant bucket covered exactly once");
     }
 
     #[test]

@@ -49,43 +49,10 @@ impl FromStr for CampaignEngine {
     }
 }
 
-/// How a session executes emulated instructions.
-///
-/// Both modes are bit-identical (pinned by proptests); the choice is
-/// purely a speed/robustness knob surfaced as `--exec` on the CLI.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum ExecMode {
-    /// Per-step fetch/decode interpretation everywhere (the reference
-    /// implementation).
-    Interp,
-    /// Pre-decoded superblock execution for golden recording, replay
-    /// positioning, and post-injection continuation, with interpreter
-    /// fallback over code the session has modified (see
-    /// [`rr_engine::build_block_cache`]).
-    #[default]
-    Blocks,
-}
-
-impl fmt::Display for ExecMode {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            ExecMode::Interp => "interp",
-            ExecMode::Blocks => "blocks",
-        })
-    }
-}
-
-impl FromStr for ExecMode {
-    type Err = String;
-
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s {
-            "interp" => Ok(ExecMode::Interp),
-            "blocks" => Ok(ExecMode::Blocks),
-            other => Err(format!("unknown exec mode `{other}` (interp|blocks)")),
-        }
-    }
-}
+// How a session executes emulated instructions now lives in rr-engine
+// (the layer that actually dispatches the tiers); re-exported here so
+// campaign callers keep a single import path.
+pub use rr_engine::ExecMode;
 
 /// Tunables for a fault-injection session.
 #[derive(Debug, Clone)]
@@ -136,9 +103,14 @@ pub struct CampaignConfig {
     /// multifault benchmark gates the speedup); `false` falls back to
     /// per-plan positioning everywhere.
     pub bucketing: bool,
-    /// How emulated instructions execute — pre-decoded superblocks
-    /// (default) or the plain interpreter. See [`ExecMode`].
+    /// How emulated instructions execute — compiled uop traces
+    /// (default), pre-decoded superblocks, or the plain interpreter. See
+    /// [`ExecMode`].
     pub exec: ExecMode,
+    /// Tiering knob for [`ExecMode::Uops`]: how many executions promote
+    /// a decoded superblock to its compiled uop body (`0` = compile
+    /// eagerly on first execution).
+    pub uop: rr_emu::UopConfig,
     /// Drop plans the static analysis ([`crate::Analysis`]) proves
     /// benign from the plan space before enumeration and budget
     /// normalization (default on; `--no-static-prune` on the CLI).
@@ -169,6 +141,7 @@ impl Default for CampaignConfig {
             plan: PlanConfig::default(),
             bucketing: true,
             exec: ExecMode::default(),
+            uop: rr_emu::UopConfig::default(),
             static_prune: true,
             audit_analysis: false,
         }
@@ -199,7 +172,7 @@ mod tests {
         assert_eq!(config.plan.order, 1, "single-fault campaigns are the default");
         assert_eq!(config.plan.budget, None, "order 1 is exhaustive by default");
         assert!(config.bucketing, "warm checkpoint scheduling is the default");
-        assert_eq!(config.exec, ExecMode::Blocks, "block-cached execution is the default");
+        assert_eq!(config.exec, ExecMode::Uops, "compiled uop execution is the default");
         assert!(config.static_prune, "static pruning is the default");
         assert!(!config.audit_analysis, "auditing is opt-in");
     }
@@ -208,9 +181,11 @@ mod tests {
     fn exec_mode_names_parse_and_render() {
         assert_eq!("interp".parse::<ExecMode>().unwrap(), ExecMode::Interp);
         assert_eq!("blocks".parse::<ExecMode>().unwrap(), ExecMode::Blocks);
+        assert_eq!("uops".parse::<ExecMode>().unwrap(), ExecMode::Uops);
         assert!("jit".parse::<ExecMode>().is_err());
-        assert_eq!(ExecMode::default(), ExecMode::Blocks);
+        assert_eq!(ExecMode::default(), ExecMode::Uops);
         assert_eq!(ExecMode::Interp.to_string(), "interp");
         assert_eq!(ExecMode::Blocks.to_string(), "blocks");
+        assert_eq!(ExecMode::Uops.to_string(), "uops");
     }
 }

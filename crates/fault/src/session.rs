@@ -221,8 +221,8 @@ impl CampaignSessionBuilder {
         // seeded session accounts the rewrite's invalidations against
         // the prior session's cache (and reuses it outright when the
         // text bytes are unchanged).
-        let block_cache = match config.exec {
-            ExecMode::Blocks => match &self.seed {
+        let block_cache = if config.exec.uses_block_cache() {
+            match &self.seed {
                 Some((seed, delta)) => rr_engine::rebuild_block_cache(
                     seed.block_cache.as_ref(),
                     delta,
@@ -230,8 +230,9 @@ impl CampaignSessionBuilder {
                     &self.telemetry,
                 ),
                 None => rr_engine::build_block_cache(&self.exe, &self.telemetry),
-            },
-            ExecMode::Interp => None,
+            }
+        } else {
+            None
         };
         let replay_config = ReplayConfig {
             max_steps: config.golden_max_steps,
@@ -240,6 +241,8 @@ impl CampaignSessionBuilder {
             record_snapshots: config.engine == CampaignEngine::Checkpointed,
             telemetry: self.telemetry.clone(),
             block_cache,
+            exec: config.exec,
+            uop: config.uop,
             ..ReplayConfig::default()
         };
         // A seeded checkpointed session defers snapshot capture: the
@@ -686,19 +689,30 @@ impl CampaignSession {
     /// interpretation over exactly the corrupted code.
     fn faulted_run(&self, machine: &mut Machine, max_steps: u64) -> RunResult {
         match self.replay.block_cache() {
-            Some(cache) => {
-                let mut stats = BlockStats::default();
-                let result = machine.run_blocks(cache, max_steps, &mut stats);
-                if stats.block_steps > 0 {
-                    self.telemetry.count(Counter::BlockSteps, stats.block_steps);
-                }
-                if stats.interp_steps > 0 {
-                    self.telemetry.count(Counter::InterpSteps, stats.interp_steps);
-                }
-                result
-            }
+            Some(cache) => self.run_accelerated(machine, cache, max_steps),
             None => machine.run(max_steps),
         }
+    }
+
+    /// Runs `max_steps` through the session's accelerated tier — compiled
+    /// uop bodies under [`ExecMode::Uops`], decoded superblocks under
+    /// [`ExecMode::Blocks`] — flushing per-run execution stats to
+    /// telemetry.
+    fn run_accelerated(
+        &self,
+        machine: &mut Machine,
+        cache: &rr_emu::BlockCache,
+        max_steps: u64,
+    ) -> RunResult {
+        let mut stats = BlockStats::default();
+        let result = match self.replay.exec_mode() {
+            ExecMode::Uops => {
+                machine.run_uops(cache, self.replay.uop_config(), max_steps, &mut stats)
+            }
+            _ => machine.run_blocks(cache, max_steps, &mut stats),
+        };
+        rr_engine::flush_block_stats(&self.telemetry, stats);
+        result
     }
 
     /// Consults the oracle under a [`SpanKind::Classify`] span.
@@ -784,14 +798,7 @@ impl CampaignSession {
                 let target = plan.earliest_step();
                 match self.replay.block_cache() {
                     Some(cache) if !diverged && *at < target => {
-                        let mut stats = BlockStats::default();
-                        let result = machine.run_blocks(cache, target - *at, &mut stats);
-                        if stats.block_steps > 0 {
-                            self.telemetry.count(Counter::BlockSteps, stats.block_steps);
-                        }
-                        if stats.interp_steps > 0 {
-                            self.telemetry.count(Counter::InterpSteps, stats.interp_steps);
-                        }
+                        let result = self.run_accelerated(machine, cache, target - *at);
                         match result.outcome {
                             RunOutcome::Crashed { .. } => {
                                 // The crashing step counts, mirroring the

@@ -1,24 +1,30 @@
-//! Execution-mode equivalence: block-cached superblock execution
-//! ([`rr_fault::ExecMode::Blocks`], the default) must classify every
-//! fault exactly like the per-step interpreter
+//! Execution-mode equivalence: the accelerated tiers — pre-decoded
+//! superblock execution ([`rr_fault::ExecMode::Blocks`]) and compiled
+//! micro-op traces ([`rr_fault::ExecMode::Uops`], the default) — must
+//! classify every fault exactly like the per-step interpreter
 //! ([`rr_fault::ExecMode::Interp`]), for every workload, engine,
 //! thread count, and bucketing choice.
 //!
-//! This is the bit-identity contract the acceleration rests on: the
-//! block executor runs the *same* decoded instructions over the *same*
-//! bytes, falls back to interpretation over any code the session
-//! modified (injections mark their ranges exec-dirty), and stops at
-//! exactly the same step for fences, budgets, crashes, and exits. Any
-//! divergence here is a bug in the block cache (stale decode, missed
-//! self-modification) or in the fence arithmetic, and would silently
-//! corrupt campaign results — so the comparison is on full reports,
-//! fault by fault.
+//! This is the bit-identity contract the acceleration rests on: both
+//! tiers run the *same* decoded instructions over the *same* bytes
+//! (the uop tier additionally pre-lowers hot bodies and defers NZCV
+//! materialization, but never past an observable point), fall back to
+//! interpretation over any code the session modified (injections mark
+//! their ranges exec-dirty), and stop at exactly the same step for
+//! fences, budgets, crashes, and exits. Any divergence here is a bug in
+//! the block cache (stale decode, missed self-modification), the uop
+//! compiler (wrong lowering, flags materialized too lazily), or the
+//! fence arithmetic, and would silently corrupt campaign results — so
+//! the comparison is on full reports, fault by fault.
 
 use rr_fault::{
     CampaignConfig, CampaignEngine, CampaignReport, CampaignSession, Collect, ExecMode, FaultModel,
     InstructionSkip, PairPolicy, PlanConfig, SingleBitFlip,
 };
 use rr_workloads::Workload;
+
+/// Both accelerated tiers, each compared against the interpreter.
+const ACCEL_MODES: [ExecMode; 2] = [ExecMode::Blocks, ExecMode::Uops];
 
 fn session(w: &Workload, config: CampaignConfig) -> CampaignSession {
     CampaignSession::builder(w.build().unwrap_or_else(|e| panic!("{}: build failed: {e}", w.name)))
@@ -47,9 +53,10 @@ fn assert_reports_equal(a: &CampaignReport, b: &CampaignReport, context: &str) {
 }
 
 /// Every workload, both engines, bucketing on and off, serial and
-/// parallel: interp and blocks classify identically, report for report.
+/// parallel: interp, blocks, and uops classify identically, report for
+/// report.
 #[test]
-fn blocks_match_interp_across_workloads_engines_and_scheduling() {
+fn accelerated_tiers_match_interp_across_workloads_engines_and_scheduling() {
     for w in rr_workloads::all_workloads() {
         // Keep the grid affordable: skip is exhaustive on every
         // workload, and strided bit flips cover the code-corrupting
@@ -67,33 +74,39 @@ fn blocks_match_interp_across_workloads_engines_and_scheduling() {
                 site_stride: 2,
                 ..CampaignConfig::default()
             };
-            let context =
-                format!("{} engine={engine} bucketing={bucketing} threads={threads}", w.name);
             let interp = session(&w, CampaignConfig { exec: ExecMode::Interp, ..base.clone() });
-            let blocks = session(&w, CampaignConfig { exec: ExecMode::Blocks, ..base });
-            assert_reports_equal(
-                &run_one(&interp, &InstructionSkip),
-                &run_one(&blocks, &InstructionSkip),
-                &format!("{context} skip"),
-            );
-            assert_reports_equal(
-                &run_one(&interp, &SingleBitFlip),
-                &run_one(&blocks, &SingleBitFlip),
-                &format!("{context} bitflip"),
-            );
-            assert_eq!(
-                run_one(&blocks, &InstructionSkip).summary().diverged,
-                0,
-                "{context}: block replay diverged"
-            );
+            let interp_skip = run_one(&interp, &InstructionSkip);
+            let interp_flip = run_one(&interp, &SingleBitFlip);
+            for exec in ACCEL_MODES {
+                let context = format!(
+                    "{} engine={engine} bucketing={bucketing} threads={threads} exec={exec}",
+                    w.name
+                );
+                let fast = session(&w, CampaignConfig { exec, ..base.clone() });
+                assert_reports_equal(
+                    &interp_skip,
+                    &run_one(&fast, &InstructionSkip),
+                    &format!("{context} skip"),
+                );
+                assert_reports_equal(
+                    &interp_flip,
+                    &run_one(&fast, &SingleBitFlip),
+                    &format!("{context} bitflip"),
+                );
+                assert_eq!(
+                    run_one(&fast, &InstructionSkip).summary().diverged,
+                    0,
+                    "{context}: accelerated replay diverged"
+                );
+            }
         }
     }
 }
 
 /// Multi-fault plans inject at several timed points of one continuation;
-/// the block executor must honour every intermediate fence exactly.
+/// both accelerated tiers must honour every intermediate fence exactly.
 #[test]
-fn blocks_match_interp_for_double_fault_plans() {
+fn accelerated_tiers_match_interp_for_double_fault_plans() {
     let w = rr_workloads::pincheck();
     let base = CampaignConfig {
         plan: PlanConfig {
@@ -105,26 +118,45 @@ fn blocks_match_interp_for_double_fault_plans() {
         ..CampaignConfig::default()
     };
     let interp = session(&w, CampaignConfig { exec: ExecMode::Interp, ..base.clone() });
-    let blocks = session(&w, CampaignConfig { exec: ExecMode::Blocks, ..base });
-    assert_reports_equal(
-        &run_one(&interp, &InstructionSkip),
-        &run_one(&blocks, &InstructionSkip),
-        "pincheck order-2 skip",
-    );
+    let interp_report = run_one(&interp, &InstructionSkip);
+    for exec in ACCEL_MODES {
+        let fast = session(&w, CampaignConfig { exec, ..base.clone() });
+        assert_reports_equal(
+            &interp_report,
+            &run_one(&fast, &InstructionSkip),
+            &format!("pincheck order-2 skip exec={exec}"),
+        );
+    }
 }
 
-/// The default config really is block-cached: an explicitly-interp
-/// session and a default one still agree on a full campaign.
+/// The default config really is uop-compiled: an explicitly-interp
+/// session and a default one still agree on a full campaign, and an
+/// eager-compile threshold agrees with the tiered default.
 #[test]
-fn default_session_is_block_cached_and_equivalent() {
-    assert_eq!(CampaignConfig::default().exec, ExecMode::Blocks);
+fn default_session_is_uop_compiled_and_equivalent() {
+    assert_eq!(CampaignConfig::default().exec, ExecMode::Uops);
     let w = rr_workloads::otp_check();
     let default = session(&w, CampaignConfig::default());
     let interp =
         session(&w, CampaignConfig { exec: ExecMode::Interp, ..CampaignConfig::default() });
+    let default_report = run_one(&default, &InstructionSkip);
     assert_reports_equal(
         &run_one(&interp, &InstructionSkip),
-        &run_one(&default, &InstructionSkip),
+        &default_report,
         "otp default-vs-interp",
+    );
+    // Eager compilation (threshold 0) must not change a single verdict
+    // relative to the tiered default threshold.
+    let eager = session(
+        &w,
+        CampaignConfig {
+            uop: rr_fault::UopConfig { hot_threshold: 0 },
+            ..CampaignConfig::default()
+        },
+    );
+    assert_reports_equal(
+        &default_report,
+        &run_one(&eager, &InstructionSkip),
+        "otp tiered-vs-eager",
     );
 }

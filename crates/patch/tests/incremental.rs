@@ -74,10 +74,12 @@ fn instruction_skip_is_invariant_across_all_workloads() {
     }
 }
 
-/// Block-cached execution survives the harden loop: every iteration's
+/// Accelerated execution survives the harden loop: every iteration's
 /// rewrite shifts the text, the carried cache is invalidated through the
-/// patch's listing delta and rebuilt, and the loop still classifies,
-/// patches, and converges bit-identically to the interpreter.
+/// patch's listing delta and rebuilt (dropping compiled uop bodies with
+/// their blocks), and the loop still classifies, patches, and converges
+/// bit-identically to the interpreter — under both the superblock tier
+/// and the compiled uop tier.
 #[test]
 fn exec_mode_is_invariant_across_harden_iterations() {
     use rr_fault::{CampaignConfig, ExecMode};
@@ -96,33 +98,55 @@ fn exec_mode_is_invariant_across_harden_iterations() {
                 .harden(&exe, &w.good_input, &w.bad_input, &InstructionSkip)
                 .unwrap_or_else(|e| panic!("{} hardening failed: {e}", w.name))
         };
-        let telemetry = Telemetry::counters();
         let interp = harden_with(ExecMode::Interp, Telemetry::disabled());
-        let blocks = harden_with(ExecMode::Blocks, telemetry.clone());
+        for exec in [ExecMode::Blocks, ExecMode::Uops] {
+            let telemetry = Telemetry::counters();
+            let fast = harden_with(exec, telemetry.clone());
 
-        let context = format!("workload {}", w.name);
-        assert_eq!(interp.iterations, blocks.iterations, "{context}");
-        assert_eq!(
-            interp.hardened.to_bytes(),
-            blocks.hardened.to_bytes(),
-            "{context}: hardened binaries diverged"
-        );
-        assert_eq!(interp.fixed_point, blocks.fixed_point, "{context}");
-        assert_eq!(interp.residual_vulnerabilities, blocks.residual_vulnerabilities, "{context}");
-        assert_eq!(interp.campaigns, blocks.campaigns, "{context}");
-
-        // The block path really ran: text was decoded into blocks, block
-        // steps dominate, and each post-rewrite campaign invalidated the
-        // stale blocks of the carried cache before rebuilding.
-        let metrics = telemetry.metrics().expect("counters attached");
-        assert!(metrics.counter(Counter::BlocksDecoded) > 0, "{context}: no blocks decoded");
-        assert!(metrics.counter(Counter::BlockSteps) > 0, "{context}: no block-executed steps");
-        if blocks.campaigns >= 2 {
-            assert!(
-                metrics.counter(Counter::BlockInvalidations) > 0,
-                "{context}: {} campaigns without a cache invalidation",
-                blocks.campaigns
+            let context = format!("workload {} exec {exec}", w.name);
+            assert_eq!(interp.iterations, fast.iterations, "{context}");
+            assert_eq!(
+                interp.hardened.to_bytes(),
+                fast.hardened.to_bytes(),
+                "{context}: hardened binaries diverged"
             );
+            assert_eq!(interp.fixed_point, fast.fixed_point, "{context}");
+            assert_eq!(interp.residual_vulnerabilities, fast.residual_vulnerabilities, "{context}");
+            assert_eq!(interp.campaigns, fast.campaigns, "{context}");
+
+            // The accelerated path really ran: text was decoded into
+            // blocks, accelerated steps exist, and each post-rewrite
+            // campaign invalidated the stale blocks of the carried cache
+            // before rebuilding. Under the uop tier the loop must also
+            // have promoted and compiled hot bodies.
+            let metrics = telemetry.metrics().expect("counters attached");
+            assert!(metrics.counter(Counter::BlocksDecoded) > 0, "{context}: no blocks decoded");
+            match exec {
+                ExecMode::Uops => {
+                    assert!(metrics.counter(Counter::UopSteps) > 0, "{context}: no uop steps");
+                    assert!(
+                        metrics.counter(Counter::BlocksCompiled) > 0,
+                        "{context}: nothing compiled"
+                    );
+                    assert!(
+                        metrics.counter(Counter::TierPromotions) > 0,
+                        "{context}: nothing promoted"
+                    );
+                }
+                _ => {
+                    assert!(
+                        metrics.counter(Counter::BlockSteps) > 0,
+                        "{context}: no block-executed steps"
+                    );
+                }
+            }
+            if fast.campaigns >= 2 {
+                assert!(
+                    metrics.counter(Counter::BlockInvalidations) > 0,
+                    "{context}: {} campaigns without a cache invalidation",
+                    fast.campaigns
+                );
+            }
         }
     }
 }

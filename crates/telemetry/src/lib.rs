@@ -162,6 +162,18 @@ pub enum Counter {
     InterpSteps,
     /// Cached blocks invalidated by a rewrite's listing delta.
     BlockInvalidations,
+    /// Hot superblocks compiled into pre-lowered micro-op traces.
+    BlocksCompiled,
+    /// Instructions executed from compiled micro-op bodies (the third
+    /// tier alongside `BlockSteps` and `InterpSteps`).
+    UopSteps,
+    /// Deferred NZCV tuples actually materialized by the uop tier (a
+    /// consumer or block exit read the flags; fused compare+branch
+    /// idioms never count here).
+    FlagMaterializations,
+    /// Blocks promoted from decoded to compiled execution by crossing
+    /// the hot threshold.
+    TierPromotions,
     /// Plans the static analysis proved benign and pruned from the plan
     /// space before any replay time was spent.
     PlansPrunedStatic,
@@ -173,7 +185,7 @@ pub enum Counter {
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 17;
+    pub const COUNT: usize = 21;
     /// Every counter, in serialization order.
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::PlansExecuted,
@@ -191,6 +203,10 @@ impl Counter {
         Counter::BlockSteps,
         Counter::InterpSteps,
         Counter::BlockInvalidations,
+        Counter::BlocksCompiled,
+        Counter::UopSteps,
+        Counter::FlagMaterializations,
+        Counter::TierPromotions,
         Counter::PlansPrunedStatic,
         Counter::AuditFailures,
     ];
@@ -213,6 +229,10 @@ impl Counter {
             Counter::BlockSteps => "block_steps",
             Counter::InterpSteps => "interp_steps",
             Counter::BlockInvalidations => "block_invalidations",
+            Counter::BlocksCompiled => "blocks_compiled",
+            Counter::UopSteps => "uop_steps",
+            Counter::FlagMaterializations => "flag_materializations",
+            Counter::TierPromotions => "tier_promotions",
             Counter::PlansPrunedStatic => "plans_pruned_static",
             Counter::AuditFailures => "audit_failures",
         }
