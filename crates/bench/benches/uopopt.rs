@@ -1,0 +1,237 @@
+//! The uop compiler's `rr-ir` optimization stage vs the exact lowering
+//! on a decision-window campaign.
+//!
+//! Both sessions run the compiled uop tier and share everything except
+//! [`rr_fault::UopConfig::opt`]: the same long-trace workload (a hot
+//! loop dense in optimizer fodder — a store-to-load pair, back-to-back
+//! loads of one address, a foldable constant chain, compares and
+//! arithmetic whose flags die immediately), the same naive replay
+//! engine, the same tail-targeted skip campaign. Faults aim at the
+//! grant/deny decision at the end of the trace, so every evaluation is
+//! dominated by forward positioning across the hot loop — the stretch
+//! where the optimized body's forwarded loads, pre-folded constants,
+//! no-flag ALU forms, and Nop'd dead compares beat the exact trace.
+//! Reports are asserted bit-identical before any timing is trusted, the
+//! wall-clock ratio is gated at ≥1.15×, and a `BENCH_uopopt.json`
+//! record lands in the bench results directory with the campaign's
+//! plans/sec.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rr_fault::{
+    CampaignConfig, CampaignEngine, CampaignReport, CampaignSession, Collect, ExecMode, Fault,
+    FaultEffect, FaultModel, FaultSite, InstructionSkip, OptLevel, UopConfig,
+};
+use rr_obj::Executable;
+use rr_telemetry::{Counter, Telemetry};
+use std::time::{Duration, Instant};
+
+/// Instruction skips restricted to trace steps at or after `from_step` —
+/// the decision-window attack model (same shape as the uop bench).
+struct TailSkip {
+    from_step: u64,
+}
+
+impl FaultModel for TailSkip {
+    fn name(&self) -> &'static str {
+        "tail-skip"
+    }
+
+    fn faults_at(&self, site: &FaultSite) -> Vec<Fault> {
+        if site.step < self.from_step {
+            return Vec::new();
+        }
+        vec![Fault { step: site.step, pc: site.pc, effect: FaultEffect::SkipInstruction }]
+    }
+}
+
+/// A single-superblock countdown loop built from the patterns the
+/// pipeline optimizes — redundant loads, a forwardable store, dead flag
+/// definitions, a foldable constant chain, dead compares — followed by
+/// a short input-driven grant/deny decision. ≥40k executed
+/// instructions before the decision window.
+fn opt_rich_workload() -> (Executable, Vec<u8>, Vec<u8>) {
+    let exe = rr_asm::assemble_and_link(
+        "    .global _start\n\
+         _start:\n\
+             mov r1, 3000\n\
+             mov r4, buffer\n\
+             mov r5, 0\n\
+         .loop:\n\
+             store [r4], r5\n\
+             load r2, [r4]\n\
+             load r3, [r4]\n\
+             load r8, [r4]\n\
+             load r9, [r4]\n\
+             cmp r8, r9\n\
+             add r5, r2\n\
+             xor r3, 12345\n\
+             add r5, r3\n\
+             mov r6, 7\n\
+             add r6, 9\n\
+             add r5, r6\n\
+             cmp r3, 4\n\
+             test r5, r5\n\
+             not r7\n\
+             sub r1, 1\n\
+             cmp r1, 0\n\
+             jne .loop\n\
+             svc 2\n\
+             cmp r0, 'G'\n\
+             jne .deny\n\
+             mov r1, 'Y'\n\
+             svc 1\n\
+             mov r1, 0\n\
+             svc 0\n\
+         .deny:\n\
+             mov r1, 'N'\n\
+             svc 1\n\
+             mov r1, 1\n\
+             svc 0\n\
+             .data\n\
+         buffer:\n\
+             .space 8\n",
+    )
+    .expect("opt-rich workload builds");
+    (exe, b"G".to_vec(), b"B".to_vec())
+}
+
+fn session(
+    exe: &Executable,
+    good: &[u8],
+    bad: &[u8],
+    opt: OptLevel,
+    telemetry: Telemetry,
+) -> CampaignSession {
+    // Naive replay positions every fault from step 0, so each
+    // decision-window evaluation re-executes the whole hot loop through
+    // the uop tier under the optimization level under test — the
+    // comparison measures trace quality, not checkpoint-restore
+    // overhead.
+    let config = CampaignConfig {
+        golden_max_steps: 10_000_000,
+        engine: CampaignEngine::Naive,
+        exec: ExecMode::Uops,
+        uop: UopConfig { opt, ..UopConfig::default() },
+        ..CampaignConfig::default()
+    };
+    CampaignSession::builder(exe.clone())
+        .good_input(good)
+        .bad_input(bad)
+        .config(config)
+        .telemetry(telemetry)
+        .build()
+        .expect("session sets up")
+}
+
+fn run_one(session: &CampaignSession, model: &dyn FaultModel) -> CampaignReport {
+    session.run(&[model], Collect).pop().expect("one report per model")
+}
+
+fn bench_uopopt(c: &mut Criterion) {
+    let (exe, good, bad) = opt_rich_workload();
+    let exact = session(&exe, &good, &bad, OptLevel::None, Telemetry::disabled());
+    let telemetry = Telemetry::counters();
+    let optimized = session(&exe, &good, &bad, OptLevel::Full, telemetry.clone());
+    let trace_len = exact.golden_bad().steps;
+    assert!(trace_len >= 40_000, "trace must be ≥40k steps, got {trace_len}");
+    let tail = TailSkip { from_step: trace_len - 24 };
+
+    // Bit-identity first: the optimizer must not change one class — on
+    // the decision-window campaign and on a uniform sweep.
+    let exact_report = run_one(&exact, &tail);
+    let optimized_report = run_one(&optimized, &tail);
+    assert_eq!(
+        exact_report.results, optimized_report.results,
+        "optimization levels must classify identically"
+    );
+    assert_eq!(
+        run_one(&exact, &InstructionSkip).summary(),
+        run_one(&optimized, &InstructionSkip).summary(),
+        "uniform sweeps must agree too"
+    );
+    let faults = exact_report.results.len() as u64;
+
+    // The optimization stage actually carried the campaign: the hot
+    // loop was compiled and improved, its redundant loads forwarded,
+    // its dead flag definitions dropped, and uop-executed steps
+    // dominate the other tiers.
+    let metrics = telemetry.metrics().expect("counters telemetry is enabled");
+    assert!(metrics.counter(Counter::BlocksCompiled) > 0, "no blocks compiled");
+    let blocks_optimized = metrics.counter(Counter::BlocksOptimized);
+    let uops_eliminated = metrics.counter(Counter::UopsEliminated);
+    let loads_forwarded = metrics.counter(Counter::LoadsForwarded);
+    let flag_defs_killed = metrics.counter(Counter::FlagDefsKilled);
+    assert!(blocks_optimized > 0, "the hot loop must optimize");
+    assert!(uops_eliminated > 0, "optimized bodies must shed uops");
+    assert!(loads_forwarded > 0, "redundant loads must forward");
+    assert!(flag_defs_killed > 0, "dead flag defs must drop");
+    let uop_steps = metrics.counter(Counter::UopSteps);
+    let other_steps = metrics.counter(Counter::BlockSteps) + metrics.counter(Counter::InterpSteps);
+    assert!(
+        uop_steps > 9 * other_steps,
+        "uop execution must dominate: {uop_steps} uop vs {other_steps} other steps"
+    );
+
+    let mut group = c.benchmark_group("uopopt");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(faults));
+    group.bench_with_input(BenchmarkId::new("tail", "exact"), &(), |b, ()| {
+        b.iter(|| run_one(&exact, &tail).results.len())
+    });
+    group.bench_with_input(BenchmarkId::new("tail", "optimized"), &(), |b, ()| {
+        b.iter(|| run_one(&optimized, &tail).results.len())
+    });
+    group.finish();
+
+    // Headline: interleaved min-of-N wall times on the same two
+    // sessions, robust to scheduler noise.
+    let mut best_exact = Duration::MAX;
+    let mut best_optimized = Duration::MAX;
+    const ROUNDS: usize = 7;
+    for _ in 0..ROUNDS {
+        let start = Instant::now();
+        let _ = run_one(&exact, &tail);
+        best_exact = best_exact.min(start.elapsed());
+        let start = Instant::now();
+        let _ = run_one(&optimized, &tail);
+        best_optimized = best_optimized.min(start.elapsed());
+    }
+    let speedup = best_exact.as_secs_f64() / best_optimized.as_secs_f64().max(1e-9);
+    println!(
+        "uopopt/tail ({trace_len} steps, {faults} faults): exact {best_exact:?}, \
+         optimized {best_optimized:?} — speedup: {speedup:.2}×"
+    );
+
+    // Campaign throughput under the optimized traces, from the metrics
+    // delta around one more measured run.
+    let before = telemetry.metrics().expect("counters telemetry is enabled");
+    let _ = run_one(&optimized, &tail);
+    let after = telemetry.metrics().expect("counters telemetry is enabled");
+    let plans_per_sec = after.delta_since(&before).plans_per_sec();
+
+    const GATE: f64 = 1.15;
+    rr_bench::write_bench_json(
+        "uopopt",
+        &[
+            ("speedup", ((speedup * 100.0).round() / 100.0).into()),
+            ("gate", GATE.into()),
+            ("passed", (speedup >= GATE).into()),
+            ("trace_steps", (trace_len as f64).into()),
+            ("faults", (faults as f64).into()),
+            ("blocks_optimized", (blocks_optimized as f64).into()),
+            ("uops_eliminated", (uops_eliminated as f64).into()),
+            ("loads_forwarded", (loads_forwarded as f64).into()),
+            ("flag_defs_killed", (flag_defs_killed as f64).into()),
+            ("plans_per_sec", plans_per_sec.round().into()),
+        ],
+    )
+    .expect("bench record writes");
+    assert!(
+        speedup >= GATE,
+        "rr-ir-optimized uop traces must be ≥{GATE}× faster than the exact lowering on the \
+         decision-window campaign, got {speedup:.2}×"
+    );
+}
+
+criterion_group!(benches, bench_uopopt);
+criterion_main!(benches);

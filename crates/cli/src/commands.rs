@@ -4,8 +4,8 @@
 use crate::Args;
 use rr_fault::{
     CampaignConfig, CampaignEngine, CampaignSession, CampaignSessionBuilder, Collect,
-    CrashTriageOracle, ExecMode, FaultModel, FlagFlip, InstructionSkip, OutputPrefixOracle,
-    PairPolicy, PlanConfig, ShardPolicy, SingleBitFlip, Stream,
+    CrashTriageOracle, ExecMode, FaultModel, FlagFlip, InstructionSkip, OptLevel,
+    OutputPrefixOracle, PairPolicy, PlanConfig, ShardPolicy, SingleBitFlip, Stream,
 };
 use rr_obj::Executable;
 use rr_telemetry::{Counter, JsonlRecorder, ProgressRecorder, Recorder, Telemetry};
@@ -230,7 +230,7 @@ fn plan_header(plan: &PlanConfig) -> String {
 
 /// `rr fault <prog.rfx> --bad BYTES [--good BYTES] [--model a[,b…]]
 /// [--engine naive|checkpoint] [--exec interp|blocks|uops]
-/// [--shard contiguous|interleaved]
+/// [--uop-opt none|full] [--shard contiguous|interleaved]
 /// [--oracle golden|crash|prefix:TEXT] [--streaming]
 /// [--order N [--pair-window N] [--plan-budget N] [--seed N]]
 /// [--no-static-prune] [--audit-analysis]`
@@ -246,6 +246,9 @@ fn plan_header(plan: &PlanConfig) -> String {
 /// Provably-benign plans are pruned by static analysis before
 /// enumeration (`--no-static-prune` disables this); `--audit-analysis`
 /// executes them anyway and errors if any classifies non-benign.
+/// `--uop-opt none` turns off the uop compiler's `rr-ir` optimization
+/// stage (the default `full` runs it); classifications are bit-identical
+/// either way.
 pub fn fault(raw: &[String]) -> Result<String, String> {
     let args = Args::parse(
         raw,
@@ -255,6 +258,7 @@ pub fn fault(raw: &[String]) -> Result<String, String> {
             "model",
             "engine",
             "exec",
+            "uop-opt",
             "shard",
             "oracle",
             "order",
@@ -271,12 +275,14 @@ pub fn fault(raw: &[String]) -> Result<String, String> {
     let models = models_by_names(args.value("model").unwrap_or("skip"))?;
     let engine: CampaignEngine = args.value("engine").unwrap_or("checkpoint").parse()?;
     let exec: ExecMode = args.value("exec").unwrap_or("uops").parse()?;
+    let uop_opt: OptLevel = args.value("uop-opt").unwrap_or("full").parse()?;
     let shard: ShardPolicy = args.value("shard").unwrap_or("contiguous").parse()?;
     let plan = plan_config_from(&args)?;
     let tel = telemetry_from(&args)?;
     // The engine choice is fixed at construction: naive sessions skip
     // snapshot recording entirely.
     let mut config = CampaignConfig { engine, exec, shard, plan, ..CampaignConfig::default() };
+    config.uop.opt = uop_opt;
     config.static_prune = !args.flag("no-static-prune");
     config.audit_analysis = args.flag("audit-analysis");
     let audit = config.audit_analysis;
@@ -347,7 +353,8 @@ pub fn fault(raw: &[String]) -> Result<String, String> {
 }
 
 /// `rr harden <prog.rfx> --good BYTES --bad BYTES [--model ...] [-o out]
-/// [--engine naive|checkpoint] [--exec interp|blocks|uops] [--no-incremental]
+/// [--engine naive|checkpoint] [--exec interp|blocks|uops]
+/// [--uop-opt none|full] [--no-incremental]
 /// [--order N [--pair-window N] [--plan-budget N] [--seed N]]
 /// [--no-static-prune] [--audit-analysis]`
 ///
@@ -370,6 +377,7 @@ pub fn harden(raw: &[String]) -> Result<String, String> {
             "max-iterations",
             "engine",
             "exec",
+            "uop-opt",
             "order",
             "pair-window",
             "plan-budget",
@@ -402,6 +410,9 @@ pub fn harden(raw: &[String]) -> Result<String, String> {
     }
     if let Some(exec) = args.value("exec") {
         config.campaign.exec = exec.parse()?;
+    }
+    if let Some(opt) = args.value("uop-opt") {
+        config.campaign.uop.opt = opt.parse::<OptLevel>()?;
     }
     config.incremental = !args.flag("no-incremental");
     let plan = plan_config_from(&args)?;
@@ -639,6 +650,19 @@ mod tests {
         assert_eq!(uops, checkpointed, "uops is the default");
         assert!(
             fault(&sv(&[&exe_path, "--good", "7391", "--bad", "7291", "--exec", "jit"])).is_err()
+        );
+        // So is the uop optimization level: `--uop-opt none` bypasses
+        // the rr-ir stage without changing a byte of the report, `full`
+        // is the default, and an unknown level errors.
+        let unopt =
+            fault(&sv(&[&exe_path, "--good", "7391", "--bad", "7291", "--uop-opt", "none"]))
+                .unwrap();
+        let opt = fault(&sv(&[&exe_path, "--good", "7391", "--bad", "7291", "--uop-opt", "full"]))
+            .unwrap();
+        assert_eq!(unopt, opt);
+        assert_eq!(opt, checkpointed, "full is the default");
+        assert!(
+            fault(&sv(&[&exe_path, "--good", "7391", "--bad", "7291", "--uop-opt", "o3"])).is_err()
         );
         // A half-specified verification pair must error, not silently
         // skip verification, and --model without the pair is meaningless.

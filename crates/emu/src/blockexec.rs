@@ -60,6 +60,17 @@ pub struct BlockStats {
     /// Times the uop tier materialized the NZCV flags from a deferred
     /// flag-setting operation (consumer reads and block exits).
     pub flag_materializations: u64,
+    /// Compiled superblocks for which the `rr-ir` optimization stage
+    /// produced an improved trace (counted once, at compile time).
+    pub blocks_optimized: u64,
+    /// Uop slots the optimization stage replaced with a cheaper form,
+    /// summed over freshly optimized blocks.
+    pub uops_eliminated: u64,
+    /// Redundant loads the optimization stage removed (forwarded from
+    /// an earlier load or store of the same address).
+    pub loads_forwarded: u64,
+    /// Provably dead NZCV definitions the optimization stage dropped.
+    pub flag_defs_killed: u64,
 }
 
 impl BlockStats {

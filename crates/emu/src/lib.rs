@@ -62,6 +62,7 @@ mod machine;
 mod memory;
 mod outcome;
 mod uop;
+mod uopopt;
 
 pub use blockexec::{BlockCache, BlockStats};
 pub use machine::{Machine, RunResult, Snapshot, DEFAULT_MAX_STEPS};
@@ -69,9 +70,8 @@ pub use memory::{
     AccessKind, MemResult, Memory, MemoryDelta, MemoryStats, PAGE_SIZE, STRADDLE_TAIL,
 };
 pub use outcome::{CpuFault, Execution, RunOutcome};
-#[cfg(feature = "ir-bridge")]
 pub use uop::lower_block_to_ir;
-pub use uop::UopConfig;
+pub use uop::{OptLevel, UopConfig};
 
 use rr_obj::Executable;
 

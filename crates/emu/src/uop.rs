@@ -32,6 +32,24 @@
 //! mid-block fence tails, and cache invalidation dropping compiled
 //! bodies together with decoded ones.
 //!
+//! ## The optimization stage
+//!
+//! Compilation runs an optional (default-on) optimization stage: the
+//! superblock is lowered to `rr-ir` SSA through the bridge
+//! ([`lower_block_to_ir`]), the block pass pipeline — constant folding,
+//! dead-code elimination, redundant-load/store-to-load forwarding,
+//! dead-flag elimination, each verified by the IR verifier — runs over
+//! it, and the optimized function is distilled back into a second,
+//! cheaper uop trace through the `rr-lower` slot-plan backend (the
+//! `uopopt` module). The
+//! optimized body is slot-exact — same length, same per-slot pc/step
+//! accounting, same register/memory state at every boundary — and only
+//! its *interior* lazy-flag bookkeeping may lag, so it runs only when a
+//! whole pass over the body fits under the step fence; every fenced or
+//! mid-block entry takes the exact body. Debug builds additionally
+//! differentially test each optimized lowering against its unoptimized
+//! form through the `rr-ir` interpreter at compile time.
+//!
 //! The result is bit-identical to the interpreter — pinned by the
 //! equivalence tests here, the emu proptests, and the engine/fault
 //! equivalence suites upstream.
@@ -39,19 +57,56 @@
 use crate::blockexec::{BlockCache, BlockStats, DecodedBlock};
 use crate::machine::{Machine, RunResult};
 use crate::outcome::{CpuFault, RunOutcome};
+use crate::uopopt::{self, OptStats};
 use rr_isa::{AluOp, Cond, Flags, Instr, Reg, ShiftOp};
 use std::sync::atomic::Ordering;
 
-/// Tiering knob for the micro-op execution tier.
+/// How hard the uop compiler works on a hot superblock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptLevel {
+    /// Straight lowering only — every slot keeps its exact uop. The
+    /// escape hatch for debugging and A/B measurement.
+    None,
+    /// Lower through `rr-ir`, run the block pass pipeline, and execute
+    /// the optimized trace where the fence rules allow.
+    #[default]
+    Full,
+}
+
+impl std::str::FromStr for OptLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<OptLevel, String> {
+        match s {
+            "none" => Ok(OptLevel::None),
+            "full" => Ok(OptLevel::Full),
+            other => Err(format!("unknown opt level {other:?} (expected none|full)")),
+        }
+    }
+}
+
+impl std::fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            OptLevel::None => "none",
+            OptLevel::Full => "full",
+        })
+    }
+}
+
+/// Tiering knobs for the micro-op execution tier.
 ///
 /// # Example
 ///
 /// ```
-/// use rr_emu::UopConfig;
+/// use rr_emu::{OptLevel, UopConfig};
 ///
 /// assert_eq!(UopConfig::default().hot_threshold, 2);
-/// let eager = UopConfig { hot_threshold: 0 }; // compile on first entry
+/// assert_eq!(UopConfig::default().opt, OptLevel::Full);
+/// // Compile on first entry, without the IR optimization stage:
+/// let eager = UopConfig { hot_threshold: 0, opt: OptLevel::None };
 /// assert!(eager.hot_threshold < UopConfig::default().hot_threshold);
+/// assert_eq!("none".parse::<OptLevel>(), Ok(OptLevel::None));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct UopConfig {
@@ -60,11 +115,16 @@ pub struct UopConfig {
     /// never pay compile cost under the default. `u32::MAX` never
     /// promotes (the tier degenerates to the blocks tier).
     pub hot_threshold: u32,
+    /// Whether compilation runs the `rr-ir` optimization stage. A block
+    /// is optimized (or not) once, by the configuration in effect when
+    /// it first crosses the hot threshold; at run time an optimized
+    /// body is only *used* under [`OptLevel::Full`].
+    pub opt: OptLevel,
 }
 
 impl Default for UopConfig {
     fn default() -> UopConfig {
-        UopConfig { hot_threshold: 2 }
+        UopConfig { hot_threshold: 2, opt: OptLevel::Full }
     }
 }
 
@@ -198,6 +258,31 @@ pub(crate) enum Uop {
     Svc {
         num: u8,
     },
+    /// ALU op whose flag results are provably dead (dead-flag
+    /// elimination): skips the deferred-flags bookkeeping entirely.
+    /// Never `Udiv` — a division's flag write survives as the crash
+    /// barrier keeps it observable.
+    AluNF {
+        op: AluOp,
+        rd: Reg,
+        rhs: Operand,
+    },
+    /// [`Uop::Shift`] with provably dead flags.
+    ShiftNF {
+        op: ShiftOp,
+        rd: Reg,
+        amt: u32,
+    },
+    /// Load from a constant-folded absolute address.
+    LoadA {
+        rd: Reg,
+        addr: u64,
+    },
+    /// Store to a constant-folded absolute address.
+    StoreA {
+        addr: u64,
+        rs: Reg,
+    },
 }
 
 /// One compiled slot: the instruction's address, its fallthrough
@@ -212,7 +297,18 @@ pub(crate) struct UopEntry {
 /// A superblock's compiled micro-op body, parallel to the decoded one.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct CompiledBlock {
+    /// The exact lowering: one slot per instruction, bit-identical
+    /// semantics at every step. Always present; mid-block entries and
+    /// fence-constrained runs execute this body.
     pub(crate) entries: Vec<UopEntry>,
+    /// The optimized lowering (same slot structure, cheaper uops), when
+    /// the block was compiled under [`OptLevel::Full`] and the `rr-ir`
+    /// pipeline improved it. Only its interior flag bookkeeping may lag
+    /// the architectural state, so it runs only full-body, under the
+    /// fence headroom check.
+    pub(crate) opt: Option<Vec<UopEntry>>,
+    /// What the optimization stage removed (for telemetry).
+    pub(crate) opt_stats: OptStats,
 }
 
 /// The deferred flag-setting operation of the uop tier: the
@@ -324,7 +420,7 @@ pub(crate) fn compile_block(block: &DecodedBlock) -> CompiledBlock {
         let op = fuse(insn, next, block, i).unwrap_or_else(|| lower(insn, next));
         entries.push(UopEntry { pc, next, op });
     }
-    CompiledBlock { entries }
+    CompiledBlock { entries, opt: None, opt_stats: OptStats::default() }
 }
 
 /// Fuses a flag-setting compare/test with an immediately following
@@ -397,9 +493,16 @@ impl DecodedBlock {
     /// crosses the hot threshold. Returns `None` while the block is
     /// still cold (callers run the decoded body instead). Each call
     /// counts one execution of the block.
+    ///
+    /// `store_to_load` tells the optimizer whether forwarding a stored
+    /// value into a later load of the same address is a permitted
+    /// access pattern (see [`crate::Memory::writable_implies_readable`]).
+    /// The configuration in effect on the *first* promotion decides the
+    /// shared body — including whether an optimized variant exists.
     pub(crate) fn compiled(
         &self,
         config: UopConfig,
+        store_to_load: bool,
         stats: &mut BlockStats,
     ) -> Option<&CompiledBlock> {
         if let Some(body) = self.compiled.get() {
@@ -415,10 +518,24 @@ impl DecodedBlock {
         let mut fresh = false;
         let body = self.compiled.get_or_init(|| {
             fresh = true;
-            compile_block(self)
+            let mut body = compile_block(self);
+            if config.opt == OptLevel::Full {
+                if let Some((opt, opt_stats)) = uopopt::optimize(self, &body.entries, store_to_load)
+                {
+                    body.opt = Some(opt);
+                    body.opt_stats = opt_stats;
+                }
+            }
+            body
         });
         if fresh {
             stats.blocks_compiled += 1;
+            if body.opt.is_some() {
+                stats.blocks_optimized += 1;
+                stats.uops_eliminated += body.opt_stats.uops_eliminated;
+                stats.loads_forwarded += body.opt_stats.loads_forwarded;
+                stats.flag_defs_killed += body.opt_stats.flag_defs_killed;
+            }
         }
         Some(body)
     }
@@ -443,7 +560,7 @@ impl Machine {
     /// let cache = BlockCache::build(&exe, [exe.entry]).expect("text decodes");
     /// let mut m = Machine::new(&exe, &[]);
     /// let mut stats = BlockStats::default();
-    /// let config = UopConfig { hot_threshold: 0 }; // compile eagerly
+    /// let config = UopConfig { hot_threshold: 0, ..UopConfig::default() };
     /// let result = m.run_uops(&cache, config, 1_000, &mut stats);
     /// assert_eq!(result.outcome, RunOutcome::Exited { code: 42 });
     /// assert_eq!(stats.uop_steps, 3);
@@ -482,6 +599,7 @@ impl Machine {
         mut trace: Option<&mut Vec<u64>>,
     ) -> RunResult {
         let mut steps = 0u64;
+        let store_to_load = self.memory().writable_implies_readable();
         while steps < max_steps {
             if let Some(outcome) = self.stopped() {
                 return RunResult { outcome, steps };
@@ -490,10 +608,39 @@ impl Machine {
                 Some((block, entry))
                     if !self.memory().exec_dirty_intersects(block.start, block.end) =>
                 {
-                    match block.compiled(config, stats) {
-                        Some(body) => self.run_uop_body(
-                            block, body, entry, max_steps, &mut steps, stats, &mut trace,
-                        ),
+                    match block.compiled(config, store_to_load, stats) {
+                        Some(body) => {
+                            // The optimized body is only interior-exact
+                            // for flags, so it runs only when a whole
+                            // pass fits under the step fence and entry
+                            // is at the leader; otherwise the exact
+                            // body takes over.
+                            let opt = match (&body.opt, config.opt) {
+                                (Some(opt), OptLevel::Full)
+                                    if entry == 0
+                                        && steps.saturating_add(opt.len() as u64) <= max_steps =>
+                                {
+                                    Some(opt.as_slice())
+                                }
+                                _ => None,
+                            };
+                            match opt {
+                                Some(entries) => self.run_uop_body(
+                                    block, entries, 0, true, max_steps, &mut steps, stats,
+                                    &mut trace,
+                                ),
+                                None => self.run_uop_body(
+                                    block,
+                                    &body.entries,
+                                    entry,
+                                    false,
+                                    max_steps,
+                                    &mut steps,
+                                    stats,
+                                    &mut trace,
+                                ),
+                            }
+                        }
                         None => self.run_decoded_body(
                             block, entry, max_steps, &mut steps, stats, &mut trace,
                         ),
@@ -515,17 +662,22 @@ impl Machine {
         }
     }
 
-    /// The uop tier's dispatch loop: executes one compiled block body
-    /// from slot `entry` until a fault, stop, fence, exec-dirty write
-    /// into the block, or control transfer out of it. Deferred flags
-    /// never escape — every exit path materializes them, so the machine
-    /// state is architecturally exact whenever this returns.
+    /// The uop tier's dispatch loop: executes one compiled body (the
+    /// exact trace, or under `optimized` the pass-pipeline one) from
+    /// slot `entry` until a fault, stop, fence, exec-dirty write into
+    /// the block, or control transfer out of it. Deferred flags never
+    /// escape — every exit path materializes them, so the machine state
+    /// is architecturally exact whenever this returns. (In an optimized
+    /// body every reachable exit sits at a flag barrier or block end,
+    /// where dead-flag elimination provably kept the latest flag
+    /// definition, so the materialized state matches the exact trace.)
     #[allow(clippy::too_many_arguments)]
     fn run_uop_body(
         &mut self,
         block: &DecodedBlock,
-        body: &CompiledBlock,
+        entries: &[UopEntry],
         entry: usize,
+        optimized: bool,
         max_steps: u64,
         steps: &mut u64,
         stats: &mut BlockStats,
@@ -535,7 +687,7 @@ impl Machine {
         let mut epoch = self.memory().exec_dirty_epoch();
         let mut pending = Pending::Clean;
         'body: loop {
-            let e = &body.entries[index];
+            let e = &entries[index];
             if let Some(trace) = trace.as_deref_mut() {
                 trace.push(e.pc);
             }
@@ -826,6 +978,58 @@ impl Machine {
                         break 'body;
                     }
                 }
+                Uop::AluNF { op, rd, rhs } => {
+                    self.set_pc(e.next);
+                    let a = self.reg(rd);
+                    let b = self.operand(rhs);
+                    let res = match op {
+                        AluOp::Add => a.wrapping_add(b),
+                        AluOp::Sub => a.wrapping_sub(b),
+                        AluOp::And => a & b,
+                        AluOp::Or => a | b,
+                        AluOp::Xor => a ^ b,
+                        AluOp::Mul => a.wrapping_mul(b),
+                        // Unreachable by construction (the optimizer
+                        // never drops a division's flags), but a crash
+                        // must still be a crash.
+                        AluOp::Udiv => {
+                            if b == 0 {
+                                self.stop_crashed(CpuFault::DivideByZero);
+                                break 'body;
+                            }
+                            a / b
+                        }
+                    };
+                    self.set_reg(rd, res);
+                }
+                Uop::ShiftNF { op, rd, amt } => {
+                    self.set_pc(e.next);
+                    let value = self.reg(rd);
+                    let res = match op {
+                        ShiftOp::Shl => value << amt,
+                        ShiftOp::Shr => value >> amt,
+                        ShiftOp::Sar => ((value as i64) >> amt) as u64,
+                    };
+                    self.set_reg(rd, res);
+                }
+                Uop::LoadA { rd, addr } => {
+                    self.set_pc(e.next);
+                    match self.memory().read_u64(addr) {
+                        Ok(value) => self.set_reg(rd, value),
+                        Err(fault) => {
+                            self.stop_crashed(Machine::mem_fault(fault));
+                            break 'body;
+                        }
+                    }
+                }
+                Uop::StoreA { addr, rs } => {
+                    self.set_pc(e.next);
+                    let value = self.reg(rs);
+                    if let Err(fault) = self.memory_mut().write_u64(addr, value) {
+                        self.stop_crashed(Machine::mem_fault(fault));
+                        break 'body;
+                    }
+                }
             }
             if self.stopped().is_some() || *steps >= max_steps {
                 break;
@@ -842,15 +1046,21 @@ impl Machine {
                 }
             }
             index = next_index;
-            if index < body.entries.len() && self.pc() == body.entries[index].pc {
+            if index < entries.len() && self.pc() == entries[index].pc {
                 continue;
             }
-            if self.pc() == body.entries[0].pc {
+            if self.pc() == entries[0].pc {
                 // Back-edge to this block's own leader (a self-loop):
                 // stay in the compiled body instead of paying the cache
                 // lookup and tier bookkeeping once per iteration. The
                 // per-entry fence, stop, and exec-dirty-epoch checks
                 // above are the same rails the outer loop would apply.
+                if optimized && steps.saturating_add(entries.len() as u64) > max_steps {
+                    // Another full pass no longer fits under the fence;
+                    // exit so the outer loop re-enters through the
+                    // exact body for the fenced tail.
+                    break;
+                }
                 index = 0;
                 continue;
             }
@@ -871,14 +1081,13 @@ impl Machine {
     }
 }
 
-/// Feature-gated bridge into the `rr-ir` SSA form: the designed
-/// insertion point for later `rr-ir`/`rr-lower`-based optimization of
-/// the uop stream.
-#[cfg(feature = "ir-bridge")]
+/// Bridge into the `rr-ir` SSA form: the front end of the uop
+/// compiler's optimization stage (and available standalone for
+/// inspection tooling).
 pub use bridge::lower_block_to_ir;
+pub(crate) use bridge::lower_decoded_slotted;
 
-#[cfg(feature = "ir-bridge")]
-mod bridge {
+pub(crate) mod bridge {
     use crate::blockexec::{BlockCache, DecodedBlock};
     use rr_ir::{BinOp, BlockId, Cell, Function, Op, Pred, Terminator, ValueId, Width};
     use rr_isa::{AluOp, Cond, Instr, Reg, ShiftOp};
@@ -895,20 +1104,27 @@ mod bridge {
     /// to the interpreter tiers).
     pub fn lower_block_to_ir(cache: &BlockCache, pc: u64) -> Option<Function> {
         let (block, _) = cache.lookup(pc)?;
-        lower_decoded(block)
+        lower_decoded_slotted(block).map(|(f, _)| f)
     }
 
-    fn lower_decoded(block: &DecodedBlock) -> Option<Function> {
+    /// [`lower_block_to_ir`] plus the slot table the uop backend needs:
+    /// `starts[i]` is the arena index instruction `i`'s lowering began
+    /// at. Tail-terminator early returns may leave `starts` shorter
+    /// than the block body; the emulator keeps unplanned tail slots
+    /// exact.
+    pub(crate) fn lower_decoded_slotted(block: &DecodedBlock) -> Option<(Function, Vec<u32>)> {
         let mut f = Function::new(format!("block_{:#x}", block.start));
+        let mut starts = Vec::with_capacity(block.body.len());
         let entry = f.entry();
         let mut b = Builder { f: &mut f, block: entry };
         let last = block.body.len() - 1;
         for (i, &(insn, _)) in block.body.iter().enumerate() {
+            starts.push(b.f.value_count() as u32);
             match insn {
                 Instr::Nop => {}
                 Instr::Halt => {
                     b.f.set_terminator(entry, Terminator::Abort);
-                    return Some(f);
+                    return Some((f, starts));
                 }
                 Instr::MovRR { rd, rs } => {
                     let v = b.read(rs);
@@ -1004,7 +1220,7 @@ mod bridge {
                 }
                 Instr::Jmp { .. } if i == last => {
                     b.f.set_terminator(entry, Terminator::Ret);
-                    return Some(f);
+                    return Some((f, starts));
                 }
                 Instr::Jcc { cc, .. } if i == last => {
                     let cond = b.cond_value(cc);
@@ -1016,7 +1232,7 @@ mod bridge {
                     );
                     f.set_terminator(taken, Terminator::Ret);
                     f.set_terminator(fallthrough, Terminator::Ret);
-                    return Some(f);
+                    return Some((f, starts));
                 }
                 Instr::Ret if i == last => {
                     // The block-level function returns to its driver;
@@ -1026,7 +1242,7 @@ mod bridge {
                     let target = b.pop();
                     let _ = target;
                     f.set_terminator(entry, Terminator::Ret);
-                    return Some(f);
+                    return Some((f, starts));
                 }
                 // Outside the bridged subset: flag stack transfers,
                 // calls, indirect control flow, or a terminator that is
@@ -1036,7 +1252,7 @@ mod bridge {
             b = Builder { f: &mut f, block: entry };
         }
         f.set_terminator(entry, Terminator::Ret);
-        Some(f)
+        Some((f, starts))
     }
 
     struct Builder<'a> {
@@ -1380,7 +1596,12 @@ mod tests {
             let cache = cache_for(&exe);
             let mut m = Machine::new(&exe, &[]);
             let mut stats = BlockStats::default();
-            let got = m.run_uops(&cache, UopConfig { hot_threshold: 0 }, 10_000, &mut stats);
+            let got = m.run_uops(
+                &cache,
+                UopConfig { hot_threshold: 0, ..UopConfig::default() },
+                10_000,
+                &mut stats,
+            );
 
             assert_eq!(got, want);
             assert_state_matches("eager uops", &m, &reference);
@@ -1397,7 +1618,12 @@ mod tests {
         let cache = cache_for(&exe);
         let mut m = Machine::new(&exe, &[]);
         let mut stats = BlockStats::default();
-        m.run_uops(&cache, UopConfig { hot_threshold: 0 }, 10_000, &mut stats);
+        m.run_uops(
+            &cache,
+            UopConfig { hot_threshold: 0, ..UopConfig::default() },
+            10_000,
+            &mut stats,
+        );
         // Five loop iterations execute five fused cmp+jne pairs; only
         // block exits materialize, so materializations stay far below
         // the count of flag-setting instructions executed.
@@ -1422,7 +1648,7 @@ mod tests {
                     let want = reference.run(fence);
                     let mut m = Machine::new(&exe, &[]);
                     let mut stats = BlockStats::default();
-                    let config = UopConfig { hot_threshold };
+                    let config = UopConfig { hot_threshold, ..UopConfig::default() };
                     let got = m.run_uops(&cache, config, fence, &mut stats);
                     assert_eq!(got, want, "fence={fence} hot={hot_threshold}");
                     assert_state_matches(
@@ -1442,7 +1668,12 @@ mod tests {
         let cache = cache_for(&exe);
         let mut m = Machine::new(&exe, &[]);
         let mut stats = BlockStats::default();
-        let result = m.run_uops(&cache, UopConfig { hot_threshold: 2 }, 10_000, &mut stats);
+        let result = m.run_uops(
+            &cache,
+            UopConfig { hot_threshold: 2, ..UopConfig::default() },
+            10_000,
+            &mut stats,
+        );
 
         let mut reference = Machine::new(&exe, &[]);
         assert_eq!(result, reference.run(10_000));
@@ -1486,7 +1717,7 @@ mod tests {
             let mut m = Machine::new(&exe, &[]);
             let mut stats = BlockStats::default();
             let mut trace = Vec::new();
-            let config = UopConfig { hot_threshold };
+            let config = UopConfig { hot_threshold, ..UopConfig::default() };
             let got = m.run_uops_traced(&cache, config, 10_000, &mut stats, &mut trace);
             assert_eq!(got, want, "hot={hot_threshold}");
             assert_eq!(trace, ref_trace, "hot={hot_threshold}");
@@ -1513,7 +1744,12 @@ mod tests {
             let cache = cache_for(&exe);
             let mut m = Machine::new(&exe, &[]);
             let mut stats = BlockStats::default();
-            let got = m.run_uops(&cache, UopConfig { hot_threshold: 0 }, 100, &mut stats);
+            let got = m.run_uops(
+                &cache,
+                UopConfig { hot_threshold: 0, ..UopConfig::default() },
+                100,
+                &mut stats,
+            );
             assert_eq!(got, want, "{src}");
             assert_state_matches(src, &m, &reference);
         }
@@ -1525,7 +1761,12 @@ mod tests {
         let cache = cache_for(&exe);
         // Warm the cache so the corrupted block is already compiled.
         let mut warm = BlockStats::default();
-        Machine::new(&exe, &[]).run_uops(&cache, UopConfig { hot_threshold: 0 }, 10_000, &mut warm);
+        Machine::new(&exe, &[]).run_uops(
+            &cache,
+            UopConfig { hot_threshold: 0, ..UopConfig::default() },
+            10_000,
+            &mut warm,
+        );
         assert!(warm.blocks_compiled > 0);
 
         let mut reference = Machine::new(&exe, &[]);
@@ -1537,7 +1778,12 @@ mod tests {
         }
         let want = reference.run(10_000);
         let mut stats = BlockStats::default();
-        let got = m.run_uops(&cache, UopConfig { hot_threshold: 0 }, 10_000, &mut stats);
+        let got = m.run_uops(
+            &cache,
+            UopConfig { hot_threshold: 0, ..UopConfig::default() },
+            10_000,
+            &mut stats,
+        );
         assert_eq!(got, want);
         assert_eq!(m.take_output(), reference.take_output());
         assert!(stats.interp_steps > 0, "dirty block must interpret: {stats:?}");
@@ -1565,7 +1811,12 @@ mod tests {
         let cache = BlockCache::build(&exe, exe.text_range().chain([exe.entry])).unwrap();
         let mut m = Machine::new(&exe, &[]);
         let mut stats = BlockStats::default();
-        let got = m.run_uops(&cache, UopConfig { hot_threshold: 0 }, 100, &mut stats);
+        let got = m.run_uops(
+            &cache,
+            UopConfig { hot_threshold: 0, ..UopConfig::default() },
+            100,
+            &mut stats,
+        );
         assert_eq!(got, want);
         assert_state_matches("mid-block entry", &m, &reference);
     }
@@ -1591,7 +1842,96 @@ mod tests {
         assert!(loop_block.is_some(), "cmp+jne idiom must fuse");
     }
 
-    #[cfg(feature = "ir-bridge")]
+    /// A single-superblock loop rich in optimizer fodder: a
+    /// store-to-load pair (forwarding), back-to-back loads of one
+    /// address (redundant-load elimination), and arithmetic whose flags
+    /// are immediately redefined (dead-flag elimination).
+    const FORWARDY: &str = "    .global _start\n\
+         _start:\n\
+             mov r4, buffer\n\
+             mov r2, 5\n\
+         .loop:\n\
+             store [r4], r2\n\
+             load r1, [r4]\n\
+             load r3, [r4]\n\
+             add r1, 1\n\
+             sub r2, 1\n\
+             cmp r2, 0\n\
+             jne .loop\n\
+             mov r1, 0\n\
+             svc 0\n\
+             .data\n\
+         buffer:\n\
+             .space 8\n";
+
+    #[test]
+    fn optimized_execution_matches_the_exact_lowering() {
+        for src in [LOOPY, FLAGGY, FORWARDY] {
+            let exe = assemble_and_link(src).unwrap();
+            let mut reference = Machine::new(&exe, &[]);
+            let want = reference.run(10_000);
+
+            let mut results = Vec::new();
+            for opt in [OptLevel::None, OptLevel::Full] {
+                // Fresh cache per level: the first promotion's config
+                // decides the shared body.
+                let cache = cache_for(&exe);
+                let mut m = Machine::new(&exe, &[]);
+                let mut stats = BlockStats::default();
+                let mut trace = Vec::new();
+                let config = UopConfig { hot_threshold: 0, opt };
+                let got = m.run_uops_traced(&cache, config, 10_000, &mut stats, &mut trace);
+                assert_eq!(got, want, "opt {opt}");
+                assert_state_matches(&format!("opt {opt}"), &m, &reference);
+                results.push((trace, stats));
+            }
+            let (none_trace, none_stats) = &results[0];
+            let (full_trace, full_stats) = &results[1];
+            assert_eq!(none_trace, full_trace, "optimization must not change the trace");
+            assert_eq!(none_stats.blocks_optimized, 0, "{none_stats:?}");
+            assert_eq!(none_stats.uops_eliminated, 0, "{none_stats:?}");
+            assert_eq!(none_stats.total(), full_stats.total());
+            if std::ptr::eq(src, FORWARDY) {
+                assert!(full_stats.blocks_optimized > 0, "{full_stats:?}");
+                assert!(full_stats.uops_eliminated > 0, "{full_stats:?}");
+                assert!(full_stats.loads_forwarded >= 2, "{full_stats:?}");
+                assert!(full_stats.flag_defs_killed > 0, "{full_stats:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fenced_optimized_runs_stay_exact() {
+        // Chunked runs over the forwarding-rich loop: fences land at
+        // every offset, forcing constant hand-offs between the
+        // optimized body (full passes) and the exact body (tails).
+        let exe = assemble_and_link(FORWARDY).unwrap();
+        let total = {
+            let mut m = Machine::new(&exe, &[]);
+            m.run(10_000).steps
+        };
+        let cache = cache_for(&exe);
+        for fence in 0..=total + 2 {
+            let mut reference = Machine::new(&exe, &[]);
+            let want = reference.run(fence);
+            let mut m = Machine::new(&exe, &[]);
+            let mut stats = BlockStats::default();
+            let config = UopConfig { hot_threshold: 0, opt: OptLevel::Full };
+            let got = m.run_uops(&cache, config, fence, &mut stats);
+            assert_eq!(got, want, "fence={fence}");
+            assert_state_matches(&format!("fence={fence}"), &m, &reference);
+        }
+    }
+
+    #[test]
+    fn opt_level_parses_and_displays() {
+        assert_eq!("none".parse::<OptLevel>(), Ok(OptLevel::None));
+        assert_eq!("full".parse::<OptLevel>(), Ok(OptLevel::Full));
+        assert!("fast".parse::<OptLevel>().is_err());
+        assert_eq!(OptLevel::Full.to_string(), "full");
+        assert_eq!(OptLevel::default(), OptLevel::Full);
+    }
+
     #[test]
     fn ir_bridge_lowers_blocks_to_verified_functions() {
         let src = "    .global _start\n\

@@ -1,0 +1,291 @@
+//! The uop compiler's optimization stage: `rr-ir` round trip.
+//!
+//! [`optimize`] lowers a decoded superblock to an `rr-ir` function (one
+//! *slot* of arena values per instruction), runs the block pass
+//! pipeline over it — constant folding, dead-code elimination,
+//! redundant-load/store-to-load forwarding, dead-flag elimination, the
+//! IR verifier checking the module after every pass — and maps the
+//! optimized function back onto a flat uop trace through the
+//! `rr-lower` [`plan_slots`] backend.
+//!
+//! ## Why the optimized trace stays safe
+//!
+//! Refinement is strictly slot-for-slot: the optimized body has the
+//! same length, the same per-slot `pc`/`next`, and therefore the same
+//! step accounting and instruction trace as the exact body. Every
+//! refinement preserves the slot's register and memory effects exactly;
+//! only *provably dead* flag updates are dropped. Dead-flag elimination
+//! treats loads, stores, services, stack ops, and divisions — every op
+//! that can fault or observe state — as barriers, and the block end as
+//! an observer, so at each point an optimized body can exit (fault,
+//! stop, exec-dirty break, fence at a pass boundary, fall-through) the
+//! latest flag definition was retained and the materialized NZCV
+//! matches the exact body bit-for-bit. Interior slots between barriers
+//! may carry stale deferred flags, which is why the dispatch loop only
+//! enters an optimized body when a whole pass fits under the step
+//! fence (no mid-body fence can observe the interior).
+//!
+//! A load is only ever dropped when the pass pipeline proved the same
+//! address was accessed earlier in the block (so re-accessing cannot
+//! introduce *or* lose a fault), and store-to-load forwarding is
+//! additionally gated on the machine's memory map making every
+//! writable range readable ([`crate::Memory::writable_implies_readable`]).
+//!
+//! In debug builds every optimized lowering is differentially tested
+//! against its exact form through the `rr-ir` interpreter (random cell
+//! files, both branch directions observable) before it is accepted.
+
+use crate::blockexec::DecodedBlock;
+use crate::uop::{lower_decoded_slotted, Operand, Uop, UopEntry};
+use rr_ir::passes::{ConstFold, DeadCodeElimination, DeadFlagElimination, LoadForwarding};
+use rr_ir::{Module, PassManager};
+use rr_isa::{AluOp, Reg};
+use rr_lower::{plan_slots, ResolvedValue, SlotPlan};
+
+/// What the optimization stage removed from one block (telemetry).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct OptStats {
+    /// Slots whose exact uop was replaced by a cheaper form (dropped
+    /// outright, downgraded to a move, stripped of flag bookkeeping,
+    /// or given a pre-resolved immediate/address).
+    pub(crate) uops_eliminated: u64,
+    /// Loads the pipeline proved redundant and the refined trace no
+    /// longer issues.
+    pub(crate) loads_forwarded: u64,
+    /// Flag definitions dropped as provably dead.
+    pub(crate) flag_defs_killed: u64,
+}
+
+/// Runs the `rr-ir` pipeline over `block` and refines `fallback` (the
+/// exact uop trace) into a cheaper, slot-identical one. Returns `None`
+/// when the block is outside the bridged subset, a pass reports a
+/// verification error, or nothing improved.
+pub(crate) fn optimize(
+    block: &DecodedBlock,
+    fallback: &[UopEntry],
+    store_to_load: bool,
+) -> Option<(Vec<UopEntry>, OptStats)> {
+    let (f, starts) = lower_decoded_slotted(block)?;
+    let mut module = Module::new();
+    module.entry = f.name.clone();
+    module.push_function(f);
+    #[cfg(debug_assertions)]
+    let pristine = module.clone();
+
+    let mut pm = PassManager::new();
+    pm.add(ConstFold);
+    pm.add(DeadCodeElimination);
+    pm.add(LoadForwarding { store_to_load });
+    pm.add(DeadFlagElimination);
+    pm.add(DeadCodeElimination);
+    match pm.run(&mut module) {
+        Ok(true) => {}
+        // Nothing changed, or the verifier rejected a pass's output:
+        // either way the exact body stands alone.
+        Ok(false) | Err(_) => return None,
+    }
+
+    #[cfg(debug_assertions)]
+    differential_check(&pristine, &module, block.start);
+
+    let f = module.functions().first()?;
+    let plans = plan_slots(f, &starts);
+    let (opt, stats) = refine(fallback, &plans);
+    if stats.uops_eliminated == 0 {
+        return None;
+    }
+    Some((opt, stats))
+}
+
+/// Maps each slot's [`SlotPlan`] onto the cheapest uop that preserves
+/// the slot's exact architectural effects.
+fn refine(fallback: &[UopEntry], plans: &[SlotPlan]) -> (Vec<UopEntry>, OptStats) {
+    let mut stats = OptStats::default();
+    let mut out = Vec::with_capacity(fallback.len());
+    for (i, e) in fallback.iter().enumerate() {
+        // Slots past the plan table (tail terminators the bridge
+        // returned early on) stay exact.
+        let op = plans.get(i).map_or(e.op, |p| refine_op(e.op, p));
+        if op != e.op {
+            stats.uops_eliminated += 1;
+            if sets_flags(e.op) && !sets_flags(op) {
+                stats.flag_defs_killed += 1;
+            }
+            if is_load(e.op) && !touches_memory(op) {
+                stats.loads_forwarded += 1;
+            }
+        }
+        out.push(UopEntry { pc: e.pc, next: e.next, op });
+    }
+    (out, stats)
+}
+
+fn refine_op(op: Uop, p: &SlotPlan) -> Uop {
+    // A slot the planner could not fully account for stays exact.
+    if p.has_side_effects || p.multi_reg_write {
+        return op;
+    }
+    let flags_dead = !p.writes_flags;
+    match op {
+        Uop::Alu { op: alu, rd, rhs } if alu != AluOp::Udiv && p.mem_ops == 0 => {
+            let rhs = upgrade_rhs(rhs, p);
+            if !flags_dead {
+                return Uop::Alu { op: alu, rd, rhs };
+            }
+            reg_move(p, rd).unwrap_or(Uop::AluNF { op: alu, rd, rhs })
+        }
+        Uop::Shift { op: sh, rd, amt } if flags_dead => {
+            reg_move(p, rd).unwrap_or(Uop::ShiftNF { op: sh, rd, amt })
+        }
+        Uop::Not { rd } | Uop::Neg { rd } if flags_dead => reg_move(p, rd).unwrap_or(op),
+        Uop::Cmp { rs1, rhs } if p.mem_ops == 0 => {
+            if flags_dead && p.reg_write.is_none() {
+                Uop::Nop
+            } else {
+                Uop::Cmp { rs1, rhs: upgrade_rhs(rhs, p) }
+            }
+        }
+        Uop::Test { .. } if flags_dead && p.reg_write.is_none() && p.mem_ops == 0 => Uop::Nop,
+        // Fused compare-and-branch slots are never weakened beyond an
+        // immediate upgrade: folding the comparison into the
+        // terminator makes the slot *look* flag-dead, but the branch
+        // itself still consumes the operands.
+        Uop::CmpJcc { rs1, rhs, cc, target, jcc_next } => {
+            Uop::CmpJcc { rs1, rhs: upgrade_rhs(rhs, p), cc, target, jcc_next }
+        }
+        Uop::MovRR { rd, .. } | Uop::Lea { rd, .. } if p.mem_ops == 0 => {
+            reg_move(p, rd).unwrap_or(op)
+        }
+        Uop::Load { rd, base: _, disp: _ } => {
+            if p.mem_ops == 0 {
+                // The load was forwarded away. If the value is not
+                // materializable from a constant or a live register,
+                // re-issuing the (provably readable) load stays exact.
+                reg_move(p, rd).unwrap_or(op)
+            } else {
+                match p.mem_addr {
+                    Some(addr) => Uop::LoadA { rd, addr },
+                    None => op,
+                }
+            }
+        }
+        Uop::LoadB { rd, .. } if p.mem_ops == 0 => reg_move(p, rd).unwrap_or(op),
+        Uop::Store { base: _, disp: _, rs } => match p.mem_addr {
+            Some(addr) => Uop::StoreA { addr, rs },
+            None => op,
+        },
+        _ => op,
+    }
+}
+
+/// The move that realizes a slot whose single register write resolved
+/// to a constant or another register's live value — or `None` when the
+/// plan disagrees with the exact lowering's destination (stay exact).
+fn reg_move(p: &SlotPlan, rd: Reg) -> Option<Uop> {
+    let w = p.reg_write.as_ref()?;
+    if w.cell != rd.index() {
+        return None;
+    }
+    match w.value {
+        ResolvedValue::Const(imm) => Some(Uop::MovRI { rd, imm }),
+        // The destination already holds the value: the write (and the
+        // whole slot, its flags being dead) is a no-op.
+        ResolvedValue::InCell(s) if s == rd.index() => Some(Uop::Nop),
+        // Flag cells (16..) have no runtime register to copy from.
+        ResolvedValue::InCell(s) if s < 16 => Some(Uop::MovRR { rd, rs: Reg::from_index(s) }),
+        _ => None,
+    }
+}
+
+/// Pre-resolves a register right-hand operand the pipeline proved
+/// constant. `rhs_imm` comes from the slot's own binary op, so the
+/// value is exactly what the register holds when the slot executes.
+fn upgrade_rhs(rhs: Operand, p: &SlotPlan) -> Operand {
+    match (rhs, p.rhs_imm) {
+        (Operand::Reg(_), Some(imm)) => Operand::Imm(imm),
+        _ => rhs,
+    }
+}
+
+fn sets_flags(op: Uop) -> bool {
+    matches!(
+        op,
+        Uop::Alu { .. }
+            | Uop::Shift { .. }
+            | Uop::Not { .. }
+            | Uop::Neg { .. }
+            | Uop::Cmp { .. }
+            | Uop::CmpM { .. }
+            | Uop::Test { .. }
+    )
+}
+
+fn is_load(op: Uop) -> bool {
+    matches!(op, Uop::Load { .. } | Uop::LoadB { .. } | Uop::LoadA { .. })
+}
+
+fn touches_memory(op: Uop) -> bool {
+    matches!(
+        op,
+        Uop::Load { .. }
+            | Uop::LoadB { .. }
+            | Uop::LoadA { .. }
+            | Uop::Store { .. }
+            | Uop::StoreB { .. }
+            | Uop::StoreA { .. }
+            | Uop::CmpM { .. }
+            | Uop::Push { .. }
+            | Uop::Pop { .. }
+            | Uop::PushF
+            | Uop::PopF
+    )
+}
+
+/// Debug-build differential check: the optimized IR must be
+/// observationally identical to the exact lowering under the `rr-ir`
+/// interpreter — same outcome, same output bytes, same final cell file
+/// (branch directions made observable through marker writes in the
+/// terminator arms), over randomized initial cell files.
+#[cfg(debug_assertions)]
+fn differential_check(pre: &Module, post: &Module, start: u64) {
+    use rr_ir::interp::Interp;
+    use rr_ir::Cell;
+
+    let lcg = |s: u64| s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    for seed in [start | 1, lcg(start ^ 0x9e37_79b9_7f4a_7c15)] {
+        let observe = |m: &Module| {
+            let mut m = m.clone();
+            instrument_arms(&mut m);
+            let mut interp = Interp::new(&m, b"\x11\x22\x33");
+            let mut s = seed;
+            for c in 0..Cell::COUNT {
+                s = lcg(s);
+                let v = if Cell(c).is_flag() { s & 1 } else { s };
+                interp.set_cell(Cell(c), v);
+            }
+            interp
+                .with_max_steps(1_000_000)
+                .run_with_cells()
+                .map(|(r, cells)| (r.outcome, r.output, cells))
+        };
+        assert_eq!(
+            observe(pre),
+            observe(post),
+            "uop optimizer: optimized IR for block {start:#x} diverges from its exact lowering"
+        );
+    }
+}
+
+/// Writes a distinct marker to `r14` in every non-entry block so the
+/// branch direction of a `CondBr` function shows up in the final cells.
+#[cfg(debug_assertions)]
+fn instrument_arms(m: &mut Module) {
+    use rr_ir::{Cell, Op};
+    for f in m.functions_mut() {
+        let blocks: Vec<_> = f.block_ids().skip(1).collect();
+        for (i, b) in blocks.into_iter().enumerate() {
+            let marker = f.append(b, Op::Const(0xd1ff_0000 + i as u64));
+            f.append(b, Op::WriteCell { cell: Cell::reg(14), value: marker });
+        }
+    }
+}

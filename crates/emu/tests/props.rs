@@ -3,10 +3,13 @@
 
 use proptest::prelude::*;
 use rr_asm::assemble_and_link;
-use rr_emu::{execute, BlockCache, BlockStats, Machine, RunOutcome, UopConfig};
+use rr_emu::{execute, BlockCache, BlockStats, Machine, OptLevel, RunOutcome, UopConfig};
 
 /// Random but *assemblable* straight-line programs over safe instructions
-/// (no memory, no control flow — those are covered by targeted tests).
+/// (no unbalanced memory, no control flow — those are covered by
+/// targeted tests). Balanced `push`/`pop` pairs, `not`/`neg`, and dead
+/// compares are included so the uop optimizer's forwarding and
+/// flag-elimination paths see real work.
 fn safe_line() -> impl Strategy<Value = String> {
     let reg = (0u8..14).prop_map(|i| format!("r{i}"));
     prop_oneof![
@@ -18,7 +21,10 @@ fn safe_line() -> impl Strategy<Value = String> {
         (reg.clone(), 0u8..64).prop_map(|(r, v)| format!("shl {r}, {v}")),
         (reg.clone(), 0u8..64).prop_map(|(r, v)| format!("sar {r}, {v}")),
         (reg.clone(), any::<i32>()).prop_map(|(r, v)| format!("cmp {r}, {v}")),
-        (reg.clone(), reg).prop_map(|(a, b)| format!("test {a}, {b}")),
+        (reg.clone(), reg.clone()).prop_map(|(a, b)| format!("test {a}, {b}")),
+        (reg.clone()).prop_map(|r| format!("not {r}")),
+        (reg.clone()).prop_map(|r| format!("neg {r}")),
+        (reg.clone(), reg).prop_map(|(a, b)| format!("push {a}\n    pop {b}")),
         Just("nop".to_owned()),
         Just("pushf".to_owned()),
         Just("popf".to_owned()),
@@ -176,13 +182,15 @@ proptest! {
     }
 
     /// Compiled uop execution is bit-identical to the interpreter over
-    /// random looped programs, for every fence placement and every
-    /// tiering threshold — eager compilation (0), promote-on-reentry
-    /// (1), and a threshold the short run may never cross (8, leaving
-    /// some or all blocks on the decoded tier). Full architectural
-    /// state is compared at the end of every chunked run: outcome, step
-    /// count, pc, **NZCV flags** (the lazy-materialization contract),
-    /// all sixteen registers, and output.
+    /// random looped programs, for every fence placement, every tiering
+    /// threshold — eager compilation (0), promote-on-reentry (1), and a
+    /// threshold the short run may never cross (8, leaving some or all
+    /// blocks on the decoded tier) — and both optimization levels (the
+    /// straight lowering and the `rr-ir`-optimized trace). Full
+    /// architectural state is compared at the end of every chunked run:
+    /// outcome, step count, pc, **NZCV flags** (the lazy-materialization
+    /// and dead-flag-elimination contract), all sixteen registers, and
+    /// output.
     #[test]
     fn uop_execution_matches_the_interpreter_across_thresholds(
         lines in proptest::collection::vec(safe_line(), 0..24),
@@ -197,26 +205,28 @@ proptest! {
         let interp_result = interp.run(max_steps);
         let interp_output = interp.take_output();
 
-        for hot_threshold in [0u32, 1, 8] {
-            // A fresh cache per threshold: heat accumulated under one
-            // threshold must not leak promotions into the next.
-            let cache = BlockCache::build(&exe, text.start..text.end).expect("text decodes");
-            let config = UopConfig { hot_threshold };
-            let mut uops = Machine::new(&exe, &[]);
-            let (outcome, steps) = run_uops_chunked(&mut uops, &cache, config, chunk, max_steps);
+        for opt in [OptLevel::None, OptLevel::Full] {
+            for hot_threshold in [0u32, 1, 8] {
+                // A fresh cache per configuration: heat accumulated (and
+                // bodies compiled) under one configuration must not leak
+                // into the next.
+                let cache = BlockCache::build(&exe, text.start..text.end).expect("text decodes");
+                let config = UopConfig { hot_threshold, opt };
+                let mut uops = Machine::new(&exe, &[]);
+                let (outcome, steps) =
+                    run_uops_chunked(&mut uops, &cache, config, chunk, max_steps);
 
-            prop_assert_eq!(interp_result.outcome, outcome, "threshold {}", hot_threshold);
-            prop_assert_eq!(interp_result.steps, steps, "threshold {}", hot_threshold);
-            prop_assert_eq!(interp.pc(), uops.pc(), "threshold {}", hot_threshold);
-            prop_assert_eq!(interp.flags(), uops.flags(), "threshold {}", hot_threshold);
-            for i in 0..16u8 {
-                let reg = rr_isa::Reg::from_index(i);
-                prop_assert_eq!(
-                    interp.reg(reg), uops.reg(reg),
-                    "r{} threshold {}", i, hot_threshold
-                );
+                let ctx = |what: &str| format!("{what} threshold {hot_threshold} opt {opt}");
+                prop_assert_eq!(interp_result.outcome, outcome, "{}", ctx("outcome"));
+                prop_assert_eq!(interp_result.steps, steps, "{}", ctx("steps"));
+                prop_assert_eq!(interp.pc(), uops.pc(), "{}", ctx("pc"));
+                prop_assert_eq!(interp.flags(), uops.flags(), "{}", ctx("flags"));
+                for i in 0..16u8 {
+                    let reg = rr_isa::Reg::from_index(i);
+                    prop_assert_eq!(interp.reg(reg), uops.reg(reg), "{}", ctx("reg"));
+                }
+                prop_assert_eq!(&interp_output, &uops.take_output(), "{}", ctx("output"));
             }
-            prop_assert_eq!(&interp_output, &uops.take_output(), "threshold {}", hot_threshold);
         }
     }
 

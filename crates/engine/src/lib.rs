@@ -66,6 +66,7 @@ pub use replay::{
     ReplayFootprint,
 };
 
-// The uop tiering knob is part of [`ReplayConfig`]; re-exported so
-// replay consumers don't need an rr-emu dependency to set it.
-pub use rr_emu::UopConfig;
+// The uop tiering and optimization knobs are part of [`ReplayConfig`];
+// re-exported so replay consumers don't need an rr-emu dependency to
+// set them.
+pub use rr_emu::{OptLevel, UopConfig};

@@ -455,6 +455,18 @@ pub fn flush_block_stats(telemetry: &Telemetry, stats: BlockStats) {
     if stats.tier_promotions > 0 {
         telemetry.count(Counter::TierPromotions, stats.tier_promotions);
     }
+    if stats.blocks_optimized > 0 {
+        telemetry.count(Counter::BlocksOptimized, stats.blocks_optimized);
+    }
+    if stats.uops_eliminated > 0 {
+        telemetry.count(Counter::UopsEliminated, stats.uops_eliminated);
+    }
+    if stats.loads_forwarded > 0 {
+        telemetry.count(Counter::LoadsForwarded, stats.loads_forwarded);
+    }
+    if stats.flag_defs_killed > 0 {
+        telemetry.count(Counter::FlagDefsKilled, stats.flag_defs_killed);
+    }
 }
 
 impl ReplayEngine {
@@ -1112,7 +1124,7 @@ mod tests {
             exec,
             // Threshold 1 exercises the decoded→compiled promotion path
             // inside recorded runs, not just steady-state compiled bodies.
-            uop: rr_emu::UopConfig { hot_threshold: 1 },
+            uop: rr_emu::UopConfig { hot_threshold: 1, ..Default::default() },
             ..config.clone()
         }
     }

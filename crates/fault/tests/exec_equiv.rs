@@ -19,12 +19,19 @@
 
 use rr_fault::{
     CampaignConfig, CampaignEngine, CampaignReport, CampaignSession, Collect, ExecMode, FaultModel,
-    InstructionSkip, PairPolicy, PlanConfig, SingleBitFlip,
+    InstructionSkip, OptLevel, PairPolicy, PlanConfig, SingleBitFlip, UopConfig,
 };
 use rr_workloads::Workload;
 
-/// Both accelerated tiers, each compared against the interpreter.
-const ACCEL_MODES: [ExecMode; 2] = [ExecMode::Blocks, ExecMode::Uops];
+/// Both accelerated tiers — the uop tier at both optimization levels —
+/// each compared against the interpreter.
+fn accel_configs() -> [(ExecMode, UopConfig); 3] {
+    [
+        (ExecMode::Blocks, UopConfig::default()),
+        (ExecMode::Uops, UopConfig { opt: OptLevel::None, ..UopConfig::default() }),
+        (ExecMode::Uops, UopConfig::default()),
+    ]
+}
 
 fn session(w: &Workload, config: CampaignConfig) -> CampaignSession {
     CampaignSession::builder(w.build().unwrap_or_else(|e| panic!("{}: build failed: {e}", w.name)))
@@ -77,12 +84,12 @@ fn accelerated_tiers_match_interp_across_workloads_engines_and_scheduling() {
             let interp = session(&w, CampaignConfig { exec: ExecMode::Interp, ..base.clone() });
             let interp_skip = run_one(&interp, &InstructionSkip);
             let interp_flip = run_one(&interp, &SingleBitFlip);
-            for exec in ACCEL_MODES {
+            for (exec, uop) in accel_configs() {
                 let context = format!(
-                    "{} engine={engine} bucketing={bucketing} threads={threads} exec={exec}",
-                    w.name
+                    "{} engine={engine} bucketing={bucketing} threads={threads} exec={exec} opt={}",
+                    w.name, uop.opt
                 );
-                let fast = session(&w, CampaignConfig { exec, ..base.clone() });
+                let fast = session(&w, CampaignConfig { exec, uop, ..base.clone() });
                 assert_reports_equal(
                     &interp_skip,
                     &run_one(&fast, &InstructionSkip),
@@ -119,12 +126,12 @@ fn accelerated_tiers_match_interp_for_double_fault_plans() {
     };
     let interp = session(&w, CampaignConfig { exec: ExecMode::Interp, ..base.clone() });
     let interp_report = run_one(&interp, &InstructionSkip);
-    for exec in ACCEL_MODES {
-        let fast = session(&w, CampaignConfig { exec, ..base.clone() });
+    for (exec, uop) in accel_configs() {
+        let fast = session(&w, CampaignConfig { exec, uop, ..base.clone() });
         assert_reports_equal(
             &interp_report,
             &run_one(&fast, &InstructionSkip),
-            &format!("pincheck order-2 skip exec={exec}"),
+            &format!("pincheck order-2 skip exec={exec} opt={}", uop.opt),
         );
     }
 }
@@ -150,7 +157,7 @@ fn default_session_is_uop_compiled_and_equivalent() {
     let eager = session(
         &w,
         CampaignConfig {
-            uop: rr_fault::UopConfig { hot_threshold: 0 },
+            uop: UopConfig { hot_threshold: 0, ..UopConfig::default() },
             ..CampaignConfig::default()
         },
     );
@@ -158,5 +165,21 @@ fn default_session_is_uop_compiled_and_equivalent() {
         &default_report,
         &run_one(&eager, &InstructionSkip),
         "otp tiered-vs-eager",
+    );
+    // The default session runs the optimized uop traces
+    // (`OptLevel::Full`); switching the optimizer off must not change a
+    // verdict either.
+    assert_eq!(CampaignConfig::default().uop.opt, OptLevel::Full);
+    let unopt = session(
+        &w,
+        CampaignConfig {
+            uop: UopConfig { opt: OptLevel::None, ..UopConfig::default() },
+            ..CampaignConfig::default()
+        },
+    );
+    assert_reports_equal(
+        &default_report,
+        &run_one(&unopt, &InstructionSkip),
+        "otp opt-full-vs-none",
     );
 }

@@ -1,0 +1,214 @@
+//! Ahead-of-time dead-flag elimination, within basic blocks.
+//!
+//! Machine code recomputes NZCV on almost every ALU instruction, but
+//! almost nothing reads them: in a typical block only the final
+//! compare's flags feed a branch. This pass deletes a flag-cell write
+//! when the same flag is **unconditionally redefined** later in the
+//! block before any consumer — turning runtime lazy-flag bookkeeping
+//! (the uop tier's `Pending` tuples) into a compile-time no-op.
+//!
+//! The embedding this pass serves (optimized uop traces replayed under
+//! fault injection) observes architectural state at every *possible
+//! exit*, not just at block ends. A flag write is therefore only dead if
+//! the redefinition arrives with no possible exit in between: any op
+//! that can fault or leave the block — loads, stores, `svc`, calls, and
+//! `udiv` (division trap) — is a **barrier** that keeps preceding flag
+//! writes live, exactly like a flag read. Block ends are barriers too
+//! (successors and the surrounding machine observe the cells), so the
+//! final definition of each flag always survives and exit state is
+//! bit-exact.
+//!
+//! Values feeding deleted writes become unused;
+//! [`super::DeadCodeElimination`] sweeps the dangling compare chains.
+//! Run [`super::DeadCodeElimination`] *before* this pass as well:
+//! forwarded-but-unswept flag reads (from [`super::ConstFold`]) would
+//! otherwise conservatively pin their defs live.
+
+use super::Pass;
+use crate::func::Function;
+use crate::module::Module;
+use crate::ops::{BinOp, Op};
+use crate::types::{Cell, ValueId};
+
+/// The dead-flag-elimination pass. See the module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeadFlagElimination;
+
+impl Pass for DeadFlagElimination {
+    fn name(&self) -> &'static str {
+        "dead-flag-elim"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        for f in module.functions_mut() {
+            changed |= eliminate_function(f);
+        }
+        changed
+    }
+}
+
+/// Ops at which execution may leave the block (fault, trap, service,
+/// call): flag state must be architecturally exact when they run.
+fn is_exit_barrier(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::Load { .. }
+            | Op::Store { .. }
+            | Op::Svc { .. }
+            | Op::Call { .. }
+            | Op::CallIndirect { .. }
+            | Op::BinOp { op: BinOp::Udiv, .. }
+    )
+}
+
+fn flag_index(cell: Cell) -> Option<usize> {
+    cell.is_flag().then(|| usize::from(cell.0) - usize::from(Cell::Z.0))
+}
+
+fn eliminate_function(f: &mut Function) -> bool {
+    let mut changed = false;
+    for b in f.block_ids() {
+        // Backward scan: `overwritten[i]` means flag i is redefined
+        // further down with no read/barrier in between. Block end is an
+        // observation, so everything starts live.
+        let mut overwritten = [false; 4];
+        let mut dead: Vec<ValueId> = Vec::new();
+        let ops = f.block(b).ops.clone();
+        for &v in ops.iter().rev() {
+            match f.op(v) {
+                Op::WriteCell { cell, .. } => {
+                    if let Some(i) = flag_index(*cell) {
+                        if overwritten[i] {
+                            dead.push(v);
+                            changed = true;
+                        }
+                        overwritten[i] = true;
+                    }
+                }
+                Op::ReadCell(cell) => {
+                    if let Some(i) = flag_index(*cell) {
+                        overwritten[i] = false;
+                    }
+                }
+                op if is_exit_barrier(op) => overwritten = [false; 4],
+                _ => {}
+            }
+        }
+        if !dead.is_empty() {
+            f.block_mut(b).ops.retain(|v| !dead.contains(v));
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{Terminator, Width};
+    use crate::verify::verify_function;
+
+    fn module_of(f: Function) -> Module {
+        let mut m = Module::new();
+        m.push_function(f);
+        m
+    }
+
+    fn flag_writes(f: &Function) -> usize {
+        f.block(f.entry())
+            .ops
+            .iter()
+            .filter(|&&v| matches!(f.op(v), Op::WriteCell { cell, .. } if cell.is_flag()))
+            .count()
+    }
+
+    /// Writes all four flags from `value`, as an ALU op would.
+    fn def_all_flags(f: &mut Function, value: u64) {
+        let e = f.entry();
+        let c = f.append(e, Op::Const(value));
+        for cell in [Cell::Z, Cell::N, Cell::C, Cell::V] {
+            f.append(e, Op::WriteCell { cell, value: c });
+        }
+    }
+
+    #[test]
+    fn redefined_flags_without_barrier_die() {
+        let mut f = Function::new("f");
+        def_all_flags(&mut f, 1); // dead: redefined below, nothing between
+        def_all_flags(&mut f, 0); // live: block end observes
+        f.set_terminator(f.entry(), Terminator::Ret);
+
+        let mut m = module_of(f);
+        assert!(DeadFlagElimination.run(&mut m));
+        let f = &m.functions()[0];
+        assert_eq!(flag_writes(f), 4);
+        verify_function(f, None).unwrap();
+    }
+
+    #[test]
+    fn memory_ops_are_exit_barriers() {
+        // A store between def and redef can fault: the first def must
+        // survive so the fault observes exact flags.
+        let mut f = Function::new("f");
+        def_all_flags(&mut f, 1);
+        let e = f.entry();
+        let addr = f.append(e, Op::Const(0x1000));
+        let val = f.append(e, Op::Const(7));
+        f.append(e, Op::Store { addr, value: val, width: Width::Q });
+        def_all_flags(&mut f, 0);
+        f.set_terminator(e, Terminator::Ret);
+
+        let mut m = module_of(f);
+        assert!(!DeadFlagElimination.run(&mut m));
+        assert_eq!(flag_writes(&m.functions()[0]), 8);
+    }
+
+    #[test]
+    fn flag_reads_keep_defs_live() {
+        let mut f = Function::new("f");
+        def_all_flags(&mut f, 1);
+        let e = f.entry();
+        let z = f.append(e, Op::ReadCell(Cell::Z));
+        f.append(e, Op::WriteCell { cell: Cell::reg(0), value: z });
+        def_all_flags(&mut f, 0);
+        f.set_terminator(e, Terminator::Ret);
+
+        let mut m = module_of(f);
+        // Z is read before the redef: its first def stays. N/C/V are not
+        // read and die.
+        assert!(DeadFlagElimination.run(&mut m));
+        assert_eq!(flag_writes(&m.functions()[0]), 5);
+    }
+
+    #[test]
+    fn register_writes_are_not_barriers() {
+        let mut f = Function::new("f");
+        def_all_flags(&mut f, 1);
+        let e = f.entry();
+        let c = f.append(e, Op::Const(3));
+        f.append(e, Op::WriteCell { cell: Cell::reg(5), value: c });
+        def_all_flags(&mut f, 0);
+        f.set_terminator(e, Terminator::Ret);
+
+        let mut m = module_of(f);
+        assert!(DeadFlagElimination.run(&mut m));
+        assert_eq!(flag_writes(&m.functions()[0]), 4);
+    }
+
+    #[test]
+    fn udiv_is_an_exit_barrier() {
+        let mut f = Function::new("f");
+        def_all_flags(&mut f, 1);
+        let e = f.entry();
+        let a = f.append(e, Op::Const(8));
+        let b = f.append(e, Op::ReadCell(Cell::reg(1)));
+        let d = f.append(e, Op::BinOp { op: BinOp::Udiv, lhs: a, rhs: b });
+        f.append(e, Op::WriteCell { cell: Cell::reg(2), value: d });
+        def_all_flags(&mut f, 0);
+        f.set_terminator(e, Terminator::Ret);
+
+        let mut m = module_of(f);
+        assert!(!DeadFlagElimination.run(&mut m));
+        assert_eq!(flag_writes(&m.functions()[0]), 8);
+    }
+}

@@ -1,0 +1,314 @@
+//! Constant folding and copy propagation, within basic blocks.
+//!
+//! Block-lowered code (the `rr-emu` uop bridge in particular) is rich in
+//! locally-derivable constants: immediates threaded through cells, flag
+//! bits computed from compare results that are themselves constant,
+//! address arithmetic over a register that was just loaded with a fixed
+//! base. This pass evaluates what it can at compile time:
+//!
+//! * an op whose (propagated) operands are all constants is **replaced
+//!   in place** by [`Op::Const`] of its result — the arena slot and its
+//!   [`ValueId`] stay put, so positional metadata over the arena (the
+//!   uop backend's slot map) survives the pass;
+//! * a [`Op::ReadCell`] preceded in the same block by a write to (or an
+//!   earlier read of) the same cell forwards the known value — the copy
+//!   propagation that feeds folding across cell round-trips;
+//! * a [`Op::Select`] with a constant condition forwards the chosen arm.
+//!
+//! Calls and `svc` are barriers that clear cell knowledge (callees and
+//! the runtime mutate cells); memory is untouched (see `loadfwd`). The
+//! pass never evaluates a `udiv` with a constant zero divisor — that op
+//! must keep its runtime trap. Unlike [`super::PromoteCells`] it deletes
+//! nothing: forwarded reads become unused and are left for
+//! [`super::DeadCodeElimination`], which keeps this pass sound in
+//! embeddings where every op position is an observable point.
+
+use super::Pass;
+use crate::func::Function;
+use crate::module::Module;
+use crate::ops::{BinOp, Op, Pred};
+use crate::types::{Cell, ValueId};
+use std::collections::HashMap;
+
+/// The constant-folding + copy-propagation pass. See the module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConstFold;
+
+impl Pass for ConstFold {
+    fn name(&self) -> &'static str {
+        "const-fold"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        for f in module.functions_mut() {
+            changed |= fold_function(f);
+        }
+        changed
+    }
+}
+
+fn is_barrier(op: &Op) -> bool {
+    matches!(op, Op::Call { .. } | Op::CallIndirect { .. } | Op::Svc { .. })
+}
+
+/// Evaluates a pure op over constant operands, mirroring
+/// [`crate::interp`] exactly. `None` when the op is not foldable (not
+/// pure, or a `udiv` whose folding would erase the runtime trap).
+fn eval(op: BinOp, a: u64, b: u64) -> Option<u64> {
+    Some(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Udiv if b != 0 => a / b,
+        BinOp::Udiv => return None,
+        BinOp::Shl => a << (b & 63),
+        BinOp::Lshr => a >> (b & 63),
+        BinOp::Ashr => ((a as i64) >> (b & 63)) as u64,
+    })
+}
+
+fn eval_pred(pred: Pred, a: u64, b: u64) -> u64 {
+    u64::from(match pred {
+        Pred::Eq => a == b,
+        Pred::Ne => a != b,
+        Pred::Ult => a < b,
+        Pred::Ule => a <= b,
+        Pred::Slt => (a as i64) < (b as i64),
+        Pred::Sle => (a as i64) <= (b as i64),
+    })
+}
+
+fn resolve(replacements: &HashMap<ValueId, ValueId>, mut id: ValueId) -> ValueId {
+    while let Some(&next) = replacements.get(&id) {
+        if next == id {
+            break;
+        }
+        id = next;
+    }
+    id
+}
+
+fn fold_function(f: &mut Function) -> bool {
+    let mut changed = false;
+    let mut replacements: HashMap<ValueId, ValueId> = HashMap::new();
+    let mut consts: HashMap<ValueId, u64> = HashMap::new();
+
+    for b in f.block_ids() {
+        // The value each cell currently holds, within this block.
+        let mut known: HashMap<Cell, ValueId> = HashMap::new();
+        let ops = f.block(b).ops.clone();
+        for &v in &ops {
+            let konst =
+                |id: ValueId, consts: &HashMap<ValueId, u64>, reps: &HashMap<ValueId, ValueId>| {
+                    consts.get(&resolve(reps, id)).copied()
+                };
+            match f.op(v).clone() {
+                Op::Const(c) => {
+                    consts.insert(v, c);
+                }
+                Op::ReadCell(cell) => {
+                    if let Some(&value) = known.get(&cell) {
+                        replacements.insert(v, value);
+                        changed = true;
+                    } else {
+                        known.insert(cell, v);
+                    }
+                }
+                Op::WriteCell { cell, value } => {
+                    known.insert(cell, resolve(&replacements, value));
+                }
+                Op::BinOp { op, lhs, rhs } => {
+                    if let (Some(a), Some(bb)) =
+                        (konst(lhs, &consts, &replacements), konst(rhs, &consts, &replacements))
+                    {
+                        if let Some(r) = eval(op, a, bb) {
+                            *f.op_mut(v) = Op::Const(r);
+                            consts.insert(v, r);
+                            changed = true;
+                        }
+                    }
+                }
+                Op::Not(a) => {
+                    if let Some(a) = konst(a, &consts, &replacements) {
+                        *f.op_mut(v) = Op::Const(!a);
+                        consts.insert(v, !a);
+                        changed = true;
+                    }
+                }
+                Op::Neg(a) => {
+                    if let Some(a) = konst(a, &consts, &replacements) {
+                        let r = a.wrapping_neg();
+                        *f.op_mut(v) = Op::Const(r);
+                        consts.insert(v, r);
+                        changed = true;
+                    }
+                }
+                Op::ICmp { pred, lhs, rhs } => {
+                    if let (Some(a), Some(bb)) =
+                        (konst(lhs, &consts, &replacements), konst(rhs, &consts, &replacements))
+                    {
+                        let r = eval_pred(pred, a, bb);
+                        *f.op_mut(v) = Op::Const(r);
+                        consts.insert(v, r);
+                        changed = true;
+                    }
+                }
+                Op::Select { cond, if_true, if_false } => {
+                    if let Some(c) = konst(cond, &consts, &replacements) {
+                        let chosen =
+                            resolve(&replacements, if c != 0 { if_true } else { if_false });
+                        replacements.insert(v, chosen);
+                        changed = true;
+                    }
+                }
+                op if is_barrier(&op) => known.clear(),
+                _ => {}
+            }
+        }
+    }
+
+    // Apply replacements everywhere (operands and condbr conditions);
+    // the forwarded reads become unused but stay placed — DCE's job.
+    if !replacements.is_empty() {
+        for b in f.block_ids() {
+            let ops = f.block(b).ops.clone();
+            for v in ops {
+                f.op_mut(v).map_operands(|id| resolve(&replacements, id));
+            }
+            let mut term = f.block(b).term.clone();
+            if let crate::ops::Terminator::CondBr { cond, .. } = &mut term {
+                *cond = resolve(&replacements, *cond);
+            }
+            f.set_terminator(b, term);
+        }
+    }
+
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Terminator;
+    use crate::verify::verify_function;
+
+    fn module_of(f: Function) -> Module {
+        let mut m = Module::new();
+        m.push_function(f);
+        m
+    }
+
+    #[test]
+    fn folds_constant_chains_through_cells() {
+        // mov r1, 5; add r1, 3  →  the sum is a compile-time 8.
+        let mut f = Function::new("f");
+        let e = f.entry();
+        let five = f.append(e, Op::Const(5));
+        f.append(e, Op::WriteCell { cell: Cell::reg(1), value: five });
+        let r = f.append(e, Op::ReadCell(Cell::reg(1)));
+        let three = f.append(e, Op::Const(3));
+        let sum = f.append(e, Op::BinOp { op: BinOp::Add, lhs: r, rhs: three });
+        f.append(e, Op::WriteCell { cell: Cell::reg(1), value: sum });
+        f.set_terminator(e, Terminator::Ret);
+
+        let mut m = module_of(f);
+        assert!(ConstFold.run(&mut m));
+        let f = &m.functions()[0];
+        assert_eq!(*f.op(sum), Op::Const(8));
+        verify_function(f, None).unwrap();
+    }
+
+    #[test]
+    fn folded_icmp_matches_interp_semantics() {
+        let mut f = Function::new("f");
+        let e = f.entry();
+        let a = f.append(e, Op::Const(u64::MAX)); // -1 signed
+        let b = f.append(e, Op::Const(1));
+        let slt = f.append(e, Op::ICmp { pred: Pred::Slt, lhs: a, rhs: b });
+        let ult = f.append(e, Op::ICmp { pred: Pred::Ult, lhs: a, rhs: b });
+        f.append(e, Op::WriteCell { cell: Cell::reg(0), value: slt });
+        f.append(e, Op::WriteCell { cell: Cell::reg(1), value: ult });
+        f.set_terminator(e, Terminator::Ret);
+
+        let mut m = module_of(f);
+        assert!(ConstFold.run(&mut m));
+        let f = &m.functions()[0];
+        assert_eq!(*f.op(slt), Op::Const(1));
+        assert_eq!(*f.op(ult), Op::Const(0));
+    }
+
+    #[test]
+    fn udiv_by_constant_zero_keeps_its_trap() {
+        let mut f = Function::new("f");
+        let e = f.entry();
+        let a = f.append(e, Op::Const(7));
+        let z = f.append(e, Op::Const(0));
+        let div = f.append(e, Op::BinOp { op: BinOp::Udiv, lhs: a, rhs: z });
+        f.append(e, Op::WriteCell { cell: Cell::reg(0), value: div });
+        f.set_terminator(e, Terminator::Ret);
+
+        let mut m = module_of(f);
+        ConstFold.run(&mut m);
+        let f = &m.functions()[0];
+        assert!(matches!(f.op(div), Op::BinOp { op: BinOp::Udiv, .. }));
+    }
+
+    #[test]
+    fn svc_is_a_cell_barrier() {
+        // svc 2 writes r0: a read after it must not forward across.
+        let mut f = Function::new("f");
+        let e = f.entry();
+        let c = f.append(e, Op::Const(9));
+        f.append(e, Op::WriteCell { cell: Cell::reg(0), value: c });
+        f.append(e, Op::Svc { num: 2 });
+        let r = f.append(e, Op::ReadCell(Cell::reg(0)));
+        f.append(e, Op::WriteCell { cell: Cell::reg(1), value: r });
+        f.set_terminator(e, Terminator::Ret);
+
+        let mut m = module_of(f);
+        ConstFold.run(&mut m);
+        let f = &m.functions()[0];
+        // The read survives as the operand of the final write.
+        assert!(matches!(f.op(r), Op::ReadCell(_)));
+        let last = *f.block(f.entry()).ops.last().unwrap();
+        assert_eq!(f.op(last).operands(), vec![r]);
+    }
+
+    #[test]
+    fn select_with_constant_condition_forwards_the_arm() {
+        let mut f = Function::new("f");
+        let e = f.entry();
+        let one = f.append(e, Op::Const(1));
+        let t = f.append(e, Op::ReadCell(Cell::reg(2)));
+        let fl = f.append(e, Op::ReadCell(Cell::reg(3)));
+        let sel = f.append(e, Op::Select { cond: one, if_true: t, if_false: fl });
+        f.append(e, Op::WriteCell { cell: Cell::reg(4), value: sel });
+        f.set_terminator(e, Terminator::Ret);
+
+        let mut m = module_of(f);
+        assert!(ConstFold.run(&mut m));
+        let f = &m.functions()[0];
+        let last = *f.block(f.entry()).ops.last().unwrap();
+        assert_eq!(f.op(last).operands(), vec![t]);
+        verify_function(f, None).unwrap();
+    }
+
+    #[test]
+    fn shift_amounts_mask_like_the_interpreter() {
+        let mut f = Function::new("f");
+        let e = f.entry();
+        let a = f.append(e, Op::Const(0x10));
+        let big = f.append(e, Op::Const(65)); // masks to 1
+        let shl = f.append(e, Op::BinOp { op: BinOp::Shl, lhs: a, rhs: big });
+        f.append(e, Op::WriteCell { cell: Cell::reg(0), value: shl });
+        f.set_terminator(e, Terminator::Ret);
+
+        let mut m = module_of(f);
+        ConstFold.run(&mut m);
+        assert_eq!(*m.functions()[0].op(shl), Op::Const(0x20));
+    }
+}

@@ -1,0 +1,354 @@
+//! Redundant-load and store-to-load forwarding, within basic blocks.
+//!
+//! Machine code round-trips through memory constantly — spill/reload,
+//! flag-free data movement, repeated field reads — and a 1:1 lowering
+//! replays every one of those accesses. This pass tracks the memory
+//! values a block has already seen and forwards them:
+//!
+//! * a [`Op::Load`] from an address a previous load in the block read,
+//!   with no intervening may-alias store, forwards the earlier result
+//!   and is **deleted**;
+//! * a [`Op::Load`] from an address a previous store in the block wrote
+//!   forwards the stored value (store-to-load), deleting the load —
+//!   enabled by [`LoadForwarding::store_to_load`], which the embedding
+//!   turns off when stores and loads may have different permission
+//!   outcomes (a store proves writability, not readability).
+//!
+//! Addresses are keyed symbolically: a constant (`Abs`) or a base value
+//! plus constant displacement (`Rel`) — run [`super::ConstFold`] first
+//! so address arithmetic is in that shape. Two accesses may alias unless
+//! both keys are absolute, or share the same base value, with provably
+//! disjoint byte ranges; a store invalidates everything it may alias.
+//! Store-to-load entries are recorded only at [`Width::Q`] (a byte load
+//! zero-extends, which the stored 64-bit value does not model); calls
+//! and `svc` clear all memory knowledge.
+//!
+//! Deleting a load is sound for the optimized-trace embedding precisely
+//! because of the same-address rule: the original trace already accessed
+//! that address moments earlier in the same block with no way to unmap
+//! it in between, so the deleted access cannot change the fault story.
+
+use super::Pass;
+use crate::func::Function;
+use crate::module::Module;
+use crate::ops::{BinOp, Op, Width};
+use crate::types::ValueId;
+use std::collections::HashMap;
+
+/// The load-forwarding pass. See the module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadForwarding {
+    /// Forward stored values into later loads of the same address. Safe
+    /// only when a writable address is known to be readable; the
+    /// embedding checks that and disables this half when it does not
+    /// hold. Load-to-load forwarding is unconditional.
+    pub store_to_load: bool,
+}
+
+impl Default for LoadForwarding {
+    fn default() -> Self {
+        LoadForwarding { store_to_load: true }
+    }
+}
+
+impl Pass for LoadForwarding {
+    fn name(&self) -> &'static str {
+        "load-forwarding"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        for f in module.functions_mut() {
+            changed |= forward_function(f, self.store_to_load);
+        }
+        changed
+    }
+}
+
+/// A symbolic address: constant, or base value + constant displacement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AddrKey {
+    Abs(u64),
+    Rel(ValueId, i64),
+}
+
+fn width_bytes(w: Width) -> u64 {
+    match w {
+        Width::B => 1,
+        Width::Q => 8,
+    }
+}
+
+fn ranges_overlap(a: u64, wa: u64, b: u64, wb: u64) -> bool {
+    let (a, wa, b, wb) = (u128::from(a), u128::from(wa), u128::from(b), u128::from(wb));
+    a < b + wb && b < a + wa
+}
+
+/// Whether accesses at the two keyed addresses may touch a common byte.
+fn may_alias(k1: AddrKey, w1: Width, k2: AddrKey, w2: Width) -> bool {
+    match (k1, k2) {
+        (AddrKey::Abs(a), AddrKey::Abs(b)) => {
+            ranges_overlap(a, width_bytes(w1), b, width_bytes(w2))
+        }
+        (AddrKey::Rel(b1, o1), AddrKey::Rel(b2, o2)) => {
+            // Same symbolic base: offsets decide. Different bases (or
+            // base vs absolute): conservatively aliased.
+            b1 != b2 || ranges_overlap(o1 as u64, width_bytes(w1), o2 as u64, width_bytes(w2))
+        }
+        _ => true,
+    }
+}
+
+fn resolve(replacements: &HashMap<ValueId, ValueId>, mut id: ValueId) -> ValueId {
+    while let Some(&next) = replacements.get(&id) {
+        if next == id {
+            break;
+        }
+        id = next;
+    }
+    id
+}
+
+/// Keys an address value, looking through one `base + const` add.
+fn key_of(f: &Function, replacements: &HashMap<ValueId, ValueId>, addr: ValueId) -> AddrKey {
+    let addr = resolve(replacements, addr);
+    match f.op(addr) {
+        Op::Const(c) => AddrKey::Abs(*c),
+        Op::BinOp { op: BinOp::Add, lhs, rhs } => {
+            let (lhs, rhs) = (resolve(replacements, *lhs), resolve(replacements, *rhs));
+            match (f.op(lhs), f.op(rhs)) {
+                (_, Op::Const(c)) => AddrKey::Rel(lhs, *c as i64),
+                (Op::Const(c), _) => AddrKey::Rel(rhs, *c as i64),
+                _ => AddrKey::Rel(addr, 0),
+            }
+        }
+        _ => AddrKey::Rel(addr, 0),
+    }
+}
+
+fn forward_function(f: &mut Function, store_to_load: bool) -> bool {
+    let mut changed = false;
+    let mut replacements: HashMap<ValueId, ValueId> = HashMap::new();
+
+    for b in f.block_ids() {
+        // What each known address currently holds, within this block.
+        let mut avail: Vec<(AddrKey, Width, ValueId)> = Vec::new();
+        let mut dead: Vec<ValueId> = Vec::new();
+        let ops = f.block(b).ops.clone();
+        for &v in &ops {
+            match f.op(v).clone() {
+                Op::Load { addr, width } => {
+                    let key = key_of(f, &replacements, addr);
+                    if let Some(&(_, _, value)) =
+                        avail.iter().find(|&&(k, w, _)| k == key && w == width)
+                    {
+                        replacements.insert(v, value);
+                        dead.push(v);
+                        changed = true;
+                    } else {
+                        avail.push((key, width, v));
+                    }
+                }
+                Op::Store { addr, value, width } => {
+                    let key = key_of(f, &replacements, addr);
+                    avail.retain(|&(k, w, _)| !may_alias(k, w, key, width));
+                    if store_to_load && width == Width::Q {
+                        avail.push((key, width, resolve(&replacements, value)));
+                    }
+                }
+                Op::Svc { .. } | Op::Call { .. } | Op::CallIndirect { .. } => avail.clear(),
+                _ => {}
+            }
+        }
+        if !dead.is_empty() {
+            f.block_mut(b).ops.retain(|v| !dead.contains(v));
+        }
+    }
+
+    if !replacements.is_empty() {
+        for b in f.block_ids() {
+            let ops = f.block(b).ops.clone();
+            for v in ops {
+                f.op_mut(v).map_operands(|id| resolve(&replacements, id));
+            }
+            let mut term = f.block(b).term.clone();
+            if let crate::ops::Terminator::CondBr { cond, .. } = &mut term {
+                *cond = resolve(&replacements, *cond);
+            }
+            f.set_terminator(b, term);
+        }
+    }
+
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Terminator;
+    use crate::types::Cell;
+    use crate::verify::verify_function;
+
+    fn module_of(f: Function) -> Module {
+        let mut m = Module::new();
+        m.push_function(f);
+        m
+    }
+
+    /// `[base + disp]` in the shape the uop bridge (and ConstFold) emit.
+    fn addr(f: &mut Function, base_reg: u8, disp: u64) -> ValueId {
+        let e = f.entry();
+        let base = f.append(e, Op::ReadCell(Cell::reg(base_reg)));
+        let d = f.append(e, Op::Const(disp));
+        f.append(e, Op::BinOp { op: BinOp::Add, lhs: base, rhs: d })
+    }
+
+    fn load_count(f: &Function) -> usize {
+        f.block(f.entry()).ops.iter().filter(|&&v| matches!(f.op(v), Op::Load { .. })).count()
+    }
+
+    #[test]
+    fn redundant_load_is_forwarded_and_deleted() {
+        let mut f = Function::new("f");
+        let e = f.entry();
+        let a1 = addr(&mut f, 1, 16);
+        let l1 = f.append(e, Op::Load { addr: a1, width: Width::Q });
+        f.append(e, Op::WriteCell { cell: Cell::reg(2), value: l1 });
+        let a2 = addr(&mut f, 1, 16);
+        let l2 = f.append(e, Op::Load { addr: a2, width: Width::Q });
+        f.append(e, Op::WriteCell { cell: Cell::reg(3), value: l2 });
+        f.set_terminator(e, Terminator::Ret);
+
+        let mut m = module_of(f);
+        // ConstFold first: the two address chains must share a base value.
+        super::super::ConstFold.run(&mut m);
+        assert!(LoadForwarding::default().run(&mut m));
+        let f = &m.functions()[0];
+        assert_eq!(load_count(f), 1);
+        let last = *f.block(f.entry()).ops.last().unwrap();
+        assert_eq!(f.op(last).operands(), vec![l1]);
+        verify_function(f, None).unwrap();
+    }
+
+    #[test]
+    fn store_to_load_forwards_the_stored_value() {
+        let mut f = Function::new("f");
+        let e = f.entry();
+        let val = f.append(e, Op::Const(0xbeef));
+        let a1 = addr(&mut f, 1, 0);
+        f.append(e, Op::Store { addr: a1, value: val, width: Width::Q });
+        let a2 = addr(&mut f, 1, 0);
+        let l = f.append(e, Op::Load { addr: a2, width: Width::Q });
+        f.append(e, Op::WriteCell { cell: Cell::reg(2), value: l });
+        f.set_terminator(e, Terminator::Ret);
+
+        let mut m = module_of(f);
+        super::super::ConstFold.run(&mut m);
+        assert!(LoadForwarding::default().run(&mut m));
+        let f = &m.functions()[0];
+        assert_eq!(load_count(f), 0);
+        let last = *f.block(f.entry()).ops.last().unwrap();
+        assert_eq!(f.op(last).operands(), vec![val]);
+        verify_function(f, None).unwrap();
+    }
+
+    #[test]
+    fn store_to_load_respects_the_config_switch() {
+        let mut f = Function::new("f");
+        let e = f.entry();
+        let val = f.append(e, Op::Const(7));
+        let a1 = addr(&mut f, 1, 0);
+        f.append(e, Op::Store { addr: a1, value: val, width: Width::Q });
+        let a2 = addr(&mut f, 1, 0);
+        let l = f.append(e, Op::Load { addr: a2, width: Width::Q });
+        f.append(e, Op::WriteCell { cell: Cell::reg(2), value: l });
+        f.set_terminator(e, Terminator::Ret);
+
+        let mut m = module_of(f);
+        super::super::ConstFold.run(&mut m);
+        assert!(!LoadForwarding { store_to_load: false }.run(&mut m));
+        assert_eq!(load_count(&m.functions()[0]), 1);
+    }
+
+    #[test]
+    fn may_alias_store_blocks_forwarding() {
+        // Store through a different base register between the two loads:
+        // the bases may be equal at runtime, so the load must stay.
+        let mut f = Function::new("f");
+        let e = f.entry();
+        let a1 = addr(&mut f, 1, 0);
+        let l1 = f.append(e, Op::Load { addr: a1, width: Width::Q });
+        f.append(e, Op::WriteCell { cell: Cell::reg(2), value: l1 });
+        let other = addr(&mut f, 3, 0);
+        let val = f.append(e, Op::Const(1));
+        f.append(e, Op::Store { addr: other, value: val, width: Width::Q });
+        let a2 = addr(&mut f, 1, 0);
+        let l2 = f.append(e, Op::Load { addr: a2, width: Width::Q });
+        f.append(e, Op::WriteCell { cell: Cell::reg(4), value: l2 });
+        f.set_terminator(e, Terminator::Ret);
+
+        let mut m = module_of(f);
+        super::super::ConstFold.run(&mut m);
+        assert!(!LoadForwarding::default().run(&mut m));
+        assert_eq!(load_count(&m.functions()[0]), 2);
+    }
+
+    #[test]
+    fn disjoint_offsets_off_the_same_base_do_not_alias() {
+        // Store to [r1+0], loads from [r1+8]: same base, disjoint bytes.
+        let mut f = Function::new("f");
+        let e = f.entry();
+        let a1 = addr(&mut f, 1, 8);
+        let l1 = f.append(e, Op::Load { addr: a1, width: Width::Q });
+        f.append(e, Op::WriteCell { cell: Cell::reg(2), value: l1 });
+        let w = addr(&mut f, 1, 0);
+        let val = f.append(e, Op::Const(1));
+        f.append(e, Op::Store { addr: w, value: val, width: Width::Q });
+        let a2 = addr(&mut f, 1, 8);
+        let l2 = f.append(e, Op::Load { addr: a2, width: Width::Q });
+        f.append(e, Op::WriteCell { cell: Cell::reg(4), value: l2 });
+        f.set_terminator(e, Terminator::Ret);
+
+        let mut m = module_of(f);
+        super::super::ConstFold.run(&mut m);
+        assert!(LoadForwarding::default().run(&mut m));
+        assert_eq!(load_count(&m.functions()[0]), 1);
+    }
+
+    #[test]
+    fn byte_stores_do_not_feed_quad_loads() {
+        let mut f = Function::new("f");
+        let e = f.entry();
+        let val = f.append(e, Op::Const(0xff));
+        let a1 = addr(&mut f, 1, 0);
+        f.append(e, Op::Store { addr: a1, value: val, width: Width::B });
+        let a2 = addr(&mut f, 1, 0);
+        let l = f.append(e, Op::Load { addr: a2, width: Width::Q });
+        f.append(e, Op::WriteCell { cell: Cell::reg(2), value: l });
+        f.set_terminator(e, Terminator::Ret);
+
+        let mut m = module_of(f);
+        super::super::ConstFold.run(&mut m);
+        assert!(!LoadForwarding::default().run(&mut m));
+        assert_eq!(load_count(&m.functions()[0]), 1);
+    }
+
+    #[test]
+    fn svc_clears_memory_knowledge() {
+        let mut f = Function::new("f");
+        let e = f.entry();
+        let a1 = addr(&mut f, 1, 0);
+        let l1 = f.append(e, Op::Load { addr: a1, width: Width::Q });
+        f.append(e, Op::WriteCell { cell: Cell::reg(2), value: l1 });
+        f.append(e, Op::Svc { num: 2 });
+        let a2 = addr(&mut f, 1, 0);
+        let l2 = f.append(e, Op::Load { addr: a2, width: Width::Q });
+        f.append(e, Op::WriteCell { cell: Cell::reg(3), value: l2 });
+        f.set_terminator(e, Terminator::Ret);
+
+        let mut m = module_of(f);
+        super::super::ConstFold.run(&mut m);
+        assert!(!LoadForwarding::default().run(&mut m));
+        assert_eq!(load_count(&m.functions()[0]), 2);
+    }
+}

@@ -1,0 +1,199 @@
+//! Pass-soundness properties: every optimization pass — alone and as the
+//! block pipeline the uop compiler runs — preserves the interpreter's
+//! observable behaviour (exit outcome, output bytes, and the final cell
+//! file) on random verified functions.
+//!
+//! Step counts are deliberately *not* compared: the passes exist to
+//! shrink them.
+
+use proptest::prelude::*;
+use rr_ir::interp::{Interp, InterpOutcome};
+use rr_ir::passes::{ConstFold, DeadCodeElimination, DeadFlagElimination, LoadForwarding};
+use rr_ir::{
+    verify, BinOp, Cell, Function, Module, Op, Pass, PassManager, Pred, Terminator, Width,
+};
+
+/// One random op, decoded from a `(kind, a, b, imm)` descriptor.
+type Desc = (u8, u8, u8, u64);
+
+/// Appends the op a descriptor encodes. `vals` collects every
+/// data-producing value so later descriptors can pick operands from it.
+fn push_op(f: &mut Function, vals: &mut Vec<rr_ir::ValueId>, desc: Desc) {
+    let e = f.entry();
+    let (kind, a, b, imm) = desc;
+    let pick = |vals: &[rr_ir::ValueId], i: u8| vals[i as usize % vals.len()];
+    // Addresses come from a small pool (4 bases × 4 displacements, in the
+    // `base + const` shape ConstFold normalizes to) so loads and stores
+    // collide often enough to exercise the forwarding pass.
+    let addr = |f: &mut Function, a: u8, imm: u64| {
+        if imm & 1 == 0 {
+            f.append(f.entry(), Op::Const(0x1000 + (imm % 4) * 8))
+        } else {
+            let base = f.append(f.entry(), Op::ReadCell(Cell::reg(a % 4)));
+            let disp = f.append(f.entry(), Op::Const((imm % 4) * 8));
+            f.append(f.entry(), Op::BinOp { op: BinOp::Add, lhs: base, rhs: disp })
+        }
+    };
+    let width = |b: u8| if b.is_multiple_of(4) { Width::B } else { Width::Q };
+    match kind {
+        0 => vals.push(f.append(e, Op::Const(imm))),
+        1 => vals.push(f.append(e, Op::ReadCell(Cell(a % Cell::COUNT)))),
+        2 => {
+            let value = pick(vals, b);
+            f.append(e, Op::WriteCell { cell: Cell(a % Cell::COUNT), value });
+        }
+        3 => {
+            let op = [
+                BinOp::Add,
+                BinOp::Sub,
+                BinOp::And,
+                BinOp::Or,
+                BinOp::Xor,
+                BinOp::Mul,
+                BinOp::Shl,
+                BinOp::Lshr,
+                BinOp::Ashr,
+            ][imm as usize % 9];
+            let (lhs, rhs) = (pick(vals, a), pick(vals, b));
+            vals.push(f.append(e, Op::BinOp { op, lhs, rhs }));
+        }
+        4 => {
+            // udiv with a provably non-zero divisor: the pass pipeline
+            // must keep it foldable without ever erasing a real trap.
+            let lhs = pick(vals, a);
+            let rhs = f.append(e, Op::Const(imm | 1));
+            vals.push(f.append(e, Op::BinOp { op: BinOp::Udiv, lhs, rhs }));
+        }
+        5 => {
+            let v = pick(vals, a);
+            vals.push(f.append(e, Op::Not(v)));
+        }
+        6 => {
+            let v = pick(vals, a);
+            vals.push(f.append(e, Op::Neg(v)));
+        }
+        7 => {
+            let pred =
+                [Pred::Eq, Pred::Ne, Pred::Ult, Pred::Ule, Pred::Slt, Pred::Sle][imm as usize % 6];
+            let (lhs, rhs) = (pick(vals, a), pick(vals, b));
+            vals.push(f.append(e, Op::ICmp { pred, lhs, rhs }));
+        }
+        8 => {
+            let (cond, if_true) = (pick(vals, a), pick(vals, b));
+            let if_false = pick(vals, (imm % 251) as u8);
+            vals.push(f.append(e, Op::Select { cond, if_true, if_false }));
+        }
+        9 => {
+            let addr = addr(f, a, imm);
+            vals.push(f.append(e, Op::Load { addr, width: width(b) }));
+        }
+        10 => {
+            let value = pick(vals, b);
+            let addr = addr(f, a, imm);
+            f.append(e, Op::Store { addr, value, width: width(b.wrapping_add(1)) });
+        }
+        _ => {
+            // Output / input services only; exit is left to the end of
+            // the program so every descriptor executes.
+            f.append(e, Op::Svc { num: 1 + a % 3 });
+        }
+    }
+}
+
+/// Builds a verified single-function module from descriptors: a
+/// straight-line entry block ending either in `ret` or in a conditional
+/// branch to two marker arms (so branch direction is observable in the
+/// final cells, as the uop compiler's differential check relies on).
+fn build_module(descs: &[Desc], terminator: u8) -> Module {
+    let mut f = Function::new("main");
+    let e = f.entry();
+    let seed = f.append(e, Op::Const(0x5eed));
+    let mut vals = vec![seed];
+    for &d in descs {
+        push_op(&mut f, &mut vals, d);
+    }
+    if terminator.is_multiple_of(2) {
+        f.set_terminator(e, Terminator::Ret);
+    } else {
+        let taken = f.new_block();
+        let fallthrough = f.new_block();
+        for (block, marker) in [(taken, 0x7aee_u64), (fallthrough, 0xfa11)] {
+            let m = f.append(block, Op::Const(marker));
+            f.append(block, Op::WriteCell { cell: Cell::reg(14), value: m });
+            f.set_terminator(block, Terminator::Ret);
+        }
+        let cond = *vals.last().unwrap();
+        f.set_terminator(e, Terminator::CondBr { cond, if_true: taken, if_false: fallthrough });
+    }
+    let mut m = Module::new();
+    m.entry = "main".into();
+    m.push_function(f);
+    m
+}
+
+/// Observable behaviour: outcome, output stream, final cell file.
+fn observe(m: &Module, cells: &[u64]) -> (InterpOutcome, Vec<u8>, [u64; Cell::COUNT as usize]) {
+    let mut interp = Interp::new(m, b"abc");
+    for (i, &v) in cells.iter().enumerate() {
+        interp.set_cell(Cell(i as u8), v);
+    }
+    let (result, final_cells) =
+        interp.run_with_cells().expect("generated programs avoid every interpreter error");
+    (result.outcome, result.output, final_cells)
+}
+
+fn pipeline(passes: Vec<Box<dyn Pass>>) -> PassManager {
+    let mut pm = PassManager::new();
+    for p in passes {
+        pm.add_boxed(p);
+    }
+    pm
+}
+
+fn desc() -> impl Strategy<Value = Desc> {
+    (0u8..12, any::<u8>(), any::<u8>(), any::<u64>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Each new pass alone, and the uop compiler's full pipeline (both
+    /// store-to-load settings), preserve interpreted behaviour.
+    #[test]
+    fn passes_preserve_interpreter_semantics(
+        descs in prop::collection::vec(desc(), 1..40),
+        cells in prop::collection::vec(any::<u64>(), 20..21),
+        terminator in any::<u8>(),
+    ) {
+        let module = build_module(&descs, terminator);
+        verify(&module).expect("generated modules verify");
+        let baseline = observe(&module, &cells);
+
+        let pipelines: Vec<Vec<Box<dyn Pass>>> = vec![
+            vec![Box::new(ConstFold)],
+            vec![Box::new(DeadFlagElimination)],
+            vec![Box::new(LoadForwarding::default())],
+            vec![
+                Box::new(ConstFold),
+                Box::new(DeadCodeElimination),
+                Box::new(LoadForwarding::default()),
+                Box::new(DeadFlagElimination),
+                Box::new(DeadCodeElimination),
+            ],
+            vec![
+                Box::new(ConstFold),
+                Box::new(DeadCodeElimination),
+                Box::new(LoadForwarding { store_to_load: false }),
+                Box::new(DeadFlagElimination),
+                Box::new(DeadCodeElimination),
+            ],
+        ];
+        for (i, passes) in pipelines.into_iter().enumerate() {
+            let mut optimized = module.clone();
+            pipeline(passes)
+                .run(&mut optimized)
+                .unwrap_or_else(|(pass, e)| panic!("pipeline {i}: pass {pass} broke: {e}"));
+            prop_assert_eq!(&observe(&optimized, &cells), &baseline, "pipeline {}", i);
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! Uop backend: per-slot codegen facts for optimized superblock traces.
+//!
+//! The `rr-emu` uop tier lowers a hot superblock to RRIR (one *slot* —
+//! a contiguous arena range — per machine instruction), runs the
+//! `rr-ir` block pipeline over it, and needs to turn the optimized
+//! function back into a flat uop trace. The uop vocabulary is private
+//! to the emulator, so this backend does not emit uops: it distills
+//! each slot of the optimized entry block into a [`SlotPlan`] — *what
+//! is left* of the instruction after optimization — and the emulator
+//! maps plans onto its own instruction set (a constant-writing slot
+//! becomes a register-immediate move, a slot with no remaining flag
+//! writes drops its lazy-flag bookkeeping, a slot whose load was
+//! forwarded away skips memory entirely).
+//!
+//! Slots are recovered positionally: the bridge records the arena
+//! index each instruction's lowering started at, in-place passes keep
+//! arena indices stable (deletions only unplace ops), and placement
+//! order within the entry block is instruction order — so a placed
+//! op's slot is a partition-point lookup away.
+
+use rr_ir::{Cell, Function, Op, ValueId};
+
+/// What one instruction slot still does after optimization.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SlotPlan {
+    /// The slot still writes at least one condition flag.
+    pub writes_flags: bool,
+    /// Memory ops (loads + stores) remaining in the slot.
+    pub mem_ops: u32,
+    /// The slot still performs a call or runtime service.
+    pub has_side_effects: bool,
+    /// The slot's single general-register write, if it has exactly one.
+    pub reg_write: Option<RegWrite>,
+    /// The slot writes more than one general register.
+    pub multi_reg_write: bool,
+    /// The slot's first binary op has a constant right operand.
+    pub rhs_imm: Option<u64>,
+    /// The slot's single remaining memory op has a constant address.
+    pub mem_addr: Option<u64>,
+}
+
+/// A write to a general-register cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegWrite {
+    /// Target cell index (a general register, never a flag).
+    pub cell: u8,
+    /// Where the written value comes from.
+    pub value: ResolvedValue,
+}
+
+/// Provenance of a written value, as far as the backend can resolve it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolvedValue {
+    /// A compile-time constant.
+    Const(u64),
+    /// The value another cell holds *at the start of this slot*.
+    InCell(u8),
+    /// Computed by ops within the function (not further resolvable).
+    Computed,
+}
+
+/// The slot a placed value belongs to: index of the last boundary ≤ it.
+fn slot_of(slot_starts: &[u32], v: ValueId) -> usize {
+    slot_starts.partition_point(|&start| start <= v.index() as u32).saturating_sub(1)
+}
+
+/// Distills each slot of `f`'s entry block into a [`SlotPlan`].
+///
+/// `slot_starts[i]` is the arena index at which instruction `i`'s
+/// lowering began (ascending). Facts that depend on *incoming* values —
+/// [`ResolvedValue::InCell`], [`SlotPlan::rhs_imm`] resolution through
+/// cell reads — are computed against cell availability as of the end of
+/// the previous slot, which is exactly the state the emulator's
+/// unoptimized trace guarantees at every slot boundary.
+pub fn plan_slots(f: &Function, slot_starts: &[u32]) -> Vec<SlotPlan> {
+    let mut plans = vec![SlotPlan::default(); slot_starts.len()];
+    if slot_starts.is_empty() {
+        return plans;
+    }
+
+    // Which value each cell held at the end of the previous slot
+    // (`None` = unknown / clobbered).
+    let mut avail: [Option<ValueId>; Cell::COUNT as usize] = [None; Cell::COUNT as usize];
+    // Updates applied when crossing into the next slot; the flag marks
+    // entries that *change* the cell (writes, clobbers) as opposed to
+    // read registrations, which only name the value already there.
+    let mut pending: Vec<(u8, Option<ValueId>, bool)> = Vec::new();
+    // Whether the slot's leading binary op — the instruction's own
+    // computation, as opposed to trailing flag-recomputation ops —
+    // has been seen (only it may donate `rhs_imm`).
+    let mut seen_binop = vec![false; slot_starts.len()];
+    let mut current = 0usize;
+
+    let entry = f.entry();
+    for &v in &f.block(entry).ops {
+        let slot = slot_of(slot_starts, v);
+        if slot != current {
+            for (cell, value, _) in pending.drain(..) {
+                avail[cell as usize] = value;
+            }
+            current = slot;
+        }
+        let plan = &mut plans[slot];
+        match f.op(v) {
+            // A read also *defines* availability: after this slot the
+            // cell is known to hold this value (reads don't clobber).
+            Op::ReadCell(cell) if avail[cell.0 as usize].is_none() => {
+                pending.push((cell.0, Some(v), false));
+            }
+            Op::WriteCell { cell, value } => {
+                if cell.is_flag() {
+                    plan.writes_flags = true;
+                } else {
+                    let same_slot = slot_of(slot_starts, *value) == slot;
+                    let resolved = resolve(f, &avail, &pending, same_slot, *value);
+                    if let Some(existing) = &plan.reg_write {
+                        if existing.cell != cell.0 {
+                            plan.multi_reg_write = true;
+                        }
+                    }
+                    plan.reg_write = Some(RegWrite { cell: cell.0, value: resolved });
+                }
+                pending.push((cell.0, Some(*value), true));
+            }
+            Op::Load { addr, .. } => {
+                plan.mem_ops += 1;
+                plan.mem_addr = match (plan.mem_ops, f.op(*addr)) {
+                    (1, Op::Const(a)) => Some(*a),
+                    _ => None,
+                };
+            }
+            Op::Store { addr, .. } => {
+                plan.mem_ops += 1;
+                plan.mem_addr = match (plan.mem_ops, f.op(*addr)) {
+                    (1, Op::Const(a)) => Some(*a),
+                    _ => None,
+                };
+            }
+            // Only the slot's *first* binary op — the instruction's own
+            // computation — may donate an immediate. Later binary ops in
+            // the slot belong to the NZCV recomputation (shift-by-63
+            // sign extractions and the like) and must never be mistaken
+            // for the operand.
+            Op::BinOp { rhs, .. } if !seen_binop[slot] => {
+                seen_binop[slot] = true;
+                if let Op::Const(c) = f.op(*rhs) {
+                    plan.rhs_imm = Some(*c);
+                }
+            }
+            Op::Svc { .. } | Op::Call { .. } | Op::CallIndirect { .. } => {
+                plan.has_side_effects = true;
+                // Services and calls clobber cells arbitrarily.
+                pending.clear();
+                pending.extend((0..Cell::COUNT).map(|c| (c, None, true)));
+            }
+            _ => {}
+        }
+    }
+
+    plans
+}
+
+/// Resolves a value to its provenance: a constant, or a cell that
+/// provably still holds it at the start of the current slot.
+///
+/// A cell qualifies either because the value *is* a read of it placed in
+/// this very slot (`same_slot` — sound as long as this slot has not
+/// itself written the cell, checked against `pending`), or because
+/// slot-start availability (`avail`) says the cell held the value coming
+/// in and no write this slot has clobbered it yet.
+fn resolve(
+    f: &Function,
+    avail: &[Option<ValueId>; Cell::COUNT as usize],
+    pending: &[(u8, Option<ValueId>, bool)],
+    same_slot: bool,
+    v: ValueId,
+) -> ResolvedValue {
+    if let Op::Const(c) = f.op(v) {
+        return ResolvedValue::Const(*c);
+    }
+    let clobbered = |c: u8| pending.iter().any(|&(p, _, clobber)| p == c && clobber);
+    if same_slot {
+        if let Op::ReadCell(cell) = f.op(v) {
+            if !clobbered(cell.0) {
+                return ResolvedValue::InCell(cell.0);
+            }
+        }
+    }
+    for c in 0..Cell::COUNT {
+        if avail[c as usize] == Some(v) && !clobbered(c) {
+            return ResolvedValue::InCell(c);
+        }
+    }
+    ResolvedValue::Computed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_ir::{BinOp, Terminator, Width};
+
+    /// Builds `mov r1, 5 ; mov r2, r1` as two slots and checks the
+    /// plans resolve to a constant and a register copy.
+    #[test]
+    fn resolves_constants_and_register_copies() {
+        let mut f = Function::new("b");
+        let e = f.entry();
+        let s0 = f.value_count() as u32;
+        let five = f.append(e, Op::Const(5));
+        f.append(e, Op::WriteCell { cell: Cell::reg(1), value: five });
+        let s1 = f.value_count() as u32;
+        let r1 = f.append(e, Op::ReadCell(Cell::reg(1)));
+        f.append(e, Op::WriteCell { cell: Cell::reg(2), value: r1 });
+        f.set_terminator(e, Terminator::Ret);
+
+        let plans = plan_slots(&f, &[s0, s1]);
+        assert_eq!(plans[0].reg_write, Some(RegWrite { cell: 1, value: ResolvedValue::Const(5) }));
+        assert_eq!(plans[1].reg_write, Some(RegWrite { cell: 2, value: ResolvedValue::InCell(1) }));
+        assert!(!plans[0].writes_flags && plans[0].mem_ops == 0);
+    }
+
+    /// A read in the *same* slot as the copy does not count as available
+    /// at slot start only when an earlier write clobbered it; clobbers
+    /// land at the slot boundary.
+    #[test]
+    fn availability_updates_at_slot_boundaries() {
+        let mut f = Function::new("b");
+        let e = f.entry();
+        // Slot 0: r1 = r0 (r0 read becomes available).
+        let s0 = f.value_count() as u32;
+        let r0 = f.append(e, Op::ReadCell(Cell::reg(0)));
+        f.append(e, Op::WriteCell { cell: Cell::reg(1), value: r0 });
+        // Slot 1: r0 = 9 (clobbers r0's availability for later slots)…
+        let s1 = f.value_count() as u32;
+        let nine = f.append(e, Op::Const(9));
+        f.append(e, Op::WriteCell { cell: Cell::reg(0), value: nine });
+        // Slot 2: r2 = the old r0 value — no longer in r0, but slot 0
+        // parked it in r1, and availability knows that.
+        let s2 = f.value_count() as u32;
+        f.append(e, Op::WriteCell { cell: Cell::reg(2), value: r0 });
+        f.set_terminator(e, Terminator::Ret);
+
+        let plans = plan_slots(&f, &[s0, s1, s2]);
+        assert_eq!(plans[2].reg_write, Some(RegWrite { cell: 2, value: ResolvedValue::InCell(1) }));
+    }
+
+    #[test]
+    fn flag_writes_memory_ops_and_immediates_are_reported() {
+        let mut f = Function::new("b");
+        let e = f.entry();
+        // Slot 0: add r1, 3 with flags.
+        let s0 = f.value_count() as u32;
+        let r1 = f.append(e, Op::ReadCell(Cell::reg(1)));
+        let three = f.append(e, Op::Const(3));
+        let sum = f.append(e, Op::BinOp { op: BinOp::Add, lhs: r1, rhs: three });
+        f.append(e, Op::WriteCell { cell: Cell::reg(1), value: sum });
+        f.append(e, Op::WriteCell { cell: Cell::Z, value: sum });
+        // Slot 1: store to a constant address.
+        let s1 = f.value_count() as u32;
+        let addr = f.append(e, Op::Const(0x2000));
+        f.append(e, Op::Store { addr, value: sum, width: Width::Q });
+        f.set_terminator(e, Terminator::Ret);
+
+        let plans = plan_slots(&f, &[s0, s1]);
+        assert!(plans[0].writes_flags);
+        assert_eq!(plans[0].rhs_imm, Some(3));
+        assert_eq!(plans[0].reg_write, Some(RegWrite { cell: 1, value: ResolvedValue::Computed }));
+        assert_eq!(plans[1].mem_ops, 1);
+        assert_eq!(plans[1].mem_addr, Some(0x2000));
+        assert!(!plans[1].writes_flags);
+    }
+
+    #[test]
+    fn services_clobber_availability_and_mark_side_effects() {
+        let mut f = Function::new("b");
+        let e = f.entry();
+        // Slot 0: r1 = 5.
+        let s0 = f.value_count() as u32;
+        let five = f.append(e, Op::Const(5));
+        f.append(e, Op::WriteCell { cell: Cell::reg(1), value: five });
+        // Slot 1: svc 2 (writes r0).
+        let s1 = f.value_count() as u32;
+        f.append(e, Op::Svc { num: 2 });
+        // Slot 2: r2 = r0 — unknown after the service.
+        let s2 = f.value_count() as u32;
+        let r0 = f.append(e, Op::ReadCell(Cell::reg(0)));
+        f.append(e, Op::WriteCell { cell: Cell::reg(2), value: r0 });
+        f.set_terminator(e, Terminator::Ret);
+
+        let plans = plan_slots(&f, &[s0, s1, s2]);
+        assert!(plans[1].has_side_effects);
+        // r0 is unknown after the service, but "r2 = a fresh read of r0"
+        // is still a plain register copy.
+        assert_eq!(plans[2].reg_write, Some(RegWrite { cell: 2, value: ResolvedValue::InCell(0) }));
+    }
+
+    #[test]
+    fn empty_slots_yield_default_plans() {
+        // An instruction whose entire lowering was optimized away (e.g. a
+        // dead compare) still owns a boundary; its plan must be inert.
+        let mut f = Function::new("b");
+        let e = f.entry();
+        let s0 = f.value_count() as u32;
+        let five = f.append(e, Op::Const(5));
+        f.append(e, Op::WriteCell { cell: Cell::reg(1), value: five });
+        let s1 = f.value_count() as u32; // slot 1: everything deleted
+        let s2 = s1 + 4; // ...its ops spanned arena [s1, s2)
+        let r1 = f.append(e, Op::ReadCell(Cell::reg(1)));
+        let _ = r1;
+        f.set_terminator(e, Terminator::Ret);
+
+        let plans = plan_slots(&f, &[s0, s1, s2]);
+        assert_eq!(plans[1], SlotPlan::default());
+    }
+
+    #[test]
+    fn multi_register_writes_are_flagged() {
+        // push r1: writes SP and memory — two register cells would be
+        // a pop-into + SP update; model with two explicit writes.
+        let mut f = Function::new("b");
+        let e = f.entry();
+        let s0 = f.value_count() as u32;
+        let c = f.append(e, Op::Const(1));
+        f.append(e, Op::WriteCell { cell: Cell::reg(15), value: c });
+        f.append(e, Op::WriteCell { cell: Cell::reg(3), value: c });
+        f.set_terminator(e, Terminator::Ret);
+
+        let plans = plan_slots(&f, &[s0]);
+        assert!(plans[0].multi_reg_write);
+    }
+}

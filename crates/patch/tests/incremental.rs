@@ -79,31 +79,35 @@ fn instruction_skip_is_invariant_across_all_workloads() {
 /// patch's listing delta and rebuilt (dropping compiled uop bodies with
 /// their blocks), and the loop still classifies, patches, and converges
 /// bit-identically to the interpreter — under both the superblock tier
-/// and the compiled uop tier.
+/// and the compiled uop tier, the latter at both optimization levels.
 #[test]
 fn exec_mode_is_invariant_across_harden_iterations() {
-    use rr_fault::{CampaignConfig, ExecMode};
+    use rr_fault::{CampaignConfig, ExecMode, OptLevel, UopConfig};
     use rr_telemetry::{Counter, Telemetry};
     for w in [rr_workloads::pincheck(), rr_workloads::otp_check()] {
         let exe = w.build().unwrap();
-        let harden_with = |exec: ExecMode, telemetry: Telemetry| {
+        let harden_with = |exec: ExecMode, uop: UopConfig, telemetry: Telemetry| {
             let config = HardenConfig {
                 max_iterations: 3,
                 incremental: true,
                 telemetry,
-                campaign: CampaignConfig { exec, ..CampaignConfig::default() },
+                campaign: CampaignConfig { exec, uop, ..CampaignConfig::default() },
                 ..HardenConfig::default()
             };
             FaulterPatcher::new(config)
                 .harden(&exe, &w.good_input, &w.bad_input, &InstructionSkip)
                 .unwrap_or_else(|e| panic!("{} hardening failed: {e}", w.name))
         };
-        let interp = harden_with(ExecMode::Interp, Telemetry::disabled());
-        for exec in [ExecMode::Blocks, ExecMode::Uops] {
+        let interp = harden_with(ExecMode::Interp, UopConfig::default(), Telemetry::disabled());
+        for (exec, uop) in [
+            (ExecMode::Blocks, UopConfig::default()),
+            (ExecMode::Uops, UopConfig { opt: OptLevel::None, ..UopConfig::default() }),
+            (ExecMode::Uops, UopConfig::default()),
+        ] {
             let telemetry = Telemetry::counters();
-            let fast = harden_with(exec, telemetry.clone());
+            let fast = harden_with(exec, uop, telemetry.clone());
 
-            let context = format!("workload {} exec {exec}", w.name);
+            let context = format!("workload {} exec {exec} opt {}", w.name, uop.opt);
             assert_eq!(interp.iterations, fast.iterations, "{context}");
             assert_eq!(
                 interp.hardened.to_bytes(),

@@ -174,6 +174,17 @@ pub enum Counter {
     /// Blocks promoted from decoded to compiled execution by crossing
     /// the hot threshold.
     TierPromotions,
+    /// Compiled superblocks for which the uop compiler's `rr-ir`
+    /// optimization stage produced an improved trace.
+    BlocksOptimized,
+    /// Uop slots the optimization stage replaced with a cheaper form.
+    UopsEliminated,
+    /// Redundant loads removed by the optimization stage (forwarded
+    /// from an earlier load or store of the same address).
+    LoadsForwarded,
+    /// Provably dead NZCV definitions dropped by the optimization
+    /// stage.
+    FlagDefsKilled,
     /// Plans the static analysis proved benign and pruned from the plan
     /// space before any replay time was spent.
     PlansPrunedStatic,
@@ -185,7 +196,7 @@ pub enum Counter {
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 21;
+    pub const COUNT: usize = 25;
     /// Every counter, in serialization order.
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::PlansExecuted,
@@ -207,6 +218,10 @@ impl Counter {
         Counter::UopSteps,
         Counter::FlagMaterializations,
         Counter::TierPromotions,
+        Counter::BlocksOptimized,
+        Counter::UopsEliminated,
+        Counter::LoadsForwarded,
+        Counter::FlagDefsKilled,
         Counter::PlansPrunedStatic,
         Counter::AuditFailures,
     ];
@@ -233,6 +248,10 @@ impl Counter {
             Counter::UopSteps => "uop_steps",
             Counter::FlagMaterializations => "flag_materializations",
             Counter::TierPromotions => "tier_promotions",
+            Counter::BlocksOptimized => "blocks_optimized",
+            Counter::UopsEliminated => "uops_eliminated",
+            Counter::LoadsForwarded => "loads_forwarded",
+            Counter::FlagDefsKilled => "flag_defs_killed",
             Counter::PlansPrunedStatic => "plans_pruned_static",
             Counter::AuditFailures => "audit_failures",
         }
